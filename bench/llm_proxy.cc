@@ -1,0 +1,167 @@
+#include "bench/llm_proxy.h"
+
+#include "dv/parser.h"
+#include "util/string_util.h"
+
+namespace vist5 {
+namespace bench {
+namespace {
+
+/// Parses "col : a | b row 1 : x | y row 2 : ..." back into cells.
+struct ParsedTable {
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+};
+
+ParsedTable ParseLinearTable(const std::string& table_enc) {
+  ParsedTable out;
+  const std::vector<std::string> tokens = SplitWhitespace(table_enc);
+  size_t i = 0;
+  auto read_cells = [&](std::vector<std::string>* cells) {
+    std::string current;
+    while (i < tokens.size() && tokens[i] != "row") {
+      if (tokens[i] == "|") {
+        if (!current.empty()) cells->push_back(current);
+        current.clear();
+      } else if (tokens[i] != ":") {
+        if (!current.empty()) current += " ";
+        current += tokens[i];
+      }
+      ++i;
+    }
+    if (!current.empty()) cells->push_back(current);
+  };
+  if (i < tokens.size() && tokens[i] == "col") {
+    ++i;
+    read_cells(&out.columns);
+  }
+  while (i < tokens.size() && tokens[i] == "row") {
+    i += 2;  // "row" + index
+    out.rows.emplace_back();
+    read_cells(&out.rows.back());
+  }
+  return out;
+}
+
+bool IsNumber(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != '-') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string ZeroShotLlmProxy::DescribeQuery(const std::string& query,
+                                            const db::Database* database) const {
+  (void)database;
+  auto parsed = dv::ParseDvQuery(query);
+  if (!parsed.ok()) {
+    return "this visualization presents the requested data from the database .";
+  }
+  const dv::DvQuery& q = *parsed;
+  std::string out = "this ";
+  out += dv::ChartTypeName(q.chart);
+  out += " visualization displays ";
+  for (size_t i = 0; i < q.select.size(); ++i) {
+    if (i) out += " together with ";
+    if (q.select[i].agg != db::AggFn::kNone) {
+      out += std::string("an aggregate ") + db::AggFnName(q.select[i].agg) +
+             " over " + q.select[i].col.column;
+    } else {
+      out += "the field " + q.select[i].col.column;
+    }
+  }
+  out += " taken from the " + q.from_table + " relation";
+  if (q.join) out += " combined with " + q.join->table;
+  if (q.group_by) out += " , partitioned on " + q.group_by->column;
+  if (!q.where.empty()) {
+    out += " , considering only rows satisfying a condition on " +
+           q.where[0].col.column;
+  }
+  if (q.order_by) {
+    out += q.order_by->ascending ? " , arranged in increasing order"
+                                 : " , arranged in decreasing order";
+  }
+  out += " .";
+  return out;
+}
+
+std::string ZeroShotLlmProxy::AnswerQuestion(const std::string& question,
+                                             const std::string& query,
+                                             const std::string& table_enc) const {
+  const ParsedTable table = ParseLinearTable(table_enc);
+  const std::string q = ToLower(question);
+  // Content is frequently right, but phrased as full sentences where the
+  // gold answers are single tokens.
+  if (Contains(q, "how many parts") || Contains(q, "data points")) {
+    return "the chart consists of " + std::to_string(table.rows.size()) +
+           " separate parts in total";
+  }
+  if (Contains(q, "suitable")) {
+    return "yes , this visualization appears to be suitable for the dataset";
+  }
+  if (Contains(q, "equal value")) {
+    return "it is possible that some bars share the same value";
+  }
+  if (Contains(q, "largest") || Contains(q, "smallest")) {
+    double best = 0;
+    bool found = false;
+    const bool largest = Contains(q, "largest");
+    for (const auto& row : table.rows) {
+      for (const std::string& cell : row) {
+        if (!IsNumber(cell)) continue;
+        const double v = std::stod(cell);
+        if (!found || (largest ? v > best : v < best)) best = v;
+        found = true;
+      }
+    }
+    if (found) {
+      return std::string("the ") + (largest ? "largest" : "smallest") +
+             " part of the chart has a value of approximately " +
+             db::Value::Real(best).ToString();
+    }
+  }
+  if (Contains(q, "total number")) {
+    double total = 0;
+    for (const auto& row : table.rows) {
+      if (row.size() > 1 && IsNumber(row.back())) total += std::stod(row.back());
+    }
+    return "adding the values gives a total of about " +
+           db::Value::Real(total).ToString();
+  }
+  if (Contains(q, "meaning") || Contains(q, "mean")) {
+    return DescribeQuery(query, nullptr);
+  }
+  if (Contains(q, "type of chart") || Contains(q, "chart type")) {
+    auto parsed = dv::ParseDvQuery(query);
+    if (parsed.ok()) {
+      return std::string("the visualization uses a ") +
+             dv::ChartTypeName(parsed->chart) + " chart";
+    }
+  }
+  return "based on the chart data the answer should be " +
+         (table.rows.empty() ? std::string("unknown")
+                             : table.rows[0].back());
+}
+
+std::string ZeroShotLlmProxy::SummarizeTable(const std::string& table_enc) const {
+  const ParsedTable table = ParseLinearTable(table_enc);
+  std::string out = "the table provides information about ";
+  for (size_t i = 0; i < table.columns.size(); ++i) {
+    if (i) out += " and ";
+    out += table.columns[i];
+  }
+  out += " across " + std::to_string(table.rows.size()) +
+         (table.rows.size() == 1 ? " record ." : " records .");
+  if (!table.rows.empty() && !table.rows[0].empty()) {
+    out += " the first entry is " + table.rows[0][0] + " .";
+  }
+  return out;
+}
+
+}  // namespace bench
+}  // namespace vist5

@@ -1,0 +1,182 @@
+// Component micro-benchmarks (google-benchmark): tokenizer, DV-query
+// parser, standardizer, relational executor, schema filtration, GEMM,
+// attention forward, transformer training step, and greedy decoding.
+
+#include <benchmark/benchmark.h>
+
+#include "core/datavist5.h"
+#include "data/db_gen.h"
+#include "data/nvbench_gen.h"
+#include "dv/chart.h"
+#include "dv/encoding.h"
+#include "dv/parser.h"
+#include "dv/standardize.h"
+#include "model/trainer.h"
+#include "nn/attention.h"
+#include "tensor/ops.h"
+#include "util/runtime.h"
+
+namespace vist5 {
+namespace {
+
+const char* kQuery =
+    "visualize bar select artist.country , count ( artist.country ) from "
+    "artist where artist.age > 30 group by artist.country order by count ( "
+    "artist.country ) desc";
+
+struct Fixture {
+  db::Catalog catalog;
+  std::vector<data::NvBenchExample> nvbench;
+  text::Tokenizer tokenizer;
+
+  Fixture() {
+    TuneAllocatorForTraining();
+    data::DbGenOptions options;
+    options.num_databases = 12;
+    catalog = data::GenerateCatalog(options);
+    const auto splits = data::AssignDatabaseSplits(catalog, 0.7, 0.1, 11);
+    nvbench = data::GenerateNvBench(catalog, splits, {});
+    std::vector<std::string> corpus;
+    for (const auto& ex : nvbench) {
+      corpus.push_back(ex.question);
+      corpus.push_back(ex.query);
+    }
+    tokenizer = text::Tokenizer::Build(corpus);
+  }
+};
+
+Fixture& Shared() {
+  static Fixture* f = new Fixture();
+  return *f;
+}
+
+void BM_TokenizerEncode(benchmark::State& state) {
+  Fixture& f = Shared();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.tokenizer.Encode(kQuery));
+  }
+}
+BENCHMARK(BM_TokenizerEncode);
+
+void BM_ParseDvQuery(benchmark::State& state) {
+  for (auto _ : state) {
+    auto q = dv::ParseDvQuery(kQuery);
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(BM_ParseDvQuery);
+
+void BM_Standardize(benchmark::State& state) {
+  Fixture& f = Shared();
+  const auto& ex = f.nvbench.front();
+  const db::Database* database = f.catalog.Find(ex.database);
+  for (auto _ : state) {
+    auto s = dv::StandardizeString(ex.raw_query, *database);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_Standardize);
+
+void BM_SchemaFiltration(benchmark::State& state) {
+  Fixture& f = Shared();
+  const auto& ex = f.nvbench.front();
+  const db::Database* database = f.catalog.Find(ex.database);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dv::FilterSchema(ex.question, *database));
+  }
+}
+BENCHMARK(BM_SchemaFiltration);
+
+void BM_RenderChart(benchmark::State& state) {
+  Fixture& f = Shared();
+  const auto& ex = f.nvbench.front();
+  const db::Database* database = f.catalog.Find(ex.database);
+  auto q = dv::ParseDvQuery(ex.query);
+  for (auto _ : state) {
+    auto chart = dv::RenderChart(*q, *database);
+    benchmark::DoNotOptimize(chart);
+  }
+}
+BENCHMARK(BM_RenderChart);
+
+void BM_MatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Tensor a = Tensor::Randn({256, n}, 1.0f, &rng);
+  Tensor b = Tensor::Randn({n, n}, 1.0f, &rng);
+  NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * 256 * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128);
+
+void BM_AttentionForward(benchmark::State& state) {
+  Rng rng(2);
+  nn::MultiHeadAttention attn(64, 4, /*bias=*/false, /*scale=*/true, &rng);
+  Tensor x = Tensor::Randn({8 * 64, 64}, 1.0f, &rng);
+  std::vector<int> lengths(8, 64);
+  nn::MultiHeadAttention::ForwardArgs args;
+  args.batch = 8;
+  args.tq = 64;
+  args.tk = 64;
+  args.key_lengths = &lengths;
+  NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attn.Forward(x, x, args));
+  }
+}
+BENCHMARK(BM_AttentionForward);
+
+void BM_TrainStep(benchmark::State& state) {
+  Fixture& f = Shared();
+  nn::TransformerConfig cfg =
+      nn::TransformerConfig::T5Small(f.tokenizer.vocab_size());
+  model::TransformerSeq2Seq m(cfg, f.tokenizer.pad_id(), f.tokenizer.eos_id(),
+                              7);
+  std::vector<model::SeqPair> pairs;
+  for (const auto& ex : f.nvbench) {
+    model::SeqPair p;
+    p.src = f.tokenizer.Encode(ex.question);
+    p.tgt = f.tokenizer.EncodeWithEos(ex.query);
+    pairs.push_back(std::move(p));
+  }
+  AdamW optimizer(m.TrainableParameters(), {});
+  Rng rng(3);
+  size_t cursor = 0;
+  for (auto _ : state) {
+    std::vector<const model::SeqPair*> items;
+    for (int i = 0; i < 8; ++i) {
+      items.push_back(&pairs[cursor++ % pairs.size()]);
+    }
+    model::Batch batch = model::MakeBatch(items, f.tokenizer.pad_id(), 96, 48);
+    optimizer.ZeroGrad();
+    Tensor loss = m.BatchLoss(batch, /*train=*/true, &rng);
+    loss.Backward();
+    loss.DetachGraph();
+    optimizer.Step();
+  }
+}
+BENCHMARK(BM_TrainStep)->Unit(benchmark::kMillisecond);
+
+void BM_GreedyDecode(benchmark::State& state) {
+  Fixture& f = Shared();
+  nn::TransformerConfig cfg =
+      nn::TransformerConfig::T5Small(f.tokenizer.vocab_size());
+  model::TransformerSeq2Seq m(cfg, f.tokenizer.pad_id(), f.tokenizer.eos_id(),
+                              7);
+  const std::vector<int> src = f.tokenizer.Encode(f.nvbench.front().question);
+  model::GenerationOptions gen;
+  gen.max_len = 32;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.Generate(src, gen));
+  }
+  state.SetLabel("untrained weights; measures decode cost only");
+}
+BENCHMARK(BM_GreedyDecode)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace vist5
+
+BENCHMARK_MAIN();

@@ -1,0 +1,181 @@
+#include "bench/suite.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "dv/parser.h"
+#include "util/logging.h"
+#include "util/runtime.h"
+
+namespace vist5 {
+namespace bench {
+
+SuiteConfig DefaultConfig() {
+  TuneAllocatorForTraining();
+  SuiteConfig config;
+  if (const char* scale = std::getenv("VIST5_BENCH_SCALE")) {
+    config.scale = std::atof(scale);
+    if (config.scale <= 0) config.scale = 1.0;
+  }
+  if (const char* dir = std::getenv("VIST5_CACHE_DIR")) {
+    config.cache_dir = dir;
+  } else {
+    config.cache_dir = "bench_cache";
+  }
+  return config;
+}
+
+std::vector<core::TaskExample> Suite::Eval(core::Task task, int limit) const {
+  auto examples = core::BuildTaskExamples(task, bundle, data::Split::kTest);
+  if (limit > 0 && static_cast<int>(examples.size()) > limit) {
+    examples.resize(static_cast<size_t>(limit));
+  }
+  return examples;
+}
+
+std::vector<core::TaskExample> Suite::EvalTextToVis(bool with_join,
+                                                    int limit) const {
+  std::vector<core::TaskExample> out;
+  for (const auto& ex : bundle.nvbench) {
+    if (ex.split != data::Split::kTest || ex.has_join != with_join) continue;
+    const db::Database* database = catalog.Find(ex.database);
+    if (database == nullptr) continue;
+    core::TaskExample te;
+    te.source = core::TextToVisSource(
+        ex.question, core::SchemaForQuestion(ex.question, *database));
+    te.target = ex.query;
+    te.database = ex.database;
+    out.push_back(std::move(te));
+    if (limit > 0 && static_cast<int>(out.size()) >= limit) break;
+  }
+  return out;
+}
+
+Suite BuildSuite(const SuiteConfig& config) {
+  Suite suite;
+  data::DbGenOptions db_options;
+  db_options.num_databases = config.num_databases;
+  db_options.seed = 17;
+  suite.catalog = data::GenerateCatalog(db_options);
+  const auto splits = data::AssignDatabaseSplits(suite.catalog, 0.7, 0.1, 11);
+
+  suite.bundle.catalog = &suite.catalog;
+  data::NvBenchOptions nv_options;
+  nv_options.pairs_per_db = config.pairs_per_db;
+  nv_options.seed = 23;
+  suite.bundle.nvbench =
+      data::GenerateNvBench(suite.catalog, splits, nv_options);
+
+  data::FeVisQaOptions qa_options;
+  qa_options.seed = 29;
+  qa_options.type1_prob = 0.35;
+  qa_options.type2_prob = 0.35;
+  qa_options.type3_per_query = 2;
+  suite.bundle.fevisqa =
+      data::GenerateFeVisQa(suite.catalog, suite.bundle.nvbench, qa_options);
+
+  data::TableTextOptions tt_options;
+  tt_options.seed = 31;
+  tt_options.chart2text_count = 350;
+  tt_options.wikitabletext_count = 220;
+  suite.bundle.tabletext =
+      data::GenerateTableText(suite.catalog, suite.bundle.nvbench, tt_options);
+
+  suite.tokenizer =
+      text::Tokenizer::Build(core::CollectTokenizerCorpus(suite.bundle));
+  return suite;
+}
+
+std::vector<model::SeqPair> BuildCodePretrainPairs(const Suite& suite,
+                                                   uint64_t seed) {
+  Rng rng(seed);
+  std::vector<model::SeqPair> pairs;
+  for (const auto& ex : suite.bundle.nvbench) {
+    if (ex.split != data::Split::kTrain) continue;
+    // Span corruption over program-like text.
+    for (const std::string& code : {ex.raw_query, ex.query}) {
+      std::vector<int> tokens = suite.tokenizer.Encode(code);
+      if (tokens.size() > 96) tokens.resize(96);
+      pairs.push_back(core::SpanCorrupt(tokens, suite.tokenizer, 0.15, 3,
+                                        &rng));
+    }
+    // Raw -> standardized "code translation" pair.
+    model::SeqPair translate;
+    translate.src = suite.tokenizer.Encode(ex.raw_query);
+    translate.tgt = suite.tokenizer.EncodeWithEos(ex.query);
+    translate.weight = 0.5;
+    pairs.push_back(std::move(translate));
+    // Schemas are part of the code-adjacent corpus too.
+    const db::Database* database = suite.catalog.Find(ex.database);
+    if (database != nullptr) {
+      std::vector<int> tokens = suite.tokenizer.Encode(
+          core::SchemaForQuery(ex.query, *database));
+      if (tokens.size() > 96) tokens.resize(96);
+      pairs.push_back(core::SpanCorrupt(tokens, suite.tokenizer, 0.15, 3,
+                                        &rng));
+    }
+  }
+  return pairs;
+}
+
+std::vector<model::SeqPair> BuildTextPretrainPairs(const Suite& suite,
+                                                   uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> texts;
+  for (const auto& ex : suite.bundle.nvbench) {
+    if (ex.split != data::Split::kTrain) continue;
+    texts.push_back(ex.question);
+    texts.push_back(ex.description);
+  }
+  for (const auto& ex : suite.bundle.tabletext) {
+    if (ex.split != data::Split::kTrain) continue;
+    texts.push_back(ex.description);
+  }
+  for (const auto& ex : suite.bundle.fevisqa) {
+    if (ex.split != data::Split::kTrain) continue;
+    texts.push_back(ex.question + " " + ex.answer);
+  }
+  std::vector<model::SeqPair> pairs;
+  for (const std::string& t : texts) {
+    std::vector<int> tokens = suite.tokenizer.Encode(t);
+    if (tokens.size() > 96) tokens.resize(96);
+    pairs.push_back(core::SpanCorrupt(tokens, suite.tokenizer, 0.15, 3, &rng));
+    // Prefix-LM pair: first half -> second half.
+    if (tokens.size() >= 8) {
+      model::SeqPair lm;
+      const size_t half = tokens.size() / 2;
+      lm.src.assign(tokens.begin(), tokens.begin() + half);
+      lm.tgt.assign(tokens.begin() + half, tokens.end());
+      lm.tgt.push_back(suite.tokenizer.eos_id());
+      lm.weight = 0.5;
+      pairs.push_back(std::move(lm));
+    }
+  }
+  return pairs;
+}
+
+void PrintHeader(const std::string& title,
+                 const std::vector<std::string>& columns) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%-28s", "Model");
+  for (const std::string& c : columns) std::printf("  %10s", c.c_str());
+  std::printf("\n");
+  for (size_t i = 0; i < 28 + columns.size() * 12; ++i) std::printf("-");
+  std::printf("\n");
+}
+
+void PrintRow(const std::string& name, const std::vector<double>& values) {
+  std::printf("%-28s", name.c_str());
+  for (double v : values) {
+    if (v < 0) {
+      std::printf("  %10s", "-");
+    } else {
+      std::printf("  %10.4f", v);
+    }
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+}  // namespace bench
+}  // namespace vist5

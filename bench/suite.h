@@ -1,0 +1,88 @@
+#ifndef VIST5_BENCH_SUITE_H_
+#define VIST5_BENCH_SUITE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/datavist5.h"
+#include "core/pretrain.h"
+#include "core/task_format.h"
+#include "data/db_gen.h"
+#include "data/fevisqa_gen.h"
+#include "data/nvbench_gen.h"
+#include "data/tabletext_gen.h"
+
+namespace vist5 {
+namespace bench {
+
+/// Global knobs for the benchmark suite. `scale` (env VIST5_BENCH_SCALE,
+/// default 1.0) multiplies every training step count and evaluation set
+/// size, letting the full suite be smoke-tested quickly. Trained weights
+/// are cached under `cache_dir` (env VIST5_CACHE_DIR) so tables that share
+/// models (IV, VI, VIII, XII) train each model once.
+struct SuiteConfig {
+  int num_databases = 56;
+  int pairs_per_db = 12;
+  double scale = 1.0;
+  int pretrain_steps = 400;   ///< code/text/denoise pre-training
+  int hybrid_steps = 700;     ///< DataVisT5 hybrid objective pre-training
+  int sft_steps = 800;        ///< single-task fine-tuning (text-to-vis)
+  int sft_text_steps = 800;   ///< single-task fine-tuning (generation tasks)
+  int mft_steps = 1400;       ///< multi-task fine-tuning (ablation tier)
+  int mft_long_steps = 3200;  ///< multi-task fine-tuning (headline tables)
+  int lora_steps = 350;       ///< LoRA adapter fine-tuning
+  int batch_size = 8;
+  int eval_limit = 72;        ///< per-task evaluation examples
+  std::string cache_dir;
+
+  int Scaled(int steps) const {
+    return std::max(20, static_cast<int>(steps * scale));
+  }
+  int ScaledEval(int n) const {
+    return std::max(8, static_cast<int>(n * scale));
+  }
+};
+
+/// Reads env overrides and returns the default configuration.
+SuiteConfig DefaultConfig();
+
+/// The shared, deterministic experiment substrate: databases, corpora,
+/// tokenizer, and per-task evaluation sets.
+struct Suite {
+  db::Catalog catalog;
+  core::CorpusBundle bundle;  ///< bundle.catalog points at `catalog`
+  text::Tokenizer tokenizer;
+
+  /// Test-split task examples, truncated to the configured eval limit.
+  std::vector<core::TaskExample> Eval(core::Task task, int limit) const;
+
+  /// Test-split text-to-vis examples partitioned by join usage.
+  std::vector<core::TaskExample> EvalTextToVis(bool with_join,
+                                               int limit) const;
+};
+
+/// Builds the suite (seeds are fixed; two calls produce identical suites).
+Suite BuildSuite(const SuiteConfig& config);
+
+/// Pre-training corpora for the baseline starting checkpoints:
+///  - "code": annotator-style + standardized DV queries and schemas (the
+///    CodeT5+ stand-in), as span corruption plus raw->standardized pairs;
+///  - "text": NL questions, descriptions, and answers (the generic-text
+///    stand-in behind T5/Llama2/Mistral), as span corruption plus
+///    split-sentence prefix-LM pairs.
+std::vector<model::SeqPair> BuildCodePretrainPairs(const Suite& suite,
+                                                   uint64_t seed);
+std::vector<model::SeqPair> BuildTextPretrainPairs(const Suite& suite,
+                                                   uint64_t seed);
+
+/// Pretty-prints one metric row: name padded, values with 4 decimals, "-"
+/// for negative (missing) entries.
+void PrintRow(const std::string& name, const std::vector<double>& values);
+void PrintHeader(const std::string& title,
+                 const std::vector<std::string>& columns);
+
+}  // namespace bench
+}  // namespace vist5
+
+#endif  // VIST5_BENCH_SUITE_H_

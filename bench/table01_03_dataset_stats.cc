@@ -1,0 +1,135 @@
+// Reproduces Tables I, II, and III: statistics of the (synthetic) NVBench,
+// Chart2Text/WikiTableText, and FeVisQA corpora, in the same row/column
+// structure as the paper.
+
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "bench/suite.h"
+
+namespace vist5 {
+namespace bench {
+namespace {
+
+int Main() {
+  SuiteConfig config = DefaultConfig();
+  Suite suite = BuildSuite(config);
+
+  // ---------------- Table I: NVBench ----------------
+  struct NvRow {
+    int nojoin = 0, all = 0;
+    std::set<std::string> db_nojoin, db_all;
+  };
+  std::map<data::Split, NvRow> nv;
+  for (const auto& ex : suite.bundle.nvbench) {
+    NvRow& row = nv[ex.split];
+    ++row.all;
+    row.db_all.insert(ex.database);
+    if (!ex.has_join) {
+      ++row.nojoin;
+      row.db_nojoin.insert(ex.database);
+    }
+  }
+  std::printf("Table I: statistics of the NVBench dataset\n");
+  std::printf("%-8s %18s %10s %22s %10s\n", "Split", "NVBench w/o join",
+              "NVBench", "DBs w/o join", "DBs");
+  int t_nojoin = 0, t_all = 0;
+  std::set<std::string> t_db_nojoin, t_db_all;
+  for (data::Split s :
+       {data::Split::kTrain, data::Split::kValid, data::Split::kTest}) {
+    const NvRow& row = nv[s];
+    std::printf("%-8s %18d %10d %22zu %10zu\n", data::SplitName(s), row.nojoin,
+                row.all, row.db_nojoin.size(), row.db_all.size());
+    t_nojoin += row.nojoin;
+    t_all += row.all;
+    t_db_nojoin.insert(row.db_nojoin.begin(), row.db_nojoin.end());
+    t_db_all.insert(row.db_all.begin(), row.db_all.end());
+  }
+  std::printf("%-8s %18d %10d %22zu %10zu\n", "Total", t_nojoin, t_all,
+              t_db_nojoin.size(), t_db_all.size());
+
+  // ------------- Table II: Chart2Text + WikiTableText -------------
+  struct TtRow {
+    int chart2text = 0, wikitabletext = 0;
+  };
+  std::map<data::Split, TtRow> tt;
+  int min_cells_c = 1 << 30, max_cells_c = 0, le150_c = 0, gt150_c = 0;
+  int min_cells_w = 1 << 30, max_cells_w = 0, le150_w = 0, gt150_w = 0;
+  for (const auto& ex : suite.bundle.tabletext) {
+    TtRow& row = tt[ex.split];
+    if (ex.source == "chart2text") {
+      ++row.chart2text;
+      min_cells_c = std::min(min_cells_c, ex.cells);
+      max_cells_c = std::max(max_cells_c, ex.cells);
+      (ex.cells <= 150 ? le150_c : gt150_c)++;
+    } else {
+      ++row.wikitabletext;
+      min_cells_w = std::min(min_cells_w, ex.cells);
+      max_cells_w = std::max(max_cells_w, ex.cells);
+      (ex.cells <= 150 ? le150_w : gt150_w)++;
+    }
+  }
+  std::printf("\nTable II: statistics of the Chart2Text and WikiTableText "
+              "datasets\n");
+  std::printf("%-8s %12s %15s   |  %-8s %12s %15s\n", "Split", "Chart2Text",
+              "WikiTableText", "Metric", "Chart2Text", "WikiTableText");
+  const char* metric_names[4] = {"Min.", "Max.", "<=150", ">150"};
+  const int metric_c[4] = {min_cells_c, max_cells_c, le150_c, gt150_c};
+  const int metric_w[4] = {min_cells_w, max_cells_w, le150_w, gt150_w};
+  int i = 0;
+  int tot_c = 0, tot_w = 0;
+  for (data::Split s :
+       {data::Split::kTrain, data::Split::kValid, data::Split::kTest}) {
+    const TtRow& row = tt[s];
+    std::printf("%-8s %12d %15d   |  %-8s %12d %15d\n", data::SplitName(s),
+                row.chart2text, row.wikitabletext, metric_names[i],
+                metric_c[i], metric_w[i]);
+    ++i;
+    tot_c += row.chart2text;
+    tot_w += row.wikitabletext;
+  }
+  std::printf("%-8s %12d %15d   |  %-8s %12d %15d\n", "Total", tot_c, tot_w,
+              metric_names[3], metric_c[3], metric_w[3]);
+
+  // ---------------- Table III: FeVisQA ----------------
+  struct QaRow {
+    std::set<std::string> dbs;
+    std::set<std::string> queries;
+    int pairs = 0;
+    int types[4] = {0, 0, 0, 0};
+  };
+  std::map<data::Split, QaRow> qa;
+  for (const auto& ex : suite.bundle.fevisqa) {
+    QaRow& row = qa[ex.split];
+    row.dbs.insert(ex.database);
+    row.queries.insert(ex.query);
+    ++row.pairs;
+    ++row.types[ex.type];
+  }
+  std::printf("\nTable III: statistics of the FeVisQA dataset\n");
+  std::printf("%-8s %10s %9s %10s %8s %8s %8s\n", "Split", "databases",
+              "QA pair", "DV query", "Type 1", "Type 2", "Type 3");
+  QaRow total;
+  for (data::Split s :
+       {data::Split::kTrain, data::Split::kValid, data::Split::kTest}) {
+    const QaRow& row = qa[s];
+    std::printf("%-8s %10zu %9d %10zu %8d %8d %8d\n", data::SplitName(s),
+                row.dbs.size(), row.pairs, row.queries.size(), row.types[1],
+                row.types[2], row.types[3]);
+    total.dbs.insert(row.dbs.begin(), row.dbs.end());
+    total.queries.insert(row.queries.begin(), row.queries.end());
+    total.pairs += row.pairs;
+    for (int t = 1; t <= 3; ++t) total.types[t] += row.types[t];
+  }
+  std::printf("%-8s %10zu %9d %10zu %8d %8d %8d\n", "Total", total.dbs.size(),
+              total.pairs, total.queries.size(), total.types[1],
+              total.types[2], total.types[3]);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace vist5
+
+int main() { return vist5::bench::Main(); }

@@ -1,0 +1,141 @@
+// Reproduces Table V + Figure 6: the text-to-vis case study. One held-out
+// NL question is run through every model; each predicted DV query is
+// printed with its execution outcome and, when it executes, its Vega-Lite
+// specification (the "figure").
+
+#include <cstdio>
+
+#include "bench/zoo.h"
+#include "dv/parser.h"
+#include "dv/quality.h"
+#include "dv/svg.h"
+#include "dv/vega.h"
+#include "model/retrieval.h"
+
+namespace vist5 {
+namespace bench {
+namespace {
+
+void ShowPrediction(const std::string& name, const std::string& query,
+                    const std::string& reference,
+                    const db::Database& database, bool show_spec) {
+  const bool correct = query == reference;
+  std::printf("%-26s (%s) %s\n", name.c_str(), correct ? "ok" : " x",
+              query.c_str());
+  auto parsed = dv::ParseDvQuery(query);
+  if (!parsed.ok()) {
+    std::printf("%-26s      -> no image: %s\n", "",
+                parsed.status().ToString().c_str());
+    return;
+  }
+  auto chart = dv::RenderChart(*parsed, database);
+  if (!chart.ok()) {
+    std::printf("%-26s      -> no image: %s\n", "",
+                chart.status().ToString().c_str());
+    return;
+  }
+  std::printf("%-26s      -> renders %d data points (%s chart)\n", "",
+              chart->num_points(), dv::ChartTypeName(chart->chart));
+  const dv::QualityReport quality = dv::AssessChartQuality(*chart);
+  for (const std::string& warning : quality.warnings) {
+    std::printf("%-26s      -> design warning: %s\n", "", warning.c_str());
+  }
+  if (show_spec) {
+    std::printf("\nVega-Lite specification (Fig. 6 analogue):\n%s\n",
+                dv::ToVegaLiteJson(*chart).c_str());
+    std::FILE* f = std::fopen("fig06_chart.svg", "w");
+    if (f != nullptr) {
+      const std::string svg = dv::RenderSvg(*chart);
+      std::fwrite(svg.data(), 1, svg.size(), f);
+      std::fclose(f);
+      std::printf("rendered chart image: fig06_chart.svg\n");
+    }
+  }
+}
+
+int Main() {
+  SuiteConfig config = DefaultConfig();
+  Suite suite = BuildSuite(config);
+  ModelZoo zoo(&suite, &config);
+
+  // Pick a held-out example with an aggregate + group by (the Table V
+  // shape); fall back to the first test example.
+  const data::NvBenchExample* chosen = nullptr;
+  for (const auto& ex : suite.bundle.nvbench) {
+    if (ex.split != data::Split::kTest || ex.has_join) continue;
+    if (ex.query.find("avg (") != std::string::npos ||
+        ex.query.find("min (") != std::string::npos) {
+      chosen = &ex;
+      break;
+    }
+  }
+  if (chosen == nullptr) {
+    for (const auto& ex : suite.bundle.nvbench) {
+      if (ex.split == data::Split::kTest) {
+        chosen = &ex;
+        break;
+      }
+    }
+  }
+  if (chosen == nullptr) {
+    std::printf("no test examples available\n");
+    return 1;
+  }
+  const db::Database* database = suite.catalog.Find(chosen->database);
+
+  std::printf("Table V — text-to-vis case study\n\n");
+  std::printf("NL question : %s\n", chosen->question.c_str());
+  std::printf("Database    : %s\n",
+              core::SchemaForQuestion(chosen->question, *database).c_str());
+  std::printf("Ground truth: %s\n\n", chosen->query.c_str());
+
+  const std::string source = core::TextToVisSource(
+      chosen->question, core::SchemaForQuestion(chosen->question, *database));
+  auto predict = [&](model::Seq2SeqModel* m, bool constrained) {
+    model::GenerationOptions gen;
+    const std::vector<int> src = zoo.EncodeSource(source);
+    if (constrained) gen.allowed = zoo.GrammarConstraint(src);
+    return core::StripTaskToken(
+        suite.tokenizer.Decode(m->Generate(src, gen)));
+  };
+
+  {
+    auto m = zoo.RnnSft(core::Task::kTextToVis);
+    ShowPrediction("Seq2Vis", predict(m.get(), false), chosen->query,
+                   *database, false);
+  }
+  {
+    auto m = zoo.FineTuned("vanilla", "sft_t2v");
+    ShowPrediction("Transformer", predict(m.get(), false), chosen->query,
+                   *database, false);
+    ShowPrediction("ncNet", predict(m.get(), true), chosen->query, *database,
+                   false);
+  }
+  {
+    auto m = zoo.FineTuned("codet5p_small", "revise");
+    const auto shots = zoo.Retriever().TopK(chosen->question, 1);
+    const std::string proto = shots.empty() ? "" : shots[0]->query;
+    const std::vector<int> src =
+        zoo.EncodeSource(source + " <vql> " + proto);
+    const std::string pred = core::StripTaskToken(
+        suite.tokenizer.Decode(m->Generate(src, {})));
+    ShowPrediction("RGVisNet", pred, chosen->query, *database, false);
+  }
+  {
+    auto m = zoo.FineTuned("codet5p_base", "sft_t2v");
+    ShowPrediction("CodeT5+ (SFT)", predict(m.get(), false), chosen->query,
+                   *database, false);
+  }
+  {
+    auto m = zoo.FineTuned("datavist5_base", "mft_long");
+    ShowPrediction("DataVisT5 (ours, MFT)", predict(m.get(), false),
+                   chosen->query, *database, true);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace vist5
+
+int main() { return vist5::bench::Main(); }

@@ -1,0 +1,100 @@
+// Reproduces Table VI: comparative performance for the vis-to-text task
+// (BLEU-1/2/4, ROUGE-1/2/L, METEOR on the cross-domain NVBench test split).
+
+#include <cstdio>
+
+#include "bench/llm_proxy.h"
+#include "bench/zoo.h"
+#include "eval/text_metrics.h"
+
+namespace vist5 {
+namespace bench {
+namespace {
+
+std::vector<double> TextRow(const std::vector<std::string>& hyp,
+                            const std::vector<std::string>& ref) {
+  return {eval::CorpusBleu(hyp, ref, 1), eval::CorpusBleu(hyp, ref, 2),
+          eval::CorpusBleu(hyp, ref, 4), eval::RougeN(hyp, ref, 1),
+          eval::RougeN(hyp, ref, 2),     eval::RougeL(hyp, ref),
+          eval::Meteor(hyp, ref)};
+}
+
+int Main() {
+  SuiteConfig config = DefaultConfig();
+  Suite suite = BuildSuite(config);
+  ModelZoo zoo(&suite, &config);
+
+  const auto examples = suite.Eval(core::Task::kVisToText,
+                                   config.ScaledEval(config.eval_limit));
+  std::vector<std::string> refs;
+  for (const auto& ex : examples) refs.push_back(ex.target);
+  std::printf("Table VI: vis-to-text, %zu test examples\n", examples.size());
+
+  PrintHeader("Table VI — vis-to-text",
+              {"BLEU-1", "BLEU-2", "BLEU-4", "ROUGE-1", "ROUGE-2", "ROUGE-L",
+               "METEOR"});
+
+  auto eval_model = [&](model::Seq2SeqModel* m) {
+    return TextRow(zoo.Predict(m, examples), refs);
+  };
+
+  {
+    auto m = zoo.RnnSft(core::Task::kVisToText);
+    PrintRow("Seq2Seq", eval_model(m.get()));
+  }
+  {
+    auto m = zoo.FineTuned("vanilla", "sft_v2t");
+    PrintRow("Transformer", eval_model(m.get()));
+  }
+  {
+    auto m = zoo.FineTuned("bart", "sft_v2t");
+    PrintRow("BART +SFT", eval_model(m.get()));
+  }
+  {
+    auto m = zoo.FineTuned("codet5p_small", "sft_v2t");
+    PrintRow("CodeT5+ (220M) +SFT", eval_model(m.get()));
+  }
+  {
+    auto m = zoo.FineTuned("codet5p_base", "sft_v2t");
+    PrintRow("CodeT5+ (770M) +SFT", eval_model(m.get()));
+  }
+  {
+    ZeroShotLlmProxy gpt4;
+    std::vector<std::string> hyp;
+    for (const auto& ex : examples) {
+      // Recover the raw query from the task source: "<vql> q <schema> ...".
+      std::string query = ex.source;
+      const size_t start = query.find("<vql>");
+      const size_t end = query.find("<schema>");
+      if (start != std::string::npos && end != std::string::npos) {
+        query = query.substr(start + 6, end - start - 6);
+      }
+      hyp.push_back(
+          gpt4.DescribeQuery(query, suite.catalog.Find(ex.database)));
+    }
+    PrintRow("GPT-4 (0-shot)", TextRow(hyp, refs));
+  }
+  {
+    auto m = zoo.FineTuned("llama_proxy", "sft_v2t", /*lora=*/true);
+    PrintRow("LLama2-7b +LoRA", eval_model(m.get()));
+  }
+  {
+    auto m = zoo.FineTuned("mistral_proxy", "sft_v2t", /*lora=*/true);
+    PrintRow("Mistral-7b +LoRA", eval_model(m.get()));
+  }
+  {
+    auto m = zoo.FineTuned("datavist5_small", "mft_long");
+    PrintRow("DataVisT5 (220M) +MFT", eval_model(m.get()));
+  }
+  {
+    auto m = zoo.FineTuned("datavist5_base", "mft_long");
+    PrintRow("DataVisT5 (770M) +MFT", eval_model(m.get()));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace vist5
+
+int main() { return vist5::bench::Main(); }

@@ -1,0 +1,137 @@
+// Reproduces Table VIII: FeVisQA (BLEU-1, ROUGE-1, ROUGE-L, METEOR) and
+// table-to-text (BLEU-4, ROUGE-1, ROUGE-L, METEOR) on the test splits.
+
+#include <cstdio>
+
+#include "bench/llm_proxy.h"
+#include "bench/zoo.h"
+#include "eval/text_metrics.h"
+
+namespace vist5 {
+namespace bench {
+namespace {
+
+std::vector<double> QaRow(const std::vector<std::string>& hyp,
+                          const std::vector<std::string>& ref) {
+  return {eval::CorpusBleu(hyp, ref, 1), eval::RougeN(hyp, ref, 1),
+          eval::RougeL(hyp, ref), eval::Meteor(hyp, ref)};
+}
+
+std::vector<double> TtRow(const std::vector<std::string>& hyp,
+                          const std::vector<std::string>& ref) {
+  return {eval::CorpusBleu(hyp, ref, 4), eval::RougeN(hyp, ref, 1),
+          eval::RougeL(hyp, ref), eval::Meteor(hyp, ref)};
+}
+
+int Main() {
+  SuiteConfig config = DefaultConfig();
+  Suite suite = BuildSuite(config);
+  ModelZoo zoo(&suite, &config);
+
+  const auto qa_examples = suite.Eval(core::Task::kFeVisQa,
+                                      config.ScaledEval(config.eval_limit));
+  const auto tt_examples = suite.Eval(core::Task::kTableToText,
+                                      config.ScaledEval(config.eval_limit));
+  std::vector<std::string> qa_refs, tt_refs;
+  for (const auto& ex : qa_examples) qa_refs.push_back(ex.target);
+  for (const auto& ex : tt_examples) tt_refs.push_back(ex.target);
+  std::printf("Table VIII: %zu FeVisQA and %zu table-to-text test examples\n",
+              qa_examples.size(), tt_examples.size());
+
+  PrintHeader("Table VIII — FeVisQA | table-to-text",
+              {"BLEU-1", "ROUGE-1", "ROUGE-L", "METEOR", "BLEU-4", "ROUGE-1",
+               "ROUGE-L", "METEOR"});
+
+  auto row_for = [&](const std::vector<std::string>& qa_hyp,
+                     const std::vector<std::string>& tt_hyp) {
+    std::vector<double> row = QaRow(qa_hyp, qa_refs);
+    const std::vector<double> tt = TtRow(tt_hyp, tt_refs);
+    row.insert(row.end(), tt.begin(), tt.end());
+    return row;
+  };
+
+  {
+    auto qa = zoo.RnnSft(core::Task::kFeVisQa);
+    auto tt = zoo.RnnSft(core::Task::kTableToText);
+    PrintRow("Seq2Seq", row_for(zoo.Predict(qa.get(), qa_examples),
+                                zoo.Predict(tt.get(), tt_examples)));
+  }
+  {
+    auto qa = zoo.FineTuned("vanilla", "sft_qa");
+    auto tt = zoo.FineTuned("vanilla", "sft_t2t");
+    PrintRow("Transformer", row_for(zoo.Predict(qa.get(), qa_examples),
+                                    zoo.Predict(tt.get(), tt_examples)));
+  }
+  {
+    auto qa = zoo.FineTuned("bart", "sft_qa");
+    auto tt = zoo.FineTuned("bart", "sft_t2t");
+    PrintRow("BART +SFT", row_for(zoo.Predict(qa.get(), qa_examples),
+                                  zoo.Predict(tt.get(), tt_examples)));
+  }
+  {
+    auto qa = zoo.FineTuned("codet5p_small", "sft_qa");
+    auto tt = zoo.FineTuned("codet5p_small", "sft_t2t");
+    PrintRow("CodeT5+ (220M) +SFT",
+             row_for(zoo.Predict(qa.get(), qa_examples),
+                     zoo.Predict(tt.get(), tt_examples)));
+  }
+  {
+    auto qa = zoo.FineTuned("codet5p_base", "sft_qa");
+    auto tt = zoo.FineTuned("codet5p_base", "sft_t2t");
+    PrintRow("CodeT5+ (770M) +SFT",
+             row_for(zoo.Predict(qa.get(), qa_examples),
+                     zoo.Predict(tt.get(), tt_examples)));
+  }
+  {
+    ZeroShotLlmProxy gpt4;
+    std::vector<std::string> qa_hyp, tt_hyp;
+    for (const auto& ex : qa_examples) {
+      // Source: "<question> q <vql> v <schema> s <table> t".
+      const size_t vql = ex.source.find("<vql>");
+      const size_t schema = ex.source.find("<schema>");
+      const size_t table = ex.source.find("<table>");
+      const std::string question = ex.source.substr(11, vql - 11);
+      const std::string query =
+          ex.source.substr(vql + 6, schema - vql - 6);
+      const std::string table_enc = ex.source.substr(table + 8);
+      qa_hyp.push_back(gpt4.AnswerQuestion(question, query, table_enc));
+    }
+    for (const auto& ex : tt_examples) {
+      tt_hyp.push_back(gpt4.SummarizeTable(ex.source.substr(8)));
+    }
+    PrintRow("GPT-4 (0-shot)", row_for(qa_hyp, tt_hyp));
+  }
+  {
+    auto qa = zoo.FineTuned("llama_proxy", "sft_qa", /*lora=*/true);
+    auto tt = zoo.FineTuned("llama_proxy", "sft_t2t", /*lora=*/true);
+    PrintRow("LLama2-7b +LoRA",
+             row_for(zoo.Predict(qa.get(), qa_examples),
+                     zoo.Predict(tt.get(), tt_examples)));
+  }
+  {
+    auto qa = zoo.FineTuned("mistral_proxy", "sft_qa", /*lora=*/true);
+    auto tt = zoo.FineTuned("mistral_proxy", "sft_t2t", /*lora=*/true);
+    PrintRow("Mistral-7b +LoRA",
+             row_for(zoo.Predict(qa.get(), qa_examples),
+                     zoo.Predict(tt.get(), tt_examples)));
+  }
+  {
+    auto m = zoo.FineTuned("datavist5_small", "mft_long");
+    PrintRow("DataVisT5 (220M) +MFT",
+             row_for(zoo.Predict(m.get(), qa_examples),
+                     zoo.Predict(m.get(), tt_examples)));
+  }
+  {
+    auto m = zoo.FineTuned("datavist5_base", "mft_long");
+    PrintRow("DataVisT5 (770M) +MFT",
+             row_for(zoo.Predict(m.get(), qa_examples),
+                     zoo.Predict(m.get(), tt_examples)));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace vist5
+
+int main() { return vist5::bench::Main(); }

@@ -1,0 +1,81 @@
+// Reproduces Table XI + Figure 9: the table-to-text case study. One
+// held-out (WikiTableText-style) table is described by every method.
+
+#include <cstdio>
+
+#include "bench/llm_proxy.h"
+#include "bench/zoo.h"
+
+namespace vist5 {
+namespace bench {
+namespace {
+
+int Main() {
+  SuiteConfig config = DefaultConfig();
+  Suite suite = BuildSuite(config);
+  ModelZoo zoo(&suite, &config);
+
+  const data::TableTextExample* chosen = nullptr;
+  for (const auto& ex : suite.bundle.tabletext) {
+    if (ex.split == data::Split::kTest && ex.source == "wikitabletext") {
+      chosen = &ex;
+      break;
+    }
+  }
+  if (chosen == nullptr) {
+    for (const auto& ex : suite.bundle.tabletext) {
+      if (ex.split == data::Split::kTest) {
+        chosen = &ex;
+        break;
+      }
+    }
+  }
+  if (chosen == nullptr) {
+    std::printf("no test table-to-text examples available\n");
+    return 1;
+  }
+
+  std::printf("Table XI — table-to-text case study\n\n");
+  std::printf("Table (Fig. 9 analogue): %s\n", chosen->table_enc.c_str());
+  std::printf("Ground truth           : %s\n\n", chosen->description.c_str());
+
+  const std::string source = core::TableToTextSource(chosen->table_enc);
+  auto predict = [&](model::Seq2SeqModel* m) {
+    return core::StripTaskToken(
+        suite.tokenizer.Decode(m->Generate(zoo.EncodeSource(source), {})));
+  };
+
+  {
+    auto m = zoo.RnnSft(core::Task::kTableToText);
+    std::printf("%-24s: %s\n", "Seq2Seq", predict(m.get()).c_str());
+  }
+  {
+    auto m = zoo.FineTuned("vanilla", "sft_t2t");
+    std::printf("%-24s: %s\n", "Transformer", predict(m.get()).c_str());
+  }
+  {
+    auto m = zoo.FineTuned("bart", "sft_t2t");
+    std::printf("%-24s: %s\n", "BART (SFT)", predict(m.get()).c_str());
+  }
+  {
+    ZeroShotLlmProxy gpt4;
+    std::printf("%-24s: %s\n", "GPT-4 (0-shot)",
+                gpt4.SummarizeTable(chosen->table_enc).c_str());
+  }
+  {
+    auto m = zoo.FineTuned("codet5p_base", "sft_t2t");
+    std::printf("%-24s: %s\n", "CodeT5+ (SFT)", predict(m.get()).c_str());
+  }
+  {
+    auto m = zoo.FineTuned("datavist5_base", "mft_long");
+    std::printf("%-24s: %s\n", "DataVisT5 (ours, MFT)",
+                predict(m.get()).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace vist5
+
+int main() { return vist5::bench::Main(); }

@@ -1,0 +1,149 @@
+// Reproduces Table XII: ablation study. Each cell is the average metric
+// value for the task, multiplied by 100:
+//   text-to-vis   : mean of (Vis EM, Axis EM, Data EM, EM) on the non-join
+//                   test split
+//   vis-to-text   : mean of (BLEU-1/2/4, ROUGE-1/2/L, METEOR)
+//   FeVisQA       : mean of (BLEU-1, ROUGE-1, ROUGE-L, METEOR)
+//   table-to-text : mean of (BLEU-4, ROUGE-1, ROUGE-L, METEOR)
+// Rows: full MFT DataVisT5 (770M proxy), w/o BDC, w/o temperature
+// up-sampling, w/o MFT (zero-shot after pre-training), DataVisT5 +SFT,
+// CodeT5+ +SFT, T5-large +SFT.
+
+#include <cstdio>
+
+#include "bench/zoo.h"
+#include "eval/text_metrics.h"
+#include "eval/vis_metrics.h"
+
+namespace vist5 {
+namespace bench {
+namespace {
+
+double Mean(const std::vector<double>& v) {
+  double s = 0;
+  for (double x : v) s += x;
+  return v.empty() ? 0 : s / static_cast<double>(v.size());
+}
+
+struct EvalSets {
+  std::vector<core::TaskExample> t2v, v2t, qa, t2t;
+  std::vector<std::string> v2t_refs, qa_refs, t2t_refs, t2v_refs;
+};
+
+int Main() {
+  SuiteConfig config = DefaultConfig();
+  Suite suite = BuildSuite(config);
+  ModelZoo zoo(&suite, &config);
+
+  EvalSets sets;
+  sets.t2v = suite.EvalTextToVis(/*with_join=*/false,
+                                 config.ScaledEval(config.eval_limit));
+  sets.v2t = suite.Eval(core::Task::kVisToText,
+                        config.ScaledEval(config.eval_limit * 2 / 3));
+  sets.qa = suite.Eval(core::Task::kFeVisQa,
+                       config.ScaledEval(config.eval_limit * 2 / 3));
+  sets.t2t = suite.Eval(core::Task::kTableToText,
+                        config.ScaledEval(config.eval_limit * 2 / 3));
+  for (const auto& e : sets.t2v) sets.t2v_refs.push_back(e.target);
+  for (const auto& e : sets.v2t) sets.v2t_refs.push_back(e.target);
+  for (const auto& e : sets.qa) sets.qa_refs.push_back(e.target);
+  for (const auto& e : sets.t2t) sets.t2t_refs.push_back(e.target);
+
+  // Evaluates one model (or a per-task set of models) over the four tasks.
+  auto task_scores = [&](model::Seq2SeqModel* t2v_m, model::Seq2SeqModel* v2t_m,
+                         model::Seq2SeqModel* qa_m, model::Seq2SeqModel* t2t_m) {
+    std::vector<double> row;
+    {
+      const auto preds = zoo.Predict(t2v_m, sets.t2v);
+      const eval::VisScores s = eval::ScoreDvQueries(preds, sets.t2v_refs);
+      row.push_back(100 * Mean({s.vis_em, s.axis_em, s.data_em, s.em}));
+    }
+    {
+      const auto hyp = zoo.Predict(v2t_m, sets.v2t);
+      const auto& ref = sets.v2t_refs;
+      row.push_back(100 * Mean({eval::CorpusBleu(hyp, ref, 1),
+                                eval::CorpusBleu(hyp, ref, 2),
+                                eval::CorpusBleu(hyp, ref, 4),
+                                eval::RougeN(hyp, ref, 1),
+                                eval::RougeN(hyp, ref, 2),
+                                eval::RougeL(hyp, ref),
+                                eval::Meteor(hyp, ref)}));
+    }
+    {
+      const auto hyp = zoo.Predict(qa_m, sets.qa);
+      const auto& ref = sets.qa_refs;
+      row.push_back(100 * Mean({eval::CorpusBleu(hyp, ref, 1),
+                                eval::RougeN(hyp, ref, 1),
+                                eval::RougeL(hyp, ref),
+                                eval::Meteor(hyp, ref)}));
+    }
+    {
+      const auto hyp = zoo.Predict(t2t_m, sets.t2t);
+      const auto& ref = sets.t2t_refs;
+      row.push_back(100 * Mean({eval::CorpusBleu(hyp, ref, 4),
+                                eval::RougeN(hyp, ref, 1),
+                                eval::RougeL(hyp, ref),
+                                eval::Meteor(hyp, ref)}));
+    }
+    row.push_back(Mean({row[0], row[1], row[2], row[3]}));
+    return row;
+  };
+
+  std::printf("Table XII: per-task eval sizes t2v=%zu v2t=%zu qa=%zu t2t=%zu\n",
+              sets.t2v.size(), sets.v2t.size(), sets.qa.size(),
+              sets.t2t.size());
+  PrintHeader("Table XII — ablations (average metric per task x 100)",
+              {"text2vis", "vis2text", "FeVisQA", "tab2text", "Mean"});
+
+  {
+    auto m = zoo.FineTuned("datavist5_base", "mft_long");
+    PrintRow("DataVisT5 (770M) MFT",
+             task_scores(m.get(), m.get(), m.get(), m.get()));
+  }
+  {
+    auto m = zoo.FineTuned("datavist5_base_nobdc", "mft_long");
+    PrintRow("  w/o BDC", task_scores(m.get(), m.get(), m.get(), m.get()));
+  }
+  {
+    auto m = zoo.FineTuned("datavist5_base", "mft_long_noup");
+    PrintRow("  w/o up-sampling",
+             task_scores(m.get(), m.get(), m.get(), m.get()));
+  }
+  {
+    // Zero-shot: hybrid pre-training only, no fine-tuning at all.
+    auto m = zoo.Pretrained("datavist5_base");
+    PrintRow("  w/o MFT (zero-shot)",
+             task_scores(m.get(), m.get(), m.get(), m.get()));
+  }
+  {
+    auto t2v = zoo.FineTuned("datavist5_base", "sft_t2v");
+    auto v2t = zoo.FineTuned("datavist5_base", "sft_v2t");
+    auto qa = zoo.FineTuned("datavist5_base", "sft_qa");
+    auto t2t = zoo.FineTuned("datavist5_base", "sft_t2t");
+    PrintRow("DataVisT5 (770M) SFT",
+             task_scores(t2v.get(), v2t.get(), qa.get(), t2t.get()));
+  }
+  {
+    auto t2v = zoo.FineTuned("codet5p_base", "sft_t2v");
+    auto v2t = zoo.FineTuned("codet5p_base", "sft_v2t");
+    auto qa = zoo.FineTuned("codet5p_base", "sft_qa");
+    auto t2t = zoo.FineTuned("codet5p_base", "sft_t2t");
+    PrintRow("CodeT5+ (770M) SFT",
+             task_scores(t2v.get(), v2t.get(), qa.get(), t2t.get()));
+  }
+  {
+    auto t2v = zoo.FineTuned("t5_base", "sft_t2v");
+    auto v2t = zoo.FineTuned("t5_base", "sft_v2t");
+    auto qa = zoo.FineTuned("t5_base", "sft_qa");
+    auto t2t = zoo.FineTuned("t5_base", "sft_t2t");
+    PrintRow("T5-large SFT",
+             task_scores(t2v.get(), v2t.get(), qa.get(), t2t.get()));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace vist5
+
+int main() { return vist5::bench::Main(); }

@@ -1,0 +1,295 @@
+#include "bench/zoo.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "dv/parser.h"
+#include "model/checkpoint.h"
+#include "model/trainer.h"
+#include "util/logging.h"
+
+namespace vist5 {
+namespace bench {
+namespace {
+
+uint64_t KindSeed(const std::string& kind) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : kind) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+bool IsSmallKind(const std::string& kind) {
+  return kind.find("small") != std::string::npos || kind == "vanilla";
+}
+
+core::Task TaskForMode(const std::string& mode) {
+  if (mode == "sft_t2v" || mode == "revise") return core::Task::kTextToVis;
+  if (mode == "sft_v2t") return core::Task::kVisToText;
+  if (mode == "sft_qa") return core::Task::kFeVisQa;
+  if (mode == "sft_t2t") return core::Task::kTableToText;
+  VIST5_LOG(Fatal) << "unknown single-task mode: " << mode;
+  return core::Task::kTextToVis;
+}
+
+}  // namespace
+
+ModelZoo::ModelZoo(const Suite* suite, const SuiteConfig* config)
+    : suite_(suite), config_(config) {
+  std::filesystem::create_directories(config_->cache_dir);
+}
+
+std::string ModelZoo::CachePath(const std::string& name) const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "_v%d_s%d.ckpt",
+                suite_->tokenizer.vocab_size(),
+                static_cast<int>(config_->scale * 100));
+  return config_->cache_dir + "/" + name + buf;
+}
+
+std::unique_ptr<model::TransformerSeq2Seq> ModelZoo::MakeModel(
+    const std::string& kind, uint64_t seed) const {
+  const int vocab = suite_->tokenizer.vocab_size();
+  nn::TransformerConfig cfg;
+  if (kind == "vanilla") {
+    cfg = nn::TransformerConfig::Vanilla(vocab);
+  } else if (kind == "bart") {
+    cfg = nn::TransformerConfig::BartLike(vocab);
+  } else if (kind == "llama_proxy" || kind == "mistral_proxy") {
+    cfg = nn::TransformerConfig::LlmProxy(vocab);
+  } else if (IsSmallKind(kind)) {
+    cfg = nn::TransformerConfig::T5Small(vocab);
+  } else {
+    cfg = nn::TransformerConfig::T5Base(vocab);
+  }
+  return std::make_unique<model::TransformerSeq2Seq>(
+      cfg, suite_->tokenizer.pad_id(), suite_->tokenizer.eos_id(), seed);
+}
+
+std::unique_ptr<model::TransformerSeq2Seq> ModelZoo::Pretrained(
+    const std::string& kind) {
+  auto m = MakeModel(kind, KindSeed(kind));
+  if (kind == "vanilla" || kind.rfind("none", 0) == 0) return m;
+
+  const std::string path = CachePath(kind);
+  if (model::CheckpointExists(path)) {
+    VIST5_CHECK_OK(model::LoadCheckpoint(&m->transformer(), path));
+    return m;
+  }
+
+  model::TrainOptions train;
+  train.batch_size = config_->batch_size;
+  train.seed = KindSeed(kind) ^ 0x5bd1e995;
+  std::vector<model::SeqPair> pairs;
+  if (kind.rfind("codet5p", 0) == 0) {
+    pairs = BuildCodePretrainPairs(*suite_, 71);
+    train.steps = config_->Scaled(config_->pretrain_steps);
+    train.peak_lr = 3e-3f;
+  } else if (kind.rfind("t5_", 0) == 0 || kind == "bart" ||
+             kind == "llama_proxy" || kind == "mistral_proxy") {
+    pairs = BuildTextPretrainPairs(*suite_, KindSeed(kind) % 1000);
+    train.steps = config_->Scaled(config_->pretrain_steps);
+    train.peak_lr = 3e-3f;
+  } else if (kind.rfind("datavist5", 0) == 0) {
+    // DataVisT5 = CodeT5+ checkpoint + hybrid objective pre-training.
+    const std::string base =
+        IsSmallKind(kind) ? "codet5p_small" : "codet5p_base";
+    Pretrained(base);  // ensures the base checkpoint exists in the cache
+    VIST5_CHECK_OK(model::LoadCheckpoint(&m->transformer(), CachePath(base)));
+    core::PretrainOptions pretrain_options;
+    pretrain_options.include_bdc =
+        kind.find("nobdc") == std::string::npos;
+    pairs = core::BuildPretrainPairs(suite_->bundle, suite_->tokenizer,
+                                     pretrain_options);
+    train.steps = config_->Scaled(config_->hybrid_steps);
+    train.peak_lr = 2.5e-3f;
+  } else {
+    VIST5_LOG(Fatal) << "unknown pretrained kind: " << kind;
+  }
+  VIST5_LOG(Info) << "pretraining " << kind << " (" << train.steps
+                  << " steps, " << pairs.size() << " pairs)";
+  const auto stats = model::TrainSeq2Seq(m.get(), pairs,
+                                         suite_->tokenizer.pad_id(), train);
+  VIST5_LOG(Info) << kind << " pretrain loss " << stats.first_loss << " -> "
+                  << stats.final_loss;
+  VIST5_CHECK_OK(model::SaveCheckpoint(m->transformer(), path));
+  return m;
+}
+
+std::vector<model::SeqPair> ModelZoo::FineTunePairs(
+    const std::string& mode) const {
+  if (mode == "mft" || mode == "mft_long") {
+    return core::BuildMftPairs(suite_->bundle, suite_->tokenizer, 2.0);
+  }
+  if (mode == "mft_noup" || mode == "mft_long_noup") {
+    // Ablation: no temperature up-sampling (T = 1).
+    return core::BuildMftPairs(suite_->bundle, suite_->tokenizer, 1.0);
+  }
+  if (mode == "revise") return RevisePairs();
+  const core::Task task = TaskForMode(mode);
+  return core::TokenizeTaskExamples(
+      task, core::BuildTaskExamples(task, suite_->bundle, data::Split::kTrain),
+      suite_->tokenizer);
+}
+
+std::vector<model::SeqPair> ModelZoo::RevisePairs() const {
+  // RGVisNet-style: input = NL + schema + retrieved prototype; the model
+  // learns to revise the prototype into the gold query.
+  std::vector<model::SeqPair> pairs;
+  const auto& retriever = const_cast<ModelZoo*>(this)->Retriever();
+  const auto examples = core::BuildTaskExamples(
+      core::Task::kTextToVis, suite_->bundle, data::Split::kTrain);
+  size_t idx = 0;
+  for (const auto& ex : suite_->bundle.nvbench) {
+    if (ex.split != data::Split::kTrain) continue;
+    if (idx >= examples.size()) break;
+    const core::TaskExample& te = examples[idx++];
+    // Leave-one-out retrieval: skip the exemplar with the same question.
+    const auto shots = retriever.TopK(ex.question, 2);
+    const model::ExampleRetriever::Item* proto = nullptr;
+    for (const auto* s : shots) {
+      if (s->question != ex.question) {
+        proto = s;
+        break;
+      }
+    }
+    if (proto == nullptr) continue;
+    model::SeqPair pair;
+    pair.src = suite_->tokenizer.Encode(te.source + " <vql> " + proto->query);
+    pair.tgt = suite_->tokenizer.EncodeWithEos(
+        core::TaskTarget(core::Task::kTextToVis, te.target));
+    pairs.push_back(std::move(pair));
+  }
+  return pairs;
+}
+
+std::unique_ptr<model::TransformerSeq2Seq> ModelZoo::FineTuned(
+    const std::string& base_kind, const std::string& mode, bool lora) {
+  const std::string name =
+      base_kind + "_" + mode + (lora ? "_lora" : "");
+  const std::string path = CachePath(name);
+  Rng lora_rng(KindSeed(name));
+
+  if (model::CheckpointExists(path)) {
+    auto m = MakeModel(base_kind, KindSeed(base_kind));
+    if (lora) m->transformer().EnableLora(16, 32.0f, &lora_rng);
+    VIST5_CHECK_OK(model::LoadCheckpoint(&m->transformer(), path));
+    return m;
+  }
+
+  auto m = Pretrained(base_kind);
+  if (lora) m->transformer().EnableLora(16, 32.0f, &lora_rng);
+
+  model::TrainOptions train;
+  train.batch_size = config_->batch_size;
+  train.seed = KindSeed(name) ^ 0xc2b2ae35;
+  train.peak_lr = lora ? 4e-3f : 2e-3f;
+  if (mode.rfind("mft_long", 0) == 0) {
+    train.steps = config_->Scaled(config_->mft_long_steps);
+  } else if (mode.rfind("mft", 0) == 0) {
+    train.steps = config_->Scaled(config_->mft_steps);
+  } else if (lora) {
+    train.steps = config_->Scaled(config_->lora_steps);
+  } else if (mode == "sft_t2v" || mode == "revise") {
+    train.steps = config_->Scaled(config_->sft_steps);
+  } else {
+    // Text-generation tasks converge faster than program synthesis.
+    train.steps = config_->Scaled(config_->sft_text_steps);
+  }
+  const auto pairs = FineTunePairs(mode);
+  VIST5_LOG(Info) << "fine-tuning " << name << " (" << train.steps
+                  << " steps, " << pairs.size() << " pairs)";
+  const auto stats = model::TrainSeq2Seq(m.get(), pairs,
+                                         suite_->tokenizer.pad_id(), train);
+  VIST5_LOG(Info) << name << " fine-tune loss " << stats.first_loss << " -> "
+                  << stats.final_loss;
+  VIST5_CHECK_OK(model::SaveCheckpoint(m->transformer(), path));
+  return m;
+}
+
+std::unique_ptr<model::RnnSeq2Seq> ModelZoo::RnnSft(core::Task task) {
+  const std::string name =
+      std::string("rnn_sft_") + core::TaskName(task);
+  const std::string path = CachePath(name);
+  model::RnnSeq2Seq::Config cfg;
+  cfg.vocab_size = suite_->tokenizer.vocab_size();
+  auto m = std::make_unique<model::RnnSeq2Seq>(
+      cfg, suite_->tokenizer.pad_id(), suite_->tokenizer.eos_id(),
+      KindSeed(name));
+  if (model::CheckpointExists(path)) {
+    VIST5_CHECK_OK(model::LoadCheckpoint(m.get(), path));
+    return m;
+  }
+  model::TrainOptions train;
+  train.batch_size = config_->batch_size;
+  // The unrolled GRU is the slowest architecture per step; a reduced budget
+  // keeps the suite tractable (it is the weakest baseline regardless).
+  train.steps = config_->Scaled(config_->sft_steps * 7 / 10);
+  train.peak_lr = 2e-3f;
+  train.seed = KindSeed(name) ^ 0x9747b28c;
+  const auto pairs = core::TokenizeTaskExamples(
+      task, core::BuildTaskExamples(task, suite_->bundle, data::Split::kTrain),
+      suite_->tokenizer);
+  VIST5_LOG(Info) << "fine-tuning " << name << " (" << train.steps
+                  << " steps)";
+  const auto stats = model::TrainSeq2Seq(m.get(), pairs,
+                                         suite_->tokenizer.pad_id(), train);
+  VIST5_LOG(Info) << name << " fine-tune loss " << stats.first_loss << " -> "
+                  << stats.final_loss;
+  VIST5_CHECK_OK(model::SaveCheckpoint(*m, path));
+  return m;
+}
+
+const model::ExampleRetriever& ModelZoo::Retriever() {
+  if (!retriever_) {
+    retriever_ = std::make_unique<model::ExampleRetriever>();
+    for (const auto& ex : suite_->bundle.nvbench) {
+      if (ex.split != data::Split::kTrain) continue;
+      retriever_->Add({ex.question, ex.query, ex.database});
+    }
+    retriever_->Finalize();
+  }
+  return *retriever_;
+}
+
+std::vector<int> ModelZoo::EncodeSource(const std::string& source) const {
+  std::vector<int> src = suite_->tokenizer.Encode(source);
+  if (src.size() > 112) src.resize(112);
+  return src;
+}
+
+std::vector<std::string> ModelZoo::Predict(
+    model::Seq2SeqModel* m, const std::vector<core::TaskExample>& examples,
+    const model::GenerationOptions& gen) const {
+  std::vector<std::string> out;
+  out.reserve(examples.size());
+  for (const auto& ex : examples) {
+    const std::vector<int> ids = m->Generate(EncodeSource(ex.source), gen);
+    out.push_back(core::StripTaskToken(suite_->tokenizer.Decode(ids)));
+  }
+  return out;
+}
+
+std::function<bool(int)> ModelZoo::GrammarConstraint(
+    const std::vector<int>& src) const {
+  auto allowed = std::make_shared<std::set<int>>();
+  static const char* kGrammar[] = {
+      "visualize", "bar",   "pie",  "line",  "scatter", "select", "from",
+      "join",      "on",    "where", "and",  "group",   "by",     "order",
+      "asc",       "desc",  "count", "sum",  "avg",     "min",    "max",
+      "(",         ")",     ",",     ".",    "=",       "<",      ">",
+      "'",         "<vql>"};
+  for (const char* word : kGrammar) {
+    const int id = suite_->tokenizer.vocab().Id(word);
+    if (id >= 0) allowed->insert(id);
+  }
+  for (int id : src) allowed->insert(id);
+  allowed->insert(suite_->tokenizer.eos_id());
+  return [allowed](int token) { return allowed->count(token) > 0; };
+}
+
+}  // namespace bench
+}  // namespace vist5

@@ -1,0 +1,85 @@
+#ifndef VIST5_BENCH_ZOO_H_
+#define VIST5_BENCH_ZOO_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/suite.h"
+#include "model/retrieval.h"
+#include "model/rnn_model.h"
+#include "model/transformer_model.h"
+
+namespace vist5 {
+namespace bench {
+
+/// Builds, trains, and caches every model the result tables compare.
+///
+/// Pre-trained base kinds:
+///   "vanilla"            post-norm transformer, random init
+///   "codet5p_small/base" span corruption + raw->standardized pairs over
+///                        DV-query "code" (the CodeT5+ checkpoints)
+///   "t5_small/base"      span corruption over generic text (T5 / T5-large)
+///   "bart"               denoising pre-training, BART-like config
+///   "llama_proxy"        generic-text pre-trained LLM proxy (seed A)
+///   "mistral_proxy"      generic-text pre-trained LLM proxy (seed B)
+///   "datavist5_small/base"        CodeT5+ init + hybrid objectives
+///   "datavist5_base_nobdc"        hybrid pre-training without BDC
+///
+/// Fine-tune modes: "sft_t2v", "sft_v2t", "sft_qa", "sft_t2t" (single
+/// task), "mft" (temperature 2), "mft_noup" (temperature 1), "revise"
+/// (RGVisNet-style prototype revision). LoRA fine-tuning freezes the base
+/// and trains rank-8 adapters.
+///
+/// Every trained network is cached in config.cache_dir keyed by kind, mode,
+/// vocabulary size, and bench scale; reruns load instead of retraining.
+class ModelZoo {
+ public:
+  ModelZoo(const Suite* suite, const SuiteConfig* config);
+
+  std::unique_ptr<model::TransformerSeq2Seq> Pretrained(
+      const std::string& kind);
+
+  std::unique_ptr<model::TransformerSeq2Seq> FineTuned(
+      const std::string& base_kind, const std::string& mode,
+      bool lora = false);
+
+  /// GRU Seq2Seq baseline fine-tuned on one task.
+  std::unique_ptr<model::RnnSeq2Seq> RnnSft(core::Task task);
+
+  /// Retriever over training questions (GPT-4 proxy / RGVisNet prototype
+  /// source). Built lazily, shared.
+  const model::ExampleRetriever& Retriever();
+
+  /// Decodes predictions for task-formatted examples.
+  std::vector<std::string> Predict(
+      model::Seq2SeqModel* m, const std::vector<core::TaskExample>& examples,
+      const model::GenerationOptions& gen = {}) const;
+
+  /// ncNet-style grammar constraint: only DV-grammar keywords, tokens
+  /// occurring in `src`, and digits may be emitted.
+  std::function<bool(int)> GrammarConstraint(const std::vector<int>& src) const;
+
+  /// Tokenizes a task source with the suite tokenizer (truncated).
+  std::vector<int> EncodeSource(const std::string& source) const;
+
+  const Suite& suite() const { return *suite_; }
+  const SuiteConfig& config() const { return *config_; }
+
+ private:
+  std::string CachePath(const std::string& name) const;
+  std::unique_ptr<model::TransformerSeq2Seq> MakeModel(
+      const std::string& kind, uint64_t seed) const;
+  std::vector<model::SeqPair> FineTunePairs(const std::string& mode) const;
+  std::vector<model::SeqPair> RevisePairs() const;
+
+  const Suite* suite_;
+  const SuiteConfig* config_;
+  std::unique_ptr<model::ExampleRetriever> retriever_;
+};
+
+}  // namespace bench
+}  // namespace vist5
+
+#endif  // VIST5_BENCH_ZOO_H_

@@ -1,0 +1,105 @@
+// corpus_export: materializes the synthetic benchmark (NVBench, FeVisQA,
+// table-to-text, plus the database catalog as CSV) to JSONL/CSV files so
+// the corpora can be consumed outside this library.
+//
+// Usage: corpus_export [output_dir]   (default: ./corpus_out)
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "data/db_gen.h"
+#include "data/fevisqa_gen.h"
+#include "data/nvbench_gen.h"
+#include "data/tabletext_gen.h"
+#include "db/csv.h"
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace vist5 {
+namespace {
+
+void WriteLines(const std::string& path, const std::vector<std::string>& lines) {
+  std::ofstream out(path);
+  VIST5_CHECK(static_cast<bool>(out)) << "cannot open " << path;
+  for (const std::string& line : lines) out << line << "\n";
+  std::printf("wrote %zu records to %s\n", lines.size(), path.c_str());
+}
+
+int Main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : "corpus_out";
+  std::filesystem::create_directories(dir);
+
+  data::DbGenOptions db_options;
+  db_options.num_databases = 24;
+  const db::Catalog catalog = data::GenerateCatalog(db_options);
+  const auto splits = data::AssignDatabaseSplits(catalog, 0.7, 0.1, 11);
+  data::NvBenchOptions nv_options;
+  nv_options.pairs_per_db = 10;
+  const auto nvbench = data::GenerateNvBench(catalog, splits, nv_options);
+  const auto fevisqa = data::GenerateFeVisQa(catalog, nvbench, {});
+  const auto tabletext = data::GenerateTableText(catalog, nvbench, {});
+
+  // --- NVBench JSONL.
+  std::vector<std::string> lines;
+  for (const auto& ex : nvbench) {
+    JsonValue o = JsonValue::Object();
+    o.Set("db_id", JsonValue::String(ex.database));
+    o.Set("question", JsonValue::String(ex.question));
+    o.Set("vql", JsonValue::String(ex.query));
+    o.Set("vql_raw", JsonValue::String(ex.raw_query));
+    o.Set("description", JsonValue::String(ex.description));
+    o.Set("has_join", JsonValue::Bool(ex.has_join));
+    o.Set("split", JsonValue::String(data::SplitName(ex.split)));
+    lines.push_back(o.ToString(/*pretty=*/false));
+  }
+  WriteLines(dir + "/nvbench.jsonl", lines);
+
+  // --- FeVisQA JSONL.
+  lines.clear();
+  for (const auto& ex : fevisqa) {
+    JsonValue o = JsonValue::Object();
+    o.Set("db_id", JsonValue::String(ex.database));
+    o.Set("vql", JsonValue::String(ex.query));
+    o.Set("type", JsonValue::Number(ex.type));
+    o.Set("question", JsonValue::String(ex.question));
+    o.Set("answer", JsonValue::String(ex.answer));
+    o.Set("table", JsonValue::String(ex.table_enc));
+    o.Set("split", JsonValue::String(data::SplitName(ex.split)));
+    lines.push_back(o.ToString(false));
+  }
+  WriteLines(dir + "/fevisqa.jsonl", lines);
+
+  // --- Table-to-text JSONL.
+  lines.clear();
+  for (const auto& ex : tabletext) {
+    JsonValue o = JsonValue::Object();
+    o.Set("source", JsonValue::String(ex.source));
+    o.Set("table", JsonValue::String(ex.table_enc));
+    o.Set("description", JsonValue::String(ex.description));
+    o.Set("cells", JsonValue::Number(ex.cells));
+    o.Set("split", JsonValue::String(data::SplitName(ex.split)));
+    lines.push_back(o.ToString(false));
+  }
+  WriteLines(dir + "/tabletext.jsonl", lines);
+
+  // --- Databases as CSV (one directory per database).
+  int tables_written = 0;
+  for (const db::Database& database : catalog.databases()) {
+    const std::string db_dir = dir + "/databases/" + database.name();
+    std::filesystem::create_directories(db_dir);
+    for (const db::Table& table : database.tables()) {
+      std::ofstream out(db_dir + "/" + table.name() + ".csv");
+      out << db::TableToCsv(table);
+      ++tables_written;
+    }
+  }
+  std::printf("wrote %d tables under %s/databases/\n", tables_written,
+              dir.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace vist5
+
+int main(int argc, char** argv) { return vist5::Main(argc, argv); }

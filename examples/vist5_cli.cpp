@@ -1,0 +1,154 @@
+// vist5_cli: command-line front end for the DV substrate over user data.
+//
+//   vist5_cli render      --db DIR --query "visualize ..." [--dvl vega|ggplot|echarts]
+//   vist5_cli standardize --db DIR --query "VISUALIZE ... COUNT(*) ..."
+//   vist5_cli suitability --db DIR --query "visualize ..."
+//   vist5_cli describe    --query "visualize ..."
+//   vist5_cli schema      --db DIR [--question "..."]
+//
+// --db names a directory of CSV files; each file becomes a table (the file
+// stem is the table name, the first CSV record the header). The directory
+// name becomes the database name.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "data/nvbench_gen.h"
+#include "db/csv.h"
+#include "dv/chart.h"
+#include "dv/dvl_emitters.h"
+#include "dv/quality.h"
+#include "dv/encoding.h"
+#include "dv/parser.h"
+#include "dv/standardize.h"
+#include "dv/vega.h"
+#include "util/rng.h"
+
+namespace vist5 {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: vist5_cli <render|standardize|suitability|describe|"
+               "schema> [--db DIR] [--query Q] [--question TEXT] "
+               "[--dvl vega|ggplot|echarts]\n");
+  return 2;
+}
+
+StatusOr<db::Database> LoadDatabase(const std::string& dir) {
+  namespace fs = std::filesystem;
+  if (!fs::is_directory(dir)) {
+    return Status::NotFound("not a directory: " + dir);
+  }
+  db::Database database(fs::path(dir).filename().string());
+  int loaded = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".csv") continue;
+    VIST5_ASSIGN_OR_RETURN(
+        db::Table table,
+        db::TableFromCsvFile(entry.path().stem().string(),
+                             entry.path().string()));
+    database.AddTable(std::move(table));
+    ++loaded;
+  }
+  if (loaded == 0) {
+    return Status::NotFound("no .csv files under " + dir);
+  }
+  return database;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  std::map<std::string, std::string> flags;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) return Usage();
+    flags[argv[i] + 2] = argv[i + 1];
+  }
+  const std::string query_text = flags.count("query") ? flags["query"] : "";
+  const std::string dvl = flags.count("dvl") ? flags["dvl"] : "vega";
+
+  if (command == "describe") {
+    if (query_text.empty()) return Usage();
+    auto q = dv::ParseDvQuery(query_text);
+    if (!q.ok()) {
+      std::fprintf(stderr, "parse error: %s\n", q.status().ToString().c_str());
+      return 1;
+    }
+    Rng rng(7);
+    std::printf("%s\n", data::DescribeQuery(*q, &rng).c_str());
+    return 0;
+  }
+
+  if (!flags.count("db")) return Usage();
+  auto database = LoadDatabase(flags["db"]);
+  if (!database.ok()) {
+    std::fprintf(stderr, "%s\n", database.status().ToString().c_str());
+    return 1;
+  }
+
+  if (command == "schema") {
+    const dv::SchemaSubset subset =
+        flags.count("question")
+            ? dv::FilterSchema(flags["question"], *database)
+            : dv::FullSchema(*database);
+    std::printf("%s\n", dv::EncodeSchema(subset).c_str());
+    return 0;
+  }
+
+  if (query_text.empty()) return Usage();
+  auto standardized = dv::StandardizeString(query_text, *database);
+  if (!standardized.ok()) {
+    std::fprintf(stderr, "standardize error: %s\n",
+                 standardized.status().ToString().c_str());
+    return 1;
+  }
+
+  if (command == "standardize") {
+    std::printf("%s\n", standardized->c_str());
+    return 0;
+  }
+
+  auto parsed = dv::ParseDvQuery(*standardized);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+
+  if (command == "suitability") {
+    const Status status = dv::CheckSuitability(*parsed, *database);
+    std::printf("%s\n", status.ok() ? "suitable" : status.ToString().c_str());
+    return status.ok() ? 0 : 1;
+  }
+
+  if (command == "render") {
+    auto chart = dv::RenderChart(*parsed, *database);
+    if (!chart.ok()) {
+      std::fprintf(stderr, "render error: %s\n",
+                   chart.status().ToString().c_str());
+      return 1;
+    }
+    for (const std::string& warning :
+         dv::AssessChartQuality(*chart).warnings) {
+      std::fprintf(stderr, "warning: %s\n", warning.c_str());
+    }
+    if (dvl == "ggplot") {
+      std::printf("%s", dv::ToGgplot(*chart).c_str());
+    } else if (dvl == "echarts") {
+      std::printf("%s\n", dv::ToEChartsJson(*chart).c_str());
+    } else {
+      std::printf("%s\n", dv::ToVegaLiteJson(*chart).c_str());
+    }
+    return 0;
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace vist5
+
+int main(int argc, char** argv) { return vist5::Main(argc, argv); }

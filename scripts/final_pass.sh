@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Final recorded run: captures test and bench outputs. Assumes model caches
+# are warm (first invocation of any bench trains what it is missing).
+set -u
+cd "$(dirname "$0")/.."
+export VIST5_CACHE_DIR="$PWD/build/bench_cache"
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do $b; done 2>&1 | tee bench_output.txt

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Runs every benchmark binary (paper tables I-XII and figures 3-9 plus the
+# google-benchmark micro suite), sharing one checkpoint cache. First run
+# trains every model (hours on one core); subsequent runs only evaluate.
+set -u
+cd "$(dirname "$0")/.."
+export VIST5_CACHE_DIR="${VIST5_CACHE_DIR:-$PWD/build/bench_cache}"
+for b in build/bench/*; do
+  [ -x "$b" ] || continue
+  echo "===== $b ====="
+  "$b"
+  echo
+done

@@ -1,0 +1,117 @@
+#include "core/datavist5.h"
+
+#include <cmath>
+
+namespace vist5 {
+namespace core {
+
+std::vector<model::SeqPair> TokenizeTaskExamples(
+    Task task, const std::vector<TaskExample>& examples,
+    const text::Tokenizer& tokenizer, double weight) {
+  std::vector<model::SeqPair> pairs;
+  pairs.reserve(examples.size());
+  for (const TaskExample& ex : examples) {
+    model::SeqPair pair;
+    pair.src = tokenizer.Encode(ex.source);
+    pair.tgt = tokenizer.EncodeWithEos(TaskTarget(task, ex.target));
+    pair.weight = weight;
+    pairs.push_back(std::move(pair));
+  }
+  return pairs;
+}
+
+double TemperatureWeight(size_t task_size, double temperature) {
+  if (task_size == 0) return 0.0;
+  return std::pow(static_cast<double>(task_size), 1.0 / temperature - 1.0);
+}
+
+std::vector<model::SeqPair> BuildMftPairs(const CorpusBundle& bundle,
+                                          const text::Tokenizer& tokenizer,
+                                          double temperature) {
+  std::vector<model::SeqPair> pairs;
+  for (Task task : {Task::kTextToVis, Task::kVisToText, Task::kFeVisQa,
+                    Task::kTableToText}) {
+    const auto examples = BuildTaskExamples(task, bundle, data::Split::kTrain);
+    const double weight = TemperatureWeight(examples.size(), temperature);
+    auto task_pairs = TokenizeTaskExamples(task, examples, tokenizer, weight);
+    pairs.insert(pairs.end(), std::make_move_iterator(task_pairs.begin()),
+                 std::make_move_iterator(task_pairs.end()));
+  }
+  return pairs;
+}
+
+DataVisT5::DataVisT5(text::Tokenizer tokenizer, const Options& options)
+    : tokenizer_(std::move(tokenizer)), options_(options) {
+  const nn::TransformerConfig config =
+      options.size == Options::Size::kSmall
+          ? nn::TransformerConfig::T5Small(tokenizer_.vocab_size())
+          : nn::TransformerConfig::T5Base(tokenizer_.vocab_size());
+  model_ = std::make_unique<model::TransformerSeq2Seq>(
+      config, tokenizer_.pad_id(), tokenizer_.eos_id(), options.seed);
+}
+
+model::TrainStats DataVisT5::Pretrain(
+    const CorpusBundle& bundle, const PretrainOptions& pretrain_options,
+    const model::TrainOptions& train_options) {
+  const auto pairs = BuildPretrainPairs(bundle, tokenizer_, pretrain_options);
+  return model::TrainSeq2Seq(model_.get(), pairs, tokenizer_.pad_id(),
+                             train_options);
+}
+
+model::TrainStats DataVisT5::FinetuneMultiTask(
+    const CorpusBundle& bundle, const model::TrainOptions& train_options,
+    double temperature) {
+  const auto pairs = BuildMftPairs(bundle, tokenizer_, temperature);
+  return model::TrainSeq2Seq(model_.get(), pairs, tokenizer_.pad_id(),
+                             train_options);
+}
+
+model::TrainStats DataVisT5::FinetuneSingleTask(
+    Task task, const CorpusBundle& bundle,
+    const model::TrainOptions& train_options) {
+  const auto pairs = TokenizeTaskExamples(
+      task, BuildTaskExamples(task, bundle, data::Split::kTrain), tokenizer_);
+  return model::TrainSeq2Seq(model_.get(), pairs, tokenizer_.pad_id(),
+                             train_options);
+}
+
+std::string DataVisT5::Run(const std::string& source,
+                           const model::GenerationOptions& gen) const {
+  std::vector<int> src = tokenizer_.Encode(source);
+  if (static_cast<int>(src.size()) > options_.max_src_len) {
+    src.resize(static_cast<size_t>(options_.max_src_len));
+  }
+  const std::vector<int> out = model_->Generate(src, gen);
+  return StripTaskToken(tokenizer_.Decode(out));
+}
+
+std::string DataVisT5::TextToVis(const std::string& question,
+                                 const db::Database& database,
+                                 const model::GenerationOptions& gen) const {
+  return Run(TextToVisSource(question, SchemaForQuestion(question, database)),
+             gen);
+}
+
+std::string DataVisT5::VisToText(const std::string& query,
+                                 const db::Database& database,
+                                 const model::GenerationOptions& gen) const {
+  return Run(VisToTextSource(query, SchemaForQuery(query, database)), gen);
+}
+
+std::string DataVisT5::AnswerQuestion(const std::string& question,
+                                      const std::string& query,
+                                      const db::Database& database,
+                                      const std::string& table_enc,
+                                      const model::GenerationOptions& gen) const {
+  return Run(
+      FeVisQaSource(question, query, SchemaForQuery(query, database), table_enc),
+      gen);
+}
+
+std::string DataVisT5::TableToText(const std::string& table_enc,
+                                   const model::GenerationOptions& gen) const {
+  return Run(TableToTextSource(table_enc), gen);
+}
+
+}  // namespace core
+}  // namespace vist5

@@ -1,0 +1,104 @@
+#ifndef VIST5_CORE_DATAVIST5_H_
+#define VIST5_CORE_DATAVIST5_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pretrain.h"
+#include "core/task_format.h"
+#include "model/trainer.h"
+#include "model/transformer_model.h"
+#include "text/tokenizer.h"
+
+namespace vist5 {
+namespace core {
+
+/// Tokenizes task examples into training pairs. `weight` applies uniformly.
+std::vector<model::SeqPair> TokenizeTaskExamples(
+    Task task, const std::vector<TaskExample>& examples,
+    const text::Tokenizer& tokenizer, double weight = 1.0);
+
+/// Per-task sampling weights for temperature up-sampling (Sec. III-F):
+/// task probability proportional to N_task^(1/T), implemented as a
+/// per-example weight of N_task^(1/T - 1). T = 2 follows the paper;
+/// T = 1 disables up-sampling (the "w/o up-sampling" ablation).
+double TemperatureWeight(size_t task_size, double temperature);
+
+/// Multi-task fine-tuning corpus: all four tasks mixed with temperature
+/// up-sampling.
+std::vector<model::SeqPair> BuildMftPairs(const CorpusBundle& bundle,
+                                          const text::Tokenizer& tokenizer,
+                                          double temperature = 2.0);
+
+/// The end-to-end DataVisT5 pipeline of Fig. 2: tokenizer + T5 backbone +
+/// schema filtration + DV-knowledge encoding + task formatting, with
+/// hybrid-objective pre-training and multi-task fine-tuning.
+class DataVisT5 {
+ public:
+  struct Options {
+    /// T5Small stands in for the 220M checkpoints, T5Base for 770M.
+    enum class Size { kSmall, kBase };
+    Size size = Size::kSmall;
+    uint64_t seed = 3407;
+    int max_src_len = 112;
+    int max_tgt_len = 56;
+  };
+
+  DataVisT5(text::Tokenizer tokenizer, const Options& options);
+
+  /// Hybrid-objective pre-training (Sec. III-E) over the cross-modal corpus.
+  model::TrainStats Pretrain(const CorpusBundle& bundle,
+                             const PretrainOptions& pretrain_options,
+                             const model::TrainOptions& train_options);
+
+  /// Multi-task fine-tuning with temperature mixing (Sec. III-F).
+  model::TrainStats FinetuneMultiTask(const CorpusBundle& bundle,
+                                      const model::TrainOptions& train_options,
+                                      double temperature = 2.0);
+
+  /// Single-task fine-tuning (the +SFT baselines).
+  model::TrainStats FinetuneSingleTask(Task task, const CorpusBundle& bundle,
+                                       const model::TrainOptions& train_options);
+
+  // --- Task inference (Fig. 1) ------------------------------------------
+
+  /// NL question + database -> standardized DV query.
+  std::string TextToVis(const std::string& question,
+                        const db::Database& database,
+                        const model::GenerationOptions& gen = {}) const;
+
+  /// DV query + database -> NL description.
+  std::string VisToText(const std::string& query, const db::Database& database,
+                        const model::GenerationOptions& gen = {}) const;
+
+  /// Free-form QA over a DV query, its database, and chart data.
+  std::string AnswerQuestion(const std::string& question,
+                             const std::string& query,
+                             const db::Database& database,
+                             const std::string& table_enc,
+                             const model::GenerationOptions& gen = {}) const;
+
+  /// Linearized table -> NL description.
+  std::string TableToText(const std::string& table_enc,
+                          const model::GenerationOptions& gen = {}) const;
+
+  /// Generic: run a task-formatted source through the model.
+  std::string Run(const std::string& source,
+                  const model::GenerationOptions& gen = {}) const;
+
+  model::TransformerSeq2Seq& model() { return *model_; }
+  const model::TransformerSeq2Seq& model() const { return *model_; }
+  const text::Tokenizer& tokenizer() const { return tokenizer_; }
+  const Options& options() const { return options_; }
+
+ private:
+  text::Tokenizer tokenizer_;
+  Options options_;
+  std::unique_ptr<model::TransformerSeq2Seq> model_;
+};
+
+}  // namespace core
+}  // namespace vist5
+
+#endif  // VIST5_CORE_DATAVIST5_H_

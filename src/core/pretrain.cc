@@ -1,0 +1,161 @@
+#include "core/pretrain.h"
+
+#include <algorithm>
+
+namespace vist5 {
+namespace core {
+
+std::vector<std::pair<std::string, std::string>> BuildBdcTextPairs(
+    const CorpusBundle& bundle) {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  for (Task task : {Task::kTextToVis, Task::kVisToText, Task::kFeVisQa,
+                    Task::kTableToText}) {
+    for (const TaskExample& ex :
+         BuildTaskExamples(task, bundle, data::Split::kTrain)) {
+      pairs.emplace_back(ex.source, TaskTarget(task, ex.target));
+    }
+  }
+  return pairs;
+}
+
+std::vector<std::string> BuildMlmTexts(const CorpusBundle& bundle) {
+  std::vector<std::string> texts;
+  for (const auto& ex : bundle.nvbench) {
+    if (ex.split != data::Split::kTrain) continue;
+    texts.push_back(ex.question);
+    texts.push_back(ex.query);
+    if (bundle.catalog != nullptr) {
+      const db::Database* database = bundle.catalog->Find(ex.database);
+      if (database != nullptr) {
+        texts.push_back(SchemaForQuestion(ex.question, *database));
+      }
+    }
+  }
+  for (const auto& ex : bundle.fevisqa) {
+    if (ex.split != data::Split::kTrain) continue;
+    texts.push_back(ex.question + " " + ex.answer);
+  }
+  for (const auto& ex : bundle.tabletext) {
+    if (ex.split != data::Split::kTrain) continue;
+    texts.push_back(ex.table_enc);
+    texts.push_back(ex.description);
+  }
+  return texts;
+}
+
+std::vector<std::string> CollectTokenizerCorpus(const CorpusBundle& bundle) {
+  std::vector<std::string> texts;
+  for (Task task : {Task::kTextToVis, Task::kVisToText, Task::kFeVisQa,
+                    Task::kTableToText}) {
+    for (const TaskExample& ex :
+         BuildTaskExamples(task, bundle, data::Split::kTrain)) {
+      texts.push_back(ex.source);
+      texts.push_back(ex.target);
+    }
+  }
+  for (const auto& ex : bundle.nvbench) {
+    if (ex.split == data::Split::kTrain) texts.push_back(ex.raw_query);
+  }
+  return texts;
+}
+
+model::SeqPair SpanCorrupt(const std::vector<int>& tokens,
+                           const text::Tokenizer& tokenizer, double mask_rate,
+                           int mean_span_length, Rng* rng) {
+  model::SeqPair pair;
+  const int n = static_cast<int>(tokens.size());
+  if (n == 0) {
+    pair.tgt.push_back(tokenizer.eos_id());
+    return pair;
+  }
+  const int budget = std::max(1, static_cast<int>(n * mask_rate + 0.5));
+  // Choose span start positions greedily over a random permutation, taking
+  // non-overlapping spans until the mask budget is spent.
+  std::vector<bool> masked(static_cast<size_t>(n), false);
+  int masked_count = 0;
+  int guard = 0;
+  while (masked_count < budget && guard < 8 * n) {
+    ++guard;
+    const int span_len =
+        std::max(1, mean_span_length - 1 + rng->UniformInt(3));  // mean ~3
+    const int start = rng->UniformInt(n);
+    bool clash = false;
+    for (int i = start; i < std::min(n, start + span_len); ++i) {
+      // Require a gap so adjacent spans do not merge into one sentinel.
+      if (masked[static_cast<size_t>(i)] ||
+          (i > 0 && masked[static_cast<size_t>(i - 1)]) ||
+          (i + 1 < n && masked[static_cast<size_t>(i + 1)])) {
+        clash = true;
+        break;
+      }
+    }
+    if (clash) continue;
+    for (int i = start; i < std::min(n, start + span_len); ++i) {
+      masked[static_cast<size_t>(i)] = true;
+      ++masked_count;
+    }
+  }
+  int sentinel = 0;
+  int i = 0;
+  while (i < n) {
+    if (!masked[static_cast<size_t>(i)] ||
+        sentinel >= text::kNumSentinels) {
+      // Unmasked token, or the sentinel supply ran out: copy through.
+      pair.src.push_back(tokens[static_cast<size_t>(i)]);
+      ++i;
+      continue;
+    }
+    pair.src.push_back(tokenizer.sentinel_id(sentinel));
+    pair.tgt.push_back(tokenizer.sentinel_id(sentinel));
+    while (i < n && masked[static_cast<size_t>(i)]) {
+      pair.tgt.push_back(tokens[static_cast<size_t>(i)]);
+      ++i;
+    }
+    ++sentinel;
+  }
+  // Closing sentinel, as in the T5 reference implementation.
+  if (sentinel < text::kNumSentinels) {
+    pair.tgt.push_back(tokenizer.sentinel_id(sentinel));
+  }
+  pair.src.push_back(tokenizer.eos_id());
+  pair.tgt.push_back(tokenizer.eos_id());
+  return pair;
+}
+
+std::vector<model::SeqPair> BuildPretrainPairs(
+    const CorpusBundle& bundle, const text::Tokenizer& tokenizer,
+    const PretrainOptions& options) {
+  Rng rng(options.seed);
+  std::vector<model::SeqPair> pairs;
+  if (options.include_bdc) {
+    for (const auto& [a, b] : BuildBdcTextPairs(bundle)) {
+      model::SeqPair forward;
+      forward.src = tokenizer.Encode(a);
+      forward.tgt = tokenizer.EncodeWithEos(b);
+      forward.weight = 0.5;
+      model::SeqPair backward;
+      backward.src = tokenizer.Encode(b);
+      backward.tgt = tokenizer.EncodeWithEos(a);
+      backward.weight = 0.5;
+      pairs.push_back(std::move(forward));
+      pairs.push_back(std::move(backward));
+    }
+  }
+  if (options.include_mlm) {
+    for (const std::string& text : BuildMlmTexts(bundle)) {
+      std::vector<int> tokens = tokenizer.Encode(text);
+      if (static_cast<int>(tokens.size()) > options.max_tokens) {
+        tokens.resize(static_cast<size_t>(options.max_tokens));
+      }
+      model::SeqPair pair = SpanCorrupt(tokens, tokenizer,
+                                        options.mlm_mask_rate,
+                                        options.mean_span_length, &rng);
+      pair.weight = 1.0;
+      pairs.push_back(std::move(pair));
+    }
+  }
+  return pairs;
+}
+
+}  // namespace core
+}  // namespace vist5

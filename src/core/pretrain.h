@@ -1,0 +1,64 @@
+#ifndef VIST5_CORE_PRETRAIN_H_
+#define VIST5_CORE_PRETRAIN_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/task_format.h"
+#include "model/seq2seq_model.h"
+#include "text/tokenizer.h"
+
+namespace vist5 {
+namespace core {
+
+/// Configuration of the hybrid pre-training objectives (Sec. III-E).
+struct PretrainOptions {
+  /// Fraction of subword tokens masked by span corruption (paper: 15%).
+  double mlm_mask_rate = 0.15;
+  /// Mean corrupted-span length in tokens (paper: 3).
+  int mean_span_length = 3;
+  uint64_t seed = 41;
+  /// Ablation switches (Table XII "w/o BDC").
+  bool include_bdc = true;
+  bool include_mlm = true;
+  /// Truncation applied to MLM inputs before corruption.
+  int max_tokens = 112;
+};
+
+/// The Bidirectional Dual-Corpus text pairs of Sec. IV-B, train split only:
+///   NL + Schema               <-> DV query
+///   DV query + Schema         <-> Description
+///   Table                     <-> Description
+///   Question + DV query + Schema + Table <-> Answer
+std::vector<std::pair<std::string, std::string>> BuildBdcTextPairs(
+    const CorpusBundle& bundle);
+
+/// The flat text corpus fed to span-corruption MLM: NL questions and
+/// schemas from NVBench, DV queries, FeVisQA questions and answers, tables
+/// and descriptions (Sec. IV-B).
+std::vector<std::string> BuildMlmTexts(const CorpusBundle& bundle);
+
+/// Every training-split surface string (task sources, targets, raw
+/// annotator-style queries) — the corpus the tokenizer vocabulary is built
+/// from.
+std::vector<std::string> CollectTokenizerCorpus(const CorpusBundle& bundle);
+
+/// T5 span corruption of one token sequence: consecutive spans are replaced
+/// by sentinel tokens in the input; the target lists each sentinel followed
+/// by the tokens it hid (Sec. III-E, Fig. 5).
+model::SeqPair SpanCorrupt(const std::vector<int>& tokens,
+                           const text::Tokenizer& tokenizer, double mask_rate,
+                           int mean_span_length, Rng* rng);
+
+/// Materializes the full hybrid pre-training set: BDC pairs in both
+/// directions (each weighted 0.5, implementing the equal-probability
+/// direction choice) plus one span-corruption example per MLM text.
+std::vector<model::SeqPair> BuildPretrainPairs(const CorpusBundle& bundle,
+                                               const text::Tokenizer& tokenizer,
+                                               const PretrainOptions& options);
+
+}  // namespace core
+}  // namespace vist5
+
+#endif  // VIST5_CORE_PRETRAIN_H_

@@ -1,0 +1,163 @@
+#include "core/task_format.h"
+
+#include "dv/encoding.h"
+#include "dv/parser.h"
+#include "util/string_util.h"
+
+namespace vist5 {
+namespace core {
+
+const char* TaskName(Task task) {
+  switch (task) {
+    case Task::kTextToVis:
+      return "text-to-vis";
+    case Task::kVisToText:
+      return "vis-to-text";
+    case Task::kFeVisQa:
+      return "fevisqa";
+    case Task::kTableToText:
+      return "table-to-text";
+  }
+  return "?";
+}
+
+std::string TextToVisSource(const std::string& question,
+                            const std::string& schema_enc) {
+  return "<nl> " + question + " <schema> " + schema_enc;
+}
+
+std::string VisToTextSource(const std::string& query,
+                            const std::string& schema_enc) {
+  return "<vql> " + query + " <schema> " + schema_enc;
+}
+
+std::string FeVisQaSource(const std::string& question,
+                          const std::string& query,
+                          const std::string& schema_enc,
+                          const std::string& table_enc) {
+  return "<question> " + question + " <vql> " + query + " <schema> " +
+         schema_enc + " <table> " + table_enc;
+}
+
+std::string TableToTextSource(const std::string& table_enc) {
+  return "<table> " + table_enc;
+}
+
+std::string TaskTarget(Task task, const std::string& text) {
+  switch (task) {
+    case Task::kTextToVis:
+      return "<vql> " + text;
+    case Task::kVisToText:
+    case Task::kTableToText:
+      return "<description> " + text;
+    case Task::kFeVisQa:
+      return "<answer> " + text;
+  }
+  return text;
+}
+
+std::string StripTaskToken(const std::string& decoded) {
+  std::string out = Strip(decoded);
+  for (const char* token : {"<vql>", "<description>", "<answer>", "<nl>",
+                            "<schema>", "<table>", "<question>"}) {
+    if (StartsWith(out, token)) {
+      out = Strip(out.substr(std::string(token).size()));
+      break;
+    }
+  }
+  return out;
+}
+
+std::string SchemaForQuestion(const std::string& question,
+                              const db::Database& database) {
+  return dv::EncodeSchema(dv::FilterSchema(question, database));
+}
+
+std::string SchemaForQuery(const std::string& query,
+                           const db::Database& database) {
+  auto parsed = dv::ParseDvQuery(query);
+  if (parsed.ok()) {
+    dv::SchemaSubset subset;
+    subset.database = database.name();
+    for (const std::string& name :
+         {parsed->from_table,
+          parsed->join ? parsed->join->table : std::string()}) {
+      if (name.empty()) continue;
+      const db::Table* t = database.FindTable(name);
+      if (t == nullptr) continue;
+      dv::SchemaSubset::TableColumns tc;
+      tc.table = ToLower(t->name());
+      for (const db::Column& c : t->columns()) {
+        tc.columns.push_back(ToLower(c.name));
+      }
+      subset.tables.push_back(std::move(tc));
+    }
+    if (!subset.tables.empty()) return dv::EncodeSchema(subset);
+  }
+  return dv::EncodeSchema(dv::FilterSchema(query, database));
+}
+
+std::vector<TaskExample> BuildTaskExamples(Task task,
+                                           const CorpusBundle& bundle,
+                                           data::Split split) {
+  std::vector<TaskExample> out;
+  switch (task) {
+    case Task::kTextToVis: {
+      for (const auto& ex : bundle.nvbench) {
+        if (ex.split != split) continue;
+        const db::Database* database = bundle.catalog->Find(ex.database);
+        if (database == nullptr) continue;
+        TaskExample te;
+        te.source = TextToVisSource(ex.question,
+                                    SchemaForQuestion(ex.question, *database));
+        te.target = ex.query;
+        te.database = ex.database;
+        out.push_back(std::move(te));
+      }
+      break;
+    }
+    case Task::kVisToText: {
+      for (const auto& ex : bundle.nvbench) {
+        if (ex.split != split) continue;
+        const db::Database* database = bundle.catalog->Find(ex.database);
+        if (database == nullptr) continue;
+        TaskExample te;
+        te.source =
+            VisToTextSource(ex.query, SchemaForQuery(ex.query, *database));
+        te.target = ex.description;
+        te.database = ex.database;
+        out.push_back(std::move(te));
+      }
+      break;
+    }
+    case Task::kFeVisQa: {
+      for (const auto& ex : bundle.fevisqa) {
+        if (ex.split != split) continue;
+        const db::Database* database = bundle.catalog->Find(ex.database);
+        if (database == nullptr) continue;
+        TaskExample te;
+        te.source = FeVisQaSource(ex.question, ex.query,
+                                  SchemaForQuery(ex.query, *database),
+                                  ex.table_enc);
+        te.target = ex.answer;
+        te.database = ex.database;
+        out.push_back(std::move(te));
+      }
+      break;
+    }
+    case Task::kTableToText: {
+      for (const auto& ex : bundle.tabletext) {
+        if (ex.split != split) continue;
+        TaskExample te;
+        te.source = TableToTextSource(ex.table_enc);
+        te.target = ex.description;
+        out.push_back(std::move(te));
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace vist5

@@ -1,0 +1,76 @@
+#ifndef VIST5_CORE_TASK_FORMAT_H_
+#define VIST5_CORE_TASK_FORMAT_H_
+
+#include <string>
+#include <vector>
+
+#include "data/corpus.h"
+#include "data/fevisqa_gen.h"
+#include "data/nvbench_gen.h"
+#include "data/tabletext_gen.h"
+#include "db/table.h"
+
+namespace vist5 {
+namespace core {
+
+/// The four DV tasks of the Jointly Understanding Text and Data
+/// Visualization benchmark (Sec. V).
+enum class Task { kTextToVis, kVisToText, kFeVisQa, kTableToText };
+
+const char* TaskName(Task task);
+
+/// All generated corpora plus their backing databases.
+struct CorpusBundle {
+  const db::Catalog* catalog = nullptr;
+  std::vector<data::NvBenchExample> nvbench;
+  std::vector<data::FeVisQaExample> fevisqa;
+  std::vector<data::TableTextExample> tabletext;
+};
+
+/// One task-formatted example: source/target surface strings plus the
+/// database it came from (empty for table-to-text).
+struct TaskExample {
+  std::string source;
+  std::string target;
+  std::string database;
+};
+
+/// Task-specific source construction with the Sec. III-E special tokens:
+///   text-to-vis : "<nl> q <schema> s"              -> "<vql> query"
+///   vis-to-text : "<vql> query <schema> s"         -> "<description> d"
+///   FeVisQA     : "<question> q <vql> v <schema> s <table> t" -> "<answer> a"
+///   table-to-text: "<table> t"                     -> "<description> d"
+std::string TextToVisSource(const std::string& question,
+                            const std::string& schema_enc);
+std::string VisToTextSource(const std::string& query,
+                            const std::string& schema_enc);
+std::string FeVisQaSource(const std::string& question, const std::string& query,
+                          const std::string& schema_enc,
+                          const std::string& table_enc);
+std::string TableToTextSource(const std::string& table_enc);
+
+std::string TaskTarget(Task task, const std::string& text);
+
+/// Removes a leading task token ("<vql>", "<answer>", ...) from decoded
+/// model output.
+std::string StripTaskToken(const std::string& decoded);
+
+/// Schema encoding used for text-to-vis inputs: n-gram filtration of the
+/// database schema against the NL question (Sec. III-B).
+std::string SchemaForQuestion(const std::string& question,
+                              const db::Database& database);
+
+/// Schema encoding used for vis-to-text / FeVisQA inputs: the tables the DV
+/// query actually references (falls back to filtration by query text).
+std::string SchemaForQuery(const std::string& query,
+                           const db::Database& database);
+
+/// Materializes the task-formatted examples of one split.
+std::vector<TaskExample> BuildTaskExamples(Task task,
+                                           const CorpusBundle& bundle,
+                                           data::Split split);
+
+}  // namespace core
+}  // namespace vist5
+
+#endif  // VIST5_CORE_TASK_FORMAT_H_

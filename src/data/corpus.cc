@@ -1,0 +1,46 @@
+#include "data/corpus.h"
+
+namespace vist5 {
+namespace data {
+
+const char* SplitName(Split s) {
+  switch (s) {
+    case Split::kTrain:
+      return "train";
+    case Split::kValid:
+      return "valid";
+    case Split::kTest:
+      return "test";
+  }
+  return "?";
+}
+
+std::map<std::string, Split> AssignDatabaseSplits(const db::Catalog& catalog,
+                                                  double train_frac,
+                                                  double valid_frac,
+                                                  uint64_t seed) {
+  std::vector<int> order(static_cast<size_t>(catalog.size()));
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  Rng rng(seed);
+  rng.Shuffle(&order);
+  const int n = catalog.size();
+  const int n_train = static_cast<int>(n * train_frac + 0.5);
+  const int n_valid = static_cast<int>(n * valid_frac + 0.5);
+  std::map<std::string, Split> splits;
+  for (int i = 0; i < n; ++i) {
+    const std::string& name =
+        catalog.databases()[static_cast<size_t>(order[static_cast<size_t>(i)])]
+            .name();
+    if (i < n_train) {
+      splits[name] = Split::kTrain;
+    } else if (i < n_train + n_valid) {
+      splits[name] = Split::kValid;
+    } else {
+      splits[name] = Split::kTest;
+    }
+  }
+  return splits;
+}
+
+}  // namespace data
+}  // namespace vist5

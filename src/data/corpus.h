@@ -1,0 +1,63 @@
+#ifndef VIST5_DATA_CORPUS_H_
+#define VIST5_DATA_CORPUS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "db/table.h"
+#include "util/rng.h"
+
+namespace vist5 {
+namespace data {
+
+/// Cross-domain data split. NVBench and FeVisQA split by *database* so test
+/// databases are never seen in training (Sec. IV-C).
+enum class Split { kTrain, kValid, kTest };
+
+const char* SplitName(Split s);
+
+/// Assigns each database in `catalog` to a split, approximately
+/// train_frac/valid_frac/(rest) by count, deterministically from `seed`.
+std::map<std::string, Split> AssignDatabaseSplits(const db::Catalog& catalog,
+                                                  double train_frac,
+                                                  double valid_frac,
+                                                  uint64_t seed);
+
+/// One NVBench-style example: an NL question paired with its DV query over
+/// a named database.
+struct NvBenchExample {
+  std::string database;
+  std::string question;   ///< natural language request
+  std::string query;      ///< standardized DV query
+  std::string raw_query;  ///< annotator-style query (pre-standardization)
+  std::string description;  ///< reference description (vis-to-text target)
+  bool has_join = false;
+  Split split = Split::kTrain;
+};
+
+/// One FeVisQA-style QA pair (Sec. IV-A4). `type` is 1 (semantics), 2
+/// (suitability), or 3 (data/structure).
+struct FeVisQaExample {
+  std::string database;
+  std::string query;      ///< standardized DV query the question refers to
+  std::string table_enc;  ///< linearized chart data backing the question
+  int type = 3;
+  std::string question;
+  std::string answer;
+  Split split = Split::kTrain;
+};
+
+/// One table-to-text example (Chart2Text / WikiTableText stand-ins).
+struct TableTextExample {
+  std::string source;     ///< "chart2text" or "wikitabletext"
+  std::string table_enc;  ///< linearized table
+  std::string description;
+  int cells = 0;  ///< rows x columns, for the <=150-cell filter (Sec. IV-B)
+  Split split = Split::kTrain;
+};
+
+}  // namespace data
+}  // namespace vist5
+
+#endif  // VIST5_DATA_CORPUS_H_

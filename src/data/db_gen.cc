@@ -1,0 +1,232 @@
+#include "data/db_gen.h"
+
+#include "util/logging.h"
+
+namespace vist5 {
+namespace data {
+namespace {
+
+const std::vector<std::string>& Names() {
+  static const std::vector<std::string>* kPool = new std::vector<std::string>{
+      "avalon", "briar",  "cedar",  "delta",   "ember",  "fable",  "garnet",
+      "harbor", "indigo", "juniper", "koda",   "lumen",  "maple",  "nova",
+      "onyx",   "pearl",  "quartz", "raven",   "sable",  "topaz",  "umber",
+      "vesper", "willow", "zephyr", "aster",   "birch",  "coral",  "dune",
+      "echo",   "fern",   "grove",  "hazel",   "iris",   "jade",   "kelp",
+      "lotus"};
+  return *kPool;
+}
+
+const std::vector<std::string>& Cities() {
+  static const std::vector<std::string>* kPool = new std::vector<std::string>{
+      "london", "paris",  "tokyo",   "madrid", "berlin", "sydney", "toronto",
+      "dublin", "oslo",   "lisbon",  "vienna", "prague", "athens", "cairo",
+      "seoul",  "mumbai", "chicago", "denver"};
+  return *kPool;
+}
+
+const std::vector<std::string>& Countries() {
+  static const std::vector<std::string>* kPool = new std::vector<std::string>{
+      "france", "japan", "spain", "germany", "australia", "canada",
+      "ireland", "norway", "portugal", "austria", "greece", "egypt",
+      "korea", "india", "brazil", "mexico"};
+  return *kPool;
+}
+
+const std::vector<std::string>& Categories() {
+  static const std::vector<std::string>* kPool = new std::vector<std::string>{
+      "gold", "silver", "bronze", "standard", "premium", "classic",
+      "modern", "vintage", "deluxe", "basic"};
+  return *kPool;
+}
+
+const std::vector<std::string>& Statuses() {
+  static const std::vector<std::string>* kPool = new std::vector<std::string>{
+      "active", "closed", "pending", "open", "archived"};
+  return *kPool;
+}
+
+const std::vector<std::string>& Genres() {
+  static const std::vector<std::string>* kPool = new std::vector<std::string>{
+      "rock", "jazz", "pop", "folk", "blues", "classical", "electronic"};
+  return *kPool;
+}
+
+const std::vector<std::string>& Sizes() {
+  static const std::vector<std::string>* kPool = new std::vector<std::string>{
+      "small", "medium", "large", "extra_large"};
+  return *kPool;
+}
+
+/// An attribute archetype: a column name with a fixed type and value
+/// distribution. `categorical` columns draw from small pools (good GROUP BY
+/// keys); the rest are numeric measures.
+struct AttrSpec {
+  const char* name;
+  db::ValueType type;
+  bool categorical;
+  // For text pools:
+  const std::vector<std::string>* pool;
+  // For numeric ranges:
+  int lo = 0;
+  int hi = 0;
+  bool real_valued = false;
+};
+
+const std::vector<AttrSpec>& AttrPool() {
+  static const std::vector<AttrSpec>* kPool = new std::vector<AttrSpec>{
+      {"city", db::ValueType::kText, true, &Cities()},
+      {"country", db::ValueType::kText, true, &Countries()},
+      {"category", db::ValueType::kText, true, &Categories()},
+      {"status", db::ValueType::kText, true, &Statuses()},
+      {"genre", db::ValueType::kText, true, &Genres()},
+      {"size_class", db::ValueType::kText, true, &Sizes()},
+      {"year", db::ValueType::kInt, true, nullptr, 2001, 2012},
+      {"age", db::ValueType::kInt, false, nullptr, 18, 70},
+      {"price", db::ValueType::kReal, false, nullptr, 10, 500, true},
+      {"rating", db::ValueType::kInt, false, nullptr, 1, 10},
+      {"salary", db::ValueType::kInt, false, nullptr, 20, 95},
+      {"capacity", db::ValueType::kInt, false, nullptr, 10, 400},
+      {"score", db::ValueType::kInt, false, nullptr, 0, 100},
+      {"budget", db::ValueType::kInt, false, nullptr, 50, 900},
+      {"duration", db::ValueType::kInt, false, nullptr, 5, 240},
+      {"quantity", db::ValueType::kInt, false, nullptr, 1, 50},
+  };
+  return *kPool;
+}
+
+db::Value SampleAttr(const AttrSpec& spec, Rng* rng) {
+  if (spec.pool != nullptr) {
+    return db::Value::Text(rng->Choice(*spec.pool));
+  }
+  const int v = rng->UniformRange(spec.lo, spec.hi);
+  if (spec.real_valued) {
+    return db::Value::Real(v + 0.25 * rng->UniformInt(4));
+  }
+  return db::Value::Int(v);
+}
+
+}  // namespace
+
+std::vector<std::string> EntityNamePool() {
+  return {"artist",   "student",  "employee", "film",     "team",
+          "player",   "product",  "customer", "room",     "flight",
+          "airport",  "song",     "album",    "book",     "author",
+          "course",   "department", "hotel",  "restaurant", "car",
+          "driver",   "race",     "match",    "club",     "member",
+          "event",    "ticket",   "device",   "app",      "account",
+          "post",     "doctor",   "patient",  "visit",    "store",
+          "item",     "supplier", "project",  "task",     "invoice"};
+}
+
+db::Catalog GenerateCatalog(const DbGenOptions& options) {
+  Rng rng(options.seed);
+  db::Catalog catalog;
+  const std::vector<std::string> entities = EntityNamePool();
+  const std::vector<AttrSpec>& attrs = AttrPool();
+
+  for (int d = 0; d < options.num_databases; ++d) {
+    const int num_tables = rng.UniformRange(options.min_tables,
+                                            options.max_tables);
+    // Pick distinct entity archetypes for this database.
+    std::vector<int> entity_ids;
+    while (static_cast<int>(entity_ids.size()) < num_tables) {
+      const int e = rng.UniformInt(static_cast<int>(entities.size()));
+      bool dup = false;
+      for (int x : entity_ids) dup = dup || x == e;
+      if (!dup) entity_ids.push_back(e);
+    }
+    db::Database database(entities[static_cast<size_t>(entity_ids[0])] + "_" +
+                          std::to_string(d + 1));
+
+    std::vector<int> primary_rows;  // row count of table 0 for FK sampling
+    for (int t = 0; t < num_tables; ++t) {
+      const std::string& entity = entities[static_cast<size_t>(entity_ids[t])];
+      std::vector<db::Column> columns;
+      columns.push_back({entity + "_id", db::ValueType::kInt});
+      const bool has_name = rng.Bernoulli(0.85);
+      if (has_name) columns.push_back({"name", db::ValueType::kText});
+
+      // 2-4 distinct attributes, at least one categorical and one numeric
+      // so every table supports group-by charts.
+      std::vector<int> attr_ids;
+      auto add_attr = [&](bool want_categorical) {
+        for (int tries = 0; tries < 50; ++tries) {
+          const int a = rng.UniformInt(static_cast<int>(attrs.size()));
+          if (attrs[static_cast<size_t>(a)].categorical != want_categorical) {
+            continue;
+          }
+          bool dup = false;
+          for (int x : attr_ids) dup = dup || x == a;
+          if (!dup) {
+            attr_ids.push_back(a);
+            return;
+          }
+        }
+      };
+      add_attr(true);
+      add_attr(false);
+      const int extra = rng.UniformRange(0, 2);
+      for (int i = 0; i < extra; ++i) add_attr(rng.Bernoulli(0.5));
+      for (int a : attr_ids) {
+        columns.push_back({attrs[static_cast<size_t>(a)].name,
+                           attrs[static_cast<size_t>(a)].type});
+      }
+
+      // Foreign key from secondary tables back to table 0.
+      const bool has_fk = t > 0;
+      std::string fk_column;
+      if (has_fk) {
+        fk_column = entities[static_cast<size_t>(entity_ids[0])] + "_id";
+        // Avoid a duplicate column name when archetypes collide.
+        bool exists = false;
+        for (const auto& c : columns) exists = exists || c.name == fk_column;
+        if (!exists) columns.push_back({fk_column, db::ValueType::kInt});
+      }
+
+      db::Table table(entity, columns);
+      const int rows = rng.UniformRange(options.min_rows, options.max_rows);
+      for (int r = 0; r < rows; ++r) {
+        std::vector<db::Value> row;
+        for (const db::Column& c : table.columns()) {
+          if (c.name == entity + "_id") {
+            row.push_back(db::Value::Int(r + 1));
+          } else if (has_fk && c.name == fk_column) {
+            const int parent =
+                primary_rows.empty()
+                    ? 1
+                    : rng.UniformRange(1, static_cast<int>(primary_rows.size()));
+            row.push_back(db::Value::Int(parent));
+          } else if (c.name == "name") {
+            row.push_back(db::Value::Text(rng.Choice(Names())));
+          } else {
+            for (const AttrSpec& spec : attrs) {
+              if (spec.name == c.name) {
+                row.push_back(SampleAttr(spec, &rng));
+                break;
+              }
+            }
+          }
+        }
+        VIST5_CHECK_OK(table.AppendRow(std::move(row)));
+      }
+      if (t == 0) {
+        primary_rows.assign(static_cast<size_t>(rows), 0);
+      }
+      database.AddTable(std::move(table));
+      if (has_fk && database.FindTable(entity)->ColumnIndex(fk_column) >= 0) {
+        db::ForeignKey fk;
+        fk.from_table = entity;
+        fk.from_column = fk_column;
+        fk.to_table = entities[static_cast<size_t>(entity_ids[0])];
+        fk.to_column = fk_column;
+        database.AddForeignKey(fk);
+      }
+    }
+    catalog.AddDatabase(std::move(database));
+  }
+  return catalog;
+}
+
+}  // namespace data
+}  // namespace vist5

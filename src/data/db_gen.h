@@ -1,0 +1,40 @@
+#ifndef VIST5_DATA_DB_GEN_H_
+#define VIST5_DATA_DB_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "db/table.h"
+#include "util/rng.h"
+
+namespace vist5 {
+namespace data {
+
+/// Options for the synthetic cross-domain database generator (the Spider
+/// stand-in backing NVBench and FeVisQA).
+struct DbGenOptions {
+  int num_databases = 60;
+  int min_tables = 1;
+  int max_tables = 3;
+  int min_rows = 6;
+  int max_rows = 16;
+  uint64_t seed = 17;
+};
+
+/// Generates a catalog of synthetic relational databases. Each database
+/// draws its tables from a shared pool of ~40 entity archetypes (artist,
+/// student, film, ...) with attribute columns from a shared lexicon, so
+/// that *databases* differ across domains (cross-domain evaluation splits
+/// by database) while the underlying vocabulary stays learnable — the same
+/// property real NVBench inherits from Spider. Multi-table databases get a
+/// foreign key from the second table to the first (enabling join queries).
+db::Catalog GenerateCatalog(const DbGenOptions& options);
+
+/// The full list of entity archetype names used by the generator (exposed
+/// for tests and documentation).
+std::vector<std::string> EntityNamePool();
+
+}  // namespace data
+}  // namespace vist5
+
+#endif  // VIST5_DATA_DB_GEN_H_

@@ -1,0 +1,275 @@
+#include "data/fevisqa_gen.h"
+
+#include <set>
+
+#include "data/nvbench_gen.h"
+#include "dv/chart.h"
+#include "dv/encoding.h"
+#include "dv/parser.h"
+#include "util/logging.h"
+
+namespace vist5 {
+namespace data {
+namespace {
+
+/// Type-3 question builders over executed chart data. Each returns false
+/// when the chart does not support that question.
+struct QaPair {
+  std::string question;
+  std::string answer;
+};
+
+bool PartsQuestion(const dv::ChartData& chart, Rng* rng, QaPair* out) {
+  out->question = rng->Bernoulli(0.5)
+                      ? "how many parts are there in the chart?"
+                      : "how many data points does the chart contain?";
+  out->answer = std::to_string(chart.num_points());
+  return true;
+}
+
+bool ExtremumQuestion(const dv::ChartData& chart, bool largest, Rng* rng,
+                      QaPair* out) {
+  if (chart.column_names.size() < 2 || chart.num_points() == 0) return false;
+  std::vector<db::Value> y = chart.Column(1);
+  if (!y[0].is_numeric()) return false;
+  db::Value best = y[0];
+  for (const db::Value& v : y) {
+    if (largest ? best.Compare(v) < 0 : v.Compare(best) < 0) best = v;
+  }
+  out->question = std::string("what is the value of the ") +
+                  (largest ? "largest" : "smallest") + " part in the chart?";
+  (void)rng;
+  out->answer = best.ToString();
+  return true;
+}
+
+bool TotalQuestion(const dv::ChartData& chart, Rng* rng, QaPair* out) {
+  if (chart.column_names.size() < 2 || chart.num_points() == 0) return false;
+  std::vector<db::Value> y = chart.Column(1);
+  if (!y[0].is_numeric()) return false;
+  double total = 0;
+  bool integral = true;
+  for (const db::Value& v : y) {
+    total += v.AsReal();
+    integral = integral && v.type() == db::ValueType::kInt;
+  }
+  out->question =
+      "what is the total number of " + chart.column_names[1] + "?";
+  (void)rng;
+  out->answer = integral ? std::to_string(static_cast<int64_t>(total))
+                         : db::Value::Real(total).ToString();
+  return true;
+}
+
+bool EqualYQuestion(const dv::ChartData& chart, Rng* rng, QaPair* out) {
+  if (chart.column_names.size() < 2 || chart.num_points() == 0) return false;
+  std::set<std::string> seen;
+  bool dup = false;
+  for (const db::Value& v : chart.Column(1)) {
+    if (!seen.insert(v.ToString()).second) dup = true;
+  }
+  out->question = "is any equal value of y-axis in the chart?";
+  (void)rng;
+  out->answer = dup ? "yes" : "no";
+  return true;
+}
+
+bool LookupQuestion(const dv::ChartData& chart, Rng* rng, QaPair* out) {
+  if (chart.column_names.size() < 2 || chart.num_points() == 0) return false;
+  const int i = rng->UniformInt(chart.num_points());
+  const db::Value x = chart.result.rows[static_cast<size_t>(i)][0];
+  const db::Value y = chart.result.rows[static_cast<size_t>(i)][1];
+  // Ambiguous when the same x appears twice.
+  int matches = 0;
+  for (const auto& row : chart.result.rows) {
+    if (row[0].Compare(x) == 0) ++matches;
+  }
+  if (matches != 1) return false;
+  out->question = "what is the " + chart.column_names[1] + " of " +
+                  x.ToString() + "?";
+  out->answer = y.ToString();
+  return true;
+}
+
+bool ArgmaxQuestion(const dv::ChartData& chart, Rng* rng, QaPair* out) {
+  if (chart.column_names.size() < 2 || chart.num_points() == 0) return false;
+  std::vector<db::Value> y = chart.Column(1);
+  if (!y[0].is_numeric()) return false;
+  int best = 0;
+  int best_count = 1;
+  for (int i = 1; i < chart.num_points(); ++i) {
+    const int c = y[static_cast<size_t>(i)].Compare(y[static_cast<size_t>(best)]);
+    if (c > 0) {
+      best = i;
+      best_count = 1;
+    } else if (c == 0) {
+      ++best_count;
+    }
+  }
+  if (best_count != 1) return false;  // ambiguous argmax
+  out->question = "which " + chart.column_names[0] + " has the largest " +
+                  chart.column_names[1] + "?";
+  (void)rng;
+  out->answer = chart.result.rows[static_cast<size_t>(best)][0].ToString();
+  return true;
+}
+
+bool ChartTypeQuestion(const dv::ChartData& chart, Rng* rng, QaPair* out) {
+  out->question = rng->Bernoulli(0.5) ? "what type of chart is this?"
+                                      : "which chart type does this dv query use?";
+  out->answer = dv::ChartTypeName(chart.chart);
+  return true;
+}
+
+/// Corrupts the query so it no longer matches the schema (for Type-2
+/// negatives): renames a selected column to one that does not exist.
+bool CorruptQuery(const dv::DvQuery& q, Rng* rng, dv::DvQuery* out) {
+  dv::DvQuery bad = q;
+  static const char* kGhostColumns[] = {"altitude", "torque", "viscosity",
+                                        "latency", "acreage"};
+  const std::string ghost = kGhostColumns[rng->UniformInt(5)];
+  if (rng->Bernoulli(0.5) && !bad.select.empty()) {
+    bad.select[0].col.column = ghost;
+    if (bad.group_by.has_value() && *bad.group_by == q.select[0].col) {
+      bad.group_by->column = ghost;
+    }
+    if (bad.order_by.has_value() && bad.order_by->target == q.select[0]) {
+      bad.order_by->target.col.column = ghost;
+    }
+  } else {
+    bad.from_table = bad.from_table + "_archive";
+    // Requalify references so the query stays internally consistent but the
+    // table is missing from the database.
+    for (auto& expr : bad.select) {
+      if (expr.col.table == q.from_table) expr.col.table = bad.from_table;
+    }
+    if (bad.group_by.has_value() && bad.group_by->table == q.from_table) {
+      bad.group_by->table = bad.from_table;
+    }
+    if (bad.order_by.has_value() &&
+        bad.order_by->target.col.table == q.from_table) {
+      bad.order_by->target.col.table = bad.from_table;
+    }
+    for (auto& pred : bad.where) {
+      if (pred.col.table == q.from_table) pred.col.table = bad.from_table;
+    }
+    if (bad.join.has_value()) {
+      if (bad.join->left.table == q.from_table) {
+        bad.join->left.table = bad.from_table;
+      }
+      if (bad.join->right.table == q.from_table) {
+        bad.join->right.table = bad.from_table;
+      }
+    }
+  }
+  *out = bad;
+  return true;
+}
+
+}  // namespace
+
+std::vector<FeVisQaExample> GenerateFeVisQa(
+    const db::Catalog& catalog, const std::vector<NvBenchExample>& nvbench,
+    const FeVisQaOptions& options) {
+  Rng rng(options.seed);
+  std::vector<FeVisQaExample> corpus;
+
+  for (const NvBenchExample& nv : nvbench) {
+    const db::Database* database = catalog.Find(nv.database);
+    if (database == nullptr) continue;
+    auto parsed = dv::ParseDvQuery(nv.query);
+    if (!parsed.ok()) continue;
+    auto chart = dv::RenderChart(*parsed, *database);
+    if (!chart.ok()) continue;
+    const std::string chart_table =
+        dv::EncodeResultSet(chart->result, chart->column_names, options.max_table_rows);
+
+    auto push = [&](int type, std::string question, std::string answer,
+                    const std::string& query, const std::string& table_enc) {
+      FeVisQaExample ex;
+      ex.database = nv.database;
+      ex.query = query;
+      ex.table_enc = table_enc;
+      ex.type = type;
+      ex.question = std::move(question);
+      ex.answer = std::move(answer);
+      ex.split = nv.split;
+      corpus.push_back(std::move(ex));
+    };
+
+    // Type 1: semantics.
+    if (rng.Bernoulli(options.type1_prob)) {
+      const char* q1 = rng.Bernoulli(0.5)
+                           ? "what is the meaning of this dv query?"
+                           : "what does this dv query mean?";
+      push(1, q1, DescribeQuery(*parsed, &rng), nv.query, chart_table);
+    }
+
+    // Type 2: suitability (positives and corrupted negatives). The table
+    // context is the raw base table, so the model must reason about
+    // schema/query compatibility rather than read off a rendered chart.
+    if (rng.Bernoulli(options.type2_prob)) {
+      const db::Table& base = database->tables()[0];
+      const std::string base_table = dv::EncodeTable(base, /*max_rows=*/3);
+      const char* q2 = "is this dv query suitable for the given dataset?";
+      if (rng.Bernoulli(0.5)) {
+        push(2, q2, "yes", nv.query, base_table);
+      } else {
+        dv::DvQuery bad;
+        if (CorruptQuery(*parsed, &rng, &bad) &&
+            !dv::CheckSuitability(bad, *database).ok()) {
+          push(2, q2, "no", bad.ToString(), base_table);
+        } else {
+          push(2, q2, "yes", nv.query, base_table);
+        }
+      }
+    }
+
+    // Type 3: rule-based data/structure questions.
+    std::set<std::string> asked;
+    int emitted = 0;
+    int tries = 0;
+    while (emitted < options.type3_per_query && tries < 24) {
+      ++tries;
+      QaPair qa;
+      bool ok = false;
+      switch (rng.UniformInt(7)) {
+        case 0:
+          ok = PartsQuestion(*chart, &rng, &qa);
+          break;
+        case 1:
+          ok = ExtremumQuestion(*chart, /*largest=*/true, &rng, &qa);
+          break;
+        case 2:
+          ok = ExtremumQuestion(*chart, /*largest=*/false, &rng, &qa);
+          break;
+        case 3:
+          ok = TotalQuestion(*chart, &rng, &qa);
+          break;
+        case 4:
+          ok = EqualYQuestion(*chart, &rng, &qa);
+          break;
+        case 5:
+          ok = LookupQuestion(*chart, &rng, &qa);
+          break;
+        default:
+          ok = ArgmaxQuestion(*chart, &rng, &qa);
+          break;
+      }
+      if (!ok || !asked.insert(qa.question).second) continue;
+      push(3, qa.question, qa.answer, nv.query, chart_table);
+      ++emitted;
+    }
+    // A final cheap structural question keeps type-3 counts up for charts
+    // where numeric questions do not apply.
+    if (emitted == 0) {
+      QaPair qa;
+      ChartTypeQuestion(*chart, &rng, &qa);
+      push(3, qa.question, qa.answer, nv.query, chart_table);
+    }
+  }
+  return corpus;
+}
+
+}  // namespace data
+}  // namespace vist5

@@ -1,0 +1,44 @@
+#ifndef VIST5_DATA_FEVISQA_GEN_H_
+#define VIST5_DATA_FEVISQA_GEN_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/corpus.h"
+#include "db/table.h"
+
+namespace vist5 {
+namespace data {
+
+struct FeVisQaOptions {
+  uint64_t seed = 29;
+  /// Probability of emitting a Type-1 (semantics) question per DV query.
+  double type1_prob = 0.5;
+  /// Probability of emitting a Type-2 (suitability) question per DV query;
+  /// half of those are corrupted negatives.
+  double type2_prob = 0.5;
+  /// Number of Type-3 (data/structure) questions per DV query.
+  int type3_per_query = 3;
+  /// Rows kept when linearizing chart data as QA context.
+  int max_table_rows = 5;
+};
+
+/// Generates FeVisQA-style QA pairs from NVBench examples (each DV query is
+/// executed against its database to derive rule-based answers — the same
+/// mechanism the original dataset used):
+///   Type 1: "what is the meaning of this DV query?" -> NL description.
+///   Type 2: "is this DV query suitable for the given dataset?" -> yes/no;
+///           negatives are produced by corrupting a column or table so the
+///           query no longer compiles against the schema.
+///   Type 3: rule-based data/structure questions over the rendered chart
+///           (part counts, extrema, totals, duplicate y values, per-x
+///           lookups, chart type).
+std::vector<FeVisQaExample> GenerateFeVisQa(
+    const db::Catalog& catalog, const std::vector<NvBenchExample>& nvbench,
+    const FeVisQaOptions& options);
+
+}  // namespace data
+}  // namespace vist5
+
+#endif  // VIST5_DATA_FEVISQA_GEN_H_

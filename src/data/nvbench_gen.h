@@ -1,0 +1,48 @@
+#ifndef VIST5_DATA_NVBENCH_GEN_H_
+#define VIST5_DATA_NVBENCH_GEN_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/corpus.h"
+#include "db/table.h"
+#include "dv/dv_query.h"
+#include "util/rng.h"
+
+namespace vist5 {
+namespace data {
+
+/// Options for the synthetic NVBench generator.
+struct NvBenchOptions {
+  /// Target number of (NL, DV query) pairs generated per database.
+  int pairs_per_db = 14;
+  uint64_t seed = 23;
+};
+
+/// Generates NVBench-style (NL question, DV query) pairs over `catalog`.
+/// Query shapes cover the NVBench grammar: group-count charts, aggregated
+/// group charts (including two-aggregate scatter plots), raw column pairs,
+/// filtered selections, and the join variants of each where the database
+/// has a foreign key. Every emitted query is validated by actually
+/// executing it against its database (non-empty chart), mirroring how
+/// NVBench was synthesized from executable NL2SQL benchmarks.
+std::vector<NvBenchExample> GenerateNvBench(
+    const db::Catalog& catalog, const std::map<std::string, Split>& splits,
+    const NvBenchOptions& options);
+
+/// Produces a reference NL description of a DV query — the vis-to-text
+/// ground truth and the FeVisQA Type-1 answer. Deterministic given the rng
+/// state; phrasing varies across a small template family.
+std::string DescribeQuery(const dv::DvQuery& query, Rng* rng);
+
+/// Re-renders a standardized query in "annotator style": random keyword
+/// capitalization, COUNT(*) contraction, T1/T2 AS-aliases on joins, double
+/// quotes, tight parentheses, and omitted ASC — the stylistic noise that
+/// standardized encoding (Sec. III-D) removes.
+std::string AnnotatorStyle(const dv::DvQuery& query, Rng* rng);
+
+}  // namespace data
+}  // namespace vist5
+
+#endif  // VIST5_DATA_NVBENCH_GEN_H_

@@ -1,0 +1,175 @@
+#include "data/tabletext_gen.h"
+
+#include <algorithm>
+
+#include "dv/chart.h"
+#include "dv/encoding.h"
+#include "dv/parser.h"
+#include "util/string_util.h"
+
+namespace vist5 {
+namespace data {
+namespace {
+
+/// Chart-summary narrative for a 2-column chart result, Chart2Text style.
+std::string SummarizeChart(const dv::ChartData& chart, Rng* rng) {
+  const std::string& x_name = chart.column_names[0];
+  const std::string y_name =
+      chart.column_names.size() > 1 ? chart.column_names[1] : x_name;
+  std::string out;
+  switch (rng->UniformInt(3)) {
+    case 0:
+      out = "this chart presents " + y_name + " for each " + x_name + " .";
+      break;
+    case 1:
+      out = "the table reports " + y_name + " broken down by " + x_name + " .";
+      break;
+    default:
+      out = "the statistic shows " + y_name + " across " +
+            std::to_string(chart.num_points()) + " values of " + x_name + " .";
+      break;
+  }
+  if (chart.column_names.size() > 1 && chart.num_points() > 0) {
+    std::vector<db::Value> y = chart.Column(1);
+    if (y[0].is_numeric()) {
+      int hi = 0, lo = 0;
+      double total = 0;
+      for (int i = 0; i < chart.num_points(); ++i) {
+        total += y[static_cast<size_t>(i)].AsReal();
+        if (y[static_cast<size_t>(i)].Compare(y[static_cast<size_t>(hi)]) > 0)
+          hi = i;
+        if (y[static_cast<size_t>(i)].Compare(y[static_cast<size_t>(lo)]) < 0)
+          lo = i;
+      }
+      const std::string hi_x =
+          ToLower(chart.result.rows[static_cast<size_t>(hi)][0].ToString());
+      const std::string lo_x =
+          ToLower(chart.result.rows[static_cast<size_t>(lo)][0].ToString());
+      out += " " + hi_x + " has the highest value at " +
+             y[static_cast<size_t>(hi)].ToString() + " , while " + lo_x +
+             " has the lowest at " + y[static_cast<size_t>(lo)].ToString() +
+             " .";
+      if (rng->Bernoulli(0.5)) {
+        out += " the total across all values is " +
+               db::Value::Real(total).ToString() + " .";
+      }
+    }
+  }
+  return out;
+}
+
+/// Single-fact sentence over one database row, WikiTableText style.
+std::string FactSentence(const db::Table& table,
+                         const std::vector<int>& columns, int row, Rng* rng) {
+  const std::string entity = ToLower(table.name());
+  const int name_col = table.ColumnIndex("name");
+  const std::string subject =
+      name_col >= 0 ? ToLower(table.At(row, name_col).ToString())
+                    : "this " + entity;
+  // Choose a non-name attribute to describe.
+  std::vector<int> attrs;
+  for (int c : columns) {
+    if (c != name_col) attrs.push_back(c);
+  }
+  if (attrs.empty()) attrs = columns;
+  const int a = rng->Choice(attrs);
+  const std::string attr =
+      ReplaceAll(ToLower(table.columns()[static_cast<size_t>(a)].name), "_",
+                 " ");
+  const std::string value = ToLower(table.At(row, a).ToString());
+  switch (rng->UniformInt(4)) {
+    case 0:
+      return "the " + attr + " of " + subject + " is " + value + " .";
+    case 1:
+      return subject + " has a " + attr + " of " + value + " .";
+    case 2:
+      return value + " is the " + attr + " of the " + entity + " " + subject +
+             " .";
+    default: {
+      if (attrs.size() >= 2) {
+        int b = rng->Choice(attrs);
+        for (int tries = 0; tries < 6 && b == a; ++tries) b = rng->Choice(attrs);
+        if (b != a) {
+          const std::string attr_b = ReplaceAll(
+              ToLower(table.columns()[static_cast<size_t>(b)].name), "_", " ");
+          const std::string value_b = ToLower(table.At(row, b).ToString());
+          return subject + " has a " + attr + " of " + value + " and a " +
+                 attr_b + " of " + value_b + " .";
+        }
+      }
+      return "the " + attr + " of " + subject + " is " + value + " .";
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<TableTextExample> GenerateTableText(
+    const db::Catalog& catalog, const std::vector<NvBenchExample>& nvbench,
+    const TableTextOptions& options) {
+  Rng rng(options.seed);
+  std::vector<TableTextExample> corpus;
+
+  // --- chart2text: summaries of executed NVBench charts.
+  int produced = 0;
+  for (const NvBenchExample& nv : nvbench) {
+    if (produced >= options.chart2text_count) break;
+    const db::Database* database = catalog.Find(nv.database);
+    if (database == nullptr) continue;
+    auto parsed = dv::ParseDvQuery(nv.query);
+    if (!parsed.ok()) continue;
+    auto chart = dv::RenderChart(*parsed, *database);
+    if (!chart.ok() || chart->num_points() == 0) continue;
+    const int cells =
+        chart->num_points() * static_cast<int>(chart->column_names.size());
+    if (cells > options.max_cells) continue;  // Sec. IV-B filter
+    TableTextExample ex;
+    ex.source = "chart2text";
+    ex.table_enc =
+        dv::EncodeResultSet(chart->result, chart->column_names, /*max_rows=*/0);
+    ex.description = SummarizeChart(*chart, &rng);
+    ex.cells = cells;
+    ex.split = nv.split;
+    corpus.push_back(std::move(ex));
+    ++produced;
+  }
+
+  // --- wikitabletext: single-row fact tables.
+  for (int i = 0; i < options.wikitabletext_count && catalog.size() > 0; ++i) {
+    const db::Database& database =
+        catalog.databases()[static_cast<size_t>(rng.UniformInt(catalog.size()))];
+    if (database.tables().empty()) continue;
+    const db::Table& table = database.tables()[static_cast<size_t>(
+        rng.UniformInt(static_cast<int>(database.tables().size())))];
+    if (table.num_rows() == 0 || table.num_columns() < 2) continue;
+    const int row = rng.UniformInt(table.num_rows());
+    // Keep 3-6 columns of the row.
+    std::vector<int> columns;
+    for (int c = 0; c < table.num_columns(); ++c) columns.push_back(c);
+    rng.Shuffle(&columns);
+    const int keep = std::min<int>(static_cast<int>(columns.size()),
+                                   rng.UniformRange(3, 6));
+    columns.resize(static_cast<size_t>(keep));
+    std::sort(columns.begin(), columns.end());
+
+    std::vector<std::string> names;
+    std::vector<db::Value> values;
+    for (int c : columns) {
+      names.push_back(table.columns()[static_cast<size_t>(c)].name);
+      values.push_back(table.At(row, c));
+    }
+    TableTextExample ex;
+    ex.source = "wikitabletext";
+    ex.table_enc = dv::EncodeTable(names, {values}, /*max_rows=*/0);
+    ex.description = FactSentence(table, columns, row, &rng);
+    ex.cells = keep;
+    // WikiTableText does not come from Spider databases: split randomly.
+    const double r = rng.UniformDouble();
+    ex.split = r < 0.7 ? Split::kTrain : (r < 0.8 ? Split::kValid : Split::kTest);
+    corpus.push_back(std::move(ex));
+  }
+  return corpus;
+}
+
+}  // namespace data
+}  // namespace vist5

@@ -1,0 +1,37 @@
+#ifndef VIST5_DATA_TABLETEXT_GEN_H_
+#define VIST5_DATA_TABLETEXT_GEN_H_
+
+#include <vector>
+
+#include "data/corpus.h"
+#include "db/table.h"
+
+namespace vist5 {
+namespace data {
+
+struct TableTextOptions {
+  uint64_t seed = 31;
+  /// Number of chart-summary (Chart2Text-style) examples to derive from the
+  /// NVBench charts.
+  int chart2text_count = 500;
+  /// Number of single-row fact (WikiTableText-style) examples.
+  int wikitabletext_count = 300;
+  /// Sec. IV-B cell-count filter applied to chart2text tables.
+  int max_cells = 150;
+};
+
+/// Generates both table-to-text corpora:
+///  - "chart2text": statistical-chart data tables (from executed NVBench
+///    DV queries) paired with summary narratives mentioning extrema and
+///    totals — the Statista stand-in;
+///  - "wikitabletext": small attribute tables (single database rows) paired
+///    with single-fact sentences, mirroring the WikiTableText examples
+///    (Table XI's "so ji-sub's journey" case).
+std::vector<TableTextExample> GenerateTableText(
+    const db::Catalog& catalog, const std::vector<NvBenchExample>& nvbench,
+    const TableTextOptions& options);
+
+}  // namespace data
+}  // namespace vist5
+
+#endif  // VIST5_DATA_TABLETEXT_GEN_H_

@@ -1,0 +1,201 @@
+#include "db/csv.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace vist5 {
+namespace db {
+namespace {
+
+/// Splits CSV text into records of fields, honoring quoted fields with
+/// embedded commas, quotes ("" escape), and newlines.
+StatusOr<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> current;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+  size_t i = 0;
+  auto end_field = [&]() {
+    current.push_back(field);
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&]() {
+    end_field();
+    // Skip completely empty trailing records.
+    if (current.size() > 1 || !current[0].empty()) {
+      records.push_back(current);
+    }
+    current.clear();
+  };
+  while (i < text.size()) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      ++i;
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (field.empty() && !field_started) {
+          in_quotes = true;
+          field_started = true;
+        } else {
+          field.push_back(c);
+        }
+        break;
+      case ',':
+        end_field();
+        break;
+      case '\r':
+        break;  // swallow CR of CRLF
+      case '\n':
+        end_record();
+        break;
+      default:
+        field.push_back(c);
+        field_started = true;
+        break;
+    }
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted CSV field");
+  }
+  if (!field.empty() || !current.empty()) end_record();
+  return records;
+}
+
+bool LooksInt(const std::string& s) {
+  if (s.empty()) return false;
+  size_t i = s[0] == '-' ? 1 : 0;
+  if (i >= s.size()) return false;
+  for (; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+  }
+  return true;
+}
+
+bool LooksReal(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+std::string CsvEscape(const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+std::string RowsToCsv(const std::vector<std::string>& header,
+                      const std::vector<std::vector<Value>>& rows) {
+  std::string out;
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (i) out += ",";
+    out += CsvEscape(header[i]);
+  }
+  out += "\n";
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) out += ",";
+      out += row[i].is_null() ? "" : CsvEscape(row[i].ToString());
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<Table> TableFromCsv(const std::string& table_name,
+                             const std::string& csv_text) {
+  VIST5_ASSIGN_OR_RETURN(auto records, ParseCsv(csv_text));
+  if (records.empty()) {
+    return Status::InvalidArgument("CSV has no header record");
+  }
+  const std::vector<std::string>& header = records[0];
+  const size_t arity = header.size();
+  // Infer per-column types from the data records.
+  std::vector<ValueType> types(arity, ValueType::kInt);
+  for (size_t r = 1; r < records.size(); ++r) {
+    if (records[r].size() != arity) {
+      return Status::InvalidArgument(
+          "CSV record " + std::to_string(r) + " has " +
+          std::to_string(records[r].size()) + " fields, expected " +
+          std::to_string(arity));
+    }
+    for (size_t c = 0; c < arity; ++c) {
+      const std::string& cell = records[r][c];
+      if (cell.empty()) continue;  // NULL, no evidence
+      if (types[c] == ValueType::kInt && !LooksInt(cell)) {
+        types[c] = LooksReal(cell) ? ValueType::kReal : ValueType::kText;
+      } else if (types[c] == ValueType::kReal && !LooksReal(cell)) {
+        types[c] = ValueType::kText;
+      }
+    }
+  }
+  std::vector<Column> columns;
+  for (size_t c = 0; c < arity; ++c) {
+    columns.push_back({header[c], types[c]});
+  }
+  Table table(table_name, columns);
+  for (size_t r = 1; r < records.size(); ++r) {
+    std::vector<Value> row;
+    for (size_t c = 0; c < arity; ++c) {
+      const std::string& cell = records[r][c];
+      if (cell.empty()) {
+        row.push_back(Value::Null());
+      } else if (types[c] == ValueType::kInt) {
+        row.push_back(Value::Int(std::strtoll(cell.c_str(), nullptr, 10)));
+      } else if (types[c] == ValueType::kReal) {
+        row.push_back(Value::Real(std::strtod(cell.c_str(), nullptr)));
+      } else {
+        row.push_back(Value::Text(cell));
+      }
+    }
+    VIST5_RETURN_IF_ERROR(table.AppendRow(std::move(row)));
+  }
+  return table;
+}
+
+StatusOr<Table> TableFromCsvFile(const std::string& table_name,
+                                 const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open CSV file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return TableFromCsv(table_name, ss.str());
+}
+
+std::string TableToCsv(const Table& table) {
+  std::vector<std::string> header;
+  for (const Column& c : table.columns()) header.push_back(c.name);
+  return RowsToCsv(header, table.rows());
+}
+
+std::string ResultSetToCsv(const ResultSet& result) {
+  return RowsToCsv(result.column_names, result.rows);
+}
+
+}  // namespace db
+}  // namespace vist5

@@ -1,0 +1,35 @@
+#ifndef VIST5_DB_CSV_H_
+#define VIST5_DB_CSV_H_
+
+#include <string>
+
+#include "db/executor.h"
+#include "db/table.h"
+#include "util/status.h"
+
+namespace vist5 {
+namespace db {
+
+/// CSV bridge for the relational substrate, so users can point the
+/// text-to-vis pipeline at their own data.
+
+/// Parses RFC-4180-style CSV text (quoted fields, embedded commas/quotes,
+/// CRLF) into a Table named `table_name`. The first record is the header.
+/// Column types are inferred per column: all-integer -> kInt, all-numeric
+/// -> kReal, otherwise kText; empty fields become NULL.
+StatusOr<Table> TableFromCsv(const std::string& table_name,
+                             const std::string& csv_text);
+
+/// Loads a CSV file from disk.
+StatusOr<Table> TableFromCsvFile(const std::string& table_name,
+                                 const std::string& path);
+
+/// Serializes a table (or query result) back to CSV with a header row.
+/// Fields containing commas, quotes, or newlines are quoted and escaped.
+std::string TableToCsv(const Table& table);
+std::string ResultSetToCsv(const ResultSet& result);
+
+}  // namespace db
+}  // namespace vist5
+
+#endif  // VIST5_DB_CSV_H_

@@ -1,0 +1,354 @@
+#include "db/executor.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/string_util.h"
+
+namespace vist5 {
+namespace db {
+
+const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kNone:
+      return "";
+    case AggFn::kCount:
+      return "count";
+    case AggFn::kSum:
+      return "sum";
+    case AggFn::kAvg:
+      return "avg";
+    case AggFn::kMin:
+      return "min";
+    case AggFn::kMax:
+      return "max";
+  }
+  return "";
+}
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+    case CmpOp::kLike:
+      return "like";
+  }
+  return "?";
+}
+
+namespace {
+
+bool LikeMatch(const std::string& text, const std::string& pattern) {
+  // Supports the %substring%, prefix%, %suffix, and exact forms that the
+  // synthetic generator produces.
+  std::string p = pattern;
+  bool prefix_any = false, suffix_any = false;
+  if (!p.empty() && p.front() == '%') {
+    prefix_any = true;
+    p.erase(p.begin());
+  }
+  if (!p.empty() && p.back() == '%') {
+    suffix_any = true;
+    p.pop_back();
+  }
+  if (prefix_any && suffix_any) return Contains(text, p);
+  if (prefix_any) return EndsWith(text, p);
+  if (suffix_any) return StartsWith(text, p);
+  return text == p;
+}
+
+bool EvalPredicate(const Predicate& pred, const std::vector<Value>& row) {
+  const Value& v = row[static_cast<size_t>(pred.column)];
+  if (pred.op == CmpOp::kLike) {
+    return LikeMatch(v.ToString(), pred.operand.ToString());
+  }
+  const int c = v.Compare(pred.operand);
+  switch (pred.op) {
+    case CmpOp::kEq:
+      return c == 0;
+    case CmpOp::kNe:
+      return c != 0;
+    case CmpOp::kLt:
+      return c < 0;
+    case CmpOp::kLe:
+      return c <= 0;
+    case CmpOp::kGt:
+      return c > 0;
+    case CmpOp::kGe:
+      return c >= 0;
+    case CmpOp::kLike:
+      return false;
+  }
+  return false;
+}
+
+/// Running aggregate state for one select item over one group.
+struct AggState {
+  int64_t count = 0;
+  double sum = 0;
+  bool any = false;
+  Value min, max;
+
+  void Accumulate(const Value& v) {
+    ++count;
+    if (v.is_null()) return;
+    sum += v.AsReal();
+    if (!any || v.Compare(min) < 0) min = v;
+    if (!any || v.Compare(max) > 0) max = v;
+    any = true;
+  }
+
+  Value Result(AggFn fn, ValueType source_type) const {
+    switch (fn) {
+      case AggFn::kCount:
+        return Value::Int(count);
+      case AggFn::kSum:
+        return source_type == ValueType::kInt
+                   ? Value::Int(static_cast<int64_t>(sum))
+                   : Value::Real(sum);
+      case AggFn::kAvg:
+        return count > 0 ? Value::Real(sum / static_cast<double>(count))
+                         : Value::Null();
+      case AggFn::kMin:
+        return any ? min : Value::Null();
+      case AggFn::kMax:
+        return any ? max : Value::Null();
+      case AggFn::kNone:
+        return Value::Null();
+    }
+    return Value::Null();
+  }
+};
+
+}  // namespace
+
+StatusOr<ResultSet> Execute(const QueryPlan& plan) {
+  if (plan.table == nullptr) {
+    return Status::InvalidArgument("plan has no base table");
+  }
+  // 1. Materialize the (optionally joined) working rows.
+  std::vector<std::vector<Value>> working;
+  std::vector<ValueType> col_types;
+  for (const Column& c : plan.table->columns()) col_types.push_back(c.type);
+  if (plan.join.has_value()) {
+    const JoinClause& j = *plan.join;
+    if (j.table == nullptr) {
+      return Status::InvalidArgument("join clause has no table");
+    }
+    for (const Column& c : j.table->columns()) col_types.push_back(c.type);
+    for (const auto& left : plan.table->rows()) {
+      for (const auto& right : j.table->rows()) {
+        if (left[static_cast<size_t>(j.left_column)].Compare(
+                right[static_cast<size_t>(j.right_column)]) == 0) {
+          std::vector<Value> combined = left;
+          combined.insert(combined.end(), right.begin(), right.end());
+          working.push_back(std::move(combined));
+        }
+      }
+    }
+  } else {
+    working = plan.table->rows();
+  }
+
+  // 1b. Apply binning: replace the binned column's values in place.
+  if (plan.bin.has_value()) {
+    const BinSpec& bin = *plan.bin;
+    if (bin.column < 0 || bin.column >= static_cast<int>(col_types.size())) {
+      return Status::OutOfRange("bin column out of range");
+    }
+    if (bin.unit == BinSpec::Unit::kDecade) {
+      for (auto& row : working) {
+        Value& v = row[static_cast<size_t>(bin.column)];
+        if (v.is_numeric()) {
+          const int64_t decade = (v.AsInt() / 10) * 10;
+          v = Value::Text(std::to_string(decade) + "s");
+        }
+      }
+    } else {
+      // Equal-width buckets over the observed range, labeled "lo-hi".
+      double lo = 0, hi = 0;
+      bool any = false;
+      for (const auto& row : working) {
+        const Value& v = row[static_cast<size_t>(bin.column)];
+        if (!v.is_numeric()) continue;
+        const double x = v.AsReal();
+        if (!any || x < lo) lo = x;
+        if (!any || x > hi) hi = x;
+        any = true;
+      }
+      if (any && hi > lo) {
+        const int n = std::max(1, bin.buckets);
+        const double width = (hi - lo) / n;
+        for (auto& row : working) {
+          Value& v = row[static_cast<size_t>(bin.column)];
+          if (!v.is_numeric()) continue;
+          int b = static_cast<int>((v.AsReal() - lo) / width);
+          b = std::min(b, n - 1);
+          const double b_lo = lo + b * width;
+          const double b_hi = b_lo + width;
+          v = Value::Text(Value::Real(b_lo).ToString() + "-" +
+                          Value::Real(b_hi).ToString());
+        }
+      }
+    }
+    // A binned column is categorical downstream.
+    col_types[static_cast<size_t>(bin.column)] = ValueType::kText;
+  }
+
+  // 2. Filter.
+  for (const Predicate& pred : plan.where) {
+    if (pred.column < 0 || pred.column >= static_cast<int>(col_types.size())) {
+      return Status::OutOfRange("predicate column out of range");
+    }
+    std::vector<std::vector<Value>> kept;
+    for (auto& row : working) {
+      if (EvalPredicate(pred, row)) kept.push_back(std::move(row));
+    }
+    working = std::move(kept);
+  }
+
+  // 3. Validate select items.
+  if (plan.select.empty()) {
+    return Status::InvalidArgument("empty select list");
+  }
+  bool any_agg = false;
+  for (const SelectItem& item : plan.select) {
+    if (item.agg != AggFn::kNone) any_agg = true;
+    const bool count_star = item.agg == AggFn::kCount && item.column < 0;
+    if (!count_star && (item.column < 0 ||
+                        item.column >= static_cast<int>(col_types.size()))) {
+      return Status::OutOfRange("select column out of range");
+    }
+  }
+
+  ResultSet result;
+  for (const SelectItem& item : plan.select) {
+    result.column_names.push_back(
+        std::string(AggFnName(item.agg)) +
+        (item.agg != AggFn::kNone ? "(" : "") +
+        (item.column >= 0 ? "col" + std::to_string(item.column) : "*") +
+        (item.agg != AggFn::kNone ? ")" : ""));
+  }
+
+  // 4. Group / aggregate / project.
+  if (plan.group_by_select_index >= 0) {
+    if (plan.group_by_select_index >=
+        static_cast<int>(plan.select.size())) {
+      return Status::OutOfRange("group_by_select_index out of range");
+    }
+    const SelectItem& key_item =
+        plan.select[static_cast<size_t>(plan.group_by_select_index)];
+    const int key_col = key_item.column;
+    if (key_col < 0 || key_item.agg != AggFn::kNone) {
+      return Status::InvalidArgument(
+          "GROUP BY key must be a plain (un-aggregated) column");
+    }
+    std::map<std::string, std::pair<Value, std::vector<AggState>>> groups;
+    std::vector<std::string> group_order;
+    for (const auto& row : working) {
+      const Value& key = row[static_cast<size_t>(key_col)];
+      const std::string key_str = key.ToString();
+      auto it = groups.find(key_str);
+      if (it == groups.end()) {
+        it = groups
+                 .emplace(key_str,
+                          std::make_pair(key, std::vector<AggState>(
+                                                  plan.select.size())))
+                 .first;
+        group_order.push_back(key_str);
+      }
+      for (size_t s = 0; s < plan.select.size(); ++s) {
+        const SelectItem& item = plan.select[s];
+        if (item.agg == AggFn::kNone) continue;
+        const Value v = item.column >= 0
+                            ? row[static_cast<size_t>(item.column)]
+                            : Value::Int(1);
+        it->second.second[s].Accumulate(v);
+      }
+    }
+    for (const std::string& key_str : group_order) {
+      auto& [key, states] = groups.at(key_str);
+      std::vector<Value> out_row;
+      for (size_t s = 0; s < plan.select.size(); ++s) {
+        const SelectItem& item = plan.select[s];
+        if (item.agg == AggFn::kNone) {
+          out_row.push_back(key);
+        } else {
+          const ValueType t = item.column >= 0
+                                  ? col_types[static_cast<size_t>(item.column)]
+                                  : ValueType::kInt;
+          out_row.push_back(states[s].Result(item.agg, t));
+        }
+      }
+      result.rows.push_back(std::move(out_row));
+    }
+  } else if (any_agg) {
+    std::vector<AggState> states(plan.select.size());
+    for (const auto& row : working) {
+      for (size_t s = 0; s < plan.select.size(); ++s) {
+        const SelectItem& item = plan.select[s];
+        if (item.agg == AggFn::kNone) continue;
+        const Value v = item.column >= 0
+                            ? row[static_cast<size_t>(item.column)]
+                            : Value::Int(1);
+        states[s].Accumulate(v);
+      }
+    }
+    std::vector<Value> out_row;
+    for (size_t s = 0; s < plan.select.size(); ++s) {
+      const SelectItem& item = plan.select[s];
+      if (item.agg == AggFn::kNone) {
+        // Non-aggregate next to a global aggregate: take the first row's
+        // value (SQLite-style permissiveness; the generator avoids this).
+        out_row.push_back(working.empty()
+                              ? Value::Null()
+                              : working[0][static_cast<size_t>(item.column)]);
+      } else {
+        const ValueType t = item.column >= 0
+                                ? col_types[static_cast<size_t>(item.column)]
+                                : ValueType::kInt;
+        out_row.push_back(states[s].Result(item.agg, t));
+      }
+    }
+    result.rows.push_back(std::move(out_row));
+  } else {
+    for (const auto& row : working) {
+      std::vector<Value> out_row;
+      for (const SelectItem& item : plan.select) {
+        out_row.push_back(row[static_cast<size_t>(item.column)]);
+      }
+      result.rows.push_back(std::move(out_row));
+    }
+  }
+
+  // 5. Order.
+  if (plan.order_by.has_value()) {
+    const OrderClause& ord = *plan.order_by;
+    if (ord.select_index < 0 ||
+        ord.select_index >= static_cast<int>(plan.select.size())) {
+      return Status::OutOfRange("order by index out of range");
+    }
+    std::stable_sort(result.rows.begin(), result.rows.end(),
+                     [&ord](const std::vector<Value>& a,
+                            const std::vector<Value>& b) {
+                       const int c =
+                           a[static_cast<size_t>(ord.select_index)].Compare(
+                               b[static_cast<size_t>(ord.select_index)]);
+                       return ord.ascending ? c < 0 : c > 0;
+                     });
+  }
+  return result;
+}
+
+}  // namespace db
+}  // namespace vist5

@@ -1,0 +1,92 @@
+#ifndef VIST5_DB_EXECUTOR_H_
+#define VIST5_DB_EXECUTOR_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/table.h"
+#include "util/status.h"
+
+namespace vist5 {
+namespace db {
+
+/// Aggregate functions supported by DV queries.
+enum class AggFn { kNone, kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggFnName(AggFn fn);
+
+/// Comparison operators for WHERE predicates.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe, kLike };
+
+const char* CmpOpName(CmpOp op);
+
+/// One output column of a plan: a source column index (into the combined
+/// join row) with an optional aggregate.
+struct SelectItem {
+  int column = -1;  ///< -1 with kCount means COUNT(*).
+  AggFn agg = AggFn::kNone;
+};
+
+/// Single predicate `column <op> operand`. LIKE interprets the operand as a
+/// substring match with optional leading/trailing '%'.
+struct Predicate {
+  int column = -1;
+  CmpOp op = CmpOp::kEq;
+  Value operand;
+};
+
+/// Inner equi-join of the plan's base table with `table` on
+/// base[left_column] == table[right_column].
+struct JoinClause {
+  const Table* table = nullptr;
+  int left_column = -1;
+  int right_column = -1;
+};
+
+/// Bucketing transform applied to one combined-row column before
+/// filtering/grouping (the `bin ... by ...` DV clause).
+struct BinSpec {
+  int column = -1;
+  enum class Unit { kDecade, kBucket };
+  Unit unit = Unit::kBucket;
+  /// Number of equal-width buckets for kBucket.
+  int buckets = 4;
+};
+
+/// ORDER BY on an output column index, ascending or descending.
+struct OrderClause {
+  int select_index = 0;
+  bool ascending = true;
+};
+
+/// A compiled DV-query plan over resolved tables/column indexes. The dv
+/// module compiles name-based DV query ASTs down to this.
+struct QueryPlan {
+  const Table* table = nullptr;
+  std::optional<JoinClause> join;
+  std::optional<BinSpec> bin;
+  std::vector<Predicate> where;
+  std::vector<SelectItem> select;
+  /// Index into `select` whose source column is the GROUP BY key; -1 if the
+  /// query has no grouping.
+  int group_by_select_index = -1;
+  std::optional<OrderClause> order_by;
+};
+
+/// Materialized query output.
+struct ResultSet {
+  std::vector<std::string> column_names;
+  std::vector<std::vector<Value>> rows;
+};
+
+/// Executes `plan`. Grouping semantics: when group_by_select_index >= 0,
+/// rows are grouped by that select item's source column and every aggregate
+/// select item is evaluated per group; non-aggregate items take the group
+/// key value. Without grouping but with aggregates, a single row results.
+StatusOr<ResultSet> Execute(const QueryPlan& plan);
+
+}  // namespace db
+}  // namespace vist5
+
+#endif  // VIST5_DB_EXECUTOR_H_

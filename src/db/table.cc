@@ -1,0 +1,60 @@
+#include "db/table.h"
+
+#include "util/logging.h"
+
+namespace vist5 {
+namespace db {
+
+int Table::ColumnIndex(const std::string& column_name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == column_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Table::AppendRow(std::vector<Value> row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument("row arity " + std::to_string(row.size()) +
+                                   " != schema arity " +
+                                   std::to_string(columns_.size()) +
+                                   " for table " + name_);
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+const Value& Table::At(int row, int col) const {
+  VIST5_CHECK_GE(row, 0);
+  VIST5_CHECK_LT(row, num_rows());
+  VIST5_CHECK_GE(col, 0);
+  VIST5_CHECK_LT(col, num_columns());
+  return rows_[static_cast<size_t>(row)][static_cast<size_t>(col)];
+}
+
+const Table* Database::FindTable(const std::string& table_name) const {
+  for (const Table& t : tables_) {
+    if (t.name() == table_name) return &t;
+  }
+  return nullptr;
+}
+
+const ForeignKey* Database::FindLink(const std::string& a,
+                                     const std::string& b) const {
+  for (const ForeignKey& fk : foreign_keys_) {
+    if ((fk.from_table == a && fk.to_table == b) ||
+        (fk.from_table == b && fk.to_table == a)) {
+      return &fk;
+    }
+  }
+  return nullptr;
+}
+
+const Database* Catalog::Find(const std::string& name) const {
+  for (const Database& d : databases_) {
+    if (d.name() == name) return &d;
+  }
+  return nullptr;
+}
+
+}  // namespace db
+}  // namespace vist5

@@ -1,0 +1,97 @@
+#ifndef VIST5_DB_TABLE_H_
+#define VIST5_DB_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "db/value.h"
+#include "util/status.h"
+
+namespace vist5 {
+namespace db {
+
+/// A column definition: name plus declared type.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kText;
+};
+
+/// An in-memory relation: schema plus row storage.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, std::vector<Column> columns)
+      : name_(std::move(name)), columns_(std::move(columns)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Column>& columns() const { return columns_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+  const std::vector<std::vector<Value>>& rows() const { return rows_; }
+
+  /// Index of `column_name`, or -1 if absent.
+  int ColumnIndex(const std::string& column_name) const;
+
+  /// Appends a row; its arity must match the schema.
+  Status AppendRow(std::vector<Value> row);
+
+  const Value& At(int row, int col) const;
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+  std::vector<std::vector<Value>> rows_;
+};
+
+/// A named collection of tables plus foreign-key links (used by the join
+/// generator and query compiler to find join paths).
+struct ForeignKey {
+  std::string from_table;
+  std::string from_column;
+  std::string to_table;
+  std::string to_column;
+};
+
+class Database {
+ public:
+  Database() = default;
+  explicit Database(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Table>& tables() const { return tables_; }
+  std::vector<Table>& mutable_tables() { return tables_; }
+  const std::vector<ForeignKey>& foreign_keys() const { return foreign_keys_; }
+
+  void AddTable(Table table) { tables_.push_back(std::move(table)); }
+  void AddForeignKey(ForeignKey fk) { foreign_keys_.push_back(std::move(fk)); }
+
+  /// Pointer to the named table, or nullptr.
+  const Table* FindTable(const std::string& table_name) const;
+
+  /// The foreign key linking `a` and `b` in either direction, or nullptr.
+  const ForeignKey* FindLink(const std::string& a, const std::string& b) const;
+
+ private:
+  std::string name_;
+  std::vector<Table> tables_;
+  std::vector<ForeignKey> foreign_keys_;
+};
+
+/// A corpus of databases keyed by name (the 152-database Spider stand-in).
+class Catalog {
+ public:
+  void AddDatabase(Database database) {
+    databases_.push_back(std::move(database));
+  }
+  const std::vector<Database>& databases() const { return databases_; }
+  const Database* Find(const std::string& name) const;
+  int size() const { return static_cast<int>(databases_.size()); }
+
+ private:
+  std::vector<Database> databases_;
+};
+
+}  // namespace db
+}  // namespace vist5
+
+#endif  // VIST5_DB_TABLE_H_

@@ -1,0 +1,85 @@
+#include "db/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace vist5 {
+namespace db {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kReal:
+      return "real";
+    case ValueType::kText:
+      return "text";
+  }
+  return "?";
+}
+
+int64_t Value::AsInt() const {
+  if (type_ == ValueType::kInt) return int_;
+  if (type_ == ValueType::kReal) return static_cast<int64_t>(real_);
+  return 0;
+}
+
+double Value::AsReal() const {
+  if (type_ == ValueType::kReal) return real_;
+  if (type_ == ValueType::kInt) return static_cast<double>(int_);
+  return 0.0;
+}
+
+const std::string& Value::AsText() const {
+  static const std::string kEmpty;
+  return type_ == ValueType::kText ? text_ : kEmpty;
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt:
+      return std::to_string(int_);
+    case ValueType::kReal: {
+      // Render whole reals without a decimal point (matches how chart axis
+      // values are usually reported), others with two decimals.
+      if (real_ == std::floor(real_) && std::fabs(real_) < 1e15) {
+        return std::to_string(static_cast<int64_t>(real_));
+      }
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.2f", real_);
+      return buf;
+    }
+    case ValueType::kText:
+      return text_;
+  }
+  return "";
+}
+
+int Value::Compare(const Value& other) const {
+  if (is_null() || other.is_null()) {
+    if (is_null() && other.is_null()) return 0;
+    return is_null() ? -1 : 1;
+  }
+  if (is_numeric() && other.is_numeric()) {
+    const double a = AsReal();
+    const double b = other.AsReal();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (type_ == ValueType::kText && other.type_ == ValueType::kText) {
+    const int c = text_.compare(other.text_);
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  // Mixed text/numeric: order numerics first, deterministically.
+  return is_numeric() ? -1 : 1;
+}
+
+}  // namespace db
+}  // namespace vist5

@@ -1,0 +1,71 @@
+#ifndef VIST5_DB_VALUE_H_
+#define VIST5_DB_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace vist5 {
+namespace db {
+
+/// Column data types supported by the relational substrate.
+enum class ValueType { kNull, kInt, kReal, kText };
+
+const char* ValueTypeName(ValueType t);
+
+/// A single table cell. Small tagged union with total ordering: numerics
+/// compare numerically (ints and reals inter-compare), text compares
+/// lexicographically, NULL sorts first.
+class Value {
+ public:
+  Value() : type_(ValueType::kNull) {}
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) {
+    Value x;
+    x.type_ = ValueType::kInt;
+    x.int_ = v;
+    return x;
+  }
+  static Value Real(double v) {
+    Value x;
+    x.type_ = ValueType::kReal;
+    x.real_ = v;
+    return x;
+  }
+  static Value Text(std::string v) {
+    Value x;
+    x.type_ = ValueType::kText;
+    x.text_ = std::move(v);
+    return x;
+  }
+
+  ValueType type() const { return type_; }
+  bool is_null() const { return type_ == ValueType::kNull; }
+  bool is_numeric() const {
+    return type_ == ValueType::kInt || type_ == ValueType::kReal;
+  }
+
+  int64_t AsInt() const;
+  double AsReal() const;
+  const std::string& AsText() const;
+
+  /// Rendering used in linearized tables and FeVisQA answers: integers
+  /// without decimals, reals with up to two decimals, text verbatim.
+  std::string ToString() const;
+
+  /// Three-way comparison: -1, 0, 1.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+ private:
+  ValueType type_;
+  int64_t int_ = 0;
+  double real_ = 0;
+  std::string text_;
+};
+
+}  // namespace db
+}  // namespace vist5
+
+#endif  // VIST5_DB_VALUE_H_

@@ -1,0 +1,187 @@
+#include "dv/chart.h"
+
+namespace vist5 {
+namespace dv {
+
+std::string DisplayName(const SelectExpr& expr) {
+  if (expr.agg == db::AggFn::kNone) return expr.col.ToString();
+  return std::string(db::AggFnName(expr.agg)) + "(" +
+         (expr.star ? "*" : expr.col.ToString()) + ")";
+}
+
+std::vector<db::Value> ChartData::Column(int c) const {
+  std::vector<db::Value> out;
+  out.reserve(result.rows.size());
+  for (const auto& row : result.rows) {
+    out.push_back(row[static_cast<size_t>(c)]);
+  }
+  return out;
+}
+
+namespace {
+
+/// Index of `ref` in the combined (base ⋈ join) row, or an error.
+StatusOr<int> CombinedIndex(const ColumnRef& ref, const db::Table& base,
+                            const db::Table* joined) {
+  if (ref.table.empty() || ref.table == base.name()) {
+    const int idx = base.ColumnIndex(ref.column);
+    if (idx >= 0) return idx;
+    if (!ref.table.empty()) {
+      return Status::NotFound("column '" + ref.ToString() +
+                              "' not in table '" + base.name() + "'");
+    }
+  }
+  if (joined != nullptr && (ref.table.empty() || ref.table == joined->name())) {
+    const int idx = joined->ColumnIndex(ref.column);
+    if (idx >= 0) return base.num_columns() + idx;
+  }
+  return Status::NotFound("column '" + ref.ToString() +
+                          "' not found in query tables");
+}
+
+db::Value LiteralToValue(const DvPredicate& pred) {
+  if (!pred.is_number) return db::Value::Text(pred.literal);
+  if (pred.number == static_cast<int64_t>(pred.number)) {
+    return db::Value::Int(static_cast<int64_t>(pred.number));
+  }
+  return db::Value::Real(pred.number);
+}
+
+}  // namespace
+
+StatusOr<db::QueryPlan> CompileDvQuery(const DvQuery& q,
+                                       const db::Database& database) {
+  db::QueryPlan plan;
+  const db::Table* base = database.FindTable(q.from_table);
+  if (base == nullptr) {
+    return Status::NotFound("table '" + q.from_table + "' not in database '" +
+                            database.name() + "'");
+  }
+  plan.table = base;
+
+  const db::Table* joined = nullptr;
+  if (q.join.has_value()) {
+    joined = database.FindTable(q.join->table);
+    if (joined == nullptr) {
+      return Status::NotFound("join table '" + q.join->table +
+                              "' not in database '" + database.name() + "'");
+    }
+    // The ON clause may list the two sides in either order.
+    const ColumnRef* base_side = &q.join->left;
+    const ColumnRef* join_side = &q.join->right;
+    if (base_side->table == joined->name()) std::swap(base_side, join_side);
+    const int left = base->ColumnIndex(base_side->column);
+    const int right = joined->ColumnIndex(join_side->column);
+    if (left < 0 || right < 0) {
+      return Status::NotFound("join key not found: " + q.join->left.ToString() +
+                              " = " + q.join->right.ToString());
+    }
+    db::JoinClause jc;
+    jc.table = joined;
+    jc.left_column = left;
+    jc.right_column = right;
+    plan.join = jc;
+  }
+
+  for (const SelectExpr& expr : q.select) {
+    db::SelectItem item;
+    item.agg = expr.agg;
+    if (expr.star) {
+      item.column = -1;
+    } else {
+      VIST5_ASSIGN_OR_RETURN(item.column,
+                             CombinedIndex(expr.col, *base, joined));
+    }
+    plan.select.push_back(item);
+  }
+
+  for (const DvPredicate& pred : q.where) {
+    db::Predicate p;
+    VIST5_ASSIGN_OR_RETURN(p.column, CombinedIndex(pred.col, *base, joined));
+    p.op = pred.op;
+    p.operand = LiteralToValue(pred);
+    plan.where.push_back(p);
+  }
+
+  if (q.bin.has_value()) {
+    db::BinSpec bin;
+    VIST5_ASSIGN_OR_RETURN(bin.column,
+                           CombinedIndex(q.bin->col, *base, joined));
+    bin.unit = q.bin->unit == BinClause::Unit::kDecade
+                   ? db::BinSpec::Unit::kDecade
+                   : db::BinSpec::Unit::kBucket;
+    plan.bin = bin;
+  }
+
+  if (q.group_by.has_value()) {
+    VIST5_ASSIGN_OR_RETURN(const int key_col,
+                           CombinedIndex(*q.group_by, *base, joined));
+    int select_index = -1;
+    for (size_t i = 0; i < plan.select.size(); ++i) {
+      if (plan.select[i].agg == db::AggFn::kNone &&
+          plan.select[i].column == key_col) {
+        select_index = static_cast<int>(i);
+        break;
+      }
+    }
+    if (select_index < 0) {
+      return Status::InvalidArgument(
+          "GROUP BY column '" + q.group_by->ToString() +
+          "' does not appear un-aggregated in the select list");
+    }
+    plan.group_by_select_index = select_index;
+  }
+
+  if (q.order_by.has_value()) {
+    const SelectExpr& target = q.order_by->target;
+    int target_col = -1;
+    if (!target.star && !target.col.column.empty()) {
+      VIST5_ASSIGN_OR_RETURN(target_col,
+                             CombinedIndex(target.col, *base, joined));
+    }
+    int select_index = -1;
+    for (size_t i = 0; i < q.select.size(); ++i) {
+      if (q.select[i].agg == target.agg &&
+          (target.star ? q.select[i].star
+                       : plan.select[i].column == target_col)) {
+        select_index = static_cast<int>(i);
+        break;
+      }
+    }
+    if (select_index < 0) {
+      return Status::InvalidArgument("ORDER BY target '" + target.ToString() +
+                                     "' not in the select list");
+    }
+    db::OrderClause oc;
+    oc.select_index = select_index;
+    oc.ascending = q.order_by->ascending;
+    plan.order_by = oc;
+  }
+  return plan;
+}
+
+StatusOr<ChartData> RenderChart(const DvQuery& q,
+                                const db::Database& database) {
+  VIST5_ASSIGN_OR_RETURN(db::QueryPlan plan, CompileDvQuery(q, database));
+  VIST5_ASSIGN_OR_RETURN(db::ResultSet result, db::Execute(plan));
+  ChartData chart;
+  chart.chart = q.chart;
+  for (const SelectExpr& expr : q.select) {
+    chart.column_names.push_back(DisplayName(expr));
+  }
+  chart.result = std::move(result);
+  return chart;
+}
+
+Status CheckSuitability(const DvQuery& q, const db::Database& database) {
+  auto chart = RenderChart(q, database);
+  if (!chart.ok()) return chart.status();
+  if (chart->num_points() == 0) {
+    return Status::FailedPrecondition(
+        "query executes but selects no data points");
+  }
+  return Status::OK();
+}
+
+}  // namespace dv
+}  // namespace vist5

@@ -1,0 +1,52 @@
+#ifndef VIST5_DV_CHART_H_
+#define VIST5_DV_CHART_H_
+
+#include <string>
+#include <vector>
+
+#include "db/executor.h"
+#include "db/table.h"
+#include "dv/dv_query.h"
+
+namespace vist5 {
+namespace dv {
+
+/// Compact display name for a select expression, as it appears in chart
+/// axes and linearized result tables: "count(artist.country)".
+std::string DisplayName(const SelectExpr& expr);
+
+/// The materialized data behind a rendered DV chart.
+struct ChartData {
+  ChartType chart = ChartType::kBar;
+  /// One display name per select expression (x first, then y, ...).
+  std::vector<std::string> column_names;
+  db::ResultSet result;
+
+  int num_points() const { return static_cast<int>(result.rows.size()); }
+  /// Column `c` of the result as values.
+  std::vector<db::Value> Column(int c) const;
+};
+
+/// Compiles `standardized` into a relational plan over `database`. Fails
+/// with NotFound/InvalidArgument when the query references missing tables
+/// or columns, mismatched join keys, or a GROUP BY key absent from the
+/// select list — exactly the incompatibilities FeVisQA Type-2 questions ask
+/// about.
+StatusOr<db::QueryPlan> CompileDvQuery(const DvQuery& standardized,
+                                       const db::Database& database);
+
+/// Compile + execute: the text-to-vis back end that turns a DV query into
+/// chart data.
+StatusOr<ChartData> RenderChart(const DvQuery& standardized,
+                                const db::Database& database);
+
+/// OK when the query can be compiled and executed against the database and
+/// yields at least one data point; otherwise an explanatory error. Used for
+/// FeVisQA Type-2 ("is this DV suitable for the given dataset?").
+Status CheckSuitability(const DvQuery& standardized,
+                        const db::Database& database);
+
+}  // namespace dv
+}  // namespace vist5
+
+#endif  // VIST5_DV_CHART_H_

@@ -1,0 +1,113 @@
+#ifndef VIST5_DV_DV_QUERY_H_
+#define VIST5_DV_DV_QUERY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/executor.h"
+#include "util/status.h"
+
+namespace vist5 {
+namespace dv {
+
+/// Chart types produced by NVBench-style DV queries.
+enum class ChartType { kBar, kPie, kLine, kScatter };
+
+const char* ChartTypeName(ChartType t);
+StatusOr<ChartType> ChartTypeFromName(const std::string& name);
+
+/// A possibly table-qualified column reference. `table` is empty for bare
+/// columns and may hold an alias (T1/T2) before standardization.
+struct ColumnRef {
+  std::string table;
+  std::string column;
+
+  std::string ToString() const {
+    return table.empty() ? column : table + "." + column;
+  }
+  bool operator==(const ColumnRef& o) const {
+    return table == o.table && column == o.column;
+  }
+};
+
+/// One SELECT item: an optional aggregate over a column or COUNT(*).
+struct SelectExpr {
+  db::AggFn agg = db::AggFn::kNone;
+  ColumnRef col;
+  bool star = false;  ///< COUNT(*)
+
+  std::string ToString() const;
+  bool operator==(const SelectExpr& o) const {
+    return agg == o.agg && col == o.col && star == o.star;
+  }
+};
+
+/// WHERE predicate with a literal operand. Literals keep their textual form
+/// plus a parsed numeric value when applicable.
+struct DvPredicate {
+  ColumnRef col;
+  db::CmpOp op = db::CmpOp::kEq;
+  std::string literal;   ///< unquoted text for strings, digits for numbers
+  bool is_number = false;
+  double number = 0;
+
+  std::string ToString() const;
+};
+
+/// ORDER BY clause: references one of the select expressions.
+struct OrderBy {
+  SelectExpr target;
+  bool ascending = true;
+  /// Whether the direction keyword was present in the source text (rule 3
+  /// of standardized encoding appends "asc" when absent).
+  bool direction_explicit = true;
+};
+
+/// Binning clause (`bin <col> by <unit>`), the Vega-Zero data
+/// transformation for bucketing a continuous axis before grouping.
+struct BinClause {
+  enum class Unit {
+    kDecade,  ///< floor numeric values to multiples of 10 ("2010s")
+    kBucket,  ///< four equal-width buckets labeled "lo-hi"
+  };
+  ColumnRef col;
+  Unit unit = Unit::kBucket;
+
+  std::string ToString() const;
+};
+
+/// Inner-join clause: `join <table> on <left> = <right>`.
+struct JoinSpec {
+  std::string table;
+  std::string alias;  ///< e.g. "t2" when the source used AS
+  ColumnRef left;
+  ColumnRef right;
+};
+
+/// Parsed NVBench-style DV query:
+///   visualize <type> select <expr> , <expr> from <table> [as t1]
+///     [join <table> as t2 on l = r] [where <pred> (and <pred>)*]
+///     [group by <col>] [order by <expr> (asc|desc)?]
+struct DvQuery {
+  ChartType chart = ChartType::kBar;
+  std::vector<SelectExpr> select;
+  std::string from_table;
+  std::string from_alias;  ///< e.g. "t1"
+  std::optional<JoinSpec> join;
+  std::vector<DvPredicate> where;
+  std::optional<BinClause> bin;
+  std::optional<ColumnRef> group_by;
+  std::optional<OrderBy> order_by;
+
+  bool has_join() const { return join.has_value(); }
+
+  /// Serializes in the canonical standardized surface form (single-spaced,
+  /// lowercase keywords, spaces around parentheses, single quotes).
+  std::string ToString() const;
+};
+
+}  // namespace dv
+}  // namespace vist5
+
+#endif  // VIST5_DV_DV_QUERY_H_

@@ -1,0 +1,31 @@
+#ifndef VIST5_DV_DVL_EMITTERS_H_
+#define VIST5_DV_DVL_EMITTERS_H_
+
+#include <string>
+
+#include "dv/chart.h"
+#include "util/json.h"
+
+namespace vist5 {
+namespace dv {
+
+/// The paper's central framing is that a DV query is DVL-agnostic: "this
+/// versatile DV query format can be converted into visualization
+/// specifications for different DVLs" (Sec. II). Besides the Vega-Lite
+/// emitter (dv/vega.h), this header provides two more of the DVLs the
+/// paper names: ggplot2 and ECharts.
+
+/// Renders `chart` as a ggplot2 R script: a data.frame() literal followed
+/// by a ggplot() call with the mark and aesthetic mapping implied by the
+/// chart type (geom_col, coord_polar pie, geom_line, geom_point).
+std::string ToGgplot(const ChartData& chart);
+
+/// Renders `chart` as an ECharts option object (JSON): xAxis/yAxis (or
+/// pie series data), series type, and inline data.
+JsonValue ToEChartsOption(const ChartData& chart);
+std::string ToEChartsJson(const ChartData& chart);
+
+}  // namespace dv
+}  // namespace vist5
+
+#endif  // VIST5_DV_DVL_EMITTERS_H_

@@ -1,0 +1,54 @@
+#ifndef VIST5_DV_ENCODING_H_
+#define VIST5_DV_ENCODING_H_
+
+#include <string>
+#include <vector>
+
+#include "db/executor.h"
+#include "db/table.h"
+
+namespace vist5 {
+namespace dv {
+
+/// A filtered view of a database schema: the subset of tables (with their
+/// columns) implicated by an NL question.
+struct SchemaSubset {
+  std::string database;
+  struct TableColumns {
+    std::string table;
+    std::vector<std::string> columns;
+  };
+  std::vector<TableColumns> tables;
+};
+
+/// Sec. III-B database schema filtration: compares word n-grams (orders 1-3)
+/// of `question` against table names; a table matches if its name appears as
+/// an n-gram (singular/plural tolerant) or if any of its column names does.
+/// If nothing matches, the whole schema is kept (information-loss guard).
+SchemaSubset FilterSchema(const std::string& question,
+                          const db::Database& database);
+
+/// A subset containing every table of `database`.
+SchemaSubset FullSchema(const db::Database& database);
+
+/// Sec. III-C + III-D schema encoding with table-qualified columns:
+///   "db | table : table.col1 , table.col2 | table2 : ..."
+std::string EncodeSchema(const SchemaSubset& subset);
+
+/// Sec. III-C table encoding:
+///   "col : c1 | c2 row 1 : v11 | v12 row 2 : v21 | v22"
+/// `max_rows` truncates long tables (<=0 keeps everything).
+std::string EncodeTable(const std::vector<std::string>& column_names,
+                        const std::vector<std::vector<db::Value>>& rows,
+                        int max_rows = 0);
+
+/// Convenience overloads.
+std::string EncodeTable(const db::Table& table, int max_rows = 0);
+std::string EncodeResultSet(const db::ResultSet& result,
+                            const std::vector<std::string>& column_names,
+                            int max_rows = 0);
+
+}  // namespace dv
+}  // namespace vist5
+
+#endif  // VIST5_DV_ENCODING_H_

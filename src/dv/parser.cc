@@ -1,0 +1,348 @@
+#include "dv/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace vist5 {
+namespace dv {
+namespace {
+
+struct Token {
+  enum class Kind { kWord, kQuoted, kNumber, kSymbol, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;
+};
+
+/// Lexer for DV query surface syntax. Lowercases words (keywords and
+/// identifiers are case-insensitive per standardization rule 5) but keeps
+/// quoted literal contents verbatim.
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) { Advance(); }
+
+  const Token& Peek() const { return current_; }
+
+  Token Next() {
+    Token t = current_;
+    Advance();
+    return t;
+  }
+
+ private:
+  void Advance() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+    if (pos_ >= text_.size()) {
+      current_ = {Token::Kind::kEnd, ""};
+      return;
+    }
+    const char c = text_[pos_];
+    if (c == '\'' || c == '"') {
+      const char quote = c;
+      ++pos_;
+      std::string content;
+      while (pos_ < text_.size() && text_[pos_] != quote) {
+        content.push_back(text_[pos_++]);
+      }
+      if (pos_ < text_.size()) ++pos_;  // closing quote
+      current_ = {Token::Kind::kQuoted, content};
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < text_.size() &&
+         std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
+      std::string num(1, c);
+      ++pos_;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '.')) {
+        num.push_back(text_[pos_++]);
+      }
+      current_ = {Token::Kind::kNumber, num};
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_' || text_[pos_] == '.')) {
+        word.push_back(
+            static_cast<char>(std::tolower(
+                static_cast<unsigned char>(text_[pos_]))));
+        ++pos_;
+      }
+      current_ = {Token::Kind::kWord, word};
+      return;
+    }
+    // Multi-char operators. Whitespace between the two characters is
+    // tolerated ("< = 5") because the subword tokenizer detaches them; the
+    // grammar has no construct where '<' is legally followed by '='.
+    if (c == '<' || c == '>' || c == '!') {
+      size_t peek = pos_ + 1;
+      while (peek < text_.size() &&
+             std::isspace(static_cast<unsigned char>(text_[peek]))) {
+        ++peek;
+      }
+      if (peek < text_.size() && text_[peek] == '=') {
+        current_ = {Token::Kind::kSymbol, std::string{c, '='}};
+        pos_ = peek + 1;
+        return;
+      }
+    }
+    current_ = {Token::Kind::kSymbol, std::string(1, c)};
+    ++pos_;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  Token current_;
+};
+
+ColumnRef MakeColumnRef(const std::string& dotted) {
+  ColumnRef ref;
+  const size_t dot = dotted.find('.');
+  if (dot == std::string::npos) {
+    ref.column = dotted;
+  } else {
+    ref.table = dotted.substr(0, dot);
+    ref.column = dotted.substr(dot + 1);
+  }
+  return ref;
+}
+
+StatusOr<db::AggFn> AggFromWord(const std::string& w) {
+  if (w == "count") return db::AggFn::kCount;
+  if (w == "sum") return db::AggFn::kSum;
+  if (w == "avg") return db::AggFn::kAvg;
+  if (w == "min") return db::AggFn::kMin;
+  if (w == "max") return db::AggFn::kMax;
+  return Status::InvalidArgument("not an aggregate: " + w);
+}
+
+bool IsAggWord(const std::string& w) {
+  return w == "count" || w == "sum" || w == "avg" || w == "min" || w == "max";
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : lexer_(text) {}
+
+  StatusOr<DvQuery> Parse() {
+    DvQuery q;
+    VIST5_RETURN_IF_ERROR(ExpectWord("visualize"));
+    if (lexer_.Peek().kind != Token::Kind::kWord) {
+      return Status::InvalidArgument("expected chart type");
+    }
+    VIST5_ASSIGN_OR_RETURN(q.chart, ChartTypeFromName(lexer_.Next().text));
+    VIST5_RETURN_IF_ERROR(ExpectWord("select"));
+    while (true) {
+      VIST5_ASSIGN_OR_RETURN(SelectExpr expr, ParseSelectExpr());
+      q.select.push_back(expr);
+      if (lexer_.Peek().kind == Token::Kind::kSymbol &&
+          lexer_.Peek().text == ",") {
+        lexer_.Next();
+        continue;
+      }
+      break;
+    }
+    VIST5_RETURN_IF_ERROR(ExpectWord("from"));
+    VIST5_ASSIGN_OR_RETURN(q.from_table, ExpectIdent("table name"));
+    if (PeekWord("as")) {
+      lexer_.Next();
+      VIST5_ASSIGN_OR_RETURN(q.from_alias, ExpectIdent("table alias"));
+    }
+    if (PeekWord("join")) {
+      lexer_.Next();
+      JoinSpec join;
+      VIST5_ASSIGN_OR_RETURN(join.table, ExpectIdent("join table"));
+      if (PeekWord("as")) {
+        lexer_.Next();
+        VIST5_ASSIGN_OR_RETURN(join.alias, ExpectIdent("join alias"));
+      }
+      VIST5_RETURN_IF_ERROR(ExpectWord("on"));
+      VIST5_ASSIGN_OR_RETURN(std::string left, ExpectIdent("join column"));
+      join.left = MakeColumnRef(left);
+      VIST5_RETURN_IF_ERROR(ExpectSymbol("="));
+      VIST5_ASSIGN_OR_RETURN(std::string right, ExpectIdent("join column"));
+      join.right = MakeColumnRef(right);
+      q.join = join;
+    }
+    if (PeekWord("where")) {
+      lexer_.Next();
+      while (true) {
+        VIST5_ASSIGN_OR_RETURN(DvPredicate pred, ParsePredicate());
+        q.where.push_back(pred);
+        if (PeekWord("and")) {
+          lexer_.Next();
+          continue;
+        }
+        break;
+      }
+    }
+    if (PeekWord("bin")) {
+      lexer_.Next();
+      BinClause bin;
+      VIST5_ASSIGN_OR_RETURN(std::string col, ExpectIdent("bin column"));
+      bin.col = MakeColumnRef(col);
+      VIST5_RETURN_IF_ERROR(ExpectWord("by"));
+      VIST5_ASSIGN_OR_RETURN(std::string unit, ExpectIdent("bin unit"));
+      if (unit == "decade") {
+        bin.unit = BinClause::Unit::kDecade;
+      } else if (unit == "bucket") {
+        bin.unit = BinClause::Unit::kBucket;
+      } else {
+        return Status::InvalidArgument("unknown bin unit: " + unit);
+      }
+      q.bin = bin;
+    }
+    if (PeekWord("group")) {
+      lexer_.Next();
+      VIST5_RETURN_IF_ERROR(ExpectWord("by"));
+      VIST5_ASSIGN_OR_RETURN(std::string col, ExpectIdent("group column"));
+      q.group_by = MakeColumnRef(col);
+    }
+    if (PeekWord("order")) {
+      lexer_.Next();
+      VIST5_RETURN_IF_ERROR(ExpectWord("by"));
+      OrderBy order;
+      VIST5_ASSIGN_OR_RETURN(order.target, ParseSelectExpr());
+      if (PeekWord("asc")) {
+        lexer_.Next();
+        order.ascending = true;
+        order.direction_explicit = true;
+      } else if (PeekWord("desc")) {
+        lexer_.Next();
+        order.ascending = false;
+        order.direction_explicit = true;
+      } else {
+        order.ascending = true;
+        order.direction_explicit = false;
+      }
+      q.order_by = order;
+    }
+    if (lexer_.Peek().kind != Token::Kind::kEnd) {
+      return Status::InvalidArgument("trailing tokens after DV query: " +
+                                     lexer_.Peek().text);
+    }
+    if (q.select.empty()) {
+      return Status::InvalidArgument("empty select list");
+    }
+    return q;
+  }
+
+ private:
+  bool PeekWord(const std::string& w) const {
+    return lexer_.Peek().kind == Token::Kind::kWord && lexer_.Peek().text == w;
+  }
+
+  Status ExpectWord(const std::string& w) {
+    if (!PeekWord(w)) {
+      return Status::InvalidArgument("expected '" + w + "', got '" +
+                                     lexer_.Peek().text + "'");
+    }
+    lexer_.Next();
+    return Status::OK();
+  }
+
+  Status ExpectSymbol(const std::string& s) {
+    if (lexer_.Peek().kind != Token::Kind::kSymbol ||
+        lexer_.Peek().text != s) {
+      return Status::InvalidArgument("expected '" + s + "', got '" +
+                                     lexer_.Peek().text + "'");
+    }
+    lexer_.Next();
+    return Status::OK();
+  }
+
+  StatusOr<std::string> ExpectIdent(const std::string& what) {
+    if (lexer_.Peek().kind != Token::Kind::kWord) {
+      return Status::InvalidArgument("expected " + what + ", got '" +
+                                     lexer_.Peek().text + "'");
+    }
+    return lexer_.Next().text;
+  }
+
+  StatusOr<SelectExpr> ParseSelectExpr() {
+    SelectExpr expr;
+    if (lexer_.Peek().kind != Token::Kind::kWord) {
+      return Status::InvalidArgument("expected select expression, got '" +
+                                     lexer_.Peek().text + "'");
+    }
+    const std::string word = lexer_.Next().text;
+    const bool is_agg_call = IsAggWord(word) &&
+                             lexer_.Peek().kind == Token::Kind::kSymbol &&
+                             lexer_.Peek().text == "(";
+    if (is_agg_call) {
+      VIST5_ASSIGN_OR_RETURN(expr.agg, AggFromWord(word));
+      lexer_.Next();  // '('
+      if (lexer_.Peek().kind == Token::Kind::kSymbol &&
+          lexer_.Peek().text == "*") {
+        lexer_.Next();
+        expr.star = true;
+      } else {
+        VIST5_ASSIGN_OR_RETURN(std::string col, ExpectIdent("column"));
+        expr.col = MakeColumnRef(col);
+      }
+      VIST5_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return expr;
+    }
+    expr.col = MakeColumnRef(word);
+    return expr;
+  }
+
+  StatusOr<DvPredicate> ParsePredicate() {
+    DvPredicate pred;
+    VIST5_ASSIGN_OR_RETURN(std::string col, ExpectIdent("predicate column"));
+    pred.col = MakeColumnRef(col);
+    const Token op = lexer_.Next();
+    if (op.kind == Token::Kind::kWord && op.text == "like") {
+      pred.op = db::CmpOp::kLike;
+    } else if (op.kind == Token::Kind::kSymbol) {
+      if (op.text == "=") {
+        pred.op = db::CmpOp::kEq;
+      } else if (op.text == "!=") {
+        pred.op = db::CmpOp::kNe;
+      } else if (op.text == "<") {
+        pred.op = db::CmpOp::kLt;
+      } else if (op.text == "<=") {
+        pred.op = db::CmpOp::kLe;
+      } else if (op.text == ">") {
+        pred.op = db::CmpOp::kGt;
+      } else if (op.text == ">=") {
+        pred.op = db::CmpOp::kGe;
+      } else {
+        return Status::InvalidArgument("unknown operator: " + op.text);
+      }
+    } else {
+      return Status::InvalidArgument("expected comparison operator");
+    }
+    const Token rhs = lexer_.Next();
+    if (rhs.kind == Token::Kind::kNumber) {
+      pred.literal = rhs.text;
+      pred.is_number = true;
+      pred.number = std::strtod(rhs.text.c_str(), nullptr);
+    } else if (rhs.kind == Token::Kind::kQuoted ||
+               rhs.kind == Token::Kind::kWord) {
+      pred.literal = rhs.text;
+      pred.is_number = false;
+    } else {
+      return Status::InvalidArgument("expected predicate literal");
+    }
+    return pred;
+  }
+
+  Lexer lexer_;
+};
+
+}  // namespace
+
+StatusOr<DvQuery> ParseDvQuery(const std::string& text) {
+  Parser parser(text);
+  return parser.Parse();
+}
+
+}  // namespace dv
+}  // namespace vist5

@@ -1,0 +1,23 @@
+#ifndef VIST5_DV_PARSER_H_
+#define VIST5_DV_PARSER_H_
+
+#include <string>
+
+#include "dv/dv_query.h"
+#include "util/status.h"
+
+namespace vist5 {
+namespace dv {
+
+/// Parses an NVBench-style DV query string into a DvQuery AST.
+///
+/// Accepts both raw annotator style (mixed case keywords, AS aliases,
+/// COUNT(*), double quotes, missing sort direction) and the standardized
+/// form, so it can sit on either side of the standardization step as well
+/// as validate model generations.
+StatusOr<DvQuery> ParseDvQuery(const std::string& text);
+
+}  // namespace dv
+}  // namespace vist5
+
+#endif  // VIST5_DV_PARSER_H_

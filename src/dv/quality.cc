@@ -1,0 +1,109 @@
+#include "dv/quality.h"
+
+#include <cmath>
+#include <set>
+
+namespace vist5 {
+namespace dv {
+namespace {
+
+bool ColumnNumeric(const ChartData& chart, int col) {
+  for (const auto& row : chart.result.rows) {
+    const db::Value& v = row[static_cast<size_t>(col)];
+    if (v.is_null()) continue;
+    return v.is_numeric();
+  }
+  return false;
+}
+
+}  // namespace
+
+QualityReport AssessChartQuality(const ChartData& chart) {
+  QualityReport report;
+  auto warn = [&report](const std::string& message, double penalty) {
+    report.warnings.push_back(message);
+    report.score = std::max(0.0, report.score - penalty);
+  };
+
+  const int n = chart.num_points();
+  if (n == 0) {
+    warn("chart has no data points", 1.0);
+    return report;
+  }
+  if (n == 1 && chart.chart != ChartType::kPie) {
+    warn("a single data point rarely needs a chart", 0.4);
+  }
+
+  const bool has_y = chart.column_names.size() > 1;
+  switch (chart.chart) {
+    case ChartType::kPie: {
+      if (n > 8) {
+        warn("pie chart with " + std::to_string(n) +
+                 " slices is unreadable; consider a bar chart",
+             0.5);
+      }
+      double total = 0, max_v = 0, min_v = 1e300;
+      bool negative = false;
+      for (const auto& row : chart.result.rows) {
+        const double v = has_y ? row[1].AsReal() : 1.0;
+        negative = negative || v < 0;
+        total += v;
+        max_v = std::max(max_v, v);
+        min_v = std::min(min_v, v);
+      }
+      if (negative) {
+        warn("pie chart cannot represent negative values", 0.6);
+      }
+      if (n >= 3 && total > 0 && (max_v - min_v) / (total / n) < 0.1) {
+        warn("pie slices are nearly uniform; proportions carry little "
+             "information",
+             0.2);
+      }
+      break;
+    }
+    case ChartType::kBar: {
+      if (n > 30) {
+        warn("bar chart with " + std::to_string(n) +
+                 " bars; consider binning or top-k filtering",
+             0.3);
+      }
+      if (has_y && !ColumnNumeric(chart, 1)) {
+        warn("bar heights must be quantitative", 0.6);
+      }
+      break;
+    }
+    case ChartType::kLine: {
+      if (!ColumnNumeric(chart, 0)) {
+        // A line implies order; arbitrary categories have none unless the
+        // values happen to be sorted labels like years rendered as text.
+        std::set<std::string> distinct;
+        for (const auto& row : chart.result.rows) {
+          distinct.insert(row[0].ToString());
+        }
+        if (distinct.size() == chart.result.rows.size()) {
+          warn("line chart over an unordered categorical axis; consider a "
+               "bar chart",
+               0.3);
+        }
+      }
+      if (has_y && !ColumnNumeric(chart, 1)) {
+        warn("line chart y axis must be quantitative", 0.6);
+      }
+      break;
+    }
+    case ChartType::kScatter: {
+      if (!ColumnNumeric(chart, 0) || (has_y && !ColumnNumeric(chart, 1))) {
+        warn("scatter plots need two quantitative axes", 0.5);
+      }
+      if (n < 3) {
+        warn("scatter plot with fewer than 3 points shows no relationship",
+             0.3);
+      }
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace dv
+}  // namespace vist5

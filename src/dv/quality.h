@@ -1,0 +1,34 @@
+#ifndef VIST5_DV_QUALITY_H_
+#define VIST5_DV_QUALITY_H_
+
+#include <string>
+#include <vector>
+
+#include "dv/chart.h"
+
+namespace vist5 {
+namespace dv {
+
+/// DeepEye-style chart-quality heuristics (the paper's refs [11], [14]
+/// rank candidate visualizations by "goodness" rules). Each violated rule
+/// yields a warning; the score aggregates them into [0, 1].
+struct QualityReport {
+  double score = 1.0;
+  std::vector<std::string> warnings;
+
+  bool ok() const { return warnings.empty(); }
+};
+
+/// Evaluates chart-design heuristics:
+///  - pie charts with more than ~8 slices or any negative value;
+///  - pie charts over non-aggregated or near-uniform data;
+///  - bar/line charts with too many categories to label;
+///  - scatter plots whose axes are not both quantitative;
+///  - line charts over unordered categorical x axes;
+///  - empty or single-point charts.
+QualityReport AssessChartQuality(const ChartData& chart);
+
+}  // namespace dv
+}  // namespace vist5
+
+#endif  // VIST5_DV_QUALITY_H_

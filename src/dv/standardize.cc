@@ -1,0 +1,125 @@
+#include "dv/standardize.h"
+
+#include <map>
+
+#include "dv/parser.h"
+#include "util/string_util.h"
+
+namespace vist5 {
+namespace dv {
+namespace {
+
+/// Resolves one ColumnRef in place: alias -> real table; bare column ->
+/// owning table found by schema lookup (FROM table first, then the join
+/// table). Unresolvable columns default to the FROM table, mirroring the
+/// permissiveness required by noisy human annotations.
+ColumnRef ResolveRef(const ColumnRef& ref,
+                     const std::map<std::string, std::string>& aliases,
+                     const db::Database& database,
+                     const std::string& from_table,
+                     const std::string& join_table) {
+  ColumnRef out;
+  out.column = ToLower(ref.column);
+  if (!ref.table.empty()) {
+    auto it = aliases.find(ref.table);
+    out.table = it != aliases.end() ? it->second : ToLower(ref.table);
+    return out;
+  }
+  for (const std::string& candidate : {from_table, join_table}) {
+    if (candidate.empty()) continue;
+    const db::Table* t = database.FindTable(candidate);
+    if (t != nullptr && t->ColumnIndex(out.column) >= 0) {
+      out.table = candidate;
+      return out;
+    }
+  }
+  out.table = from_table;
+  return out;
+}
+
+}  // namespace
+
+StatusOr<DvQuery> Standardize(const DvQuery& raw,
+                              const db::Database& database) {
+  DvQuery q = raw;
+  q.from_table = ToLower(q.from_table);
+
+  // Rule 4: collect alias -> table and drop AS clauses.
+  std::map<std::string, std::string> aliases;
+  if (!q.from_alias.empty()) aliases[ToLower(q.from_alias)] = q.from_table;
+  if (q.join.has_value()) {
+    q.join->table = ToLower(q.join->table);
+    if (!q.join->alias.empty()) {
+      aliases[ToLower(q.join->alias)] = q.join->table;
+    }
+    q.join->alias.clear();
+  }
+  q.from_alias.clear();
+
+  const std::string join_table = q.join ? q.join->table : "";
+  auto resolve = [&](const ColumnRef& ref) {
+    return ResolveRef(ref, aliases, database, q.from_table, join_table);
+  };
+
+  // Rule 1: qualify every column; expand COUNT(*).
+  if (q.group_by.has_value()) q.group_by = resolve(*q.group_by);
+  for (SelectExpr& expr : q.select) {
+    if (expr.star) {
+      expr.star = false;
+      if (q.group_by.has_value()) {
+        expr.col = *q.group_by;
+      } else {
+        const db::Table* t = database.FindTable(q.from_table);
+        if (t == nullptr || t->num_columns() == 0) {
+          return Status::NotFound("cannot expand COUNT(*): table '" +
+                                  q.from_table + "' unknown or empty");
+        }
+        expr.col.table = q.from_table;
+        expr.col.column = t->columns()[0].name;
+      }
+    } else {
+      expr.col = resolve(expr.col);
+    }
+  }
+  if (q.join.has_value()) {
+    q.join->left = resolve(q.join->left);
+    q.join->right = resolve(q.join->right);
+  }
+  for (DvPredicate& pred : q.where) {
+    pred.col = resolve(pred.col);
+    // Rule 5 applies to string literals too.
+    if (!pred.is_number) pred.literal = ToLower(pred.literal);
+  }
+  if (q.bin.has_value()) q.bin->col = resolve(q.bin->col);
+  if (q.order_by.has_value()) {
+    SelectExpr& target = q.order_by->target;
+    if (target.star) {
+      target.star = false;
+      // Mirror whichever select item carries this aggregate.
+      for (const SelectExpr& expr : q.select) {
+        if (expr.agg == target.agg) {
+          target.col = expr.col;
+          break;
+        }
+      }
+      if (target.col.column.empty() && q.group_by.has_value()) {
+        target.col = *q.group_by;
+      }
+    } else {
+      target.col = resolve(target.col);
+    }
+    // Rule 3: make the sort direction explicit.
+    q.order_by->direction_explicit = true;
+  }
+  return q;
+}
+
+StatusOr<std::string> StandardizeString(const std::string& raw_query,
+                                        const db::Database& database) {
+  VIST5_ASSIGN_OR_RETURN(DvQuery parsed, ParseDvQuery(raw_query));
+  VIST5_ASSIGN_OR_RETURN(DvQuery standardized, Standardize(parsed, database));
+  return standardized.ToString();
+}
+
+}  // namespace dv
+}  // namespace vist5

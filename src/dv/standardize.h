@@ -1,0 +1,33 @@
+#ifndef VIST5_DV_STANDARDIZE_H_
+#define VIST5_DV_STANDARDIZE_H_
+
+#include <string>
+
+#include "db/table.h"
+#include "dv/dv_query.h"
+#include "util/status.h"
+
+namespace vist5 {
+namespace dv {
+
+/// Applies the standardized-encoding rules of Sec. III-D to a parsed DV
+/// query, resolving names against `database`:
+///   1. every column becomes table-qualified (T.col); COUNT(*) is rewritten
+///      to COUNT(T.col) using the GROUP BY column when present, otherwise
+///      the first column of the FROM table;
+///   2. spaces around parentheses and single quotes (handled by
+///      DvQuery::ToString);
+///   3. ORDER BY without a direction gains an explicit ASC;
+///   4. AS clauses are dropped and aliases (t1/t2) replaced by real table
+///      names;
+///   5. everything is lowercased (literals included).
+StatusOr<DvQuery> Standardize(const DvQuery& raw, const db::Database& database);
+
+/// Parse + Standardize + serialize in one step.
+StatusOr<std::string> StandardizeString(const std::string& raw_query,
+                                        const db::Database& database);
+
+}  // namespace dv
+}  // namespace vist5
+
+#endif  // VIST5_DV_STANDARDIZE_H_

@@ -1,0 +1,220 @@
+#include "dv/svg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace vist5 {
+namespace dv {
+namespace {
+
+const char* kPalette[] = {"#4c78a8", "#f58518", "#54a24b", "#e45756",
+                          "#72b7b2", "#eeca3b", "#b279a2", "#9d755d"};
+constexpr int kPaletteSize = 8;
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string Num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+const char* Fill(const SvgOptions& options, int i) {
+  return options.monochrome ? "#4c78a8"
+                            : kPalette[i % kPaletteSize];
+}
+
+struct Frame {
+  double x0, y0, x1, y1;  // plot area (y grows downward in SVG)
+};
+
+void OpenSvg(std::string* svg, const SvgOptions& o) {
+  *svg += "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" +
+          std::to_string(o.width) + "\" height=\"" + std::to_string(o.height) +
+          "\" viewBox=\"0 0 " + std::to_string(o.width) + " " +
+          std::to_string(o.height) + "\" font-family=\"sans-serif\" "
+          "font-size=\"11\">\n";
+  *svg += "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+}
+
+void Axes(std::string* svg, const Frame& f, const ChartData& chart) {
+  *svg += "<line x1=\"" + Num(f.x0) + "\" y1=\"" + Num(f.y1) + "\" x2=\"" +
+          Num(f.x1) + "\" y2=\"" + Num(f.y1) +
+          "\" stroke=\"#333\" stroke-width=\"1\"/>\n";
+  *svg += "<line x1=\"" + Num(f.x0) + "\" y1=\"" + Num(f.y0) + "\" x2=\"" +
+          Num(f.x0) + "\" y2=\"" + Num(f.y1) +
+          "\" stroke=\"#333\" stroke-width=\"1\"/>\n";
+  if (!chart.column_names.empty()) {
+    *svg += "<text x=\"" + Num((f.x0 + f.x1) / 2) + "\" y=\"" +
+            Num(f.y1 + 32) + "\" text-anchor=\"middle\">" +
+            Escape(chart.column_names[0]) + "</text>\n";
+  }
+  if (chart.column_names.size() > 1) {
+    *svg += "<text x=\"12\" y=\"" + Num((f.y0 + f.y1) / 2) +
+            "\" text-anchor=\"middle\" transform=\"rotate(-90 12 " +
+            Num((f.y0 + f.y1) / 2) + ")\">" + Escape(chart.column_names[1]) +
+            "</text>\n";
+  }
+}
+
+void NumericRange(const ChartData& chart, int col, double* lo, double* hi) {
+  *lo = 0;
+  *hi = 1;
+  bool any = false;
+  for (const auto& row : chart.result.rows) {
+    const db::Value& v = row[static_cast<size_t>(col)];
+    if (!v.is_numeric()) continue;
+    const double x = v.AsReal();
+    if (!any) {
+      *lo = *hi = x;
+      any = true;
+    } else {
+      *lo = std::min(*lo, x);
+      *hi = std::max(*hi, x);
+    }
+  }
+  if (*hi <= *lo) *hi = *lo + 1;
+  // Bars and lines read better anchored at zero.
+  if (*lo > 0) *lo = 0;
+}
+
+}  // namespace
+
+std::string RenderSvg(const ChartData& chart, const SvgOptions& options) {
+  std::string svg;
+  OpenSvg(&svg, options);
+  const Frame f = {static_cast<double>(options.margin),
+                   static_cast<double>(options.margin) / 2,
+                   static_cast<double>(options.width - options.margin / 2),
+                   static_cast<double>(options.height - options.margin)};
+  const int n = chart.num_points();
+
+  if (n == 0) {
+    svg += "<text x=\"50%\" y=\"50%\" text-anchor=\"middle\">no data</text>\n";
+    svg += "</svg>\n";
+    return svg;
+  }
+
+  if (chart.chart == ChartType::kPie) {
+    // Proportional arcs + legend.
+    double total = 0;
+    for (const auto& row : chart.result.rows) {
+      total += row.size() > 1 ? std::max(0.0, row[1].AsReal()) : 1.0;
+    }
+    if (total <= 0) total = 1;
+    const double cx = options.width * 0.38;
+    const double cy = options.height * 0.5;
+    const double r = std::min(options.width, options.height) * 0.33;
+    double angle = -M_PI / 2;
+    for (int i = 0; i < n; ++i) {
+      const auto& row = chart.result.rows[static_cast<size_t>(i)];
+      const double value =
+          row.size() > 1 ? std::max(0.0, row[1].AsReal()) : 1.0;
+      const double sweep = 2 * M_PI * value / total;
+      const double a0 = angle;
+      const double a1 = angle + sweep;
+      angle = a1;
+      const double x0 = cx + r * std::cos(a0), y0 = cy + r * std::sin(a0);
+      const double x1 = cx + r * std::cos(a1), y1 = cy + r * std::sin(a1);
+      const int large = sweep > M_PI ? 1 : 0;
+      svg += "<path d=\"M" + Num(cx) + "," + Num(cy) + " L" + Num(x0) + "," +
+             Num(y0) + " A" + Num(r) + "," + Num(r) + " 0 " +
+             std::to_string(large) + " 1 " + Num(x1) + "," + Num(y1) +
+             " Z\" fill=\"" + Fill(options, i) + "\" stroke=\"white\"/>\n";
+      // Legend entry.
+      const double ly = 24 + 18.0 * i;
+      svg += "<rect x=\"" + Num(options.width * 0.72) + "\" y=\"" +
+             Num(ly - 9) + "\" width=\"10\" height=\"10\" fill=\"" +
+             Fill(options, i) + "\"/>\n";
+      svg += "<text x=\"" + Num(options.width * 0.72 + 14) + "\" y=\"" +
+             Num(ly) + "\">" + Escape(row[0].ToString()) + "</text>\n";
+    }
+    svg += "</svg>\n";
+    return svg;
+  }
+
+  if (chart.chart == ChartType::kScatter) {
+    double x_lo, x_hi, y_lo, y_hi;
+    NumericRange(chart, 0, &x_lo, &x_hi);
+    NumericRange(chart, 1, &y_lo, &y_hi);
+    Axes(&svg, f, chart);
+    for (int i = 0; i < n; ++i) {
+      const auto& row = chart.result.rows[static_cast<size_t>(i)];
+      const double px =
+          f.x0 + (row[0].AsReal() - x_lo) / (x_hi - x_lo) * (f.x1 - f.x0);
+      const double py =
+          f.y1 - (row[1].AsReal() - y_lo) / (y_hi - y_lo) * (f.y1 - f.y0);
+      svg += "<circle cx=\"" + Num(px) + "\" cy=\"" + Num(py) +
+             "\" r=\"3.5\" fill=\"" + Fill(options, 0) +
+             "\" fill-opacity=\"0.8\"/>\n";
+    }
+    svg += "</svg>\n";
+    return svg;
+  }
+
+  // Bar and line charts: categorical x, numeric y.
+  double y_lo, y_hi;
+  NumericRange(chart, chart.column_names.size() > 1 ? 1 : 0, &y_lo, &y_hi);
+  Axes(&svg, f, chart);
+  svg += "<text x=\"" + Num(f.x0 - 4) + "\" y=\"" + Num(f.y0 + 4) +
+         "\" text-anchor=\"end\">" + Num(y_hi) + "</text>\n";
+  svg += "<text x=\"" + Num(f.x0 - 4) + "\" y=\"" + Num(f.y1) +
+         "\" text-anchor=\"end\">" + Num(y_lo) + "</text>\n";
+  const double band = (f.x1 - f.x0) / n;
+  std::string polyline;
+  for (int i = 0; i < n; ++i) {
+    const auto& row = chart.result.rows[static_cast<size_t>(i)];
+    const double value = row.size() > 1 ? row[1].AsReal() : row[0].AsReal();
+    const double frac = (value - y_lo) / (y_hi - y_lo);
+    const double cx = f.x0 + band * (i + 0.5);
+    const double top = f.y1 - frac * (f.y1 - f.y0);
+    if (chart.chart == ChartType::kBar) {
+      const double bw = band * 0.7;
+      svg += "<rect x=\"" + Num(cx - bw / 2) + "\" y=\"" + Num(top) +
+             "\" width=\"" + Num(bw) + "\" height=\"" + Num(f.y1 - top) +
+             "\" fill=\"" + Fill(options, 0) + "\"/>\n";
+    } else {
+      polyline += Num(cx) + "," + Num(top) + " ";
+      svg += "<circle cx=\"" + Num(cx) + "\" cy=\"" + Num(top) +
+             "\" r=\"2.5\" fill=\"" + Fill(options, 0) + "\"/>\n";
+    }
+    // Tick label (skip some when crowded).
+    if (n <= 12 || i % (n / 12 + 1) == 0) {
+      svg += "<text x=\"" + Num(cx) + "\" y=\"" + Num(f.y1 + 14) +
+             "\" text-anchor=\"middle\" font-size=\"9\">" +
+             Escape(row[0].ToString()) + "</text>\n";
+    }
+  }
+  if (chart.chart == ChartType::kLine && !polyline.empty()) {
+    svg += "<polyline points=\"" + polyline +
+           "\" fill=\"none\" stroke=\"" + Fill(options, 0) +
+           "\" stroke-width=\"2\"/>\n";
+  }
+  svg += "</svg>\n";
+  return svg;
+}
+
+}  // namespace dv
+}  // namespace vist5

@@ -1,0 +1,33 @@
+#ifndef VIST5_DV_SVG_H_
+#define VIST5_DV_SVG_H_
+
+#include <string>
+
+#include "dv/chart.h"
+
+namespace vist5 {
+namespace dv {
+
+/// Options for the self-contained SVG chart renderer.
+struct SvgOptions {
+  int width = 480;
+  int height = 300;
+  int margin = 46;
+  /// Categorical fill palette, cycled per slice/point group.
+  bool monochrome = false;
+};
+
+/// Renders `chart` as a standalone SVG document — the actual "DV chart"
+/// artifact of Sec. II, so the case-study benches can materialize the
+/// figures (Fig. 6-9) and not just their Vega-Lite specs.
+///
+/// Marks: bar chart with value axis, pie chart with proportional arcs and
+/// a legend, line chart with a polyline, scatter plot with circles. Axis
+/// labels come from the chart's column display names; numeric axes get
+/// min/max tick labels.
+std::string RenderSvg(const ChartData& chart, const SvgOptions& options = {});
+
+}  // namespace dv
+}  // namespace vist5
+
+#endif  // VIST5_DV_SVG_H_

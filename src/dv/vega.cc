@@ -1,0 +1,103 @@
+#include "dv/vega.h"
+
+namespace vist5 {
+namespace dv {
+namespace {
+
+JsonValue ValueToJson(const db::Value& v) {
+  switch (v.type()) {
+    case db::ValueType::kNull:
+      return JsonValue::Null();
+    case db::ValueType::kInt:
+      return JsonValue::Number(static_cast<double>(v.AsInt()));
+    case db::ValueType::kReal:
+      return JsonValue::Number(v.AsReal());
+    case db::ValueType::kText:
+      return JsonValue::String(v.AsText());
+  }
+  return JsonValue::Null();
+}
+
+const char* MarkFor(ChartType t) {
+  switch (t) {
+    case ChartType::kBar:
+      return "bar";
+    case ChartType::kPie:
+      return "arc";
+    case ChartType::kLine:
+      return "line";
+    case ChartType::kScatter:
+      return "point";
+  }
+  return "bar";
+}
+
+bool ColumnIsQuantitative(const ChartData& chart, int col) {
+  for (const auto& row : chart.result.rows) {
+    const db::Value& v = row[static_cast<size_t>(col)];
+    if (v.is_null()) continue;
+    return v.is_numeric();
+  }
+  return false;
+}
+
+JsonValue FieldEncoding(const std::string& name, bool quantitative) {
+  JsonValue enc = JsonValue::Object();
+  enc.Set("field", JsonValue::String(name));
+  enc.Set("type",
+          JsonValue::String(quantitative ? "quantitative" : "nominal"));
+  // Data arrives pre-sorted by the DV query's ORDER BY; tell Vega-Lite to
+  // keep that order.
+  enc.Set("sort", JsonValue::Null());
+  return enc;
+}
+
+}  // namespace
+
+JsonValue ToVegaLite(const ChartData& chart) {
+  JsonValue spec = JsonValue::Object();
+  spec.Set("$schema",
+           JsonValue::String("https://vega.github.io/schema/vega-lite/v5.json"));
+
+  JsonValue values = JsonValue::Array();
+  for (const auto& row : chart.result.rows) {
+    JsonValue obj = JsonValue::Object();
+    for (size_t c = 0; c < chart.column_names.size() && c < row.size(); ++c) {
+      obj.Set(chart.column_names[c], ValueToJson(row[c]));
+    }
+    values.Append(std::move(obj));
+  }
+  JsonValue data = JsonValue::Object();
+  data.Set("values", std::move(values));
+  spec.Set("data", std::move(data));
+  spec.Set("mark", JsonValue::String(MarkFor(chart.chart)));
+
+  JsonValue encoding = JsonValue::Object();
+  if (chart.chart == ChartType::kPie) {
+    // Pie: first column is the categorical color, second the angle.
+    if (!chart.column_names.empty()) {
+      encoding.Set("color", FieldEncoding(chart.column_names[0], false));
+    }
+    if (chart.column_names.size() > 1) {
+      encoding.Set("theta", FieldEncoding(chart.column_names[1], true));
+    }
+  } else {
+    if (!chart.column_names.empty()) {
+      encoding.Set("x", FieldEncoding(chart.column_names[0],
+                                      ColumnIsQuantitative(chart, 0)));
+    }
+    if (chart.column_names.size() > 1) {
+      encoding.Set("y", FieldEncoding(chart.column_names[1],
+                                      ColumnIsQuantitative(chart, 1)));
+    }
+  }
+  spec.Set("encoding", std::move(encoding));
+  return spec;
+}
+
+std::string ToVegaLiteJson(const ChartData& chart) {
+  return ToVegaLite(chart).ToString(/*pretty=*/true);
+}
+
+}  // namespace dv
+}  // namespace vist5

@@ -1,0 +1,25 @@
+#ifndef VIST5_DV_VEGA_H_
+#define VIST5_DV_VEGA_H_
+
+#include <string>
+
+#include "dv/chart.h"
+#include "util/json.h"
+
+namespace vist5 {
+namespace dv {
+
+/// Emits a Vega-Lite v5 specification for `chart`: inline data values, a
+/// mark matching the DV query's chart type (bar, arc for pie, line, point
+/// for scatter), and x/y encodings typed from the underlying values
+/// (nominal vs quantitative). The ascending/descending sort of the DV query
+/// is reflected through the data order plus an explicit "sort": null.
+JsonValue ToVegaLite(const ChartData& chart);
+
+/// Convenience: pretty-printed JSON string of the spec.
+std::string ToVegaLiteJson(const ChartData& chart);
+
+}  // namespace dv
+}  // namespace vist5
+
+#endif  // VIST5_DV_VEGA_H_

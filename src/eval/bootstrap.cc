@@ -1,0 +1,68 @@
+#include "eval/bootstrap.h"
+
+#include <algorithm>
+
+#include "eval/vis_metrics.h"
+#include "util/logging.h"
+
+namespace vist5 {
+namespace eval {
+
+BootstrapResult PairedBootstrap(const std::vector<double>& a,
+                                const std::vector<double>& b, int resamples,
+                                uint64_t seed) {
+  VIST5_CHECK_EQ(a.size(), b.size());
+  VIST5_CHECK(!a.empty());
+  BootstrapResult result;
+  result.resamples = resamples;
+  const int n = static_cast<int>(a.size());
+  double sum_a = 0, sum_b = 0;
+  for (int i = 0; i < n; ++i) {
+    sum_a += a[static_cast<size_t>(i)];
+    sum_b += b[static_cast<size_t>(i)];
+  }
+  result.mean_a = sum_a / n;
+  result.mean_b = sum_b / n;
+  result.delta = result.mean_a - result.mean_b;
+
+  Rng rng(seed);
+  std::vector<double> deltas;
+  deltas.reserve(static_cast<size_t>(resamples));
+  int not_better = 0;
+  for (int r = 0; r < resamples; ++r) {
+    double da = 0, db = 0;
+    for (int i = 0; i < n; ++i) {
+      const int j = rng.UniformInt(n);
+      da += a[static_cast<size_t>(j)];
+      db += b[static_cast<size_t>(j)];
+    }
+    const double d = (da - db) / n;
+    deltas.push_back(d);
+    if (d <= 0) ++not_better;
+  }
+  result.p_value = static_cast<double>(not_better) / resamples;
+  std::sort(deltas.begin(), deltas.end());
+  const auto pct = [&](double q) {
+    const int idx = std::clamp(static_cast<int>(q * resamples), 0,
+                               resamples - 1);
+    return deltas[static_cast<size_t>(idx)];
+  };
+  result.ci_low = pct(0.025);
+  result.ci_high = pct(0.975);
+  return result;
+}
+
+std::vector<double> EmIndicators(const std::vector<std::string>& predictions,
+                                 const std::vector<std::string>& references) {
+  VIST5_CHECK_EQ(predictions.size(), references.size());
+  std::vector<double> out;
+  out.reserve(predictions.size());
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    out.push_back(
+        CompareDvQueries(predictions[i], references[i]).exact ? 1.0 : 0.0);
+  }
+  return out;
+}
+
+}  // namespace eval
+}  // namespace vist5

@@ -1,0 +1,42 @@
+#ifndef VIST5_EVAL_BOOTSTRAP_H_
+#define VIST5_EVAL_BOOTSTRAP_H_
+
+#include <functional>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace vist5 {
+namespace eval {
+
+/// Result of a paired bootstrap comparison between system A and system B
+/// on the same test set.
+struct BootstrapResult {
+  double mean_a = 0;
+  double mean_b = 0;
+  double delta = 0;          ///< mean_a - mean_b on the full set
+  double p_value = 1.0;      ///< P(delta <= 0) under bootstrap resampling
+  double ci_low = 0;         ///< 95% CI of delta
+  double ci_high = 0;
+  int resamples = 0;
+};
+
+/// Paired bootstrap test (Koehn, 2004) over per-example scores. `a` and
+/// `b` must be scores of the two systems on the *same* examples, in the
+/// same order (e.g. 0/1 exact-match indicators, or per-sentence F1).
+/// Returns the achieved delta, a one-sided p-value for "A is not better
+/// than B", and a 95% percentile confidence interval, using `resamples`
+/// bootstrap draws seeded deterministically.
+BootstrapResult PairedBootstrap(const std::vector<double>& a,
+                                const std::vector<double>& b,
+                                int resamples = 1000, uint64_t seed = 1234);
+
+/// Convenience: per-example exact-match indicators from prediction /
+/// reference DV-query pairs (uses CompareDvQueries).
+std::vector<double> EmIndicators(const std::vector<std::string>& predictions,
+                                 const std::vector<std::string>& references);
+
+}  // namespace eval
+}  // namespace vist5
+
+#endif  // VIST5_EVAL_BOOTSTRAP_H_

@@ -1,0 +1,69 @@
+#include "eval/execution.h"
+
+#include <algorithm>
+
+#include "dv/chart.h"
+#include "dv/parser.h"
+#include "util/logging.h"
+
+namespace vist5 {
+namespace eval {
+namespace {
+
+std::vector<std::string> RowKeys(const dv::ChartData& chart) {
+  std::vector<std::string> keys;
+  keys.reserve(chart.result.rows.size());
+  for (const auto& row : chart.result.rows) {
+    std::string key;
+    for (const auto& v : row) key += v.ToString() + "\x1f";
+    keys.push_back(std::move(key));
+  }
+  return keys;
+}
+
+}  // namespace
+
+bool ExecutionMatch(const std::string& prediction,
+                    const std::string& reference,
+                    const db::Database& database) {
+  auto ref_q = dv::ParseDvQuery(reference);
+  if (!ref_q.ok()) return false;
+  auto pred_q = dv::ParseDvQuery(prediction);
+  if (!pred_q.ok()) return false;
+  if (pred_q->chart != ref_q->chart) return false;
+  auto ref_chart = dv::RenderChart(*ref_q, database);
+  if (!ref_chart.ok()) return false;
+  auto pred_chart = dv::RenderChart(*pred_q, database);
+  if (!pred_chart.ok()) return false;
+
+  std::vector<std::string> ref_rows = RowKeys(*ref_chart);
+  std::vector<std::string> pred_rows = RowKeys(*pred_chart);
+  if (ref_rows.size() != pred_rows.size()) return false;
+  const bool ordered =
+      ref_q->order_by.has_value() || pred_q->order_by.has_value();
+  if (!ordered) {
+    std::sort(ref_rows.begin(), ref_rows.end());
+    std::sort(pred_rows.begin(), pred_rows.end());
+  }
+  return ref_rows == pred_rows;
+}
+
+double ExecutionAccuracy(const std::vector<std::string>& predictions,
+                         const std::vector<std::string>& references,
+                         const std::vector<const db::Database*>& databases) {
+  VIST5_CHECK_EQ(predictions.size(), references.size());
+  VIST5_CHECK_EQ(predictions.size(), databases.size());
+  if (predictions.empty()) return 0.0;
+  int correct = 0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    if (databases[i] != nullptr &&
+        ExecutionMatch(predictions[i], references[i], *databases[i])) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(predictions.size());
+}
+
+}  // namespace eval
+}  // namespace vist5

@@ -1,0 +1,33 @@
+#ifndef VIST5_EVAL_EXECUTION_H_
+#define VIST5_EVAL_EXECUTION_H_
+
+#include <string>
+#include <vector>
+
+#include "db/table.h"
+
+namespace vist5 {
+namespace eval {
+
+/// Execution accuracy for text-to-vis, the semantics-level counterpart of
+/// exact match (as used in NL2SQL evaluation): a prediction is
+/// execution-correct when it parses, executes against the database, uses
+/// the reference's chart type, and produces the same result set.
+///
+/// Result sets are compared as multisets of rows when neither query orders
+/// its output, and as ordered sequences when either does — matching how a
+/// rendered chart would actually differ.
+bool ExecutionMatch(const std::string& prediction,
+                    const std::string& reference,
+                    const db::Database& database);
+
+/// Fraction of predictions that execution-match their references.
+/// `databases[i]` is the database behind example i.
+double ExecutionAccuracy(const std::vector<std::string>& predictions,
+                         const std::vector<std::string>& references,
+                         const std::vector<const db::Database*>& databases);
+
+}  // namespace eval
+}  // namespace vist5
+
+#endif  // VIST5_EVAL_EXECUTION_H_

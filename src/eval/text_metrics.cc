@@ -1,0 +1,200 @@
+#include "eval/text_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace vist5 {
+namespace eval {
+namespace {
+
+std::vector<std::string> Tokens(const std::string& text) {
+  return SplitWhitespace(ToLower(text));
+}
+
+std::map<std::string, int> NgramCounts(const std::vector<std::string>& toks,
+                                       int n) {
+  std::map<std::string, int> counts;
+  if (static_cast<int>(toks.size()) < n) return counts;
+  for (size_t i = 0; i + n <= toks.size(); ++i) {
+    std::string g = toks[i];
+    for (int k = 1; k < n; ++k) g += " " + toks[i + k];
+    ++counts[g];
+  }
+  return counts;
+}
+
+}  // namespace
+
+double CorpusBleu(const std::vector<std::string>& hypotheses,
+                  const std::vector<std::string>& references, int max_order) {
+  VIST5_CHECK_EQ(hypotheses.size(), references.size());
+  if (hypotheses.empty()) return 0.0;
+  std::vector<int64_t> matches(static_cast<size_t>(max_order), 0);
+  std::vector<int64_t> totals(static_cast<size_t>(max_order), 0);
+  int64_t hyp_len = 0, ref_len = 0;
+  for (size_t i = 0; i < hypotheses.size(); ++i) {
+    const auto hyp = Tokens(hypotheses[i]);
+    const auto ref = Tokens(references[i]);
+    hyp_len += static_cast<int64_t>(hyp.size());
+    ref_len += static_cast<int64_t>(ref.size());
+    for (int n = 1; n <= max_order; ++n) {
+      const auto hyp_grams = NgramCounts(hyp, n);
+      const auto ref_grams = NgramCounts(ref, n);
+      for (const auto& [g, c] : hyp_grams) {
+        totals[static_cast<size_t>(n - 1)] += c;
+        auto it = ref_grams.find(g);
+        if (it != ref_grams.end()) {
+          matches[static_cast<size_t>(n - 1)] += std::min(c, it->second);
+        }
+      }
+    }
+  }
+  double log_precision = 0.0;
+  for (int n = 0; n < max_order; ++n) {
+    if (totals[static_cast<size_t>(n)] == 0 ||
+        matches[static_cast<size_t>(n)] == 0) {
+      return 0.0;
+    }
+    log_precision +=
+        std::log(static_cast<double>(matches[static_cast<size_t>(n)]) /
+                 static_cast<double>(totals[static_cast<size_t>(n)]));
+  }
+  log_precision /= max_order;
+  double bp = 1.0;
+  if (hyp_len < ref_len && hyp_len > 0) {
+    bp = std::exp(1.0 - static_cast<double>(ref_len) /
+                            static_cast<double>(hyp_len));
+  }
+  return bp * std::exp(log_precision);
+}
+
+double RougeN(const std::vector<std::string>& hypotheses,
+              const std::vector<std::string>& references, int n) {
+  VIST5_CHECK_EQ(hypotheses.size(), references.size());
+  if (hypotheses.empty()) return 0.0;
+  double total_f1 = 0.0;
+  for (size_t i = 0; i < hypotheses.size(); ++i) {
+    const auto hyp_grams = NgramCounts(Tokens(hypotheses[i]), n);
+    const auto ref_grams = NgramCounts(Tokens(references[i]), n);
+    int64_t overlap = 0, hyp_total = 0, ref_total = 0;
+    for (const auto& [g, c] : hyp_grams) hyp_total += c;
+    for (const auto& [g, c] : ref_grams) ref_total += c;
+    for (const auto& [g, c] : ref_grams) {
+      auto it = hyp_grams.find(g);
+      if (it != hyp_grams.end()) overlap += std::min(c, it->second);
+    }
+    if (overlap == 0 || hyp_total == 0 || ref_total == 0) continue;
+    const double p = static_cast<double>(overlap) / hyp_total;
+    const double r = static_cast<double>(overlap) / ref_total;
+    total_f1 += 2 * p * r / (p + r);
+  }
+  return total_f1 / static_cast<double>(hypotheses.size());
+}
+
+double RougeL(const std::vector<std::string>& hypotheses,
+              const std::vector<std::string>& references) {
+  VIST5_CHECK_EQ(hypotheses.size(), references.size());
+  if (hypotheses.empty()) return 0.0;
+  double total_f1 = 0.0;
+  for (size_t i = 0; i < hypotheses.size(); ++i) {
+    const auto hyp = Tokens(hypotheses[i]);
+    const auto ref = Tokens(references[i]);
+    if (hyp.empty() || ref.empty()) continue;
+    // LCS dynamic program.
+    std::vector<std::vector<int>> dp(hyp.size() + 1,
+                                     std::vector<int>(ref.size() + 1, 0));
+    for (size_t a = 1; a <= hyp.size(); ++a) {
+      for (size_t b = 1; b <= ref.size(); ++b) {
+        dp[a][b] = hyp[a - 1] == ref[b - 1]
+                       ? dp[a - 1][b - 1] + 1
+                       : std::max(dp[a - 1][b], dp[a][b - 1]);
+      }
+    }
+    const int lcs = dp[hyp.size()][ref.size()];
+    if (lcs == 0) continue;
+    const double p = static_cast<double>(lcs) / hyp.size();
+    const double r = static_cast<double>(lcs) / ref.size();
+    total_f1 += 2 * p * r / (p + r);
+  }
+  return total_f1 / static_cast<double>(hypotheses.size());
+}
+
+std::string Stem(const std::string& word) {
+  std::string w = word;
+  auto strip = [&](const char* suffix) {
+    const size_t n = std::string(suffix).size();
+    if (w.size() > n + 2 && EndsWith(w, suffix)) {
+      w.resize(w.size() - n);
+      return true;
+    }
+    return false;
+  };
+  if (!strip("ing")) {
+    if (!strip("ed")) {
+      if (!strip("es")) {
+        strip("s");
+      }
+    }
+  }
+  return w;
+}
+
+double Meteor(const std::vector<std::string>& hypotheses,
+              const std::vector<std::string>& references) {
+  VIST5_CHECK_EQ(hypotheses.size(), references.size());
+  if (hypotheses.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < hypotheses.size(); ++i) {
+    const auto hyp = Tokens(hypotheses[i]);
+    const auto ref = Tokens(references[i]);
+    if (hyp.empty() || ref.empty()) continue;
+    // Greedy left-to-right alignment: exact match first, then stems.
+    std::vector<int> align(hyp.size(), -1);
+    std::vector<bool> ref_used(ref.size(), false);
+    for (int pass = 0; pass < 2; ++pass) {
+      for (size_t h = 0; h < hyp.size(); ++h) {
+        if (align[h] >= 0) continue;
+        for (size_t r = 0; r < ref.size(); ++r) {
+          if (ref_used[r]) continue;
+          const bool match = pass == 0 ? hyp[h] == ref[r]
+                                       : Stem(hyp[h]) == Stem(ref[r]);
+          if (match) {
+            align[h] = static_cast<int>(r);
+            ref_used[r] = true;
+            break;
+          }
+        }
+      }
+    }
+    int m = 0;
+    for (int a : align) {
+      if (a >= 0) ++m;
+    }
+    if (m == 0) continue;
+    const double p = static_cast<double>(m) / hyp.size();
+    const double r = static_cast<double>(m) / ref.size();
+    const double fmean = 10.0 * p * r / (r + 9.0 * p);
+    // Count chunks: maximal runs of matched words adjacent in both strings.
+    int chunks = 0;
+    int prev_ref = -2;
+    for (size_t h = 0; h < hyp.size(); ++h) {
+      if (align[h] < 0) {
+        prev_ref = -2;
+        continue;
+      }
+      if (align[h] != prev_ref + 1) ++chunks;
+      prev_ref = align[h];
+    }
+    const double penalty =
+        0.5 * std::pow(static_cast<double>(chunks) / m, 3.0);
+    total += fmean * (1.0 - penalty);
+  }
+  return total / static_cast<double>(hypotheses.size());
+}
+
+}  // namespace eval
+}  // namespace vist5

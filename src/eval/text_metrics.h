@@ -1,0 +1,36 @@
+#ifndef VIST5_EVAL_TEXT_METRICS_H_
+#define VIST5_EVAL_TEXT_METRICS_H_
+
+#include <string>
+#include <vector>
+
+namespace vist5 {
+namespace eval {
+
+/// Corpus-level BLEU-n with brevity penalty (Papineni et al., 2002) over
+/// whitespace-tokenized hypothesis/reference pairs. Uses uniform weights
+/// over orders 1..n and standard clipped modified precision.
+double CorpusBleu(const std::vector<std::string>& hypotheses,
+                  const std::vector<std::string>& references, int max_order);
+
+/// Average sentence-level ROUGE-N F1 (n-gram overlap recall/precision).
+double RougeN(const std::vector<std::string>& hypotheses,
+              const std::vector<std::string>& references, int n);
+
+/// Average sentence-level ROUGE-L F1 (longest common subsequence).
+double RougeL(const std::vector<std::string>& hypotheses,
+              const std::vector<std::string>& references);
+
+/// Average sentence-level METEOR (Banerjee & Lavie, 2005) with exact +
+/// stemmed matching, the 10PR/(R+9P) harmonic mean, and the 0.5*(ch/m)^3
+/// fragmentation penalty. Synonym matching is approximated by the stemmer.
+double Meteor(const std::vector<std::string>& hypotheses,
+              const std::vector<std::string>& references);
+
+/// Light Porter-style suffix stemmer used by METEOR matching.
+std::string Stem(const std::string& word);
+
+}  // namespace eval
+}  // namespace vist5
+
+#endif  // VIST5_EVAL_TEXT_METRICS_H_

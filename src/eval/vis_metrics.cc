@@ -1,0 +1,78 @@
+#include "eval/vis_metrics.h"
+
+#include "dv/parser.h"
+#include "util/string_util.h"
+
+namespace vist5 {
+namespace eval {
+namespace {
+
+/// Serialized axis component: select expressions plus the sort clause.
+std::string AxisKey(const dv::DvQuery& q) {
+  std::string key;
+  for (const auto& e : q.select) key += e.ToString() + ";";
+  if (q.order_by.has_value()) {
+    key += "order:" + q.order_by->target.ToString() +
+           (q.order_by->ascending ? ":asc" : ":desc");
+  }
+  return key;
+}
+
+/// Serialized data component: tables, join, filters, grouping.
+std::string DataKey(const dv::DvQuery& q) {
+  std::string key = "from:" + q.from_table + ";";
+  if (q.join.has_value()) {
+    key += "join:" + q.join->table + ":" + q.join->left.ToString() + "=" +
+           q.join->right.ToString() + ";";
+  }
+  for (const auto& p : q.where) key += "where:" + p.ToString() + ";";
+  if (q.group_by.has_value()) key += "group:" + q.group_by->ToString();
+  return key;
+}
+
+}  // namespace
+
+VisMatch CompareDvQueries(const std::string& prediction,
+                          const std::string& reference) {
+  VisMatch match;
+  auto ref = dv::ParseDvQuery(reference);
+  if (!ref.ok()) return match;  // malformed reference: everything fails
+  auto pred = dv::ParseDvQuery(prediction);
+  if (!pred.ok()) {
+    // Partial credit on chart type from the textual prefix.
+    const auto toks = SplitWhitespace(ToLower(prediction));
+    if (toks.size() >= 2 && toks[0] == "visualize") {
+      match.vis = toks[1] == dv::ChartTypeName(ref->chart);
+    }
+    return match;
+  }
+  match.vis = pred->chart == ref->chart;
+  match.axis = AxisKey(*pred) == AxisKey(*ref);
+  match.data = DataKey(*pred) == DataKey(*ref);
+  match.exact = pred->ToString() == ref->ToString();
+  return match;
+}
+
+VisScores ScoreDvQueries(const std::vector<std::string>& predictions,
+                         const std::vector<std::string>& references) {
+  VisScores scores;
+  const size_t n = std::min(predictions.size(), references.size());
+  for (size_t i = 0; i < n; ++i) {
+    const VisMatch m = CompareDvQueries(predictions[i], references[i]);
+    scores.vis_em += m.vis;
+    scores.axis_em += m.axis;
+    scores.data_em += m.data;
+    scores.em += m.exact;
+    ++scores.count;
+  }
+  if (scores.count > 0) {
+    scores.vis_em /= scores.count;
+    scores.axis_em /= scores.count;
+    scores.data_em /= scores.count;
+    scores.em /= scores.count;
+  }
+  return scores;
+}
+
+}  // namespace eval
+}  // namespace vist5

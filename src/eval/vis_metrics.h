@@ -1,0 +1,44 @@
+#ifndef VIST5_EVAL_VIS_METRICS_H_
+#define VIST5_EVAL_VIS_METRICS_H_
+
+#include <string>
+#include <vector>
+
+namespace vist5 {
+namespace eval {
+
+/// Component-wise comparison of a predicted DV query against the reference,
+/// following the NVBench decomposition (Sec. V-B): a DV query consists of
+/// the visualization type, the axis configuration, and the data part
+/// (tables, filters, grouping).
+struct VisMatch {
+  bool vis = false;   ///< chart type equal
+  bool axis = false;  ///< select-list expressions + sort equal
+  bool data = false;  ///< from/join tables, WHERE, GROUP BY equal
+  bool exact = false; ///< full standardized queries equal
+};
+
+/// Compares `prediction` (raw model output text) against the standardized
+/// reference. Both are parsed; the prediction is re-serialized so benign
+/// spacing differences do not count against it. An unparseable prediction
+/// scores false everywhere except `vis`, which falls back to matching the
+/// "visualize <type>" prefix (partial credit the original metric grants).
+VisMatch CompareDvQueries(const std::string& prediction,
+                          const std::string& reference);
+
+/// Aggregate EM rates over a test set (all in [0, 1]).
+struct VisScores {
+  double vis_em = 0;
+  double axis_em = 0;
+  double data_em = 0;
+  double em = 0;
+  int count = 0;
+};
+
+VisScores ScoreDvQueries(const std::vector<std::string>& predictions,
+                         const std::vector<std::string>& references);
+
+}  // namespace eval
+}  // namespace vist5
+
+#endif  // VIST5_EVAL_VIS_METRICS_H_

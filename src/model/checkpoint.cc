@@ -1,0 +1,86 @@
+#include "model/checkpoint.h"
+
+#include <fstream>
+#include <map>
+
+#include "util/serialize.h"
+
+namespace vist5 {
+namespace model {
+namespace {
+
+constexpr uint32_t kMagic = 0x56543543;  // "VT5C"
+constexpr uint32_t kVersion = 1;
+
+}  // namespace
+
+Status SaveCheckpoint(const nn::Module& module, const std::string& path) {
+  BinaryWriter writer;
+  writer.WriteU32(kMagic);
+  writer.WriteU32(kVersion);
+  const auto params = module.NamedParameters();
+  writer.WriteU32(static_cast<uint32_t>(params.size()));
+  for (const auto& [name, tensor] : params) {
+    writer.WriteString(name);
+    writer.WriteU32(static_cast<uint32_t>(tensor.shape().size()));
+    for (int d : tensor.shape()) writer.WriteI32(d);
+    writer.WriteFloats(tensor.data());
+  }
+  return writer.Flush(path);
+}
+
+Status LoadCheckpoint(nn::Module* module, const std::string& path) {
+  VIST5_ASSIGN_OR_RETURN(BinaryReader reader, BinaryReader::FromFile(path));
+  uint32_t magic = 0, version = 0, count = 0;
+  VIST5_RETURN_IF_ERROR(reader.ReadU32(&magic));
+  if (magic != kMagic) {
+    return Status::InvalidArgument("not a checkpoint file: " + path);
+  }
+  VIST5_RETURN_IF_ERROR(reader.ReadU32(&version));
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version");
+  }
+  VIST5_RETURN_IF_ERROR(reader.ReadU32(&count));
+
+  std::map<std::string, Tensor> by_name;
+  for (auto& [name, tensor] : module->NamedParameters()) {
+    by_name.emplace(name, tensor);
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    VIST5_RETURN_IF_ERROR(reader.ReadString(&name));
+    uint32_t ndim = 0;
+    VIST5_RETURN_IF_ERROR(reader.ReadU32(&ndim));
+    int64_t numel = 1;
+    for (uint32_t d = 0; d < ndim; ++d) {
+      int32_t dim = 0;
+      VIST5_RETURN_IF_ERROR(reader.ReadI32(&dim));
+      numel *= dim;
+    }
+    std::vector<float> data;
+    VIST5_RETURN_IF_ERROR(reader.ReadFloats(&data));
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      return Status::NotFound("checkpoint parameter '" + name +
+                              "' not present in module");
+    }
+    if (static_cast<int64_t>(data.size()) != it->second.NumElements() ||
+        static_cast<int64_t>(data.size()) != numel) {
+      return Status::InvalidArgument("shape mismatch for parameter '" + name +
+                                     "'");
+    }
+    it->second.mutable_data() = std::move(data);
+  }
+  return Status::OK();
+}
+
+bool CheckpointExists(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  uint32_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  return in && magic == kMagic;
+}
+
+}  // namespace model
+}  // namespace vist5

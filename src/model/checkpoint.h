@@ -1,0 +1,29 @@
+#ifndef VIST5_MODEL_CHECKPOINT_H_
+#define VIST5_MODEL_CHECKPOINT_H_
+
+#include <string>
+
+#include "nn/module.h"
+#include "util/status.h"
+
+namespace vist5 {
+namespace model {
+
+/// Writes every named parameter of `module` (including frozen ones) to
+/// `path` in the repo's binary checkpoint format (magic + version header,
+/// then name/shape/data records).
+Status SaveCheckpoint(const nn::Module& module, const std::string& path);
+
+/// Loads a checkpoint into `module`. Every stored parameter must exist in
+/// the module with a matching element count; parameters of the module that
+/// are absent from the file are left untouched (this is how LoRA adapters
+/// load a base checkpoint).
+Status LoadCheckpoint(nn::Module* module, const std::string& path);
+
+/// True if `path` exists and begins with the checkpoint magic.
+bool CheckpointExists(const std::string& path);
+
+}  // namespace model
+}  // namespace vist5
+
+#endif  // VIST5_MODEL_CHECKPOINT_H_

@@ -1,0 +1,211 @@
+#include "model/retrieval.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "dv/encoding.h"
+#include "dv/parser.h"
+#include "util/string_util.h"
+
+namespace vist5 {
+namespace model {
+
+void ExampleRetriever::Add(Item item) {
+  item_tokens_.push_back(SplitWhitespace(ToLower(item.question)));
+  items_.push_back(std::move(item));
+  finalized_ = false;
+}
+
+void ExampleRetriever::Finalize() {
+  doc_freq_.clear();
+  for (const auto& tokens : item_tokens_) {
+    std::set<std::string> unique(tokens.begin(), tokens.end());
+    for (const std::string& t : unique) ++doc_freq_[t];
+  }
+  finalized_ = true;
+}
+
+double ExampleRetriever::Idf(const std::string& token) const {
+  auto it = doc_freq_.find(token);
+  const int df = it == doc_freq_.end() ? 0 : it->second;
+  return std::log((items_.size() + 1.0) / (df + 1.0)) + 1.0;
+}
+
+std::vector<const ExampleRetriever::Item*> ExampleRetriever::TopK(
+    const std::string& question, int k) const {
+  const std::vector<std::string> q_tokens =
+      SplitWhitespace(ToLower(question));
+  std::set<std::string> q_set(q_tokens.begin(), q_tokens.end());
+  double q_norm = 0;
+  for (const std::string& t : q_set) q_norm += Idf(t) * Idf(t);
+
+  std::vector<std::pair<double, int>> scored;
+  for (size_t i = 0; i < items_.size(); ++i) {
+    std::set<std::string> d_set(item_tokens_[i].begin(),
+                                item_tokens_[i].end());
+    double overlap = 0;
+    double d_norm = 0;
+    for (const std::string& t : d_set) {
+      const double w = Idf(t) * Idf(t);
+      d_norm += w;
+      if (q_set.count(t) > 0) overlap += w;
+    }
+    const double denom = std::sqrt(q_norm) * std::sqrt(d_norm);
+    scored.emplace_back(denom > 0 ? overlap / denom : 0,
+                        static_cast<int>(i));
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<const Item*> out;
+  for (int i = 0; i < k && i < static_cast<int>(scored.size()); ++i) {
+    out.push_back(&items_[static_cast<size_t>(scored[static_cast<size_t>(i)]
+                                                  .second)]);
+  }
+  return out;
+}
+
+namespace {
+
+/// Whether `name` (underscores spaced) is mentioned in the question.
+bool Mentioned(const std::string& name, const std::string& question_lower) {
+  if (Contains(question_lower, name)) return true;
+  const std::string spaced = ReplaceAll(name, "_", " ");
+  return Contains(question_lower, spaced);
+}
+
+bool ColumnIsCategorical(const db::Column& c) {
+  return c.type == db::ValueType::kText || c.name == "year";
+}
+
+/// Picks a column of `table` to substitute for `old_column`: a mentioned
+/// column first, then one of the same kind (categorical vs numeric), then
+/// the first non-id column.
+std::string PickColumn(const db::Table& table, const std::string& old_column,
+                       bool want_categorical,
+                       const std::string& question_lower) {
+  for (const db::Column& c : table.columns()) {
+    if (EndsWith(c.name, "_id")) continue;
+    if (Mentioned(c.name, question_lower)) return c.name;
+  }
+  for (const db::Column& c : table.columns()) {
+    if (EndsWith(c.name, "_id")) continue;
+    if (ColumnIsCategorical(c) == want_categorical) return c.name;
+  }
+  for (const db::Column& c : table.columns()) {
+    if (!EndsWith(c.name, "_id")) return c.name;
+  }
+  return old_column;
+}
+
+}  // namespace
+
+dv::DvQuery AdaptQueryToSchema(const dv::DvQuery& prototype,
+                               const std::string& question,
+                               const db::Database& database) {
+  dv::DvQuery q = prototype;
+  const std::string question_lower = ToLower(question);
+
+  // Target table: prefer a table mentioned in the question.
+  const db::Table* target = nullptr;
+  for (const db::Table& t : database.tables()) {
+    if (Mentioned(t.name(), question_lower)) {
+      target = &t;
+      break;
+    }
+  }
+  if (target == nullptr && !database.tables().empty()) {
+    target = &database.tables()[0];
+  }
+  if (target == nullptr) return q;
+
+  // Joins survive only when the target database has a matching link.
+  if (q.join.has_value()) {
+    const db::ForeignKey* fk = nullptr;
+    const db::Table* other = nullptr;
+    for (const db::Table& t : database.tables()) {
+      if (&t == target) continue;
+      fk = database.FindLink(target->name(), t.name());
+      if (fk != nullptr) {
+        other = &t;
+        break;
+      }
+    }
+    if (fk != nullptr && other != nullptr) {
+      const bool target_is_to = fk->to_table == target->name();
+      q.join->table = other->name();
+      q.join->left = {target->name(),
+                      target_is_to ? fk->to_column : fk->from_column};
+      q.join->right = {other->name(),
+                       target_is_to ? fk->from_column : fk->to_column};
+    } else {
+      q.join.reset();
+    }
+  }
+
+  const std::string old_table = q.from_table;
+  q.from_table = target->name();
+  const db::Table* join_table =
+      q.join ? database.FindTable(q.join->table) : nullptr;
+
+  auto remap = [&](dv::ColumnRef* ref, bool want_categorical) {
+    const db::Table* home = target;
+    if (join_table != nullptr && ref->table != old_table &&
+        ref->table != target->name()) {
+      home = join_table;
+    }
+    if (home->ColumnIndex(ref->column) < 0) {
+      ref->column = PickColumn(*home, ref->column, want_categorical,
+                               question_lower);
+    }
+    ref->table = home->name();
+  };
+
+  for (size_t i = 0; i < q.select.size(); ++i) {
+    remap(&q.select[i].col, /*want_categorical=*/i == 0);
+  }
+  if (q.group_by.has_value()) {
+    // Keep the group key aligned with the first select item (x axis).
+    q.group_by = q.select[0].col;
+  }
+  if (q.order_by.has_value() && !q.order_by->target.star) {
+    // Re-point the sort target at whichever select item shares its
+    // aggregate.
+    for (const auto& e : q.select) {
+      if (e.agg == q.order_by->target.agg) {
+        q.order_by->target = e;
+        break;
+      }
+    }
+  }
+  for (auto& pred : q.where) {
+    remap(&pred.col, /*want_categorical=*/!pred.is_number);
+    // The literal is kept verbatim from the exemplar: an in-context model
+    // cannot execute the database to discover which values exist, so
+    // transplanted filters frequently reference stale values — one of the
+    // characteristic failure modes of similarity prompting.
+  }
+  return q;
+}
+
+void FewShotRetrievalModel::Fit(std::vector<ExampleRetriever::Item> train) {
+  for (auto& item : train) retriever_.Add(std::move(item));
+  retriever_.Finalize();
+}
+
+std::string FewShotRetrievalModel::Predict(
+    const std::string& question, const db::Database& database) const {
+  const auto shots = retriever_.TopK(question, shots_);
+  if (shots.empty()) return "";
+  // The nearest exemplar dominates in similarity prompting; later shots
+  // serve as fallbacks when the first fails to parse.
+  for (const ExampleRetriever::Item* shot : shots) {
+    auto parsed = dv::ParseDvQuery(shot->query);
+    if (!parsed.ok()) continue;
+    return AdaptQueryToSchema(*parsed, question, database).ToString();
+  }
+  return shots[0]->query;
+}
+
+}  // namespace model
+}  // namespace vist5

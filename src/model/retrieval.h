@@ -1,0 +1,75 @@
+#ifndef VIST5_MODEL_RETRIEVAL_H_
+#define VIST5_MODEL_RETRIEVAL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "db/table.h"
+#include "dv/dv_query.h"
+
+namespace vist5 {
+namespace model {
+
+/// IDF-weighted lexical retriever over training questions. Used by both the
+/// GPT-4 similarity-prompting proxy and the RGVisNet retrieve-and-revise
+/// proxy.
+class ExampleRetriever {
+ public:
+  struct Item {
+    std::string question;
+    std::string query;
+    std::string database;
+  };
+
+  void Add(Item item);
+
+  /// Computes IDF statistics; must be called after the last Add.
+  void Finalize();
+
+  /// Top-k most similar stored items (cosine over IDF-weighted token sets).
+  std::vector<const Item*> TopK(const std::string& question, int k) const;
+
+  int size() const { return static_cast<int>(items_.size()); }
+
+ private:
+  double Idf(const std::string& token) const;
+
+  std::vector<Item> items_;
+  std::vector<std::vector<std::string>> item_tokens_;
+  std::map<std::string, int> doc_freq_;
+  bool finalized_ = false;
+};
+
+/// The GPT-4 (5-shot similarity prompting) stand-in: retrieves the nearest
+/// training exemplar and transplants its DV query onto the target schema —
+/// remapping tables and columns by question mentions — without any gradient
+/// updates. Reproduces the in-context-learning profile of Table IV: high
+/// Vis EM (chart types transfer), weaker Axis/Data EM (schema grounding is
+/// brittle).
+class FewShotRetrievalModel {
+ public:
+  explicit FewShotRetrievalModel(int shots = 5) : shots_(shots) {}
+
+  void Fit(std::vector<ExampleRetriever::Item> train);
+
+  /// Predicts a DV query for `question` over `database`.
+  std::string Predict(const std::string& question,
+                      const db::Database& database) const;
+
+ private:
+  int shots_;
+  ExampleRetriever retriever_;
+};
+
+/// Adapts `prototype` to `database`, steering table/column choices with the
+/// NL question (the slot-transplantation step shared by the few-shot proxy
+/// and the retrieve-and-revise pipeline). Exposed for tests.
+dv::DvQuery AdaptQueryToSchema(const dv::DvQuery& prototype,
+                               const std::string& question,
+                               const db::Database& database);
+
+}  // namespace model
+}  // namespace vist5
+
+#endif  // VIST5_MODEL_RETRIEVAL_H_

@@ -1,0 +1,111 @@
+#include "model/rnn_model.h"
+
+#include "tensor/ops.h"
+
+namespace vist5 {
+namespace model {
+
+RnnSeq2Seq::RnnSeq2Seq(const Config& config, int pad_id, int eos_id,
+                       uint64_t seed)
+    : config_(config),
+      pad_id_(pad_id),
+      eos_id_(eos_id),
+      init_rng_(seed),
+      embedding_(config.vocab_size, config.embed_dim, &init_rng_),
+      encoder_(config.embed_dim, config.hidden_dim, &init_rng_),
+      decoder_cell_(config.embed_dim, config.hidden_dim, &init_rng_),
+      attn_hidden_(config.hidden_dim, config.hidden_dim, /*bias=*/true,
+                   &init_rng_),
+      attn_context_(config.hidden_dim, config.hidden_dim, /*bias=*/false,
+                    &init_rng_),
+      out_(config.hidden_dim, config.vocab_size, /*bias=*/true, &init_rng_) {
+  RegisterModule("embedding", &embedding_);
+  RegisterModule("encoder", &encoder_);
+  RegisterModule("decoder_cell", &decoder_cell_);
+  RegisterModule("attn_hidden", &attn_hidden_);
+  RegisterModule("attn_context", &attn_context_);
+  RegisterModule("out", &out_);
+}
+
+Tensor RnnSeq2Seq::StepLogits(const Tensor& x_t, Tensor* hidden,
+                              const Tensor& enc_states, int batch, int enc_seq,
+                              const std::vector<int>& enc_lengths) const {
+  *hidden = decoder_cell_.Forward(x_t, *hidden);
+  // Luong dot attention over encoder states.
+  Tensor q3 = ops::Reshape(*hidden, {batch, 1, config_.hidden_dim});
+  Tensor enc3 = ops::Reshape(enc_states, {batch, enc_seq, config_.hidden_dim});
+  Tensor scores = ops::MatMulTransposeB(q3, enc3);        // [B, 1, T]
+  Tensor scores4 = ops::Reshape(scores, {batch, 1, 1, enc_seq});
+  Tensor attn = ops::MaskedSoftmax(scores4, enc_lengths, /*causal=*/false);
+  Tensor attn3 = ops::Reshape(attn, {batch, 1, enc_seq});
+  Tensor ctx = ops::MatMul(attn3, enc3);                  // [B, 1, H]
+  Tensor ctx2 = ops::Reshape(ctx, {batch, config_.hidden_dim});
+  Tensor combined = ops::Tanh(
+      ops::Add(attn_hidden_.Forward(*hidden), attn_context_.Forward(ctx2)));
+  return out_.Forward(combined);
+}
+
+Tensor RnnSeq2Seq::BatchLoss(const Batch& batch, bool train, Rng* rng) const {
+  Tensor enc_emb = embedding_.Forward(batch.enc_ids);
+  if (train && config_.dropout > 0) {
+    enc_emb = ops::Dropout(enc_emb, config_.dropout, rng);
+  }
+  nn::GruEncoder::Output enc =
+      encoder_.Forward(enc_emb, batch.batch, batch.enc_seq, batch.enc_lengths);
+
+  Tensor hidden = enc.final;
+  std::vector<Tensor> step_logits;  // time-major
+  std::vector<int> targets_tm;
+  targets_tm.reserve(batch.dec_target.size());
+  for (int t = 0; t < batch.dec_seq; ++t) {
+    std::vector<int> ids_t(static_cast<size_t>(batch.batch));
+    for (int b = 0; b < batch.batch; ++b) {
+      ids_t[static_cast<size_t>(b)] =
+          batch.dec_input[static_cast<size_t>(b) * batch.dec_seq + t];
+      targets_tm.push_back(
+          batch.dec_target[static_cast<size_t>(b) * batch.dec_seq + t]);
+    }
+    Tensor x_t = embedding_.Forward(ids_t);
+    if (train && config_.dropout > 0) {
+      x_t = ops::Dropout(x_t, config_.dropout, rng);
+    }
+    step_logits.push_back(StepLogits(x_t, &hidden, enc.states, batch.batch,
+                                     batch.enc_seq, batch.enc_lengths));
+  }
+  Tensor logits = ops::ConcatRows(step_logits);  // [(T*B), V]
+  return ops::CrossEntropyLoss(logits, targets_tm, kIgnoreIndex);
+}
+
+std::vector<int> RnnSeq2Seq::Generate(const std::vector<int>& src,
+                                      const GenerationOptions& options) const {
+  NoGradGuard guard;
+  const int src_len = static_cast<int>(src.size());
+  const std::vector<int> enc_lengths = {src_len};
+  Tensor enc_emb = embedding_.Forward(src);
+  nn::GruEncoder::Output enc = encoder_.Forward(enc_emb, 1, src_len,
+                                                enc_lengths);
+  Tensor hidden = enc.final;
+  std::vector<int> out;
+  int prev = pad_id_;
+  for (int step = 0; step < options.max_len; ++step) {
+    Tensor x_t = embedding_.Forward(std::vector<int>{prev});
+    Tensor logits =
+        StepLogits(x_t, &hidden, enc.states, 1, src_len, enc_lengths);
+    int best = -1;
+    float best_score = -1e30f;
+    for (int v = 0; v < logits.dim(1); ++v) {
+      if (options.allowed && !options.allowed(v)) continue;
+      if (logits.data()[static_cast<size_t>(v)] > best_score) {
+        best_score = logits.data()[static_cast<size_t>(v)];
+        best = v;
+      }
+    }
+    if (best < 0 || best == eos_id_) break;
+    out.push_back(best);
+    prev = best;
+  }
+  return out;
+}
+
+}  // namespace model
+}  // namespace vist5

@@ -1,0 +1,57 @@
+#ifndef VIST5_MODEL_RNN_MODEL_H_
+#define VIST5_MODEL_RNN_MODEL_H_
+
+#include <memory>
+
+#include "model/seq2seq_model.h"
+#include "nn/layers.h"
+#include "nn/rnn.h"
+
+namespace vist5 {
+namespace model {
+
+/// GRU encoder-decoder with Luong dot-product attention — the Seq2Vis /
+/// Seq2Seq baseline of Tables IV, VI and VIII.
+class RnnSeq2Seq : public Seq2SeqModel, public nn::Module {
+ public:
+  struct Config {
+    int vocab_size = 0;
+    int embed_dim = 64;
+    int hidden_dim = 64;
+    float dropout = 0.1f;
+  };
+
+  RnnSeq2Seq(const Config& config, int pad_id, int eos_id, uint64_t seed);
+
+  std::vector<Tensor> TrainableParameters() const override {
+    return Parameters();
+  }
+
+  Tensor BatchLoss(const Batch& batch, bool train, Rng* rng) const override;
+
+  std::vector<int> Generate(const std::vector<int>& src,
+                            const GenerationOptions& options) const override;
+
+ private:
+  /// One decoder step: consumes the previous token embedding and produces
+  /// vocabulary logits via attention over encoder states.
+  Tensor StepLogits(const Tensor& x_t, Tensor* hidden,
+                    const Tensor& enc_states, int batch, int enc_seq,
+                    const std::vector<int>& enc_lengths) const;
+
+  Config config_;
+  int pad_id_;
+  int eos_id_;
+  Rng init_rng_;
+  nn::EmbeddingLayer embedding_;
+  nn::GruEncoder encoder_;
+  nn::GruCell decoder_cell_;
+  nn::Linear attn_hidden_;    // combines decoder state ...
+  nn::Linear attn_context_;   // ... with the attention context
+  nn::Linear out_;
+};
+
+}  // namespace model
+}  // namespace vist5
+
+#endif  // VIST5_MODEL_RNN_MODEL_H_

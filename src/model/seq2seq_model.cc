@@ -1,0 +1,61 @@
+#include "model/seq2seq_model.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace vist5 {
+namespace model {
+
+Batch MakeBatch(const std::vector<const SeqPair*>& items, int pad_id,
+                int max_src, int max_tgt) {
+  VIST5_CHECK(!items.empty());
+  Batch batch;
+  batch.batch = static_cast<int>(items.size());
+  for (const SeqPair* item : items) {
+    batch.enc_seq = std::max(
+        batch.enc_seq,
+        std::min<int>(max_src, static_cast<int>(item->src.size())));
+    batch.dec_seq = std::max(
+        batch.dec_seq,
+        std::min<int>(max_tgt, static_cast<int>(item->tgt.size())));
+  }
+  batch.enc_seq = std::max(batch.enc_seq, 1);
+  batch.dec_seq = std::max(batch.dec_seq, 1);
+  batch.enc_ids.assign(
+      static_cast<size_t>(batch.batch) * batch.enc_seq, pad_id);
+  batch.dec_input.assign(
+      static_cast<size_t>(batch.batch) * batch.dec_seq, pad_id);
+  batch.dec_target.assign(
+      static_cast<size_t>(batch.batch) * batch.dec_seq, kIgnoreIndex);
+  for (int b = 0; b < batch.batch; ++b) {
+    const SeqPair& item = *items[static_cast<size_t>(b)];
+    std::vector<int> src = item.src;
+    if (static_cast<int>(src.size()) > batch.enc_seq) {
+      src.resize(static_cast<size_t>(batch.enc_seq));
+    }
+    std::vector<int> tgt = item.tgt;
+    if (static_cast<int>(tgt.size()) > batch.dec_seq) {
+      // Keep the trailing EOS when truncating targets.
+      const int eos = tgt.back();
+      tgt.resize(static_cast<size_t>(batch.dec_seq));
+      tgt.back() = eos;
+    }
+    batch.enc_lengths.push_back(static_cast<int>(src.size()));
+    batch.dec_lengths.push_back(static_cast<int>(tgt.size()));
+    for (size_t t = 0; t < src.size(); ++t) {
+      batch.enc_ids[static_cast<size_t>(b) * batch.enc_seq + t] = src[t];
+    }
+    for (size_t t = 0; t < tgt.size(); ++t) {
+      batch.dec_target[static_cast<size_t>(b) * batch.dec_seq + t] = tgt[t];
+      if (t + 1 < static_cast<size_t>(batch.dec_seq)) {
+        batch.dec_input[static_cast<size_t>(b) * batch.dec_seq + t + 1] =
+            tgt[t];
+      }
+    }
+  }
+  return batch;
+}
+
+}  // namespace model
+}  // namespace vist5

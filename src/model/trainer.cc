@@ -1,0 +1,72 @@
+#include "model/trainer.h"
+
+#include "util/logging.h"
+#include "util/runtime.h"
+
+namespace vist5 {
+namespace model {
+
+TrainStats TrainSeq2Seq(Seq2SeqModel* model, const std::vector<SeqPair>& pairs,
+                        int pad_id, const TrainOptions& options) {
+  VIST5_CHECK(!pairs.empty());
+  TuneAllocatorForTraining();
+  Rng rng(options.seed);
+  AdamW::Options opt_options;
+  opt_options.lr = options.peak_lr;
+  opt_options.weight_decay = options.weight_decay;
+  AdamW optimizer(model->TrainableParameters(), opt_options);
+  LinearWarmupSchedule schedule(
+      options.peak_lr,
+      static_cast<int64_t>(options.steps * options.warmup_fraction),
+      options.steps);
+
+  std::vector<double> weights;
+  weights.reserve(pairs.size());
+  bool uniform = true;
+  for (const SeqPair& p : pairs) {
+    weights.push_back(p.weight);
+    uniform = uniform && p.weight == pairs[0].weight;
+  }
+
+  TrainStats stats;
+  stats.steps = options.steps;
+  double tail_loss = 0;
+  int tail_count = 0;
+  const int tail_start = options.steps - std::max(1, options.steps / 10);
+  for (int step = 0; step < options.steps; ++step) {
+    std::vector<const SeqPair*> batch_items;
+    batch_items.reserve(static_cast<size_t>(options.batch_size));
+    for (int b = 0; b < options.batch_size; ++b) {
+      const int idx = uniform
+                          ? rng.UniformInt(static_cast<int>(pairs.size()))
+                          : rng.Categorical(weights);
+      batch_items.push_back(&pairs[static_cast<size_t>(idx)]);
+    }
+    Batch batch = MakeBatch(batch_items, pad_id, options.max_src_len,
+                            options.max_tgt_len);
+    optimizer.ZeroGrad();
+    Tensor loss = model->BatchLoss(batch, /*train=*/true, &rng);
+    const float loss_value = loss.item();
+    loss.Backward();
+    loss.DetachGraph();
+    optimizer.ClipGradNorm(options.clip_norm);
+    optimizer.set_lr(schedule.LrAt(step));
+    optimizer.Step();
+
+    if (step == 0) stats.first_loss = loss_value;
+    if (step >= tail_start) {
+      tail_loss += loss_value;
+      ++tail_count;
+    }
+    if (options.log_every > 0 && step % options.log_every == 0) {
+      VIST5_LOG(Info) << "step " << step << " loss " << loss_value << " lr "
+                      << optimizer.lr();
+    }
+  }
+  stats.final_loss =
+      tail_count > 0 ? static_cast<float>(tail_loss / tail_count) : 0.0f;
+  return stats;
+}
+
+}  // namespace model
+}  // namespace vist5

@@ -1,0 +1,44 @@
+#ifndef VIST5_MODEL_TRAINER_H_
+#define VIST5_MODEL_TRAINER_H_
+
+#include <vector>
+
+#include "model/seq2seq_model.h"
+#include "tensor/optimizer.h"
+
+namespace vist5 {
+namespace model {
+
+/// Training hyperparameters (mirrors Sec. V-A: AdamW with weight decay
+/// 0.01, linear warmup with rate 0.1, gradient clipping).
+struct TrainOptions {
+  int steps = 300;
+  int batch_size = 8;
+  float peak_lr = 3e-3f;
+  float warmup_fraction = 0.1f;
+  float weight_decay = 0.01f;
+  float clip_norm = 1.0f;
+  int max_src_len = 112;
+  int max_tgt_len = 56;
+  uint64_t seed = 7;
+  /// Print a loss line every N steps; 0 silences progress.
+  int log_every = 0;
+};
+
+/// Result diagnostics from one training run.
+struct TrainStats {
+  float first_loss = 0;
+  float final_loss = 0;  ///< mean loss over the last 10% of steps
+  int steps = 0;
+};
+
+/// Trains `model` on `pairs` by weighted sampling with replacement (the
+/// per-example `weight` field implements temperature up-sampling for
+/// multi-task fine-tuning; uniform weights reduce to ordinary shuffling).
+TrainStats TrainSeq2Seq(Seq2SeqModel* model, const std::vector<SeqPair>& pairs,
+                        int pad_id, const TrainOptions& options);
+
+}  // namespace model
+}  // namespace vist5
+
+#endif  // VIST5_MODEL_TRAINER_H_

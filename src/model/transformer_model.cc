@@ -1,0 +1,217 @@
+#include "model/transformer_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vist5 {
+namespace model {
+namespace {
+
+/// Argmax over a logits row subject to the optional vocabulary constraint.
+int BestToken(const float* row, int vocab,
+              const std::function<bool(int)>& allowed) {
+  int best = -1;
+  float best_score = -1e30f;
+  for (int v = 0; v < vocab; ++v) {
+    if (allowed && !allowed(v)) continue;
+    if (row[v] > best_score) {
+      best_score = row[v];
+      best = v;
+    }
+  }
+  return best < 0 ? 0 : best;
+}
+
+/// Temperature + top-k sampling over a logits row. Falls back to argmax
+/// when no token is allowed.
+int SampleToken(const float* row, int vocab, const GenerationOptions& opts) {
+  std::vector<std::pair<float, int>> scored;
+  scored.reserve(static_cast<size_t>(vocab));
+  for (int v = 0; v < vocab; ++v) {
+    if (opts.allowed && !opts.allowed(v)) continue;
+    scored.emplace_back(row[v] / opts.temperature, v);
+  }
+  if (scored.empty()) return 0;
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  if (opts.top_k > 0 && static_cast<int>(scored.size()) > opts.top_k) {
+    scored.resize(static_cast<size_t>(opts.top_k));
+  }
+  const float maxv = scored[0].first;
+  std::vector<double> weights;
+  weights.reserve(scored.size());
+  for (const auto& [s, v] : scored) weights.push_back(std::exp(s - maxv));
+  const int pick = opts.rng->Categorical(weights);
+  return scored[static_cast<size_t>(pick)].second;
+}
+
+/// Log-softmax of one logits row (for beam scoring).
+std::vector<float> LogSoftmaxRow(const float* row, int vocab) {
+  float maxv = row[0];
+  for (int v = 1; v < vocab; ++v) maxv = std::max(maxv, row[v]);
+  double sum = 0;
+  for (int v = 0; v < vocab; ++v) sum += std::exp(row[v] - maxv);
+  const float lse = maxv + static_cast<float>(std::log(sum));
+  std::vector<float> out(static_cast<size_t>(vocab));
+  for (int v = 0; v < vocab; ++v) out[static_cast<size_t>(v)] = row[v] - lse;
+  return out;
+}
+
+}  // namespace
+
+TransformerSeq2Seq::TransformerSeq2Seq(const nn::TransformerConfig& config,
+                                       int pad_id, int eos_id, uint64_t seed)
+    : pad_id_(pad_id), eos_id_(eos_id) {
+  Rng rng(seed);
+  transformer_ = std::make_unique<nn::Transformer>(config, &rng);
+}
+
+Tensor TransformerSeq2Seq::BatchLoss(const Batch& batch, bool train,
+                                     Rng* rng) const {
+  return transformer_->Loss(batch.enc_ids, batch.batch, batch.enc_seq,
+                            batch.enc_lengths, batch.dec_input,
+                            batch.dec_target, batch.dec_seq,
+                            batch.dec_lengths, train, rng);
+}
+
+std::vector<int> TransformerSeq2Seq::Generate(
+    const std::vector<int>& src, const GenerationOptions& options) const {
+  if (options.beam_size <= 1) return GreedyDecode(src, options);
+  return BeamDecode(src, options);
+}
+
+std::vector<int> TransformerSeq2Seq::GreedyDecode(
+    const std::vector<int>& src, const GenerationOptions& options) const {
+  NoGradGuard guard;
+  const int src_len = static_cast<int>(src.size());
+  const std::vector<int> src_lengths = {src_len};
+  Tensor memory = transformer_->Encode(src, 1, src_len, src_lengths,
+                                       /*train=*/false, nullptr);
+  std::vector<int> dec = {pad_id_};
+  std::vector<int> out;
+  for (int step = 0; step < options.max_len; ++step) {
+    const std::vector<int> dec_lengths = {static_cast<int>(dec.size())};
+    Tensor hidden = transformer_->Decode(dec, 1, static_cast<int>(dec.size()),
+                                         memory, src_len, src_lengths,
+                                         dec_lengths, /*train=*/false, nullptr);
+    Tensor logits = transformer_->Logits(hidden);
+    const int vocab = logits.dim(1);
+    const float* row =
+        logits.data().data() + (dec.size() - 1) * static_cast<size_t>(vocab);
+    const bool sample = options.temperature > 0 && options.rng != nullptr;
+    const int next = sample ? SampleToken(row, vocab, options)
+                            : BestToken(row, vocab, options.allowed);
+    if (next == eos_id_) break;
+    out.push_back(next);
+    dec.push_back(next);
+  }
+  return out;
+}
+
+std::vector<int> TransformerSeq2Seq::BeamDecode(
+    const std::vector<int>& src, const GenerationOptions& options) const {
+  NoGradGuard guard;
+  const int k = options.beam_size;
+  const int src_len = static_cast<int>(src.size());
+  const std::vector<int> one_length = {src_len};
+  Tensor memory = transformer_->Encode(src, 1, src_len, one_length,
+                                       /*train=*/false, nullptr);
+
+  std::vector<Hypothesis> beams = {{{pad_id_}, 0.0}};
+  std::vector<std::pair<std::vector<int>, double>> finished;
+
+  for (int step = 0; step < options.max_len && !beams.empty(); ++step) {
+    const int nb = static_cast<int>(beams.size());
+    const int dec_seq = static_cast<int>(beams[0].tokens.size());
+    // Pack all alive hypotheses (same length by construction) into one
+    // decoder batch; replicate the encoder memory per hypothesis.
+    std::vector<int> dec_ids;
+    dec_ids.reserve(static_cast<size_t>(nb) * dec_seq);
+    for (const Hypothesis& h : beams) {
+      dec_ids.insert(dec_ids.end(), h.tokens.begin(), h.tokens.end());
+    }
+    std::vector<float> mem_data;
+    mem_data.reserve(memory.data().size() * static_cast<size_t>(nb));
+    for (int b = 0; b < nb; ++b) {
+      mem_data.insert(mem_data.end(), memory.data().begin(),
+                      memory.data().end());
+    }
+    Tensor batched_memory({nb * src_len, memory.dim(1)}, std::move(mem_data));
+    std::vector<int> mem_lengths(static_cast<size_t>(nb), src_len);
+    std::vector<int> dec_lengths(static_cast<size_t>(nb), dec_seq);
+
+    Tensor hidden = transformer_->Decode(dec_ids, nb, dec_seq, batched_memory,
+                                         src_len, mem_lengths, dec_lengths,
+                                         /*train=*/false, nullptr);
+    Tensor logits = transformer_->Logits(hidden);
+    const int vocab = logits.dim(1);
+
+    // Expand: per hypothesis, take the best 2k next tokens.
+    struct Candidate {
+      int beam;
+      int token;
+      double log_prob;
+    };
+    std::vector<Candidate> candidates;
+    for (int b = 0; b < nb; ++b) {
+      const float* row = logits.data().data() +
+                         (static_cast<size_t>(b) * dec_seq + dec_seq - 1) *
+                             static_cast<size_t>(vocab);
+      const std::vector<float> logp = LogSoftmaxRow(row, vocab);
+      std::vector<int> order;
+      order.reserve(static_cast<size_t>(vocab));
+      for (int v = 0; v < vocab; ++v) {
+        if (options.allowed && !options.allowed(v)) continue;
+        order.push_back(v);
+      }
+      const int keep = std::min<int>(2 * k, static_cast<int>(order.size()));
+      std::partial_sort(order.begin(), order.begin() + keep, order.end(),
+                        [&](int a, int c) {
+                          return logp[static_cast<size_t>(a)] >
+                                 logp[static_cast<size_t>(c)];
+                        });
+      for (int i = 0; i < keep; ++i) {
+        candidates.push_back({b, order[static_cast<size_t>(i)],
+                              beams[static_cast<size_t>(b)].log_prob +
+                                  logp[static_cast<size_t>(
+                                      order[static_cast<size_t>(i)])]});
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.log_prob > b.log_prob;
+              });
+
+    std::vector<Hypothesis> next_beams;
+    for (const Candidate& c : candidates) {
+      if (static_cast<int>(next_beams.size()) >= k) break;
+      if (c.token == eos_id_) {
+        std::vector<int> tokens(
+            beams[static_cast<size_t>(c.beam)].tokens.begin() + 1,
+            beams[static_cast<size_t>(c.beam)].tokens.end());
+        const double norm =
+            c.log_prob / std::max<size_t>(1, tokens.size() + 1);
+        finished.emplace_back(std::move(tokens), norm);
+        continue;
+      }
+      Hypothesis h = beams[static_cast<size_t>(c.beam)];
+      h.tokens.push_back(c.token);
+      h.log_prob = c.log_prob;
+      next_beams.push_back(std::move(h));
+    }
+    beams = std::move(next_beams);
+    if (static_cast<int>(finished.size()) >= k) break;
+  }
+
+  if (finished.empty()) {
+    if (beams.empty()) return {};
+    return std::vector<int>(beams[0].tokens.begin() + 1,
+                            beams[0].tokens.end());
+  }
+  std::sort(finished.begin(), finished.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return finished[0].first;
+}
+
+}  // namespace model
+}  // namespace vist5

@@ -1,0 +1,58 @@
+#ifndef VIST5_MODEL_TRANSFORMER_MODEL_H_
+#define VIST5_MODEL_TRANSFORMER_MODEL_H_
+
+#include <memory>
+
+#include "model/seq2seq_model.h"
+#include "nn/transformer.h"
+
+namespace vist5 {
+namespace model {
+
+/// Seq2SeqModel adapter around nn::Transformer. This single class backs the
+/// T5 family (DataVisT5, CodeT5+, T5), BART, the vanilla Transformer
+/// baseline, the ncNet proxy (via constrained decoding), and the LLM
+/// proxies (via EnableLora) — they differ only in configuration and
+/// training recipe.
+class TransformerSeq2Seq : public Seq2SeqModel {
+ public:
+  TransformerSeq2Seq(const nn::TransformerConfig& config, int pad_id,
+                     int eos_id, uint64_t seed);
+
+  std::vector<Tensor> TrainableParameters() const override {
+    return transformer_->Parameters();
+  }
+
+  Tensor BatchLoss(const Batch& batch, bool train, Rng* rng) const override;
+
+  /// Greedy decoding for beam_size == 1, otherwise length-normalized beam
+  /// search. Honors `options.allowed` as a hard vocabulary constraint.
+  std::vector<int> Generate(const std::vector<int>& src,
+                            const GenerationOptions& options) const override;
+
+  nn::Transformer& transformer() { return *transformer_; }
+  const nn::Transformer& transformer() const { return *transformer_; }
+
+  int pad_id() const { return pad_id_; }
+  int eos_id() const { return eos_id_; }
+
+ private:
+  struct Hypothesis {
+    std::vector<int> tokens;  ///< decoder input, starts with pad
+    double log_prob = 0;
+  };
+
+  std::vector<int> GreedyDecode(const std::vector<int>& src,
+                                const GenerationOptions& options) const;
+  std::vector<int> BeamDecode(const std::vector<int>& src,
+                              const GenerationOptions& options) const;
+
+  std::unique_ptr<nn::Transformer> transformer_;
+  int pad_id_;
+  int eos_id_;
+};
+
+}  // namespace model
+}  // namespace vist5
+
+#endif  // VIST5_MODEL_TRANSFORMER_MODEL_H_

@@ -1,0 +1,106 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+namespace vist5 {
+namespace nn {
+
+RelativePositionBias::RelativePositionBias(int num_buckets, int max_distance,
+                                           int heads, bool bidirectional,
+                                           Rng* rng)
+    : num_buckets_(num_buckets),
+      max_distance_(max_distance),
+      heads_(heads),
+      bidirectional_(bidirectional) {
+  table_ = RegisterParameter(
+      "table", Tensor::Randn({num_buckets, heads}, 0.02f, rng,
+                             /*requires_grad=*/true));
+}
+
+int RelativePositionBias::Bucket(int relative_position, bool bidirectional,
+                                 int num_buckets, int max_distance) {
+  int bucket = 0;
+  int n = relative_position;
+  if (bidirectional) {
+    num_buckets /= 2;
+    if (n > 0) bucket += num_buckets;
+    n = std::abs(n);
+  } else {
+    // Unidirectional (decoder): positive relative positions (future keys)
+    // are clamped to zero; only the past is distinguished.
+    n = -std::min(n, 0);
+  }
+  const int max_exact = num_buckets / 2;
+  if (n < max_exact) {
+    bucket += n;
+  } else {
+    // Larger distances share log-spaced buckets.
+    const float ratio = std::log(static_cast<float>(n) / max_exact) /
+                        std::log(static_cast<float>(max_distance) / max_exact);
+    int large = max_exact + static_cast<int>(ratio * (num_buckets - max_exact));
+    large = std::min(large, num_buckets - 1);
+    bucket += large;
+  }
+  return bucket;
+}
+
+Tensor RelativePositionBias::Forward(int tq, int tk, int query_offset) const {
+  std::vector<int> buckets(static_cast<size_t>(tq) * tk);
+  for (int q = 0; q < tq; ++q) {
+    for (int k = 0; k < tk; ++k) {
+      const int rel = k - (q + query_offset);
+      buckets[static_cast<size_t>(q) * tk + k] =
+          Bucket(rel, bidirectional_, num_buckets_, max_distance_);
+    }
+  }
+  // [tq*tk, H] -> [H, tq*tk] -> [H, tq, tk]
+  Tensor gathered = ops::Embedding(table_, buckets);
+  Tensor transposed = ops::Transpose2D(gathered);
+  return ops::Reshape(transposed, {heads_, tq, tk});
+}
+
+MultiHeadAttention::MultiHeadAttention(int dim, int heads, bool bias,
+                                       bool scale_scores, Rng* rng)
+    : dim_(dim),
+      heads_(heads),
+      scale_scores_(scale_scores),
+      wq_(dim, dim, bias, rng),
+      wk_(dim, dim, bias, rng),
+      wv_(dim, dim, bias, rng),
+      wo_(dim, dim, bias, rng) {
+  VIST5_CHECK_EQ(dim % heads, 0);
+  RegisterModule("wq", &wq_);
+  RegisterModule("wk", &wk_);
+  RegisterModule("wv", &wv_);
+  RegisterModule("wo", &wo_);
+}
+
+Tensor MultiHeadAttention::Forward(const Tensor& query, const Tensor& memory,
+                                   const ForwardArgs& args) const {
+  VIST5_CHECK(args.key_lengths != nullptr);
+  VIST5_CHECK_EQ(static_cast<int>(args.key_lengths->size()), args.batch);
+  const int dh = dim_ / heads_;
+
+  Tensor q = ops::SplitHeads(wq_.Forward(query), args.batch, args.tq, heads_);
+  Tensor k = ops::SplitHeads(wk_.Forward(memory), args.batch, args.tk, heads_);
+  Tensor v = ops::SplitHeads(wv_.Forward(memory), args.batch, args.tk, heads_);
+
+  Tensor scores = ops::MatMulTransposeB(q, k);  // [B, H, Tq, Tk]
+  if (scale_scores_) {
+    scores = ops::Scale(scores, 1.0f / std::sqrt(static_cast<float>(dh)));
+  }
+  if (args.position_bias != nullptr) {
+    scores = ops::AddBroadcast(scores, *args.position_bias);
+  }
+  Tensor attn = ops::MaskedSoftmax(scores, *args.key_lengths, args.causal,
+                                   args.query_offset);
+  if (args.dropout_p > 0.0f && args.rng != nullptr) {
+    attn = ops::Dropout(attn, args.dropout_p, args.rng);
+  }
+  Tensor context = ops::MatMul(attn, v);      // [B, H, Tq, dh]
+  Tensor merged = ops::MergeHeads(context);   // [B*Tq, d]
+  return wo_.Forward(merged);
+}
+
+}  // namespace nn
+}  // namespace vist5

@@ -1,0 +1,90 @@
+#ifndef VIST5_NN_ATTENTION_H_
+#define VIST5_NN_ATTENTION_H_
+
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace vist5 {
+namespace nn {
+
+/// T5 relative position bias. A learned [num_buckets, heads] table is
+/// indexed by a log-bucketed relative distance between query and key
+/// positions and added to raw attention scores.
+class RelativePositionBias : public Module {
+ public:
+  RelativePositionBias(int num_buckets, int max_distance, int heads,
+                       bool bidirectional, Rng* rng);
+
+  /// Bias tensor of shape [heads, tq, tk]. `query_offset` shifts the
+  /// absolute position of the first query (incremental decoding).
+  Tensor Forward(int tq, int tk, int query_offset = 0) const;
+
+  /// Maps a relative position (key_pos - query_pos) to a bucket index,
+  /// following the T5 reference bucketing scheme.
+  static int Bucket(int relative_position, bool bidirectional,
+                    int num_buckets, int max_distance);
+
+ private:
+  int num_buckets_;
+  int max_distance_;
+  int heads_;
+  bool bidirectional_;
+  Tensor table_;
+};
+
+/// Multi-head scaled dot-product attention over padded batches.
+///
+/// Inputs are row-major token matrices ([B*T, d]); the attention core
+/// reshapes to [B, H, T, dh] internally. Supports self- and cross-attention,
+/// causal masking, and an additive [H, Tq, Tk] position bias.
+class MultiHeadAttention : public Module {
+ public:
+  MultiHeadAttention(int dim, int heads, bool bias, bool scale_scores,
+                     Rng* rng);
+
+  struct ForwardArgs {
+    int batch = 1;
+    int tq = 0;
+    int tk = 0;
+    /// Valid key length per batch element (padding mask).
+    const std::vector<int>* key_lengths = nullptr;
+    bool causal = false;
+    /// Optional additive bias [H, Tq, Tk].
+    const Tensor* position_bias = nullptr;
+    /// Absolute position of the first query row (causal masking during
+    /// incremental decoding).
+    int query_offset = 0;
+    float dropout_p = 0.0f;
+    Rng* rng = nullptr;
+  };
+
+  /// query: [B*Tq, d]; memory: [B*Tk, d]. Returns [B*Tq, d].
+  Tensor Forward(const Tensor& query, const Tensor& memory,
+                 const ForwardArgs& args) const;
+
+  /// Attaches LoRA adapters to the query and value projections (the
+  /// standard LoRA placement).
+  void EnableLora(int rank, float alpha, Rng* rng) {
+    wq_.EnableLora(rank, alpha, rng);
+    wv_.EnableLora(rank, alpha, rng);
+    wo_.EnableLora(rank, alpha, rng);
+  }
+
+  int heads() const { return heads_; }
+
+ private:
+  int dim_;
+  int heads_;
+  bool scale_scores_;
+  Linear wq_;
+  Linear wk_;
+  Linear wv_;
+  Linear wo_;
+};
+
+}  // namespace nn
+}  // namespace vist5
+
+#endif  // VIST5_NN_ATTENTION_H_

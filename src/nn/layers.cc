@@ -1,0 +1,93 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+namespace vist5 {
+namespace nn {
+
+Linear::Linear(int in_features, int out_features, bool bias, Rng* rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(bias) {
+  const float stddev = 1.0f / std::sqrt(static_cast<float>(in_features));
+  weight_ = RegisterParameter(
+      "weight", Tensor::Randn({in_features, out_features}, stddev, rng,
+                              /*requires_grad=*/true));
+  if (has_bias_) {
+    bias_ = RegisterParameter(
+        "bias", Tensor::Zeros({out_features}, /*requires_grad=*/true));
+  }
+}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  Tensor y = ops::MatMul(x, weight_);
+  if (has_bias_) y = ops::AddBroadcast(y, bias_);
+  if (lora_rank_ > 0) {
+    Tensor delta = ops::MatMul(ops::MatMul(x, lora_a_), lora_b_);
+    y = ops::Add(y, ops::Scale(delta, lora_scale_));
+  }
+  return y;
+}
+
+void Linear::SetTrainable(bool trainable) {
+  weight_.set_requires_grad(trainable);
+  if (has_bias_) bias_.set_requires_grad(trainable);
+}
+
+void Linear::EnableLora(int rank, float alpha, Rng* rng) {
+  VIST5_CHECK_EQ(lora_rank_, 0) << "LoRA already enabled";
+  VIST5_CHECK_GT(rank, 0);
+  lora_rank_ = rank;
+  lora_scale_ = alpha / static_cast<float>(rank);
+  const float stddev = 1.0f / std::sqrt(static_cast<float>(in_features_));
+  lora_a_ = RegisterParameter(
+      "lora_a", Tensor::Randn({in_features_, rank}, stddev, rng,
+                              /*requires_grad=*/true));
+  // B starts at zero so the adapter is a no-op before training.
+  lora_b_ = RegisterParameter(
+      "lora_b",
+      Tensor::Zeros({rank, out_features_}, /*requires_grad=*/true));
+}
+
+EmbeddingLayer::EmbeddingLayer(int vocab_size, int dim, Rng* rng) {
+  // T5 scales embeddings at initialization rather than in the forward pass.
+  const float stddev = 1.0f / std::sqrt(static_cast<float>(dim));
+  table_ = RegisterParameter(
+      "table",
+      Tensor::Randn({vocab_size, dim}, stddev, rng, /*requires_grad=*/true));
+}
+
+Tensor EmbeddingLayer::Forward(const std::vector<int>& ids) const {
+  return ops::Embedding(table_, ids);
+}
+
+RmsNormLayer::RmsNormLayer(int dim) {
+  weight_ = RegisterParameter(
+      "weight", Tensor::Full({dim}, 1.0f, /*requires_grad=*/true));
+}
+
+LayerNormLayer::LayerNormLayer(int dim) {
+  gain_ = RegisterParameter("gain",
+                            Tensor::Full({dim}, 1.0f, /*requires_grad=*/true));
+  bias_ = RegisterParameter("bias",
+                            Tensor::Zeros({dim}, /*requires_grad=*/true));
+}
+
+FeedForward::FeedForward(int dim, int hidden_dim, Activation activation,
+                         bool bias, Rng* rng)
+    : activation_(activation),
+      in_(dim, hidden_dim, bias, rng),
+      out_(hidden_dim, dim, bias, rng) {
+  RegisterModule("in", &in_);
+  RegisterModule("out", &out_);
+}
+
+Tensor FeedForward::Forward(const Tensor& x, float dropout_p, Rng* rng) const {
+  Tensor h = in_.Forward(x);
+  h = activation_ == Activation::kRelu ? ops::Relu(h) : ops::Gelu(h);
+  if (dropout_p > 0.0f) h = ops::Dropout(h, dropout_p, rng);
+  return out_.Forward(h);
+}
+
+}  // namespace nn
+}  // namespace vist5

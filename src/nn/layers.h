@@ -1,0 +1,112 @@
+#ifndef VIST5_NN_LAYERS_H_
+#define VIST5_NN_LAYERS_H_
+
+#include <memory>
+#include <string>
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace vist5 {
+namespace nn {
+
+/// Affine projection y = x W (+ b). Weight is stored [in, out] so the
+/// forward pass is a plain MatMul over the trailing dimension.
+///
+/// Supports Low-Rank Adaptation (Hu et al., 2021): EnableLora attaches
+/// trainable A [in, r] and B [r, out] factors so that
+/// y = x W + b + (alpha/r) * (x A) B. The base weights are frozen by the
+/// caller; merged weights are never materialized.
+class Linear : public Module {
+ public:
+  Linear(int in_features, int out_features, bool bias, Rng* rng);
+
+  Tensor Forward(const Tensor& x) const;
+
+  const Tensor& weight() const { return weight_; }
+  Tensor& weight() { return weight_; }
+  bool has_bias() const { return has_bias_; }
+
+  /// Freezes/unfreezes the base weights (used for LoRA fine-tuning).
+  void SetTrainable(bool trainable);
+
+  /// Attaches a LoRA adapter. B starts at zero so the adapter is initially
+  /// a no-op. May only be called once.
+  void EnableLora(int rank, float alpha, Rng* rng);
+  bool lora_enabled() const { return lora_rank_ > 0; }
+
+ private:
+  int in_features_;
+  int out_features_;
+  bool has_bias_;
+  Tensor weight_;
+  Tensor bias_;
+  int lora_rank_ = 0;
+  float lora_scale_ = 0.0f;
+  Tensor lora_a_;
+  Tensor lora_b_;
+};
+
+/// Token-embedding table with gather forward.
+class EmbeddingLayer : public Module {
+ public:
+  EmbeddingLayer(int vocab_size, int dim, Rng* rng);
+
+  /// [ids.size(), dim]
+  Tensor Forward(const std::vector<int>& ids) const;
+
+  const Tensor& table() const { return table_; }
+
+ private:
+  Tensor table_;
+};
+
+/// T5 RMSNorm layer (gain only, no bias, no mean subtraction).
+class RmsNormLayer : public Module {
+ public:
+  explicit RmsNormLayer(int dim);
+  Tensor Forward(const Tensor& x) const { return ops::RmsNorm(x, weight_); }
+
+ private:
+  Tensor weight_;
+};
+
+/// Classic LayerNorm layer (gain + bias) for post-norm baselines.
+class LayerNormLayer : public Module {
+ public:
+  explicit LayerNormLayer(int dim);
+  Tensor Forward(const Tensor& x) const {
+    return ops::LayerNorm(x, gain_, bias_);
+  }
+
+ private:
+  Tensor gain_;
+  Tensor bias_;
+};
+
+/// Position-wise feed-forward block: Linear -> activation -> Linear.
+class FeedForward : public Module {
+ public:
+  enum class Activation { kRelu, kGelu };
+
+  FeedForward(int dim, int hidden_dim, Activation activation, bool bias,
+              Rng* rng);
+
+  Tensor Forward(const Tensor& x, float dropout_p, Rng* rng) const;
+
+  /// Attaches LoRA adapters to both projections.
+  void EnableLora(int rank, float alpha, Rng* rng) {
+    in_.EnableLora(rank, alpha, rng);
+    out_.EnableLora(rank, alpha, rng);
+  }
+
+ private:
+  Activation activation_;
+  Linear in_;
+  Linear out_;
+};
+
+}  // namespace nn
+}  // namespace vist5
+
+#endif  // VIST5_NN_LAYERS_H_

@@ -1,0 +1,44 @@
+#include "nn/module.h"
+
+namespace vist5 {
+namespace nn {
+
+std::vector<Tensor> Module::Parameters() const {
+  std::vector<Tensor> out;
+  for (const auto& [name, t] : NamedParameters()) {
+    if (t.requires_grad()) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, Tensor>> Module::NamedParameters(
+    const std::string& prefix) const {
+  std::vector<std::pair<std::string, Tensor>> out;
+  for (const auto& [name, t] : params_) {
+    out.emplace_back(prefix.empty() ? name : prefix + "." + name, t);
+  }
+  for (const auto& [name, child] : children_) {
+    auto sub =
+        child->NamedParameters(prefix.empty() ? name : prefix + "." + name);
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+int64_t Module::NumParameters() const {
+  int64_t total = 0;
+  for (const auto& [name, t] : NamedParameters()) total += t.NumElements();
+  return total;
+}
+
+Tensor Module::RegisterParameter(std::string name, Tensor t) {
+  params_.emplace_back(std::move(name), t);
+  return t;
+}
+
+void Module::RegisterModule(std::string name, Module* child) {
+  children_.emplace_back(std::move(name), child);
+}
+
+}  // namespace nn
+}  // namespace vist5

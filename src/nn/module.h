@@ -1,0 +1,51 @@
+#ifndef VIST5_NN_MODULE_H_
+#define VIST5_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace vist5 {
+namespace nn {
+
+/// Base class for neural network layers. Provides a registry of named
+/// parameters and child modules so that optimizers and checkpoints can walk
+/// the whole model. Children are registered as raw pointers and must outlive
+/// the parent (they are normally direct members).
+class Module {
+ public:
+  virtual ~Module() = default;
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All trainable parameters of this module and its children, depth-first.
+  /// Frozen tensors (requires_grad == false) are excluded.
+  std::vector<Tensor> Parameters() const;
+
+  /// Every parameter (including frozen) with its dotted path name, e.g.
+  /// "encoder.layer0.attn.wq". Used for checkpoint save/load.
+  std::vector<std::pair<std::string, Tensor>> NamedParameters(
+      const std::string& prefix = "") const;
+
+  /// Total number of scalar parameters (including frozen).
+  int64_t NumParameters() const;
+
+ protected:
+  /// Registers a parameter tensor under `name` and returns it.
+  Tensor RegisterParameter(std::string name, Tensor t);
+
+  /// Registers a child module under `name`.
+  void RegisterModule(std::string name, Module* child);
+
+ private:
+  std::vector<std::pair<std::string, Tensor>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+};
+
+}  // namespace nn
+}  // namespace vist5
+
+#endif  // VIST5_NN_MODULE_H_

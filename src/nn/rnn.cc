@@ -1,0 +1,69 @@
+#include "nn/rnn.h"
+
+namespace vist5 {
+namespace nn {
+
+GruCell::GruCell(int input_dim, int hidden_dim, Rng* rng)
+    : hidden_dim_(hidden_dim),
+      xz_(input_dim, hidden_dim, /*bias=*/true, rng),
+      hz_(hidden_dim, hidden_dim, /*bias=*/false, rng),
+      xr_(input_dim, hidden_dim, /*bias=*/true, rng),
+      hr_(hidden_dim, hidden_dim, /*bias=*/false, rng),
+      xn_(input_dim, hidden_dim, /*bias=*/true, rng),
+      hn_(hidden_dim, hidden_dim, /*bias=*/false, rng) {
+  RegisterModule("xz", &xz_);
+  RegisterModule("hz", &hz_);
+  RegisterModule("xr", &xr_);
+  RegisterModule("hr", &hr_);
+  RegisterModule("xn", &xn_);
+  RegisterModule("hn", &hn_);
+}
+
+Tensor GruCell::Forward(const Tensor& x, const Tensor& h) const {
+  Tensor z = ops::Sigmoid(ops::Add(xz_.Forward(x), hz_.Forward(h)));
+  Tensor r = ops::Sigmoid(ops::Add(xr_.Forward(x), hr_.Forward(h)));
+  Tensor n = ops::Tanh(ops::Add(xn_.Forward(x), hn_.Forward(ops::Mul(r, h))));
+  Tensor one_minus_z = ops::AddScalar(ops::Scale(z, -1.0f), 1.0f);
+  return ops::Add(ops::Mul(one_minus_z, h), ops::Mul(z, n));
+}
+
+GruEncoder::GruEncoder(int input_dim, int hidden_dim, Rng* rng)
+    : cell_(input_dim, hidden_dim, rng) {
+  RegisterModule("cell", &cell_);
+}
+
+GruEncoder::Output GruEncoder::Forward(const Tensor& embedded, int batch,
+                                       int seq,
+                                       const std::vector<int>& lengths) const {
+  const int hidden = cell_.hidden_dim();
+  Tensor h = Tensor::Zeros({batch, hidden});
+  std::vector<Tensor> steps;  // time-major: steps[t] is [B, H]
+  steps.reserve(static_cast<size_t>(seq));
+  for (int t = 0; t < seq; ++t) {
+    std::vector<int> rows(static_cast<size_t>(batch));
+    for (int b = 0; b < batch; ++b) rows[static_cast<size_t>(b)] = b * seq + t;
+    Tensor x_t = ops::GatherRows(embedded, rows);
+    h = cell_.Forward(x_t, h);
+    steps.push_back(h);
+  }
+  // [T*B, H] time-major -> [B*T, H] batch-major.
+  Tensor time_major = ops::ConcatRows(steps);
+  std::vector<int> perm(static_cast<size_t>(batch) * seq);
+  for (int b = 0; b < batch; ++b) {
+    for (int t = 0; t < seq; ++t) {
+      perm[static_cast<size_t>(b) * seq + t] = t * batch + b;
+    }
+  }
+  Output out;
+  out.states = ops::GatherRows(time_major, perm);
+  std::vector<int> last_rows(static_cast<size_t>(batch));
+  for (int b = 0; b < batch; ++b) {
+    const int len = std::max(1, lengths[static_cast<size_t>(b)]);
+    last_rows[static_cast<size_t>(b)] = b * seq + (len - 1);
+  }
+  out.final = ops::GatherRows(out.states, last_rows);
+  return out;
+}
+
+}  // namespace nn
+}  // namespace vist5

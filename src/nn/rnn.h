@@ -1,0 +1,58 @@
+#ifndef VIST5_NN_RNN_H_
+#define VIST5_NN_RNN_H_
+
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace vist5 {
+namespace nn {
+
+/// Gated recurrent unit cell. Separate input/hidden projections avoid a
+/// column-concat op:
+///   z = sigmoid(x Wxz + h Whz + bz)
+///   r = sigmoid(x Wxr + h Whr + br)
+///   n = tanh(x Wxn + (r * h) Whn + bn)
+///   h' = (1 - z) * h + z * n
+class GruCell : public Module {
+ public:
+  GruCell(int input_dim, int hidden_dim, Rng* rng);
+
+  /// x: [B, input_dim], h: [B, hidden_dim] -> [B, hidden_dim]
+  Tensor Forward(const Tensor& x, const Tensor& h) const;
+
+  int hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int hidden_dim_;
+  Linear xz_, hz_;
+  Linear xr_, hr_;
+  Linear xn_, hn_;
+};
+
+/// Unidirectional GRU encoder over a padded batch. Returns all hidden
+/// states stacked as [B*T, H] (padding steps carry the last real state
+/// forward; downstream attention masks them out) plus the final state
+/// [B, H] taken at each sequence's true length.
+class GruEncoder : public Module {
+ public:
+  GruEncoder(int input_dim, int hidden_dim, Rng* rng);
+
+  struct Output {
+    Tensor states;  ///< [B*T, H], time-major within each batch row.
+    Tensor final;   ///< [B, H]
+  };
+
+  /// embedded: [B*T, input_dim] row-major (batch-major, then time).
+  Output Forward(const Tensor& embedded, int batch, int seq,
+                 const std::vector<int>& lengths) const;
+
+ private:
+  GruCell cell_;
+};
+
+}  // namespace nn
+}  // namespace vist5
+
+#endif  // VIST5_NN_RNN_H_

@@ -1,0 +1,368 @@
+#include "nn/transformer.h"
+
+#include <cmath>
+
+namespace vist5 {
+namespace nn {
+
+TransformerConfig TransformerConfig::T5Small(int vocab_size) {
+  TransformerConfig c;
+  c.vocab_size = vocab_size;
+  c.d_model = 64;
+  c.num_heads = 4;
+  c.d_ff = 256;
+  c.num_encoder_layers = 2;
+  c.num_decoder_layers = 2;
+  return c;
+}
+
+TransformerConfig TransformerConfig::T5Base(int vocab_size) {
+  TransformerConfig c;
+  c.vocab_size = vocab_size;
+  c.d_model = 72;
+  c.num_heads = 4;
+  c.d_ff = 288;
+  c.num_encoder_layers = 2;
+  c.num_decoder_layers = 2;
+  return c;
+}
+
+TransformerConfig TransformerConfig::Vanilla(int vocab_size) {
+  TransformerConfig c;
+  c.vocab_size = vocab_size;
+  c.d_model = 64;
+  c.num_heads = 4;
+  c.d_ff = 256;
+  c.num_encoder_layers = 2;
+  c.num_decoder_layers = 2;
+  c.norm_style = NormStyle::kPostLayerNorm;
+  c.position_style = PositionStyle::kSinusoidal;
+  c.tie_embeddings = false;
+  c.linear_bias = true;
+  return c;
+}
+
+TransformerConfig TransformerConfig::BartLike(int vocab_size) {
+  TransformerConfig c = Vanilla(vocab_size);
+  c.position_style = PositionStyle::kLearned;
+  c.activation = FeedForward::Activation::kGelu;
+  c.d_model = 80;
+  c.num_heads = 4;
+  c.d_ff = 320;
+  return c;
+}
+
+TransformerConfig TransformerConfig::LlmProxy(int vocab_size) {
+  TransformerConfig c = T5Base(vocab_size);
+  c.d_model = 80;
+  c.num_heads = 4;
+  c.d_ff = 320;
+  c.num_encoder_layers = 3;
+  c.num_decoder_layers = 3;
+  c.activation = FeedForward::Activation::kGelu;
+  return c;
+}
+
+namespace {
+bool IsPreRms(TransformerConfig::NormStyle s) {
+  return s == TransformerConfig::NormStyle::kPreRms;
+}
+}  // namespace
+
+EncoderLayer::EncoderLayer(const TransformerConfig& config, Rng* rng)
+    : norm_style_(config.norm_style),
+      self_attn_(config.d_model, config.num_heads, config.linear_bias,
+                 config.scale_scores, rng),
+      ff_(config.d_model, config.d_ff, config.activation, config.linear_bias,
+          rng) {
+  RegisterModule("attn", &self_attn_);
+  RegisterModule("ff", &ff_);
+  if (IsPreRms(norm_style_)) {
+    rms1_ = std::make_unique<RmsNormLayer>(config.d_model);
+    rms2_ = std::make_unique<RmsNormLayer>(config.d_model);
+    RegisterModule("norm1", rms1_.get());
+    RegisterModule("norm2", rms2_.get());
+  } else {
+    ln1_ = std::make_unique<LayerNormLayer>(config.d_model);
+    ln2_ = std::make_unique<LayerNormLayer>(config.d_model);
+    RegisterModule("norm1", ln1_.get());
+    RegisterModule("norm2", ln2_.get());
+  }
+}
+
+Tensor EncoderLayer::Forward(const Tensor& x, int batch, int seq,
+                             const std::vector<int>& lengths,
+                             const Tensor* position_bias, float dropout_p,
+                             Rng* rng) const {
+  MultiHeadAttention::ForwardArgs args;
+  args.batch = batch;
+  args.tq = seq;
+  args.tk = seq;
+  args.key_lengths = &lengths;
+  args.causal = false;
+  args.position_bias = position_bias;
+  args.dropout_p = dropout_p;
+  args.rng = rng;
+
+  if (IsPreRms(norm_style_)) {
+    Tensor n1 = rms1_->Forward(x);
+    Tensor h = ops::Add(
+        x, ops::Dropout(self_attn_.Forward(n1, n1, args), dropout_p, rng));
+    Tensor out = ops::Add(
+        h, ops::Dropout(ff_.Forward(rms2_->Forward(h), dropout_p, rng),
+                        dropout_p, rng));
+    return out;
+  }
+  Tensor h = ln1_->Forward(ops::Add(
+      x, ops::Dropout(self_attn_.Forward(x, x, args), dropout_p, rng)));
+  Tensor out = ln2_->Forward(ops::Add(
+      h, ops::Dropout(ff_.Forward(h, dropout_p, rng), dropout_p, rng)));
+  return out;
+}
+
+DecoderLayer::DecoderLayer(const TransformerConfig& config, Rng* rng)
+    : norm_style_(config.norm_style),
+      self_attn_(config.d_model, config.num_heads, config.linear_bias,
+                 config.scale_scores, rng),
+      cross_attn_(config.d_model, config.num_heads, config.linear_bias,
+                  config.scale_scores, rng),
+      ff_(config.d_model, config.d_ff, config.activation, config.linear_bias,
+          rng) {
+  RegisterModule("self_attn", &self_attn_);
+  RegisterModule("cross_attn", &cross_attn_);
+  RegisterModule("ff", &ff_);
+  if (IsPreRms(norm_style_)) {
+    rms1_ = std::make_unique<RmsNormLayer>(config.d_model);
+    rms2_ = std::make_unique<RmsNormLayer>(config.d_model);
+    rms3_ = std::make_unique<RmsNormLayer>(config.d_model);
+    RegisterModule("norm1", rms1_.get());
+    RegisterModule("norm2", rms2_.get());
+    RegisterModule("norm3", rms3_.get());
+  } else {
+    ln1_ = std::make_unique<LayerNormLayer>(config.d_model);
+    ln2_ = std::make_unique<LayerNormLayer>(config.d_model);
+    ln3_ = std::make_unique<LayerNormLayer>(config.d_model);
+    RegisterModule("norm1", ln1_.get());
+    RegisterModule("norm2", ln2_.get());
+    RegisterModule("norm3", ln3_.get());
+  }
+}
+
+Tensor DecoderLayer::Forward(const Tensor& x, const Tensor& memory, int batch,
+                             int tq, int tk,
+                             const std::vector<int>& self_lengths,
+                             const std::vector<int>& memory_lengths,
+                             const Tensor* self_bias, float dropout_p,
+                             Rng* rng) const {
+  MultiHeadAttention::ForwardArgs self_args;
+  self_args.batch = batch;
+  self_args.tq = tq;
+  self_args.tk = tq;
+  self_args.key_lengths = &self_lengths;
+  self_args.causal = true;
+  self_args.position_bias = self_bias;
+  self_args.dropout_p = dropout_p;
+  self_args.rng = rng;
+
+  MultiHeadAttention::ForwardArgs cross_args;
+  cross_args.batch = batch;
+  cross_args.tq = tq;
+  cross_args.tk = tk;
+  cross_args.key_lengths = &memory_lengths;
+  cross_args.causal = false;
+  cross_args.dropout_p = dropout_p;
+  cross_args.rng = rng;
+
+  if (IsPreRms(norm_style_)) {
+    Tensor n1 = rms1_->Forward(x);
+    Tensor h = ops::Add(
+        x, ops::Dropout(self_attn_.Forward(n1, n1, self_args), dropout_p, rng));
+    Tensor h2 = ops::Add(
+        h, ops::Dropout(cross_attn_.Forward(rms2_->Forward(h), memory,
+                                            cross_args),
+                        dropout_p, rng));
+    Tensor out = ops::Add(
+        h2, ops::Dropout(ff_.Forward(rms3_->Forward(h2), dropout_p, rng),
+                         dropout_p, rng));
+    return out;
+  }
+  Tensor h = ln1_->Forward(ops::Add(
+      x, ops::Dropout(self_attn_.Forward(x, x, self_args), dropout_p, rng)));
+  Tensor h2 = ln2_->Forward(ops::Add(
+      h, ops::Dropout(cross_attn_.Forward(h, memory, cross_args), dropout_p,
+                      rng)));
+  Tensor out = ln3_->Forward(ops::Add(
+      h2, ops::Dropout(ff_.Forward(h2, dropout_p, rng), dropout_p, rng)));
+  return out;
+}
+
+Transformer::Transformer(const TransformerConfig& config, Rng* rng)
+    : config_(config), embedding_(config.vocab_size, config.d_model, rng) {
+  RegisterModule("embedding", &embedding_);
+  if (!config.tie_embeddings) {
+    lm_head_ = std::make_unique<Linear>(config.d_model, config.vocab_size,
+                                        /*bias=*/false, rng);
+    RegisterModule("lm_head", lm_head_.get());
+  }
+  if (config.position_style == TransformerConfig::PositionStyle::kRelativeBias) {
+    encoder_bias_ = std::make_unique<RelativePositionBias>(
+        config.relative_buckets, config.relative_max_distance,
+        config.num_heads, /*bidirectional=*/true, rng);
+    decoder_bias_ = std::make_unique<RelativePositionBias>(
+        config.relative_buckets, config.relative_max_distance,
+        config.num_heads, /*bidirectional=*/false, rng);
+    RegisterModule("encoder_bias", encoder_bias_.get());
+    RegisterModule("decoder_bias", decoder_bias_.get());
+  } else if (config.position_style ==
+             TransformerConfig::PositionStyle::kLearned) {
+    learned_positions_ = RegisterParameter(
+        "positions", Tensor::Randn({config.max_positions, config.d_model},
+                                   0.02f, rng, /*requires_grad=*/true));
+  } else {
+    sinusoidal_.resize(static_cast<size_t>(config.max_positions) *
+                       config.d_model);
+    for (int pos = 0; pos < config.max_positions; ++pos) {
+      for (int i = 0; i < config.d_model; ++i) {
+        const float angle =
+            pos / std::pow(10000.0f, 2.0f * (i / 2) / config.d_model);
+        sinusoidal_[static_cast<size_t>(pos) * config.d_model + i] =
+            (i % 2 == 0) ? std::sin(angle) : std::cos(angle);
+      }
+    }
+  }
+  for (int i = 0; i < config.num_encoder_layers; ++i) {
+    encoder_layers_.push_back(std::make_unique<EncoderLayer>(config, rng));
+    RegisterModule("enc" + std::to_string(i), encoder_layers_.back().get());
+  }
+  for (int i = 0; i < config.num_decoder_layers; ++i) {
+    decoder_layers_.push_back(std::make_unique<DecoderLayer>(config, rng));
+    RegisterModule("dec" + std::to_string(i), decoder_layers_.back().get());
+  }
+  if (IsPreRms(config.norm_style)) {
+    encoder_final_norm_ = std::make_unique<RmsNormLayer>(config.d_model);
+    decoder_final_norm_ = std::make_unique<RmsNormLayer>(config.d_model);
+    RegisterModule("enc_final_norm", encoder_final_norm_.get());
+    RegisterModule("dec_final_norm", decoder_final_norm_.get());
+  }
+}
+
+void Transformer::EnableLora(int rank, float alpha, Rng* rng) {
+  // Freeze the generically pre-trained base model.
+  for (auto& [name, t] : NamedParameters()) {
+    Tensor tensor = t;
+    tensor.set_requires_grad(false);
+  }
+  for (auto& layer : encoder_layers_) layer->EnableLora(rank, alpha, rng);
+  for (auto& layer : decoder_layers_) layer->EnableLora(rank, alpha, rng);
+  // The (tied) embedding table stays trainable, as in the common
+  // LoRA + trainable-embeddings recipe: adapting to a new output
+  // distribution through low-rank deltas alone is too restrictive when the
+  // base model never saw the target vocabulary distribution.
+  Tensor emb = embedding_.table();
+  emb.set_requires_grad(true);
+  if (lm_head_) lm_head_->SetTrainable(true);
+}
+
+Tensor Transformer::Embed(const std::vector<int>& ids, int batch, int seq,
+                          int offset, bool decoder_side, bool train,
+                          Rng* rng) const {
+  Tensor emb = embedding_.Forward(ids);
+  if (config_.position_style == TransformerConfig::PositionStyle::kLearned) {
+    std::vector<int> pos_ids(ids.size());
+    for (int b = 0; b < batch; ++b) {
+      for (int t = 0; t < seq; ++t) {
+        pos_ids[static_cast<size_t>(b) * seq + t] =
+            std::min(t + offset, config_.max_positions - 1);
+      }
+    }
+    emb = ops::Add(emb, ops::Embedding(learned_positions_, pos_ids));
+  } else if (config_.position_style ==
+             TransformerConfig::PositionStyle::kSinusoidal) {
+    std::vector<float> pos(ids.size() * static_cast<size_t>(config_.d_model));
+    for (int b = 0; b < batch; ++b) {
+      for (int t = 0; t < seq; ++t) {
+        const int p = std::min(t + offset, config_.max_positions - 1);
+        std::copy_n(
+            sinusoidal_.data() + static_cast<size_t>(p) * config_.d_model,
+            config_.d_model,
+            pos.data() +
+                (static_cast<size_t>(b) * seq + t) * config_.d_model);
+      }
+    }
+    Tensor pos_tensor({static_cast<int>(ids.size()), config_.d_model},
+                      std::move(pos));
+    emb = ops::Add(emb, pos_tensor);
+  }
+  if (train && config_.dropout > 0.0f) {
+    emb = ops::Dropout(emb, config_.dropout, rng);
+  }
+  (void)decoder_side;
+  return emb;
+}
+
+Tensor Transformer::Encode(const std::vector<int>& ids, int batch, int seq,
+                           const std::vector<int>& lengths, bool train,
+                           Rng* rng) const {
+  VIST5_CHECK_EQ(static_cast<int>(ids.size()), batch * seq);
+  const float dropout_p = train ? config_.dropout : 0.0f;
+  Tensor h = Embed(ids, batch, seq, 0, /*decoder_side=*/false, train, rng);
+  Tensor bias;
+  const Tensor* bias_ptr = nullptr;
+  if (encoder_bias_) {
+    bias = encoder_bias_->Forward(seq, seq);
+    bias_ptr = &bias;
+  }
+  for (const auto& layer : encoder_layers_) {
+    h = layer->Forward(h, batch, seq, lengths, bias_ptr, dropout_p, rng);
+  }
+  if (encoder_final_norm_) h = encoder_final_norm_->Forward(h);
+  return h;
+}
+
+Tensor Transformer::Decode(const std::vector<int>& ids, int batch, int dec_seq,
+                           const Tensor& memory, int enc_seq,
+                           const std::vector<int>& memory_lengths,
+                           const std::vector<int>& dec_lengths, bool train,
+                           Rng* rng) const {
+  VIST5_CHECK_EQ(static_cast<int>(ids.size()), batch * dec_seq);
+  const float dropout_p = train ? config_.dropout : 0.0f;
+  Tensor h = Embed(ids, batch, dec_seq, 0, /*decoder_side=*/true, train, rng);
+  Tensor bias;
+  const Tensor* bias_ptr = nullptr;
+  if (decoder_bias_) {
+    bias = decoder_bias_->Forward(dec_seq, dec_seq);
+    bias_ptr = &bias;
+  }
+  for (const auto& layer : decoder_layers_) {
+    h = layer->Forward(h, memory, batch, dec_seq, enc_seq, dec_lengths,
+                       memory_lengths, bias_ptr, dropout_p, rng);
+  }
+  if (decoder_final_norm_) h = decoder_final_norm_->Forward(h);
+  return h;
+}
+
+Tensor Transformer::Logits(const Tensor& decoder_hidden) const {
+  if (config_.tie_embeddings) {
+    // T5 rescales before the tied projection.
+    Tensor scaled = ops::Scale(
+        decoder_hidden, 1.0f / std::sqrt(static_cast<float>(config_.d_model)));
+    return ops::MatMulTransposeB(scaled, embedding_.table());
+  }
+  return lm_head_->Forward(decoder_hidden);
+}
+
+Tensor Transformer::Loss(const std::vector<int>& enc_ids, int batch,
+                         int enc_seq, const std::vector<int>& enc_lengths,
+                         const std::vector<int>& dec_input_ids,
+                         const std::vector<int>& dec_target_ids, int dec_seq,
+                         const std::vector<int>& dec_lengths, bool train,
+                         Rng* rng) const {
+  Tensor memory = Encode(enc_ids, batch, enc_seq, enc_lengths, train, rng);
+  Tensor hidden = Decode(dec_input_ids, batch, dec_seq, memory, enc_seq,
+                         enc_lengths, dec_lengths, train, rng);
+  Tensor logits = Logits(hidden);
+  return ops::CrossEntropyLoss(logits, dec_target_ids, /*ignore_index=*/-100);
+}
+
+}  // namespace nn
+}  // namespace vist5

@@ -1,0 +1,160 @@
+#ifndef VIST5_NN_TRANSFORMER_H_
+#define VIST5_NN_TRANSFORMER_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace vist5 {
+namespace nn {
+
+/// Hyperparameters for the generic encoder-decoder transformer. Two presets
+/// matter in this repo: the T5 family (pre-RMSNorm, relative position bias,
+/// no linear biases, tied embeddings) and the vanilla/BART family
+/// (post-LayerNorm, absolute positions, biased projections).
+struct TransformerConfig {
+  int vocab_size = 0;
+  int d_model = 64;
+  int num_heads = 4;
+  int d_ff = 256;
+  int num_encoder_layers = 2;
+  int num_decoder_layers = 2;
+  float dropout = 0.1f;
+
+  enum class NormStyle { kPreRms, kPostLayerNorm };
+  NormStyle norm_style = NormStyle::kPreRms;
+
+  enum class PositionStyle { kRelativeBias, kSinusoidal, kLearned };
+  PositionStyle position_style = PositionStyle::kRelativeBias;
+
+  FeedForward::Activation activation = FeedForward::Activation::kRelu;
+  bool tie_embeddings = true;
+  bool linear_bias = false;
+  bool scale_scores = true;
+  int relative_buckets = 16;
+  int relative_max_distance = 64;
+  int max_positions = 512;
+
+  /// T5-small-like preset standing in for the 220M checkpoints.
+  static TransformerConfig T5Small(int vocab_size);
+  /// T5-base-like preset standing in for the 770M checkpoints.
+  static TransformerConfig T5Base(int vocab_size);
+  /// Vanilla post-norm transformer (the "Transformer" baseline).
+  static TransformerConfig Vanilla(int vocab_size);
+  /// BART-like configuration (post-norm, learned positions, GELU).
+  static TransformerConfig BartLike(int vocab_size);
+  /// Larger generic-text LLM proxy used for the Llama2/Mistral baselines.
+  static TransformerConfig LlmProxy(int vocab_size);
+};
+
+/// One encoder block (self-attention + feed-forward with residuals).
+class EncoderLayer : public Module {
+ public:
+  EncoderLayer(const TransformerConfig& config, Rng* rng);
+
+  Tensor Forward(const Tensor& x, int batch, int seq,
+                 const std::vector<int>& lengths, const Tensor* position_bias,
+                 float dropout_p, Rng* rng) const;
+
+  void EnableLora(int rank, float alpha, Rng* rng) {
+    self_attn_.EnableLora(rank, alpha, rng);
+    ff_.EnableLora(rank, alpha, rng);
+  }
+
+ private:
+  TransformerConfig::NormStyle norm_style_;
+  MultiHeadAttention self_attn_;
+  FeedForward ff_;
+  std::unique_ptr<RmsNormLayer> rms1_, rms2_;
+  std::unique_ptr<LayerNormLayer> ln1_, ln2_;
+};
+
+/// One decoder block (causal self-attention + cross-attention + FF).
+class DecoderLayer : public Module {
+ public:
+  DecoderLayer(const TransformerConfig& config, Rng* rng);
+
+  Tensor Forward(const Tensor& x, const Tensor& memory, int batch, int tq,
+                 int tk, const std::vector<int>& self_lengths,
+                 const std::vector<int>& memory_lengths,
+                 const Tensor* self_bias, float dropout_p, Rng* rng) const;
+
+  void EnableLora(int rank, float alpha, Rng* rng) {
+    self_attn_.EnableLora(rank, alpha, rng);
+    cross_attn_.EnableLora(rank, alpha, rng);
+    ff_.EnableLora(rank, alpha, rng);
+  }
+
+ private:
+  TransformerConfig::NormStyle norm_style_;
+  MultiHeadAttention self_attn_;
+  MultiHeadAttention cross_attn_;
+  FeedForward ff_;
+  std::unique_ptr<RmsNormLayer> rms1_, rms2_, rms3_;
+  std::unique_ptr<LayerNormLayer> ln1_, ln2_, ln3_;
+};
+
+/// Full encoder-decoder transformer with token embeddings and an LM head.
+/// This is the network shared by DataVisT5, CodeT5+, T5, BART, the vanilla
+/// Transformer baseline, and the LLM proxies — they differ only in
+/// TransformerConfig and in how they are pre-trained.
+class Transformer : public Module {
+ public:
+  Transformer(const TransformerConfig& config, Rng* rng);
+
+  const TransformerConfig& config() const { return config_; }
+
+  /// Encodes `ids` ([B*T] row-major, padded) into hidden states [B*T, d].
+  /// `lengths[b]` gives the unpadded length of batch row b.
+  Tensor Encode(const std::vector<int>& ids, int batch, int seq,
+                const std::vector<int>& lengths, bool train, Rng* rng) const;
+
+  /// Runs the decoder over `ids` given encoder `memory`; returns hidden
+  /// states [B*T_dec, d].
+  Tensor Decode(const std::vector<int>& ids, int batch, int dec_seq,
+                const Tensor& memory, int enc_seq,
+                const std::vector<int>& memory_lengths,
+                const std::vector<int>& dec_lengths, bool train,
+                Rng* rng) const;
+
+  /// Projects decoder hidden states to vocabulary logits [rows, V].
+  Tensor Logits(const Tensor& decoder_hidden) const;
+
+  /// LoRA fine-tuning mode (Sec. V-B baselines Llama2/Mistral + LoRA):
+  /// freezes every existing parameter, then attaches trainable low-rank
+  /// adapters to all attention query/value projections.
+  void EnableLora(int rank, float alpha, Rng* rng);
+
+  /// Teacher-forced sequence-to-sequence cross-entropy loss. Target rows
+  /// equal to `pad_id` are ignored. decoder_input must be the right-shifted
+  /// targets.
+  Tensor Loss(const std::vector<int>& enc_ids, int batch, int enc_seq,
+              const std::vector<int>& enc_lengths,
+              const std::vector<int>& dec_input_ids,
+              const std::vector<int>& dec_target_ids, int dec_seq,
+              const std::vector<int>& dec_lengths, bool train, Rng* rng) const;
+
+ private:
+  Tensor Embed(const std::vector<int>& ids, int batch, int seq, int offset,
+               bool decoder_side, bool train, Rng* rng) const;
+
+  TransformerConfig config_;
+  EmbeddingLayer embedding_;
+  std::unique_ptr<Linear> lm_head_;  // only when !tie_embeddings
+  std::unique_ptr<RelativePositionBias> encoder_bias_;
+  std::unique_ptr<RelativePositionBias> decoder_bias_;
+  Tensor learned_positions_;      // [max_positions, d] when kLearned
+  std::vector<float> sinusoidal_;  // precomputed when kSinusoidal
+  std::vector<std::unique_ptr<EncoderLayer>> encoder_layers_;
+  std::vector<std::unique_ptr<DecoderLayer>> decoder_layers_;
+  std::unique_ptr<RmsNormLayer> encoder_final_norm_;
+  std::unique_ptr<RmsNormLayer> decoder_final_norm_;
+};
+
+}  // namespace nn
+}  // namespace vist5
+
+#endif  // VIST5_NN_TRANSFORMER_H_

@@ -1,0 +1,894 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vist5 {
+namespace ops {
+namespace {
+
+// ---------------------------------------------------------------------------
+// GEMM kernels. All accumulate into C (callers zero-initialize).
+// ---------------------------------------------------------------------------
+
+// C[M,N] += A[M,K] * B[K,N]
+void GemmNN(const float* a, const float* b, float* c, int m, int k, int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<size_t>(i) * k;
+    float* crow = c + static_cast<size_t>(i) * n;
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      const float* brow = b + static_cast<size_t>(p) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// C[M,N] += A[M,K] * B[N,K]^T  (rows of B are the columns of the product)
+void GemmNT(const float* a, const float* b, float* c, int m, int k, int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<size_t>(i) * k;
+    float* crow = c + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b + static_cast<size_t>(j) * k;
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] += acc;
+    }
+  }
+}
+
+// C[P,Q] += X[M,P]^T * Y[M,Q]
+void GemmTN(const float* x, const float* y, float* c, int m, int p, int q) {
+  for (int i = 0; i < m; ++i) {
+    const float* xrow = x + static_cast<size_t>(i) * p;
+    const float* yrow = y + static_cast<size_t>(i) * q;
+    for (int a = 0; a < p; ++a) {
+      const float xv = xrow[a];
+      float* crow = c + static_cast<size_t>(a) * q;
+      for (int b = 0; b < q; ++b) crow[b] += xv * yrow[b];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Node construction helpers.
+// ---------------------------------------------------------------------------
+
+bool TracksGrad(const Tensor& t) {
+  return GradEnabled() && t.requires_grad();
+}
+
+Tensor MakeResult(std::vector<int> shape, std::vector<float> data,
+                  std::vector<Tensor> parents,
+                  std::function<void()> backward_fn) {
+  bool any_grad = false;
+  for (const Tensor& p : parents) any_grad = any_grad || TracksGrad(p);
+  Tensor out(std::move(shape), std::move(data), any_grad);
+  if (any_grad) {
+    for (const Tensor& p : parents) out.impl()->parents.push_back(p.impl());
+    out.impl()->backward_fn = std::move(backward_fn);
+  }
+  return out;
+}
+
+int64_t Prod(const std::vector<int>& dims, size_t begin, size_t end) {
+  int64_t p = 1;
+  for (size_t i = begin; i < end; ++i) p *= dims[i];
+  return p;
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  VIST5_CHECK(a.shape() == b.shape()) << a.ShapeString() << " vs "
+                                      << b.ShapeString();
+  std::vector<float> out(a.data().size());
+  for (size_t i = 0; i < out.size(); ++i) out[i] = a.data()[i] + b.data()[i];
+  auto ai = a.impl();
+  auto bi = b.impl();
+  Tensor result = MakeResult(a.shape(), std::move(out), {a, b}, nullptr);
+  if (result.requires_grad()) {
+    auto ri = result.impl();
+    result.impl()->backward_fn = [ai, bi, ri]() {
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        for (size_t i = 0; i < ri->grad.size(); ++i)
+          ai->grad[i] += ri->grad[i];
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        for (size_t i = 0; i < ri->grad.size(); ++i)
+          bi->grad[i] += ri->grad[i];
+      }
+    };
+  }
+  return result;
+}
+
+Tensor AddBroadcast(const Tensor& a, const Tensor& b) {
+  const auto& as = a.shape();
+  const auto& bs = b.shape();
+  VIST5_CHECK_LE(bs.size(), as.size());
+  for (size_t i = 0; i < bs.size(); ++i) {
+    VIST5_CHECK_EQ(bs[bs.size() - 1 - i], as[as.size() - 1 - i]);
+  }
+  const int64_t inner = Prod(bs, 0, bs.size());
+  const int64_t outer = a.NumElements() / inner;
+  std::vector<float> out(a.data().size());
+  for (int64_t o = 0; o < outer; ++o) {
+    const float* ap = a.data().data() + o * inner;
+    float* op = out.data() + o * inner;
+    const float* bp = b.data().data();
+    for (int64_t i = 0; i < inner; ++i) op[i] = ap[i] + bp[i];
+  }
+  auto ai = a.impl();
+  auto bi = b.impl();
+  Tensor result = MakeResult(a.shape(), std::move(out), {a, b}, nullptr);
+  if (result.requires_grad()) {
+    auto ri = result.impl();
+    result.impl()->backward_fn = [ai, bi, ri, outer, inner]() {
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        for (size_t i = 0; i < ri->grad.size(); ++i)
+          ai->grad[i] += ri->grad[i];
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        for (int64_t o = 0; o < outer; ++o) {
+          const float* gp = ri->grad.data() + o * inner;
+          for (int64_t i = 0; i < inner; ++i) bi->grad[i] += gp[i];
+        }
+      }
+    };
+  }
+  return result;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  VIST5_CHECK(a.shape() == b.shape());
+  std::vector<float> out(a.data().size());
+  for (size_t i = 0; i < out.size(); ++i) out[i] = a.data()[i] * b.data()[i];
+  auto ai = a.impl();
+  auto bi = b.impl();
+  Tensor result = MakeResult(a.shape(), std::move(out), {a, b}, nullptr);
+  if (result.requires_grad()) {
+    auto ri = result.impl();
+    result.impl()->backward_fn = [ai, bi, ri]() {
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        for (size_t i = 0; i < ri->grad.size(); ++i)
+          ai->grad[i] += ri->grad[i] * bi->data[i];
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        for (size_t i = 0; i < ri->grad.size(); ++i)
+          bi->grad[i] += ri->grad[i] * ai->data[i];
+      }
+    };
+  }
+  return result;
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  std::vector<float> out(a.data().size());
+  for (size_t i = 0; i < out.size(); ++i) out[i] = a.data()[i] * s;
+  auto ai = a.impl();
+  Tensor result = MakeResult(a.shape(), std::move(out), {a}, nullptr);
+  if (result.requires_grad()) {
+    auto ri = result.impl();
+    result.impl()->backward_fn = [ai, ri, s]() {
+      ai->EnsureGrad();
+      for (size_t i = 0; i < ri->grad.size(); ++i)
+        ai->grad[i] += ri->grad[i] * s;
+    };
+  }
+  return result;
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  std::vector<float> out(a.data().size());
+  for (size_t i = 0; i < out.size(); ++i) out[i] = a.data()[i] + s;
+  auto ai = a.impl();
+  Tensor result = MakeResult(a.shape(), std::move(out), {a}, nullptr);
+  if (result.requires_grad()) {
+    auto ri = result.impl();
+    result.impl()->backward_fn = [ai, ri]() {
+      ai->EnsureGrad();
+      for (size_t i = 0; i < ri->grad.size(); ++i)
+        ai->grad[i] += ri->grad[i];
+    };
+  }
+  return result;
+}
+
+namespace {
+
+// Shared implementation for MatMul / MatMulTransposeB. `transpose_b` selects
+// whether b is [*, K, N] (false) or [*, N, K] (true).
+Tensor MatMulImpl(const Tensor& a, const Tensor& b, bool transpose_b) {
+  const auto& as = a.shape();
+  const auto& bs = b.shape();
+  VIST5_CHECK_GE(as.size(), 2u);
+  VIST5_CHECK_GE(bs.size(), 2u);
+  const int k = as.back();
+  int n;
+  if (transpose_b) {
+    VIST5_CHECK_EQ(bs.back(), k);
+    n = bs[bs.size() - 2];
+  } else {
+    VIST5_CHECK_EQ(bs[bs.size() - 2], k);
+    n = bs.back();
+  }
+
+  const bool batched = bs.size() > 2;
+  int64_t batch = 1;
+  int m;
+  if (batched) {
+    VIST5_CHECK_EQ(as.size(), bs.size());
+    for (size_t i = 0; i + 2 < as.size(); ++i) VIST5_CHECK_EQ(as[i], bs[i]);
+    batch = Prod(as, 0, as.size() - 2);
+    m = as[as.size() - 2];
+  } else {
+    // Fold every leading dim of `a` into rows.
+    batch = 1;
+    m = static_cast<int>(a.NumElements() / k);
+  }
+
+  std::vector<int> out_shape = as;
+  out_shape.back() = n;
+  std::vector<float> out(static_cast<size_t>(batch) * m * n, 0.0f);
+
+  const int64_t a_stride = static_cast<int64_t>(m) * k;
+  const int64_t b_stride = batched ? static_cast<int64_t>(k) * n : 0;
+  const int64_t c_stride = static_cast<int64_t>(m) * n;
+  for (int64_t bi = 0; bi < batch; ++bi) {
+    const float* ap = a.data().data() + bi * a_stride;
+    const float* bp = b.data().data() + bi * b_stride;
+    float* cp = out.data() + bi * c_stride;
+    if (transpose_b) {
+      GemmNT(ap, bp, cp, m, k, n);
+    } else {
+      GemmNN(ap, bp, cp, m, k, n);
+    }
+  }
+
+  auto ai = a.impl();
+  auto bimpl = b.impl();
+  Tensor result =
+      MakeResult(std::move(out_shape), std::move(out), {a, b}, nullptr);
+  if (result.requires_grad()) {
+    auto ri = result.impl();
+    result.impl()->backward_fn = [ai, bimpl, ri, batch, m, k, n, a_stride,
+                                  b_stride, c_stride, transpose_b]() {
+      const bool need_a = ai->requires_grad;
+      const bool need_b = bimpl->requires_grad;
+      if (need_a) ai->EnsureGrad();
+      if (need_b) bimpl->EnsureGrad();
+      for (int64_t bi = 0; bi < batch; ++bi) {
+        const float* gp = ri->grad.data() + bi * c_stride;
+        const float* ap = ai->data.data() + bi * a_stride;
+        const float* bp = bimpl->data.data() + bi * b_stride;
+        float* gap = need_a ? ai->grad.data() + bi * a_stride : nullptr;
+        float* gbp = need_b ? bimpl->grad.data() + bi * b_stride : nullptr;
+        if (!transpose_b) {
+          // C = A[m,k] B[k,n]
+          if (need_a) GemmNT(gp, bp, gap, m, n, k);   // dA = dC * B^T
+          if (need_b) GemmTN(ap, gp, gbp, m, k, n);   // dB = A^T * dC
+        } else {
+          // C = A[m,k] B[n,k]^T
+          if (need_a) GemmNN(gp, bp, gap, m, n, k);   // dA = dC * B
+          if (need_b) GemmTN(gp, ap, gbp, m, n, k);   // dB = dC^T * A
+        }
+      }
+    };
+  }
+  return result;
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  return MatMulImpl(a, b, /*transpose_b=*/false);
+}
+
+Tensor MatMulTransposeB(const Tensor& a, const Tensor& b) {
+  return MatMulImpl(a, b, /*transpose_b=*/true);
+}
+
+namespace {
+
+// Softmax along the last dim with an optional mask predicate; rows where
+// every entry is masked become all-zero distributions.
+Tensor SoftmaxImpl(const Tensor& x,
+                   const std::function<bool(int64_t row, int col)>& masked,
+                   int last) {
+  const int64_t rows = x.NumElements() / last;
+  std::vector<float> out(x.data().size());
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xp = x.data().data() + r * last;
+    float* op = out.data() + r * last;
+    float maxv = -1e30f;
+    for (int j = 0; j < last; ++j) {
+      if (masked && masked(r, j)) continue;
+      maxv = std::max(maxv, xp[j]);
+    }
+    float sum = 0.0f;
+    for (int j = 0; j < last; ++j) {
+      if (masked && masked(r, j)) {
+        op[j] = 0.0f;
+      } else {
+        op[j] = std::exp(xp[j] - maxv);
+        sum += op[j];
+      }
+    }
+    if (sum > 0.0f) {
+      const float inv = 1.0f / sum;
+      for (int j = 0; j < last; ++j) op[j] *= inv;
+    }
+  }
+  auto xi = x.impl();
+  Tensor result = MakeResult(x.shape(), std::move(out), {x}, nullptr);
+  if (result.requires_grad()) {
+    auto ri = result.impl();
+    result.impl()->backward_fn = [xi, ri, rows, last]() {
+      xi->EnsureGrad();
+      for (int64_t r = 0; r < rows; ++r) {
+        const float* y = ri->data.data() + r * last;
+        const float* gy = ri->grad.data() + r * last;
+        float* gx = xi->grad.data() + r * last;
+        float dot = 0.0f;
+        for (int j = 0; j < last; ++j) dot += y[j] * gy[j];
+        for (int j = 0; j < last; ++j) gx[j] += y[j] * (gy[j] - dot);
+      }
+    };
+  }
+  return result;
+}
+
+}  // namespace
+
+Tensor Softmax(const Tensor& x) {
+  return SoftmaxImpl(x, nullptr, x.dim(-1));
+}
+
+Tensor MaskedSoftmax(const Tensor& scores, const std::vector<int>& key_lengths,
+                     bool causal, int query_offset) {
+  VIST5_CHECK_EQ(scores.ndim(), 4);
+  const int b = scores.dim(0);
+  const int h = scores.dim(1);
+  const int tq = scores.dim(2);
+  const int tk = scores.dim(3);
+  VIST5_CHECK_EQ(static_cast<int>(key_lengths.size()), b);
+  auto masked = [=, &key_lengths](int64_t row, int col) {
+    // row indexes [B, H, Tq] flattened.
+    const int q = static_cast<int>(row % tq);
+    const int batch = static_cast<int>(row / (static_cast<int64_t>(h) * tq));
+    if (col >= key_lengths[batch]) return true;
+    if (causal && col > q + query_offset) return true;
+    return false;
+  };
+  return SoftmaxImpl(scores, masked, tk);
+}
+
+Tensor RmsNorm(const Tensor& x, const Tensor& weight, float eps) {
+  const int d = x.dim(-1);
+  VIST5_CHECK_EQ(weight.NumElements(), d);
+  const int64_t rows = x.NumElements() / d;
+  std::vector<float> out(x.data().size());
+  std::vector<float> inv_rms(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xp = x.data().data() + r * d;
+    float ss = 0.0f;
+    for (int j = 0; j < d; ++j) ss += xp[j] * xp[j];
+    const float inv = 1.0f / std::sqrt(ss / d + eps);
+    inv_rms[static_cast<size_t>(r)] = inv;
+    float* op = out.data() + r * d;
+    for (int j = 0; j < d; ++j) op[j] = xp[j] * inv * weight.data()[j];
+  }
+  auto xi = x.impl();
+  auto wi = weight.impl();
+  Tensor result = MakeResult(x.shape(), std::move(out), {x, weight}, nullptr);
+  if (result.requires_grad()) {
+    auto ri = result.impl();
+    result.impl()->backward_fn = [xi, wi, ri, rows, d,
+                                  inv_rms = std::move(inv_rms)]() {
+      const bool need_x = xi->requires_grad;
+      const bool need_w = wi->requires_grad;
+      if (need_x) xi->EnsureGrad();
+      if (need_w) wi->EnsureGrad();
+      for (int64_t r = 0; r < rows; ++r) {
+        const float inv = inv_rms[static_cast<size_t>(r)];
+        const float* xp = xi->data.data() + r * d;
+        const float* gy = ri->grad.data() + r * d;
+        if (need_w) {
+          for (int j = 0; j < d; ++j) wi->grad[j] += gy[j] * xp[j] * inv;
+        }
+        if (need_x) {
+          float dot = 0.0f;  // sum_j gy_j * w_j * x_j
+          for (int j = 0; j < d; ++j) dot += gy[j] * wi->data[j] * xp[j];
+          const float scale = dot * inv * inv * inv / d;
+          float* gx = xi->grad.data() + r * d;
+          for (int j = 0; j < d; ++j) {
+            gx[j] += gy[j] * wi->data[j] * inv - xp[j] * scale;
+          }
+        }
+      }
+    };
+  }
+  return result;
+}
+
+Tensor LayerNorm(const Tensor& x, const Tensor& gain, const Tensor& bias,
+                 float eps) {
+  const int d = x.dim(-1);
+  VIST5_CHECK_EQ(gain.NumElements(), d);
+  VIST5_CHECK_EQ(bias.NumElements(), d);
+  const int64_t rows = x.NumElements() / d;
+  std::vector<float> out(x.data().size());
+  std::vector<float> inv_std(static_cast<size_t>(rows));
+  std::vector<float> means(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xp = x.data().data() + r * d;
+    float mean = 0.0f;
+    for (int j = 0; j < d; ++j) mean += xp[j];
+    mean /= d;
+    float var = 0.0f;
+    for (int j = 0; j < d; ++j) var += (xp[j] - mean) * (xp[j] - mean);
+    var /= d;
+    const float inv = 1.0f / std::sqrt(var + eps);
+    means[static_cast<size_t>(r)] = mean;
+    inv_std[static_cast<size_t>(r)] = inv;
+    float* op = out.data() + r * d;
+    for (int j = 0; j < d; ++j) {
+      op[j] = (xp[j] - mean) * inv * gain.data()[j] + bias.data()[j];
+    }
+  }
+  auto xi = x.impl();
+  auto gi = gain.impl();
+  auto bi = bias.impl();
+  Tensor result =
+      MakeResult(x.shape(), std::move(out), {x, gain, bias}, nullptr);
+  if (result.requires_grad()) {
+    auto ri = result.impl();
+    result.impl()->backward_fn = [xi, gi, bi, ri, rows, d,
+                                  inv_std = std::move(inv_std),
+                                  means = std::move(means)]() {
+      const bool need_x = xi->requires_grad;
+      if (need_x) xi->EnsureGrad();
+      if (gi->requires_grad) gi->EnsureGrad();
+      if (bi->requires_grad) bi->EnsureGrad();
+      for (int64_t r = 0; r < rows; ++r) {
+        const float inv = inv_std[static_cast<size_t>(r)];
+        const float mean = means[static_cast<size_t>(r)];
+        const float* xp = xi->data.data() + r * d;
+        const float* gy = ri->grad.data() + r * d;
+        if (gi->requires_grad) {
+          for (int j = 0; j < d; ++j)
+            gi->grad[j] += gy[j] * (xp[j] - mean) * inv;
+        }
+        if (bi->requires_grad) {
+          for (int j = 0; j < d; ++j) bi->grad[j] += gy[j];
+        }
+        if (need_x) {
+          // Let xhat = (x - mean) * inv, dy' = gy * gain.
+          float sum_dy = 0.0f;
+          float sum_dy_xhat = 0.0f;
+          for (int j = 0; j < d; ++j) {
+            const float dyj = gy[j] * gi->data[j];
+            const float xhat = (xp[j] - mean) * inv;
+            sum_dy += dyj;
+            sum_dy_xhat += dyj * xhat;
+          }
+          float* gx = xi->grad.data() + r * d;
+          for (int j = 0; j < d; ++j) {
+            const float dyj = gy[j] * gi->data[j];
+            const float xhat = (xp[j] - mean) * inv;
+            gx[j] += inv * (dyj - sum_dy / d - xhat * sum_dy_xhat / d);
+          }
+        }
+      }
+    };
+  }
+  return result;
+}
+
+Tensor Sigmoid(const Tensor& x) {
+  std::vector<float> out(x.data().size());
+  for (size_t i = 0; i < out.size(); ++i)
+    out[i] = 1.0f / (1.0f + std::exp(-x.data()[i]));
+  auto xi = x.impl();
+  Tensor result = MakeResult(x.shape(), std::move(out), {x}, nullptr);
+  if (result.requires_grad()) {
+    auto ri = result.impl();
+    result.impl()->backward_fn = [xi, ri]() {
+      xi->EnsureGrad();
+      for (size_t i = 0; i < ri->grad.size(); ++i) {
+        const float y = ri->data[i];
+        xi->grad[i] += ri->grad[i] * y * (1.0f - y);
+      }
+    };
+  }
+  return result;
+}
+
+Tensor Tanh(const Tensor& x) {
+  std::vector<float> out(x.data().size());
+  for (size_t i = 0; i < out.size(); ++i) out[i] = std::tanh(x.data()[i]);
+  auto xi = x.impl();
+  Tensor result = MakeResult(x.shape(), std::move(out), {x}, nullptr);
+  if (result.requires_grad()) {
+    auto ri = result.impl();
+    result.impl()->backward_fn = [xi, ri]() {
+      xi->EnsureGrad();
+      for (size_t i = 0; i < ri->grad.size(); ++i) {
+        const float y = ri->data[i];
+        xi->grad[i] += ri->grad[i] * (1.0f - y * y);
+      }
+    };
+  }
+  return result;
+}
+
+Tensor Transpose2D(const Tensor& x) {
+  VIST5_CHECK_EQ(x.ndim(), 2);
+  const int m = x.dim(0);
+  const int n = x.dim(1);
+  std::vector<float> out(x.data().size());
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      out[static_cast<size_t>(j) * m + i] =
+          x.data()[static_cast<size_t>(i) * n + j];
+    }
+  }
+  auto xi = x.impl();
+  Tensor result = MakeResult({n, m}, std::move(out), {x}, nullptr);
+  if (result.requires_grad()) {
+    auto ri = result.impl();
+    result.impl()->backward_fn = [xi, ri, m, n]() {
+      xi->EnsureGrad();
+      for (int i = 0; i < m; ++i) {
+        for (int j = 0; j < n; ++j) {
+          xi->grad[static_cast<size_t>(i) * n + j] +=
+              ri->grad[static_cast<size_t>(j) * m + i];
+        }
+      }
+    };
+  }
+  return result;
+}
+
+Tensor Relu(const Tensor& x) {
+  std::vector<float> out(x.data().size());
+  for (size_t i = 0; i < out.size(); ++i)
+    out[i] = x.data()[i] > 0.0f ? x.data()[i] : 0.0f;
+  auto xi = x.impl();
+  Tensor result = MakeResult(x.shape(), std::move(out), {x}, nullptr);
+  if (result.requires_grad()) {
+    auto ri = result.impl();
+    result.impl()->backward_fn = [xi, ri]() {
+      xi->EnsureGrad();
+      for (size_t i = 0; i < ri->grad.size(); ++i) {
+        if (xi->data[i] > 0.0f) xi->grad[i] += ri->grad[i];
+      }
+    };
+  }
+  return result;
+}
+
+Tensor Gelu(const Tensor& x) {
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  std::vector<float> out(x.data().size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    const float v = x.data()[i];
+    const float t = std::tanh(kC * (v + 0.044715f * v * v * v));
+    out[i] = 0.5f * v * (1.0f + t);
+  }
+  auto xi = x.impl();
+  Tensor result = MakeResult(x.shape(), std::move(out), {x}, nullptr);
+  if (result.requires_grad()) {
+    auto ri = result.impl();
+    result.impl()->backward_fn = [xi, ri]() {
+      xi->EnsureGrad();
+      for (size_t i = 0; i < ri->grad.size(); ++i) {
+        const float v = xi->data[i];
+        const float u = kC * (v + 0.044715f * v * v * v);
+        const float t = std::tanh(u);
+        const float du = kC * (1.0f + 3.0f * 0.044715f * v * v);
+        const float grad = 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du;
+        xi->grad[i] += ri->grad[i] * grad;
+      }
+    };
+  }
+  return result;
+}
+
+Tensor Dropout(const Tensor& x, float p, Rng* rng) {
+  if (p <= 0.0f || !GradEnabled()) return x;
+  VIST5_CHECK_LT(p, 1.0f);
+  const float keep_scale = 1.0f / (1.0f - p);
+  std::vector<float> mask(x.data().size());
+  std::vector<float> out(x.data().size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    mask[i] = rng->Bernoulli(p) ? 0.0f : keep_scale;
+    out[i] = x.data()[i] * mask[i];
+  }
+  auto xi = x.impl();
+  Tensor result = MakeResult(x.shape(), std::move(out), {x}, nullptr);
+  if (result.requires_grad()) {
+    auto ri = result.impl();
+    result.impl()->backward_fn = [xi, ri, mask = std::move(mask)]() {
+      xi->EnsureGrad();
+      for (size_t i = 0; i < ri->grad.size(); ++i)
+        xi->grad[i] += ri->grad[i] * mask[i];
+    };
+  }
+  return result;
+}
+
+Tensor Embedding(const Tensor& table, const std::vector<int>& ids) {
+  VIST5_CHECK_EQ(table.ndim(), 2);
+  const int vocab = table.dim(0);
+  const int d = table.dim(1);
+  const int n = static_cast<int>(ids.size());
+  std::vector<float> out(static_cast<size_t>(n) * d);
+  for (int i = 0; i < n; ++i) {
+    VIST5_CHECK_GE(ids[i], 0);
+    VIST5_CHECK_LT(ids[i], vocab);
+    std::copy_n(table.data().data() + static_cast<size_t>(ids[i]) * d, d,
+                out.data() + static_cast<size_t>(i) * d);
+  }
+  auto ti = table.impl();
+  Tensor result = MakeResult({n, d}, std::move(out), {table}, nullptr);
+  if (result.requires_grad()) {
+    auto ri = result.impl();
+    result.impl()->backward_fn = [ti, ri, ids, d]() {
+      ti->EnsureGrad();
+      for (size_t i = 0; i < ids.size(); ++i) {
+        float* dst = ti->grad.data() + static_cast<size_t>(ids[i]) * d;
+        const float* src = ri->grad.data() + i * d;
+        for (int j = 0; j < d; ++j) dst[j] += src[j];
+      }
+    };
+  }
+  return result;
+}
+
+Tensor CrossEntropyLoss(const Tensor& logits, const std::vector<int>& targets,
+                        int ignore_index) {
+  VIST5_CHECK_EQ(logits.ndim(), 2);
+  const int n = logits.dim(0);
+  const int v = logits.dim(1);
+  VIST5_CHECK_EQ(static_cast<int>(targets.size()), n);
+  // Forward: stable log-softmax + NLL; store softmax probabilities for the
+  // backward pass.
+  std::vector<float> probs(logits.data().size());
+  double loss = 0.0;
+  int count = 0;
+  for (int i = 0; i < n; ++i) {
+    const float* row = logits.data().data() + static_cast<size_t>(i) * v;
+    float* prow = probs.data() + static_cast<size_t>(i) * v;
+    float maxv = row[0];
+    for (int j = 1; j < v; ++j) maxv = std::max(maxv, row[j]);
+    float sum = 0.0f;
+    for (int j = 0; j < v; ++j) {
+      prow[j] = std::exp(row[j] - maxv);
+      sum += prow[j];
+    }
+    const float inv = 1.0f / sum;
+    for (int j = 0; j < v; ++j) prow[j] *= inv;
+    if (targets[i] != ignore_index) {
+      VIST5_CHECK_GE(targets[i], 0);
+      VIST5_CHECK_LT(targets[i], v);
+      loss -= std::log(std::max(prow[targets[i]], 1e-12f));
+      ++count;
+    }
+  }
+  const float mean = count > 0 ? static_cast<float>(loss / count) : 0.0f;
+  auto li = logits.impl();
+  Tensor result = MakeResult({1}, {mean}, {logits}, nullptr);
+  if (result.requires_grad()) {
+    auto ri = result.impl();
+    result.impl()->backward_fn = [li, ri, targets, ignore_index, n, v, count,
+                                  probs = std::move(probs)]() {
+      if (count == 0) return;
+      li->EnsureGrad();
+      const float gscale = ri->grad[0] / count;
+      for (int i = 0; i < n; ++i) {
+        if (targets[i] == ignore_index) continue;
+        const float* prow = probs.data() + static_cast<size_t>(i) * v;
+        float* grow = li->grad.data() + static_cast<size_t>(i) * v;
+        for (int j = 0; j < v; ++j) grow[j] += gscale * prow[j];
+        grow[targets[i]] -= gscale;
+      }
+    };
+  }
+  return result;
+}
+
+Tensor Reshape(const Tensor& x, std::vector<int> new_shape) {
+  int64_t n = 1;
+  for (int d : new_shape) n *= d;
+  VIST5_CHECK_EQ(n, x.NumElements());
+  auto xi = x.impl();
+  Tensor result =
+      MakeResult(std::move(new_shape), x.data(), {x}, nullptr);
+  if (result.requires_grad()) {
+    auto ri = result.impl();
+    result.impl()->backward_fn = [xi, ri]() {
+      xi->EnsureGrad();
+      for (size_t i = 0; i < ri->grad.size(); ++i)
+        xi->grad[i] += ri->grad[i];
+    };
+  }
+  return result;
+}
+
+Tensor SplitHeads(const Tensor& x, int batch, int seq, int heads) {
+  VIST5_CHECK_EQ(x.ndim(), 2);
+  VIST5_CHECK_EQ(x.dim(0), batch * seq);
+  const int d = x.dim(1);
+  VIST5_CHECK_EQ(d % heads, 0);
+  const int dh = d / heads;
+  std::vector<float> out(x.data().size());
+  // [b, t, h, dh] -> [b, h, t, dh]
+  for (int b = 0; b < batch; ++b) {
+    for (int t = 0; t < seq; ++t) {
+      const float* src =
+          x.data().data() + (static_cast<size_t>(b) * seq + t) * d;
+      for (int h = 0; h < heads; ++h) {
+        float* dst = out.data() +
+                     (((static_cast<size_t>(b) * heads + h) * seq) + t) * dh;
+        std::copy_n(src + static_cast<size_t>(h) * dh, dh, dst);
+      }
+    }
+  }
+  auto xi = x.impl();
+  Tensor result =
+      MakeResult({batch, heads, seq, dh}, std::move(out), {x}, nullptr);
+  if (result.requires_grad()) {
+    auto ri = result.impl();
+    result.impl()->backward_fn = [xi, ri, batch, seq, heads, dh, d]() {
+      xi->EnsureGrad();
+      for (int b = 0; b < batch; ++b) {
+        for (int t = 0; t < seq; ++t) {
+          float* dst =
+              xi->grad.data() + (static_cast<size_t>(b) * seq + t) * d;
+          for (int h = 0; h < heads; ++h) {
+            const float* src =
+                ri->grad.data() +
+                (((static_cast<size_t>(b) * heads + h) * seq) + t) * dh;
+            for (int j = 0; j < dh; ++j)
+              dst[static_cast<size_t>(h) * dh + j] += src[j];
+          }
+        }
+      }
+    };
+  }
+  return result;
+}
+
+Tensor MergeHeads(const Tensor& x) {
+  VIST5_CHECK_EQ(x.ndim(), 4);
+  const int batch = x.dim(0);
+  const int heads = x.dim(1);
+  const int seq = x.dim(2);
+  const int dh = x.dim(3);
+  const int d = heads * dh;
+  std::vector<float> out(x.data().size());
+  for (int b = 0; b < batch; ++b) {
+    for (int h = 0; h < heads; ++h) {
+      for (int t = 0; t < seq; ++t) {
+        const float* src =
+            x.data().data() +
+            (((static_cast<size_t>(b) * heads + h) * seq) + t) * dh;
+        float* dst = out.data() + (static_cast<size_t>(b) * seq + t) * d +
+                     static_cast<size_t>(h) * dh;
+        std::copy_n(src, dh, dst);
+      }
+    }
+  }
+  auto xi = x.impl();
+  Tensor result = MakeResult({batch * seq, d}, std::move(out), {x}, nullptr);
+  if (result.requires_grad()) {
+    auto ri = result.impl();
+    result.impl()->backward_fn = [xi, ri, batch, heads, seq, dh, d]() {
+      xi->EnsureGrad();
+      for (int b = 0; b < batch; ++b) {
+        for (int h = 0; h < heads; ++h) {
+          for (int t = 0; t < seq; ++t) {
+            float* dst =
+                xi->grad.data() +
+                (((static_cast<size_t>(b) * heads + h) * seq) + t) * dh;
+            const float* src = ri->grad.data() +
+                               (static_cast<size_t>(b) * seq + t) * d +
+                               static_cast<size_t>(h) * dh;
+            for (int j = 0; j < dh; ++j) dst[j] += src[j];
+          }
+        }
+      }
+    };
+  }
+  return result;
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  VIST5_CHECK(!parts.empty());
+  const int d = parts[0].dim(1);
+  int total = 0;
+  for (const Tensor& p : parts) {
+    VIST5_CHECK_EQ(p.ndim(), 2);
+    VIST5_CHECK_EQ(p.dim(1), d);
+    total += p.dim(0);
+  }
+  std::vector<float> out;
+  out.reserve(static_cast<size_t>(total) * d);
+  for (const Tensor& p : parts) {
+    out.insert(out.end(), p.data().begin(), p.data().end());
+  }
+  Tensor result = MakeResult({total, d}, std::move(out), parts, nullptr);
+  if (result.requires_grad()) {
+    auto ri = result.impl();
+    std::vector<std::shared_ptr<TensorImpl>> impls;
+    for (const Tensor& p : parts) impls.push_back(p.impl());
+    result.impl()->backward_fn = [impls, ri]() {
+      size_t offset = 0;
+      for (auto& pi : impls) {
+        if (pi->requires_grad) {
+          pi->EnsureGrad();
+          for (size_t i = 0; i < pi->data.size(); ++i)
+            pi->grad[i] += ri->grad[offset + i];
+        }
+        offset += pi->data.size();
+      }
+    };
+  }
+  return result;
+}
+
+Tensor GatherRows(const Tensor& x, const std::vector<int>& rows) {
+  VIST5_CHECK_EQ(x.ndim(), 2);
+  const int d = x.dim(1);
+  const int n = static_cast<int>(rows.size());
+  std::vector<float> out(static_cast<size_t>(n) * d);
+  for (int i = 0; i < n; ++i) {
+    VIST5_CHECK_GE(rows[i], 0);
+    VIST5_CHECK_LT(rows[i], x.dim(0));
+    std::copy_n(x.data().data() + static_cast<size_t>(rows[i]) * d, d,
+                out.data() + static_cast<size_t>(i) * d);
+  }
+  auto xi = x.impl();
+  Tensor result = MakeResult({n, d}, std::move(out), {x}, nullptr);
+  if (result.requires_grad()) {
+    auto ri = result.impl();
+    result.impl()->backward_fn = [xi, ri, rows, d]() {
+      xi->EnsureGrad();
+      for (size_t i = 0; i < rows.size(); ++i) {
+        float* dst = xi->grad.data() + static_cast<size_t>(rows[i]) * d;
+        const float* src = ri->grad.data() + i * d;
+        for (int j = 0; j < d; ++j) dst[j] += src[j];
+      }
+    };
+  }
+  return result;
+}
+
+Tensor Sum(const Tensor& x) {
+  double total = 0.0;
+  for (float v : x.data()) total += v;
+  auto xi = x.impl();
+  Tensor result =
+      MakeResult({1}, {static_cast<float>(total)}, {x}, nullptr);
+  if (result.requires_grad()) {
+    auto ri = result.impl();
+    result.impl()->backward_fn = [xi, ri]() {
+      xi->EnsureGrad();
+      for (size_t i = 0; i < xi->grad.size(); ++i)
+        xi->grad[i] += ri->grad[0];
+    };
+  }
+  return result;
+}
+
+}  // namespace ops
+}  // namespace vist5

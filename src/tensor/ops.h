@@ -1,0 +1,103 @@
+#ifndef VIST5_TENSOR_OPS_H_
+#define VIST5_TENSOR_OPS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace vist5 {
+namespace ops {
+
+/// Elementwise sum of two same-shaped tensors.
+Tensor Add(const Tensor& a, const Tensor& b);
+
+/// `a + b` where b's shape is a suffix of a's shape; b is broadcast over the
+/// leading dimensions. Covers bias adds ([*, d] + [d]) and T5 relative
+/// position bias ([B, H, Tq, Tk] + [H, Tq, Tk]).
+Tensor AddBroadcast(const Tensor& a, const Tensor& b);
+
+/// Elementwise product of two same-shaped tensors.
+Tensor Mul(const Tensor& a, const Tensor& b);
+
+/// Multiplies every element by `s`.
+Tensor Scale(const Tensor& a, float s);
+
+/// Adds scalar `s` to every element.
+Tensor AddScalar(const Tensor& a, float s);
+
+/// Matrix product. Supports:
+///  - [M, K] x [K, N]
+///  - [..., M, K] x [K, N]       (leading dims folded into rows)
+///  - [B..., M, K] x [B..., K, N] (batched, equal leading dims)
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// `a · b^T` over the last two dims. Supports the same shape combinations as
+/// MatMul with b given as [N, K] / [B..., N, K]. Used for attention scores
+/// (Q·K^T) and tied-embedding output projections.
+Tensor MatMulTransposeB(const Tensor& a, const Tensor& b);
+
+/// Softmax over the last dimension.
+Tensor Softmax(const Tensor& x);
+
+/// Softmax over the last dim of attention scores [B, H, Tq, Tk] with
+/// padding and causal masking. Key positions >= key_lengths[b] receive zero
+/// probability; if `causal`, key position k > query position q is masked.
+/// `query_offset` shifts query indices (for incremental decoding).
+Tensor MaskedSoftmax(const Tensor& scores, const std::vector<int>& key_lengths,
+                     bool causal, int query_offset = 0);
+
+/// T5-style RMS norm over the last dimension: x / rms(x) * weight.
+Tensor RmsNorm(const Tensor& x, const Tensor& weight, float eps = 1e-6f);
+
+/// Classic LayerNorm over the last dimension with learned gain and bias,
+/// used by the vanilla-Transformer and BART baselines.
+Tensor LayerNorm(const Tensor& x, const Tensor& gain, const Tensor& bias,
+                 float eps = 1e-5f);
+
+Tensor Sigmoid(const Tensor& x);
+Tensor Tanh(const Tensor& x);
+
+/// Transpose of a 2-D tensor.
+Tensor Transpose2D(const Tensor& x);
+
+Tensor Relu(const Tensor& x);
+
+/// Tanh-approximation GELU.
+Tensor Gelu(const Tensor& x);
+
+/// Inverted dropout with keep-scale 1/(1-p); identity when grads are
+/// disabled (inference) or p == 0.
+Tensor Dropout(const Tensor& x, float p, Rng* rng);
+
+/// Row gather: out[i, :] = table[ids[i], :]. Backward scatter-adds into the
+/// table gradient.
+Tensor Embedding(const Tensor& table, const std::vector<int>& ids);
+
+/// Mean cross-entropy between `logits` [N, V] and integer `targets` (size
+/// N). Rows whose target equals `ignore_index` contribute neither loss nor
+/// gradient. Returns a scalar.
+Tensor CrossEntropyLoss(const Tensor& logits, const std::vector<int>& targets,
+                        int ignore_index = -100);
+
+/// Copies into a tensor of `new_shape` (element count must match).
+Tensor Reshape(const Tensor& x, std::vector<int> new_shape);
+
+/// [B*T, H*Dh] -> [B, H, T, Dh] head split for attention.
+Tensor SplitHeads(const Tensor& x, int batch, int seq, int heads);
+
+/// [B, H, T, Dh] -> [B*T, H*Dh], inverse of SplitHeads.
+Tensor MergeHeads(const Tensor& x);
+
+/// Concatenates 2-D tensors [N_i, D] along dim 0.
+Tensor ConcatRows(const std::vector<Tensor>& parts);
+
+/// Selects rows of a 2-D tensor: out[i, :] = x[rows[i], :]. Differentiable.
+Tensor GatherRows(const Tensor& x, const std::vector<int>& rows);
+
+/// Sum of all elements as a scalar.
+Tensor Sum(const Tensor& x);
+
+}  // namespace ops
+}  // namespace vist5
+
+#endif  // VIST5_TENSOR_OPS_H_

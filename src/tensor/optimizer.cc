@@ -1,0 +1,65 @@
+#include "tensor/optimizer.h"
+
+#include <cmath>
+
+namespace vist5 {
+
+AdamW::AdamW(std::vector<Tensor> params, Options options)
+    : params_(std::move(params)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Tensor& p : params_) {
+    m_.emplace_back(p.data().size(), 0.0f);
+    v_.emplace_back(p.data().size(), 0.0f);
+  }
+}
+
+void AdamW::Step() {
+  ++step_;
+  const float bias1 = 1.0f - std::pow(options_.beta1, static_cast<float>(step_));
+  const float bias2 = 1.0f - std::pow(options_.beta2, static_cast<float>(step_));
+  for (size_t pi = 0; pi < params_.size(); ++pi) {
+    Tensor& p = params_[pi];
+    if (p.grad().empty()) continue;
+    std::vector<float>& data = p.mutable_data();
+    const std::vector<float>& grad = p.grad();
+    std::vector<float>& m = m_[pi];
+    std::vector<float>& v = v_[pi];
+    for (size_t i = 0; i < data.size(); ++i) {
+      const float g = grad[i];
+      m[i] = options_.beta1 * m[i] + (1.0f - options_.beta1) * g;
+      v[i] = options_.beta2 * v[i] + (1.0f - options_.beta2) * g * g;
+      const float mhat = m[i] / bias1;
+      const float vhat = v[i] / bias2;
+      data[i] -= options_.lr *
+                 (mhat / (std::sqrt(vhat) + options_.eps) +
+                  options_.weight_decay * data[i]);
+    }
+  }
+}
+
+void AdamW::ZeroGrad() {
+  for (Tensor& p : params_) {
+    if (!p.grad().empty()) {
+      std::fill(p.mutable_grad().begin(), p.mutable_grad().end(), 0.0f);
+    }
+  }
+}
+
+float AdamW::ClipGradNorm(float max_norm) {
+  double total = 0.0;
+  for (const Tensor& p : params_) {
+    for (float g : p.grad()) total += static_cast<double>(g) * g;
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (Tensor& p : params_) {
+      if (p.grad().empty()) continue;
+      for (float& g : p.mutable_grad()) g *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace vist5

@@ -1,0 +1,77 @@
+#ifndef VIST5_TENSOR_OPTIMIZER_H_
+#define VIST5_TENSOR_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace vist5 {
+
+/// AdamW (decoupled weight decay) over a fixed parameter list, matching the
+/// paper's DeepSpeedCPUAdam configuration (weight decay 0.01).
+class AdamW {
+ public:
+  struct Options {
+    float lr = 5e-4f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    float weight_decay = 0.01f;
+  };
+
+  AdamW(std::vector<Tensor> params, Options options);
+
+  /// Applies one update using each parameter's accumulated gradient, then
+  /// leaves the gradients untouched (call ZeroGrad separately).
+  void Step();
+
+  /// Clears all parameter gradients.
+  void ZeroGrad();
+
+  /// Rescales gradients so their global L2 norm is at most `max_norm`.
+  /// Returns the pre-clipping norm.
+  float ClipGradNorm(float max_norm);
+
+  void set_lr(float lr) { options_.lr = lr; }
+  float lr() const { return options_.lr; }
+  int64_t step_count() const { return step_; }
+
+ private:
+  std::vector<Tensor> params_;
+  Options options_;
+  int64_t step_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+/// Linear warmup to `peak_lr` over `warmup_steps`, then linear decay to zero
+/// at `total_steps` (the schedule used in Sec. V-A with warm-up rate 0.1).
+class LinearWarmupSchedule {
+ public:
+  LinearWarmupSchedule(float peak_lr, int64_t warmup_steps,
+                       int64_t total_steps)
+      : peak_lr_(peak_lr),
+        warmup_steps_(warmup_steps),
+        total_steps_(total_steps) {}
+
+  float LrAt(int64_t step) const {
+    if (total_steps_ <= 0) return peak_lr_;
+    if (warmup_steps_ > 0 && step < warmup_steps_) {
+      return peak_lr_ * static_cast<float>(step + 1) /
+             static_cast<float>(warmup_steps_);
+    }
+    if (step >= total_steps_) return 0.0f;
+    const float remain = static_cast<float>(total_steps_ - step) /
+                         static_cast<float>(total_steps_ - warmup_steps_);
+    return peak_lr_ * remain;
+  }
+
+ private:
+  float peak_lr_;
+  int64_t warmup_steps_;
+  int64_t total_steps_;
+};
+
+}  // namespace vist5
+
+#endif  // VIST5_TENSOR_OPTIMIZER_H_

@@ -1,0 +1,126 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace vist5 {
+
+namespace {
+thread_local bool g_grad_enabled = true;
+}  // namespace
+
+bool GradEnabled() { return g_grad_enabled; }
+
+NoGradGuard::NoGradGuard() : previous_(g_grad_enabled) {
+  g_grad_enabled = false;
+}
+NoGradGuard::~NoGradGuard() { g_grad_enabled = previous_; }
+
+Tensor::Tensor(std::vector<int> shape, bool requires_grad) {
+  impl_ = std::make_shared<TensorImpl>();
+  impl_->shape = std::move(shape);
+  impl_->data.assign(static_cast<size_t>(impl_->NumElements()), 0.0f);
+  impl_->requires_grad = requires_grad;
+}
+
+Tensor::Tensor(std::vector<int> shape, std::vector<float> data,
+               bool requires_grad) {
+  impl_ = std::make_shared<TensorImpl>();
+  impl_->shape = std::move(shape);
+  impl_->data = std::move(data);
+  VIST5_CHECK_EQ(static_cast<int64_t>(impl_->data.size()),
+                 impl_->NumElements());
+  impl_->requires_grad = requires_grad;
+}
+
+Tensor Tensor::Zeros(std::vector<int> shape, bool requires_grad) {
+  return Tensor(std::move(shape), requires_grad);
+}
+
+Tensor Tensor::Full(std::vector<int> shape, float value, bool requires_grad) {
+  Tensor t(std::move(shape), requires_grad);
+  std::fill(t.mutable_data().begin(), t.mutable_data().end(), value);
+  return t;
+}
+
+Tensor Tensor::Randn(std::vector<int> shape, float stddev, Rng* rng,
+                     bool requires_grad) {
+  Tensor t(std::move(shape), requires_grad);
+  for (float& x : t.mutable_data()) x = rng->Normal() * stddev;
+  return t;
+}
+
+Tensor Tensor::Scalar(float value, bool requires_grad) {
+  return Tensor({1}, {value}, requires_grad);
+}
+
+int Tensor::dim(int i) const {
+  if (i < 0) i += ndim();
+  VIST5_CHECK_GE(i, 0);
+  VIST5_CHECK_LT(i, ndim());
+  return impl_->shape[static_cast<size_t>(i)];
+}
+
+std::string Tensor::ShapeString() const {
+  std::string out = "Tensor[";
+  for (int i = 0; i < ndim(); ++i) {
+    if (i) out += ", ";
+    out += std::to_string(impl_->shape[static_cast<size_t>(i)]);
+  }
+  out += "]";
+  return out;
+}
+
+namespace {
+
+// Builds a reverse topological order of the autograd graph rooted at `root`
+// (children before parents) using an iterative DFS.
+void TopoSort(const std::shared_ptr<TensorImpl>& root,
+              std::vector<TensorImpl*>* order) {
+  std::unordered_set<TensorImpl*> visited;
+  struct Frame {
+    TensorImpl* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (visited.insert(root.get()).second) stack.push_back({root.get(), 0});
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_parent < top.node->parents.size()) {
+      TensorImpl* parent = top.node->parents[top.next_parent++].get();
+      if (visited.insert(parent).second) stack.push_back({parent, 0});
+    } else {
+      order->push_back(top.node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void Tensor::Backward() {
+  VIST5_CHECK(defined());
+  VIST5_CHECK_EQ(NumElements(), 1);
+  std::vector<TensorImpl*> order;
+  TopoSort(impl_, &order);
+  impl_->EnsureGrad();
+  impl_->grad[0] = 1.0f;
+  // order is children-last; iterate in reverse so each node's grad is
+  // complete before it propagates to parents.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    TensorImpl* node = *it;
+    if (node->backward_fn && !node->grad.empty()) node->backward_fn();
+  }
+}
+
+void Tensor::DetachGraph() {
+  if (!defined()) return;
+  std::vector<TensorImpl*> order;
+  TopoSort(impl_, &order);
+  for (TensorImpl* node : order) {
+    node->backward_fn = nullptr;
+    node->parents.clear();
+  }
+}
+
+}  // namespace vist5

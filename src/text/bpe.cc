@@ -1,0 +1,166 @@
+#include "text/bpe.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace vist5 {
+namespace text {
+namespace {
+
+constexpr char kBoundary = '\x01';  // word-initial marker
+constexpr char kPairSep = '\x1f';
+
+/// A word as its current piece decomposition plus corpus frequency.
+struct WordEntry {
+  std::vector<std::string> pieces;
+  int64_t freq = 0;
+};
+
+std::vector<std::string> InitialPieces(const std::string& word) {
+  std::vector<std::string> pieces;
+  for (size_t i = 0; i < word.size(); ++i) {
+    std::string piece;
+    if (i == 0) piece.push_back(kBoundary);
+    piece.push_back(word[i]);
+    pieces.push_back(std::move(piece));
+  }
+  return pieces;
+}
+
+}  // namespace
+
+BpeModel BpeModel::Train(const std::vector<std::string>& corpus,
+                         const Options& options) {
+  BpeModel model;
+  // Word frequency table.
+  std::map<std::string, int64_t> word_freq;
+  for (const std::string& line : corpus) {
+    for (const std::string& w : SplitWhitespace(ToLower(line))) {
+      ++word_freq[w];
+    }
+  }
+  std::vector<WordEntry> words;
+  for (const auto& [w, f] : word_freq) {
+    if (f < options.min_word_freq || w.empty()) continue;
+    words.push_back({InitialPieces(w), f});
+  }
+
+  // Iteratively merge the most frequent adjacent pair.
+  for (int merge = 0; merge < options.num_merges; ++merge) {
+    std::map<std::string, int64_t> pair_freq;
+    for (const WordEntry& entry : words) {
+      for (size_t i = 0; i + 1 < entry.pieces.size(); ++i) {
+        pair_freq[entry.pieces[i] + kPairSep + entry.pieces[i + 1]] +=
+            entry.freq;
+      }
+    }
+    if (pair_freq.empty()) break;
+    auto best = std::max_element(
+        pair_freq.begin(), pair_freq.end(),
+        [](const auto& a, const auto& b) {
+          // Deterministic tie-break on the pair key.
+          return a.second < b.second ||
+                 (a.second == b.second && a.first > b.first);
+        });
+    if (best->second < 2) break;  // nothing left worth merging
+    model.merges_.emplace(best->first,
+                          static_cast<int>(model.merges_.size()));
+    const size_t sep = best->first.find(kPairSep);
+    const std::string left = best->first.substr(0, sep);
+    const std::string right = best->first.substr(sep + 1);
+    const std::string merged = left + right;
+    for (WordEntry& entry : words) {
+      std::vector<std::string> out;
+      out.reserve(entry.pieces.size());
+      for (size_t i = 0; i < entry.pieces.size(); ++i) {
+        if (i + 1 < entry.pieces.size() && entry.pieces[i] == left &&
+            entry.pieces[i + 1] == right) {
+          out.push_back(merged);
+          ++i;
+        } else {
+          out.push_back(entry.pieces[i]);
+        }
+      }
+      entry.pieces = std::move(out);
+    }
+  }
+
+  // Vocabulary: specials, then every byte-level piece, then merged pieces.
+  model.unk_id_ = model.vocab_.AddToken("<unk>");
+  for (int c = 1; c < 256; ++c) {
+    const char ch = static_cast<char>(c);
+    model.vocab_.AddToken(std::string(1, ch));
+    model.vocab_.AddToken(std::string{kBoundary, ch});
+  }
+  for (const WordEntry& entry : words) {
+    for (const std::string& piece : entry.pieces) {
+      model.vocab_.AddToken(piece);
+    }
+  }
+  return model;
+}
+
+std::vector<std::string> BpeModel::MergeWord(
+    std::vector<std::string> pieces) const {
+  while (pieces.size() >= 2) {
+    int best_rank = -1;
+    size_t best_i = 0;
+    for (size_t i = 0; i + 1 < pieces.size(); ++i) {
+      auto it = merges_.find(pieces[i] + kPairSep + pieces[i + 1]);
+      if (it == merges_.end()) continue;
+      if (best_rank < 0 || it->second < best_rank) {
+        best_rank = it->second;
+        best_i = i;
+      }
+    }
+    if (best_rank < 0) break;
+    pieces[best_i] += pieces[best_i + 1];
+    pieces.erase(pieces.begin() + static_cast<long>(best_i) + 1);
+  }
+  return pieces;
+}
+
+std::vector<std::string> BpeModel::EncodePieces(const std::string& text) const {
+  std::vector<std::string> out;
+  for (const std::string& w : SplitWhitespace(ToLower(text))) {
+    const auto pieces = MergeWord(InitialPieces(w));
+    out.insert(out.end(), pieces.begin(), pieces.end());
+  }
+  return out;
+}
+
+std::vector<int> BpeModel::Encode(const std::string& text) const {
+  std::vector<int> out;
+  for (const std::string& piece : EncodePieces(text)) {
+    const int id = vocab_.Id(piece);
+    out.push_back(id >= 0 ? id : unk_id_);
+  }
+  return out;
+}
+
+std::string BpeModel::Decode(const std::vector<int>& ids) const {
+  std::string out;
+  for (int id : ids) {
+    if (id < 0 || id >= vocab_.size() || id == unk_id_) continue;
+    const std::string& piece = vocab_.Token(id);
+    for (char c : piece) {
+      if (c == kBoundary) {
+        if (!out.empty()) out.push_back(' ');
+      } else {
+        out.push_back(c);
+      }
+    }
+  }
+  return out;
+}
+
+std::string BpeModel::PrettyPiece(const std::string& piece) {
+  std::string out;
+  for (char c : piece) out.push_back(c == kBoundary ? '_' : c);
+  return out;
+}
+
+}  // namespace text
+}  // namespace vist5

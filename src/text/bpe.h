@@ -1,0 +1,70 @@
+#ifndef VIST5_TEXT_BPE_H_
+#define VIST5_TEXT_BPE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "text/vocab.h"
+#include "util/status.h"
+
+namespace vist5 {
+namespace text {
+
+/// Byte-pair-encoding subword model — the SentencePiece-style backend the
+/// original T5/CodeT5+ checkpoints use. Provided as an alternative to the
+/// word-level Tokenizer: it learns merges from a corpus and represents any
+/// string as a sequence of subword pieces, with a word-boundary marker
+/// ("▁"-style, rendered here as '_') on word-initial pieces.
+///
+/// The benches use the word-level tokenizer (smaller vocabularies converge
+/// faster at this scale); BpeModel exists for users who want genuine
+/// subword segmentation and for studying the tokenizer's effect.
+class BpeModel {
+ public:
+  struct Options {
+    /// Number of merge operations to learn (final vocabulary is roughly
+    /// alphabet size + num_merges).
+    int num_merges = 512;
+    /// Words appearing fewer times than this do not influence merges.
+    int min_word_freq = 1;
+  };
+
+  /// Learns merges from whitespace-tokenized `corpus`.
+  static BpeModel Train(const std::vector<std::string>& corpus,
+                        const Options& options);
+  static BpeModel Train(const std::vector<std::string>& corpus) {
+    return Train(corpus, Options());
+  }
+
+  /// Segments text into subword piece strings (word-initial pieces carry
+  /// the '\x01' boundary prefix internally; ToString renders it as '_').
+  std::vector<std::string> EncodePieces(const std::string& text) const;
+
+  /// Piece ids against the model's vocabulary.
+  std::vector<int> Encode(const std::string& text) const;
+
+  /// Inverse of Encode: joins pieces, restoring word boundaries.
+  std::string Decode(const std::vector<int>& ids) const;
+
+  int vocab_size() const { return vocab_.size(); }
+  const Vocabulary& vocab() const { return vocab_; }
+  int num_merges() const { return static_cast<int>(merges_.size()); }
+
+  /// Human-readable rendering of a piece ('\x01' -> '_').
+  static std::string PrettyPiece(const std::string& piece);
+
+ private:
+  /// Applies learned merges to one word (given as boundary-prefixed chars).
+  std::vector<std::string> MergeWord(std::vector<std::string> pieces) const;
+
+  /// merge rank by pair ("a\x1fb" -> rank); lower rank merges first.
+  std::map<std::string, int> merges_;
+  Vocabulary vocab_;
+  int unk_id_ = 0;
+};
+
+}  // namespace text
+}  // namespace vist5
+
+#endif  // VIST5_TEXT_BPE_H_

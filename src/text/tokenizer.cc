@@ -1,0 +1,238 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace vist5 {
+namespace text {
+namespace {
+
+bool IsDetached(char c) {
+  switch (c) {
+    case '(':
+    case ')':
+    case '|':
+    case ',':
+    case ';':
+    case ':':
+    case '\'':
+    case '"':
+    case '?':
+    case '!':
+    case '.':
+    case '=':
+    case '<':
+    case '>':
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Special tokens whose angle brackets must NOT be detached.
+bool IsSpecialWord(std::string_view w) {
+  return w.size() >= 2 && w.front() == '<' && w.back() == '>';
+}
+
+bool IsWordChar(const std::string& tok) {
+  return !tok.empty() &&
+         (std::isalnum(static_cast<unsigned char>(tok[0])) || tok[0] == '_');
+}
+
+}  // namespace
+
+std::vector<std::string> Tokenizer::PreTokenize(std::string_view txt) {
+  std::vector<std::string> out;
+  for (const std::string& raw : SplitWhitespace(txt)) {
+    const std::string word = ToLower(raw);
+    if (IsSpecialWord(word)) {
+      out.push_back(word);
+      continue;
+    }
+    std::string current;
+    for (char c : word) {
+      if (IsDetached(c)) {
+        if (!current.empty()) {
+          out.push_back(current);
+          current.clear();
+        }
+        out.push_back(std::string(1, c));
+      } else {
+        current.push_back(c);
+      }
+    }
+    if (!current.empty()) out.push_back(current);
+  }
+  return out;
+}
+
+void Tokenizer::RegisterSpecials() {
+  pad_id_ = vocab_.AddToken("<pad>");
+  eos_id_ = vocab_.AddToken("</s>");
+  unk_id_ = vocab_.AddToken("<unk>");
+  first_sentinel_id_ = vocab_.size();
+  for (int i = 0; i < kNumSentinels; ++i) {
+    vocab_.AddToken("<extra_id_" + std::to_string(i) + ">");
+  }
+  for (const char* t : {"<nl>", "<vql>", "<schema>", "<table>", "<question>",
+                        "<answer>", "<description>"}) {
+    vocab_.AddToken(t);
+  }
+  char_open_id_ = vocab_.AddToken("<cw>");
+  char_close_id_ = vocab_.AddToken("</cw>");
+  for (int c = 33; c < 127; ++c) {
+    vocab_.AddToken(std::string("c_") + static_cast<char>(c));
+  }
+}
+
+Tokenizer Tokenizer::Build(const std::vector<std::string>& corpus,
+                           int min_freq) {
+  Tokenizer tok;
+  tok.RegisterSpecials();
+  std::unordered_map<std::string, int> freq;
+  std::vector<std::string> order;  // first-seen order for determinism
+  for (const std::string& line : corpus) {
+    for (const std::string& w : PreTokenize(line)) {
+      if (++freq[w] == 1) order.push_back(w);
+    }
+  }
+  for (const std::string& w : order) {
+    if (freq[w] >= min_freq && !tok.vocab_.Contains(w)) {
+      tok.vocab_.AddToken(w);
+    }
+  }
+  return tok;
+}
+
+std::vector<int> Tokenizer::Encode(std::string_view txt) const {
+  std::vector<int> out;
+  for (const std::string& w : PreTokenize(txt)) {
+    const int id = vocab_.Id(w);
+    if (id >= 0) {
+      out.push_back(id);
+      continue;
+    }
+    // Character fallback keeps every word representable.
+    out.push_back(char_open_id_);
+    for (char c : w) {
+      const int cid = vocab_.Id(std::string("c_") + c);
+      out.push_back(cid >= 0 ? cid : unk_id_);
+    }
+    out.push_back(char_close_id_);
+  }
+  return out;
+}
+
+std::vector<int> Tokenizer::EncodeWithEos(std::string_view txt) const {
+  std::vector<int> out = Encode(txt);
+  out.push_back(eos_id_);
+  return out;
+}
+
+std::string Tokenizer::Decode(const std::vector<int>& ids) const {
+  std::vector<std::string> words;
+  std::string char_word;
+  bool in_char_word = false;
+  for (int id : ids) {
+    if (id == pad_id_ || id == eos_id_ || id == unk_id_) continue;
+    if (id < 0 || id >= vocab_.size()) continue;
+    if (id == char_open_id_) {
+      in_char_word = true;
+      char_word.clear();
+      continue;
+    }
+    if (id == char_close_id_) {
+      if (in_char_word && !char_word.empty()) words.push_back(char_word);
+      in_char_word = false;
+      continue;
+    }
+    const std::string& tok = vocab_.Token(id);
+    if (in_char_word) {
+      if (StartsWith(tok, "c_") && tok.size() == 3) {
+        char_word.push_back(tok[2]);
+      }
+      continue;
+    }
+    words.push_back(tok);
+  }
+  if (in_char_word && !char_word.empty()) words.push_back(char_word);
+  // Re-attach dots between identifier pieces ("artist . country" ->
+  // "artist.country") and quoted literals ("' jazz '" -> "'jazz'").
+  std::vector<std::string> merged;
+  for (size_t i = 0; i < words.size(); ++i) {
+    if (words[i] == "." && !merged.empty() && IsWordChar(merged.back()) &&
+        i + 1 < words.size() && IsWordChar(words[i + 1])) {
+      merged.back() += "." + words[i + 1];
+      ++i;
+    } else if ((words[i] == "<" || words[i] == ">" || words[i] == "!") &&
+               i + 1 < words.size() && words[i + 1] == "=") {
+      merged.push_back(words[i] + "=");
+      ++i;
+    } else if (words[i] == "'") {
+      // Scan for the closing quote within a short window.
+      size_t close = i + 1;
+      while (close < words.size() && words[close] != "'" &&
+             close - i <= 6) {
+        ++close;
+      }
+      if (close < words.size() && words[close] == "'") {
+        std::string literal = "'";
+        for (size_t k = i + 1; k < close; ++k) {
+          if (k > i + 1) literal += " ";
+          literal += words[k];
+        }
+        literal += "'";
+        merged.push_back(std::move(literal));
+        i = close;
+      } else {
+        merged.push_back(words[i]);
+      }
+    } else {
+      merged.push_back(words[i]);
+    }
+  }
+  return Join(merged, " ");
+}
+
+int Tokenizer::sentinel_id(int k) const {
+  VIST5_CHECK_GE(k, 0);
+  VIST5_CHECK_LT(k, kNumSentinels);
+  return first_sentinel_id_ + k;
+}
+
+bool Tokenizer::IsSentinel(int id) const {
+  return id >= first_sentinel_id_ && id < first_sentinel_id_ + kNumSentinels;
+}
+
+int Tokenizer::SpecialId(const std::string& token) const {
+  const int id = vocab_.Id(token);
+  VIST5_CHECK_GE(id, 0) << "unknown special token: " << token;
+  return id;
+}
+
+void Tokenizer::Save(BinaryWriter* writer) const {
+  vocab_.Save(writer);
+  writer->WriteI32(pad_id_);
+  writer->WriteI32(eos_id_);
+  writer->WriteI32(unk_id_);
+  writer->WriteI32(first_sentinel_id_);
+  writer->WriteI32(char_open_id_);
+  writer->WriteI32(char_close_id_);
+}
+
+Status Tokenizer::Load(BinaryReader* reader) {
+  VIST5_RETURN_IF_ERROR(vocab_.Load(reader));
+  VIST5_RETURN_IF_ERROR(reader->ReadI32(&pad_id_));
+  VIST5_RETURN_IF_ERROR(reader->ReadI32(&eos_id_));
+  VIST5_RETURN_IF_ERROR(reader->ReadI32(&unk_id_));
+  VIST5_RETURN_IF_ERROR(reader->ReadI32(&first_sentinel_id_));
+  VIST5_RETURN_IF_ERROR(reader->ReadI32(&char_open_id_));
+  VIST5_RETURN_IF_ERROR(reader->ReadI32(&char_close_id_));
+  return Status::OK();
+}
+
+}  // namespace text
+}  // namespace vist5

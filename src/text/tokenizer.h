@@ -1,0 +1,89 @@
+#ifndef VIST5_TEXT_TOKENIZER_H_
+#define VIST5_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/vocab.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace vist5 {
+namespace text {
+
+/// Number of T5-style sentinel tokens (<extra_id_0> ... <extra_id_N-1>)
+/// reserved for span-corruption pre-training.
+inline constexpr int kNumSentinels = 32;
+
+/// Word-level tokenizer with character fallback, standing in for the
+/// SentencePiece model of the original T5/CodeT5+ checkpoints.
+///
+/// Pre-tokenization lowercases, splits on whitespace, and detaches the
+/// punctuation characters ()|,;:'"?!.=<> as standalone tokens (dots inside
+/// identifiers like `artist.country` are detached too, so unseen
+/// table.column pairs compose from known pieces). A word missing from the
+/// vocabulary is spelled out as <cw> c_x c_y ... </cw>, which keeps every
+/// string representable — the moral equivalent of subword fallback.
+///
+/// Fixed special tokens: <pad> (also the decoder start symbol, as in T5),
+/// </s> end-of-sequence, <unk>, the task prefix tokens of Sec. III-E
+/// (<nl>, <vql>, <schema>, <table>, <question>, <answer>, <description>),
+/// and kNumSentinels mask sentinels.
+class Tokenizer {
+ public:
+  /// Builds a tokenizer over `corpus`: every word occurring at least
+  /// `min_freq` times becomes a vocabulary entry; all printable ASCII chars
+  /// always get fallback entries.
+  static Tokenizer Build(const std::vector<std::string>& corpus,
+                         int min_freq = 1);
+
+  Tokenizer() = default;
+
+  /// Token ids for `txt` (no EOS appended).
+  std::vector<int> Encode(std::string_view txt) const;
+
+  /// Encode + EOS.
+  std::vector<int> EncodeWithEos(std::string_view txt) const;
+
+  /// Inverse of Encode: rebuilds char-fallback words, re-attaches dots
+  /// between identifier pieces, drops pad/eos/unk, and joins with spaces.
+  std::string Decode(const std::vector<int>& ids) const;
+
+  /// Splits raw text into the pre-token strings Encode would map to ids
+  /// (before char fallback). Exposed for metric computation.
+  static std::vector<std::string> PreTokenize(std::string_view txt);
+
+  int vocab_size() const { return vocab_.size(); }
+  int pad_id() const { return pad_id_; }
+  int eos_id() const { return eos_id_; }
+  int unk_id() const { return unk_id_; }
+  /// Sentinel <extra_id_k>.
+  int sentinel_id(int k) const;
+  /// True if `id` is one of the mask sentinels.
+  bool IsSentinel(int id) const;
+
+  /// Id of a special task token such as "<nl>" (must exist).
+  int SpecialId(const std::string& token) const;
+
+  const Vocabulary& vocab() const { return vocab_; }
+
+  void Save(BinaryWriter* writer) const;
+  Status Load(BinaryReader* reader);
+
+ private:
+  void RegisterSpecials();
+
+  Vocabulary vocab_;
+  int pad_id_ = 0;
+  int eos_id_ = 1;
+  int unk_id_ = 2;
+  int first_sentinel_id_ = 3;
+  int char_open_id_ = -1;
+  int char_close_id_ = -1;
+};
+
+}  // namespace text
+}  // namespace vist5
+
+#endif  // VIST5_TEXT_TOKENIZER_H_

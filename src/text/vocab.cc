@@ -1,0 +1,47 @@
+#include "text/vocab.h"
+
+#include "util/logging.h"
+
+namespace vist5 {
+namespace text {
+
+int Vocabulary::AddToken(const std::string& token) {
+  auto it = ids_.find(token);
+  if (it != ids_.end()) return it->second;
+  const int id = static_cast<int>(tokens_.size());
+  tokens_.push_back(token);
+  ids_.emplace(token, id);
+  return id;
+}
+
+int Vocabulary::Id(const std::string& token) const {
+  auto it = ids_.find(token);
+  return it == ids_.end() ? -1 : it->second;
+}
+
+const std::string& Vocabulary::Token(int id) const {
+  VIST5_CHECK_GE(id, 0);
+  VIST5_CHECK_LT(id, size());
+  return tokens_[static_cast<size_t>(id)];
+}
+
+void Vocabulary::Save(BinaryWriter* writer) const {
+  writer->WriteU32(static_cast<uint32_t>(tokens_.size()));
+  for (const std::string& t : tokens_) writer->WriteString(t);
+}
+
+Status Vocabulary::Load(BinaryReader* reader) {
+  uint32_t n = 0;
+  VIST5_RETURN_IF_ERROR(reader->ReadU32(&n));
+  tokens_.clear();
+  ids_.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string t;
+    VIST5_RETURN_IF_ERROR(reader->ReadString(&t));
+    AddToken(t);
+  }
+  return Status::OK();
+}
+
+}  // namespace text
+}  // namespace vist5

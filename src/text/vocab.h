@@ -1,0 +1,41 @@
+#ifndef VIST5_TEXT_VOCAB_H_
+#define VIST5_TEXT_VOCAB_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace vist5 {
+namespace text {
+
+/// Bidirectional token <-> id map. Ids are dense and assigned in insertion
+/// order, so a vocabulary built deterministically reproduces identical ids.
+class Vocabulary {
+ public:
+  /// Adds `token` if absent; returns its id either way.
+  int AddToken(const std::string& token);
+
+  /// Id of `token`, or -1 if unknown.
+  int Id(const std::string& token) const;
+
+  bool Contains(const std::string& token) const { return Id(token) >= 0; }
+
+  const std::string& Token(int id) const;
+
+  int size() const { return static_cast<int>(tokens_.size()); }
+
+  void Save(BinaryWriter* writer) const;
+  Status Load(BinaryReader* reader);
+
+ private:
+  std::vector<std::string> tokens_;
+  std::unordered_map<std::string, int> ids_;
+};
+
+}  // namespace text
+}  // namespace vist5
+
+#endif  // VIST5_TEXT_VOCAB_H_

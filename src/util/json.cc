@@ -1,0 +1,131 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace vist5 {
+
+void JsonValue::Append(JsonValue value) {
+  VIST5_CHECK(kind_ == Kind::kArray);
+  array_.push_back(std::move(value));
+}
+
+void JsonValue::Set(const std::string& key, JsonValue value) {
+  VIST5_CHECK(kind_ == Kind::kObject);
+  for (auto& kv : object_) {
+    if (kv.first == key) {
+      kv.second = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(key, std::move(value));
+}
+
+std::string JsonValue::ToString(bool pretty) const {
+  std::string out;
+  WriteTo(&out, pretty, 0);
+  return out;
+}
+
+void JsonValue::EscapeTo(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void JsonValue::WriteTo(std::string* out, bool pretty, int indent) const {
+  const std::string pad(pretty ? (indent + 1) * 2 : 0, ' ');
+  const std::string close_pad(pretty ? indent * 2 : 0, ' ');
+  const char* nl = pretty ? "\n" : "";
+  switch (kind_) {
+    case Kind::kNull:
+      out->append("null");
+      break;
+    case Kind::kBool:
+      out->append(bool_ ? "true" : "false");
+      break;
+    case Kind::kNumber: {
+      if (std::isfinite(number_) && number_ == std::floor(number_) &&
+          std::fabs(number_) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(number_));
+        out->append(buf);
+      } else {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%g", number_);
+        out->append(buf);
+      }
+      break;
+    }
+    case Kind::kString:
+      EscapeTo(string_, out);
+      break;
+    case Kind::kArray: {
+      if (array_.empty()) {
+        out->append("[]");
+        break;
+      }
+      out->append("[");
+      out->append(nl);
+      for (size_t i = 0; i < array_.size(); ++i) {
+        out->append(pad);
+        array_[i].WriteTo(out, pretty, indent + 1);
+        if (i + 1 < array_.size()) out->append(",");
+        out->append(nl);
+      }
+      out->append(close_pad);
+      out->append("]");
+      break;
+    }
+    case Kind::kObject: {
+      if (object_.empty()) {
+        out->append("{}");
+        break;
+      }
+      out->append("{");
+      out->append(nl);
+      for (size_t i = 0; i < object_.size(); ++i) {
+        out->append(pad);
+        EscapeTo(object_[i].first, out);
+        out->append(pretty ? ": " : ":");
+        object_[i].second.WriteTo(out, pretty, indent + 1);
+        if (i + 1 < object_.size()) out->append(",");
+        out->append(nl);
+      }
+      out->append(close_pad);
+      out->append("}");
+      break;
+    }
+  }
+}
+
+}  // namespace vist5

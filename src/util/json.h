@@ -1,0 +1,75 @@
+#ifndef VIST5_UTIL_JSON_H_
+#define VIST5_UTIL_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vist5 {
+
+/// Minimal JSON document value used to emit Vega-Lite specifications and
+/// experiment reports. Write-only (no parser is needed by the library).
+/// Object keys preserve insertion order, matching the field order Vega-Lite
+/// specs conventionally use.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b) {
+    JsonValue v;
+    v.kind_ = Kind::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  static JsonValue Number(double d) {
+    JsonValue v;
+    v.kind_ = Kind::kNumber;
+    v.number_ = d;
+    return v;
+  }
+  static JsonValue String(std::string s) {
+    JsonValue v;
+    v.kind_ = Kind::kString;
+    v.string_ = std::move(s);
+    return v;
+  }
+  static JsonValue Array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+
+  /// Appends an element; the value must be an array.
+  void Append(JsonValue value);
+
+  /// Sets (or overwrites) an object field; the value must be an object.
+  void Set(const std::string& key, JsonValue value);
+
+  /// Serializes with 2-space indentation when `pretty` is true.
+  std::string ToString(bool pretty = true) const;
+
+ private:
+  void WriteTo(std::string* out, bool pretty, int indent) const;
+  static void EscapeTo(const std::string& s, std::string* out);
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+}  // namespace vist5
+
+#endif  // VIST5_UTIL_JSON_H_

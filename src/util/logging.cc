@@ -1,0 +1,11 @@
+#include "util/logging.h"
+
+namespace vist5 {
+namespace {
+LogSeverity g_min_severity = LogSeverity::kInfo;
+}  // namespace
+
+LogSeverity MinLogSeverity() { return g_min_severity; }
+void SetMinLogSeverity(LogSeverity severity) { g_min_severity = severity; }
+
+}  // namespace vist5

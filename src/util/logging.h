@@ -1,0 +1,104 @@
+#ifndef VIST5_UTIL_LOGGING_H_
+#define VIST5_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace vist5 {
+
+enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+/// Minimum severity emitted to stderr; below this, log lines are dropped.
+/// Defaults to kInfo; benches raise it to keep table output clean.
+LogSeverity MinLogSeverity();
+void SetMinLogSeverity(LogSeverity severity);
+
+namespace internal {
+
+/// Stream-style log sink. Flushes one line on destruction; aborts the
+/// process for kFatal messages.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line)
+      : severity_(severity) {
+    stream_ << "[" << Label(severity) << " " << Basename(file) << ":" << line
+            << "] ";
+  }
+
+  ~LogMessage() {
+    if (severity_ >= MinLogSeverity() || severity_ == LogSeverity::kFatal) {
+      std::cerr << stream_.str() << std::endl;
+    }
+    if (severity_ == LogSeverity::kFatal) std::abort();
+  }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  static const char* Label(LogSeverity s) {
+    switch (s) {
+      case LogSeverity::kInfo:
+        return "INFO";
+      case LogSeverity::kWarning:
+        return "WARN";
+      case LogSeverity::kError:
+        return "ERROR";
+      case LogSeverity::kFatal:
+        return "FATAL";
+    }
+    return "?";
+  }
+
+  static const char* Basename(const char* path) {
+    const char* base = path;
+    for (const char* p = path; *p; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    return base;
+  }
+
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+struct LogMessageVoidify {
+  // The operator with lowest precedence below ?: so the macro compiles in
+  // expression position.
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace vist5
+
+#define VIST5_LOG(severity)                                            \
+  ::vist5::internal::LogMessage(::vist5::LogSeverity::k##severity,     \
+                                __FILE__, __LINE__)                    \
+      .stream()
+
+/// Aborts with a message if `cond` does not hold. Active in all build modes:
+/// invariant violations in a training stack corrupt results silently
+/// otherwise.
+#define VIST5_CHECK(cond)                                               \
+  (cond) ? (void)0                                                      \
+         : ::vist5::internal::LogMessageVoidify() &                     \
+               ::vist5::internal::LogMessage(                           \
+                   ::vist5::LogSeverity::kFatal, __FILE__, __LINE__)    \
+                   .stream()                                            \
+                   << "Check failed: " #cond " "
+
+#define VIST5_CHECK_OK(expr)                                            \
+  do {                                                                  \
+    ::vist5::Status _st = (expr);                                       \
+    VIST5_CHECK(_st.ok()) << _st.ToString();                            \
+  } while (0)
+
+#define VIST5_CHECK_EQ(a, b) VIST5_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define VIST5_CHECK_NE(a, b) VIST5_CHECK((a) != (b))
+#define VIST5_CHECK_LT(a, b) VIST5_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define VIST5_CHECK_LE(a, b) VIST5_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define VIST5_CHECK_GT(a, b) VIST5_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define VIST5_CHECK_GE(a, b) VIST5_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // VIST5_UTIL_LOGGING_H_

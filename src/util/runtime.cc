@@ -1,0 +1,19 @@
+#include "util/runtime.h"
+
+#include <malloc.h>
+
+namespace vist5 {
+
+void TuneAllocatorForTraining() {
+  static bool done = false;
+  if (done) return;
+  done = true;
+#ifdef M_MMAP_THRESHOLD
+  mallopt(M_MMAP_THRESHOLD, 1 << 30);
+#endif
+#ifdef M_TRIM_THRESHOLD
+  mallopt(M_TRIM_THRESHOLD, 1 << 30);
+#endif
+}
+
+}  // namespace vist5

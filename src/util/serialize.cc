@@ -1,0 +1,57 @@
+#include "util/serialize.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace vist5 {
+
+Status BinaryWriter::Flush(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<BinaryReader> BinaryReader::FromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return BinaryReader(ss.str());
+}
+
+Status BinaryReader::ReadString(std::string* s) {
+  uint32_t n = 0;
+  VIST5_RETURN_IF_ERROR(ReadU32(&n));
+  if (pos_ + n > data_.size()) return Status::OutOfRange("truncated string");
+  s->assign(data_.data() + pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+Status BinaryReader::ReadFloats(std::vector<float>* v) {
+  uint64_t n = 0;
+  VIST5_RETURN_IF_ERROR(ReadU64(&n));
+  if (pos_ + n * sizeof(float) > data_.size()) {
+    return Status::OutOfRange("truncated float array");
+  }
+  v->resize(n);
+  std::memcpy(v->data(), data_.data() + pos_, n * sizeof(float));
+  pos_ += n * sizeof(float);
+  return Status::OK();
+}
+
+Status BinaryReader::ReadInts(std::vector<int32_t>* v) {
+  uint64_t n = 0;
+  VIST5_RETURN_IF_ERROR(ReadU64(&n));
+  if (pos_ + n * sizeof(int32_t) > data_.size()) {
+    return Status::OutOfRange("truncated int array");
+  }
+  v->resize(n);
+  std::memcpy(v->data(), data_.data() + pos_, n * sizeof(int32_t));
+  pos_ += n * sizeof(int32_t);
+  return Status::OK();
+}
+
+}  // namespace vist5

@@ -1,0 +1,87 @@
+#ifndef VIST5_UTIL_SERIALIZE_H_
+#define VIST5_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace vist5 {
+
+/// Little-endian binary writer used for model checkpoints. The format is a
+/// flat byte stream; callers are responsible for writing a magic/version
+/// header (see model/checkpoint.h).
+class BinaryWriter {
+ public:
+  void WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteI32(int32_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteF32(float v) { WriteRaw(&v, sizeof(v)); }
+
+  void WriteString(const std::string& s) {
+    WriteU32(static_cast<uint32_t>(s.size()));
+    WriteRaw(s.data(), s.size());
+  }
+
+  void WriteFloats(const std::vector<float>& v) {
+    WriteU64(v.size());
+    WriteRaw(v.data(), v.size() * sizeof(float));
+  }
+
+  void WriteInts(const std::vector<int32_t>& v) {
+    WriteU64(v.size());
+    WriteRaw(v.data(), v.size() * sizeof(int32_t));
+  }
+
+  const std::string& buffer() const { return buffer_; }
+
+  /// Writes the accumulated buffer to `path`, replacing any existing file.
+  Status Flush(const std::string& path) const;
+
+ private:
+  void WriteRaw(const void* data, size_t n) {
+    buffer_.append(static_cast<const char*>(data), n);
+  }
+
+  std::string buffer_;
+};
+
+/// Counterpart reader. All reads are bounds-checked and return errors via
+/// Status rather than crashing on truncated files.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string data) : data_(std::move(data)) {}
+
+  /// Loads the full contents of `path`.
+  static StatusOr<BinaryReader> FromFile(const std::string& path);
+
+  Status ReadU32(uint32_t* v) { return ReadRaw(v, sizeof(*v)); }
+  Status ReadU64(uint64_t* v) { return ReadRaw(v, sizeof(*v)); }
+  Status ReadI32(int32_t* v) { return ReadRaw(v, sizeof(*v)); }
+  Status ReadF32(float* v) { return ReadRaw(v, sizeof(*v)); }
+
+  Status ReadString(std::string* s);
+  Status ReadFloats(std::vector<float>* v);
+  Status ReadInts(std::vector<int32_t>* v);
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  Status ReadRaw(void* out, size_t n) {
+    if (pos_ + n > data_.size()) {
+      return Status::OutOfRange("truncated stream");
+    }
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  std::string data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace vist5
+
+#endif  // VIST5_UTIL_SERIALIZE_H_

@@ -1,0 +1,156 @@
+#ifndef VIST5_UTIL_STATUS_H_
+#define VIST5_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <optional>
+#include <iostream>
+#include <string>
+#include <utility>
+
+namespace vist5 {
+
+/// Canonical error codes, modeled after absl::StatusCode / arrow::StatusCode.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+  kIoError,
+};
+
+/// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// Exception-free error propagation value. A `Status` is either OK or carries
+/// a code plus a message. Library code never throws; fallible functions
+/// return `Status` or `StatusOr<T>`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Either a value of type `T` or a non-OK `Status` explaining why the value
+/// is absent. Accessing `value()` on an error aborts the program.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value or from an error Status keeps call
+  /// sites terse (`return result;` / `return Status::NotFound(...)`).
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  StatusOr(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      std::cerr << "StatusOr constructed from OK status without a value\n";
+      std::abort();
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    EnsureOk();
+    return *value_;
+  }
+  T& value() & {
+    EnsureOk();
+    return *value_;
+  }
+  T&& value() && {
+    EnsureOk();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if OK, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void EnsureOk() const {
+    if (!status_.ok()) {
+      std::cerr << "StatusOr::value() on error: " << status_.ToString()
+                << "\n";
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status from an expression to the caller.
+#define VIST5_RETURN_IF_ERROR(expr)              \
+  do {                                           \
+    ::vist5::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+/// Evaluates a StatusOr expression, propagating errors; on success assigns
+/// the contained value to `lhs`.
+#define VIST5_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto VIST5_CONCAT_(_sor_, __LINE__) = (expr);    \
+  if (!VIST5_CONCAT_(_sor_, __LINE__).ok())        \
+    return VIST5_CONCAT_(_sor_, __LINE__).status(); \
+  lhs = std::move(VIST5_CONCAT_(_sor_, __LINE__)).value()
+
+#define VIST5_CONCAT_IMPL_(a, b) a##b
+#define VIST5_CONCAT_(a, b) VIST5_CONCAT_IMPL_(a, b)
+
+}  // namespace vist5
+
+#endif  // VIST5_UTIL_STATUS_H_

@@ -1,0 +1,44 @@
+#ifndef VIST5_UTIL_STRING_UTIL_H_
+#define VIST5_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vist5 {
+
+/// Splits `text` on `delim`, optionally dropping empty pieces.
+std::vector<std::string> Split(std::string_view text, char delim,
+                               bool skip_empty = false);
+
+/// Splits `text` on any run of ASCII whitespace; never yields empty tokens.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view text);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string Strip(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+bool Contains(std::string_view text, std::string_view needle);
+
+/// Replaces every occurrence of `from` (must be non-empty) with `to`.
+std::string ReplaceAll(std::string_view text, std::string_view from,
+                       std::string_view to);
+
+/// Collapses runs of whitespace into single spaces and strips the ends,
+/// producing the canonical single-spaced form used throughout encoding.
+std::string NormalizeSpaces(std::string_view text);
+
+/// Contiguous word n-grams of order `n` over whitespace tokens of `text`,
+/// joined back with single spaces. Used by database-schema filtration.
+std::vector<std::string> WordNgrams(std::string_view text, int n);
+
+}  // namespace vist5
+
+#endif  // VIST5_UTIL_STRING_UTIL_H_

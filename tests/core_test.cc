@@ -1,0 +1,242 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/datavist5.h"
+#include "dv/parser.h"
+#include "core/pretrain.h"
+#include "core/task_format.h"
+#include "data/db_gen.h"
+#include "data/fevisqa_gen.h"
+#include "data/tabletext_gen.h"
+#include "util/string_util.h"
+
+namespace vist5 {
+namespace core {
+namespace {
+
+class CoreTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::DbGenOptions db_options;
+    db_options.num_databases = 10;
+    catalog_ = new db::Catalog(data::GenerateCatalog(db_options));
+    const auto splits = data::AssignDatabaseSplits(*catalog_, 0.7, 0.1, 11);
+    bundle_ = new CorpusBundle();
+    bundle_->catalog = catalog_;
+    data::NvBenchOptions nv;
+    nv.pairs_per_db = 6;
+    bundle_->nvbench = data::GenerateNvBench(*catalog_, splits, nv);
+    data::FeVisQaOptions qa;
+    qa.type3_per_query = 1;
+    bundle_->fevisqa = data::GenerateFeVisQa(*catalog_, bundle_->nvbench, qa);
+    data::TableTextOptions tt;
+    tt.chart2text_count = 60;
+    tt.wikitabletext_count = 60;
+    bundle_->tabletext =
+        data::GenerateTableText(*catalog_, bundle_->nvbench, tt);
+    tokenizer_ = new text::Tokenizer(
+        text::Tokenizer::Build(CollectTokenizerCorpus(*bundle_)));
+  }
+
+  static db::Catalog* catalog_;
+  static CorpusBundle* bundle_;
+  static text::Tokenizer* tokenizer_;
+};
+
+db::Catalog* CoreTest::catalog_ = nullptr;
+CorpusBundle* CoreTest::bundle_ = nullptr;
+text::Tokenizer* CoreTest::tokenizer_ = nullptr;
+
+TEST_F(CoreTest, SourceFormatsCarrySpecialTokens) {
+  EXPECT_EQ(TextToVisSource("q", "s"), "<nl> q <schema> s");
+  EXPECT_EQ(VisToTextSource("v", "s"), "<vql> v <schema> s");
+  EXPECT_EQ(FeVisQaSource("q", "v", "s", "t"),
+            "<question> q <vql> v <schema> s <table> t");
+  EXPECT_EQ(TableToTextSource("t"), "<table> t");
+  EXPECT_EQ(TaskTarget(Task::kTextToVis, "x"), "<vql> x");
+  EXPECT_EQ(TaskTarget(Task::kFeVisQa, "x"), "<answer> x");
+}
+
+TEST_F(CoreTest, StripTaskTokenRemovesOnlyLeading) {
+  EXPECT_EQ(StripTaskToken("<vql> visualize bar"), "visualize bar");
+  EXPECT_EQ(StripTaskToken("plain text"), "plain text");
+  EXPECT_EQ(StripTaskToken("<answer> 7"), "7");
+  // Non-leading task tokens remain untouched.
+  EXPECT_EQ(StripTaskToken("a <vql> b"), "a <vql> b");
+}
+
+TEST_F(CoreTest, BuildTaskExamplesRespectSplits) {
+  for (Task task : {Task::kTextToVis, Task::kVisToText, Task::kFeVisQa,
+                    Task::kTableToText}) {
+    const auto train = BuildTaskExamples(task, *bundle_, data::Split::kTrain);
+    const auto test = BuildTaskExamples(task, *bundle_, data::Split::kTest);
+    EXPECT_GT(train.size(), 0u) << TaskName(task);
+    EXPECT_GT(test.size(), 0u) << TaskName(task);
+    // Cross-domain: no database appears in both splits (table-to-text is
+    // exempt — WikiTableText splits randomly).
+    if (task == Task::kTableToText) continue;
+    std::set<std::string> train_dbs, test_dbs;
+    for (const auto& e : train) train_dbs.insert(e.database);
+    for (const auto& e : test) test_dbs.insert(e.database);
+    for (const auto& db_name : test_dbs) {
+      EXPECT_EQ(train_dbs.count(db_name), 0u) << db_name;
+    }
+  }
+}
+
+TEST_F(CoreTest, SchemaForQuestionFiltersToMentionedTable) {
+  const auto& ex = bundle_->nvbench.front();
+  const db::Database* database = catalog_->Find(ex.database);
+  const std::string enc = SchemaForQuestion(ex.question, *database);
+  auto parsed = dv::ParseDvQuery(ex.query);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(Contains(enc, "| " + parsed->from_table + " :")) << enc;
+}
+
+TEST_F(CoreTest, BdcPairsCoverAllFourMappings) {
+  const auto pairs = BuildBdcTextPairs(*bundle_);
+  bool has_nl = false, has_vql = false, has_q = false, has_table = false;
+  for (const auto& [a, b] : pairs) {
+    has_nl = has_nl || StartsWith(a, "<nl>");
+    has_vql = has_vql || StartsWith(a, "<vql>");
+    has_q = has_q || StartsWith(a, "<question>");
+    has_table = has_table || StartsWith(a, "<table>");
+  }
+  EXPECT_TRUE(has_nl);
+  EXPECT_TRUE(has_vql);
+  EXPECT_TRUE(has_q);
+  EXPECT_TRUE(has_table);
+}
+
+TEST_F(CoreTest, SpanCorruptMasksApproximately15Percent) {
+  Rng rng(5);
+  std::vector<int> tokens;
+  for (int i = 0; i < 200; ++i) {
+    tokens.push_back(100 + (i % 40));
+  }
+  const model::SeqPair pair = SpanCorrupt(tokens, *tokenizer_, 0.15, 3, &rng);
+  // Count masked tokens = target tokens that are not sentinels/eos.
+  int masked = 0;
+  for (int id : pair.tgt) {
+    if (!tokenizer_->IsSentinel(id) && id != tokenizer_->eos_id()) ++masked;
+  }
+  EXPECT_GT(masked, 15);
+  EXPECT_LT(masked, 50);
+  // Source keeps unmasked tokens + sentinels + eos.
+  int sentinels_in_src = 0;
+  for (int id : pair.src) {
+    if (tokenizer_->IsSentinel(id)) ++sentinels_in_src;
+  }
+  EXPECT_GT(sentinels_in_src, 0);
+  EXPECT_LE(sentinels_in_src, text::kNumSentinels);
+  EXPECT_EQ(static_cast<int>(pair.src.size()) - sentinels_in_src - 1 + masked,
+            200);
+}
+
+TEST_F(CoreTest, SpanCorruptRoundTripReconstructs) {
+  // Interleaving source around sentinels with target spans rebuilds the
+  // original sequence.
+  Rng rng(6);
+  std::vector<int> tokens;
+  for (int i = 0; i < 60; ++i) tokens.push_back(150 + (i % 30));
+  const model::SeqPair pair = SpanCorrupt(tokens, *tokenizer_, 0.2, 3, &rng);
+  std::vector<int> rebuilt;
+  size_t t = 0;
+  for (int id : pair.src) {
+    if (id == tokenizer_->eos_id()) break;
+    if (!tokenizer_->IsSentinel(id)) {
+      rebuilt.push_back(id);
+      continue;
+    }
+    // Find this sentinel in the target and copy its span.
+    for (size_t k = 0; k < pair.tgt.size(); ++k) {
+      if (pair.tgt[k] == id) {
+        for (size_t j = k + 1; j < pair.tgt.size() &&
+                               !tokenizer_->IsSentinel(pair.tgt[j]) &&
+                               pair.tgt[j] != tokenizer_->eos_id();
+             ++j) {
+          rebuilt.push_back(pair.tgt[j]);
+        }
+        break;
+      }
+    }
+  }
+  (void)t;
+  EXPECT_EQ(rebuilt, tokens);
+}
+
+TEST_F(CoreTest, PretrainAblationSwitches) {
+  PretrainOptions both;
+  PretrainOptions no_bdc;
+  no_bdc.include_bdc = false;
+  PretrainOptions no_mlm;
+  no_mlm.include_mlm = false;
+  const auto all = BuildPretrainPairs(*bundle_, *tokenizer_, both);
+  const auto bdc_only = BuildPretrainPairs(*bundle_, *tokenizer_, no_mlm);
+  const auto mlm_only = BuildPretrainPairs(*bundle_, *tokenizer_, no_bdc);
+  EXPECT_EQ(all.size(), bdc_only.size() + mlm_only.size());
+  EXPECT_GT(bdc_only.size(), 0u);
+  EXPECT_GT(mlm_only.size(), 0u);
+  // BDC pairs come in both directions with weight 0.5.
+  EXPECT_EQ(bdc_only.size() % 2, 0u);
+  EXPECT_EQ(bdc_only[0].weight, 0.5);
+  EXPECT_EQ(bdc_only[1].weight, 0.5);
+}
+
+TEST_F(CoreTest, TemperatureWeighting) {
+  // T = 1: uniform per-example weight regardless of task size.
+  EXPECT_DOUBLE_EQ(TemperatureWeight(100, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(TemperatureWeight(10000, 1.0), 1.0);
+  // T = 2: larger tasks get smaller per-example weight.
+  EXPECT_GT(TemperatureWeight(100, 2.0), TemperatureWeight(10000, 2.0));
+  // Task-level probability mass is N * w = N^(1/T): still increasing in N.
+  EXPECT_GT(10000 * TemperatureWeight(10000, 2.0),
+            100 * TemperatureWeight(100, 2.0));
+}
+
+TEST_F(CoreTest, MftPairsMixAllTasks) {
+  const auto pairs = BuildMftPairs(*bundle_, *tokenizer_, 2.0);
+  size_t expected = 0;
+  for (Task task : {Task::kTextToVis, Task::kVisToText, Task::kFeVisQa,
+                    Task::kTableToText}) {
+    expected += BuildTaskExamples(task, *bundle_, data::Split::kTrain).size();
+  }
+  EXPECT_EQ(pairs.size(), expected);
+  // Weights differ across tasks of different sizes.
+  std::set<double> weights;
+  for (const auto& p : pairs) weights.insert(p.weight);
+  EXPECT_GE(weights.size(), 2u);
+}
+
+TEST_F(CoreTest, DataVisT5EndToEndSmoke) {
+  // A very short pre-train + fine-tune must run and produce decodable
+  // output for every task entry point (quality is covered by the benches).
+  DataVisT5::Options options;
+  options.size = DataVisT5::Options::Size::kSmall;
+  DataVisT5 model(*tokenizer_, options);
+
+  model::TrainOptions tiny;
+  tiny.steps = 30;
+  tiny.batch_size = 4;
+  const auto pre = model.Pretrain(*bundle_, PretrainOptions{}, tiny);
+  EXPECT_GT(pre.first_loss, 0);
+  const auto ft = model.FinetuneMultiTask(*bundle_, tiny);
+  EXPECT_GT(ft.first_loss, 0);
+
+  const auto& ex = bundle_->nvbench.front();
+  const db::Database* database = catalog_->Find(ex.database);
+  model::GenerationOptions gen;
+  gen.max_len = 12;
+  const std::string q = model.TextToVis(ex.question, *database, gen);
+  const std::string d = model.VisToText(ex.query, *database, gen);
+  const std::string t = model.TableToText("col : a row 1 : 1", gen);
+  // Outputs decode to strings without task tokens.
+  EXPECT_EQ(q.find("<vql>"), std::string::npos);
+  EXPECT_EQ(d.find("<description>"), std::string::npos);
+  (void)t;
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace vist5

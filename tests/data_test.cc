@@ -1,0 +1,236 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/db_gen.h"
+#include "data/fevisqa_gen.h"
+#include "data/nvbench_gen.h"
+#include "data/tabletext_gen.h"
+#include "dv/chart.h"
+#include "dv/parser.h"
+#include "dv/standardize.h"
+
+namespace vist5 {
+namespace data {
+namespace {
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DbGenOptions db_options;
+    db_options.num_databases = 20;
+    db_options.seed = 5;
+    catalog_ = new db::Catalog(GenerateCatalog(db_options));
+    splits_ = new std::map<std::string, Split>(
+        AssignDatabaseSplits(*catalog_, 0.7, 0.1, 11));
+    NvBenchOptions nv_options;
+    nv_options.pairs_per_db = 8;
+    nvbench_ = new std::vector<NvBenchExample>(
+        GenerateNvBench(*catalog_, *splits_, nv_options));
+  }
+
+  static db::Catalog* catalog_;
+  static std::map<std::string, Split>* splits_;
+  static std::vector<NvBenchExample>* nvbench_;
+};
+
+db::Catalog* GeneratorTest::catalog_ = nullptr;
+std::map<std::string, Split>* GeneratorTest::splits_ = nullptr;
+std::vector<NvBenchExample>* GeneratorTest::nvbench_ = nullptr;
+
+TEST_F(GeneratorTest, CatalogHasRequestedDatabases) {
+  EXPECT_EQ(catalog_->size(), 20);
+  for (const db::Database& d : catalog_->databases()) {
+    EXPECT_FALSE(d.tables().empty());
+    for (const db::Table& t : d.tables()) {
+      EXPECT_GT(t.num_rows(), 0);
+      EXPECT_GE(t.num_columns(), 3);
+    }
+  }
+}
+
+TEST_F(GeneratorTest, CatalogIsDeterministic) {
+  DbGenOptions options;
+  options.num_databases = 20;
+  options.seed = 5;
+  db::Catalog again = GenerateCatalog(options);
+  ASSERT_EQ(again.size(), catalog_->size());
+  for (int i = 0; i < again.size(); ++i) {
+    EXPECT_EQ(again.databases()[i].name(), catalog_->databases()[i].name());
+    EXPECT_EQ(again.databases()[i].tables().size(),
+              catalog_->databases()[i].tables().size());
+  }
+}
+
+TEST_F(GeneratorTest, MultiTableDatabasesHaveForeignKeys) {
+  int multi = 0;
+  for (const db::Database& d : catalog_->databases()) {
+    if (d.tables().size() >= 2) {
+      ++multi;
+      EXPECT_FALSE(d.foreign_keys().empty()) << d.name();
+      const db::ForeignKey& fk = d.foreign_keys()[0];
+      const db::Table* from = d.FindTable(fk.from_table);
+      const db::Table* to = d.FindTable(fk.to_table);
+      ASSERT_NE(from, nullptr);
+      ASSERT_NE(to, nullptr);
+      EXPECT_GE(from->ColumnIndex(fk.from_column), 0);
+      EXPECT_GE(to->ColumnIndex(fk.to_column), 0);
+    }
+  }
+  EXPECT_GT(multi, 0);
+}
+
+TEST_F(GeneratorTest, SplitsCoverAllDatabasesDisjointly) {
+  int train = 0, valid = 0, test = 0;
+  for (const db::Database& d : catalog_->databases()) {
+    auto it = splits_->find(d.name());
+    ASSERT_NE(it, splits_->end());
+    switch (it->second) {
+      case Split::kTrain:
+        ++train;
+        break;
+      case Split::kValid:
+        ++valid;
+        break;
+      case Split::kTest:
+        ++test;
+        break;
+    }
+  }
+  EXPECT_EQ(train + valid + test, catalog_->size());
+  EXPECT_GT(train, valid);
+  EXPECT_GT(test, 0);
+}
+
+TEST_F(GeneratorTest, NvBenchQueriesParseAndExecute) {
+  ASSERT_FALSE(nvbench_->empty());
+  for (const NvBenchExample& ex : *nvbench_) {
+    auto q = dv::ParseDvQuery(ex.query);
+    ASSERT_TRUE(q.ok()) << ex.query << " -> " << q.status();
+    const db::Database* database = catalog_->Find(ex.database);
+    ASSERT_NE(database, nullptr);
+    auto chart = dv::RenderChart(*q, *database);
+    ASSERT_TRUE(chart.ok()) << ex.query << " -> " << chart.status();
+    EXPECT_GT(chart->num_points(), 0);
+    EXPECT_EQ(ex.has_join, q->has_join());
+  }
+}
+
+TEST_F(GeneratorTest, RawQueriesStandardizeToCanonicalForm) {
+  for (const NvBenchExample& ex : *nvbench_) {
+    const db::Database* database = catalog_->Find(ex.database);
+    ASSERT_NE(database, nullptr);
+    auto standardized = dv::StandardizeString(ex.raw_query, *database);
+    ASSERT_TRUE(standardized.ok())
+        << ex.raw_query << " -> " << standardized.status();
+    EXPECT_EQ(*standardized, ex.query) << "raw: " << ex.raw_query;
+  }
+}
+
+TEST_F(GeneratorTest, QuestionsMentionTheTable) {
+  for (const NvBenchExample& ex : *nvbench_) {
+    auto q = dv::ParseDvQuery(ex.query);
+    ASSERT_TRUE(q.ok());
+    EXPECT_NE(ex.question.find(q->from_table), std::string::npos)
+        << ex.question << " vs " << q->from_table;
+  }
+}
+
+TEST_F(GeneratorTest, NvBenchHasJoinAndNonJoinExamples) {
+  int with_join = 0, without = 0;
+  for (const NvBenchExample& ex : *nvbench_) {
+    (ex.has_join ? with_join : without)++;
+  }
+  EXPECT_GT(with_join, 0);
+  EXPECT_GT(without, 0);
+}
+
+TEST_F(GeneratorTest, FeVisQaAnswersAreConsistent) {
+  FeVisQaOptions options;
+  options.seed = 77;
+  const auto qa = GenerateFeVisQa(*catalog_, *nvbench_, options);
+  ASSERT_FALSE(qa.empty());
+  int type_counts[4] = {0, 0, 0, 0};
+  for (const FeVisQaExample& ex : qa) {
+    ASSERT_GE(ex.type, 1);
+    ASSERT_LE(ex.type, 3);
+    ++type_counts[ex.type];
+    EXPECT_FALSE(ex.question.empty());
+    EXPECT_FALSE(ex.answer.empty());
+    if (ex.type == 2) {
+      // Re-derive the suitability verdict.
+      const db::Database* database = catalog_->Find(ex.database);
+      ASSERT_NE(database, nullptr);
+      auto q = dv::ParseDvQuery(ex.query);
+      ASSERT_TRUE(q.ok());
+      const bool suitable = dv::CheckSuitability(*q, *database).ok();
+      EXPECT_EQ(ex.answer, suitable ? "yes" : "no") << ex.query;
+    }
+  }
+  // All three question types occur; Type 3 dominates (as in Table III).
+  EXPECT_GT(type_counts[1], 0);
+  EXPECT_GT(type_counts[2], 0);
+  EXPECT_GT(type_counts[3], type_counts[1]);
+  EXPECT_GT(type_counts[3], type_counts[2]);
+}
+
+TEST_F(GeneratorTest, FeVisQaPartsQuestionMatchesChartSize) {
+  FeVisQaOptions options;
+  options.seed = 78;
+  const auto qa = GenerateFeVisQa(*catalog_, *nvbench_, options);
+  int checked = 0;
+  for (const FeVisQaExample& ex : qa) {
+    if (ex.question.find("how many parts") == std::string::npos) continue;
+    const db::Database* database = catalog_->Find(ex.database);
+    auto q = dv::ParseDvQuery(ex.query);
+    ASSERT_TRUE(q.ok());
+    auto chart = dv::RenderChart(*q, *database);
+    ASSERT_TRUE(chart.ok());
+    EXPECT_EQ(ex.answer, std::to_string(chart->num_points()));
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST_F(GeneratorTest, TableTextGeneratesBothSources) {
+  TableTextOptions options;
+  options.chart2text_count = 60;
+  options.wikitabletext_count = 40;
+  const auto examples = GenerateTableText(*catalog_, *nvbench_, options);
+  int chart2text = 0, wikitabletext = 0;
+  for (const TableTextExample& ex : examples) {
+    EXPECT_FALSE(ex.table_enc.empty());
+    EXPECT_FALSE(ex.description.empty());
+    EXPECT_GT(ex.cells, 0);
+    EXPECT_LE(ex.cells, options.max_cells);
+    if (ex.source == "chart2text") ++chart2text;
+    if (ex.source == "wikitabletext") ++wikitabletext;
+  }
+  EXPECT_GT(chart2text, 0);
+  EXPECT_GT(wikitabletext, 0);
+}
+
+TEST_F(GeneratorTest, DescribeQueryMentionsChartAndTable) {
+  Rng rng(3);
+  auto q = dv::ParseDvQuery(
+      "visualize pie select artist.country , count ( artist.country ) from "
+      "artist group by artist.country");
+  ASSERT_TRUE(q.ok());
+  const std::string desc = DescribeQuery(*q, &rng);
+  EXPECT_NE(desc.find("pie"), std::string::npos);
+  EXPECT_NE(desc.find("artist"), std::string::npos);
+  EXPECT_NE(desc.find("for each country"), std::string::npos);
+}
+
+TEST_F(GeneratorTest, AnnotatorStyleIsParseable) {
+  Rng rng(4);
+  for (int i = 0; i < 20 && i < static_cast<int>(nvbench_->size()); ++i) {
+    const auto& ex = (*nvbench_)[static_cast<size_t>(i)];
+    auto parsed = dv::ParseDvQuery(ex.raw_query);
+    EXPECT_TRUE(parsed.ok()) << ex.raw_query;
+  }
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace vist5

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include "db/executor.h"
+#include "db/table.h"
+
+namespace vist5 {
+namespace db {
+namespace {
+
+Table MakeArtistTable() {
+  Table t("artist", {{"artist_id", ValueType::kInt},
+                     {"name", ValueType::kText},
+                     {"country", ValueType::kText},
+                     {"age", ValueType::kInt}});
+  auto add = [&](int id, const char* name, const char* country, int age) {
+    EXPECT_TRUE(t.AppendRow({Value::Int(id), Value::Text(name),
+                             Value::Text(country), Value::Int(age)})
+                    .ok());
+  };
+  add(1, "ava", "france", 30);
+  add(2, "bo", "japan", 25);
+  add(3, "cy", "france", 41);
+  add(4, "di", "spain", 36);
+  add(5, "ed", "france", 29);
+  return t;
+}
+
+Table MakeAlbumTable() {
+  Table t("album", {{"album_id", ValueType::kInt},
+                    {"price", ValueType::kReal},
+                    {"artist_id", ValueType::kInt}});
+  EXPECT_TRUE(t.AppendRow({Value::Int(1), Value::Real(10), Value::Int(1)}).ok());
+  EXPECT_TRUE(t.AppendRow({Value::Int(2), Value::Real(20), Value::Int(1)}).ok());
+  EXPECT_TRUE(t.AppendRow({Value::Int(3), Value::Real(30), Value::Int(3)}).ok());
+  return t;
+}
+
+TEST(ValueTest, TypedAccessors) {
+  EXPECT_EQ(Value::Int(7).AsInt(), 7);
+  EXPECT_DOUBLE_EQ(Value::Real(2.5).AsReal(), 2.5);
+  EXPECT_EQ(Value::Text("hi").AsText(), "hi");
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_TRUE(Value::Int(1).is_numeric());
+  EXPECT_FALSE(Value::Text("x").is_numeric());
+}
+
+TEST(ValueTest, ToStringFormats) {
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::Real(3.0).ToString(), "3");
+  EXPECT_EQ(Value::Real(3.25).ToString(), "3.25");
+  EXPECT_EQ(Value::Text("abc").ToString(), "abc");
+  EXPECT_EQ(Value::Null().ToString(), "null");
+}
+
+TEST(ValueTest, CompareSemantics) {
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_EQ(Value::Int(2).Compare(Value::Real(2.0)), 0);  // cross-numeric
+  EXPECT_GT(Value::Text("b").Compare(Value::Text("a")), 0);
+  EXPECT_LT(Value::Null().Compare(Value::Int(0)), 0);  // null sorts first
+}
+
+TEST(TableTest, ColumnIndexAndArityCheck) {
+  Table t = MakeArtistTable();
+  EXPECT_EQ(t.ColumnIndex("country"), 2);
+  EXPECT_EQ(t.ColumnIndex("missing"), -1);
+  EXPECT_FALSE(t.AppendRow({Value::Int(9)}).ok());
+  EXPECT_EQ(t.num_rows(), 5);
+}
+
+TEST(DatabaseTest, FindTableAndLink) {
+  Database database("music");
+  database.AddTable(MakeArtistTable());
+  database.AddTable(MakeAlbumTable());
+  database.AddForeignKey({"album", "artist_id", "artist", "artist_id"});
+  EXPECT_NE(database.FindTable("artist"), nullptr);
+  EXPECT_EQ(database.FindTable("nope"), nullptr);
+  EXPECT_NE(database.FindLink("artist", "album"), nullptr);
+  EXPECT_NE(database.FindLink("album", "artist"), nullptr);
+  EXPECT_EQ(database.FindLink("artist", "artist"), nullptr);
+}
+
+TEST(ExecutorTest, GroupByCount) {
+  Table t = MakeArtistTable();
+  QueryPlan plan;
+  plan.table = &t;
+  plan.select = {{2, AggFn::kNone}, {2, AggFn::kCount}};
+  plan.group_by_select_index = 0;
+  auto result = Execute(plan);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 3u);  // france, japan, spain
+  // Find the france group.
+  bool found = false;
+  for (const auto& row : result->rows) {
+    if (row[0].AsText() == "france") {
+      EXPECT_EQ(row[1].AsInt(), 3);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ExecutorTest, GlobalAggregates) {
+  Table t = MakeArtistTable();
+  QueryPlan plan;
+  plan.table = &t;
+  plan.select = {{3, AggFn::kAvg}, {3, AggFn::kMin}, {3, AggFn::kMax},
+                 {-1, AggFn::kCount}};
+  auto result = Execute(plan);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_NEAR(result->rows[0][0].AsReal(), (30 + 25 + 41 + 36 + 29) / 5.0,
+              1e-9);
+  EXPECT_EQ(result->rows[0][1].AsInt(), 25);
+  EXPECT_EQ(result->rows[0][2].AsInt(), 41);
+  EXPECT_EQ(result->rows[0][3].AsInt(), 5);
+}
+
+TEST(ExecutorTest, WhereFilters) {
+  Table t = MakeArtistTable();
+  QueryPlan plan;
+  plan.table = &t;
+  plan.select = {{1, AggFn::kNone}};
+  plan.where = {{2, CmpOp::kEq, Value::Text("france")}};
+  auto result = Execute(plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 3u);
+}
+
+TEST(ExecutorTest, NumericComparisonsAndLike) {
+  Table t = MakeArtistTable();
+  QueryPlan plan;
+  plan.table = &t;
+  plan.select = {{1, AggFn::kNone}};
+  plan.where = {{3, CmpOp::kGt, Value::Int(30)}};
+  auto result = Execute(plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 2u);  // 41, 36
+
+  plan.where = {{1, CmpOp::kLike, Value::Text("%a%")}};
+  result = Execute(plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 1u);  // "ava"
+}
+
+TEST(ExecutorTest, OrderByAscendingAndDescending) {
+  Table t = MakeArtistTable();
+  QueryPlan plan;
+  plan.table = &t;
+  plan.select = {{1, AggFn::kNone}, {3, AggFn::kNone}};
+  OrderClause order;
+  order.select_index = 1;
+  order.ascending = true;
+  plan.order_by = order;
+  auto result = Execute(plan);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 1; i < result->rows.size(); ++i) {
+    EXPECT_LE(result->rows[i - 1][1].AsInt(), result->rows[i][1].AsInt());
+  }
+  plan.order_by->ascending = false;
+  result = Execute(plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows[0][1].AsInt(), 41);
+}
+
+TEST(ExecutorTest, JoinGroupCount) {
+  Table artist = MakeArtistTable();
+  Table album = MakeAlbumTable();
+  QueryPlan plan;
+  plan.table = &artist;
+  JoinClause join;
+  join.table = &album;
+  join.left_column = 0;   // artist.artist_id
+  join.right_column = 2;  // album.artist_id
+  plan.join = join;
+  // Combined row: artist columns 0-3, album columns 4-6.
+  plan.select = {{1, AggFn::kNone}, {4, AggFn::kCount}};
+  plan.group_by_select_index = 0;
+  auto result = Execute(plan);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 2u);  // ava (2 albums), cy (1)
+  for (const auto& row : result->rows) {
+    if (row[0].AsText() == "ava") EXPECT_EQ(row[1].AsInt(), 2);
+    if (row[0].AsText() == "cy") EXPECT_EQ(row[1].AsInt(), 1);
+  }
+}
+
+TEST(ExecutorTest, SumPreservesIntegerType) {
+  Table album = MakeAlbumTable();
+  QueryPlan plan;
+  plan.table = &album;
+  plan.select = {{1, AggFn::kSum}};
+  auto result = Execute(plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows[0][0].type(), ValueType::kReal);
+  EXPECT_DOUBLE_EQ(result->rows[0][0].AsReal(), 60.0);
+}
+
+TEST(ExecutorTest, ErrorsOnBadPlans) {
+  Table t = MakeArtistTable();
+  QueryPlan no_table;
+  no_table.select = {{0, AggFn::kNone}};
+  EXPECT_FALSE(Execute(no_table).ok());
+
+  QueryPlan empty_select;
+  empty_select.table = &t;
+  EXPECT_FALSE(Execute(empty_select).ok());
+
+  QueryPlan bad_column;
+  bad_column.table = &t;
+  bad_column.select = {{99, AggFn::kNone}};
+  EXPECT_FALSE(Execute(bad_column).ok());
+
+  QueryPlan bad_group;
+  bad_group.table = &t;
+  bad_group.select = {{2, AggFn::kCount}};
+  bad_group.group_by_select_index = 0;  // key must be un-aggregated
+  EXPECT_FALSE(Execute(bad_group).ok());
+}
+
+TEST(ExecutorTest, GroupPreservesFirstAppearanceOrder) {
+  Table t = MakeArtistTable();
+  QueryPlan plan;
+  plan.table = &t;
+  plan.select = {{2, AggFn::kNone}, {2, AggFn::kCount}};
+  plan.group_by_select_index = 0;
+  auto result = Execute(plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows[0][0].AsText(), "france");
+  EXPECT_EQ(result->rows[1][0].AsText(), "japan");
+  EXPECT_EQ(result->rows[2][0].AsText(), "spain");
+}
+
+}  // namespace
+}  // namespace db
+}  // namespace vist5

@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include "dv/chart.h"
+#include "dv/dv_query.h"
+#include "dv/encoding.h"
+#include "dv/parser.h"
+#include "dv/standardize.h"
+#include "dv/vega.h"
+#include "util/string_util.h"
+
+namespace vist5 {
+namespace dv {
+namespace {
+
+db::Database MakeMusicDb() {
+  db::Database database("theme_gallery");
+  db::Table artist("artist", {{"artist_id", db::ValueType::kInt},
+                              {"name", db::ValueType::kText},
+                              {"country", db::ValueType::kText},
+                              {"age", db::ValueType::kInt},
+                              {"year_join", db::ValueType::kInt}});
+  auto add = [&](int id, const char* name, const char* country, int age,
+                 int year) {
+    EXPECT_TRUE(artist
+                    .AppendRow({db::Value::Int(id), db::Value::Text(name),
+                                db::Value::Text(country), db::Value::Int(age),
+                                db::Value::Int(year)})
+                    .ok());
+  };
+  add(1, "ava", "france", 30, 2005);
+  add(2, "bo", "japan", 25, 2007);
+  add(3, "cy", "france", 41, 2005);
+  add(4, "di", "spain", 36, 2010);
+
+  db::Table album("album", {{"album_id", db::ValueType::kInt},
+                            {"price", db::ValueType::kReal},
+                            {"artist_id", db::ValueType::kInt}});
+  EXPECT_TRUE(
+      album.AppendRow({db::Value::Int(1), db::Value::Real(12.5),
+                       db::Value::Int(1)})
+          .ok());
+  EXPECT_TRUE(
+      album.AppendRow({db::Value::Int(2), db::Value::Real(20.0),
+                       db::Value::Int(3)})
+          .ok());
+  database.AddTable(std::move(artist));
+  database.AddTable(std::move(album));
+  database.AddForeignKey({"album", "artist_id", "artist", "artist_id"});
+  return database;
+}
+
+TEST(ParserTest, ParsesGroupCountQuery) {
+  auto q = ParseDvQuery(
+      "visualize pie select artist.country , count ( artist.country ) from "
+      "artist group by artist.country");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->chart, ChartType::kPie);
+  ASSERT_EQ(q->select.size(), 2u);
+  EXPECT_EQ(q->select[0].col.ToString(), "artist.country");
+  EXPECT_EQ(q->select[1].agg, db::AggFn::kCount);
+  EXPECT_TRUE(q->group_by.has_value());
+  EXPECT_FALSE(q->has_join());
+}
+
+TEST(ParserTest, ParsesAnnotatorStyle) {
+  auto q = ParseDvQuery(
+      "VISUALIZE BAR SELECT T1.name, COUNT(*) FROM player AS T1 JOIN team AS "
+      "T2 ON T1.team_id = T2.team_id WHERE T2.name = \"Columbus Crew\" GROUP "
+      "BY T1.name ORDER BY COUNT(*)");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->chart, ChartType::kBar);
+  EXPECT_EQ(q->from_table, "player");
+  EXPECT_EQ(q->from_alias, "t1");
+  ASSERT_TRUE(q->has_join());
+  EXPECT_EQ(q->join->table, "team");
+  ASSERT_EQ(q->where.size(), 1u);
+  EXPECT_EQ(q->where[0].literal, "Columbus Crew");
+  ASSERT_TRUE(q->order_by.has_value());
+  EXPECT_FALSE(q->order_by->direction_explicit);
+  EXPECT_TRUE(q->select[1].star);
+}
+
+TEST(ParserTest, ParsesComparisonOperators) {
+  for (const char* op : {"=", "!=", "<", "<=", ">", ">="}) {
+    auto q = ParseDvQuery(std::string("visualize bar select t.a , t.b from t "
+                                      "where t.a ") +
+                          op + " 5");
+    ASSERT_TRUE(q.ok()) << op << ": " << q.status();
+    EXPECT_TRUE(q->where[0].is_number);
+    EXPECT_EQ(q->where[0].number, 5.0);
+  }
+}
+
+TEST(ParserTest, RejectsMalformedQueries) {
+  EXPECT_FALSE(ParseDvQuery("select a from b").ok());
+  EXPECT_FALSE(ParseDvQuery("visualize hexbin select a from b").ok());
+  EXPECT_FALSE(ParseDvQuery("visualize bar select from b").ok());
+  EXPECT_FALSE(ParseDvQuery("visualize bar select a from b extra junk").ok());
+}
+
+TEST(ParserTest, RoundTripCanonicalForm) {
+  const std::string canonical =
+      "visualize bar select artist.country , count ( artist.country ) from "
+      "artist where artist.age > 30 group by artist.country order by count ( "
+      "artist.country ) desc";
+  auto q = ParseDvQuery(canonical);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->ToString(), canonical);
+}
+
+TEST(StandardizeTest, AppliesAllRules) {
+  db::Database database = MakeMusicDb();
+  // Rule 1 (qualify + COUNT(*)), 2 (quotes/parens), 3 (asc), 4 (aliases),
+  // 5 (lowercase).
+  auto out = StandardizeString(
+      "VISUALIZE BAR SELECT country, COUNT(*) FROM artist AS T1 WHERE "
+      "T1.name = \"AVA\" GROUP BY country ORDER BY COUNT(*)",
+      database);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(*out,
+            "visualize bar select artist.country , count ( artist.country ) "
+            "from artist where artist.name = 'ava' group by artist.country "
+            "order by count ( artist.country ) asc");
+}
+
+TEST(StandardizeTest, CountStarWithoutGroupUsesFirstColumn) {
+  db::Database database = MakeMusicDb();
+  auto out = StandardizeString("visualize bar select name, COUNT(*) from artist",
+                               database);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(Contains(*out, "count ( artist.artist_id )"));
+}
+
+TEST(StandardizeTest, ResolvesJoinAliases) {
+  db::Database database = MakeMusicDb();
+  auto out = StandardizeString(
+      "visualize bar select T1.country, avg(T2.price) from artist as T1 join "
+      "album as T2 on T1.artist_id = T2.artist_id group by T1.country",
+      database);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(Contains(*out, "from artist join album"));
+  EXPECT_TRUE(Contains(*out, "avg ( album.price )"));
+  EXPECT_FALSE(Contains(*out, "t1"));
+}
+
+TEST(EncodingTest, SchemaEncoding) {
+  db::Database database = MakeMusicDb();
+  const std::string enc = EncodeSchema(FullSchema(database));
+  EXPECT_TRUE(StartsWith(enc, "theme_gallery | artist : artist.artist_id , "));
+  EXPECT_TRUE(Contains(enc, "| album : album.album_id"));
+}
+
+TEST(EncodingTest, FilterSchemaByQuestion) {
+  db::Database database = MakeMusicDb();
+  const SchemaSubset subset =
+      FilterSchema("show the number of albums by price", database);
+  ASSERT_EQ(subset.tables.size(), 1u);
+  EXPECT_EQ(subset.tables[0].table, "album");
+}
+
+TEST(EncodingTest, FilterSchemaPluralAndColumnMentions) {
+  db::Database database = MakeMusicDb();
+  // "artists" (plural) should match table "artist".
+  const SchemaSubset plural = FilterSchema("how many artists", database);
+  ASSERT_EQ(plural.tables.size(), 1u);
+  EXPECT_EQ(plural.tables[0].table, "artist");
+  // Column mention ("year join" with underscore spaced) matches too.
+  const SchemaSubset by_col = FilterSchema("group by year join", database);
+  ASSERT_FALSE(by_col.tables.empty());
+  EXPECT_EQ(by_col.tables[0].table, "artist");
+}
+
+TEST(EncodingTest, FilterSchemaFallsBackToFull) {
+  db::Database database = MakeMusicDb();
+  const SchemaSubset subset = FilterSchema("completely unrelated", database);
+  EXPECT_EQ(subset.tables.size(), database.tables().size());
+}
+
+TEST(EncodingTest, TableEncoding) {
+  db::Database database = MakeMusicDb();
+  const std::string enc = EncodeTable(database.tables()[1], /*max_rows=*/1);
+  EXPECT_EQ(enc,
+            "col : album.album_id | album.price | album.artist_id row 1 : 1 | "
+            "12.50 | 1");
+}
+
+TEST(ChartTest, RendersGroupCount) {
+  db::Database database = MakeMusicDb();
+  auto q = ParseDvQuery(
+      "visualize pie select artist.country , count ( artist.country ) from "
+      "artist group by artist.country order by count ( artist.country ) desc");
+  ASSERT_TRUE(q.ok());
+  auto chart = RenderChart(*q, database);
+  ASSERT_TRUE(chart.ok()) << chart.status();
+  EXPECT_EQ(chart->num_points(), 3);
+  EXPECT_EQ(chart->column_names[1], "count(artist.country)");
+  // Descending count: france (2) first.
+  EXPECT_EQ(chart->result.rows[0][0].AsText(), "france");
+  EXPECT_EQ(chart->result.rows[0][1].AsInt(), 2);
+}
+
+TEST(ChartTest, RendersJoin) {
+  db::Database database = MakeMusicDb();
+  auto q = ParseDvQuery(
+      "visualize bar select artist.country , avg ( album.price ) from artist "
+      "join album on artist.artist_id = album.artist_id group by "
+      "artist.country");
+  ASSERT_TRUE(q.ok());
+  auto chart = RenderChart(*q, database);
+  ASSERT_TRUE(chart.ok()) << chart.status();
+  EXPECT_EQ(chart->num_points(), 1);  // only france has albums
+  EXPECT_NEAR(chart->result.rows[0][1].AsReal(), 16.25, 1e-9);
+}
+
+TEST(ChartTest, SuitabilityDetectsMissingPieces) {
+  db::Database database = MakeMusicDb();
+  auto good = ParseDvQuery(
+      "visualize bar select artist.country , count ( artist.country ) from "
+      "artist group by artist.country");
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(CheckSuitability(*good, database).ok());
+
+  auto bad_column = ParseDvQuery(
+      "visualize bar select artist.altitude , count ( artist.altitude ) from "
+      "artist group by artist.altitude");
+  ASSERT_TRUE(bad_column.ok());
+  EXPECT_FALSE(CheckSuitability(*bad_column, database).ok());
+
+  auto bad_table = ParseDvQuery(
+      "visualize bar select rooms.decor , count ( rooms.decor ) from rooms "
+      "group by rooms.decor");
+  ASSERT_TRUE(bad_table.ok());
+  EXPECT_FALSE(CheckSuitability(*bad_table, database).ok());
+}
+
+TEST(VegaTest, EmitsBarSpec) {
+  db::Database database = MakeMusicDb();
+  auto q = ParseDvQuery(
+      "visualize bar select artist.country , count ( artist.country ) from "
+      "artist group by artist.country");
+  ASSERT_TRUE(q.ok());
+  auto chart = RenderChart(*q, database);
+  ASSERT_TRUE(chart.ok());
+  const std::string json = ToVegaLiteJson(*chart);
+  EXPECT_TRUE(Contains(json, "\"mark\": \"bar\""));
+  EXPECT_TRUE(Contains(json, "\"field\": \"artist.country\""));
+  EXPECT_TRUE(Contains(json, "vega-lite/v5.json"));
+  EXPECT_TRUE(Contains(json, "\"type\": \"quantitative\""));
+}
+
+TEST(VegaTest, PieUsesArcAndTheta) {
+  db::Database database = MakeMusicDb();
+  auto q = ParseDvQuery(
+      "visualize pie select artist.country , count ( artist.country ) from "
+      "artist group by artist.country");
+  ASSERT_TRUE(q.ok());
+  auto chart = RenderChart(*q, database);
+  ASSERT_TRUE(chart.ok());
+  const std::string json = ToVegaLiteJson(*chart);
+  EXPECT_TRUE(Contains(json, "\"mark\": \"arc\""));
+  EXPECT_TRUE(Contains(json, "\"theta\""));
+  EXPECT_TRUE(Contains(json, "\"color\""));
+}
+
+}  // namespace
+}  // namespace dv
+}  // namespace vist5

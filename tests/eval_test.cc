@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include "db/table.h"
+#include "eval/bootstrap.h"
+#include "eval/execution.h"
+#include "eval/text_metrics.h"
+#include "eval/vis_metrics.h"
+
+namespace vist5 {
+namespace eval {
+namespace {
+
+TEST(BleuTest, PerfectMatchIsOne) {
+  EXPECT_NEAR(CorpusBleu({"the cat sat on the mat"},
+                         {"the cat sat on the mat"}, 4),
+              1.0, 1e-9);
+}
+
+TEST(BleuTest, DisjointIsZero) {
+  EXPECT_EQ(CorpusBleu({"aa bb cc dd"}, {"xx yy zz ww"}, 2), 0.0);
+}
+
+TEST(BleuTest, BrevityPenaltyApplies) {
+  // Hypothesis is a strict prefix: precision 1 at every order, penalized
+  // for brevity.
+  const double bleu =
+      CorpusBleu({"the cat"}, {"the cat sat on the mat"}, 1);
+  EXPECT_LT(bleu, 1.0);
+  EXPECT_GT(bleu, 0.0);
+}
+
+TEST(BleuTest, HigherOrderStricter) {
+  const std::vector<std::string> hyp = {"the cat on sat the mat"};
+  const std::vector<std::string> ref = {"the cat sat on the mat"};
+  EXPECT_GT(CorpusBleu(hyp, ref, 1), CorpusBleu(hyp, ref, 4));
+}
+
+TEST(BleuTest, CaseInsensitive) {
+  EXPECT_NEAR(CorpusBleu({"The Cat"}, {"the cat"}, 2), 1.0, 1e-9);
+}
+
+TEST(RougeTest, PerfectAndPartial) {
+  EXPECT_NEAR(RougeN({"a b c"}, {"a b c"}, 1), 1.0, 1e-9);
+  EXPECT_NEAR(RougeN({"a b"}, {"a c"}, 1), 0.5, 1e-9);
+  EXPECT_EQ(RougeN({"a"}, {"b"}, 2), 0.0);
+}
+
+TEST(RougeTest, RougeLFindsSubsequence) {
+  // LCS of "a x b y c" vs "a b c" is "a b c" (3): P=3/5, R=1 -> F1=0.75.
+  EXPECT_NEAR(RougeL({"a x b y c"}, {"a b c"}), 0.75, 1e-9);
+}
+
+TEST(MeteorTest, ExactMatchScoresHigh) {
+  EXPECT_GT(Meteor({"show a bar chart of ages"},
+                   {"show a bar chart of ages"}),
+            0.95);
+}
+
+TEST(MeteorTest, StemmedMatchCounts) {
+  const double stemmed = Meteor({"showing charts"}, {"show chart"});
+  EXPECT_GT(stemmed, 0.3);
+}
+
+TEST(MeteorTest, FragmentationPenalized) {
+  // Same unigrams, scrambled order -> more chunks -> lower score.
+  const double ordered = Meteor({"a b c d e f"}, {"a b c d e f"});
+  const double scrambled = Meteor({"f e d c b a"}, {"a b c d e f"});
+  EXPECT_GT(ordered, scrambled);
+}
+
+TEST(StemTest, StripsCommonSuffixes) {
+  EXPECT_EQ(Stem("showing"), "show");
+  EXPECT_EQ(Stem("sorted"), "sort");
+  EXPECT_EQ(Stem("charts"), "chart");
+  EXPECT_EQ(Stem("boxes"), "box");
+  // Words too short to strip stay intact.
+  EXPECT_EQ(Stem("is"), "is");
+}
+
+constexpr const char* kGold =
+    "visualize bar select artist.country , count ( artist.country ) from "
+    "artist group by artist.country order by count ( artist.country ) desc";
+
+TEST(VisMetricsTest, ExactMatch) {
+  const VisMatch m = CompareDvQueries(kGold, kGold);
+  EXPECT_TRUE(m.vis);
+  EXPECT_TRUE(m.axis);
+  EXPECT_TRUE(m.data);
+  EXPECT_TRUE(m.exact);
+}
+
+TEST(VisMetricsTest, SpacingInsensitive) {
+  // Predictions are re-serialized after parsing, so cosmetic spacing
+  // differences do not fail the comparison.
+  const std::string spaced =
+      "visualize bar select artist.country,count(artist.country) from artist "
+      "group by artist.country order by count(artist.country) desc";
+  const VisMatch m = CompareDvQueries(spaced, kGold);
+  EXPECT_TRUE(m.exact);
+}
+
+TEST(VisMetricsTest, ChartTypeOnlyMismatch) {
+  const std::string pie = std::string(kGold);
+  const VisMatch m = CompareDvQueries(
+      "visualize pie" + pie.substr(13), kGold);
+  EXPECT_FALSE(m.vis);
+  EXPECT_TRUE(m.axis);
+  EXPECT_TRUE(m.data);
+  EXPECT_FALSE(m.exact);
+}
+
+TEST(VisMetricsTest, AxisMismatchDataMatch) {
+  const VisMatch m = CompareDvQueries(
+      "visualize bar select artist.country , sum ( artist.country ) from "
+      "artist group by artist.country order by count ( artist.country ) desc",
+      kGold);
+  EXPECT_TRUE(m.vis);
+  EXPECT_FALSE(m.axis);
+  EXPECT_TRUE(m.data);
+}
+
+TEST(VisMetricsTest, DataMismatchAxisMatch) {
+  const VisMatch m = CompareDvQueries(
+      "visualize bar select artist.country , count ( artist.country ) from "
+      "artist where artist.age > 3 group by artist.country order by count ( "
+      "artist.country ) desc",
+      kGold);
+  EXPECT_TRUE(m.vis);
+  EXPECT_TRUE(m.axis);
+  EXPECT_FALSE(m.data);
+}
+
+TEST(VisMetricsTest, UnparseablePredictionGetsVisCreditOnly) {
+  const VisMatch m = CompareDvQueries("visualize bar gibberish ( (", kGold);
+  EXPECT_TRUE(m.vis);
+  EXPECT_FALSE(m.axis);
+  EXPECT_FALSE(m.data);
+  EXPECT_FALSE(m.exact);
+  const VisMatch wrong = CompareDvQueries("visualize pie gibberish", kGold);
+  EXPECT_FALSE(wrong.vis);
+}
+
+TEST(VisMetricsTest, ScoreAggregation) {
+  const VisScores s = ScoreDvQueries({kGold, "visualize pie x"},
+                                     {kGold, kGold});
+  EXPECT_EQ(s.count, 2);
+  EXPECT_NEAR(s.em, 0.5, 1e-9);
+  EXPECT_NEAR(s.vis_em, 0.5, 1e-9);
+}
+
+db::Database ExecDb() {
+  db::Database database("music");
+  db::Table artist("artist", {{"artist_id", db::ValueType::kInt},
+                              {"country", db::ValueType::kText},
+                              {"age", db::ValueType::kInt}});
+  EXPECT_TRUE(artist.AppendRow({db::Value::Int(1), db::Value::Text("fr"),
+                                db::Value::Int(30)}).ok());
+  EXPECT_TRUE(artist.AppendRow({db::Value::Int(2), db::Value::Text("jp"),
+                                db::Value::Int(25)}).ok());
+  EXPECT_TRUE(artist.AppendRow({db::Value::Int(3), db::Value::Text("fr"),
+                                db::Value::Int(40)}).ok());
+  database.AddTable(std::move(artist));
+  return database;
+}
+
+TEST(ExecutionMatchTest, SemanticallyEqualQueriesMatch) {
+  const db::Database database = ExecDb();
+  const std::string ref =
+      "visualize bar select artist.country , count ( artist.country ) from "
+      "artist group by artist.country";
+  // COUNT over a different column of the same groups executes identically.
+  const std::string pred =
+      "visualize bar select artist.country , count ( artist.artist_id ) "
+      "from artist group by artist.country";
+  EXPECT_FALSE(eval::CompareDvQueries(pred, ref).exact);
+  EXPECT_TRUE(eval::ExecutionMatch(pred, ref, database));
+}
+
+TEST(ExecutionMatchTest, DifferentResultsDoNotMatch) {
+  const db::Database database = ExecDb();
+  const std::string ref =
+      "visualize bar select artist.country , count ( artist.country ) from "
+      "artist group by artist.country";
+  const std::string pred =
+      "visualize bar select artist.country , max ( artist.age ) from artist "
+      "group by artist.country";
+  EXPECT_FALSE(eval::ExecutionMatch(pred, ref, database));
+  // Chart type must also agree.
+  EXPECT_FALSE(eval::ExecutionMatch(
+      "visualize pie select artist.country , count ( artist.country ) from "
+      "artist group by artist.country",
+      ref, database));
+}
+
+TEST(ExecutionMatchTest, OrderMattersOnlyWhenSorted) {
+  const db::Database database = ExecDb();
+  const std::string unsorted =
+      "visualize bar select artist.country , count ( artist.country ) from "
+      "artist group by artist.country";
+  const std::string sorted_desc = unsorted +
+      " order by count ( artist.country ) desc";
+  const std::string sorted_asc = unsorted +
+      " order by count ( artist.country ) asc";
+  EXPECT_TRUE(eval::ExecutionMatch(unsorted, unsorted, database));
+  EXPECT_TRUE(eval::ExecutionMatch(sorted_desc, sorted_desc, database));
+  EXPECT_FALSE(eval::ExecutionMatch(sorted_asc, sorted_desc, database));
+}
+
+TEST(ExecutionMatchTest, AccuracyAggregates) {
+  const db::Database database = ExecDb();
+  const std::string q =
+      "visualize bar select artist.country , count ( artist.country ) from "
+      "artist group by artist.country";
+  const std::vector<const db::Database*> dbs = {&database, &database};
+  EXPECT_DOUBLE_EQ(
+      eval::ExecutionAccuracy({q, "garbage"}, {q, q}, dbs), 0.5);
+}
+
+TEST(BootstrapTest, DetectsClearWinner) {
+  // A is right 80% of the time, B 20%, on 200 paired examples.
+  std::vector<double> a, b;
+  for (int i = 0; i < 200; ++i) {
+    a.push_back(i % 5 != 0 ? 1.0 : 0.0);
+    b.push_back(i % 5 == 0 ? 1.0 : 0.0);
+  }
+  const BootstrapResult r = PairedBootstrap(a, b, 500, 7);
+  EXPECT_NEAR(r.mean_a, 0.8, 1e-9);
+  EXPECT_NEAR(r.mean_b, 0.2, 1e-9);
+  EXPECT_LT(r.p_value, 0.01);
+  EXPECT_GT(r.ci_low, 0.0);
+}
+
+TEST(BootstrapTest, TiedSystemsNotSignificant) {
+  std::vector<double> a, b;
+  for (int i = 0; i < 100; ++i) {
+    a.push_back(i % 2 ? 1.0 : 0.0);
+    b.push_back(i % 2 ? 0.0 : 1.0);
+  }
+  const BootstrapResult r = PairedBootstrap(a, b, 500, 7);
+  EXPECT_NEAR(r.delta, 0.0, 1e-9);
+  EXPECT_GT(r.p_value, 0.2);
+  EXPECT_LT(r.ci_low, 0.0);
+  EXPECT_GT(r.ci_high, 0.0);
+}
+
+TEST(BootstrapTest, EmIndicatorVector) {
+  const auto ind = EmIndicators({kGold, "visualize pie x"}, {kGold, kGold});
+  EXPECT_EQ(ind, (std::vector<double>{1.0, 0.0}));
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace vist5

@@ -1,0 +1,292 @@
+// Tests for the grammar/substrate extensions: bin-by, CSV import/export,
+// and the additional DVL emitters (ggplot2 / ECharts).
+
+#include <gtest/gtest.h>
+
+#include "db/csv.h"
+#include "dv/chart.h"
+#include "dv/dvl_emitters.h"
+#include "dv/quality.h"
+#include "dv/svg.h"
+#include "dv/parser.h"
+#include "dv/standardize.h"
+#include "util/string_util.h"
+
+namespace vist5 {
+namespace {
+
+db::Database MakeSalesDb() {
+  db::Database database("sales_1");
+  db::Table sale("sale", {{"sale_id", db::ValueType::kInt},
+                          {"region", db::ValueType::kText},
+                          {"year", db::ValueType::kInt},
+                          {"amount", db::ValueType::kReal}});
+  struct Row {
+    int id;
+    const char* region;
+    int year;
+    double amount;
+  };
+  const Row rows[] = {
+      {1, "east", 1998, 10}, {2, "west", 2004, 20}, {3, "east", 2011, 35},
+      {4, "west", 2013, 5},  {5, "east", 2006, 50}, {6, "west", 1995, 42},
+  };
+  for (const Row& r : rows) {
+    EXPECT_TRUE(sale.AppendRow({db::Value::Int(r.id),
+                                db::Value::Text(r.region),
+                                db::Value::Int(r.year),
+                                db::Value::Real(r.amount)})
+                    .ok());
+  }
+  database.AddTable(std::move(sale));
+  return database;
+}
+
+TEST(BinByTest, ParsesAndRoundTrips) {
+  const std::string q =
+      "visualize bar select sale.year , count ( sale.year ) from sale bin "
+      "sale.year by decade group by sale.year";
+  auto parsed = dv::ParseDvQuery(q);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_TRUE(parsed->bin.has_value());
+  EXPECT_EQ(parsed->bin->unit, dv::BinClause::Unit::kDecade);
+  EXPECT_EQ(parsed->ToString(), q);
+}
+
+TEST(BinByTest, DecadeBinningGroupsYears) {
+  db::Database database = MakeSalesDb();
+  auto q = dv::ParseDvQuery(
+      "visualize bar select sale.year , count ( sale.year ) from sale bin "
+      "sale.year by decade group by sale.year");
+  ASSERT_TRUE(q.ok());
+  auto chart = dv::RenderChart(*q, database);
+  ASSERT_TRUE(chart.ok()) << chart.status();
+  // Years 1995,1998 -> 1990s; 2004,2006 -> 2000s; 2011,2013 -> 2010s.
+  ASSERT_EQ(chart->num_points(), 3);
+  std::map<std::string, int64_t> counts;
+  for (const auto& row : chart->result.rows) {
+    counts[row[0].AsText()] = row[1].AsInt();
+  }
+  EXPECT_EQ(counts["1990s"], 2);
+  EXPECT_EQ(counts["2000s"], 2);
+  EXPECT_EQ(counts["2010s"], 2);
+}
+
+TEST(BinByTest, BucketBinningCoversRange) {
+  db::Database database = MakeSalesDb();
+  auto q = dv::ParseDvQuery(
+      "visualize bar select sale.amount , count ( sale.amount ) from sale "
+      "bin sale.amount by bucket group by sale.amount");
+  ASSERT_TRUE(q.ok());
+  auto chart = dv::RenderChart(*q, database);
+  ASSERT_TRUE(chart.ok()) << chart.status();
+  // Amounts 5..50 in 4 equal buckets; every sale lands in exactly one.
+  int64_t total = 0;
+  for (const auto& row : chart->result.rows) {
+    EXPECT_TRUE(Contains(row[0].AsText(), "-"));
+    total += row[1].AsInt();
+  }
+  EXPECT_EQ(total, 6);
+  EXPECT_LE(chart->num_points(), 4);
+}
+
+TEST(BinByTest, StandardizerQualifiesBinColumn) {
+  db::Database database = MakeSalesDb();
+  auto out = dv::StandardizeString(
+      "VISUALIZE BAR SELECT year, COUNT(*) FROM sale BIN year BY decade "
+      "GROUP BY year",
+      database);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_TRUE(Contains(*out, "bin sale.year by decade")) << *out;
+}
+
+TEST(CsvTest, ParsesTypedColumns) {
+  const std::string csv =
+      "name,age,score\n"
+      "ava,30,9.5\n"
+      "\"bo, jr\",25,8\n"
+      "cy,,7.25\n";
+  auto table = db::TableFromCsv("people", csv);
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ(table->num_rows(), 3);
+  EXPECT_EQ(table->columns()[0].type, db::ValueType::kText);
+  EXPECT_EQ(table->columns()[1].type, db::ValueType::kInt);
+  EXPECT_EQ(table->columns()[2].type, db::ValueType::kReal);
+  EXPECT_EQ(table->At(1, 0).AsText(), "bo, jr");
+  EXPECT_TRUE(table->At(2, 1).is_null());
+  EXPECT_DOUBLE_EQ(table->At(0, 2).AsReal(), 9.5);
+}
+
+TEST(CsvTest, HandlesQuotesAndCrlf) {
+  const std::string csv =
+      "a,b\r\n"
+      "\"say \"\"hi\"\"\",2\r\n";
+  auto table = db::TableFromCsv("t", csv);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->At(0, 0).AsText(), "say \"hi\"");
+}
+
+TEST(CsvTest, RejectsMalformed) {
+  EXPECT_FALSE(db::TableFromCsv("t", "a,b\n1\n").ok());       // arity
+  EXPECT_FALSE(db::TableFromCsv("t", "a,b\n\"x,1\n").ok());   // open quote
+  EXPECT_FALSE(db::TableFromCsv("t", "").ok());               // no header
+}
+
+TEST(CsvTest, RoundTrip) {
+  db::Database database = MakeSalesDb();
+  const std::string csv = db::TableToCsv(database.tables()[0]);
+  auto back = db::TableFromCsv("sale", csv);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), database.tables()[0].num_rows());
+  EXPECT_EQ(back->num_columns(), database.tables()[0].num_columns());
+  EXPECT_EQ(back->At(2, 1).AsText(), "east");
+}
+
+TEST(CsvTest, CsvTableIsQueryable) {
+  auto table = db::TableFromCsv("city", "name,population\nparis,2\nrome,3\n");
+  ASSERT_TRUE(table.ok());
+  db::Database database("geo");
+  database.AddTable(*table);
+  auto q = dv::ParseDvQuery(
+      "visualize bar select city.name , city.population from city order by "
+      "city.population desc");
+  ASSERT_TRUE(q.ok());
+  auto chart = dv::RenderChart(*q, database);
+  ASSERT_TRUE(chart.ok()) << chart.status();
+  EXPECT_EQ(chart->result.rows[0][0].AsText(), "rome");
+}
+
+dv::ChartData DemoChart(dv::ChartType type) {
+  db::Database database = MakeSalesDb();
+  auto q = dv::ParseDvQuery(
+      "visualize " + std::string(dv::ChartTypeName(type)) +
+      " select sale.region , sum ( sale.amount ) from sale group by "
+      "sale.region");
+  auto chart = dv::RenderChart(*q, database);
+  return *chart;
+}
+
+TEST(DvlEmitterTest, GgplotContainsDataAndGeom) {
+  const std::string script = ToGgplot(DemoChart(dv::ChartType::kBar));
+  EXPECT_TRUE(Contains(script, "library(ggplot2)"));
+  EXPECT_TRUE(Contains(script, "data.frame("));
+  EXPECT_TRUE(Contains(script, "geom_col()"));
+  EXPECT_TRUE(Contains(script, "\"east\""));
+  // Column names are sanitized into valid R symbols.
+  EXPECT_TRUE(Contains(script, "sum_sale_amount_"));
+}
+
+TEST(DvlEmitterTest, GgplotPieUsesPolarCoords) {
+  const std::string script = ToGgplot(DemoChart(dv::ChartType::kPie));
+  EXPECT_TRUE(Contains(script, "coord_polar"));
+}
+
+TEST(DvlEmitterTest, EChartsBarHasCategoryAxis) {
+  const std::string json = ToEChartsJson(DemoChart(dv::ChartType::kBar));
+  EXPECT_TRUE(Contains(json, "\"type\": \"category\""));
+  EXPECT_TRUE(Contains(json, "\"type\": \"bar\""));
+  EXPECT_TRUE(Contains(json, "east"));
+}
+
+TEST(DvlEmitterTest, EChartsPieUsesNameValuePairs) {
+  const std::string json = ToEChartsJson(DemoChart(dv::ChartType::kPie));
+  EXPECT_TRUE(Contains(json, "\"type\": \"pie\""));
+  EXPECT_TRUE(Contains(json, "\"name\": \"east\""));
+  EXPECT_FALSE(Contains(json, "xAxis"));
+}
+
+TEST(DvlEmitterTest, EChartsScatterUsesValuePairs) {
+  const std::string json = ToEChartsJson(DemoChart(dv::ChartType::kScatter));
+  EXPECT_TRUE(Contains(json, "\"type\": \"scatter\""));
+}
+
+TEST(SvgTest, BarChartHasRectsAndAxes) {
+  const std::string svg = RenderSvg(DemoChart(dv::ChartType::kBar));
+  EXPECT_TRUE(Contains(svg, "<svg"));
+  EXPECT_TRUE(Contains(svg, "<rect"));
+  EXPECT_TRUE(Contains(svg, "sale.region"));
+  EXPECT_TRUE(Contains(svg, "sum(sale.amount)"));
+  EXPECT_TRUE(Contains(svg, "</svg>"));
+}
+
+TEST(SvgTest, PieChartHasArcsAndLegend) {
+  const std::string svg = RenderSvg(DemoChart(dv::ChartType::kPie));
+  EXPECT_TRUE(Contains(svg, "<path"));
+  EXPECT_TRUE(Contains(svg, "east"));
+  EXPECT_TRUE(Contains(svg, "west"));
+}
+
+TEST(SvgTest, LineChartHasPolyline) {
+  const std::string svg = RenderSvg(DemoChart(dv::ChartType::kLine));
+  EXPECT_TRUE(Contains(svg, "<polyline"));
+}
+
+TEST(SvgTest, ScatterHasCircles) {
+  db::Database database = MakeSalesDb();
+  auto q = dv::ParseDvQuery(
+      "visualize scatter select sale.year , sale.amount from sale");
+  auto chart = dv::RenderChart(*q, database);
+  const std::string svg = RenderSvg(*chart);
+  EXPECT_TRUE(Contains(svg, "<circle"));
+}
+
+TEST(SvgTest, EscapesLabels) {
+  dv::ChartData chart;
+  chart.chart = dv::ChartType::kBar;
+  chart.column_names = {"a<b", "count"};
+  chart.result.column_names = {"a<b", "count"};
+  chart.result.rows.push_back({db::Value::Text("x&y"), db::Value::Int(3)});
+  const std::string svg = RenderSvg(chart);
+  EXPECT_TRUE(Contains(svg, "a&lt;b"));
+  EXPECT_TRUE(Contains(svg, "x&amp;y"));
+  EXPECT_FALSE(Contains(svg, "a<b<"));
+}
+
+TEST(QualityTest, GoodChartScoresClean) {
+  const dv::QualityReport r = AssessChartQuality(DemoChart(dv::ChartType::kBar));
+  EXPECT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.score, 1.0);
+}
+
+TEST(QualityTest, OvercrowdedPieWarned) {
+  dv::ChartData chart;
+  chart.chart = dv::ChartType::kPie;
+  chart.column_names = {"k", "v"};
+  for (int i = 0; i < 12; ++i) {
+    chart.result.rows.push_back(
+        {db::Value::Text("c" + std::to_string(i)), db::Value::Int(i + 1)});
+  }
+  const dv::QualityReport r = AssessChartQuality(chart);
+  EXPECT_FALSE(r.ok());
+  EXPECT_LT(r.score, 1.0);
+}
+
+TEST(QualityTest, NegativePieWarned) {
+  dv::ChartData chart;
+  chart.chart = dv::ChartType::kPie;
+  chart.column_names = {"k", "v"};
+  chart.result.rows.push_back({db::Value::Text("a"), db::Value::Int(-3)});
+  chart.result.rows.push_back({db::Value::Text("b"), db::Value::Int(5)});
+  const dv::QualityReport r = AssessChartQuality(chart);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(QualityTest, CategoricalScatterWarned) {
+  dv::ChartData chart;
+  chart.chart = dv::ChartType::kScatter;
+  chart.column_names = {"k", "v"};
+  chart.result.rows.push_back({db::Value::Text("a"), db::Value::Int(1)});
+  chart.result.rows.push_back({db::Value::Text("b"), db::Value::Int(2)});
+  chart.result.rows.push_back({db::Value::Text("c"), db::Value::Int(3)});
+  const dv::QualityReport r = AssessChartQuality(chart);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(QualityTest, EmptyChartIsZero) {
+  dv::ChartData chart;
+  const dv::QualityReport r = AssessChartQuality(chart);
+  EXPECT_DOUBLE_EQ(r.score, 0.0);
+}
+
+}  // namespace
+}  // namespace vist5

@@ -1,0 +1,222 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "nn/rnn.h"
+#include "nn/transformer.h"
+#include "tensor/optimizer.h"
+
+namespace vist5 {
+namespace nn {
+namespace {
+
+TEST(ModuleTest, CollectsNamedParameters) {
+  Rng rng(1);
+  FeedForward ff(8, 16, FeedForward::Activation::kRelu, /*bias=*/true, &rng);
+  const auto named = ff.NamedParameters("ff");
+  // in.weight, in.bias, out.weight, out.bias
+  ASSERT_EQ(named.size(), 4u);
+  EXPECT_EQ(named[0].first, "ff.in.weight");
+  EXPECT_EQ(ff.NumParameters(), 8 * 16 + 16 + 16 * 8 + 8);
+}
+
+TEST(LinearTest, ForwardMatchesManual) {
+  Rng rng(2);
+  Linear lin(2, 2, /*bias=*/true, &rng);
+  lin.weight().mutable_data() = {1, 2, 3, 4};  // [in=2, out=2]
+  Tensor x({1, 2}, {5, 6});
+  Tensor y = lin.Forward(x);
+  EXPECT_FLOAT_EQ(y.data()[0], 5 * 1 + 6 * 3);
+  EXPECT_FLOAT_EQ(y.data()[1], 5 * 2 + 6 * 4);
+}
+
+TEST(LinearTest, LoraStartsAsNoOp) {
+  Rng rng(3);
+  Linear lin(4, 4, /*bias=*/false, &rng);
+  Tensor x = Tensor::Randn({2, 4}, 1.0f, &rng);
+  Tensor before = lin.Forward(x);
+  lin.EnableLora(2, 4.0f, &rng);
+  Tensor after = lin.Forward(x);
+  for (size_t i = 0; i < before.data().size(); ++i) {
+    EXPECT_FLOAT_EQ(before.data()[i], after.data()[i]);
+  }
+}
+
+TEST(LinearTest, LoraAdaptersTrainWhileBaseFrozen) {
+  Rng rng(4);
+  Linear lin(4, 4, /*bias=*/false, &rng);
+  lin.SetTrainable(false);
+  lin.EnableLora(2, 4.0f, &rng);
+  const auto trainable = lin.Parameters();
+  ASSERT_EQ(trainable.size(), 2u);  // lora_a, lora_b only
+  Tensor x = Tensor::Randn({2, 4}, 1.0f, &rng);
+  Tensor loss = ops::Sum(lin.Forward(x));
+  loss.Backward();
+  // Base weight got no gradient; adapters did (at least A, since B = 0
+  // blocks only A's effect on the output, not A's gradient... B gets grad).
+  EXPECT_TRUE(lin.weight().grad().empty());
+  bool adapter_has_grad = false;
+  for (const Tensor& t : trainable) {
+    for (float g : t.grad()) adapter_has_grad = adapter_has_grad || g != 0;
+  }
+  EXPECT_TRUE(adapter_has_grad);
+}
+
+TEST(RelativePositionBiasTest, BucketProperties) {
+  // Symmetric pairs land in different halves for bidirectional buckets.
+  const int b_neg = RelativePositionBias::Bucket(-3, true, 16, 64);
+  const int b_pos = RelativePositionBias::Bucket(3, true, 16, 64);
+  EXPECT_NE(b_neg, b_pos);
+  // Unidirectional: future positions clamp to bucket 0.
+  EXPECT_EQ(RelativePositionBias::Bucket(5, false, 16, 64), 0);
+  // Distances map monotonically (non-strict) to buckets.
+  int prev = -1;
+  for (int d = 0; d < 64; ++d) {
+    const int b = RelativePositionBias::Bucket(-d, false, 16, 64);
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
+  EXPECT_LT(prev, 16);
+}
+
+TEST(RelativePositionBiasTest, ForwardShape) {
+  Rng rng(5);
+  RelativePositionBias bias(16, 64, 4, /*bidirectional=*/true, &rng);
+  Tensor b = bias.Forward(3, 5);
+  EXPECT_EQ(b.shape(), (std::vector<int>{4, 3, 5}));
+}
+
+TEST(AttentionTest, OutputShapeAndMasking) {
+  Rng rng(6);
+  MultiHeadAttention attn(8, 2, /*bias=*/false, /*scale=*/true, &rng);
+  const int batch = 2, seq = 4;
+  Tensor x = Tensor::Randn({batch * seq, 8}, 1.0f, &rng);
+  std::vector<int> lengths = {4, 2};
+  MultiHeadAttention::ForwardArgs args;
+  args.batch = batch;
+  args.tq = seq;
+  args.tk = seq;
+  args.key_lengths = &lengths;
+  Tensor y = attn.Forward(x, x, args);
+  EXPECT_EQ(y.shape(), (std::vector<int>{batch * seq, 8}));
+
+  // Padding invariance: changing key rows beyond the valid length of batch
+  // row 1 must not change its outputs.
+  Tensor x2 = x;
+  Tensor x_mod({batch * seq, 8}, x.data());
+  for (int t = 2; t < 4; ++t) {
+    for (int d = 0; d < 8; ++d) {
+      x_mod.mutable_data()[(static_cast<size_t>(seq) + t) * 8 + d] += 37.0f;
+    }
+  }
+  Tensor y2 = attn.Forward(x_mod, x_mod, args);
+  // Query rows 0,1 of batch 1 attend only to keys 0,1 — but their own
+  // query representation changed only for t>=2 rows. Rows 4,5 (b=1,t=0,1)
+  // must be identical.
+  for (int row = 4; row < 6; ++row) {
+    for (int d = 0; d < 8; ++d) {
+      EXPECT_NEAR(y.data()[static_cast<size_t>(row) * 8 + d],
+                  y2.data()[static_cast<size_t>(row) * 8 + d], 1e-5f)
+          << row << "," << d;
+    }
+  }
+}
+
+TEST(GruTest, EncoderShapesAndFinalState) {
+  Rng rng(7);
+  GruEncoder enc(4, 6, &rng);
+  Tensor emb = Tensor::Randn({2 * 3, 4}, 1.0f, &rng);
+  std::vector<int> lengths = {3, 2};
+  auto out = enc.Forward(emb, 2, 3, lengths);
+  EXPECT_EQ(out.states.shape(), (std::vector<int>{6, 6}));
+  EXPECT_EQ(out.final.shape(), (std::vector<int>{2, 6}));
+  // final of batch 1 equals states row (1*3 + 1) (length 2 -> index 1).
+  for (int d = 0; d < 6; ++d) {
+    EXPECT_FLOAT_EQ(out.final.data()[6 + d], out.states.data()[(3 + 1) * 6 + d]);
+  }
+}
+
+TEST(TransformerTest, LossDecreasesOnCopyTask) {
+  // Tiny copy task: target equals source. A working encoder-decoder should
+  // fit this quickly.
+  Rng rng(8);
+  TransformerConfig cfg = TransformerConfig::T5Small(20);
+  cfg.d_model = 32;
+  cfg.d_ff = 64;
+  cfg.dropout = 0.0f;
+  Transformer model(cfg, &rng);
+  AdamW::Options opt;
+  opt.lr = 2e-3f;
+  opt.weight_decay = 0.0f;
+  AdamW optimizer(model.Parameters(), opt);
+
+  // A fixed pool of sequences (memorization task, converges quickly).
+  Rng data_rng(9);
+  std::vector<std::vector<int>> pool;
+  for (int i = 0; i < 8; ++i) {
+    std::vector<int> seq;
+    for (int t = 0; t < 5; ++t) seq.push_back(3 + data_rng.UniformInt(10));
+    pool.push_back(std::move(seq));
+  }
+  int cursor = 0;
+  auto make_batch = [&](std::vector<int>* enc, std::vector<int>* dec_in,
+                        std::vector<int>* dec_tgt) {
+    enc->clear();
+    dec_in->clear();
+    dec_tgt->clear();
+    for (int b = 0; b < 4; ++b) {
+      const std::vector<int>& seq = pool[static_cast<size_t>(cursor++ % 8)];
+      enc->insert(enc->end(), seq.begin(), seq.end());
+      dec_in->push_back(0);  // pad as start
+      dec_in->insert(dec_in->end(), seq.begin(), seq.end() - 1);
+      dec_tgt->insert(dec_tgt->end(), seq.begin(), seq.end());
+    }
+  };
+  const std::vector<int> lengths = {5, 5, 5, 5};
+  float first = 0, last = 0;
+  for (int step = 0; step < 150; ++step) {
+    std::vector<int> enc, dec_in, dec_tgt;
+    make_batch(&enc, &dec_in, &dec_tgt);
+    optimizer.ZeroGrad();
+    Tensor loss = model.Loss(enc, 4, 5, lengths, dec_in, dec_tgt, 5, lengths,
+                             /*train=*/true, &rng);
+    if (step == 0) first = loss.item();
+    last = loss.item();
+    loss.Backward();
+    loss.DetachGraph();
+    optimizer.ClipGradNorm(1.0f);
+    optimizer.Step();
+  }
+  EXPECT_LT(last, first * 0.5f);
+}
+
+TEST(TransformerTest, EnableLoraFreezesBase) {
+  Rng rng(10);
+  TransformerConfig cfg = TransformerConfig::T5Small(16);
+  Transformer model(cfg, &rng);
+  const int64_t all_params = model.NumParameters();
+  model.EnableLora(4, 8.0f, &rng);
+  const auto trainable = model.Parameters();
+  int64_t trainable_count = 0;
+  for (const Tensor& t : trainable) trainable_count += t.NumElements();
+  EXPECT_LT(trainable_count, all_params / 2);
+  EXPECT_GT(trainable_count, 0);
+}
+
+TEST(TransformerTest, ConfigPresetsDiffer) {
+  TransformerConfig t5 = TransformerConfig::T5Small(100);
+  EXPECT_EQ(t5.norm_style, TransformerConfig::NormStyle::kPreRms);
+  EXPECT_TRUE(t5.tie_embeddings);
+  TransformerConfig vanilla = TransformerConfig::Vanilla(100);
+  EXPECT_EQ(vanilla.norm_style, TransformerConfig::NormStyle::kPostLayerNorm);
+  EXPECT_FALSE(vanilla.tie_embeddings);
+  TransformerConfig bart = TransformerConfig::BartLike(100);
+  EXPECT_EQ(bart.position_style, TransformerConfig::PositionStyle::kLearned);
+  EXPECT_GT(TransformerConfig::T5Base(100).d_model, t5.d_model);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace vist5

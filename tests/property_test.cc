@@ -1,0 +1,247 @@
+// Property-based sweeps (parameterized over generator seeds): invariants
+// that must hold for *every* generated corpus, not just fixtures.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/pretrain.h"
+#include "data/db_gen.h"
+#include "data/nvbench_gen.h"
+#include "dv/chart.h"
+#include "dv/parser.h"
+#include "dv/standardize.h"
+#include "eval/text_metrics.h"
+#include "eval/vis_metrics.h"
+#include "text/tokenizer.h"
+
+namespace vist5 {
+namespace {
+
+struct SeededCorpus {
+  db::Catalog catalog;
+  std::vector<data::NvBenchExample> nvbench;
+};
+
+SeededCorpus MakeCorpus(uint64_t seed) {
+  SeededCorpus c;
+  data::DbGenOptions db_options;
+  db_options.num_databases = 8;
+  db_options.seed = seed;
+  c.catalog = data::GenerateCatalog(db_options);
+  const auto splits = data::AssignDatabaseSplits(c.catalog, 0.7, 0.1, seed);
+  data::NvBenchOptions nv_options;
+  nv_options.pairs_per_db = 6;
+  nv_options.seed = seed * 31 + 7;
+  c.nvbench = data::GenerateNvBench(c.catalog, splits, nv_options);
+  return c;
+}
+
+class CorpusProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CorpusProperty, ParserRoundTripIsIdempotent) {
+  const SeededCorpus c = MakeCorpus(GetParam());
+  ASSERT_FALSE(c.nvbench.empty());
+  for (const auto& ex : c.nvbench) {
+    auto q = dv::ParseDvQuery(ex.query);
+    ASSERT_TRUE(q.ok()) << ex.query;
+    const std::string once = q->ToString();
+    auto q2 = dv::ParseDvQuery(once);
+    ASSERT_TRUE(q2.ok()) << once;
+    EXPECT_EQ(q2->ToString(), once);
+  }
+}
+
+TEST_P(CorpusProperty, StandardizationIsIdempotent) {
+  const SeededCorpus c = MakeCorpus(GetParam());
+  for (const auto& ex : c.nvbench) {
+    const db::Database* database = c.catalog.Find(ex.database);
+    ASSERT_NE(database, nullptr);
+    auto once = dv::StandardizeString(ex.raw_query, *database);
+    ASSERT_TRUE(once.ok()) << ex.raw_query;
+    auto twice = dv::StandardizeString(*once, *database);
+    ASSERT_TRUE(twice.ok());
+    EXPECT_EQ(*twice, *once);
+  }
+}
+
+TEST_P(CorpusProperty, OrderByDirectionReversesExtremes) {
+  const SeededCorpus c = MakeCorpus(GetParam());
+  int checked = 0;
+  for (const auto& ex : c.nvbench) {
+    auto q = dv::ParseDvQuery(ex.query);
+    ASSERT_TRUE(q.ok());
+    if (!q->order_by.has_value()) continue;
+    const db::Database* database = c.catalog.Find(ex.database);
+    auto fwd = dv::RenderChart(*q, *database);
+    ASSERT_TRUE(fwd.ok());
+    dv::DvQuery flipped = *q;
+    flipped.order_by->ascending = !flipped.order_by->ascending;
+    auto rev = dv::RenderChart(flipped, *database);
+    ASSERT_TRUE(rev.ok());
+    ASSERT_EQ(fwd->num_points(), rev->num_points());
+    if (fwd->num_points() < 2) continue;
+    // Row multisets agree and each direction is sorted on some select
+    // column according to its own order (ties make front/back comparisons
+    // unreliable, so sortedness + multiset equality is the real invariant).
+    std::multiset<std::string> fwd_rows, rev_rows;
+    for (const auto& row : fwd->result.rows) {
+      std::string key;
+      for (const auto& v : row) key += v.ToString() + "|";
+      fwd_rows.insert(key);
+    }
+    for (const auto& row : rev->result.rows) {
+      std::string key;
+      for (const auto& v : row) key += v.ToString() + "|";
+      rev_rows.insert(key);
+    }
+    EXPECT_EQ(fwd_rows, rev_rows) << ex.query;
+    auto sorted_on_some_column = [](const dv::ChartData& chart,
+                                    bool ascending) {
+      for (size_t s = 0; s < chart.column_names.size(); ++s) {
+        bool mono = true;
+        for (int i = 1; i < chart.num_points(); ++i) {
+          const int cmp =
+              chart.result.rows[static_cast<size_t>(i - 1)][s].Compare(
+                  chart.result.rows[static_cast<size_t>(i)][s]);
+          if (ascending ? cmp > 0 : cmp < 0) {
+            mono = false;
+            break;
+          }
+        }
+        if (mono) return true;
+      }
+      return false;
+    };
+    EXPECT_TRUE(sorted_on_some_column(*fwd, q->order_by->ascending));
+    EXPECT_TRUE(sorted_on_some_column(*rev, !q->order_by->ascending));
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST_P(CorpusProperty, GroupCountsSumToFilteredRows) {
+  const SeededCorpus c = MakeCorpus(GetParam());
+  int checked = 0;
+  for (const auto& ex : c.nvbench) {
+    auto q = dv::ParseDvQuery(ex.query);
+    ASSERT_TRUE(q.ok());
+    if (ex.has_join || !q->group_by.has_value()) continue;
+    if (q->select.size() != 2 || q->select[1].agg != db::AggFn::kCount) {
+      continue;
+    }
+    const db::Database* database = c.catalog.Find(ex.database);
+    auto chart = dv::RenderChart(*q, *database);
+    ASSERT_TRUE(chart.ok());
+    int64_t total = 0;
+    for (const auto& row : chart->result.rows) total += row[1].AsInt();
+    // Rerun without grouping: a global COUNT should equal the sum.
+    dv::DvQuery global = *q;
+    global.group_by.reset();
+    global.order_by.reset();
+    global.select.erase(global.select.begin());
+    auto flat = dv::RenderChart(global, *database);
+    ASSERT_TRUE(flat.ok());
+    EXPECT_EQ(flat->result.rows[0][0].AsInt(), total) << ex.query;
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST_P(CorpusProperty, SuitabilityHoldsForGeneratedQueries) {
+  const SeededCorpus c = MakeCorpus(GetParam());
+  for (const auto& ex : c.nvbench) {
+    auto q = dv::ParseDvQuery(ex.query);
+    ASSERT_TRUE(q.ok());
+    const db::Database* database = c.catalog.Find(ex.database);
+    EXPECT_TRUE(dv::CheckSuitability(*q, *database).ok()) << ex.query;
+  }
+}
+
+TEST_P(CorpusProperty, TokenizerRoundTripsAllCorpusStrings) {
+  const SeededCorpus c = MakeCorpus(GetParam());
+  std::vector<std::string> corpus;
+  for (const auto& ex : c.nvbench) {
+    corpus.push_back(ex.question);
+    corpus.push_back(ex.query);
+  }
+  const text::Tokenizer tok = text::Tokenizer::Build(corpus);
+  for (const auto& ex : c.nvbench) {
+    // Queries must survive encode/decode exactly (lowercase, canonical
+    // spacing, dot/quote re-attachment).
+    EXPECT_EQ(tok.Decode(tok.Encode(ex.query)), ex.query);
+  }
+}
+
+TEST_P(CorpusProperty, SpanCorruptionReconstructsEverywhere) {
+  const SeededCorpus c = MakeCorpus(GetParam());
+  std::vector<std::string> corpus;
+  for (const auto& ex : c.nvbench) corpus.push_back(ex.query);
+  const text::Tokenizer tok = text::Tokenizer::Build(corpus);
+  Rng rng(GetParam() * 977 + 5);
+  for (size_t i = 0; i < c.nvbench.size() && i < 12; ++i) {
+    const std::vector<int> tokens = tok.Encode(c.nvbench[i].query);
+    const model::SeqPair pair = core::SpanCorrupt(tokens, tok, 0.15, 3, &rng);
+    // Interleave to reconstruct.
+    std::vector<int> rebuilt;
+    for (int id : pair.src) {
+      if (id == tok.eos_id()) break;
+      if (!tok.IsSentinel(id)) {
+        rebuilt.push_back(id);
+        continue;
+      }
+      for (size_t k = 0; k < pair.tgt.size(); ++k) {
+        if (pair.tgt[k] != id) continue;
+        for (size_t j = k + 1; j < pair.tgt.size() &&
+                               !tok.IsSentinel(pair.tgt[j]) &&
+                               pair.tgt[j] != tok.eos_id();
+             ++j) {
+          rebuilt.push_back(pair.tgt[j]);
+        }
+        break;
+      }
+    }
+    EXPECT_EQ(rebuilt, tokens) << c.nvbench[i].query;
+  }
+}
+
+TEST_P(CorpusProperty, DvQueryEmSelfConsistency) {
+  const SeededCorpus c = MakeCorpus(GetParam());
+  for (size_t i = 0; i < c.nvbench.size() && i < 20; ++i) {
+    const eval::VisMatch self =
+        eval::CompareDvQueries(c.nvbench[i].query, c.nvbench[i].query);
+    EXPECT_TRUE(self.exact);
+    EXPECT_TRUE(self.vis);
+    EXPECT_TRUE(self.axis);
+    EXPECT_TRUE(self.data);
+    // Raw annotator style parses to the same standardized form, so EM
+    // against the standardized reference must hold component-wise for vis.
+    const eval::VisMatch raw =
+        eval::CompareDvQueries(c.nvbench[i].raw_query, c.nvbench[i].query);
+    EXPECT_TRUE(raw.vis) << c.nvbench[i].raw_query;
+  }
+}
+
+TEST_P(CorpusProperty, TextMetricsBoundedAndIdentityMaximal) {
+  const SeededCorpus c = MakeCorpus(GetParam());
+  std::vector<std::string> a, b;
+  for (size_t i = 0; i < c.nvbench.size() && i < 10; ++i) {
+    a.push_back(c.nvbench[i].description);
+    b.push_back(c.nvbench[(i + 1) % c.nvbench.size()].description);
+  }
+  for (double v :
+       {eval::CorpusBleu(a, b, 4), eval::RougeN(a, b, 1), eval::RougeL(a, b),
+        eval::Meteor(a, b)}) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  EXPECT_NEAR(eval::CorpusBleu(a, a, 4), 1.0, 1e-9);
+  EXPECT_NEAR(eval::RougeN(a, a, 2), 1.0, 1e-9);
+  EXPECT_GT(eval::Meteor(a, a), 0.95);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorpusProperty,
+                         ::testing::Values(3u, 11u, 42u, 77u, 123u));
+
+}  // namespace
+}  // namespace vist5

@@ -1,0 +1,382 @@
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+#include "tensor/tensor.h"
+
+namespace vist5 {
+namespace {
+
+// Numerically checks d(loss)/d(param) against autograd for a scalar-valued
+// function of `params`.
+void CheckGradients(const std::vector<Tensor>& params,
+                    const std::function<Tensor()>& fn, float eps = 1e-3f,
+                    float tol = 2e-2f) {
+  for (const Tensor& p : params) {
+    Tensor copy = p;
+    std::fill(copy.mutable_grad().begin(), copy.mutable_grad().end(), 0.0f);
+  }
+  Tensor loss = fn();
+  ASSERT_EQ(loss.NumElements(), 1);
+  loss.Backward();
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Tensor p = params[pi];
+    ASSERT_FALSE(p.grad().empty()) << "param " << pi << " has no grad";
+    for (size_t i = 0; i < p.data().size(); ++i) {
+      const float orig = p.data()[i];
+      p.mutable_data()[i] = orig + eps;
+      const float up = fn().item();
+      p.mutable_data()[i] = orig - eps;
+      const float down = fn().item();
+      p.mutable_data()[i] = orig;
+      const float numeric = (up - down) / (2 * eps);
+      const float analytic = p.grad()[i];
+      EXPECT_NEAR(analytic, numeric, tol * std::max(1.0f, std::fabs(numeric)))
+          << "param " << pi << " element " << i;
+    }
+  }
+}
+
+Tensor RandomParam(std::vector<int> shape, Rng* rng) {
+  return Tensor::Randn(std::move(shape), 0.5f, rng, /*requires_grad=*/true);
+}
+
+TEST(TensorTest, ConstructionAndShape) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.NumElements(), 6);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(-1), 3);
+  EXPECT_EQ(t.ShapeString(), "Tensor[2, 3]");
+  for (float v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(TensorTest, FullAndScalar) {
+  Tensor t = Tensor::Full({4}, 2.5f);
+  for (float v : t.data()) EXPECT_EQ(v, 2.5f);
+  EXPECT_EQ(Tensor::Scalar(3.0f).item(), 3.0f);
+}
+
+TEST(TensorTest, AddForward) {
+  Tensor a({2}, {1, 2});
+  Tensor b({2}, {10, 20});
+  Tensor c = ops::Add(a, b);
+  EXPECT_EQ(c.data()[0], 11);
+  EXPECT_EQ(c.data()[1], 22);
+}
+
+TEST(TensorGradTest, AddGrad) {
+  Rng rng(1);
+  Tensor a = RandomParam({3}, &rng);
+  Tensor b = RandomParam({3}, &rng);
+  CheckGradients({a, b}, [&] { return ops::Sum(ops::Add(a, b)); });
+}
+
+TEST(TensorGradTest, MulGrad) {
+  Rng rng(2);
+  Tensor a = RandomParam({4}, &rng);
+  Tensor b = RandomParam({4}, &rng);
+  CheckGradients({a, b}, [&] { return ops::Sum(ops::Mul(a, b)); });
+}
+
+TEST(TensorGradTest, ScaleAndAddScalarGrad) {
+  Rng rng(3);
+  Tensor a = RandomParam({5}, &rng);
+  CheckGradients({a}, [&] {
+    return ops::Sum(ops::AddScalar(ops::Scale(a, 2.5f), 1.0f));
+  });
+}
+
+TEST(TensorGradTest, AddBroadcastGrad) {
+  Rng rng(4);
+  Tensor a = RandomParam({2, 3}, &rng);
+  Tensor b = RandomParam({3}, &rng);
+  CheckGradients({a, b}, [&] { return ops::Sum(ops::AddBroadcast(a, b)); });
+}
+
+TEST(TensorTest, MatMul2D) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2}, {5, 6, 7, 8});
+  Tensor c = ops::MatMul(a, b);
+  EXPECT_EQ(c.data()[0], 19);
+  EXPECT_EQ(c.data()[1], 22);
+  EXPECT_EQ(c.data()[2], 43);
+  EXPECT_EQ(c.data()[3], 50);
+}
+
+TEST(TensorTest, MatMulTransposeBMatchesManual) {
+  Tensor a({1, 3}, {1, 2, 3});
+  Tensor b({2, 3}, {4, 5, 6, 7, 8, 9});
+  Tensor c = ops::MatMulTransposeB(a, b);
+  EXPECT_EQ(c.dim(1), 2);
+  EXPECT_FLOAT_EQ(c.data()[0], 32);
+  EXPECT_FLOAT_EQ(c.data()[1], 50);
+}
+
+TEST(TensorGradTest, MatMulGrad) {
+  Rng rng(5);
+  Tensor a = RandomParam({2, 3}, &rng);
+  Tensor b = RandomParam({3, 2}, &rng);
+  CheckGradients({a, b}, [&] { return ops::Sum(ops::MatMul(a, b)); });
+}
+
+TEST(TensorGradTest, MatMulFoldedLeadingDimsGrad) {
+  Rng rng(6);
+  Tensor a = RandomParam({2, 2, 3}, &rng);
+  Tensor b = RandomParam({3, 2}, &rng);
+  CheckGradients({a, b}, [&] { return ops::Sum(ops::MatMul(a, b)); });
+}
+
+TEST(TensorGradTest, BatchedMatMulGrad) {
+  Rng rng(7);
+  Tensor a = RandomParam({2, 2, 3}, &rng);
+  Tensor b = RandomParam({2, 3, 2}, &rng);
+  CheckGradients({a, b}, [&] { return ops::Sum(ops::MatMul(a, b)); });
+}
+
+TEST(TensorGradTest, MatMulTransposeBGrad) {
+  Rng rng(8);
+  Tensor a = RandomParam({2, 3}, &rng);
+  Tensor b = RandomParam({4, 3}, &rng);
+  CheckGradients({a, b}, [&] {
+    return ops::Sum(ops::MatMulTransposeB(a, b));
+  });
+}
+
+TEST(TensorGradTest, BatchedMatMulTransposeBGrad) {
+  Rng rng(9);
+  Tensor a = RandomParam({2, 2, 3}, &rng);
+  Tensor b = RandomParam({2, 4, 3}, &rng);
+  CheckGradients({a, b}, [&] {
+    return ops::Sum(ops::MatMulTransposeB(a, b));
+  });
+}
+
+TEST(TensorTest, SoftmaxRowsSumToOne) {
+  Rng rng(10);
+  Tensor x = Tensor::Randn({3, 5}, 2.0f, &rng);
+  Tensor y = ops::Softmax(x);
+  for (int r = 0; r < 3; ++r) {
+    float sum = 0;
+    for (int c = 0; c < 5; ++c) sum += y.data()[static_cast<size_t>(r) * 5 + c];
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(TensorGradTest, SoftmaxGrad) {
+  Rng rng(11);
+  Tensor x = RandomParam({2, 4}, &rng);
+  Tensor w = RandomParam({2, 4}, &rng);
+  // Weighted sum makes the gradient non-trivial.
+  CheckGradients({x}, [&] { return ops::Sum(ops::Mul(ops::Softmax(x), w)); });
+}
+
+TEST(TensorTest, MaskedSoftmaxMasksPaddingAndFuture) {
+  Tensor scores = Tensor::Zeros({1, 1, 2, 3});
+  std::vector<int> key_lengths = {2};
+  Tensor y = ops::MaskedSoftmax(scores, key_lengths, /*causal=*/true);
+  // Query 0 attends only key 0.
+  EXPECT_NEAR(y.data()[0], 1.0f, 1e-6f);
+  EXPECT_EQ(y.data()[1], 0.0f);
+  EXPECT_EQ(y.data()[2], 0.0f);
+  // Query 1 attends keys 0,1 (key 2 padded).
+  EXPECT_NEAR(y.data()[3], 0.5f, 1e-6f);
+  EXPECT_NEAR(y.data()[4], 0.5f, 1e-6f);
+  EXPECT_EQ(y.data()[5], 0.0f);
+}
+
+TEST(TensorGradTest, MaskedSoftmaxGrad) {
+  Rng rng(12);
+  Tensor x = RandomParam({1, 2, 2, 3}, &rng);
+  Tensor w = RandomParam({1, 2, 2, 3}, &rng);
+  std::vector<int> lens = {3};
+  CheckGradients({x}, [&] {
+    return ops::Sum(ops::Mul(ops::MaskedSoftmax(x, lens, true), w));
+  });
+}
+
+TEST(TensorGradTest, RmsNormGrad) {
+  Rng rng(13);
+  Tensor x = RandomParam({2, 4}, &rng);
+  Tensor w = RandomParam({4}, &rng);
+  CheckGradients({x, w}, [&] { return ops::Sum(ops::RmsNorm(x, w)); });
+}
+
+TEST(TensorGradTest, LayerNormGrad) {
+  Rng rng(14);
+  Tensor x = RandomParam({2, 4}, &rng);
+  Tensor g = RandomParam({4}, &rng);
+  Tensor b = RandomParam({4}, &rng);
+  Tensor w = RandomParam({2, 4}, &rng);
+  CheckGradients({x, g, b}, [&] {
+    return ops::Sum(ops::Mul(ops::LayerNorm(x, g, b), w));
+  });
+}
+
+TEST(TensorGradTest, ActivationGrads) {
+  Rng rng(15);
+  Tensor x = RandomParam({6}, &rng);
+  CheckGradients({x}, [&] { return ops::Sum(ops::Relu(x)); }, 1e-3f, 5e-2f);
+  CheckGradients({x}, [&] { return ops::Sum(ops::Gelu(x)); });
+  CheckGradients({x}, [&] { return ops::Sum(ops::Sigmoid(x)); });
+  CheckGradients({x}, [&] { return ops::Sum(ops::Tanh(x)); });
+}
+
+TEST(TensorGradTest, EmbeddingGrad) {
+  Rng rng(16);
+  Tensor table = RandomParam({5, 3}, &rng);
+  std::vector<int> ids = {1, 3, 1};
+  CheckGradients({table}, [&] { return ops::Sum(ops::Embedding(table, ids)); });
+}
+
+TEST(TensorTest, EmbeddingGathersRows) {
+  Tensor table({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor out = ops::Embedding(table, {2, 0});
+  EXPECT_EQ(out.data()[0], 5);
+  EXPECT_EQ(out.data()[1], 6);
+  EXPECT_EQ(out.data()[2], 1);
+  EXPECT_EQ(out.data()[3], 2);
+}
+
+TEST(TensorGradTest, CrossEntropyGrad) {
+  Rng rng(17);
+  Tensor logits = RandomParam({3, 4}, &rng);
+  std::vector<int> targets = {0, -100, 2};  // middle row ignored
+  CheckGradients({logits}, [&] {
+    return ops::CrossEntropyLoss(logits, targets, -100);
+  });
+}
+
+TEST(TensorTest, CrossEntropyIgnoresMaskedRows) {
+  Tensor logits({2, 2}, {10, 0, 0, 10});
+  Tensor loss1 = ops::CrossEntropyLoss(logits, {0, -100}, -100);
+  Tensor loss2 = ops::CrossEntropyLoss(logits, {0, 0}, -100);
+  EXPECT_LT(loss1.item(), loss2.item());
+}
+
+TEST(TensorGradTest, ReshapeSplitMergeHeadsGrad) {
+  Rng rng(18);
+  Tensor x = RandomParam({4, 6}, &rng);  // batch 2, seq 2, d=6, heads 3
+  Tensor w = RandomParam({4, 6}, &rng);
+  CheckGradients({x}, [&] {
+    Tensor split = ops::SplitHeads(x, 2, 2, 3);
+    Tensor merged = ops::MergeHeads(split);
+    return ops::Sum(ops::Mul(merged, w));
+  });
+}
+
+TEST(TensorTest, SplitMergeHeadsRoundTrip) {
+  Rng rng(19);
+  Tensor x = Tensor::Randn({6, 4}, 1.0f, &rng);  // batch 2, seq 3, heads 2
+  Tensor round = ops::MergeHeads(ops::SplitHeads(x, 2, 3, 2));
+  for (size_t i = 0; i < x.data().size(); ++i) {
+    EXPECT_FLOAT_EQ(round.data()[i], x.data()[i]);
+  }
+}
+
+TEST(TensorGradTest, ConcatGatherTransposeGrad) {
+  Rng rng(20);
+  Tensor a = RandomParam({2, 3}, &rng);
+  Tensor b = RandomParam({1, 3}, &rng);
+  CheckGradients({a, b}, [&] {
+    Tensor cat = ops::ConcatRows({a, b});
+    Tensor picked = ops::GatherRows(cat, {2, 0, 0});
+    return ops::Sum(ops::Transpose2D(picked));
+  });
+}
+
+TEST(TensorTest, DropoutInferenceIsIdentity) {
+  Rng rng(21);
+  NoGradGuard guard;
+  Tensor x = Tensor::Randn({10}, 1.0f, &rng);
+  Tensor y = ops::Dropout(x, 0.5f, &rng);
+  for (size_t i = 0; i < x.data().size(); ++i) {
+    EXPECT_EQ(y.data()[i], x.data()[i]);
+  }
+}
+
+TEST(TensorTest, DropoutTrainScalesKeptUnits) {
+  Rng rng(22);
+  Tensor x = Tensor::Full({1000}, 1.0f, /*requires_grad=*/true);
+  Tensor y = ops::Dropout(x, 0.25f, &rng);
+  int zeros = 0;
+  for (float v : y.data()) {
+    if (v == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(v, 1.0f / 0.75f, 1e-5f);
+    }
+  }
+  EXPECT_GT(zeros, 150);
+  EXPECT_LT(zeros, 350);
+}
+
+TEST(TensorTest, NoGradGuardSuppressesGraph) {
+  Tensor a = Tensor::Full({2}, 1.0f, /*requires_grad=*/true);
+  NoGradGuard guard;
+  Tensor b = ops::Scale(a, 2.0f);
+  EXPECT_FALSE(b.requires_grad());
+}
+
+TEST(TensorTest, BackwardAccumulatesThroughSharedNode) {
+  Tensor a = Tensor::Full({1}, 3.0f, /*requires_grad=*/true);
+  Tensor b = ops::Add(a, a);  // d/da = 2
+  Tensor loss = ops::Sum(b);
+  loss.Backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 2.0f);
+}
+
+TEST(TensorTest, DetachGraphReleasesHistory) {
+  Tensor a = Tensor::Full({2}, 1.0f, /*requires_grad=*/true);
+  Tensor b = ops::Scale(ops::Add(a, a), 2.0f);
+  Tensor loss = ops::Sum(b);
+  EXPECT_FALSE(loss.impl()->parents.empty());
+  loss.DetachGraph();
+  EXPECT_TRUE(loss.impl()->parents.empty());
+  EXPECT_TRUE(b.impl()->parents.empty());
+  EXPECT_FALSE(static_cast<bool>(b.impl()->backward_fn));
+}
+
+TEST(OptimizerTest, AdamWReducesQuadraticLoss) {
+  Tensor w = Tensor::Full({3}, 5.0f, /*requires_grad=*/true);
+  AdamW::Options opts;
+  opts.lr = 0.1f;
+  opts.weight_decay = 0.0f;
+  AdamW optimizer({w}, opts);
+  float first_loss = 0;
+  float last_loss = 0;
+  for (int step = 0; step < 200; ++step) {
+    optimizer.ZeroGrad();
+    Tensor loss = ops::Sum(ops::Mul(w, w));
+    if (step == 0) first_loss = loss.item();
+    last_loss = loss.item();
+    loss.Backward();
+    optimizer.Step();
+  }
+  EXPECT_LT(last_loss, first_loss * 0.01f);
+}
+
+TEST(OptimizerTest, ClipGradNormRescales) {
+  Tensor w = Tensor::Full({4}, 1.0f, /*requires_grad=*/true);
+  w.mutable_grad().assign(4, 3.0f);  // norm 6
+  AdamW optimizer({w}, {});
+  const float norm = optimizer.ClipGradNorm(1.0f);
+  EXPECT_NEAR(norm, 6.0f, 1e-4f);
+  float new_norm = 0;
+  for (float g : w.grad()) new_norm += g * g;
+  EXPECT_NEAR(std::sqrt(new_norm), 1.0f, 1e-4f);
+}
+
+TEST(OptimizerTest, LinearWarmupSchedule) {
+  LinearWarmupSchedule sched(1.0f, 10, 110);
+  EXPECT_NEAR(sched.LrAt(0), 0.1f, 1e-6f);
+  EXPECT_NEAR(sched.LrAt(9), 1.0f, 1e-6f);
+  EXPECT_NEAR(sched.LrAt(60), 0.5f, 1e-6f);
+  EXPECT_EQ(sched.LrAt(110), 0.0f);
+}
+
+}  // namespace
+}  // namespace vist5

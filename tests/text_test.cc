@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "text/bpe.h"
+#include "text/tokenizer.h"
+
+namespace vist5 {
+namespace text {
+namespace {
+
+Tokenizer MakeTokenizer() {
+  return Tokenizer::Build({
+      "visualize bar select artist.country , count ( artist.country ) from "
+      "artist group by artist.country",
+      "give me a pie chart about the number of countries in the artist table",
+  });
+}
+
+TEST(VocabularyTest, AddAndLookup) {
+  Vocabulary v;
+  const int a = v.AddToken("alpha");
+  const int b = v.AddToken("beta");
+  EXPECT_EQ(v.AddToken("alpha"), a);  // idempotent
+  EXPECT_EQ(v.Id("beta"), b);
+  EXPECT_EQ(v.Id("gamma"), -1);
+  EXPECT_EQ(v.Token(a), "alpha");
+  EXPECT_EQ(v.size(), 2);
+}
+
+TEST(TokenizerTest, PreTokenizeDetachesPunctuation) {
+  const auto toks = Tokenizer::PreTokenize("count(artist.country)");
+  const std::vector<std::string> want = {"count", "(", "artist", ".",
+                                         "country", ")"};
+  EXPECT_EQ(toks, want);
+}
+
+TEST(TokenizerTest, PreTokenizeKeepsSpecialTokens) {
+  const auto toks = Tokenizer::PreTokenize("<nl> Hello <extra_id_3>");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0], "<nl>");
+  EXPECT_EQ(toks[1], "hello");
+  EXPECT_EQ(toks[2], "<extra_id_3>");
+}
+
+TEST(TokenizerTest, EncodeDecodeRoundTrip) {
+  Tokenizer tok = MakeTokenizer();
+  const std::string text =
+      "visualize bar select artist.country from artist";
+  const std::string decoded = tok.Decode(tok.Encode(text));
+  EXPECT_EQ(decoded, text);
+}
+
+TEST(TokenizerTest, DotRejoiningInDecode) {
+  Tokenizer tok = MakeTokenizer();
+  const auto ids = tok.Encode("artist.country");
+  EXPECT_EQ(tok.Decode(ids), "artist.country");
+}
+
+TEST(TokenizerTest, UnknownWordUsesCharFallback) {
+  Tokenizer tok = MakeTokenizer();
+  const auto ids = tok.Encode("zyzzyva");
+  // No <unk> in the encoding: the word is spelled out.
+  for (int id : ids) EXPECT_NE(id, tok.unk_id());
+  EXPECT_EQ(tok.Decode(ids), "zyzzyva");
+}
+
+TEST(TokenizerTest, MixedKnownAndFallback) {
+  Tokenizer tok = MakeTokenizer();
+  const std::string text = "select qqfoo from artist";
+  EXPECT_EQ(tok.Decode(tok.Encode(text)), text);
+}
+
+TEST(TokenizerTest, EncodeLowercases) {
+  Tokenizer tok = MakeTokenizer();
+  EXPECT_EQ(tok.Encode("ARTIST"), tok.Encode("artist"));
+}
+
+TEST(TokenizerTest, EosAppended) {
+  Tokenizer tok = MakeTokenizer();
+  const auto ids = tok.EncodeWithEos("artist");
+  ASSERT_FALSE(ids.empty());
+  EXPECT_EQ(ids.back(), tok.eos_id());
+}
+
+TEST(TokenizerTest, SentinelIdsDistinctAndRecognized) {
+  Tokenizer tok = MakeTokenizer();
+  for (int k = 0; k < kNumSentinels; ++k) {
+    EXPECT_TRUE(tok.IsSentinel(tok.sentinel_id(k)));
+  }
+  EXPECT_NE(tok.sentinel_id(0), tok.sentinel_id(1));
+  EXPECT_FALSE(tok.IsSentinel(tok.pad_id()));
+}
+
+TEST(TokenizerTest, SpecialTaskTokensExist) {
+  Tokenizer tok = MakeTokenizer();
+  for (const char* t : {"<nl>", "<vql>", "<schema>", "<table>", "<question>",
+                        "<answer>", "<description>"}) {
+    EXPECT_GE(tok.SpecialId(t), 0) << t;
+  }
+}
+
+TEST(TokenizerTest, DecodeDropsPadAndEos) {
+  Tokenizer tok = MakeTokenizer();
+  std::vector<int> ids = {tok.pad_id()};
+  const auto body = tok.Encode("artist");
+  ids.insert(ids.end(), body.begin(), body.end());
+  ids.push_back(tok.eos_id());
+  EXPECT_EQ(tok.Decode(ids), "artist");
+}
+
+TEST(TokenizerTest, SaveLoadRoundTrip) {
+  Tokenizer tok = MakeTokenizer();
+  BinaryWriter writer;
+  tok.Save(&writer);
+  BinaryReader reader(writer.buffer());
+  Tokenizer loaded;
+  ASSERT_TRUE(loaded.Load(&reader).ok());
+  EXPECT_EQ(loaded.vocab_size(), tok.vocab_size());
+  const std::string text = "select artist.country from artist";
+  EXPECT_EQ(loaded.Encode(text), tok.Encode(text));
+}
+
+TEST(TokenizerTest, MinFreqFiltersRareWords) {
+  Tokenizer tok = Tokenizer::Build({"common common rare"}, /*min_freq=*/2);
+  EXPECT_TRUE(tok.vocab().Contains("common"));
+  EXPECT_FALSE(tok.vocab().Contains("rare"));
+}
+
+TEST(BpeTest, RoundTripsTrainingWords) {
+  const std::vector<std::string> corpus = {
+      "visualize bar select artist country from artist",
+      "visualize pie select artist country group by country",
+      "count the countries in the artist table",
+  };
+  BpeModel::Options options;
+  options.num_merges = 64;
+  const BpeModel bpe = BpeModel::Train(corpus, options);
+  EXPECT_GT(bpe.num_merges(), 0);
+  for (const std::string& line : corpus) {
+    EXPECT_EQ(bpe.Decode(bpe.Encode(line)), line);
+  }
+}
+
+TEST(BpeTest, MergesFrequentWordsIntoFewPieces) {
+  std::vector<std::string> corpus(30, "visualize visualize visualize");
+  const BpeModel bpe = BpeModel::Train(corpus);
+  const auto pieces = bpe.EncodePieces("visualize");
+  // A word seen 90 times merges into a single piece.
+  EXPECT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(BpeModel::PrettyPiece(pieces[0]), "_visualize");
+}
+
+TEST(BpeTest, UnseenWordsDecomposeAndRoundTrip) {
+  const BpeModel bpe = BpeModel::Train({"aaa bbb ccc"});
+  // Never-seen word: falls back to byte pieces, still round-trips.
+  EXPECT_EQ(bpe.Decode(bpe.Encode("zebra")), "zebra");
+  EXPECT_GT(bpe.EncodePieces("zebra").size(), 1u);
+}
+
+TEST(BpeTest, BoundaryMarkerSeparatesWords) {
+  const BpeModel bpe = BpeModel::Train({"ab ab ab ab"});
+  EXPECT_EQ(bpe.Decode(bpe.Encode("ab ab")), "ab ab");
+}
+
+TEST(BpeTest, TrainingIsDeterministic) {
+  const std::vector<std::string> corpus = {"select from where group order",
+                                           "select from where"};
+  const BpeModel a = BpeModel::Train(corpus);
+  const BpeModel b = BpeModel::Train(corpus);
+  EXPECT_EQ(a.vocab_size(), b.vocab_size());
+  EXPECT_EQ(a.Encode("select from"), b.Encode("select from"));
+}
+
+}  // namespace
+}  // namespace text
+}  // namespace vist5

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace vist5 {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing table");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: missing table");
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+TEST(StatusOrTest, HoldsValueOrStatus) {
+  auto good = ParsePositive(5);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 5);
+  auto bad = ParsePositive(-1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad.value_or(42), 42);
+}
+
+Status UseAssignOrReturn(int x, int* out) {
+  VIST5_ASSIGN_OR_RETURN(*out, ParsePositive(x));
+  return Status::OK();
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(7, &out).ok());
+  EXPECT_EQ(out, 7);
+  EXPECT_FALSE(UseAssignOrReturn(0, &out).ok());
+}
+
+TEST(StringUtilTest, Split) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  auto skip = Split("a,b,,c", ',', /*skip_empty=*/true);
+  EXPECT_EQ(skip.size(), 3u);
+}
+
+TEST(StringUtilTest, SplitWhitespaceAndJoin) {
+  auto toks = SplitWhitespace("  hello\tworld \n x ");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(Join(toks, " "), "hello world x");
+}
+
+TEST(StringUtilTest, CaseStripContains) {
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_EQ(Strip("  hi  "), "hi");
+  EXPECT_TRUE(StartsWith("visualize bar", "visual"));
+  EXPECT_TRUE(EndsWith("group by x", "by x"));
+  EXPECT_TRUE(Contains("a b c", "b "));
+}
+
+TEST(StringUtilTest, ReplaceAllAndNormalize) {
+  EXPECT_EQ(ReplaceAll("a_b_c", "_", " "), "a b c");
+  EXPECT_EQ(NormalizeSpaces(" a   b \t c "), "a b c");
+}
+
+TEST(StringUtilTest, WordNgrams) {
+  auto bigrams = WordNgrams("the artist table here", 2);
+  ASSERT_EQ(bigrams.size(), 3u);
+  EXPECT_EQ(bigrams[0], "the artist");
+  EXPECT_EQ(bigrams[2], "table here");
+  EXPECT_TRUE(WordNgrams("one", 2).empty());
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.UniformInt(10);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 10);
+  }
+}
+
+TEST(RngTest, NormalRoughlyStandard) {
+  Rng rng(8);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.1);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(9);
+  std::vector<double> w = {0.0, 1.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 4000; ++i) ++counts[rng.Categorical(w)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_GT(counts[2], counts[1]);
+}
+
+TEST(RngTest, ShuffleKeepsElements) {
+  Rng rng(10);
+  std::vector<int> v = {1, 2, 3, 4, 5};
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(JsonTest, SerializesNested) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("mark", JsonValue::String("bar"));
+  obj.Set("n", JsonValue::Number(3));
+  JsonValue arr = JsonValue::Array();
+  arr.Append(JsonValue::Bool(true));
+  arr.Append(JsonValue::Null());
+  obj.Set("flags", std::move(arr));
+  const std::string compact = obj.ToString(/*pretty=*/false);
+  EXPECT_EQ(compact, R"({"mark":"bar","n":3,"flags":[true,null]})");
+}
+
+TEST(JsonTest, EscapesStrings) {
+  JsonValue v = JsonValue::String("a\"b\\c\nd");
+  EXPECT_EQ(v.ToString(false), R"("a\"b\\c\nd")");
+}
+
+TEST(JsonTest, SetOverwrites) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("k", JsonValue::Number(1));
+  obj.Set("k", JsonValue::Number(2));
+  EXPECT_EQ(obj.ToString(false), R"({"k":2})");
+}
+
+TEST(SerializeTest, RoundTrip) {
+  BinaryWriter w;
+  w.WriteU32(7);
+  w.WriteString("hello");
+  w.WriteFloats({1.5f, -2.25f});
+  w.WriteInts({3, -4});
+  BinaryReader r(w.buffer());
+  uint32_t u = 0;
+  ASSERT_TRUE(r.ReadU32(&u).ok());
+  EXPECT_EQ(u, 7u);
+  std::string s;
+  ASSERT_TRUE(r.ReadString(&s).ok());
+  EXPECT_EQ(s, "hello");
+  std::vector<float> f;
+  ASSERT_TRUE(r.ReadFloats(&f).ok());
+  EXPECT_EQ(f, (std::vector<float>{1.5f, -2.25f}));
+  std::vector<int32_t> iv;
+  ASSERT_TRUE(r.ReadInts(&iv).ok());
+  EXPECT_EQ(iv, (std::vector<int32_t>{3, -4}));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, TruncatedStreamFailsGracefully) {
+  BinaryWriter w;
+  w.WriteFloats({1.0f, 2.0f, 3.0f});
+  std::string data = w.buffer();
+  data.resize(data.size() - 4);
+  BinaryReader r(data);
+  std::vector<float> f;
+  EXPECT_FALSE(r.ReadFloats(&f).ok());
+}
+
+TEST(LoggingTest, SeverityFilterRoundTrip) {
+  const LogSeverity before = MinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kError);
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kError);
+  SetMinLogSeverity(before);
+}
+
+TEST(LoggingTest, CheckMacrosPassOnTrue) {
+  VIST5_CHECK(true) << "never evaluated";
+  VIST5_CHECK_EQ(2 + 2, 4);
+  VIST5_CHECK_LT(1, 2);
+  VIST5_CHECK_GE(2, 2);
+  VIST5_CHECK_OK(Status::OK());
+}
+
+TEST(RngTest, ChoiceReturnsElement) {
+  Rng rng(5);
+  const std::vector<std::string> pool = {"a", "b", "c"};
+  for (int i = 0; i < 20; ++i) {
+    const std::string& c = rng.Choice(pool);
+    EXPECT_TRUE(c == "a" || c == "b" || c == "c");
+  }
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  BinaryWriter w;
+  w.WriteString("checkpoint");
+  const std::string path = "/tmp/vist5_serialize_test.bin";
+  ASSERT_TRUE(w.Flush(path).ok());
+  auto reader = BinaryReader::FromFile(path);
+  ASSERT_TRUE(reader.ok());
+  std::string s;
+  ASSERT_TRUE(reader->ReadString(&s).ok());
+  EXPECT_EQ(s, "checkpoint");
+}
+
+}  // namespace
+}  // namespace vist5
