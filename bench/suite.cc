@@ -2,8 +2,13 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <vector>
 
 #include "dv/parser.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/json.h"
 #include "util/logging.h"
 #include "util/runtime.h"
 
@@ -52,37 +57,63 @@ std::vector<core::TaskExample> Suite::EvalTextToVis(bool with_join,
 }
 
 Suite BuildSuite(const SuiteConfig& config) {
+  VIST5_TRACE_SPAN("suite/build");
+  VIST5_SCOPED_LATENCY_US("suite/build_us");
   Suite suite;
   data::DbGenOptions db_options;
   db_options.num_databases = config.num_databases;
   db_options.seed = 17;
-  suite.catalog = data::GenerateCatalog(db_options);
+  {
+    VIST5_TRACE_SPAN("suite/catalog");
+    suite.catalog = data::GenerateCatalog(db_options);
+  }
   const auto splits = data::AssignDatabaseSplits(suite.catalog, 0.7, 0.1, 11);
 
   suite.bundle.catalog = &suite.catalog;
   data::NvBenchOptions nv_options;
   nv_options.pairs_per_db = config.pairs_per_db;
   nv_options.seed = 23;
-  suite.bundle.nvbench =
-      data::GenerateNvBench(suite.catalog, splits, nv_options);
+  {
+    VIST5_TRACE_SPAN("suite/nvbench");
+    suite.bundle.nvbench =
+        data::GenerateNvBench(suite.catalog, splits, nv_options);
+  }
 
   data::FeVisQaOptions qa_options;
   qa_options.seed = 29;
   qa_options.type1_prob = 0.35;
   qa_options.type2_prob = 0.35;
   qa_options.type3_per_query = 2;
-  suite.bundle.fevisqa =
-      data::GenerateFeVisQa(suite.catalog, suite.bundle.nvbench, qa_options);
+  {
+    VIST5_TRACE_SPAN("suite/fevisqa");
+    suite.bundle.fevisqa =
+        data::GenerateFeVisQa(suite.catalog, suite.bundle.nvbench, qa_options);
+  }
 
   data::TableTextOptions tt_options;
   tt_options.seed = 31;
   tt_options.chart2text_count = 350;
   tt_options.wikitabletext_count = 220;
-  suite.bundle.tabletext =
-      data::GenerateTableText(suite.catalog, suite.bundle.nvbench, tt_options);
+  {
+    VIST5_TRACE_SPAN("suite/tabletext");
+    suite.bundle.tabletext = data::GenerateTableText(
+        suite.catalog, suite.bundle.nvbench, tt_options);
+  }
 
-  suite.tokenizer =
-      text::Tokenizer::Build(core::CollectTokenizerCorpus(suite.bundle));
+  {
+    VIST5_TRACE_SPAN("suite/tokenizer");
+    suite.tokenizer =
+        text::Tokenizer::Build(core::CollectTokenizerCorpus(suite.bundle));
+  }
+  obs::GetCounter("suite/builds")->Add();
+  obs::GetGauge("suite/nvbench_examples")
+      ->Set(static_cast<double>(suite.bundle.nvbench.size()));
+  obs::GetGauge("suite/fevisqa_examples")
+      ->Set(static_cast<double>(suite.bundle.fevisqa.size()));
+  obs::GetGauge("suite/tabletext_examples")
+      ->Set(static_cast<double>(suite.bundle.tabletext.size()));
+  obs::GetGauge("suite/vocab_size")
+      ->Set(static_cast<double>(suite.tokenizer.vocab_size()));
   return suite;
 }
 
@@ -154,6 +185,59 @@ std::vector<model::SeqPair> BuildTextPretrainPairs(const Suite& suite,
   return pairs;
 }
 
+namespace {
+
+/// Machine-readable mirror of the pretty tables: when VIST5_BENCH_JSON
+/// names a file, every PrintRow appends one compact JSON object (JSON
+/// Lines) carrying the current table title and column names, so BENCH_*
+/// trajectories can be produced without scraping stdout. State is the
+/// last-printed header; benches are single-threaded printers.
+struct BenchJsonState {
+  std::string title;
+  std::vector<std::string> columns;
+};
+
+BenchJsonState& JsonState() {
+  static BenchJsonState* state = new BenchJsonState();
+  return *state;
+}
+
+const char* BenchJsonPath() {
+  static const char* path = [] {
+    const char* p = std::getenv("VIST5_BENCH_JSON");
+    return (p != nullptr && p[0] != '\0') ? p : nullptr;
+  }();
+  return path;
+}
+
+void AppendBenchJsonRow(const std::string& name,
+                        const std::vector<double>& values) {
+  const char* path = BenchJsonPath();
+  if (path == nullptr) return;
+  const BenchJsonState& state = JsonState();
+  JsonValue row = JsonValue::Object();
+  row.Set("table", JsonValue::String(state.title));
+  row.Set("model", JsonValue::String(name));
+  JsonValue metrics = JsonValue::Object();
+  for (size_t i = 0; i < values.size(); ++i) {
+    const std::string column = i < state.columns.size()
+                                   ? state.columns[i]
+                                   : "col" + std::to_string(i);
+    // Negative values render as "-" in the table: missing, not a score.
+    metrics.Set(column, values[i] < 0 ? JsonValue::Null()
+                                      : JsonValue::Number(values[i]));
+  }
+  row.Set("metrics", std::move(metrics));
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    VIST5_LOG(Warning) << "cannot append bench row to " << path;
+    return;
+  }
+  out << row.ToString(/*pretty=*/false) << "\n";
+}
+
+}  // namespace
+
 void PrintHeader(const std::string& title,
                  const std::vector<std::string>& columns) {
   std::printf("\n%s\n", title.c_str());
@@ -162,6 +246,8 @@ void PrintHeader(const std::string& title,
   std::printf("\n");
   for (size_t i = 0; i < 28 + columns.size() * 12; ++i) std::printf("-");
   std::printf("\n");
+  JsonState().title = title;
+  JsonState().columns = columns;
 }
 
 void PrintRow(const std::string& name, const std::vector<double>& values) {
@@ -175,6 +261,7 @@ void PrintRow(const std::string& name, const std::vector<double>& values) {
   }
   std::printf("\n");
   std::fflush(stdout);
+  AppendBenchJsonRow(name, values);
 }
 
 }  // namespace bench

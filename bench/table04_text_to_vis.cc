@@ -8,6 +8,8 @@
 #include "eval/bootstrap.h"
 #include "eval/execution.h"
 #include "eval/vis_metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vist5 {
 namespace bench {
@@ -70,6 +72,7 @@ int Main() {
 
   auto eval_model = [&](model::Seq2SeqModel* m, bool constrained,
                         bool join_capable) {
+    VIST5_TRACE_SPAN("eval/text_to_vis");
     std::vector<double> row;
     for (const EvalSet* set : {&nojoin, &join}) {
       if (set == &join && !join_capable) {
@@ -78,6 +81,7 @@ int Main() {
       }
       std::vector<std::string> preds;
       for (const auto& ex : set->examples) {
+        VIST5_SCOPED_LATENCY_US("eval/generate_us");
         model::GenerationOptions gen;
         const std::vector<int> src = zoo.EncodeSource(ex.source);
         if (constrained) gen.allowed = zoo.GrammarConstraint(src);

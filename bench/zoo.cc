@@ -7,6 +7,8 @@
 #include "dv/parser.h"
 #include "model/checkpoint.h"
 #include "model/trainer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace vist5 {
@@ -111,6 +113,7 @@ std::unique_ptr<model::TransformerSeq2Seq> ModelZoo::Pretrained(
   }
   VIST5_LOG(Info) << "pretraining " << kind << " (" << train.steps
                   << " steps, " << pairs.size() << " pairs)";
+  VIST5_TRACE_SPAN("train/pretrain:" + kind);
   const auto stats = model::TrainSeq2Seq(m.get(), pairs,
                                          suite_->tokenizer.pad_id(), train);
   VIST5_LOG(Info) << kind << " pretrain loss " << stats.first_loss << " -> "
@@ -202,6 +205,7 @@ std::unique_ptr<model::TransformerSeq2Seq> ModelZoo::FineTuned(
   const auto pairs = FineTunePairs(mode);
   VIST5_LOG(Info) << "fine-tuning " << name << " (" << train.steps
                   << " steps, " << pairs.size() << " pairs)";
+  VIST5_TRACE_SPAN("train/finetune:" + name);
   const auto stats = model::TrainSeq2Seq(m.get(), pairs,
                                          suite_->tokenizer.pad_id(), train);
   VIST5_LOG(Info) << name << " fine-tune loss " << stats.first_loss << " -> "
@@ -235,6 +239,7 @@ std::unique_ptr<model::RnnSeq2Seq> ModelZoo::RnnSft(core::Task task) {
       suite_->tokenizer);
   VIST5_LOG(Info) << "fine-tuning " << name << " (" << train.steps
                   << " steps)";
+  VIST5_TRACE_SPAN("train/finetune:" + name);
   const auto stats = model::TrainSeq2Seq(m.get(), pairs,
                                          suite_->tokenizer.pad_id(), train);
   VIST5_LOG(Info) << name << " fine-tune loss " << stats.first_loss << " -> "
@@ -264,9 +269,11 @@ std::vector<int> ModelZoo::EncodeSource(const std::string& source) const {
 std::vector<std::string> ModelZoo::Predict(
     model::Seq2SeqModel* m, const std::vector<core::TaskExample>& examples,
     const model::GenerationOptions& gen) const {
+  VIST5_TRACE_SPAN("eval/predict");
   std::vector<std::string> out;
   out.reserve(examples.size());
   for (const auto& ex : examples) {
+    VIST5_SCOPED_LATENCY_US("eval/generate_us");
     const std::vector<int> ids = m->Generate(EncodeSource(ex.source), gen);
     out.push_back(core::StripTaskToken(suite_->tokenizer.Decode(ids)));
   }

@@ -25,6 +25,8 @@
 #include "dv/parser.h"
 #include "dv/standardize.h"
 #include "dv/vega.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace vist5 {
@@ -39,6 +41,8 @@ int Usage() {
 }
 
 StatusOr<db::Database> LoadDatabase(const std::string& dir) {
+  VIST5_TRACE_SPAN("cli/load_db");
+  VIST5_SCOPED_LATENCY_US("cli/load_db_us");
   namespace fs = std::filesystem;
   if (!fs::is_directory(dir)) {
     return Status::NotFound("not a directory: " + dir);
@@ -100,7 +104,12 @@ int Main(int argc, char** argv) {
   }
 
   if (query_text.empty()) return Usage();
-  auto standardized = dv::StandardizeString(query_text, *database);
+  VIST5_TRACE_SPAN("cli/cmd:" + command);
+  auto standardized = [&] {
+    VIST5_TRACE_SPAN("cli/standardize");
+    VIST5_SCOPED_LATENCY_US("cli/standardize_us");
+    return dv::StandardizeString(query_text, *database);
+  }();
   if (!standardized.ok()) {
     std::fprintf(stderr, "standardize error: %s\n",
                  standardized.status().ToString().c_str());
@@ -112,7 +121,11 @@ int Main(int argc, char** argv) {
     return 0;
   }
 
-  auto parsed = dv::ParseDvQuery(*standardized);
+  auto parsed = [&] {
+    VIST5_TRACE_SPAN("cli/parse");
+    VIST5_SCOPED_LATENCY_US("cli/parse_us");
+    return dv::ParseDvQuery(*standardized);
+  }();
   if (!parsed.ok()) {
     std::fprintf(stderr, "parse error: %s\n",
                  parsed.status().ToString().c_str());
@@ -126,7 +139,11 @@ int Main(int argc, char** argv) {
   }
 
   if (command == "render") {
-    auto chart = dv::RenderChart(*parsed, *database);
+    auto chart = [&] {
+      VIST5_TRACE_SPAN("cli/render");
+      VIST5_SCOPED_LATENCY_US("cli/render_us");
+      return dv::RenderChart(*parsed, *database);
+    }();
     if (!chart.ok()) {
       std::fprintf(stderr, "render error: %s\n",
                    chart.status().ToString().c_str());

@@ -2,12 +2,25 @@
 # Runs every benchmark binary (paper tables I-XII and figures 3-9 plus the
 # google-benchmark micro suite), sharing one checkpoint cache. First run
 # trains every model (hours on one core); subsequent runs only evaluate.
+#
+# Every run leaves observability artifacts under build/obs/: a metrics
+# snapshot (<bench>.metrics.json), a Chrome trace (<bench>.trace.json,
+# loadable in chrome://tracing or ui.perfetto.dev), and machine-readable
+# result rows (<bench>.rows.jsonl). See docs/OBSERVABILITY.md.
 set -u
 cd "$(dirname "$0")/.."
 export VIST5_CACHE_DIR="${VIST5_CACHE_DIR:-$PWD/build/bench_cache}"
+OBS_DIR="${VIST5_OBS_DIR:-$PWD/build/obs}"
+mkdir -p "$OBS_DIR"
 for b in build/bench/*; do
   [ -x "$b" ] || continue
+  name="$(basename "$b")"
   echo "===== $b ====="
-  "$b"
+  VIST5_METRICS_OUT="$OBS_DIR/$name.metrics.json" \
+  VIST5_TRACE_OUT="$OBS_DIR/$name.trace.json" \
+  VIST5_BENCH_JSON="$OBS_DIR/$name.rows.jsonl" \
+    "$b"
   echo
 done
+echo "observability artifacts in $OBS_DIR:"
+ls -l "$OBS_DIR" 2>/dev/null || true

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace vist5 {
 namespace core {
 
@@ -125,9 +128,12 @@ model::SeqPair SpanCorrupt(const std::vector<int>& tokens,
 std::vector<model::SeqPair> BuildPretrainPairs(
     const CorpusBundle& bundle, const text::Tokenizer& tokenizer,
     const PretrainOptions& options) {
+  VIST5_TRACE_SPAN("pretrain/build_pairs");
   Rng rng(options.seed);
   std::vector<model::SeqPair> pairs;
+  size_t bdc_pairs = 0;
   if (options.include_bdc) {
+    VIST5_TRACE_SPAN("pretrain/bdc");
     for (const auto& [a, b] : BuildBdcTextPairs(bundle)) {
       model::SeqPair forward;
       forward.src = tokenizer.Encode(a);
@@ -139,21 +145,31 @@ std::vector<model::SeqPair> BuildPretrainPairs(
       backward.weight = 0.5;
       pairs.push_back(std::move(forward));
       pairs.push_back(std::move(backward));
+      bdc_pairs += 2;
     }
   }
+  size_t mlm_pairs = 0;
   if (options.include_mlm) {
+    VIST5_TRACE_SPAN("pretrain/mlm");
+    obs::Histogram* len_hist = obs::GetHistogram("pretrain/mlm_src_tokens");
     for (const std::string& text : BuildMlmTexts(bundle)) {
       std::vector<int> tokens = tokenizer.Encode(text);
       if (static_cast<int>(tokens.size()) > options.max_tokens) {
         tokens.resize(static_cast<size_t>(options.max_tokens));
       }
+      len_hist->Observe(static_cast<double>(tokens.size()));
       model::SeqPair pair = SpanCorrupt(tokens, tokenizer,
                                         options.mlm_mask_rate,
                                         options.mean_span_length, &rng);
       pair.weight = 1.0;
       pairs.push_back(std::move(pair));
+      ++mlm_pairs;
     }
   }
+  // Objective-mix accounting (Table XII ablations read these off the
+  // snapshot instead of recomputing corpus sizes).
+  obs::GetCounter("pretrain/bdc_pairs")->Add(static_cast<int64_t>(bdc_pairs));
+  obs::GetCounter("pretrain/mlm_pairs")->Add(static_cast<int64_t>(mlm_pairs));
   return pairs;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace vist5 {
@@ -130,9 +132,7 @@ struct AggState {
   }
 };
 
-}  // namespace
-
-StatusOr<ResultSet> Execute(const QueryPlan& plan) {
+StatusOr<ResultSet> ExecuteImpl(const QueryPlan& plan) {
   if (plan.table == nullptr) {
     return Status::InvalidArgument("plan has no base table");
   }
@@ -346,6 +346,24 @@ StatusOr<ResultSet> Execute(const QueryPlan& plan) {
                                b[static_cast<size_t>(ord.select_index)]);
                        return ord.ascending ? c < 0 : c > 0;
                      });
+  }
+  return result;
+}
+
+}  // namespace
+
+StatusOr<ResultSet> Execute(const QueryPlan& plan) {
+  VIST5_TRACE_SPAN("db/execute");
+  VIST5_SCOPED_LATENCY_US("db/execute_us");
+  static obs::Counter* queries = obs::GetCounter("db/queries");
+  static obs::Counter* errors = obs::GetCounter("db/query_errors");
+  static obs::Counter* rows_out = obs::GetCounter("db/rows_out");
+  queries->Add();
+  StatusOr<ResultSet> result = ExecuteImpl(plan);
+  if (result.ok()) {
+    rows_out->Add(static_cast<int64_t>(result->rows.size()));
+  } else {
+    errors->Add();
   }
   return result;
 }

@@ -1,10 +1,24 @@
 #include "model/trainer.h"
 
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/runtime.h"
 
 namespace vist5 {
 namespace model {
+namespace {
+
+int CountBatchTokens(const Batch& batch) {
+  int tokens = 0;
+  for (int n : batch.enc_lengths) tokens += n;
+  for (int n : batch.dec_lengths) tokens += n;
+  return tokens;
+}
+
+}  // namespace
 
 TrainStats TrainSeq2Seq(Seq2SeqModel* model, const std::vector<SeqPair>& pairs,
                         int pad_id, const TrainOptions& options) {
@@ -28,12 +42,24 @@ TrainStats TrainSeq2Seq(Seq2SeqModel* model, const std::vector<SeqPair>& pairs,
     uniform = uniform && p.weight == pairs[0].weight;
   }
 
+  // Trainer telemetry: resolved once per run, published every step.
+  obs::Counter* steps_total = obs::GetCounter("trainer/steps");
+  obs::Counter* tokens_total = obs::GetCounter("trainer/tokens");
+  obs::Gauge* loss_gauge = obs::GetGauge("trainer/loss");
+  obs::Gauge* grad_norm_gauge = obs::GetGauge("trainer/grad_norm");
+  obs::Gauge* lr_gauge = obs::GetGauge("trainer/lr");
+  obs::Gauge* tps_gauge = obs::GetGauge("trainer/tokens_per_sec");
+  obs::Gauge* rss_gauge = obs::GetGauge("process/peak_rss_bytes");
+  obs::Histogram* step_ms_hist = obs::GetHistogram("trainer/step_ms");
+
   TrainStats stats;
   stats.steps = options.steps;
   double tail_loss = 0;
   int tail_count = 0;
   const int tail_start = options.steps - std::max(1, options.steps / 10);
   for (int step = 0; step < options.steps; ++step) {
+    VIST5_TRACE_SPAN("trainer/step");
+    const auto step_start = std::chrono::steady_clock::now();
     std::vector<const SeqPair*> batch_items;
     batch_items.reserve(static_cast<size_t>(options.batch_size));
     for (int b = 0; b < options.batch_size; ++b) {
@@ -49,7 +75,7 @@ TrainStats TrainSeq2Seq(Seq2SeqModel* model, const std::vector<SeqPair>& pairs,
     const float loss_value = loss.item();
     loss.Backward();
     loss.DetachGraph();
-    optimizer.ClipGradNorm(options.clip_norm);
+    const float grad_norm = optimizer.ClipGradNorm(options.clip_norm);
     optimizer.set_lr(schedule.LrAt(step));
     optimizer.Step();
 
@@ -58,9 +84,38 @@ TrainStats TrainSeq2Seq(Seq2SeqModel* model, const std::vector<SeqPair>& pairs,
       tail_loss += loss_value;
       ++tail_count;
     }
+
+    const double step_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      step_start)
+            .count();
+    StepInfo info;
+    info.step = step;
+    info.total_steps = options.steps;
+    info.loss = loss_value;
+    info.grad_norm = grad_norm;
+    info.lr = optimizer.lr();
+    info.batch_tokens = CountBatchTokens(batch);
+    info.step_ms = step_seconds * 1e3;
+    info.tokens_per_sec =
+        step_seconds > 0 ? info.batch_tokens / step_seconds : 0;
+    info.peak_rss_bytes = obs::PeakRssBytes();
+
+    steps_total->Add();
+    tokens_total->Add(info.batch_tokens);
+    loss_gauge->Set(info.loss);
+    grad_norm_gauge->Set(info.grad_norm);
+    lr_gauge->Set(info.lr);
+    tps_gauge->Set(info.tokens_per_sec);
+    rss_gauge->UpdateMax(static_cast<double>(info.peak_rss_bytes));
+    step_ms_hist->Observe(info.step_ms);
+
+    if (options.observer) options.observer(info);
     if (options.log_every > 0 && step % options.log_every == 0) {
-      VIST5_LOG(Info) << "step " << step << " loss " << loss_value << " lr "
-                      << optimizer.lr();
+      VIST5_LOG(Info) << "step " << step << "/" << options.steps << " loss "
+                      << info.loss << " grad_norm " << info.grad_norm
+                      << " lr " << info.lr << " tok/s "
+                      << static_cast<int64_t>(info.tokens_per_sec);
     }
   }
   stats.final_loss =

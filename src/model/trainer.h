@@ -1,6 +1,8 @@
 #ifndef VIST5_MODEL_TRAINER_H_
 #define VIST5_MODEL_TRAINER_H_
 
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "model/seq2seq_model.h"
@@ -8,6 +10,25 @@
 
 namespace vist5 {
 namespace model {
+
+/// Per-step telemetry published by TrainSeq2Seq: everything a dashboard,
+/// tuner, or regression harness needs to follow a run. The same values are
+/// mirrored into the obs metrics registry under "trainer/*".
+struct StepInfo {
+  int step = 0;             ///< 0-based step index
+  int total_steps = 0;
+  float loss = 0;
+  float grad_norm = 0;      ///< global L2 norm before clipping
+  float lr = 0;             ///< learning rate applied this step
+  int batch_tokens = 0;     ///< encoder + decoder tokens in the batch
+  double tokens_per_sec = 0;
+  double step_ms = 0;       ///< wall time of this step
+  int64_t peak_rss_bytes = 0;
+};
+
+/// Called after every optimizer step. Keep it cheap: it runs on the
+/// training thread.
+using StepObserver = std::function<void(const StepInfo&)>;
 
 /// Training hyperparameters (mirrors Sec. V-A: AdamW with weight decay
 /// 0.01, linear warmup with rate 0.1, gradient clipping).
@@ -21,8 +42,12 @@ struct TrainOptions {
   int max_src_len = 112;
   int max_tgt_len = 56;
   uint64_t seed = 7;
-  /// Print a loss line every N steps; 0 silences progress.
+  /// Print a progress line (loss, grad-norm, lr, tokens/sec) every N
+  /// steps; 0 silences progress.
   int log_every = 0;
+  /// Optional per-step telemetry hook (in addition to the always-on
+  /// "trainer/*" metrics).
+  StepObserver observer;
 };
 
 /// Result diagnostics from one training run.

@@ -1,0 +1,276 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "obs/trace.h"
+
+namespace vist5 {
+namespace obs {
+namespace {
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Installs the process-exit exporters once. Both metrics and trace export
+/// are driven from here so a binary that only touches metrics still flushes
+/// its trace (and vice versa).
+void ExportAtExit();
+
+void EnsureExporterInstalled() {
+  static bool installed = [] {
+    std::atexit(ExportAtExit);
+    return true;
+  }();
+  (void)installed;
+}
+
+void ExportAtExit() {
+  if (const char* path = std::getenv("VIST5_METRICS_OUT")) {
+    if (path[0] != '\0') {
+      const Status st = MetricsRegistry::Global().WriteSnapshot(path);
+      if (!st.ok()) {
+        std::fprintf(stderr, "[WARN obs] metrics export failed: %s\n",
+                     st.ToString().c_str());
+      }
+    }
+  }
+  if (const char* path = std::getenv("VIST5_TRACE_OUT")) {
+    if (path[0] != '\0') {
+      const Status st = WriteTrace(path);
+      if (!st.ok()) {
+        std::fprintf(stderr, "[WARN obs] trace export failed: %s\n",
+                     st.ToString().c_str());
+      }
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Histogram
+
+void Histogram::AtomicAddDouble(std::atomic<double>* target, double delta) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(cur, cur + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+int Histogram::BucketFor(double v) {
+  if (!(v > kMin)) return 0;  // non-positive, NaN, and tiny values
+  static const double kInvLogGrowth = 1.0 / std::log(kGrowth);
+  const int i = static_cast<int>(std::log(v / kMin) * kInvLogGrowth);
+  return std::clamp(i, 0, kBuckets - 1);
+}
+
+double Histogram::BucketMid(int i) {
+  // Geometric midpoint of [kMin * g^i, kMin * g^(i+1)).
+  return kMin * std::pow(kGrowth, i + 0.5);
+}
+
+void Histogram::Observe(double v) {
+  if (std::isnan(v)) return;
+  buckets_[BucketFor(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&sum_, v);
+  if (!any_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(minmax_mu_);
+    if (!any_.load(std::memory_order_relaxed)) {
+      min_.store(v, std::memory_order_relaxed);
+      max_.store(v, std::memory_order_relaxed);
+      any_.store(true, std::memory_order_release);
+      return;
+    }
+  }
+  double cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::min() const {
+  return any_.load(std::memory_order_relaxed)
+             ? min_.load(std::memory_order_relaxed)
+             : 0.0;
+}
+
+double Histogram::max() const {
+  return any_.load(std::memory_order_relaxed)
+             ? max_.load(std::memory_order_relaxed)
+             : 0.0;
+}
+
+double Histogram::Quantile(double q) const {
+  const uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th sample (1-based ceil, the "nearest-rank" definition).
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(n))));
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= rank) {
+      return std::clamp(BucketMid(i), min(), max());
+    }
+  }
+  return max();
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  any_.store(false, std::memory_order_relaxed);
+}
+
+// ----------------------------------------------------------- MetricsRegistry
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: atexit exporters and detached threads may touch the
+  // registry during shutdown, after static destructors would have run.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  EnsureExporterInstalled();
+  return *registry;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+JsonValue MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonValue root = JsonValue::Object();
+  JsonValue counters = JsonValue::Object();
+  for (const auto& [name, c] : counters_) {
+    counters.Set(name, JsonValue::Number(static_cast<double>(c->value())));
+  }
+  root.Set("counters", std::move(counters));
+  JsonValue gauges = JsonValue::Object();
+  for (const auto& [name, g] : gauges_) {
+    gauges.Set(name, JsonValue::Number(g->value()));
+  }
+  root.Set("gauges", std::move(gauges));
+  JsonValue histograms = JsonValue::Object();
+  for (const auto& [name, h] : histograms_) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("count", JsonValue::Number(static_cast<double>(h->count())));
+    entry.Set("sum", JsonValue::Number(h->sum()));
+    entry.Set("mean", JsonValue::Number(h->mean()));
+    entry.Set("min", JsonValue::Number(h->min()));
+    entry.Set("max", JsonValue::Number(h->max()));
+    entry.Set("p50", JsonValue::Number(h->Quantile(0.50)));
+    entry.Set("p90", JsonValue::Number(h->Quantile(0.90)));
+    entry.Set("p99", JsonValue::Number(h->Quantile(0.99)));
+    histograms.Set(name, std::move(entry));
+  }
+  root.Set("histograms", std::move(histograms));
+  return root;
+}
+
+Status MetricsRegistry::WriteSnapshot(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open metrics file: " + path);
+  out << Snapshot().ToString(/*pretty=*/true) << "\n";
+  if (!out) return Status::Internal("short write to " + path);
+  return Status::OK();
+}
+
+void MetricsRegistry::ResetAllForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+Counter* GetCounter(const std::string& name) {
+  return MetricsRegistry::Global().counter(name);
+}
+Gauge* GetGauge(const std::string& name) {
+  return MetricsRegistry::Global().gauge(name);
+}
+Histogram* GetHistogram(const std::string& name) {
+  return MetricsRegistry::Global().histogram(name);
+}
+
+int64_t PeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<int64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<int64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+namespace {
+
+std::atomic<bool>& LatencySamplingFlag() {
+  static std::atomic<bool> enabled = [] {
+    const char* metrics = std::getenv("VIST5_METRICS_OUT");
+    const char* trace = std::getenv("VIST5_TRACE_OUT");
+    return (metrics != nullptr && metrics[0] != '\0') ||
+           (trace != nullptr && trace[0] != '\0');
+  }();
+  return enabled;
+}
+
+}  // namespace
+
+bool LatencySamplingEnabled() {
+  return LatencySamplingFlag().load(std::memory_order_relaxed);
+}
+
+void SetLatencySamplingEnabled(bool enabled) {
+  LatencySamplingFlag().store(enabled, std::memory_order_relaxed);
+}
+
+ScopedLatency::ScopedLatency(Histogram* h) : h_(h) {
+  if (h_ != nullptr) start_us_ = NowMicros();
+}
+
+ScopedLatency::~ScopedLatency() {
+  if (h_ != nullptr) h_->Observe(static_cast<double>(NowMicros() - start_us_));
+}
+
+}  // namespace obs
+}  // namespace vist5

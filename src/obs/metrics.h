@@ -1,0 +1,186 @@
+#ifndef VIST5_OBS_METRICS_H_
+#define VIST5_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/status.h"
+
+namespace vist5 {
+namespace obs {
+
+/// Monotonically increasing event count (steps taken, tokens consumed,
+/// queries executed). Thread-safe; relaxed ordering — counters are
+/// statistics, not synchronization.
+class Counter {
+ public:
+  void Add(int64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-written instantaneous value (current loss, learning rate, RSS).
+/// `UpdateMax` keeps the running maximum instead, for peak gauges.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void UpdateMax(double v) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// Fixed-bucket log-scale histogram for latency/size distributions.
+///
+/// Buckets are geometric: bucket i covers [kMin * g^i, kMin * g^(i+1)) with
+/// growth factor g = kGrowth, spanning ~1e-9 .. ~1e17 — wide enough for
+/// microsecond latencies, token counts, and losses alike. Quantiles are
+/// reported as the geometric midpoint of the selected bucket, so the
+/// relative error of any quantile is bounded by sqrt(kGrowth) - 1 (< 10%).
+/// Exact count/sum/min/max are tracked alongside. Thread-safe; every
+/// mutation is a handful of relaxed atomic ops.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 240;
+  static constexpr double kMin = 1e-9;
+  static constexpr double kGrowth = 1.2;
+
+  void Observe(double v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const;
+  double max() const;
+  /// Value at quantile `q` in [0, 1]; 0 when the histogram is empty.
+  /// Clamped to the exact observed [min, max] envelope.
+  double Quantile(double q) const;
+  double mean() const {
+    const uint64_t n = count();
+    return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+  }
+  void Reset();
+
+  /// Bucket index for value `v` (exposed for tests of the bucketing math).
+  static int BucketFor(double v);
+  /// Geometric midpoint of bucket `i` — the value a quantile landing in
+  /// bucket `i` reports.
+  static double BucketMid(int i);
+
+ private:
+  static void AtomicAddDouble(std::atomic<double>* target, double delta);
+
+  std::atomic<uint64_t> buckets_[kBuckets]{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+  std::atomic<double> min_{0};
+  std::atomic<double> max_{0};
+  std::atomic<bool> any_{false};
+  mutable std::mutex minmax_mu_;  ///< guards min_/max_ first-value races
+};
+
+/// Process-wide named-metric registry. Metric objects are created on first
+/// lookup and live for the life of the process, so returned pointers are
+/// stable and may be cached by hot paths:
+///
+///   static obs::Counter* steps = obs::GetCounter("trainer/steps");
+///   steps->Add();
+///
+/// Naming convention: "<subsystem>/<metric>[_<unit>]", e.g.
+/// "trainer/step_ms", "db/queries", "process/peak_rss_bytes".
+///
+/// When the VIST5_METRICS_OUT env var names a file, a JSON snapshot of the
+/// registry is written there automatically at process exit (and can be
+/// written on demand via WriteSnapshot).
+class MetricsRegistry {
+ public:
+  /// The process-wide registry (never destroyed — safe from atexit hooks).
+  static MetricsRegistry& Global();
+
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  /// JSON document: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count,sum,mean,min,max,p50,p90,p99}}}.
+  /// Keys are sorted, so the snapshot shape is deterministic.
+  JsonValue Snapshot() const;
+
+  Status WriteSnapshot(const std::string& path) const;
+
+  /// Zeroes every registered metric (pointers stay valid). Test-only.
+  void ResetAllForTest();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Convenience accessors against the global registry.
+Counter* GetCounter(const std::string& name);
+Gauge* GetGauge(const std::string& name);
+Histogram* GetHistogram(const std::string& name);
+
+/// Peak resident set size of this process in bytes (0 if unavailable).
+int64_t PeakRssBytes();
+
+/// Whether VIST5_SCOPED_LATENCY_US sites take clock readings. Initialized
+/// true iff VIST5_METRICS_OUT or VIST5_TRACE_OUT is set: per-call timing
+/// costs two steady_clock reads, which is measurable on microsecond-scale
+/// hot paths (e.g. db::Execute), so it is paid only when someone will see
+/// the data. Counters and gauges are always on regardless.
+bool LatencySamplingEnabled();
+void SetLatencySamplingEnabled(bool enabled);
+
+/// Records elapsed wall time into histogram `h` on scope exit, in the
+/// unit implied by the histogram's name. No-op when constructed with
+/// nullptr. Create via VIST5_SCOPED_LATENCY_US.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram* h);
+  ~ScopedLatency();
+
+ private:
+  Histogram* h_;
+  int64_t start_us_ = 0;
+};
+
+}  // namespace obs
+}  // namespace vist5
+
+#define VIST5_OBS_CONCAT_INNER(a, b) a##b
+#define VIST5_OBS_CONCAT(a, b) VIST5_OBS_CONCAT_INNER(a, b)
+
+/// Observes the enclosing scope's wall time, in microseconds, into the
+/// named histogram — when latency sampling is enabled (see
+/// LatencySamplingEnabled). The histogram pointer is resolved once per
+/// call site; a disabled site costs one relaxed atomic load.
+#define VIST5_SCOPED_LATENCY_US(name)                                        \
+  static ::vist5::obs::Histogram* VIST5_OBS_CONCAT(_vist5_lat_h_,            \
+                                                   __LINE__) =               \
+      ::vist5::obs::GetHistogram(name);                                      \
+  ::vist5::obs::ScopedLatency VIST5_OBS_CONCAT(_vist5_lat_, __LINE__)(       \
+      ::vist5::obs::LatencySamplingEnabled()                                 \
+          ? VIST5_OBS_CONCAT(_vist5_lat_h_, __LINE__)                        \
+          : nullptr)
+
+#endif  // VIST5_OBS_METRICS_H_

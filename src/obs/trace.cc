@@ -1,0 +1,207 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/json.h"
+
+namespace vist5 {
+namespace obs {
+namespace {
+
+struct TraceEvent {
+  std::string name;
+  int64_t ts_us = 0;
+  int64_t dur_us = 0;
+};
+
+/// One thread's span buffer. Owned jointly by the thread (thread_local
+/// shared_ptr) and the global registry, so events survive thread exit and
+/// can be exported from atexit. The per-buffer mutex is uncontended in
+/// steady state (only the owning thread appends; readers show up once, at
+/// export).
+struct ThreadBuffer {
+  static constexpr size_t kMaxEvents = 1 << 20;
+
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  size_t dropped = 0;
+  uint32_t tid = 0;
+
+  void Record(std::string name, int64_t ts_us, int64_t dur_us) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (events.size() >= kMaxEvents) {
+      ++dropped;
+      return;
+    }
+    events.push_back({std::move(name), ts_us, dur_us});
+  }
+};
+
+struct BufferRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  uint32_t next_tid = 1;
+};
+
+BufferRegistry& Registry() {
+  // Leaked: see MetricsRegistry::Global for the shutdown-order rationale.
+  static BufferRegistry* registry = new BufferRegistry();
+  return *registry;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    BufferRegistry& registry = Registry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    b->tid = registry.next_tid++;
+    registry.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Process-start origin so exported timestamps are small and stable
+/// relative to each other.
+int64_t TraceOrigin() {
+  static const int64_t origin = NowMicros();
+  return origin;
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled = [] {
+    const char* path = std::getenv("VIST5_TRACE_OUT");
+    return path != nullptr && path[0] != '\0';
+  }();
+  return enabled;
+}
+
+}  // namespace
+
+bool TraceEnabled() {
+  return EnabledFlag().load(std::memory_order_relaxed);
+}
+
+void SetTraceEnabled(bool enabled) {
+  if (enabled) TraceOrigin();  // pin the origin before the first span
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+TraceSpan::TraceSpan(const char* name) {
+  if (!TraceEnabled()) return;
+  name_ = name;
+  start_us_ = NowMicros();
+  active_ = true;
+}
+
+TraceSpan::TraceSpan(std::string name) {
+  if (!TraceEnabled()) return;
+  name_ = std::move(name);
+  start_us_ = NowMicros();
+  active_ = true;
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  const int64_t end_us = NowMicros();
+  LocalBuffer().Record(std::move(name_), start_us_ - TraceOrigin(),
+                       end_us - start_us_);
+}
+
+std::string TraceJson() {
+  struct Row {
+    uint32_t tid;
+    TraceEvent event;
+  };
+  std::vector<Row> rows;
+  {
+    BufferRegistry& registry = Registry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    for (const auto& buffer : registry.buffers) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      for (const TraceEvent& e : buffer->events) {
+        rows.push_back({buffer->tid, e});
+      }
+    }
+  }
+  std::stable_sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.tid != b.tid) return a.tid < b.tid;
+    if (a.event.ts_us != b.event.ts_us) return a.event.ts_us < b.event.ts_us;
+    // Outer spans close later, so at equal start the longer one comes
+    // first — the nesting order chrome://tracing expects.
+    return a.event.dur_us > b.event.dur_us;
+  });
+
+  JsonValue events = JsonValue::Array();
+  for (const Row& row : rows) {
+    JsonValue e = JsonValue::Object();
+    e.Set("name", JsonValue::String(row.event.name));
+    e.Set("cat", JsonValue::String("vist5"));
+    e.Set("ph", JsonValue::String("X"));
+    e.Set("ts", JsonValue::Number(static_cast<double>(row.event.ts_us)));
+    e.Set("dur", JsonValue::Number(static_cast<double>(row.event.dur_us)));
+    e.Set("pid", JsonValue::Number(1));
+    e.Set("tid", JsonValue::Number(row.tid));
+    events.Append(std::move(e));
+  }
+  JsonValue root = JsonValue::Object();
+  root.Set("traceEvents", std::move(events));
+  root.Set("displayTimeUnit", JsonValue::String("ms"));
+  return root.ToString(/*pretty=*/false);
+}
+
+Status WriteTrace(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open trace file: " + path);
+  out << TraceJson() << "\n";
+  if (!out) return Status::Internal("short write to " + path);
+  return Status::OK();
+}
+
+size_t TraceEventCount() {
+  size_t n = 0;
+  BufferRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (const auto& buffer : registry.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    n += buffer->events.size();
+  }
+  return n;
+}
+
+size_t TraceDroppedCount() {
+  size_t n = 0;
+  BufferRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (const auto& buffer : registry.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    n += buffer->dropped;
+  }
+  return n;
+}
+
+void ClearTrace() {
+  BufferRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (const auto& buffer : registry.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+    buffer->dropped = 0;
+  }
+}
+
+}  // namespace obs
+}  // namespace vist5

@@ -1,0 +1,67 @@
+#ifndef VIST5_OBS_TRACE_H_
+#define VIST5_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace vist5 {
+namespace obs {
+
+/// Whether spans are being recorded. Initialized from the VIST5_TRACE_OUT
+/// env var (tracing is on iff it names a file); tests can flip it at
+/// runtime with SetTraceEnabled. When disabled, a VIST5_TRACE_SPAN costs
+/// one relaxed atomic load — cheap enough for per-step and per-query hot
+/// paths.
+bool TraceEnabled();
+void SetTraceEnabled(bool enabled);
+
+/// RAII span: records {name, thread, start, duration} into a per-thread
+/// buffer on destruction. Spans on the same thread nest by containment,
+/// which is exactly how chrome://tracing renders "X" (complete) events.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  explicit TraceSpan(std::string name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  std::string name_;
+  int64_t start_us_ = 0;
+  bool active_ = false;
+};
+
+/// Serializes every recorded span, across all threads, as a Chrome
+/// trace_event JSON document ({"traceEvents":[...]}, "X" phase events,
+/// microsecond timestamps relative to process start). Load the file via
+/// chrome://tracing or https://ui.perfetto.dev. Events are sorted by
+/// (tid, ts) so the output is deterministic for a deterministic program.
+std::string TraceJson();
+
+Status WriteTrace(const std::string& path);
+
+/// Number of spans recorded so far (all threads), and the number dropped
+/// because a thread buffer hit its cap.
+size_t TraceEventCount();
+size_t TraceDroppedCount();
+
+/// Discards all recorded spans. Test-only.
+void ClearTrace();
+
+}  // namespace obs
+}  // namespace vist5
+
+#define VIST5_TRACE_CONCAT_INNER(a, b) a##b
+#define VIST5_TRACE_CONCAT(a, b) VIST5_TRACE_CONCAT_INNER(a, b)
+
+/// Records the enclosing scope as a named trace span. `name` may be a
+/// string literal or a std::string expression; it is only evaluated when
+/// tracing is enabled for literals' common case of zero cost.
+#define VIST5_TRACE_SPAN(name) \
+  ::vist5::obs::TraceSpan VIST5_TRACE_CONCAT(_vist5_span_, __LINE__)(name)
+
+#endif  // VIST5_OBS_TRACE_H_

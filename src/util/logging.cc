@@ -1,11 +1,59 @@
 #include "util/logging.h"
 
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
 namespace vist5 {
 namespace {
-LogSeverity g_min_severity = LogSeverity::kInfo;
+
+LogSeverity SeverityFromEnv() {
+  const char* value = std::getenv("VIST5_LOG_LEVEL");
+  if (value == nullptr || value[0] == '\0') return LogSeverity::kInfo;
+  if (std::isdigit(static_cast<unsigned char>(value[0]))) {
+    const int n = std::atoi(value);
+    if (n >= 0 && n <= 3) return static_cast<LogSeverity>(n);
+    return LogSeverity::kInfo;
+  }
+  std::string lower;
+  for (const char* p = value; *p; ++p) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (lower == "info") return LogSeverity::kInfo;
+  if (lower == "warn" || lower == "warning") return LogSeverity::kWarning;
+  if (lower == "error") return LogSeverity::kError;
+  if (lower == "fatal") return LogSeverity::kFatal;
+  return LogSeverity::kInfo;
+}
+
+std::atomic<int>& MinSeverityFlag() {
+  static std::atomic<int> severity(static_cast<int>(SeverityFromEnv()));
+  return severity;
+}
+
 }  // namespace
 
-LogSeverity MinLogSeverity() { return g_min_severity; }
-void SetMinLogSeverity(LogSeverity severity) { g_min_severity = severity; }
+LogSeverity MinLogSeverity() {
+  return static_cast<LogSeverity>(
+      MinSeverityFlag().load(std::memory_order_relaxed));
+}
 
+void SetMinLogSeverity(LogSeverity severity) {
+  MinSeverityFlag().store(static_cast<int>(severity),
+                          std::memory_order_relaxed);
+}
+
+namespace internal {
+
+void EmitLogLine(const std::string& line) {
+  // One fwrite call: POSIX stdio locks the stream per call, so the whole
+  // line lands contiguously even under concurrent logging.
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
+}
+
+}  // namespace internal
 }  // namespace vist5

@@ -2,7 +2,6 @@
 #define VIST5_UTIL_LOGGING_H_
 
 #include <cstdlib>
-#include <iostream>
 #include <sstream>
 #include <string>
 
@@ -11,11 +10,17 @@ namespace vist5 {
 enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
 
 /// Minimum severity emitted to stderr; below this, log lines are dropped.
-/// Defaults to kInfo; benches raise it to keep table output clean.
+/// Initialized from the VIST5_LOG_LEVEL env var (info|warn|error|fatal, or
+/// a digit 0-3) and defaulting to kInfo; benches raise it to keep table
+/// output clean. Reads and writes are thread-safe.
 LogSeverity MinLogSeverity();
 void SetMinLogSeverity(LogSeverity severity);
 
 namespace internal {
+
+/// Writes one fully-assembled log line (newline included) to stderr as a
+/// single write, so lines from concurrent threads never interleave.
+void EmitLogLine(const std::string& line);
 
 /// Stream-style log sink. Flushes one line on destruction; aborts the
 /// process for kFatal messages.
@@ -29,7 +34,8 @@ class LogMessage {
 
   ~LogMessage() {
     if (severity_ >= MinLogSeverity() || severity_ == LogSeverity::kFatal) {
-      std::cerr << stream_.str() << std::endl;
+      stream_ << '\n';
+      EmitLogLine(stream_.str());
     }
     if (severity_ == LogSeverity::kFatal) std::abort();
   }

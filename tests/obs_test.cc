@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace vist5 {
+namespace obs {
+namespace {
+
+// ----------------------------------------------------------------- counters
+
+TEST(CounterTest, AddAndValue) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42);
+  c.Add(-2);
+  EXPECT_EQ(c.value(), 40);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(GaugeTest, SetAndUpdateMax) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.Set(3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.Set(1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.0);
+  g.UpdateMax(0.5);  // below current: no change
+  EXPECT_DOUBLE_EQ(g.value(), 1.0);
+  g.UpdateMax(7.25);
+  EXPECT_DOUBLE_EQ(g.value(), 7.25);
+}
+
+// ---------------------------------------------------------------- histogram
+
+TEST(HistogramTest, ExactAccounting) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  for (double v : {4.0, 1.0, 9.0, 16.0}) h.Observe(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 30.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 7.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 16.0);
+}
+
+TEST(HistogramTest, BucketingIsMonotone) {
+  int prev = Histogram::BucketFor(1e-9);
+  for (double v = 1e-8; v < 1e12; v *= 3.7) {
+    const int b = Histogram::BucketFor(v);
+    EXPECT_GE(b, prev) << "v=" << v;
+    prev = b;
+  }
+  // Representative value of a bucket maps back into that bucket.
+  for (int i = 1; i < Histogram::kBuckets - 1; ++i) {
+    EXPECT_EQ(Histogram::BucketFor(Histogram::BucketMid(i)), i);
+  }
+}
+
+TEST(HistogramTest, QuantileAccuracyBound) {
+  // Log-scale buckets with growth g report quantiles at the geometric
+  // bucket midpoint, so the relative error is bounded by sqrt(g) - 1.
+  const double bound = std::sqrt(Histogram::kGrowth) - 1.0 + 0.02;
+  Histogram h;
+  const int n = 10000;
+  for (int i = 1; i <= n; ++i) h.Observe(static_cast<double>(i));
+  for (const auto& [q, expected] :
+       std::vector<std::pair<double, double>>{
+           {0.50, 5000.0}, {0.90, 9000.0}, {0.99, 9900.0}}) {
+    const double got = h.Quantile(q);
+    EXPECT_NEAR(got, expected, expected * bound)
+        << "q=" << q << " got " << got;
+  }
+}
+
+TEST(HistogramTest, QuantilesClampedToObservedRange) {
+  Histogram h;
+  h.Observe(123.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 123.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 123.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 123.0);
+}
+
+TEST(HistogramTest, NonPositiveAndHugeValuesAreRetained) {
+  Histogram h;
+  h.Observe(0.0);
+  h.Observe(-5.0);
+  h.Observe(1e30);  // beyond the last bucket boundary
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1e30);
+}
+
+// ----------------------------------------------------------------- registry
+
+TEST(MetricsRegistryTest, NamesAreStableAndKindScoped) {
+  Counter* a = GetCounter("obs_test/stable");
+  Counter* b = GetCounter("obs_test/stable");
+  EXPECT_EQ(a, b);
+  // The same name may exist independently per metric kind.
+  Gauge* g = GetGauge("obs_test/stable");
+  EXPECT_NE(static_cast<void*>(a), static_cast<void*>(g));
+}
+
+TEST(MetricsRegistryTest, SnapshotShape) {
+  GetCounter("obs_test/snap_counter")->Add(7);
+  GetGauge("obs_test/snap_gauge")->Set(2.5);
+  Histogram* h = GetHistogram("obs_test/snap_hist");
+  h->Reset();
+  for (int i = 1; i <= 100; ++i) h->Observe(i);
+  const std::string json = MetricsRegistry::Global().Snapshot().ToString();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test/snap_counter\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test/snap_gauge\": 2.5"), std::string::npos);
+  for (const char* field : {"\"count\"", "\"sum\"", "\"mean\"", "\"min\"",
+                            "\"max\"", "\"p50\"", "\"p90\"", "\"p99\""}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+}
+
+TEST(MetricsRegistryTest, ThreadHammer) {
+  Counter* c = GetCounter("obs_test/hammer_counter");
+  Histogram* h = GetHistogram("obs_test/hammer_hist");
+  c->Reset();
+  h->Reset();
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c, h, t] {
+      for (int i = 0; i < kIters; ++i) {
+        c->Add();
+        h->Observe(static_cast<double>(t * kIters + i + 1));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c->value(), kThreads * kIters);
+  EXPECT_EQ(h->count(), static_cast<uint64_t>(kThreads * kIters));
+  EXPECT_DOUBLE_EQ(h->min(), 1.0);
+  EXPECT_DOUBLE_EQ(h->max(), kThreads * kIters);
+  // Sum of 1..N under concurrent CAS accumulation stays exact.
+  const double n = kThreads * kIters;
+  EXPECT_DOUBLE_EQ(h->sum(), n * (n + 1) / 2);
+}
+
+TEST(MetricsRegistryTest, PeakRssIsPositive) {
+  EXPECT_GT(PeakRssBytes(), 0);
+}
+
+TEST(MetricsRegistryTest, ScopedLatencyObservesMicros) {
+  Histogram* h = GetHistogram("obs_test/latency_us");
+  h->Reset();
+  SetLatencySamplingEnabled(true);
+  { VIST5_SCOPED_LATENCY_US("obs_test/latency_us"); }
+  EXPECT_EQ(h->count(), 1u);
+  EXPECT_GE(h->min(), 0.0);
+  // Sampling off: the site is a no-op (counters elsewhere still run).
+  SetLatencySamplingEnabled(false);
+  { VIST5_SCOPED_LATENCY_US("obs_test/latency_us"); }
+  EXPECT_EQ(h->count(), 1u);
+}
+
+// -------------------------------------------------------------------- trace
+
+/// Pulls "field":<integer> out of the event object at `pos`.
+int64_t IntField(const std::string& json, size_t pos, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = json.find(needle, pos);
+  EXPECT_NE(at, std::string::npos) << key;
+  return std::strtoll(json.c_str() + at + needle.size(), nullptr, 10);
+}
+
+TEST(TraceTest, DisabledSpansRecordNothing) {
+  SetTraceEnabled(false);
+  ClearTrace();
+  {
+    VIST5_TRACE_SPAN("never");
+  }
+  EXPECT_EQ(TraceEventCount(), 0u);
+}
+
+TEST(TraceTest, SpanNestingIsContained) {
+  SetTraceEnabled(true);
+  ClearTrace();
+  {
+    VIST5_TRACE_SPAN("outer");
+    {
+      VIST5_TRACE_SPAN("inner");
+    }
+  }
+  SetTraceEnabled(false);
+  EXPECT_EQ(TraceEventCount(), 2u);
+  const std::string json = TraceJson();
+  const size_t outer_pos = json.find("\"name\":\"outer\"");
+  const size_t inner_pos = json.find("\"name\":\"inner\"");
+  ASSERT_NE(outer_pos, std::string::npos);
+  ASSERT_NE(inner_pos, std::string::npos);
+  const int64_t outer_ts = IntField(json, outer_pos, "ts");
+  const int64_t outer_dur = IntField(json, outer_pos, "dur");
+  const int64_t inner_ts = IntField(json, inner_pos, "ts");
+  const int64_t inner_dur = IntField(json, inner_pos, "dur");
+  // The inner span's [ts, ts+dur] interval sits inside the outer's.
+  EXPECT_GE(inner_ts, outer_ts);
+  EXPECT_LE(inner_ts + inner_dur, outer_ts + outer_dur);
+}
+
+TEST(TraceTest, JsonShapeIsDeterministic) {
+  SetTraceEnabled(true);
+  ClearTrace();
+  {
+    VIST5_TRACE_SPAN("shape/a");
+    VIST5_TRACE_SPAN(std::string("shape/b"));
+  }
+  SetTraceEnabled(false);
+  const std::string json = TraceJson();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u) << json.substr(0, 40);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"vist5\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // Every event carries the same field set, in the same order.
+  size_t pos = 0;
+  int events = 0;
+  while ((pos = json.find("{\"name\":", pos)) != std::string::npos) {
+    const size_t end = json.find('}', pos);
+    const std::string event = json.substr(pos, end - pos);
+    for (const char* field :
+         {"\"name\":", "\"cat\":", "\"ph\":", "\"ts\":", "\"dur\":",
+          "\"pid\":", "\"tid\":"}) {
+      EXPECT_NE(event.find(field), std::string::npos) << event;
+    }
+    ++events;
+    pos = end;
+  }
+  EXPECT_EQ(events, 2);
+}
+
+TEST(TraceTest, ThreadsGetDistinctTids) {
+  SetTraceEnabled(true);
+  ClearTrace();
+  std::thread t1([] { VIST5_TRACE_SPAN("thread/one"); });
+  std::thread t2([] { VIST5_TRACE_SPAN("thread/two"); });
+  t1.join();
+  t2.join();
+  SetTraceEnabled(false);
+  EXPECT_EQ(TraceEventCount(), 2u);
+  const std::string json = TraceJson();
+  const size_t one = json.find("\"name\":\"thread/one\"");
+  const size_t two = json.find("\"name\":\"thread/two\"");
+  ASSERT_NE(one, std::string::npos);
+  ASSERT_NE(two, std::string::npos);
+  EXPECT_NE(IntField(json, one, "tid"), IntField(json, two, "tid"));
+}
+
+TEST(TraceTest, ConcurrentSpansUnderHammer) {
+  SetTraceEnabled(true);
+  ClearTrace();
+  constexpr int kThreads = 4;
+  constexpr int kIters = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kIters; ++i) {
+        VIST5_TRACE_SPAN("hammer");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  SetTraceEnabled(false);
+  EXPECT_EQ(TraceEventCount(), static_cast<size_t>(kThreads * kIters));
+  EXPECT_EQ(TraceDroppedCount(), 0u);
+  ClearTrace();
+  EXPECT_EQ(TraceEventCount(), 0u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace vist5
