@@ -1,9 +1,18 @@
 // Component micro-benchmarks (google-benchmark): tokenizer, DV-query
 // parser, standardizer, relational executor, schema filtration, GEMM,
-// attention forward, transformer training step, and greedy decoding.
+// attention forward, transformer training step, and greedy decoding
+// (KV-cached vs full-prefix). After the google-benchmark run, a
+// `decode_cached_vs_full` summary row (tokens/sec for both paths plus
+// speedup) is printed and, when VIST5_BENCH_JSON is set, appended as a
+// JSON line (scripts/run_all_benches.sh exports it into build/obs/).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 
 #include <benchmark/benchmark.h>
 
+#include "bench/suite.h"
 #include "core/datavist5.h"
 #include "data/db_gen.h"
 #include "data/nvbench_gen.h"
@@ -160,6 +169,17 @@ void BM_TrainStep(benchmark::State& state) {
 }
 BENCHMARK(BM_TrainStep)->Unit(benchmark::kMillisecond);
 
+/// Forces a full `tokens`-long output: EOS is never allowed, so decoding
+/// runs to max_len regardless of the (untrained) weights.
+model::GenerationOptions FixedLengthDecode(int tokens, int eos_id,
+                                           bool use_kv_cache) {
+  model::GenerationOptions gen;
+  gen.max_len = tokens;
+  gen.use_kv_cache = use_kv_cache;
+  gen.allowed = [eos_id](int t) { return t != eos_id; };
+  return gen;
+}
+
 void BM_GreedyDecode(benchmark::State& state) {
   Fixture& f = Shared();
   nn::TransformerConfig cfg =
@@ -167,16 +187,74 @@ void BM_GreedyDecode(benchmark::State& state) {
   model::TransformerSeq2Seq m(cfg, f.tokenizer.pad_id(), f.tokenizer.eos_id(),
                               7);
   const std::vector<int> src = f.tokenizer.Encode(f.nvbench.front().question);
-  model::GenerationOptions gen;
-  gen.max_len = 32;
+  const model::GenerationOptions gen = FixedLengthDecode(
+      64, f.tokenizer.eos_id(), /*use_kv_cache=*/state.range(0) != 0);
   for (auto _ : state) {
     benchmark::DoNotOptimize(m.Generate(src, gen));
   }
-  state.SetLabel("untrained weights; measures decode cost only");
+  state.SetItemsProcessed(state.iterations() * 64);  // tokens
+  state.SetLabel(state.range(0) != 0 ? "kv-cached" : "full-prefix reference");
 }
-BENCHMARK(BM_GreedyDecode)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GreedyDecode)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+/// Times the cached vs full-prefix greedy decode of a 64-token output and
+/// prints a `decode_cached_vs_full` table row (mirrored to
+/// VIST5_BENCH_JSON). Also rechecks token-level parity between the paths:
+/// a speedup measured on divergent outputs would be meaningless.
+void ReportDecodeCachedVsFull() {
+  Fixture& f = Shared();
+  nn::TransformerConfig cfg =
+      nn::TransformerConfig::T5Small(f.tokenizer.vocab_size());
+  model::TransformerSeq2Seq m(cfg, f.tokenizer.pad_id(), f.tokenizer.eos_id(),
+                              7);
+  const std::vector<int> src = f.tokenizer.Encode(f.nvbench.front().question);
+  constexpr int kTokens = 64;
+  constexpr int kReps = 3;
+
+  auto run = [&](bool use_kv_cache) {
+    const model::GenerationOptions gen =
+        FixedLengthDecode(kTokens, f.tokenizer.eos_id(), use_kv_cache);
+    std::vector<int> out = m.Generate(src, gen);  // warm-up (untimed)
+    double best = 1e30;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      out = m.Generate(src, gen);
+      const double secs = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+      best = std::min(best, secs);
+    }
+    return std::make_pair(best, out);
+  };
+
+  const auto [cached_secs, cached_out] = run(true);
+  const auto [full_secs, full_out] = run(false);
+  if (cached_out != full_out) {
+    std::fprintf(stderr,
+                 "decode_cached_vs_full: PARITY FAILURE — cached and "
+                 "full-prefix decode disagree\n");
+    std::exit(1);
+  }
+  const int emitted = static_cast<int>(cached_out.size());
+  bench::PrintHeader("decode_cached_vs_full",
+                     {"cached_tok_s", "full_tok_s", "speedup"});
+  bench::PrintRow("t5_small_greedy64",
+                  {emitted / cached_secs, emitted / full_secs,
+                   full_secs / cached_secs});
+}
+
 }  // namespace vist5
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  vist5::ReportDecodeCachedVsFull();
+  return 0;
+}

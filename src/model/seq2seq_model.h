@@ -51,8 +51,14 @@ struct GenerationOptions {
   Rng* rng = nullptr;
   /// Optional vocabulary mask for grammar-constrained decoding (ncNet-style
   /// attention forcing): tokens for which this returns false are never
-  /// emitted. Null means unconstrained.
+  /// emitted. Null means unconstrained. When no token is allowed at some
+  /// step, decoding treats it as end-of-sequence.
   std::function<bool(int token)> allowed;
+  /// Incremental KV-cached decoding (the fast path). False falls back to
+  /// re-running the decoder over the full prefix each step — kept as the
+  /// reference implementation; both produce bit-identical tokens (see
+  /// docs/INFERENCE.md).
+  bool use_kv_cache = true;
 };
 
 /// Abstract trainable sequence-to-sequence model (the unit of comparison in

@@ -1,13 +1,21 @@
 #include "model/transformer_model.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tensor/ops.h"
 
 namespace vist5 {
 namespace model {
 namespace {
 
 /// Argmax over a logits row subject to the optional vocabulary constraint.
+/// Returns -1 when the constraint rejects every token ("nothing allowed"),
+/// which callers treat as end-of-sequence — emitting token 0 (pad) here
+/// would loop until max_len producing pad garbage.
 int BestToken(const float* row, int vocab,
               const std::function<bool(int)>& allowed) {
   int best = -1;
@@ -19,11 +27,11 @@ int BestToken(const float* row, int vocab,
       best = v;
     }
   }
-  return best < 0 ? 0 : best;
+  return best;
 }
 
-/// Temperature + top-k sampling over a logits row. Falls back to argmax
-/// when no token is allowed.
+/// Temperature + top-k sampling over a logits row. Returns -1 when no
+/// token is allowed (treated as end-of-sequence by callers).
 int SampleToken(const float* row, int vocab, const GenerationOptions& opts) {
   std::vector<std::pair<float, int>> scored;
   scored.reserve(static_cast<size_t>(vocab));
@@ -31,7 +39,7 @@ int SampleToken(const float* row, int vocab, const GenerationOptions& opts) {
     if (opts.allowed && !opts.allowed(v)) continue;
     scored.emplace_back(row[v] / opts.temperature, v);
   }
-  if (scored.empty()) return 0;
+  if (scored.empty()) return -1;
   std::sort(scored.begin(), scored.end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });
   if (opts.top_k > 0 && static_cast<int>(scored.size()) > opts.top_k) {
@@ -57,7 +65,104 @@ std::vector<float> LogSoftmaxRow(const float* row, int vocab) {
   return out;
 }
 
+/// One beam-search expansion. `logits` holds one row per alive hypothesis
+/// ([nb, V]). EOS continuations move into `finished` with length-normalized
+/// scores; a hypothesis whose every continuation is disallowed also
+/// finishes (constrained decoding reached a dead end). Shared by the
+/// cached and full-prefix beam paths so both expand identically.
+struct BeamExpansion {
+  std::vector<BeamHypothesis> beams;  ///< pruned to at most k
+  std::vector<int> parents;           ///< parent index per surviving beam
+};
+
+BeamExpansion ExpandBeams(
+    const Tensor& logits, const std::vector<BeamHypothesis>& beams, int k,
+    const GenerationOptions& options, int eos_id,
+    std::vector<std::pair<std::vector<int>, double>>* finished) {
+  const int nb = static_cast<int>(beams.size());
+  const int vocab = logits.dim(1);
+
+  struct Candidate {
+    int beam;
+    int token;
+    double log_prob;
+  };
+  std::vector<Candidate> candidates;
+  for (int b = 0; b < nb; ++b) {
+    const float* row =
+        logits.data().data() + static_cast<size_t>(b) * vocab;
+    const std::vector<float> logp = LogSoftmaxRow(row, vocab);
+    std::vector<int> order;
+    order.reserve(static_cast<size_t>(vocab));
+    for (int v = 0; v < vocab; ++v) {
+      if (options.allowed && !options.allowed(v)) continue;
+      order.push_back(v);
+    }
+    if (order.empty()) {
+      // Nothing allowed: end this hypothesis as-is (no EOS log-prob to
+      // add, so normalize by the tokens actually emitted).
+      std::vector<int> out(beams[static_cast<size_t>(b)].tokens.begin() + 1,
+                           beams[static_cast<size_t>(b)].tokens.end());
+      const double norm = beams[static_cast<size_t>(b)].log_prob /
+                          std::max<size_t>(1, out.size());
+      finished->emplace_back(std::move(out), norm);
+      continue;
+    }
+    const int keep = std::min<int>(2 * k, static_cast<int>(order.size()));
+    std::partial_sort(order.begin(), order.begin() + keep, order.end(),
+                      [&](int a, int c) {
+                        return logp[static_cast<size_t>(a)] >
+                               logp[static_cast<size_t>(c)];
+                      });
+    for (int i = 0; i < keep; ++i) {
+      candidates.push_back({b, order[static_cast<size_t>(i)],
+                            beams[static_cast<size_t>(b)].log_prob +
+                                logp[static_cast<size_t>(
+                                    order[static_cast<size_t>(i)])]});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.log_prob > b.log_prob;
+            });
+
+  BeamExpansion next;
+  for (const Candidate& c : candidates) {
+    if (static_cast<int>(next.beams.size()) >= k) break;
+    if (c.token == eos_id) {
+      std::vector<int> tokens(
+          beams[static_cast<size_t>(c.beam)].tokens.begin() + 1,
+          beams[static_cast<size_t>(c.beam)].tokens.end());
+      const double norm = c.log_prob / std::max<size_t>(1, tokens.size() + 1);
+      finished->emplace_back(std::move(tokens), norm);
+      continue;
+    }
+    BeamHypothesis h = beams[static_cast<size_t>(c.beam)];
+    h.tokens.push_back(c.token);
+    h.log_prob = c.log_prob;
+    next.beams.push_back(std::move(h));
+    next.parents.push_back(c.beam);
+  }
+  return next;
+}
+
 }  // namespace
+
+std::vector<int> SelectBeamResult(
+    std::vector<std::pair<std::vector<int>, double>> finished,
+    const std::vector<BeamHypothesis>& alive) {
+  for (const BeamHypothesis& h : alive) {
+    std::vector<int> out(h.tokens.begin() + 1, h.tokens.end());
+    const double norm = h.log_prob / std::max<size_t>(1, out.size());
+    finished.emplace_back(std::move(out), norm);
+  }
+  if (finished.empty()) return {};
+  size_t best = 0;
+  for (size_t i = 1; i < finished.size(); ++i) {
+    if (finished[i].second > finished[best].second) best = i;
+  }
+  return std::move(finished[best].first);
+}
 
 TransformerSeq2Seq::TransformerSeq2Seq(const nn::TransformerConfig& config,
                                        int pad_id, int eos_id, uint64_t seed)
@@ -76,11 +181,61 @@ Tensor TransformerSeq2Seq::BatchLoss(const Batch& batch, bool train,
 
 std::vector<int> TransformerSeq2Seq::Generate(
     const std::vector<int>& src, const GenerationOptions& options) const {
-  if (options.beam_size <= 1) return GreedyDecode(src, options);
-  return BeamDecode(src, options);
+  VIST5_TRACE_SPAN("model/generate");
+  static obs::Counter* cached_calls = obs::GetCounter("decode/cached_calls");
+  static obs::Counter* full_calls = obs::GetCounter("decode/full_calls");
+  static obs::Counter* tokens = obs::GetCounter("decode/tokens");
+  static obs::Histogram* tps = obs::GetHistogram("decode/tokens_per_sec");
+
+  const bool timed = obs::LatencySamplingEnabled();
+  const auto start = timed ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point{};
+  std::vector<int> out;
+  if (options.beam_size <= 1) {
+    out = options.use_kv_cache ? GreedyDecode(src, options)
+                               : GreedyDecodeFull(src, options);
+  } else {
+    out = options.use_kv_cache ? BeamDecode(src, options)
+                               : BeamDecodeFull(src, options);
+  }
+  (options.use_kv_cache ? cached_calls : full_calls)->Add();
+  tokens->Add(static_cast<int64_t>(out.size()));
+  if (timed && !out.empty()) {
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (secs > 0) tps->Observe(static_cast<double>(out.size()) / secs);
+  }
+  return out;
 }
 
 std::vector<int> TransformerSeq2Seq::GreedyDecode(
+    const std::vector<int>& src, const GenerationOptions& options) const {
+  NoGradGuard guard;
+  const int src_len = static_cast<int>(src.size());
+  const std::vector<int> src_lengths = {src_len};
+  Tensor memory = transformer_->Encode(src, 1, src_len, src_lengths,
+                                       /*train=*/false, nullptr);
+  nn::DecodeState state =
+      transformer_->BeginDecode(memory, 1, src_len, src_lengths);
+  std::vector<int> out;
+  int prev = pad_id_;
+  for (int step = 0; step < options.max_len; ++step) {
+    Tensor hidden = transformer_->DecodeStep({prev}, &state);  // [1, d]
+    Tensor logits = transformer_->Logits(hidden);              // [1, V]
+    const int vocab = logits.dim(1);
+    const float* row = logits.data().data();
+    const bool sample = options.temperature > 0 && options.rng != nullptr;
+    const int next = sample ? SampleToken(row, vocab, options)
+                            : BestToken(row, vocab, options.allowed);
+    if (next < 0 || next == eos_id_) break;
+    out.push_back(next);
+    prev = next;
+  }
+  return out;
+}
+
+std::vector<int> TransformerSeq2Seq::GreedyDecodeFull(
     const std::vector<int>& src, const GenerationOptions& options) const {
   NoGradGuard guard;
   const int src_len = static_cast<int>(src.size());
@@ -94,14 +249,17 @@ std::vector<int> TransformerSeq2Seq::GreedyDecode(
     Tensor hidden = transformer_->Decode(dec, 1, static_cast<int>(dec.size()),
                                          memory, src_len, src_lengths,
                                          dec_lengths, /*train=*/false, nullptr);
-    Tensor logits = transformer_->Logits(hidden);
+    // Only the newest position is read; project just that row instead of
+    // paying O(T * V) for logits that are thrown away.
+    Tensor last =
+        ops::GatherRows(hidden, {static_cast<int>(dec.size()) - 1});
+    Tensor logits = transformer_->Logits(last);  // [1, V]
     const int vocab = logits.dim(1);
-    const float* row =
-        logits.data().data() + (dec.size() - 1) * static_cast<size_t>(vocab);
+    const float* row = logits.data().data();
     const bool sample = options.temperature > 0 && options.rng != nullptr;
     const int next = sample ? SampleToken(row, vocab, options)
                             : BestToken(row, vocab, options.allowed);
-    if (next == eos_id_) break;
+    if (next < 0 || next == eos_id_) break;
     out.push_back(next);
     dec.push_back(next);
   }
@@ -116,8 +274,41 @@ std::vector<int> TransformerSeq2Seq::BeamDecode(
   const std::vector<int> one_length = {src_len};
   Tensor memory = transformer_->Encode(src, 1, src_len, one_length,
                                        /*train=*/false, nullptr);
+  nn::DecodeState state =
+      transformer_->BeginDecode(memory, 1, src_len, one_length);
 
-  std::vector<Hypothesis> beams = {{{pad_id_}, 0.0}};
+  std::vector<BeamHypothesis> beams = {{{pad_id_}, 0.0}};
+  std::vector<std::pair<std::vector<int>, double>> finished;
+
+  for (int step = 0; step < options.max_len && !beams.empty(); ++step) {
+    const int nb = static_cast<int>(beams.size());
+    // Feed only each hypothesis' newest token; the cache carries the rest.
+    std::vector<int> next_ids(static_cast<size_t>(nb));
+    for (int b = 0; b < nb; ++b) {
+      next_ids[static_cast<size_t>(b)] = beams[static_cast<size_t>(b)].tokens.back();
+    }
+    Tensor hidden = transformer_->DecodeStep(next_ids, &state);  // [nb, d]
+    Tensor logits = transformer_->Logits(hidden);                // [nb, V]
+
+    BeamExpansion next =
+        ExpandBeams(logits, beams, k, options, eos_id_, &finished);
+    beams = std::move(next.beams);
+    if (!beams.empty()) state.Reorder(next.parents);
+    if (static_cast<int>(finished.size()) >= k) break;
+  }
+  return SelectBeamResult(std::move(finished), beams);
+}
+
+std::vector<int> TransformerSeq2Seq::BeamDecodeFull(
+    const std::vector<int>& src, const GenerationOptions& options) const {
+  NoGradGuard guard;
+  const int k = options.beam_size;
+  const int src_len = static_cast<int>(src.size());
+  const std::vector<int> one_length = {src_len};
+  Tensor memory = transformer_->Encode(src, 1, src_len, one_length,
+                                       /*train=*/false, nullptr);
+
+  std::vector<BeamHypothesis> beams = {{{pad_id_}, 0.0}};
   std::vector<std::pair<std::vector<int>, double>> finished;
 
   for (int step = 0; step < options.max_len && !beams.empty(); ++step) {
@@ -127,7 +318,7 @@ std::vector<int> TransformerSeq2Seq::BeamDecode(
     // decoder batch; replicate the encoder memory per hypothesis.
     std::vector<int> dec_ids;
     dec_ids.reserve(static_cast<size_t>(nb) * dec_seq);
-    for (const Hypothesis& h : beams) {
+    for (const BeamHypothesis& h : beams) {
       dec_ids.insert(dec_ids.end(), h.tokens.begin(), h.tokens.end());
     }
     std::vector<float> mem_data;
@@ -143,74 +334,21 @@ std::vector<int> TransformerSeq2Seq::BeamDecode(
     Tensor hidden = transformer_->Decode(dec_ids, nb, dec_seq, batched_memory,
                                          src_len, mem_lengths, dec_lengths,
                                          /*train=*/false, nullptr);
-    Tensor logits = transformer_->Logits(hidden);
-    const int vocab = logits.dim(1);
-
-    // Expand: per hypothesis, take the best 2k next tokens.
-    struct Candidate {
-      int beam;
-      int token;
-      double log_prob;
-    };
-    std::vector<Candidate> candidates;
+    // Keep only each hypothesis' newest position before the vocab
+    // projection (same O(T * V) fix as GreedyDecodeFull).
+    std::vector<int> last_rows(static_cast<size_t>(nb));
     for (int b = 0; b < nb; ++b) {
-      const float* row = logits.data().data() +
-                         (static_cast<size_t>(b) * dec_seq + dec_seq - 1) *
-                             static_cast<size_t>(vocab);
-      const std::vector<float> logp = LogSoftmaxRow(row, vocab);
-      std::vector<int> order;
-      order.reserve(static_cast<size_t>(vocab));
-      for (int v = 0; v < vocab; ++v) {
-        if (options.allowed && !options.allowed(v)) continue;
-        order.push_back(v);
-      }
-      const int keep = std::min<int>(2 * k, static_cast<int>(order.size()));
-      std::partial_sort(order.begin(), order.begin() + keep, order.end(),
-                        [&](int a, int c) {
-                          return logp[static_cast<size_t>(a)] >
-                                 logp[static_cast<size_t>(c)];
-                        });
-      for (int i = 0; i < keep; ++i) {
-        candidates.push_back({b, order[static_cast<size_t>(i)],
-                              beams[static_cast<size_t>(b)].log_prob +
-                                  logp[static_cast<size_t>(
-                                      order[static_cast<size_t>(i)])]});
-      }
+      last_rows[static_cast<size_t>(b)] = b * dec_seq + dec_seq - 1;
     }
-    std::sort(candidates.begin(), candidates.end(),
-              [](const Candidate& a, const Candidate& b) {
-                return a.log_prob > b.log_prob;
-              });
+    Tensor logits =
+        transformer_->Logits(ops::GatherRows(hidden, last_rows));  // [nb, V]
 
-    std::vector<Hypothesis> next_beams;
-    for (const Candidate& c : candidates) {
-      if (static_cast<int>(next_beams.size()) >= k) break;
-      if (c.token == eos_id_) {
-        std::vector<int> tokens(
-            beams[static_cast<size_t>(c.beam)].tokens.begin() + 1,
-            beams[static_cast<size_t>(c.beam)].tokens.end());
-        const double norm =
-            c.log_prob / std::max<size_t>(1, tokens.size() + 1);
-        finished.emplace_back(std::move(tokens), norm);
-        continue;
-      }
-      Hypothesis h = beams[static_cast<size_t>(c.beam)];
-      h.tokens.push_back(c.token);
-      h.log_prob = c.log_prob;
-      next_beams.push_back(std::move(h));
-    }
-    beams = std::move(next_beams);
+    BeamExpansion next =
+        ExpandBeams(logits, beams, k, options, eos_id_, &finished);
+    beams = std::move(next.beams);
     if (static_cast<int>(finished.size()) >= k) break;
   }
-
-  if (finished.empty()) {
-    if (beams.empty()) return {};
-    return std::vector<int>(beams[0].tokens.begin() + 1,
-                            beams[0].tokens.end());
-  }
-  std::sort(finished.begin(), finished.end(),
-            [](const auto& a, const auto& b) { return a.second > b.second; });
-  return finished[0].first;
+  return SelectBeamResult(std::move(finished), beams);
 }
 
 }  // namespace model

@@ -9,6 +9,24 @@
 namespace vist5 {
 namespace model {
 
+/// One alive beam-search hypothesis. `tokens` is the decoder input so far
+/// (starts with the pad/start symbol); `log_prob` is the raw (unnormalized)
+/// cumulative token log-probability.
+struct BeamHypothesis {
+  std::vector<int> tokens;
+  double log_prob = 0;
+};
+
+/// Final beam selection. `finished` holds (output tokens, length-normalized
+/// score) pairs for hypotheses that emitted EOS; `alive` holds hypotheses
+/// still running when the step budget ended. Alive hypotheses are
+/// length-normalized (log_prob / emitted tokens) so they compete with
+/// finished ones on equal footing, then the best normalized score wins.
+/// Exposed for regression tests.
+std::vector<int> SelectBeamResult(
+    std::vector<std::pair<std::vector<int>, double>> finished,
+    const std::vector<BeamHypothesis>& alive);
+
 /// Seq2SeqModel adapter around nn::Transformer. This single class backs the
 /// T5 family (DataVisT5, CodeT5+, T5), BART, the vanilla Transformer
 /// baseline, the ncNet proxy (via constrained decoding), and the LLM
@@ -37,15 +55,19 @@ class TransformerSeq2Seq : public Seq2SeqModel {
   int eos_id() const { return eos_id_; }
 
  private:
-  struct Hypothesis {
-    std::vector<int> tokens;  ///< decoder input, starts with pad
-    double log_prob = 0;
-  };
-
+  /// KV-cached incremental decoding (the default fast path).
   std::vector<int> GreedyDecode(const std::vector<int>& src,
                                 const GenerationOptions& options) const;
   std::vector<int> BeamDecode(const std::vector<int>& src,
                               const GenerationOptions& options) const;
+  /// Full-prefix reference implementations (options.use_kv_cache = false):
+  /// re-run the decoder stack over the whole prefix every step. Slower but
+  /// trivially correct; the parity property tests pin the cached paths to
+  /// these token-for-token.
+  std::vector<int> GreedyDecodeFull(const std::vector<int>& src,
+                                    const GenerationOptions& options) const;
+  std::vector<int> BeamDecodeFull(const std::vector<int>& src,
+                                  const GenerationOptions& options) const;
 
   std::unique_ptr<nn::Transformer> transformer_;
   int pad_id_;

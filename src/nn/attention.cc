@@ -77,13 +77,26 @@ MultiHeadAttention::MultiHeadAttention(int dim, int heads, bool bias,
 
 Tensor MultiHeadAttention::Forward(const Tensor& query, const Tensor& memory,
                                    const ForwardArgs& args) const {
+  Tensor k, v;
+  ProjectKv(memory, args.batch, args.tk, &k, &v);
+  return ForwardCached(query, k, v, args);
+}
+
+void MultiHeadAttention::ProjectKv(const Tensor& memory, int batch, int tk,
+                                   Tensor* k, Tensor* v) const {
+  *k = ops::SplitHeads(wk_.Forward(memory), batch, tk, heads_);
+  *v = ops::SplitHeads(wv_.Forward(memory), batch, tk, heads_);
+}
+
+Tensor MultiHeadAttention::ForwardCached(const Tensor& query, const Tensor& k,
+                                         const Tensor& v,
+                                         const ForwardArgs& args) const {
   VIST5_CHECK(args.key_lengths != nullptr);
   VIST5_CHECK_EQ(static_cast<int>(args.key_lengths->size()), args.batch);
+  VIST5_CHECK_EQ(k.dim(2), args.tk);
   const int dh = dim_ / heads_;
 
   Tensor q = ops::SplitHeads(wq_.Forward(query), args.batch, args.tq, heads_);
-  Tensor k = ops::SplitHeads(wk_.Forward(memory), args.batch, args.tk, heads_);
-  Tensor v = ops::SplitHeads(wv_.Forward(memory), args.batch, args.tk, heads_);
 
   Tensor scores = ops::MatMulTransposeB(q, k);  // [B, H, Tq, Tk]
   if (scale_scores_) {

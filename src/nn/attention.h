@@ -64,6 +64,20 @@ class MultiHeadAttention : public Module {
   Tensor Forward(const Tensor& query, const Tensor& memory,
                  const ForwardArgs& args) const;
 
+  /// Projects `memory` [B*Tk, d] through the key/value heads into cached
+  /// form: `*k` and `*v` become [B, H, Tk, Dh]. Incremental decoding
+  /// projects each token exactly once and reuses the result every step.
+  void ProjectKv(const Tensor& memory, int batch, int tk, Tensor* k,
+                 Tensor* v) const;
+
+  /// Attention against pre-projected key/value tensors ([B, H, Tk, Dh],
+  /// from ProjectKv / a decode cache). Identical arithmetic to Forward —
+  /// Forward is ProjectKv + ForwardCached — so cached decoding is
+  /// bit-exact against the full-prefix path. args.tk must equal the cache
+  /// time dimension.
+  Tensor ForwardCached(const Tensor& query, const Tensor& k, const Tensor& v,
+                       const ForwardArgs& args) const;
+
   /// Attaches LoRA adapters to the query and value projections (the
   /// standard LoRA placement).
   void EnableLora(int rank, float alpha, Rng* rng) {

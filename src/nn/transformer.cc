@@ -69,6 +69,27 @@ bool IsPreRms(TransformerConfig::NormStyle s) {
 }
 }  // namespace
 
+void DecodeState::Reorder(const std::vector<int>& parents) {
+  // Skip the copy when the new beam set is exactly the old one in order.
+  bool identity = static_cast<int>(parents.size()) == batch;
+  for (size_t i = 0; identity && i < parents.size(); ++i) {
+    identity = parents[i] == static_cast<int>(i);
+  }
+  if (identity) return;
+  for (LayerCache& layer : layers) {
+    layer.self_k = ops::GatherBatch(layer.self_k, parents);
+    layer.self_v = ops::GatherBatch(layer.self_v, parents);
+    layer.cross_k = ops::GatherBatch(layer.cross_k, parents);
+    layer.cross_v = ops::GatherBatch(layer.cross_v, parents);
+  }
+  std::vector<int> lengths(parents.size());
+  for (size_t i = 0; i < parents.size(); ++i) {
+    lengths[i] = memory_lengths[static_cast<size_t>(parents[i])];
+  }
+  memory_lengths = std::move(lengths);
+  batch = static_cast<int>(parents.size());
+}
+
 EncoderLayer::EncoderLayer(const TransformerConfig& config, Rng* rng)
     : norm_style_(config.norm_style),
       self_attn_(config.d_model, config.num_heads, config.linear_bias,
@@ -194,6 +215,60 @@ Tensor DecoderLayer::Forward(const Tensor& x, const Tensor& memory, int batch,
   Tensor out = ln3_->Forward(ops::Add(
       h2, ops::Dropout(ff_.Forward(h2, dropout_p, rng), dropout_p, rng)));
   return out;
+}
+
+void DecoderLayer::BeginDecode(const Tensor& memory, int batch, int enc_seq,
+                               DecodeState::LayerCache* cache) const {
+  cross_attn_.ProjectKv(memory, batch, enc_seq, &cache->cross_k,
+                        &cache->cross_v);
+}
+
+Tensor DecoderLayer::ForwardStep(const Tensor& x, int batch,
+                                 const std::vector<int>& memory_lengths,
+                                 const Tensor* self_bias, int step,
+                                 DecodeState::LayerCache* cache) const {
+  // Self-attention keys/values are projected from the same per-row input
+  // the full path uses (the pre-norm output for kPreRms, the raw residual
+  // stream for kPostLayerNorm); both norms are row-local, so each token's
+  // cache entry never changes once written.
+  const Tensor self_input = IsPreRms(norm_style_) ? rms1_->Forward(x) : x;
+  Tensor k_new, v_new;
+  self_attn_.ProjectKv(self_input, batch, 1, &k_new, &v_new);
+  cache->self_k = ops::AppendTime(cache->self_k, k_new);
+  cache->self_v = ops::AppendTime(cache->self_v, v_new);
+
+  MultiHeadAttention::ForwardArgs self_args;
+  self_args.batch = batch;
+  self_args.tq = 1;
+  self_args.tk = step + 1;
+  const std::vector<int> self_lengths(static_cast<size_t>(batch), step + 1);
+  self_args.key_lengths = &self_lengths;
+  self_args.causal = true;
+  self_args.query_offset = step;
+  self_args.position_bias = self_bias;
+
+  MultiHeadAttention::ForwardArgs cross_args;
+  cross_args.batch = batch;
+  cross_args.tq = 1;
+  cross_args.tk = cache->cross_k.dim(2);
+  cross_args.key_lengths = &memory_lengths;
+  cross_args.causal = false;
+
+  if (IsPreRms(norm_style_)) {
+    Tensor h = ops::Add(x, self_attn_.ForwardCached(self_input, cache->self_k,
+                                                    cache->self_v, self_args));
+    Tensor h2 = ops::Add(
+        h, cross_attn_.ForwardCached(rms2_->Forward(h), cache->cross_k,
+                                     cache->cross_v, cross_args));
+    return ops::Add(h2, ff_.Forward(rms3_->Forward(h2), 0.0f, nullptr));
+  }
+  Tensor h = ln1_->Forward(ops::Add(
+      x, self_attn_.ForwardCached(x, cache->self_k, cache->self_v,
+                                  self_args)));
+  Tensor h2 = ln2_->Forward(ops::Add(
+      h, cross_attn_.ForwardCached(h, cache->cross_k, cache->cross_v,
+                                   cross_args)));
+  return ln3_->Forward(ops::Add(h2, ff_.Forward(h2, 0.0f, nullptr)));
 }
 
 Transformer::Transformer(const TransformerConfig& config, Rng* rng)
@@ -338,6 +413,47 @@ Tensor Transformer::Decode(const std::vector<int>& ids, int batch, int dec_seq,
                        memory_lengths, bias_ptr, dropout_p, rng);
   }
   if (decoder_final_norm_) h = decoder_final_norm_->Forward(h);
+  return h;
+}
+
+DecodeState Transformer::BeginDecode(
+    const Tensor& memory, int batch, int enc_seq,
+    const std::vector<int>& memory_lengths) const {
+  VIST5_CHECK(!GradEnabled()) << "BeginDecode is inference-only";
+  VIST5_CHECK_EQ(memory.dim(0), batch * enc_seq);
+  DecodeState state;
+  state.batch = batch;
+  state.memory_lengths = memory_lengths;
+  state.layers.resize(decoder_layers_.size());
+  for (size_t i = 0; i < decoder_layers_.size(); ++i) {
+    decoder_layers_[i]->BeginDecode(memory, batch, enc_seq, &state.layers[i]);
+  }
+  return state;
+}
+
+Tensor Transformer::DecodeStep(const std::vector<int>& next_ids,
+                               DecodeState* state) const {
+  VIST5_CHECK(!GradEnabled()) << "DecodeStep is inference-only";
+  VIST5_CHECK(state != nullptr);
+  VIST5_CHECK_EQ(static_cast<int>(next_ids.size()), state->batch);
+  VIST5_CHECK_EQ(state->layers.size(), decoder_layers_.size());
+  Tensor h = Embed(next_ids, state->batch, /*seq=*/1, /*offset=*/state->step,
+                   /*decoder_side=*/true, /*train=*/false, nullptr);
+  Tensor bias;
+  const Tensor* bias_ptr = nullptr;
+  if (decoder_bias_) {
+    // One bias row for the query at absolute position `step` against keys
+    // 0..step — the last row of the full [T, T] bias table.
+    bias = decoder_bias_->Forward(1, state->step + 1, state->step);
+    bias_ptr = &bias;
+  }
+  for (size_t i = 0; i < decoder_layers_.size(); ++i) {
+    h = decoder_layers_[i]->ForwardStep(h, state->batch,
+                                        state->memory_lengths, bias_ptr,
+                                        state->step, &state->layers[i]);
+  }
+  if (decoder_final_norm_) h = decoder_final_norm_->Forward(h);
+  ++state->step;
   return h;
 }
 

@@ -50,6 +50,30 @@ struct TransformerConfig {
   static TransformerConfig LlmProxy(int vocab_size);
 };
 
+/// Per-layer attention caches for KV-cached incremental decoding (see
+/// docs/INFERENCE.md). Self-attention keys/values are appended one step at
+/// a time; cross-attention keys/values are projected from the encoder
+/// memory exactly once at BeginDecode. Inference-only: all tensors are
+/// built under NoGradGuard and carry no autograd history.
+struct DecodeState {
+  struct LayerCache {
+    Tensor self_k;   ///< [B, H, step, Dh], grown by DecodeStep
+    Tensor self_v;   ///< [B, H, step, Dh]
+    Tensor cross_k;  ///< [B, H, T_enc, Dh], fixed after BeginDecode
+    Tensor cross_v;  ///< [B, H, T_enc, Dh]
+  };
+
+  std::vector<LayerCache> layers;  ///< one per decoder layer
+  std::vector<int> memory_lengths;
+  int batch = 0;
+  int step = 0;  ///< decoder tokens consumed so far (= position of next)
+
+  /// Reorders/expands the batch dimension after beam pruning: entry i of
+  /// the new state is old entry `parents[i]`. `parents` may repeat (a
+  /// hypothesis forked) or drop indices (a hypothesis died).
+  void Reorder(const std::vector<int>& parents);
+};
+
 /// One encoder block (self-attention + feed-forward with residuals).
 class EncoderLayer : public Module {
  public:
@@ -81,6 +105,20 @@ class DecoderLayer : public Module {
                  int tk, const std::vector<int>& self_lengths,
                  const std::vector<int>& memory_lengths,
                  const Tensor* self_bias, float dropout_p, Rng* rng) const;
+
+  /// Projects `memory` into the layer's cross-attention cache.
+  void BeginDecode(const Tensor& memory, int batch, int enc_seq,
+                   DecodeState::LayerCache* cache) const;
+
+  /// Incremental counterpart of Forward: consumes one already-embedded
+  /// token per batch row (`x` is [B, d]), appends its self-attention K/V
+  /// to `cache`, and returns the block output [B, d]. `step` is the
+  /// absolute position of the token; `self_bias` is the [H, 1, step+1]
+  /// bias row for that position (relative-bias configs only).
+  Tensor ForwardStep(const Tensor& x, int batch,
+                     const std::vector<int>& memory_lengths,
+                     const Tensor* self_bias, int step,
+                     DecodeState::LayerCache* cache) const;
 
   void EnableLora(int rank, float alpha, Rng* rng) {
     self_attn_.EnableLora(rank, alpha, rng);
@@ -119,6 +157,21 @@ class Transformer : public Module {
                 const std::vector<int>& memory_lengths,
                 const std::vector<int>& dec_lengths, bool train,
                 Rng* rng) const;
+
+  /// Starts KV-cached incremental decoding against encoder `memory`
+  /// ([B*T_enc, d]): allocates per-layer caches and projects the
+  /// cross-attention keys/values once. Must run under NoGradGuard.
+  DecodeState BeginDecode(const Tensor& memory, int batch, int enc_seq,
+                          const std::vector<int>& memory_lengths) const;
+
+  /// Feeds one token per batch row (`next_ids.size() == state->batch`) at
+  /// position `state->step`, appends its keys/values to the cache, and
+  /// returns only the new hidden row per batch element: [B, d]. Position
+  /// machinery (relative bias / learned / sinusoidal) is applied with
+  /// query_offset = step, so a DecodeStep loop is bit-exact against
+  /// Decode over the same prefix. Advances `state->step`.
+  Tensor DecodeStep(const std::vector<int>& next_ids,
+                    DecodeState* state) const;
 
   /// Projects decoder hidden states to vocabulary logits [rows, V].
   Tensor Logits(const Tensor& decoder_hidden) const;

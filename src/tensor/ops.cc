@@ -846,6 +846,50 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
   return result;
 }
 
+Tensor AppendTime(const Tensor& cache, const Tensor& chunk) {
+  VIST5_CHECK(!GradEnabled()) << "AppendTime is an inference-only helper";
+  VIST5_CHECK_EQ(chunk.ndim(), 4);
+  if (!cache.defined()) return chunk;
+  VIST5_CHECK_EQ(cache.ndim(), 4);
+  const int b = cache.dim(0);
+  const int h = cache.dim(1);
+  const int t = cache.dim(2);
+  const int dh = cache.dim(3);
+  const int s = chunk.dim(2);
+  VIST5_CHECK_EQ(chunk.dim(0), b);
+  VIST5_CHECK_EQ(chunk.dim(1), h);
+  VIST5_CHECK_EQ(chunk.dim(3), dh);
+  std::vector<float> out(static_cast<size_t>(b) * h * (t + s) * dh);
+  for (int bi = 0; bi < b; ++bi) {
+    for (int hi = 0; hi < h; ++hi) {
+      const size_t plane = static_cast<size_t>(bi) * h + hi;
+      float* dst = out.data() + plane * (t + s) * dh;
+      std::copy_n(cache.data().data() + plane * t * dh,
+                  static_cast<size_t>(t) * dh, dst);
+      std::copy_n(chunk.data().data() + plane * s * dh,
+                  static_cast<size_t>(s) * dh, dst + static_cast<size_t>(t) * dh);
+    }
+  }
+  return Tensor({b, h, t + s, dh}, std::move(out));
+}
+
+Tensor GatherBatch(const Tensor& x, const std::vector<int>& indices) {
+  VIST5_CHECK(!GradEnabled()) << "GatherBatch is an inference-only helper";
+  VIST5_CHECK_GE(x.ndim(), 1);
+  const int b = x.dim(0);
+  const int64_t slab = x.NumElements() / b;
+  std::vector<int> shape = x.shape();
+  shape[0] = static_cast<int>(indices.size());
+  std::vector<float> out(static_cast<size_t>(indices.size()) * slab);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    VIST5_CHECK_GE(indices[i], 0);
+    VIST5_CHECK_LT(indices[i], b);
+    std::copy_n(x.data().data() + indices[i] * slab, slab,
+                out.data() + static_cast<int64_t>(i) * slab);
+  }
+  return Tensor(std::move(shape), std::move(out));
+}
+
 Tensor GatherRows(const Tensor& x, const std::vector<int>& rows) {
   VIST5_CHECK_EQ(x.ndim(), 2);
   const int d = x.dim(1);

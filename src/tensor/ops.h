@@ -91,6 +91,17 @@ Tensor MergeHeads(const Tensor& x);
 /// Concatenates 2-D tensors [N_i, D] along dim 0.
 Tensor ConcatRows(const std::vector<Tensor>& parts);
 
+/// Appends `chunk` [B, H, S, Dh] to `cache` [B, H, T, Dh] along the time
+/// dimension, returning [B, H, T+S, Dh]. An undefined `cache` acts as an
+/// empty one. Inference-only (KV-cache building): must run under
+/// NoGradGuard; no gradient flows through the result.
+Tensor AppendTime(const Tensor& cache, const Tensor& chunk);
+
+/// Selects slabs along dim 0: out[i, ...] = x[indices[i], ...]. Used to
+/// reorder/expand per-beam KV caches after hypothesis pruning.
+/// Inference-only: must run under NoGradGuard.
+Tensor GatherBatch(const Tensor& x, const std::vector<int>& indices);
+
 /// Selects rows of a 2-D tensor: out[i, :] = x[rows[i], :]. Differentiable.
 Tensor GatherRows(const Tensor& x, const std::vector<int>& rows);
 

@@ -101,6 +101,52 @@ TEST(TransformerModelTest, ConstrainedDecodingRestrictsVocabulary) {
   for (int id : out) EXPECT_EQ(id, only);
 }
 
+TEST(TransformerModelTest, NothingAllowedEndsSequenceInsteadOfEmittingPad) {
+  // Regression: BestToken used to fall back to token 0 (pad) when the
+  // `allowed` predicate rejected every vocab entry, so constrained greedy
+  // decode emitted pad tokens until max_len.
+  text::Tokenizer tok = DemoTokenizer();
+  nn::TransformerConfig cfg = nn::TransformerConfig::T5Small(tok.vocab_size());
+  cfg.d_model = 16;
+  cfg.d_ff = 32;
+  TransformerSeq2Seq model(cfg, tok.pad_id(), tok.eos_id(), 6);
+  GenerationOptions gen;
+  gen.max_len = 5;
+  gen.allowed = [](int) { return false; };
+  for (const bool cached : {true, false}) {
+    gen.use_kv_cache = cached;
+    gen.beam_size = 1;
+    EXPECT_TRUE(model.Generate(tok.Encode("copy alpha"), gen).empty());
+    gen.beam_size = 3;
+    EXPECT_TRUE(model.Generate(tok.Encode("copy alpha"), gen).empty());
+  }
+}
+
+TEST(BeamSelectionTest, AliveBeamBeatsWorseFinishedAfterNormalization) {
+  // Regression: the final pick used to compare length-normalized finished
+  // scores against the raw score of the best alive beam (and at max_len
+  // never normalized alive beams at all), so a long, high-quality alive
+  // hypothesis lost to a short finished one.
+  std::vector<std::pair<std::vector<int>, double>> finished;
+  finished.emplace_back(std::vector<int>{7, 8}, -1.0);  // normalized
+  std::vector<BeamHypothesis> alive = {
+      {{/*pad*/ 0, 3, 4, 5, 6}, /*raw log_prob=*/-1.0}};  // normalized -0.25
+  EXPECT_EQ(SelectBeamResult(finished, alive), (std::vector<int>{3, 4, 5, 6}));
+}
+
+TEST(BeamSelectionTest, EmptyFinishedFallbackNormalizesAliveBeams) {
+  // With no finished hypotheses the old code returned the first alive beam
+  // (raw-score order); the normalized pick can disagree.
+  std::vector<BeamHypothesis> alive = {
+      {{0, 9}, -0.9},           // 1 token,  normalized -0.9
+      {{0, 2, 3, 4}, -1.2}};    // 3 tokens, normalized -0.4
+  EXPECT_EQ(SelectBeamResult({}, alive), (std::vector<int>{2, 3, 4}));
+}
+
+TEST(BeamSelectionTest, EmptyEverythingReturnsEmpty) {
+  EXPECT_TRUE(SelectBeamResult({}, {}).empty());
+}
+
 TEST(TransformerModelTest, SamplingRespectsConstraintAndSeed) {
   text::Tokenizer tok = DemoTokenizer();
   nn::TransformerConfig cfg = nn::TransformerConfig::T5Small(tok.vocab_size());
