@@ -22,6 +22,8 @@
 #include "dv/standardize.h"
 #include "model/trainer.h"
 #include "nn/attention.h"
+#include "nn/transformer.h"
+#include "rt/thread_pool.h"
 #include "tensor/ops.h"
 #include "util/runtime.h"
 
@@ -108,8 +110,18 @@ void BM_RenderChart(benchmark::State& state) {
 }
 BENCHMARK(BM_RenderChart);
 
+// Pins the rt pool width for one benchmark run and restores the default
+// afterwards. Benchmarks take the thread count as their last Args() value
+// so the 1/2/4-thread rows land in the same report.
+class ThreadsGuard {
+ public:
+  explicit ThreadsGuard(int threads) { rt::SetThreads(threads); }
+  ~ThreadsGuard() { rt::SetThreads(1); }
+};
+
 void BM_MatMul(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
+  ThreadsGuard threads(static_cast<int>(state.range(1)));
   Rng rng(1);
   Tensor a = Tensor::Randn({256, n}, 1.0f, &rng);
   Tensor b = Tensor::Randn({n, n}, 1.0f, &rng);
@@ -119,9 +131,11 @@ void BM_MatMul(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2LL * 256 * n * n);
 }
-BENCHMARK(BM_MatMul)->Arg(64)->Arg(128);
+BENCHMARK(BM_MatMul)->ArgsProduct({{64, 128, 256}, {1, 2, 4}})
+    ->ArgNames({"n", "threads"});
 
 void BM_AttentionForward(benchmark::State& state) {
+  ThreadsGuard threads(static_cast<int>(state.range(0)));
   Rng rng(2);
   nn::MultiHeadAttention attn(64, 4, /*bias=*/false, /*scale=*/true, &rng);
   Tensor x = Tensor::Randn({8 * 64, 64}, 1.0f, &rng);
@@ -136,10 +150,35 @@ void BM_AttentionForward(benchmark::State& state) {
     benchmark::DoNotOptimize(attn.Forward(x, x, args));
   }
 }
-BENCHMARK(BM_AttentionForward);
+BENCHMARK(BM_AttentionForward)->Arg(1)->Arg(2)->Arg(4)
+    ->ArgNames({"threads"});
+
+void BM_EncoderForward(benchmark::State& state) {
+  Fixture& f = Shared();
+  ThreadsGuard threads(static_cast<int>(state.range(0)));
+  nn::TransformerConfig cfg =
+      nn::TransformerConfig::T5Small(f.tokenizer.vocab_size());
+  Rng init(7);
+  nn::Transformer t(cfg, &init);
+  constexpr int kBatch = 8;
+  constexpr int kSeq = 64;
+  Rng data(5);
+  std::vector<int> ids(static_cast<size_t>(kBatch) * kSeq);
+  for (int& id : ids) id = data.UniformRange(2, f.tokenizer.vocab_size() - 1);
+  std::vector<int> lengths(kBatch, kSeq);
+  NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        t.Encode(ids, kBatch, kSeq, lengths, /*train=*/false, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch * kSeq);  // tokens
+}
+BENCHMARK(BM_EncoderForward)->Arg(1)->Arg(2)->Arg(4)
+    ->ArgNames({"threads"})->Unit(benchmark::kMillisecond);
 
 void BM_TrainStep(benchmark::State& state) {
   Fixture& f = Shared();
+  ThreadsGuard threads(static_cast<int>(state.range(0)));
   nn::TransformerConfig cfg =
       nn::TransformerConfig::T5Small(f.tokenizer.vocab_size());
   model::TransformerSeq2Seq m(cfg, f.tokenizer.pad_id(), f.tokenizer.eos_id(),
@@ -167,7 +206,8 @@ void BM_TrainStep(benchmark::State& state) {
     optimizer.Step();
   }
 }
-BENCHMARK(BM_TrainStep)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TrainStep)->Arg(1)->Arg(2)->Arg(4)
+    ->ArgNames({"threads"})->Unit(benchmark::kMillisecond);
 
 /// Forces a full `tokens`-long output: EOS is never allowed, so decoding
 /// runs to max_len regardless of the (untrained) weights.
@@ -182,6 +222,7 @@ model::GenerationOptions FixedLengthDecode(int tokens, int eos_id,
 
 void BM_GreedyDecode(benchmark::State& state) {
   Fixture& f = Shared();
+  ThreadsGuard threads(static_cast<int>(state.range(1)));
   nn::TransformerConfig cfg =
       nn::TransformerConfig::T5Small(f.tokenizer.vocab_size());
   model::TransformerSeq2Seq m(cfg, f.tokenizer.pad_id(), f.tokenizer.eos_id(),
@@ -196,8 +237,8 @@ void BM_GreedyDecode(benchmark::State& state) {
   state.SetLabel(state.range(0) != 0 ? "kv-cached" : "full-prefix reference");
 }
 BENCHMARK(BM_GreedyDecode)
-    ->Arg(1)
-    ->Arg(0)
+    ->ArgsProduct({{1, 0}, {1, 2, 4}})
+    ->ArgNames({"cached", "threads"})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

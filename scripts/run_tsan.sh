@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Builds the repo under ThreadSanitizer (-DVIST5_SANITIZE=thread, see the
+# top-level CMakeLists) into build-tsan/ and runs the concurrency-sensitive
+# test binaries: the rt thread pool, the obs metrics/trace registry, and the
+# thread-count determinism pins. Any data race fails the run.
+#
+# Usage: scripts/run_tsan.sh [extra ctest -R regex]
+set -eu
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-tsan
+cmake -B "$BUILD_DIR" -S . -DVIST5_SANITIZE=thread
+cmake --build "$BUILD_DIR" -j"$(nproc)" \
+  --target rt_test obs_test determinism_test
+
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
+status=0
+for t in rt_test obs_test determinism_test; do
+  echo "===== tsan: $t ====="
+  "$BUILD_DIR/tests/$t" || status=$?
+done
+
+if [ -n "${1:-}" ]; then
+  cmake --build "$BUILD_DIR" -j"$(nproc)"
+  ctest --test-dir "$BUILD_DIR" -R "$1" --output-on-failure || status=$?
+fi
+
+exit $status

@@ -1,9 +1,12 @@
 #include "model/trainer.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "rt/thread_pool.h"
+#include "tensor/ops.h"
 #include "util/logging.h"
 #include "util/runtime.h"
 
@@ -15,6 +18,15 @@ int CountBatchTokens(const Batch& batch) {
   int tokens = 0;
   for (int n : batch.enc_lengths) tokens += n;
   for (int n : batch.dec_lengths) tokens += n;
+  return tokens;
+}
+
+// Target tokens that actually contribute loss (non-ignored positions).
+int64_t CountTargetTokens(const Batch& batch) {
+  int64_t tokens = 0;
+  for (int t : batch.dec_target) {
+    if (t != kIgnoreIndex) ++tokens;
+  }
   return tokens;
 }
 
@@ -51,6 +63,9 @@ TrainStats TrainSeq2Seq(Seq2SeqModel* model, const std::vector<SeqPair>& pairs,
   obs::Gauge* tps_gauge = obs::GetGauge("trainer/tokens_per_sec");
   obs::Gauge* rss_gauge = obs::GetGauge("process/peak_rss_bytes");
   obs::Histogram* step_ms_hist = obs::GetHistogram("trainer/step_ms");
+  obs::GetGauge("trainer/grad_accum_shards")
+      ->Set(std::clamp(options.grad_accum_shards, 1, options.batch_size));
+  obs::GetGauge("trainer/threads")->Set(rt::MaxThreads());
 
   TrainStats stats;
   stats.steps = options.steps;
@@ -68,13 +83,54 @@ TrainStats TrainSeq2Seq(Seq2SeqModel* model, const std::vector<SeqPair>& pairs,
                           : rng.Categorical(weights);
       batch_items.push_back(&pairs[static_cast<size_t>(idx)]);
     }
-    Batch batch = MakeBatch(batch_items, pad_id, options.max_src_len,
-                            options.max_tgt_len);
+    const int shards =
+        std::clamp(options.grad_accum_shards, 1, options.batch_size);
     optimizer.ZeroGrad();
-    Tensor loss = model->BatchLoss(batch, /*train=*/true, &rng);
-    const float loss_value = loss.item();
-    loss.Backward();
-    loss.DetachGraph();
+    float loss_value = 0.0f;
+    int batch_tokens = 0;
+    if (shards <= 1) {
+      Batch batch = MakeBatch(batch_items, pad_id, options.max_src_len,
+                              options.max_tgt_len);
+      Tensor loss = model->BatchLoss(batch, /*train=*/true, &rng);
+      loss_value = loss.item();
+      loss.Backward();
+      loss.DetachGraph();
+      batch_tokens = CountBatchTokens(batch);
+    } else {
+      // Micro-batch gradient accumulation: contiguous shards processed in
+      // index order, each loss scaled by its target-token share so the sum
+      // reproduces the whole-batch token mean. The serial shard fold is the
+      // fixed-order reduction tree — gradients accumulate in the same order
+      // no matter how many threads the intra-op kernels use.
+      std::vector<Batch> shard_batches;
+      shard_batches.reserve(static_cast<size_t>(shards));
+      int64_t total_targets = 0;
+      const int n = static_cast<int>(batch_items.size());
+      for (int s = 0; s < shards; ++s) {
+        const int lo = static_cast<int>(static_cast<int64_t>(n) * s / shards);
+        const int hi =
+            static_cast<int>(static_cast<int64_t>(n) * (s + 1) / shards);
+        if (lo == hi) continue;
+        std::vector<const SeqPair*> shard_items(
+            batch_items.begin() + lo, batch_items.begin() + hi);
+        shard_batches.push_back(MakeBatch(shard_items, pad_id,
+                                          options.max_src_len,
+                                          options.max_tgt_len));
+        total_targets += CountTargetTokens(shard_batches.back());
+      }
+      for (const Batch& shard : shard_batches) {
+        Tensor loss = model->BatchLoss(shard, /*train=*/true, &rng);
+        const float frac =
+            total_targets > 0
+                ? static_cast<float>(CountTargetTokens(shard)) / total_targets
+                : 0.0f;
+        Tensor scaled = ops::Scale(loss, frac);
+        loss_value += scaled.item();
+        scaled.Backward();
+        scaled.DetachGraph();
+        batch_tokens += CountBatchTokens(shard);
+      }
+    }
     const float grad_norm = optimizer.ClipGradNorm(options.clip_norm);
     optimizer.set_lr(schedule.LrAt(step));
     optimizer.Step();
@@ -95,7 +151,7 @@ TrainStats TrainSeq2Seq(Seq2SeqModel* model, const std::vector<SeqPair>& pairs,
     info.loss = loss_value;
     info.grad_norm = grad_norm;
     info.lr = optimizer.lr();
-    info.batch_tokens = CountBatchTokens(batch);
+    info.batch_tokens = batch_tokens;
     info.step_ms = step_seconds * 1e3;
     info.tokens_per_sec =
         step_seconds > 0 ? info.batch_tokens / step_seconds : 0;

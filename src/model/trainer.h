@@ -42,6 +42,14 @@ struct TrainOptions {
   int max_src_len = 112;
   int max_tgt_len = 56;
   uint64_t seed = 7;
+  /// Split each step's batch into this many contiguous micro-batch shards
+  /// and accumulate their gradients before the single optimizer step. The
+  /// shards are processed serially in index order and each shard's loss is
+  /// scaled by its share of the step's target tokens, so the reduction
+  /// order is fixed regardless of thread count — the parallelism comes from
+  /// the intra-op kernels (see docs/PARALLELISM.md). Clamped to
+  /// [1, batch_size]; 1 (the default) is the unsharded fast path.
+  int grad_accum_shards = 1;
   /// Print a progress line (loss, grad-norm, lr, tokens/sec) every N
   /// steps; 0 silences progress.
   int log_every = 0;

@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
+#include "rt/thread_pool.h"
+
 namespace vist5 {
 namespace nn {
 
@@ -46,13 +49,15 @@ int RelativePositionBias::Bucket(int relative_position, bool bidirectional,
 
 Tensor RelativePositionBias::Forward(int tq, int tk, int query_offset) const {
   std::vector<int> buckets(static_cast<size_t>(tq) * tk);
-  for (int q = 0; q < tq; ++q) {
-    for (int k = 0; k < tk; ++k) {
-      const int rel = k - (q + query_offset);
-      buckets[static_cast<size_t>(q) * tk + k] =
-          Bucket(rel, bidirectional_, num_buckets_, max_distance_);
+  rt::ParallelFor(ops::RowOpGrain(tk), 0, tq, [&](int64_t lo, int64_t hi) {
+    for (int64_t q = lo; q < hi; ++q) {
+      for (int k = 0; k < tk; ++k) {
+        const int rel = k - (static_cast<int>(q) + query_offset);
+        buckets[static_cast<size_t>(q) * tk + k] =
+            Bucket(rel, bidirectional_, num_buckets_, max_distance_);
+      }
     }
-  }
+  });
   // [tq*tk, H] -> [H, tq*tk] -> [H, tq, tk]
   Tensor gathered = ops::Embedding(table_, buckets);
   Tensor transposed = ops::Transpose2D(gathered);
@@ -91,6 +96,7 @@ void MultiHeadAttention::ProjectKv(const Tensor& memory, int batch, int tk,
 Tensor MultiHeadAttention::ForwardCached(const Tensor& query, const Tensor& k,
                                          const Tensor& v,
                                          const ForwardArgs& args) const {
+  VIST5_TRACE_SPAN("nn/attention");
   VIST5_CHECK(args.key_lengths != nullptr);
   VIST5_CHECK_EQ(static_cast<int>(args.key_lengths->size()), args.batch);
   VIST5_CHECK_EQ(k.dim(2), args.tk);

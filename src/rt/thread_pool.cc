@@ -1,0 +1,262 @@
+#include "rt/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace vist5 {
+namespace rt {
+namespace {
+
+thread_local bool g_in_region = false;
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int DefaultThreads() {
+  if (const char* env = std::getenv("VIST5_THREADS")) {
+    char* end = nullptr;
+    const long n = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && n >= 1) {
+      return static_cast<int>(std::min<long>(n, 1024));
+    }
+    if (env[0] != '\0') {
+      VIST5_LOG(Warning) << "ignoring invalid VIST5_THREADS=\"" << env << "\"";
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+/// One parallel region in flight. Heap-allocated and shared with the
+/// workers so a late-waking worker can only ever touch an exhausted chunk
+/// counter, never the fields of a newer region.
+struct Job {
+  int64_t grain = 1;
+  int64_t begin = 0;
+  int64_t end = 0;
+  int64_t nchunks = 0;
+  const std::function<void(int64_t, int64_t, int64_t)>* fn = nullptr;
+
+  std::atomic<int64_t> next{0};      ///< next chunk index to claim
+  std::atomic<bool> failed{false};   ///< set on first exception; later
+                                     ///< chunks are skipped (still counted)
+  std::atomic<int64_t> busy_us{0};   ///< summed per-thread execution time
+                                     ///< (latency sampling only)
+  std::mutex mu;                     ///< guards done/error
+  std::condition_variable done_cv;
+  int64_t done = 0;
+  std::exception_ptr error;
+};
+
+class Pool {
+ public:
+  static Pool& Global() {
+    // Leaked: workers may still be parked in the condvar when the process
+    // exits, and atexit-ordered destruction of the pool would race them.
+    static Pool* pool = new Pool();
+    return *pool;
+  }
+
+  int threads() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return threads_;
+  }
+
+  void Resize(int n) {
+    n = std::max(1, n);
+    VIST5_CHECK(!g_in_region)
+        << "rt::SetThreads must not be called from a parallel region";
+    std::unique_lock<std::mutex> lock(mu_);
+    if (n == threads_) return;
+    StopWorkersLocked(&lock);
+    threads_ = n;
+    obs::GetGauge("rt/threads")->Set(threads_);
+  }
+
+  void Run(int64_t grain, int64_t begin, int64_t end,
+           const std::function<void(int64_t, int64_t, int64_t)>& fn) {
+    const int64_t nchunks = NumChunks(grain, begin, end);
+    if (nchunks == 0) return;
+
+    static obs::Counter* regions = obs::GetCounter("rt/regions");
+    static obs::Counter* serial_regions = obs::GetCounter("rt/serial_regions");
+    static obs::Counter* tasks = obs::GetCounter("rt/tasks");
+
+    int nthreads;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      nthreads = threads_;
+    }
+    if (nthreads <= 1 || nchunks <= 1 || g_in_region) {
+      // Serial path: same chunk partition, same execution order as one
+      // pool thread — and zero pool traffic. Nested regions land here so
+      // an inner ParallelFor never deadlocks on the outer one's workers.
+      serial_regions->Add();
+      tasks->Add(nchunks);
+      for (int64_t c = 0; c < nchunks; ++c) {
+        const int64_t lo = begin + c * grain;
+        fn(c, lo, std::min(end, lo + grain));
+      }
+      return;
+    }
+
+    auto job = std::make_shared<Job>();
+    job->grain = grain;
+    job->begin = begin;
+    job->end = end;
+    job->nchunks = nchunks;
+    job->fn = &fn;
+
+    const bool sampled = obs::LatencySamplingEnabled();
+    const int64_t t0 = sampled ? NowMicros() : 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      EnsureWorkersLocked();
+      current_ = job;
+      ++epoch_;
+    }
+    work_cv_.notify_all();
+    RunChunks(*job);  // the caller is worker 0
+    {
+      std::unique_lock<std::mutex> lock(job->mu);
+      job->done_cv.wait(lock, [&] { return job->done == job->nchunks; });
+    }
+    regions->Add();
+    tasks->Add(nchunks);
+    if (sampled) {
+      const int64_t wall = NowMicros() - t0;
+      const int64_t busy = job->busy_us.load(std::memory_order_relaxed);
+      obs::GetCounter("rt/wall_us")->Add(wall);
+      obs::GetCounter("rt/busy_us")->Add(busy);
+      if (wall > 0) {
+        obs::GetGauge("rt/pool_busy")
+            ->Set(static_cast<double>(busy) /
+                  (static_cast<double>(wall) * nthreads));
+      }
+    }
+    if (job->error) std::rethrow_exception(job->error);
+  }
+
+ private:
+  Pool() : threads_(DefaultThreads()) {
+    obs::GetGauge("rt/threads")->Set(threads_);
+  }
+
+  void EnsureWorkersLocked() {
+    const size_t want = static_cast<size_t>(threads_ - 1);
+    while (workers_.size() < want) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  void StopWorkersLocked(std::unique_lock<std::mutex>* lock) {
+    if (workers_.empty()) return;
+    shutdown_ = true;
+    work_cv_.notify_all();
+    std::vector<std::thread> workers = std::move(workers_);
+    workers_.clear();
+    lock->unlock();
+    for (std::thread& t : workers) t.join();
+    lock->lock();
+    shutdown_ = false;
+  }
+
+  void WorkerLoop() {
+    uint64_t seen = 0;
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_cv_.wait(lock, [&] { return shutdown_ || epoch_ != seen; });
+        if (shutdown_) return;
+        seen = epoch_;
+        job = current_;
+      }
+      if (job) RunChunks(*job);
+    }
+  }
+
+  static void RunChunks(Job& job) {
+    g_in_region = true;
+    const bool sampled = obs::LatencySamplingEnabled();
+    const int64_t t0 = sampled ? NowMicros() : 0;
+    int64_t done_here = 0;
+    std::exception_ptr err;
+    for (;;) {
+      const int64_t c = job.next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= job.nchunks) break;
+      if (!job.failed.load(std::memory_order_relaxed)) {
+        try {
+          const int64_t lo = job.begin + c * job.grain;
+          (*job.fn)(c, lo, std::min(job.end, lo + job.grain));
+        } catch (...) {
+          if (!err) err = std::current_exception();
+          job.failed.store(true, std::memory_order_relaxed);
+        }
+      }
+      ++done_here;
+    }
+    g_in_region = false;
+    if (sampled) {
+      job.busy_us.fetch_add(NowMicros() - t0, std::memory_order_relaxed);
+    }
+    if (done_here > 0 || err) {
+      std::lock_guard<std::mutex> lock(job.mu);
+      if (err && !job.error) job.error = err;
+      job.done += done_here;
+      if (job.done == job.nchunks) job.done_cv.notify_all();
+    }
+  }
+
+  std::mutex mu_;  ///< guards threads_, workers_, current_, epoch_, shutdown_
+  std::condition_variable work_cv_;
+  int threads_;
+  std::vector<std::thread> workers_;
+  std::shared_ptr<Job> current_;
+  uint64_t epoch_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace
+
+int MaxThreads() { return Pool::Global().threads(); }
+
+void SetThreads(int n) { Pool::Global().Resize(n); }
+
+bool InParallelRegion() { return g_in_region; }
+
+int64_t NumChunks(int64_t grain, int64_t begin, int64_t end) {
+  if (end <= begin) return 0;
+  grain = std::max<int64_t>(1, grain);
+  return (end - begin + grain - 1) / grain;
+}
+
+void ParallelForChunked(
+    int64_t grain, int64_t begin, int64_t end,
+    const std::function<void(int64_t, int64_t, int64_t)>& fn) {
+  Pool::Global().Run(std::max<int64_t>(1, grain), begin, end, fn);
+}
+
+void ParallelFor(int64_t grain, int64_t begin, int64_t end,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  Pool::Global().Run(
+      std::max<int64_t>(1, grain), begin, end,
+      [&fn](int64_t /*chunk*/, int64_t lo, int64_t hi) { fn(lo, hi); });
+}
+
+}  // namespace rt
+}  // namespace vist5

@@ -1,0 +1,53 @@
+#ifndef VIST5_RT_THREAD_POOL_H_
+#define VIST5_RT_THREAD_POOL_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace vist5 {
+namespace rt {
+
+/// Number of threads parallel regions may use (>= 1). Initialized from the
+/// VIST5_THREADS env var on first use; unset, empty, or invalid values fall
+/// back to std::thread::hardware_concurrency(). 1 disables the pool: every
+/// ParallelFor runs inline on the caller with no atomics and no worker
+/// wake-ups.
+int MaxThreads();
+
+/// Resizes the pool (bench/test hook; VIST5_THREADS covers production).
+/// Values < 1 clamp to 1. Must not be called from inside a parallel region.
+/// Idempotent and cheap when the size does not change.
+void SetThreads(int n);
+
+/// True while the calling thread is executing a ParallelFor task (worker or
+/// participating caller). Nested ParallelFor calls detect this and run
+/// serially inline, preserving the chunk partition.
+bool InParallelRegion();
+
+/// Number of chunks ParallelFor splits [begin, end) into for `grain`.
+/// The partition is a pure function of (grain, begin, end) — never of the
+/// thread count — so per-chunk reductions are deterministic: see
+/// docs/PARALLELISM.md.
+int64_t NumChunks(int64_t grain, int64_t begin, int64_t end);
+
+/// Runs fn(chunk_index, lo, hi) over [begin, end) split into chunks of at
+/// most `grain` consecutive indices. Chunks are claimed dynamically by up
+/// to MaxThreads() threads (the caller participates); chunk BOUNDARIES
+/// depend only on `grain`, so any reduction keyed by chunk_index is
+/// bit-identical for every thread count. Blocks until all chunks finish.
+/// If any chunk throws, the first exception (in completion order) is
+/// rethrown on the caller after the region drains; remaining unclaimed
+/// chunks are skipped.
+void ParallelForChunked(
+    int64_t grain, int64_t begin, int64_t end,
+    const std::function<void(int64_t chunk, int64_t lo, int64_t hi)>& fn);
+
+/// ParallelForChunked without the chunk index, for kernels whose writes are
+/// disjoint per index and need no per-chunk scratch.
+void ParallelFor(int64_t grain, int64_t begin, int64_t end,
+                 const std::function<void(int64_t lo, int64_t hi)>& fn);
+
+}  // namespace rt
+}  // namespace vist5
+
+#endif  // VIST5_RT_THREAD_POOL_H_

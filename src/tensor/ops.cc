@@ -3,51 +3,51 @@
 #include <algorithm>
 #include <cmath>
 
+#include "rt/thread_pool.h"
+
 namespace vist5 {
 namespace ops {
 namespace {
 
 // ---------------------------------------------------------------------------
-// GEMM kernels. All accumulate into C (callers zero-initialize).
+// GEMM row kernels. All accumulate into C (callers zero-initialize).
+//
+// Every kernel computes ONE output row, so the parallel dispatch can block
+// across rows while each row's accumulation order stays exactly the serial
+// order — the determinism contract of docs/PARALLELISM.md: thread count
+// changes which thread computes a row, never the arithmetic inside it.
 // ---------------------------------------------------------------------------
 
-// C[M,N] += A[M,K] * B[K,N]
-void GemmNN(const float* a, const float* b, float* c, int m, int k, int n) {
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a + static_cast<size_t>(i) * k;
-    float* crow = c + static_cast<size_t>(i) * n;
-    for (int p = 0; p < k; ++p) {
-      const float av = arow[p];
-      const float* brow = b + static_cast<size_t>(p) * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
+// crow[N] += arow[K] * B[K,N]
+inline void GemmRowNN(const float* arow, const float* b, float* crow, int k,
+                      int n) {
+  for (int p = 0; p < k; ++p) {
+    const float av = arow[p];
+    const float* brow = b + static_cast<size_t>(p) * n;
+    for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
   }
 }
 
-// C[M,N] += A[M,K] * B[N,K]^T  (rows of B are the columns of the product)
-void GemmNT(const float* a, const float* b, float* c, int m, int k, int n) {
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a + static_cast<size_t>(i) * k;
-    float* crow = c + static_cast<size_t>(i) * n;
-    for (int j = 0; j < n; ++j) {
-      const float* brow = b + static_cast<size_t>(j) * k;
-      float acc = 0.0f;
-      for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] += acc;
-    }
+// crow[N] += arow[K] * B[N,K]^T  (rows of B are the columns of the product)
+inline void GemmRowNT(const float* arow, const float* b, float* crow, int k,
+                      int n) {
+  for (int j = 0; j < n; ++j) {
+    const float* brow = b + static_cast<size_t>(j) * k;
+    float acc = 0.0f;
+    for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+    crow[j] += acc;
   }
 }
 
-// C[P,Q] += X[M,P]^T * Y[M,Q]
-void GemmTN(const float* x, const float* y, float* c, int m, int p, int q) {
+// crow[Q] += column `a` of X[M,P] dotted into Y[M,Q]: the row-`a` slice of
+// C[P,Q] += X^T * Y. Accumulates over i ascending — the same per-element
+// order as the classic i-outer GemmTN loop nest.
+inline void GemmRowTN(const float* x, const float* y, float* crow, int m,
+                      int p, int q, int a) {
   for (int i = 0; i < m; ++i) {
-    const float* xrow = x + static_cast<size_t>(i) * p;
+    const float xv = x[static_cast<size_t>(i) * p + a];
     const float* yrow = y + static_cast<size_t>(i) * q;
-    for (int a = 0; a < p; ++a) {
-      const float xv = xrow[a];
-      float* crow = c + static_cast<size_t>(a) * q;
-      for (int b = 0; b < q; ++b) crow[b] += xv * yrow[b];
-    }
+    for (int b = 0; b < q; ++b) crow[b] += xv * yrow[b];
   }
 }
 
@@ -78,13 +78,36 @@ int64_t Prod(const std::vector<int>& dims, size_t begin, size_t end) {
   return p;
 }
 
+// Runs f(i) for every i in [0, n), split into kElemGrain chunks. Only for
+// bodies whose writes are disjoint per index.
+template <typename F>
+void ParallelElems(int64_t n, F&& f) {
+  rt::ParallelFor(kElemGrain, 0, n, [&f](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) f(i);
+  });
+}
+
 }  // namespace
+
+int GemmRowGrain(int k, int n) {
+  // ~8k multiply-adds per chunk: coarse enough to amortize dispatch, fine
+  // enough that attention-sized GEMMs still split across the pool.
+  const int64_t row_flops = std::max<int64_t>(1, static_cast<int64_t>(k) * n);
+  return static_cast<int>(std::max<int64_t>(1, 4096 / row_flops));
+}
+
+int RowOpGrain(int width) {
+  // ~1k elements per chunk for row ops (softmax, norms, cross-entropy).
+  return static_cast<int>(
+      std::max<int64_t>(1, 1024 / std::max(1, width)));
+}
 
 Tensor Add(const Tensor& a, const Tensor& b) {
   VIST5_CHECK(a.shape() == b.shape()) << a.ShapeString() << " vs "
                                       << b.ShapeString();
   std::vector<float> out(a.data().size());
-  for (size_t i = 0; i < out.size(); ++i) out[i] = a.data()[i] + b.data()[i];
+  ParallelElems(static_cast<int64_t>(out.size()),
+                [&](int64_t i) { out[i] = a.data()[i] + b.data()[i]; });
   auto ai = a.impl();
   auto bi = b.impl();
   Tensor result = MakeResult(a.shape(), std::move(out), {a, b}, nullptr);
@@ -93,13 +116,13 @@ Tensor Add(const Tensor& a, const Tensor& b) {
     result.impl()->backward_fn = [ai, bi, ri]() {
       if (ai->requires_grad) {
         ai->EnsureGrad();
-        for (size_t i = 0; i < ri->grad.size(); ++i)
-          ai->grad[i] += ri->grad[i];
+        ParallelElems(static_cast<int64_t>(ri->grad.size()),
+                      [&](int64_t i) { ai->grad[i] += ri->grad[i]; });
       }
       if (bi->requires_grad) {
         bi->EnsureGrad();
-        for (size_t i = 0; i < ri->grad.size(); ++i)
-          bi->grad[i] += ri->grad[i];
+        ParallelElems(static_cast<int64_t>(ri->grad.size()),
+                      [&](int64_t i) { bi->grad[i] += ri->grad[i]; });
       }
     };
   }
@@ -116,12 +139,9 @@ Tensor AddBroadcast(const Tensor& a, const Tensor& b) {
   const int64_t inner = Prod(bs, 0, bs.size());
   const int64_t outer = a.NumElements() / inner;
   std::vector<float> out(a.data().size());
-  for (int64_t o = 0; o < outer; ++o) {
-    const float* ap = a.data().data() + o * inner;
-    float* op = out.data() + o * inner;
-    const float* bp = b.data().data();
-    for (int64_t i = 0; i < inner; ++i) op[i] = ap[i] + bp[i];
-  }
+  ParallelElems(a.NumElements(), [&](int64_t idx) {
+    out[idx] = a.data()[idx] + b.data()[idx % inner];
+  });
   auto ai = a.impl();
   auto bi = b.impl();
   Tensor result = MakeResult(a.shape(), std::move(out), {a, b}, nullptr);
@@ -130,15 +150,22 @@ Tensor AddBroadcast(const Tensor& a, const Tensor& b) {
     result.impl()->backward_fn = [ai, bi, ri, outer, inner]() {
       if (ai->requires_grad) {
         ai->EnsureGrad();
-        for (size_t i = 0; i < ri->grad.size(); ++i)
-          ai->grad[i] += ri->grad[i];
+        ParallelElems(static_cast<int64_t>(ri->grad.size()),
+                      [&](int64_t i) { ai->grad[i] += ri->grad[i]; });
       }
       if (bi->requires_grad) {
         bi->EnsureGrad();
-        for (int64_t o = 0; o < outer; ++o) {
-          const float* gp = ri->grad.data() + o * inner;
-          for (int64_t i = 0; i < inner; ++i) bi->grad[i] += gp[i];
-        }
+        // Parallel over the broadcast (inner) index: each thread owns one
+        // dB element and folds the outer dim o-ascending, matching the
+        // serial o-outer loop's per-element accumulation order.
+        rt::ParallelFor(kElemGrain, 0, inner, [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) {
+            float acc = 0.0f;
+            for (int64_t o = 0; o < outer; ++o)
+              acc += ri->grad[o * inner + i];
+            bi->grad[i] += acc;
+          }
+        });
       }
     };
   }
@@ -148,7 +175,8 @@ Tensor AddBroadcast(const Tensor& a, const Tensor& b) {
 Tensor Mul(const Tensor& a, const Tensor& b) {
   VIST5_CHECK(a.shape() == b.shape());
   std::vector<float> out(a.data().size());
-  for (size_t i = 0; i < out.size(); ++i) out[i] = a.data()[i] * b.data()[i];
+  ParallelElems(static_cast<int64_t>(out.size()),
+                [&](int64_t i) { out[i] = a.data()[i] * b.data()[i]; });
   auto ai = a.impl();
   auto bi = b.impl();
   Tensor result = MakeResult(a.shape(), std::move(out), {a, b}, nullptr);
@@ -157,13 +185,15 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
     result.impl()->backward_fn = [ai, bi, ri]() {
       if (ai->requires_grad) {
         ai->EnsureGrad();
-        for (size_t i = 0; i < ri->grad.size(); ++i)
+        ParallelElems(static_cast<int64_t>(ri->grad.size()), [&](int64_t i) {
           ai->grad[i] += ri->grad[i] * bi->data[i];
+        });
       }
       if (bi->requires_grad) {
         bi->EnsureGrad();
-        for (size_t i = 0; i < ri->grad.size(); ++i)
+        ParallelElems(static_cast<int64_t>(ri->grad.size()), [&](int64_t i) {
           bi->grad[i] += ri->grad[i] * ai->data[i];
+        });
       }
     };
   }
@@ -172,15 +202,16 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
 
 Tensor Scale(const Tensor& a, float s) {
   std::vector<float> out(a.data().size());
-  for (size_t i = 0; i < out.size(); ++i) out[i] = a.data()[i] * s;
+  ParallelElems(static_cast<int64_t>(out.size()),
+                [&](int64_t i) { out[i] = a.data()[i] * s; });
   auto ai = a.impl();
   Tensor result = MakeResult(a.shape(), std::move(out), {a}, nullptr);
   if (result.requires_grad()) {
     auto ri = result.impl();
     result.impl()->backward_fn = [ai, ri, s]() {
       ai->EnsureGrad();
-      for (size_t i = 0; i < ri->grad.size(); ++i)
-        ai->grad[i] += ri->grad[i] * s;
+      ParallelElems(static_cast<int64_t>(ri->grad.size()),
+                    [&](int64_t i) { ai->grad[i] += ri->grad[i] * s; });
     };
   }
   return result;
@@ -188,15 +219,16 @@ Tensor Scale(const Tensor& a, float s) {
 
 Tensor AddScalar(const Tensor& a, float s) {
   std::vector<float> out(a.data().size());
-  for (size_t i = 0; i < out.size(); ++i) out[i] = a.data()[i] + s;
+  ParallelElems(static_cast<int64_t>(out.size()),
+                [&](int64_t i) { out[i] = a.data()[i] + s; });
   auto ai = a.impl();
   Tensor result = MakeResult(a.shape(), std::move(out), {a}, nullptr);
   if (result.requires_grad()) {
     auto ri = result.impl();
     result.impl()->backward_fn = [ai, ri]() {
       ai->EnsureGrad();
-      for (size_t i = 0; i < ri->grad.size(); ++i)
-        ai->grad[i] += ri->grad[i];
+      ParallelElems(static_cast<int64_t>(ri->grad.size()),
+                    [&](int64_t i) { ai->grad[i] += ri->grad[i]; });
     };
   }
   return result;
@@ -230,9 +262,11 @@ Tensor MatMulImpl(const Tensor& a, const Tensor& b, bool transpose_b) {
     batch = Prod(as, 0, as.size() - 2);
     m = as[as.size() - 2];
   } else {
-    // Fold every leading dim of `a` into rows.
+    // Fold every leading dim of `a` into rows. Computed from the shape, not
+    // as NumElements()/k: a degenerate K=0 operand ([M, 0] x [0, N]) has
+    // zero elements and would otherwise divide by zero.
     batch = 1;
-    m = static_cast<int>(a.NumElements() / k);
+    m = static_cast<int>(Prod(as, 0, as.size() - 1));
   }
 
   std::vector<int> out_shape = as;
@@ -242,15 +276,27 @@ Tensor MatMulImpl(const Tensor& a, const Tensor& b, bool transpose_b) {
   const int64_t a_stride = static_cast<int64_t>(m) * k;
   const int64_t b_stride = batched ? static_cast<int64_t>(k) * n : 0;
   const int64_t c_stride = static_cast<int64_t>(m) * n;
-  for (int64_t bi = 0; bi < batch; ++bi) {
-    const float* ap = a.data().data() + bi * a_stride;
-    const float* bp = b.data().data() + bi * b_stride;
-    float* cp = out.data() + bi * c_stride;
-    if (transpose_b) {
-      GemmNT(ap, bp, cp, m, k, n);
-    } else {
-      GemmNN(ap, bp, cp, m, k, n);
-    }
+  {
+    // One flat row space across the whole batch, so small-M batched GEMMs
+    // (per-head attention, single-token decode steps) still fan out.
+    const float* adata = a.data().data();
+    const float* bdata = b.data().data();
+    float* cdata = out.data();
+    rt::ParallelFor(
+        GemmRowGrain(k, n), 0, batch * m, [&](int64_t lo, int64_t hi) {
+          for (int64_t r = lo; r < hi; ++r) {
+            const int64_t bi = r / m;
+            const int64_t i = r % m;
+            const float* arow = adata + bi * a_stride + i * k;
+            const float* bp = bdata + bi * b_stride;
+            float* crow = cdata + bi * c_stride + i * n;
+            if (transpose_b) {
+              GemmRowNT(arow, bp, crow, k, n);
+            } else {
+              GemmRowNN(arow, bp, crow, k, n);
+            }
+          }
+        });
   }
 
   auto ai = a.impl();
@@ -265,21 +311,56 @@ Tensor MatMulImpl(const Tensor& a, const Tensor& b, bool transpose_b) {
       const bool need_b = bimpl->requires_grad;
       if (need_a) ai->EnsureGrad();
       if (need_b) bimpl->EnsureGrad();
-      for (int64_t bi = 0; bi < batch; ++bi) {
-        const float* gp = ri->grad.data() + bi * c_stride;
-        const float* ap = ai->data.data() + bi * a_stride;
-        const float* bp = bimpl->data.data() + bi * b_stride;
-        float* gap = need_a ? ai->grad.data() + bi * a_stride : nullptr;
-        float* gbp = need_b ? bimpl->grad.data() + bi * b_stride : nullptr;
-        if (!transpose_b) {
-          // C = A[m,k] B[k,n]
-          if (need_a) GemmNT(gp, bp, gap, m, n, k);   // dA = dC * B^T
-          if (need_b) GemmTN(ap, gp, gbp, m, k, n);   // dB = A^T * dC
-        } else {
-          // C = A[m,k] B[n,k]^T
-          if (need_a) GemmNN(gp, bp, gap, m, n, k);   // dA = dC * B
-          if (need_b) GemmTN(gp, ap, gbp, m, n, k);   // dB = dC^T * A
-        }
+      const float* gdata = ri->grad.data();
+      const float* adata = ai->data.data();
+      const float* bdata = bimpl->data.data();
+      if (need_a) {
+        // dA = dC * B^T (plain) or dC * B (transpose_b): one dA row per
+        // dC row, disjoint across the flattened (batch, row) space.
+        float* gadata = ai->grad.data();
+        rt::ParallelFor(
+            GemmRowGrain(n, k), 0, batch * m, [&](int64_t lo, int64_t hi) {
+              for (int64_t r = lo; r < hi; ++r) {
+                const int64_t bi = r / m;
+                const int64_t i = r % m;
+                const float* grow = gdata + bi * c_stride + i * n;
+                const float* bp = bdata + bi * b_stride;
+                float* garow = gadata + bi * a_stride + i * k;
+                if (transpose_b) {
+                  GemmRowNN(grow, bp, garow, n, k);
+                } else {
+                  GemmRowNT(grow, bp, garow, n, k);
+                }
+              }
+            });
+      }
+      if (need_b) {
+        // dB = A^T * dC (plain, [k, n] rows) or dC^T * A (transpose_b,
+        // [n, k] rows). In the batched case each bi owns a disjoint dB
+        // slab; unbatched means batch == 1, so rows never collide and the
+        // i-ascending accumulation order is thread-count independent.
+        const int rows_b = transpose_b ? n : k;
+        const int cols_b = transpose_b ? k : n;
+        float* gbdata = bimpl->grad.data();
+        rt::ParallelFor(
+            GemmRowGrain(m, cols_b), 0, batch * rows_b,
+            [&](int64_t lo, int64_t hi) {
+              for (int64_t r = lo; r < hi; ++r) {
+                const int64_t bi = r / rows_b;
+                const int64_t row = r % rows_b;
+                const float* grow = gdata + bi * c_stride;
+                const float* ap = adata + bi * a_stride;
+                float* gbrow =
+                    gbdata + bi * b_stride + row * cols_b;
+                if (transpose_b) {
+                  GemmRowTN(grow, ap, gbrow, m, n, k,
+                            static_cast<int>(row));
+                } else {
+                  GemmRowTN(ap, grow, gbrow, m, k, n,
+                            static_cast<int>(row));
+                }
+              }
+            });
       }
     };
   }
@@ -303,44 +384,53 @@ namespace {
 Tensor SoftmaxImpl(const Tensor& x,
                    const std::function<bool(int64_t row, int col)>& masked,
                    int last) {
-  const int64_t rows = x.NumElements() / last;
+  const int64_t rows = last > 0 ? x.NumElements() / last : 0;
   std::vector<float> out(x.data().size());
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* xp = x.data().data() + r * last;
-    float* op = out.data() + r * last;
-    float maxv = -1e30f;
-    for (int j = 0; j < last; ++j) {
-      if (masked && masked(r, j)) continue;
-      maxv = std::max(maxv, xp[j]);
-    }
-    float sum = 0.0f;
-    for (int j = 0; j < last; ++j) {
-      if (masked && masked(r, j)) {
-        op[j] = 0.0f;
-      } else {
-        op[j] = std::exp(xp[j] - maxv);
-        sum += op[j];
+  const float* xdata = x.data().data();
+  float* odata = out.data();
+  // Row-parallel: every row's max/exp/normalize runs start to finish inside
+  // one chunk, so no reduction ever crosses a thread boundary.
+  rt::ParallelFor(RowOpGrain(last), 0, rows, [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const float* xp = xdata + r * last;
+      float* op = odata + r * last;
+      float maxv = -1e30f;
+      for (int j = 0; j < last; ++j) {
+        if (masked && masked(r, j)) continue;
+        maxv = std::max(maxv, xp[j]);
+      }
+      float sum = 0.0f;
+      for (int j = 0; j < last; ++j) {
+        if (masked && masked(r, j)) {
+          op[j] = 0.0f;
+        } else {
+          op[j] = std::exp(xp[j] - maxv);
+          sum += op[j];
+        }
+      }
+      if (sum > 0.0f) {
+        const float inv = 1.0f / sum;
+        for (int j = 0; j < last; ++j) op[j] *= inv;
       }
     }
-    if (sum > 0.0f) {
-      const float inv = 1.0f / sum;
-      for (int j = 0; j < last; ++j) op[j] *= inv;
-    }
-  }
+  });
   auto xi = x.impl();
   Tensor result = MakeResult(x.shape(), std::move(out), {x}, nullptr);
   if (result.requires_grad()) {
     auto ri = result.impl();
     result.impl()->backward_fn = [xi, ri, rows, last]() {
       xi->EnsureGrad();
-      for (int64_t r = 0; r < rows; ++r) {
-        const float* y = ri->data.data() + r * last;
-        const float* gy = ri->grad.data() + r * last;
-        float* gx = xi->grad.data() + r * last;
-        float dot = 0.0f;
-        for (int j = 0; j < last; ++j) dot += y[j] * gy[j];
-        for (int j = 0; j < last; ++j) gx[j] += y[j] * (gy[j] - dot);
-      }
+      rt::ParallelFor(
+          RowOpGrain(last), 0, rows, [&](int64_t lo, int64_t hi) {
+            for (int64_t r = lo; r < hi; ++r) {
+              const float* y = ri->data.data() + r * last;
+              const float* gy = ri->grad.data() + r * last;
+              float* gx = xi->grad.data() + r * last;
+              float dot = 0.0f;
+              for (int j = 0; j < last; ++j) dot += y[j] * gy[j];
+              for (int j = 0; j < last; ++j) gx[j] += y[j] * (gy[j] - dot);
+            }
+          });
     };
   }
   return result;
@@ -377,15 +467,19 @@ Tensor RmsNorm(const Tensor& x, const Tensor& weight, float eps) {
   const int64_t rows = x.NumElements() / d;
   std::vector<float> out(x.data().size());
   std::vector<float> inv_rms(static_cast<size_t>(rows));
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* xp = x.data().data() + r * d;
-    float ss = 0.0f;
-    for (int j = 0; j < d; ++j) ss += xp[j] * xp[j];
-    const float inv = 1.0f / std::sqrt(ss / d + eps);
-    inv_rms[static_cast<size_t>(r)] = inv;
-    float* op = out.data() + r * d;
-    for (int j = 0; j < d; ++j) op[j] = xp[j] * inv * weight.data()[j];
-  }
+  const float* xdata = x.data().data();
+  const float* wdata = weight.data().data();
+  rt::ParallelFor(RowOpGrain(d), 0, rows, [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const float* xp = xdata + r * d;
+      float ss = 0.0f;
+      for (int j = 0; j < d; ++j) ss += xp[j] * xp[j];
+      const float inv = 1.0f / std::sqrt(ss / d + eps);
+      inv_rms[static_cast<size_t>(r)] = inv;
+      float* op = out.data() + r * d;
+      for (int j = 0; j < d; ++j) op[j] = xp[j] * inv * wdata[j];
+    }
+  });
   auto xi = x.impl();
   auto wi = weight.impl();
   Tensor result = MakeResult(x.shape(), std::move(out), {x, weight}, nullptr);
@@ -397,21 +491,41 @@ Tensor RmsNorm(const Tensor& x, const Tensor& weight, float eps) {
       const bool need_w = wi->requires_grad;
       if (need_x) xi->EnsureGrad();
       if (need_w) wi->EnsureGrad();
-      for (int64_t r = 0; r < rows; ++r) {
-        const float inv = inv_rms[static_cast<size_t>(r)];
-        const float* xp = xi->data.data() + r * d;
-        const float* gy = ri->grad.data() + r * d;
-        if (need_w) {
-          for (int j = 0; j < d; ++j) wi->grad[j] += gy[j] * xp[j] * inv;
-        }
-        if (need_x) {
-          float dot = 0.0f;  // sum_j gy_j * w_j * x_j
-          for (int j = 0; j < d; ++j) dot += gy[j] * wi->data[j] * xp[j];
-          const float scale = dot * inv * inv * inv / d;
-          float* gx = xi->grad.data() + r * d;
-          for (int j = 0; j < d; ++j) {
-            gx[j] += gy[j] * wi->data[j] * inv - xp[j] * scale;
-          }
+      // The weight gradient sums over every row, so it cannot be row-
+      // parallel directly. Fixed-order reduction tree instead: each chunk
+      // (whose boundaries depend only on the grain, not the thread count)
+      // accumulates rows in ascending order into its own scratch slot, and
+      // the chunks are folded serially in index order afterwards —
+      // bit-identical for any thread count.
+      const int64_t grain = RowOpGrain(d);
+      const int64_t nchunks = rt::NumChunks(grain, 0, rows);
+      std::vector<float> wpartial(
+          need_w ? static_cast<size_t>(nchunks) * d : 0, 0.0f);
+      rt::ParallelForChunked(
+          grain, 0, rows, [&](int64_t chunk, int64_t lo, int64_t hi) {
+            float* wp = need_w ? wpartial.data() + chunk * d : nullptr;
+            for (int64_t r = lo; r < hi; ++r) {
+              const float inv = inv_rms[static_cast<size_t>(r)];
+              const float* xp = xi->data.data() + r * d;
+              const float* gy = ri->grad.data() + r * d;
+              if (need_w) {
+                for (int j = 0; j < d; ++j) wp[j] += gy[j] * xp[j] * inv;
+              }
+              if (need_x) {
+                float dot = 0.0f;  // sum_j gy_j * w_j * x_j
+                for (int j = 0; j < d; ++j) dot += gy[j] * wi->data[j] * xp[j];
+                const float scale = dot * inv * inv * inv / d;
+                float* gx = xi->grad.data() + r * d;
+                for (int j = 0; j < d; ++j) {
+                  gx[j] += gy[j] * wi->data[j] * inv - xp[j] * scale;
+                }
+              }
+            }
+          });
+      if (need_w) {
+        for (int64_t c = 0; c < nchunks; ++c) {
+          const float* wp = wpartial.data() + c * d;
+          for (int j = 0; j < d; ++j) wi->grad[j] += wp[j];
         }
       }
     };
@@ -428,22 +542,27 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gain, const Tensor& bias,
   std::vector<float> out(x.data().size());
   std::vector<float> inv_std(static_cast<size_t>(rows));
   std::vector<float> means(static_cast<size_t>(rows));
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* xp = x.data().data() + r * d;
-    float mean = 0.0f;
-    for (int j = 0; j < d; ++j) mean += xp[j];
-    mean /= d;
-    float var = 0.0f;
-    for (int j = 0; j < d; ++j) var += (xp[j] - mean) * (xp[j] - mean);
-    var /= d;
-    const float inv = 1.0f / std::sqrt(var + eps);
-    means[static_cast<size_t>(r)] = mean;
-    inv_std[static_cast<size_t>(r)] = inv;
-    float* op = out.data() + r * d;
-    for (int j = 0; j < d; ++j) {
-      op[j] = (xp[j] - mean) * inv * gain.data()[j] + bias.data()[j];
+  const float* xdata = x.data().data();
+  const float* gdata = gain.data().data();
+  const float* bdata = bias.data().data();
+  rt::ParallelFor(RowOpGrain(d), 0, rows, [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const float* xp = xdata + r * d;
+      float mean = 0.0f;
+      for (int j = 0; j < d; ++j) mean += xp[j];
+      mean /= d;
+      float var = 0.0f;
+      for (int j = 0; j < d; ++j) var += (xp[j] - mean) * (xp[j] - mean);
+      var /= d;
+      const float inv = 1.0f / std::sqrt(var + eps);
+      means[static_cast<size_t>(r)] = mean;
+      inv_std[static_cast<size_t>(r)] = inv;
+      float* op = out.data() + r * d;
+      for (int j = 0; j < d; ++j) {
+        op[j] = (xp[j] - mean) * inv * gdata[j] + bdata[j];
+      }
     }
-  }
+  });
   auto xi = x.impl();
   auto gi = gain.impl();
   auto bi = bias.impl();
@@ -455,37 +574,63 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gain, const Tensor& bias,
                                   inv_std = std::move(inv_std),
                                   means = std::move(means)]() {
       const bool need_x = xi->requires_grad;
+      const bool need_g = gi->requires_grad;
+      const bool need_b = bi->requires_grad;
       if (need_x) xi->EnsureGrad();
-      if (gi->requires_grad) gi->EnsureGrad();
-      if (bi->requires_grad) bi->EnsureGrad();
-      for (int64_t r = 0; r < rows; ++r) {
-        const float inv = inv_std[static_cast<size_t>(r)];
-        const float mean = means[static_cast<size_t>(r)];
-        const float* xp = xi->data.data() + r * d;
-        const float* gy = ri->grad.data() + r * d;
-        if (gi->requires_grad) {
-          for (int j = 0; j < d; ++j)
-            gi->grad[j] += gy[j] * (xp[j] - mean) * inv;
+      if (need_g) gi->EnsureGrad();
+      if (need_b) bi->EnsureGrad();
+      // Same fixed-order chunk-scratch reduction as RmsNorm's backward:
+      // gain/bias grads sum over rows, so each chunk owns a scratch slot
+      // and the slots fold serially in chunk order.
+      const int64_t grain = RowOpGrain(d);
+      const int64_t nchunks = rt::NumChunks(grain, 0, rows);
+      std::vector<float> gpartial(
+          need_g ? static_cast<size_t>(nchunks) * d : 0, 0.0f);
+      std::vector<float> bpartial(
+          need_b ? static_cast<size_t>(nchunks) * d : 0, 0.0f);
+      rt::ParallelForChunked(
+          grain, 0, rows, [&](int64_t chunk, int64_t lo, int64_t hi) {
+            float* gp = need_g ? gpartial.data() + chunk * d : nullptr;
+            float* bp = need_b ? bpartial.data() + chunk * d : nullptr;
+            for (int64_t r = lo; r < hi; ++r) {
+              const float inv = inv_std[static_cast<size_t>(r)];
+              const float mean = means[static_cast<size_t>(r)];
+              const float* xp = xi->data.data() + r * d;
+              const float* gy = ri->grad.data() + r * d;
+              if (need_g) {
+                for (int j = 0; j < d; ++j)
+                  gp[j] += gy[j] * (xp[j] - mean) * inv;
+              }
+              if (need_b) {
+                for (int j = 0; j < d; ++j) bp[j] += gy[j];
+              }
+              if (need_x) {
+                // Let xhat = (x - mean) * inv, dy' = gy * gain.
+                float sum_dy = 0.0f;
+                float sum_dy_xhat = 0.0f;
+                for (int j = 0; j < d; ++j) {
+                  const float dyj = gy[j] * gi->data[j];
+                  const float xhat = (xp[j] - mean) * inv;
+                  sum_dy += dyj;
+                  sum_dy_xhat += dyj * xhat;
+                }
+                float* gx = xi->grad.data() + r * d;
+                for (int j = 0; j < d; ++j) {
+                  const float dyj = gy[j] * gi->data[j];
+                  const float xhat = (xp[j] - mean) * inv;
+                  gx[j] += inv * (dyj - sum_dy / d - xhat * sum_dy_xhat / d);
+                }
+              }
+            }
+          });
+      for (int64_t c = 0; c < nchunks; ++c) {
+        if (need_g) {
+          const float* gp = gpartial.data() + c * d;
+          for (int j = 0; j < d; ++j) gi->grad[j] += gp[j];
         }
-        if (bi->requires_grad) {
-          for (int j = 0; j < d; ++j) bi->grad[j] += gy[j];
-        }
-        if (need_x) {
-          // Let xhat = (x - mean) * inv, dy' = gy * gain.
-          float sum_dy = 0.0f;
-          float sum_dy_xhat = 0.0f;
-          for (int j = 0; j < d; ++j) {
-            const float dyj = gy[j] * gi->data[j];
-            const float xhat = (xp[j] - mean) * inv;
-            sum_dy += dyj;
-            sum_dy_xhat += dyj * xhat;
-          }
-          float* gx = xi->grad.data() + r * d;
-          for (int j = 0; j < d; ++j) {
-            const float dyj = gy[j] * gi->data[j];
-            const float xhat = (xp[j] - mean) * inv;
-            gx[j] += inv * (dyj - sum_dy / d - xhat * sum_dy_xhat / d);
-          }
+        if (need_b) {
+          const float* bp = bpartial.data() + c * d;
+          for (int j = 0; j < d; ++j) bi->grad[j] += bp[j];
         }
       }
     };
@@ -495,18 +640,19 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gain, const Tensor& bias,
 
 Tensor Sigmoid(const Tensor& x) {
   std::vector<float> out(x.data().size());
-  for (size_t i = 0; i < out.size(); ++i)
+  ParallelElems(static_cast<int64_t>(out.size()), [&](int64_t i) {
     out[i] = 1.0f / (1.0f + std::exp(-x.data()[i]));
+  });
   auto xi = x.impl();
   Tensor result = MakeResult(x.shape(), std::move(out), {x}, nullptr);
   if (result.requires_grad()) {
     auto ri = result.impl();
     result.impl()->backward_fn = [xi, ri]() {
       xi->EnsureGrad();
-      for (size_t i = 0; i < ri->grad.size(); ++i) {
+      ParallelElems(static_cast<int64_t>(ri->grad.size()), [&](int64_t i) {
         const float y = ri->data[i];
         xi->grad[i] += ri->grad[i] * y * (1.0f - y);
-      }
+      });
     };
   }
   return result;
@@ -514,17 +660,18 @@ Tensor Sigmoid(const Tensor& x) {
 
 Tensor Tanh(const Tensor& x) {
   std::vector<float> out(x.data().size());
-  for (size_t i = 0; i < out.size(); ++i) out[i] = std::tanh(x.data()[i]);
+  ParallelElems(static_cast<int64_t>(out.size()),
+                [&](int64_t i) { out[i] = std::tanh(x.data()[i]); });
   auto xi = x.impl();
   Tensor result = MakeResult(x.shape(), std::move(out), {x}, nullptr);
   if (result.requires_grad()) {
     auto ri = result.impl();
     result.impl()->backward_fn = [xi, ri]() {
       xi->EnsureGrad();
-      for (size_t i = 0; i < ri->grad.size(); ++i) {
+      ParallelElems(static_cast<int64_t>(ri->grad.size()), [&](int64_t i) {
         const float y = ri->data[i];
         xi->grad[i] += ri->grad[i] * (1.0f - y * y);
-      }
+      });
     };
   }
   return result;
@@ -535,24 +682,28 @@ Tensor Transpose2D(const Tensor& x) {
   const int m = x.dim(0);
   const int n = x.dim(1);
   std::vector<float> out(x.data().size());
-  for (int i = 0; i < m; ++i) {
-    for (int j = 0; j < n; ++j) {
-      out[static_cast<size_t>(j) * m + i] =
-          x.data()[static_cast<size_t>(i) * n + j];
+  rt::ParallelFor(RowOpGrain(n), 0, m, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      for (int j = 0; j < n; ++j) {
+        out[static_cast<size_t>(j) * m + i] =
+            x.data()[static_cast<size_t>(i) * n + j];
+      }
     }
-  }
+  });
   auto xi = x.impl();
   Tensor result = MakeResult({n, m}, std::move(out), {x}, nullptr);
   if (result.requires_grad()) {
     auto ri = result.impl();
     result.impl()->backward_fn = [xi, ri, m, n]() {
       xi->EnsureGrad();
-      for (int i = 0; i < m; ++i) {
-        for (int j = 0; j < n; ++j) {
-          xi->grad[static_cast<size_t>(i) * n + j] +=
-              ri->grad[static_cast<size_t>(j) * m + i];
+      rt::ParallelFor(RowOpGrain(n), 0, m, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          for (int j = 0; j < n; ++j) {
+            xi->grad[static_cast<size_t>(i) * n + j] +=
+                ri->grad[static_cast<size_t>(j) * m + i];
+          }
         }
-      }
+      });
     };
   }
   return result;
@@ -560,17 +711,18 @@ Tensor Transpose2D(const Tensor& x) {
 
 Tensor Relu(const Tensor& x) {
   std::vector<float> out(x.data().size());
-  for (size_t i = 0; i < out.size(); ++i)
+  ParallelElems(static_cast<int64_t>(out.size()), [&](int64_t i) {
     out[i] = x.data()[i] > 0.0f ? x.data()[i] : 0.0f;
+  });
   auto xi = x.impl();
   Tensor result = MakeResult(x.shape(), std::move(out), {x}, nullptr);
   if (result.requires_grad()) {
     auto ri = result.impl();
     result.impl()->backward_fn = [xi, ri]() {
       xi->EnsureGrad();
-      for (size_t i = 0; i < ri->grad.size(); ++i) {
+      ParallelElems(static_cast<int64_t>(ri->grad.size()), [&](int64_t i) {
         if (xi->data[i] > 0.0f) xi->grad[i] += ri->grad[i];
-      }
+      });
     };
   }
   return result;
@@ -579,25 +731,25 @@ Tensor Relu(const Tensor& x) {
 Tensor Gelu(const Tensor& x) {
   constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
   std::vector<float> out(x.data().size());
-  for (size_t i = 0; i < out.size(); ++i) {
+  ParallelElems(static_cast<int64_t>(out.size()), [&](int64_t i) {
     const float v = x.data()[i];
     const float t = std::tanh(kC * (v + 0.044715f * v * v * v));
     out[i] = 0.5f * v * (1.0f + t);
-  }
+  });
   auto xi = x.impl();
   Tensor result = MakeResult(x.shape(), std::move(out), {x}, nullptr);
   if (result.requires_grad()) {
     auto ri = result.impl();
     result.impl()->backward_fn = [xi, ri]() {
       xi->EnsureGrad();
-      for (size_t i = 0; i < ri->grad.size(); ++i) {
+      ParallelElems(static_cast<int64_t>(ri->grad.size()), [&](int64_t i) {
         const float v = xi->data[i];
         const float u = kC * (v + 0.044715f * v * v * v);
         const float t = std::tanh(u);
         const float du = kC * (1.0f + 3.0f * 0.044715f * v * v);
         const float grad = 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du;
         xi->grad[i] += ri->grad[i] * grad;
-      }
+      });
     };
   }
   return result;
@@ -635,15 +787,23 @@ Tensor Embedding(const Tensor& table, const std::vector<int>& ids) {
   for (int i = 0; i < n; ++i) {
     VIST5_CHECK_GE(ids[i], 0);
     VIST5_CHECK_LT(ids[i], vocab);
-    std::copy_n(table.data().data() + static_cast<size_t>(ids[i]) * d, d,
-                out.data() + static_cast<size_t>(i) * d);
   }
+  rt::ParallelFor(RowOpGrain(d), 0, n, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      std::copy_n(
+          table.data().data() + static_cast<size_t>(ids[i]) * d, d,
+          out.data() + static_cast<size_t>(i) * d);
+    }
+  });
   auto ti = table.impl();
   Tensor result = MakeResult({n, d}, std::move(out), {table}, nullptr);
   if (result.requires_grad()) {
     auto ri = result.impl();
     result.impl()->backward_fn = [ti, ri, ids, d]() {
       ti->EnsureGrad();
+      // Scatter-add stays serial: repeated ids (padding, common tokens)
+      // collide on the same table row, so a parallel version would need
+      // atomics or a sort — and either breaks the fixed accumulation order.
       for (size_t i = 0; i < ids.size(); ++i) {
         float* dst = ti->grad.data() + static_cast<size_t>(ids[i]) * d;
         const float* src = ri->grad.data() + i * d;
@@ -661,26 +821,41 @@ Tensor CrossEntropyLoss(const Tensor& logits, const std::vector<int>& targets,
   const int v = logits.dim(1);
   VIST5_CHECK_EQ(static_cast<int>(targets.size()), n);
   // Forward: stable log-softmax + NLL; store softmax probabilities for the
-  // backward pass.
+  // backward pass. Rows are independent (parallel); the scalar loss is then
+  // folded serially in row order, so the sum never depends on scheduling.
   std::vector<float> probs(logits.data().size());
-  double loss = 0.0;
-  int count = 0;
+  std::vector<float> nll(static_cast<size_t>(n), 0.0f);
   for (int i = 0; i < n; ++i) {
-    const float* row = logits.data().data() + static_cast<size_t>(i) * v;
-    float* prow = probs.data() + static_cast<size_t>(i) * v;
-    float maxv = row[0];
-    for (int j = 1; j < v; ++j) maxv = std::max(maxv, row[j]);
-    float sum = 0.0f;
-    for (int j = 0; j < v; ++j) {
-      prow[j] = std::exp(row[j] - maxv);
-      sum += prow[j];
-    }
-    const float inv = 1.0f / sum;
-    for (int j = 0; j < v; ++j) prow[j] *= inv;
     if (targets[i] != ignore_index) {
       VIST5_CHECK_GE(targets[i], 0);
       VIST5_CHECK_LT(targets[i], v);
-      loss -= std::log(std::max(prow[targets[i]], 1e-12f));
+    }
+  }
+  const float* ldata = logits.data().data();
+  rt::ParallelFor(RowOpGrain(v), 0, n, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* row = ldata + static_cast<size_t>(i) * v;
+      float* prow = probs.data() + static_cast<size_t>(i) * v;
+      float maxv = row[0];
+      for (int j = 1; j < v; ++j) maxv = std::max(maxv, row[j]);
+      float sum = 0.0f;
+      for (int j = 0; j < v; ++j) {
+        prow[j] = std::exp(row[j] - maxv);
+        sum += prow[j];
+      }
+      const float inv = 1.0f / sum;
+      for (int j = 0; j < v; ++j) prow[j] *= inv;
+      if (targets[static_cast<size_t>(i)] != ignore_index) {
+        nll[static_cast<size_t>(i)] = std::log(
+            std::max(prow[targets[static_cast<size_t>(i)]], 1e-12f));
+      }
+    }
+  });
+  double loss = 0.0;
+  int count = 0;
+  for (int i = 0; i < n; ++i) {
+    if (targets[i] != ignore_index) {
+      loss -= nll[static_cast<size_t>(i)];
       ++count;
     }
   }
@@ -694,13 +869,15 @@ Tensor CrossEntropyLoss(const Tensor& logits, const std::vector<int>& targets,
       if (count == 0) return;
       li->EnsureGrad();
       const float gscale = ri->grad[0] / count;
-      for (int i = 0; i < n; ++i) {
-        if (targets[i] == ignore_index) continue;
-        const float* prow = probs.data() + static_cast<size_t>(i) * v;
-        float* grow = li->grad.data() + static_cast<size_t>(i) * v;
-        for (int j = 0; j < v; ++j) grow[j] += gscale * prow[j];
-        grow[targets[i]] -= gscale;
-      }
+      rt::ParallelFor(RowOpGrain(v), 0, n, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          if (targets[static_cast<size_t>(i)] == ignore_index) continue;
+          const float* prow = probs.data() + static_cast<size_t>(i) * v;
+          float* grow = li->grad.data() + static_cast<size_t>(i) * v;
+          for (int j = 0; j < v; ++j) grow[j] += gscale * prow[j];
+          grow[targets[static_cast<size_t>(i)]] -= gscale;
+        }
+      });
     };
   }
   return result;
@@ -731,18 +908,24 @@ Tensor SplitHeads(const Tensor& x, int batch, int seq, int heads) {
   VIST5_CHECK_EQ(d % heads, 0);
   const int dh = d / heads;
   std::vector<float> out(x.data().size());
-  // [b, t, h, dh] -> [b, h, t, dh]
-  for (int b = 0; b < batch; ++b) {
-    for (int t = 0; t < seq; ++t) {
-      const float* src =
-          x.data().data() + (static_cast<size_t>(b) * seq + t) * d;
-      for (int h = 0; h < heads; ++h) {
-        float* dst = out.data() +
-                     (((static_cast<size_t>(b) * heads + h) * seq) + t) * dh;
-        std::copy_n(src + static_cast<size_t>(h) * dh, dh, dst);
-      }
-    }
-  }
+  // [b, t, h, dh] -> [b, h, t, dh]; each flattened (b, t) row is disjoint in
+  // both source and destination, so the copy parallelizes over rows.
+  rt::ParallelFor(
+      RowOpGrain(d), 0, static_cast<int64_t>(batch) * seq,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          const int b = static_cast<int>(r / seq);
+          const int t = static_cast<int>(r % seq);
+          const float* src =
+              x.data().data() + (static_cast<size_t>(b) * seq + t) * d;
+          for (int h = 0; h < heads; ++h) {
+            float* dst =
+                out.data() +
+                (((static_cast<size_t>(b) * heads + h) * seq) + t) * dh;
+            std::copy_n(src + static_cast<size_t>(h) * dh, dh, dst);
+          }
+        }
+      });
   auto xi = x.impl();
   Tensor result =
       MakeResult({batch, heads, seq, dh}, std::move(out), {x}, nullptr);
@@ -750,19 +933,23 @@ Tensor SplitHeads(const Tensor& x, int batch, int seq, int heads) {
     auto ri = result.impl();
     result.impl()->backward_fn = [xi, ri, batch, seq, heads, dh, d]() {
       xi->EnsureGrad();
-      for (int b = 0; b < batch; ++b) {
-        for (int t = 0; t < seq; ++t) {
-          float* dst =
-              xi->grad.data() + (static_cast<size_t>(b) * seq + t) * d;
-          for (int h = 0; h < heads; ++h) {
-            const float* src =
-                ri->grad.data() +
-                (((static_cast<size_t>(b) * heads + h) * seq) + t) * dh;
-            for (int j = 0; j < dh; ++j)
-              dst[static_cast<size_t>(h) * dh + j] += src[j];
-          }
-        }
-      }
+      rt::ParallelFor(
+          RowOpGrain(d), 0, static_cast<int64_t>(batch) * seq,
+          [&](int64_t lo, int64_t hi) {
+            for (int64_t r = lo; r < hi; ++r) {
+              const int b = static_cast<int>(r / seq);
+              const int t = static_cast<int>(r % seq);
+              float* dst =
+                  xi->grad.data() + (static_cast<size_t>(b) * seq + t) * d;
+              for (int h = 0; h < heads; ++h) {
+                const float* src =
+                    ri->grad.data() +
+                    (((static_cast<size_t>(b) * heads + h) * seq) + t) * dh;
+                for (int j = 0; j < dh; ++j)
+                  dst[static_cast<size_t>(h) * dh + j] += src[j];
+              }
+            }
+          });
     };
   }
   return result;
@@ -776,37 +963,47 @@ Tensor MergeHeads(const Tensor& x) {
   const int dh = x.dim(3);
   const int d = heads * dh;
   std::vector<float> out(x.data().size());
-  for (int b = 0; b < batch; ++b) {
-    for (int h = 0; h < heads; ++h) {
-      for (int t = 0; t < seq; ++t) {
-        const float* src =
-            x.data().data() +
-            (((static_cast<size_t>(b) * heads + h) * seq) + t) * dh;
-        float* dst = out.data() + (static_cast<size_t>(b) * seq + t) * d +
-                     static_cast<size_t>(h) * dh;
-        std::copy_n(src, dh, dst);
-      }
-    }
-  }
+  // Inverse layout shuffle of SplitHeads, parallel over the same (b, t) row
+  // space — each flattened row gathers its `heads` source slices.
+  rt::ParallelFor(
+      RowOpGrain(d), 0, static_cast<int64_t>(batch) * seq,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          const int b = static_cast<int>(r / seq);
+          const int t = static_cast<int>(r % seq);
+          for (int h = 0; h < heads; ++h) {
+            const float* src =
+                x.data().data() +
+                (((static_cast<size_t>(b) * heads + h) * seq) + t) * dh;
+            float* dst = out.data() + (static_cast<size_t>(b) * seq + t) * d +
+                         static_cast<size_t>(h) * dh;
+            std::copy_n(src, dh, dst);
+          }
+        }
+      });
   auto xi = x.impl();
   Tensor result = MakeResult({batch * seq, d}, std::move(out), {x}, nullptr);
   if (result.requires_grad()) {
     auto ri = result.impl();
     result.impl()->backward_fn = [xi, ri, batch, heads, seq, dh, d]() {
       xi->EnsureGrad();
-      for (int b = 0; b < batch; ++b) {
-        for (int h = 0; h < heads; ++h) {
-          for (int t = 0; t < seq; ++t) {
-            float* dst =
-                xi->grad.data() +
-                (((static_cast<size_t>(b) * heads + h) * seq) + t) * dh;
-            const float* src = ri->grad.data() +
-                               (static_cast<size_t>(b) * seq + t) * d +
-                               static_cast<size_t>(h) * dh;
-            for (int j = 0; j < dh; ++j) dst[j] += src[j];
-          }
-        }
-      }
+      rt::ParallelFor(
+          RowOpGrain(d), 0, static_cast<int64_t>(batch) * seq,
+          [&](int64_t lo, int64_t hi) {
+            for (int64_t r = lo; r < hi; ++r) {
+              const int b = static_cast<int>(r / seq);
+              const int t = static_cast<int>(r % seq);
+              for (int h = 0; h < heads; ++h) {
+                float* dst =
+                    xi->grad.data() +
+                    (((static_cast<size_t>(b) * heads + h) * seq) + t) * dh;
+                const float* src = ri->grad.data() +
+                                   (static_cast<size_t>(b) * seq + t) * d +
+                                   static_cast<size_t>(h) * dh;
+                for (int j = 0; j < dh; ++j) dst[j] += src[j];
+              }
+            }
+          });
     };
   }
   return result;

@@ -8,6 +8,16 @@
 namespace vist5 {
 namespace ops {
 
+/// Chunk sizing for the rt::ParallelFor-parallelized kernels. Grains are
+/// pure functions of the operand shape — never of the thread count — so the
+/// chunk partition (and with it every chunk-indexed reduction) is identical
+/// for 1 and N threads; see docs/PARALLELISM.md for the full determinism
+/// contract. Exposed so tests can build shapes that straddle chunk
+/// boundaries (M = grain, M = threads * grain + 1, ...).
+int GemmRowGrain(int k, int n);  ///< output rows per chunk, GEMM-family ops
+int RowOpGrain(int width);       ///< rows per chunk, softmax/norm/CE ops
+inline constexpr int64_t kElemGrain = 1 << 13;  ///< elements per chunk
+
 /// Elementwise sum of two same-shaped tensors.
 Tensor Add(const Tensor& a, const Tensor& b);
 

@@ -1,11 +1,17 @@
 #include "util/serialize.h"
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
 namespace vist5 {
 
 Status BinaryWriter::Flush(const std::string& path) const {
+  // Recreate missing parent directories: callers routinely point at cache
+  // dirs that another process may have cleaned up in the meantime.
+  std::error_code ec;
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IoError("cannot open for write: " + path);
   out.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));

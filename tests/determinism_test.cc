@@ -1,0 +1,202 @@
+// Thread-count determinism pins: the whole point of the rt parallelization
+// is that it NEVER changes numerics. Forward losses/logits, gradients after
+// one AdamW step, and decoded token sequences must be bit-identical between
+// rt::SetThreads(1) and rt::SetThreads(4) — across seeds and across two
+// architecture presets (pre-RMS/relative-bias and post-LN/sinusoidal). See
+// docs/PARALLELISM.md for why this holds even under -ffast-math: thread
+// count only changes which thread runs a chunk, never the arithmetic or
+// accumulation order inside any output element.
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "model/trainer.h"
+#include "model/transformer_model.h"
+#include "nn/transformer.h"
+#include "rt/thread_pool.h"
+#include "tensor/optimizer.h"
+
+namespace vist5 {
+namespace {
+
+struct Preset {
+  const char* name;
+  nn::TransformerConfig (*make)(int vocab);
+};
+
+constexpr Preset kPresets[] = {
+    {"t5_small", nn::TransformerConfig::T5Small},  // pre-RMS, relative bias
+    {"vanilla", nn::TransformerConfig::Vanilla},   // post-LN, sinusoidal
+};
+
+constexpr int kVocab = 48;
+constexpr int kPad = 0;
+constexpr int kEos = 1;
+
+std::vector<int> RandomSeq(Rng* rng, int len) {
+  std::vector<int> seq(static_cast<size_t>(len));
+  for (int& t : seq) t = rng->UniformRange(2, kVocab - 1);
+  return seq;
+}
+
+model::Batch MakeTestBatch(uint64_t seed) {
+  Rng data(seed * 31 + 7);
+  std::vector<model::SeqPair> pairs(3);
+  std::vector<const model::SeqPair*> items;
+  for (auto& p : pairs) {
+    p.src = RandomSeq(&data, data.UniformRange(4, 8));
+    p.tgt = RandomSeq(&data, data.UniformRange(3, 6));
+    p.tgt.push_back(kEos);
+    items.push_back(&p);
+  }
+  return model::MakeBatch(items, kPad, 16, 12);
+}
+
+class Determinism
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {
+ protected:
+  const Preset& preset() const { return kPresets[std::get<0>(GetParam())]; }
+  uint64_t seed() const { return std::get<1>(GetParam()); }
+
+  nn::TransformerConfig Config() const {
+    nn::TransformerConfig cfg = preset().make(kVocab);
+    cfg.dropout = 0.0f;  // dropout draws from the RNG serially by design,
+                         // but zero keeps train-mode loss comparisons exact
+    return cfg;
+  }
+
+  void TearDown() override { rt::SetThreads(1); }
+};
+
+// Runs fn at 1 thread and at 4 threads and returns both float buffers.
+template <typename Fn>
+std::pair<std::vector<float>, std::vector<float>> RunAtBothWidths(Fn fn) {
+  rt::SetThreads(1);
+  std::vector<float> serial = fn();
+  rt::SetThreads(4);
+  std::vector<float> parallel = fn();
+  return {std::move(serial), std::move(parallel)};
+}
+
+void ExpectBitIdentical(const std::vector<float>& a,
+                        const std::vector<float>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    // Exact equality on purpose: any reordering of float accumulation
+    // would show up here.
+    ASSERT_EQ(a[i], b[i]) << what << " element " << i;
+  }
+}
+
+TEST_P(Determinism, ForwardLossAndLogitsBitIdentical) {
+  const model::Batch batch = MakeTestBatch(seed());
+  auto run = [&]() {
+    model::TransformerSeq2Seq m(Config(), kPad, kEos, seed());
+    Rng rng(seed());
+    Tensor loss = m.BatchLoss(batch, /*train=*/true, &rng);
+    std::vector<float> out = loss.data();
+    // Also pin a full forward pass through encoder+decoder hidden states.
+    NoGradGuard guard;
+    const int src_len = batch.enc_seq;
+    Tensor memory =
+        m.transformer().Encode(batch.enc_ids, batch.batch, src_len,
+                               batch.enc_lengths, /*train=*/false, nullptr);
+    out.insert(out.end(), memory.data().begin(), memory.data().end());
+    return out;
+  };
+  auto [serial, parallel] = RunAtBothWidths(run);
+  ExpectBitIdentical(serial, parallel, "forward loss+memory");
+}
+
+TEST_P(Determinism, GradientsAndAdamWStepBitIdentical) {
+  const model::Batch batch = MakeTestBatch(seed());
+  auto run = [&]() {
+    model::TransformerSeq2Seq m(Config(), kPad, kEos, seed());
+    AdamW optimizer(m.TrainableParameters(), {});
+    Rng rng(seed());
+    optimizer.ZeroGrad();
+    Tensor loss = m.BatchLoss(batch, /*train=*/true, &rng);
+    loss.Backward();
+    std::vector<float> out;
+    // Gradients first (raw backward output), then the post-step weights
+    // (catches any nondeterminism ClipGradNorm/Step could add on top).
+    for (const Tensor& p : m.TrainableParameters()) {
+      if (p.impl()->grad.empty()) continue;
+      out.insert(out.end(), p.impl()->grad.begin(), p.impl()->grad.end());
+    }
+    optimizer.ClipGradNorm(1.0f);
+    optimizer.Step();
+    for (const Tensor& p : m.TrainableParameters()) {
+      out.insert(out.end(), p.data().begin(), p.data().end());
+    }
+    loss.DetachGraph();
+    return out;
+  };
+  auto [serial, parallel] = RunAtBothWidths(run);
+  ExpectBitIdentical(serial, parallel, "gradients+post-step weights");
+}
+
+TEST_P(Determinism, ShardedGradAccumulationBitIdenticalAcrossThreads) {
+  // grad_accum_shards exercises the trainer's fixed-order shard reduction:
+  // one short training run per thread width must land on identical weights.
+  std::vector<model::SeqPair> pairs(6);
+  Rng data(seed() * 17 + 3);
+  for (auto& p : pairs) {
+    p.src = RandomSeq(&data, data.UniformRange(4, 8));
+    p.tgt = RandomSeq(&data, data.UniformRange(3, 6));
+    p.tgt.push_back(kEos);
+  }
+  auto run = [&]() {
+    model::TransformerSeq2Seq m(Config(), kPad, kEos, seed());
+    model::TrainOptions options;
+    options.steps = 2;
+    options.batch_size = 4;
+    options.grad_accum_shards = 2;
+    options.seed = seed();
+    model::TrainSeq2Seq(&m, pairs, kPad, options);
+    std::vector<float> out;
+    for (const Tensor& p : m.TrainableParameters()) {
+      out.insert(out.end(), p.data().begin(), p.data().end());
+    }
+    return out;
+  };
+  auto [serial, parallel] = RunAtBothWidths(run);
+  ExpectBitIdentical(serial, parallel, "sharded-accum weights");
+}
+
+TEST_P(Determinism, GreedyAndBeamDecodeTokensIdentical) {
+  Rng data(seed() * 7 + 1);
+  const std::vector<int> src = RandomSeq(&data, 7);
+
+  model::GenerationOptions greedy;
+  greedy.max_len = 16;
+  model::GenerationOptions beam;
+  beam.max_len = 14;
+  beam.beam_size = 3;
+
+  rt::SetThreads(1);
+  model::TransformerSeq2Seq m1(Config(), kPad, kEos, seed());
+  const std::vector<int> greedy1 = m1.Generate(src, greedy);
+  const std::vector<int> beam1 = m1.Generate(src, beam);
+
+  rt::SetThreads(4);
+  model::TransformerSeq2Seq m4(Config(), kPad, kEos, seed());
+  EXPECT_EQ(m4.Generate(src, greedy), greedy1) << preset().name;
+  EXPECT_EQ(m4.Generate(src, beam), beam1) << preset().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PresetsAndSeeds, Determinism,
+    ::testing::Combine(::testing::Range(0, 2),
+                       ::testing::Values<uint64_t>(11, 42, 1234)),
+    [](const ::testing::TestParamInfo<Determinism::ParamType>& info) {
+      return std::string(kPresets[std::get<0>(info.param)].name) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace vist5

@@ -1,0 +1,182 @@
+// Tests for the vist5::rt thread pool: coverage and partition invariants,
+// exception propagation, nested-region behavior, degenerate ranges, and
+// pool reuse/resizing. Everything here must also run clean under
+// ThreadSanitizer (scripts/run_tsan.sh).
+
+#include "rt/thread_pool.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace vist5 {
+namespace rt {
+namespace {
+
+// Every index in [begin, end) is visited exactly once, for a grid of grains
+// and ranges straddling the thread count.
+TEST(RtTest, ParallelForCoversEveryIndexExactlyOnce) {
+  SetThreads(4);
+  const int64_t kGrains[] = {1, 3, 7, 64, 1 << 13};
+  const int64_t kEnds[] = {0, 1, 2, 3, 4, 5, 63, 64, 65, 1000};
+  for (int64_t grain : kGrains) {
+    for (int64_t end : kEnds) {
+      std::vector<std::atomic<int>> hits(static_cast<size_t>(end));
+      for (auto& h : hits) h.store(0);
+      ParallelFor(grain, 0, end, [&](int64_t lo, int64_t hi) {
+        ASSERT_LE(lo, hi);
+        ASSERT_LE(hi - lo, grain);
+        for (int64_t i = lo; i < hi; ++i) hits[static_cast<size_t>(i)]++;
+      });
+      for (int64_t i = 0; i < end; ++i) {
+        EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1)
+            << "grain=" << grain << " end=" << end << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(RtTest, NonZeroBeginIsRespected) {
+  SetThreads(4);
+  std::atomic<int64_t> sum{0};
+  ParallelFor(5, 10, 100, [&](int64_t lo, int64_t hi) {
+    int64_t local = 0;
+    for (int64_t i = lo; i < hi; ++i) local += i;
+    sum += local;
+  });
+  int64_t expect = 0;
+  for (int64_t i = 10; i < 100; ++i) expect += i;
+  EXPECT_EQ(sum.load(), expect);
+}
+
+TEST(RtTest, EmptyAndReversedRangesRunNothing) {
+  SetThreads(4);
+  std::atomic<int> calls{0};
+  ParallelFor(8, 0, 0, [&](int64_t, int64_t) { calls++; });
+  ParallelFor(8, 5, 5, [&](int64_t, int64_t) { calls++; });
+  ParallelFor(8, 7, 3, [&](int64_t, int64_t) { calls++; });
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_EQ(NumChunks(8, 0, 0), 0);
+  EXPECT_EQ(NumChunks(8, 7, 3), 0);
+}
+
+TEST(RtTest, RangeSmallerThanThreadCount) {
+  SetThreads(4);
+  std::atomic<int> calls{0};
+  ParallelFor(1, 0, 2, [&](int64_t lo, int64_t hi) {
+    EXPECT_EQ(hi, lo + 1);
+    calls++;
+  });
+  EXPECT_EQ(calls.load(), 2);
+}
+
+TEST(RtTest, GrainLargerThanRangeRunsOneChunk) {
+  SetThreads(4);
+  std::atomic<int> calls{0};
+  ParallelFor(1 << 20, 0, 37, [&](int64_t lo, int64_t hi) {
+    EXPECT_EQ(lo, 0);
+    EXPECT_EQ(hi, 37);
+    calls++;
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+// The chunk partition is a pure function of (grain, begin, end): identical
+// for 1 and 4 threads. This is the invariant every chunk-scratch reduction
+// in ops.cc leans on.
+TEST(RtTest, ChunkPartitionIndependentOfThreadCount) {
+  auto partition = [](int threads, int64_t grain, int64_t begin, int64_t end) {
+    SetThreads(threads);
+    std::mutex mu;
+    std::set<std::vector<int64_t>> chunks;
+    ParallelForChunked(grain, begin, end,
+                       [&](int64_t chunk, int64_t lo, int64_t hi) {
+                         std::lock_guard<std::mutex> lock(mu);
+                         chunks.insert({chunk, lo, hi});
+                       });
+    return chunks;
+  };
+  const int64_t kCases[][3] = {
+      {1, 0, 17}, {4, 0, 64}, {7, 3, 95}, {13, 0, 13}, {5, 0, 4}};
+  for (const auto& c : kCases) {
+    const auto serial = partition(1, c[0], c[1], c[2]);
+    const auto parallel = partition(4, c[0], c[1], c[2]);
+    EXPECT_EQ(serial, parallel)
+        << "grain=" << c[0] << " range=[" << c[1] << "," << c[2] << ")";
+    EXPECT_EQ(static_cast<int64_t>(serial.size()), NumChunks(c[0], c[1], c[2]));
+  }
+}
+
+TEST(RtTest, ExceptionPropagatesAndPoolStaysUsable) {
+  SetThreads(4);
+  EXPECT_THROW(
+      ParallelFor(1, 0, 64,
+                  [&](int64_t lo, int64_t) {
+                    if (lo == 13) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+  // The pool must drain cleanly and accept new work afterwards.
+  std::atomic<int64_t> sum{0};
+  ParallelFor(4, 0, 100, [&](int64_t lo, int64_t hi) { sum += hi - lo; });
+  EXPECT_EQ(sum.load(), 100);
+}
+
+TEST(RtTest, NestedParallelForRunsInlineWithSamePartition) {
+  SetThreads(4);
+  EXPECT_FALSE(InParallelRegion());
+  std::atomic<int> inner_chunks{0};
+  std::atomic<bool> saw_region{false};
+  ParallelFor(8, 0, 32, [&](int64_t, int64_t) {
+    if (InParallelRegion()) saw_region = true;
+    // Nested call: must run serially inline without deadlock, still
+    // producing the same chunk partition.
+    ParallelForChunked(2, 0, 10, [&](int64_t chunk, int64_t lo, int64_t hi) {
+      EXPECT_EQ(lo, chunk * 2);
+      EXPECT_EQ(hi, std::min<int64_t>(10, lo + 2));
+      inner_chunks++;
+    });
+  });
+  EXPECT_TRUE(saw_region.load());
+  EXPECT_FALSE(InParallelRegion());
+  // 4 outer chunks x 5 inner chunks each.
+  EXPECT_EQ(inner_chunks.load(), 20);
+}
+
+TEST(RtTest, SetThreadsResizesAndSingleThreadRunsInline) {
+  SetThreads(1);
+  EXPECT_EQ(MaxThreads(), 1);
+  std::vector<int64_t> order;  // no mutex needed: serial path is inline
+  ParallelFor(3, 0, 10, [&](int64_t lo, int64_t) { order.push_back(lo); });
+  EXPECT_EQ(order, (std::vector<int64_t>{0, 3, 6, 9}));
+
+  SetThreads(0);  // clamps to 1
+  EXPECT_EQ(MaxThreads(), 1);
+
+  SetThreads(4);
+  EXPECT_EQ(MaxThreads(), 4);
+  std::atomic<int64_t> n{0};
+  ParallelFor(1, 0, 256, [&](int64_t lo, int64_t hi) { n += hi - lo; });
+  EXPECT_EQ(n.load(), 256);
+}
+
+TEST(RtTest, RegionMetricsAdvance) {
+  SetThreads(4);
+  obs::Counter* regions = obs::GetCounter("rt/regions");
+  obs::Counter* tasks = obs::GetCounter("rt/tasks");
+  const int64_t regions_before = regions->value();
+  const int64_t tasks_before = tasks->value();
+  ParallelFor(1, 0, 32, [](int64_t, int64_t) {});
+  EXPECT_EQ(regions->value(), regions_before + 1);
+  EXPECT_EQ(tasks->value(), tasks_before + 32);
+}
+
+}  // namespace
+}  // namespace rt
+}  // namespace vist5

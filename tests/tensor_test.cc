@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "rt/thread_pool.h"
 #include "tensor/ops.h"
 #include "tensor/optimizer.h"
 #include "tensor/tensor.h"
@@ -338,6 +339,127 @@ TEST(TensorTest, DetachGraphReleasesHistory) {
   EXPECT_TRUE(loss.impl()->parents.empty());
   EXPECT_TRUE(b.impl()->parents.empty());
   EXPECT_FALSE(static_cast<bool>(b.impl()->backward_fn));
+}
+
+// ---------------------------------------------------------------------------
+// Chunk-boundary gradient checks. The rt-parallel kernels split their row
+// space into grain-sized chunks; these shapes put the row count exactly at
+// the boundaries the partition produces (one row, one chunk per thread, and
+// threads*grain+1 so one chunk holds a single straggler row) and verify the
+// gradients still match finite differences.
+// ---------------------------------------------------------------------------
+
+class BlockingBoundaryGradTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override { rt::SetThreads(4); }
+  void TearDown() override { rt::SetThreads(1); }
+  static constexpr int kThreads = 4;
+};
+
+TEST_P(BlockingBoundaryGradTest, MatMulAtBoundaryRows) {
+  const int k = 3, n = 2;
+  const int grain = ops::GemmRowGrain(k, n);
+  const int ms[] = {1, kThreads, kThreads * grain + 1};
+  const int m = ms[GetParam()];
+  Rng rng(7 + m);
+  Tensor a = RandomParam({m, k}, &rng);
+  Tensor b = RandomParam({k, n}, &rng);
+  CheckGradients({a, b}, [&] { return ops::Sum(ops::MatMul(a, b)); });
+}
+
+TEST_P(BlockingBoundaryGradTest, MatMulTransposeBAtBoundaryRows) {
+  const int k = 3, n = 2;
+  const int grain = ops::GemmRowGrain(k, n);
+  const int ms[] = {1, kThreads, kThreads * grain + 1};
+  const int m = ms[GetParam()];
+  Rng rng(11 + m);
+  Tensor a = RandomParam({m, k}, &rng);
+  Tensor b = RandomParam({n, k}, &rng);
+  CheckGradients({a, b},
+                 [&] { return ops::Sum(ops::MatMulTransposeB(a, b)); });
+}
+
+TEST_P(BlockingBoundaryGradTest, SoftmaxAtBoundaryRows) {
+  const int d = 4;
+  const int grain = ops::RowOpGrain(d);
+  const int ms[] = {1, kThreads, kThreads * grain + 1};
+  const int m = ms[GetParam()];
+  Rng rng(13 + m);
+  Tensor x = RandomParam({m, d}, &rng);
+  Tensor w = RandomParam({m, d}, &rng);
+  w.set_requires_grad(false);
+  CheckGradients({x}, [&] { return ops::Sum(ops::Mul(ops::Softmax(x), w)); });
+}
+
+TEST_P(BlockingBoundaryGradTest, RmsNormAtBoundaryRows) {
+  const int d = 4;
+  const int grain = ops::RowOpGrain(d);
+  const int ms[] = {1, kThreads, kThreads * grain + 1};
+  const int m = ms[GetParam()];
+  Rng rng(17 + m);
+  Tensor x = RandomParam({m, d}, &rng);
+  Tensor w = RandomParam({d}, &rng);
+  // The weight gradient crosses chunk boundaries — exactly the path that
+  // uses the fixed-order chunk-scratch reduction.
+  CheckGradients({x, w}, [&] { return ops::Sum(ops::RmsNorm(x, w)); });
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BlockingBoundaryGradTest,
+                         ::testing::Range(0, 3),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           if (info.param == 0) return std::string("one_row");
+                           if (info.param == 1)
+                             return std::string("threads_rows");
+                           return std::string("straggler_chunk");
+                         });
+
+// ---------------------------------------------------------------------------
+// Zero-sized GEMM regressions. [M, 0] x [0, N] is a legitimate degenerate
+// contraction (empty inner dim -> all-zero [M, N] output); the row count
+// used to be derived as NumElements()/K, which divided by zero here.
+// ---------------------------------------------------------------------------
+
+TEST(TensorTest, MatMulZeroInnerDimGivesZeros) {
+  Tensor a({2, 0}, std::vector<float>{});
+  Tensor b({0, 3}, std::vector<float>{});
+  Tensor c = ops::MatMul(a, b);
+  EXPECT_EQ(c.shape(), (std::vector<int>{2, 3}));
+  for (float v : c.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(TensorTest, MatMulTransposeBZeroInnerDimGivesZeros) {
+  Tensor a({2, 0}, std::vector<float>{});
+  Tensor b({3, 0}, std::vector<float>{});
+  Tensor c = ops::MatMulTransposeB(a, b);
+  EXPECT_EQ(c.shape(), (std::vector<int>{2, 3}));
+  for (float v : c.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(TensorTest, MatMulZeroRowsAndZeroCols) {
+  {
+    Tensor a({0, 3}, std::vector<float>{});
+    Tensor b = Tensor::Full({3, 2}, 1.0f);
+    Tensor c = ops::MatMul(a, b);
+    EXPECT_EQ(c.shape(), (std::vector<int>{0, 2}));
+    EXPECT_EQ(c.NumElements(), 0);
+  }
+  {
+    Tensor a = Tensor::Full({2, 3}, 1.0f);
+    Tensor b({3, 0}, std::vector<float>{});
+    Tensor c = ops::MatMul(a, b);
+    EXPECT_EQ(c.shape(), (std::vector<int>{2, 0}));
+    EXPECT_EQ(c.NumElements(), 0);
+  }
+}
+
+TEST(TensorGradTest, MatMulZeroInnerDimBackwardIsSafe) {
+  Tensor a({2, 0}, std::vector<float>{}, /*requires_grad=*/true);
+  Tensor b({0, 3}, std::vector<float>{}, /*requires_grad=*/true);
+  Tensor loss = ops::Sum(ops::MatMul(a, b));
+  loss.Backward();
+  EXPECT_EQ(loss.item(), 0.0f);
+  EXPECT_TRUE(a.grad().empty());
+  EXPECT_TRUE(b.grad().empty());
 }
 
 TEST(OptimizerTest, AdamWReducesQuadraticLoss) {
