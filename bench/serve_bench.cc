@@ -1,0 +1,117 @@
+// Continuous-batching serving benchmark (docs/SERVING.md). First rechecks
+// the batching determinism contract — GenerateBatch must be token-identical
+// to per-request Generate, since throughput measured on divergent outputs
+// would be meaningless — then drives the scheduler with the closed-loop
+// load generator at batch widths 1, 4, and 8 and prints one `serve_loadgen`
+// row per width: throughput (tokens/sec), p50/p99 request latency, and mean
+// decode-batch occupancy. Rows are mirrored to VIST5_BENCH_JSON
+// (scripts/run_all_benches.sh exports it into build/obs/).
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/suite.h"
+#include "data/corpus.h"
+#include "data/db_gen.h"
+#include "data/nvbench_gen.h"
+#include "model/transformer_model.h"
+#include "nn/transformer.h"
+#include "serve/loadgen.h"
+#include "serve/scheduler.h"
+#include "text/tokenizer.h"
+#include "util/runtime.h"
+
+namespace vist5 {
+namespace {
+
+struct Fixture {
+  text::Tokenizer tokenizer;
+  std::unique_ptr<model::TransformerSeq2Seq> model;
+  std::vector<std::vector<int>> prompts;
+
+  Fixture() {
+    TuneAllocatorForTraining();
+    data::DbGenOptions db_options;
+    db_options.num_databases = 12;
+    const db::Catalog catalog = data::GenerateCatalog(db_options);
+    const auto splits = data::AssignDatabaseSplits(catalog, 0.7, 0.1, 11);
+    const auto nvbench = data::GenerateNvBench(catalog, splits, {});
+    std::vector<std::string> corpus;
+    for (const auto& ex : nvbench) {
+      corpus.push_back(ex.question);
+      corpus.push_back(ex.query);
+    }
+    tokenizer = text::Tokenizer::Build(corpus);
+    model = std::make_unique<model::TransformerSeq2Seq>(
+        nn::TransformerConfig::T5Small(tokenizer.vocab_size()),
+        tokenizer.pad_id(), tokenizer.eos_id(), 7);
+    for (const auto& ex : nvbench) {
+      prompts.push_back(tokenizer.Encode(ex.question));
+      if (prompts.size() >= 16) break;
+    }
+  }
+};
+
+/// Untrained models tend to emit EOS early; forcing a fixed-length decode
+/// keeps the token count per request deterministic and comparable across
+/// batch widths.
+model::GenerationOptions FixedLengthDecode(int tokens, int eos_id) {
+  model::GenerationOptions gen;
+  gen.max_len = tokens;
+  gen.allowed = [eos_id](int token) { return token != eos_id; };
+  return gen;
+}
+
+void CheckBatchedParity(const Fixture& f,
+                        const model::GenerationOptions& gen) {
+  std::vector<std::vector<int>> sequential;
+  for (const auto& src : f.prompts) {
+    sequential.push_back(f.model->Generate(src, gen));
+  }
+  const auto batched = f.model->GenerateBatch(f.prompts, gen);
+  if (batched != sequential) {
+    std::fprintf(stderr,
+                 "serve_bench: PARITY FAILURE — continuous-batched decode "
+                 "disagrees with sequential decode\n");
+    std::exit(1);
+  }
+}
+
+int Main() {
+  Fixture f;
+  const model::GenerationOptions gen =
+      FixedLengthDecode(64, f.tokenizer.eos_id());
+  CheckBatchedParity(f, gen);
+
+  bench::PrintHeader("serve_loadgen",
+                     {"tok_s", "p50_ms", "p99_ms", "occupancy"});
+  constexpr int kRequests = 48;
+  for (int width : {1, 4, 8}) {
+    serve::SchedulerOptions sched_options;
+    sched_options.max_batch = width;
+    sched_options.queue_capacity = kRequests + 16;
+    serve::BatchScheduler scheduler(f.model.get(), sched_options);
+    scheduler.Start();
+
+    serve::LoadGenOptions load;
+    load.concurrency = width;
+    load.total_requests = kRequests;
+    load.gen = gen;
+    const serve::LoadGenReport report =
+        serve::RunLoadGen(&scheduler, f.prompts, load);
+    scheduler.Shutdown(/*drain=*/true);
+
+    bench::PrintRow("t5_small_batch" + std::to_string(width),
+                    {report.tok_per_sec, report.p50_ms, report.p99_ms,
+                     report.mean_batch});
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace vist5
+
+int main() { return vist5::Main(); }

@@ -5,17 +5,34 @@
 //   vist5_cli suitability --db DIR --query "visualize ..."
 //   vist5_cli describe    --query "visualize ..."
 //   vist5_cli schema      --db DIR [--question "..."]
+//   vist5_cli serve       [--port N] [--max-batch N] [--seed N]
+//   vist5_cli bench-serve [--requests N] [--max-len N] [--seed N]
 //
 // --db names a directory of CSV files; each file becomes a table (the file
 // stem is the table name, the first CSV record the header). The directory
 // name becomes the database name.
+//
+// `serve` starts a line-delimited JSON server (docs/SERVING.md) backed by
+// the continuous-batching scheduler over a demo fixture: a synthetic
+// catalog, a tokenizer built from its NVBench pairs, and an untrained
+// T5-small model. `bench-serve` drives the same fixture with the in-process
+// load generator at batch widths 1/4/8.
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <map>
+#include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "data/corpus.h"
+#include "data/db_gen.h"
 #include "data/nvbench_gen.h"
 #include "db/csv.h"
 #include "dv/chart.h"
@@ -25,8 +42,13 @@
 #include "dv/parser.h"
 #include "dv/standardize.h"
 #include "dv/vega.h"
+#include "model/transformer_model.h"
+#include "nn/transformer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"
+#include "text/tokenizer.h"
 #include "util/rng.h"
 
 namespace vist5 {
@@ -35,9 +57,125 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: vist5_cli <render|standardize|suitability|describe|"
-               "schema> [--db DIR] [--query Q] [--question TEXT] "
-               "[--dvl vega|ggplot|echarts]\n");
+               "schema|serve|bench-serve> [--db DIR] [--query Q] "
+               "[--question TEXT] [--dvl vega|ggplot|echarts] [--port N] "
+               "[--max-batch N] [--requests N] [--max-len N] [--seed N]\n");
   return 2;
+}
+
+std::sig_atomic_t volatile g_interrupted = 0;
+void HandleInterrupt(int) { g_interrupted = 1; }
+
+int FlagInt(const std::map<std::string, std::string>& flags,
+            const std::string& name, int fallback) {
+  auto it = flags.find(name);
+  return it == flags.end() ? fallback : std::atoi(it->second.c_str());
+}
+
+/// Everything the serving subcommands need: a tokenizer over the synthetic
+/// NVBench corpus, an untrained model sized to it, and encoded questions
+/// to use as prompts.
+struct ServeFixture {
+  text::Tokenizer tokenizer;
+  std::unique_ptr<model::TransformerSeq2Seq> model;
+  std::vector<std::vector<int>> prompts;
+};
+
+ServeFixture BuildServeFixture(uint64_t seed) {
+  VIST5_TRACE_SPAN("cli/serve_fixture");
+  data::DbGenOptions db_options;
+  db_options.num_databases = 8;
+  db_options.seed = 17;
+  const db::Catalog catalog = data::GenerateCatalog(db_options);
+  const auto splits = data::AssignDatabaseSplits(catalog, 0.7, 0.1, 11);
+  data::NvBenchOptions nv_options;
+  nv_options.pairs_per_db = 6;
+  nv_options.seed = 23;
+  const auto examples = data::GenerateNvBench(catalog, splits, nv_options);
+
+  ServeFixture fixture;
+  std::vector<std::string> corpus;
+  for (const auto& ex : examples) {
+    corpus.push_back(ex.question);
+    corpus.push_back(ex.query);
+  }
+  fixture.tokenizer = text::Tokenizer::Build(corpus);
+  fixture.model = std::make_unique<model::TransformerSeq2Seq>(
+      nn::TransformerConfig::T5Small(fixture.tokenizer.vocab_size()),
+      fixture.tokenizer.pad_id(), fixture.tokenizer.eos_id(), seed);
+  for (const auto& ex : examples) {
+    fixture.prompts.push_back(fixture.tokenizer.Encode(ex.question));
+  }
+  return fixture;
+}
+
+int RunServe(const std::map<std::string, std::string>& flags) {
+  const uint64_t seed = static_cast<uint64_t>(FlagInt(flags, "seed", 1234));
+  ServeFixture fixture = BuildServeFixture(seed);
+
+  serve::SchedulerOptions sched_options;
+  sched_options.max_batch = FlagInt(flags, "max-batch", 8);
+  serve::BatchScheduler scheduler(fixture.model.get(), sched_options);
+  scheduler.Start();
+
+  serve::ServerOptions server_options;
+  server_options.port = FlagInt(flags, "port", 0);
+  serve::Server server(&scheduler, &fixture.tokenizer, server_options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "serve: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("vist5 serving on %s:%d (max_batch=%d, vocab=%d); Ctrl-C to "
+              "drain and exit\n",
+              server_options.host.c_str(), server.port(),
+              sched_options.max_batch, fixture.tokenizer.vocab_size());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleInterrupt);
+  std::signal(SIGTERM, HandleInterrupt);
+  while (g_interrupted == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("draining...\n");
+  server.Stop(/*drain=*/true);
+  scheduler.Shutdown(/*drain=*/true);
+  return 0;
+}
+
+int RunBenchServe(const std::map<std::string, std::string>& flags) {
+  const uint64_t seed = static_cast<uint64_t>(FlagInt(flags, "seed", 1234));
+  const int requests = FlagInt(flags, "requests", 48);
+  ServeFixture fixture = BuildServeFixture(seed);
+
+  std::printf("%-8s %12s %10s %10s %10s\n", "batch", "tok/s", "p50_ms",
+              "p99_ms", "occupancy");
+  double base_tps = 0;
+  for (int width : {1, 4, 8}) {
+    serve::SchedulerOptions sched_options;
+    sched_options.max_batch = width;
+    sched_options.queue_capacity = static_cast<size_t>(requests) + 16;
+    serve::BatchScheduler scheduler(fixture.model.get(), sched_options);
+    scheduler.Start();
+
+    serve::LoadGenOptions load;
+    load.concurrency = width;
+    load.total_requests = requests;
+    load.gen.max_len = FlagInt(flags, "max-len", 24);
+    const serve::LoadGenReport report =
+        serve::RunLoadGen(&scheduler, fixture.prompts, load);
+    scheduler.Shutdown(/*drain=*/true);
+
+    if (width == 1) base_tps = report.tok_per_sec;
+    std::printf("%-8d %12.1f %10.2f %10.2f %10.2f\n", width,
+                report.tok_per_sec, report.p50_ms, report.p99_ms,
+                report.mean_batch);
+  }
+  if (base_tps > 0) {
+    std::printf("(batch widths share one untrained fixture; speedup is "
+                "relative to batch 1)\n");
+  }
+  return 0;
 }
 
 StatusOr<db::Database> LoadDatabase(const std::string& dir) {
@@ -74,6 +212,9 @@ int Main(int argc, char** argv) {
   }
   const std::string query_text = flags.count("query") ? flags["query"] : "";
   const std::string dvl = flags.count("dvl") ? flags["dvl"] : "vega";
+
+  if (command == "serve") return RunServe(flags);
+  if (command == "bench-serve") return RunBenchServe(flags);
 
   if (command == "describe") {
     if (query_text.empty()) return Usage();

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Builds the repo under ThreadSanitizer (-DVIST5_SANITIZE=thread, see the
 # top-level CMakeLists) into build-tsan/ and runs the concurrency-sensitive
-# test binaries: the rt thread pool, the obs metrics/trace registry, and the
-# thread-count determinism pins. Any data race fails the run.
+# test binaries: the rt thread pool, the obs metrics/trace registry, the
+# thread-count determinism pins, the shared-tokenizer concurrent encode,
+# and the serve scheduler/server. Any data race fails the run.
 #
 # Usage: scripts/run_tsan.sh [extra ctest -R regex]
 set -eu
@@ -11,11 +12,11 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=build-tsan
 cmake -B "$BUILD_DIR" -S . -DVIST5_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target rt_test obs_test determinism_test
+  --target rt_test obs_test determinism_test text_test serve_test
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
 status=0
-for t in rt_test obs_test determinism_test; do
+for t in rt_test obs_test determinism_test text_test serve_test; do
   echo "===== tsan: $t ====="
   "$BUILD_DIR/tests/$t" || status=$?
 done

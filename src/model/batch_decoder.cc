@@ -1,0 +1,150 @@
+#include "model/batch_decoder.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tensor/ops.h"
+
+namespace vist5 {
+namespace model {
+
+void ContinuousDecoder::Admit(uint64_t id, const std::vector<int>& src,
+                              const GenerationOptions& options,
+                              Clock::time_point deadline) {
+  VIST5_CHECK(options.beam_size <= 1 && options.temperature <= 0.0f)
+      << "ContinuousDecoder batches greedy requests only";
+  VIST5_CHECK(!src.empty());
+  NoGradGuard guard;
+  const int src_len = static_cast<int>(src.size());
+  const std::vector<int> lengths = {src_len};
+  Tensor memory = model_->transformer().Encode(src, 1, src_len, lengths,
+                                               /*train=*/false, nullptr);
+  nn::DecodeState fresh =
+      model_->transformer().BeginDecode(memory, 1, src_len, lengths);
+  // Preallocate the self-attention caches to the row's full step budget.
+  // The zero capacity beyond the valid length is masked inside attention,
+  // and it lets every subsequent decode step write keys/values in place
+  // instead of reallocating the whole cache (ops::ScatterTimeInPlace).
+  const int capacity = std::max(options.max_len, 1);
+  for (nn::DecodeState::LayerCache& layer : fresh.layers) {
+    const int heads = layer.cross_k.dim(1);
+    const int dh = layer.cross_k.dim(3);
+    layer.self_k = Tensor({1, heads, capacity, dh});
+    layer.self_v = Tensor({1, heads, capacity, dh});
+  }
+  state_.MergeFrom(std::move(fresh));
+  Row row;
+  row.id = id;
+  row.options = options;
+  row.deadline = deadline;
+  row.prev = model_->pad_id();
+  rows_.push_back(std::move(row));
+}
+
+void ContinuousDecoder::Evict(const std::vector<int>& survivors) {
+  if (static_cast<int>(survivors.size()) == active()) return;
+  state_.Reorder(survivors);
+  std::vector<Row> kept;
+  kept.reserve(survivors.size());
+  for (int idx : survivors) {
+    kept.push_back(std::move(rows_[static_cast<size_t>(idx)]));
+  }
+  rows_ = std::move(kept);
+}
+
+std::vector<ContinuousDecoder::Finished> ContinuousDecoder::Step() {
+  std::vector<Finished> done;
+  if (rows_.empty()) return done;
+  VIST5_TRACE_SPAN("model/batch_decode_step");
+  // Covers the pre-step sweep too: its Evict reorders KV caches through
+  // inference-only ops (GatherBatch), not just the decode step below.
+  NoGradGuard guard;
+
+  // Pre-step sweep: rows past their deadline (or with no step budget at
+  // all) leave with their best-so-far tokens before paying for another
+  // decode step.
+  const Clock::time_point now = Clock::now();
+  std::vector<int> survivors;
+  survivors.reserve(rows_.size());
+  for (int b = 0; b < active(); ++b) {
+    Row& row = rows_[static_cast<size_t>(b)];
+    if (static_cast<int>(row.out.size()) >= row.options.max_len) {
+      done.push_back({row.id, std::move(row.out), false});
+    } else if (row.deadline <= now) {
+      done.push_back({row.id, std::move(row.out), true});
+    } else {
+      survivors.push_back(b);
+    }
+  }
+  Evict(survivors);
+  if (rows_.empty()) return done;
+
+  std::vector<int> next_ids(rows_.size());
+  for (size_t b = 0; b < rows_.size(); ++b) next_ids[b] = rows_[b].prev;
+  Tensor hidden = model_->transformer().DecodeStepRagged(next_ids, &state_);
+  Tensor logits = model_->transformer().Logits(hidden);  // [B, V]
+  const int vocab = logits.dim(1);
+  const float* data = logits.data().data();
+
+  survivors.clear();
+  for (int b = 0; b < active(); ++b) {
+    Row& row = rows_[static_cast<size_t>(b)];
+    const int next = BestAllowedToken(data + static_cast<size_t>(b) * vocab,
+                                      vocab, row.options.allowed);
+    // Same termination rule as GreedyDecode: stop without emitting on EOS
+    // or an exhausted constraint, otherwise emit and stop once max_len
+    // tokens are out.
+    bool finished = next < 0 || next == model_->eos_id();
+    if (!finished) {
+      row.out.push_back(next);
+      row.prev = next;
+      finished = static_cast<int>(row.out.size()) >= row.options.max_len;
+    }
+    if (finished) {
+      done.push_back({row.id, std::move(row.out), false});
+    } else {
+      survivors.push_back(b);
+    }
+  }
+  Evict(survivors);
+  return done;
+}
+
+std::vector<std::vector<int>> TransformerSeq2Seq::GenerateBatch(
+    const std::vector<std::vector<int>>& srcs,
+    const GenerationOptions& options) const {
+  std::vector<std::vector<int>> out(srcs.size());
+  if (srcs.empty()) return out;
+  if (options.beam_size > 1 || options.temperature > 0.0f ||
+      !options.use_kv_cache) {
+    for (size_t i = 0; i < srcs.size(); ++i) {
+      out[i] = Generate(srcs[i], options);
+    }
+    return out;
+  }
+  VIST5_TRACE_SPAN("model/generate_batch");
+  static obs::Counter* batched_calls = obs::GetCounter("decode/batched_calls");
+  static obs::Counter* tokens = obs::GetCounter("decode/tokens");
+  const auto deadline =
+      options.deadline_ms > 0
+          ? ContinuousDecoder::Clock::now() +
+                std::chrono::milliseconds(options.deadline_ms)
+          : ContinuousDecoder::Clock::time_point::max();
+  ContinuousDecoder decoder(this);
+  for (size_t i = 0; i < srcs.size(); ++i) {
+    decoder.Admit(static_cast<uint64_t>(i), srcs[i], options, deadline);
+  }
+  while (decoder.active() > 0) {
+    for (ContinuousDecoder::Finished& f : decoder.Step()) {
+      tokens->Add(static_cast<int64_t>(f.tokens.size()));
+      out[static_cast<size_t>(f.id)] = std::move(f.tokens);
+    }
+  }
+  batched_calls->Add();
+  return out;
+}
+
+}  // namespace model
+}  // namespace vist5

@@ -1,0 +1,79 @@
+#ifndef VIST5_MODEL_BATCH_DECODER_H_
+#define VIST5_MODEL_BATCH_DECODER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "model/transformer_model.h"
+
+namespace vist5 {
+namespace model {
+
+/// Continuous (in-flight) batching over a shared KV cache.
+///
+/// Requests are admitted one at a time — each is prefilled exactly like a
+/// single Generate call (batch-of-one encode + cross K/V projection) and
+/// merged into the running decode batch at a step boundary. Every Step()
+/// advances all active rows by one token through DecodeStepRagged; rows
+/// that emit EOS, hit max_len, exhaust their vocabulary constraint, or
+/// blow their deadline are evicted and returned. Because every kernel on
+/// the decode path is batch-row-pure, each request's token stream is
+/// bit-identical to what a sequential Generate would produce, regardless
+/// of which other requests share the batch (docs/SERVING.md).
+///
+/// Greedy-only: beam search reorders the whole batch and sampling consumes
+/// per-request RNG state, so the serve scheduler runs those exclusively via
+/// Generate instead. Not thread-safe; the scheduler owns one instance on
+/// its decode thread.
+class ContinuousDecoder {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Finished {
+    uint64_t id = 0;
+    std::vector<int> tokens;
+    /// True when the row was evicted by its deadline; `tokens` then holds
+    /// the best-so-far prefix.
+    bool deadline_expired = false;
+  };
+
+  explicit ContinuousDecoder(const TransformerSeq2Seq* model)
+      : model_(model) {}
+
+  /// Admits one request into the batch. `options` must be greedy
+  /// (beam_size <= 1, temperature <= 0); `deadline` of
+  /// Clock::time_point::max() disables the per-request deadline.
+  void Admit(uint64_t id, const std::vector<int>& src,
+             const GenerationOptions& options,
+             Clock::time_point deadline = Clock::time_point::max());
+
+  /// Advances every active row by one token. Returns the rows that
+  /// finished (or expired) during this step, in batch order.
+  std::vector<Finished> Step();
+
+  /// Number of requests currently decoding.
+  int active() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  struct Row {
+    uint64_t id = 0;
+    GenerationOptions options;
+    Clock::time_point deadline = Clock::time_point::max();
+    std::vector<int> out;
+    int prev = 0;  ///< last token fed (starts at the pad/start symbol)
+  };
+
+  /// Keeps only `survivors` (indices into the current batch order) in both
+  /// the decode state and the row table.
+  void Evict(const std::vector<int>& survivors);
+
+  const TransformerSeq2Seq* model_;
+  nn::DecodeState state_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace model
+}  // namespace vist5
+
+#endif  // VIST5_MODEL_BATCH_DECODER_H_

@@ -59,6 +59,13 @@ struct GenerationOptions {
   /// reference implementation; both produce bit-identical tokens (see
   /// docs/INFERENCE.md).
   bool use_kv_cache = true;
+  /// Wall-clock decode budget in milliseconds, measured from the start of
+  /// decoding (0 = unlimited). On expiry the cached decoders return the
+  /// best result so far: greedy keeps the tokens emitted up to that point,
+  /// beam search selects among finished and alive hypotheses exactly as it
+  /// would when the step budget runs out. Serving uses this to bound
+  /// per-request latency (docs/SERVING.md).
+  int deadline_ms = 0;
 };
 
 /// Abstract trainable sequence-to-sequence model (the unit of comparison in

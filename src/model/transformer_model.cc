@@ -10,14 +10,11 @@
 
 namespace vist5 {
 namespace model {
-namespace {
 
-/// Argmax over a logits row subject to the optional vocabulary constraint.
-/// Returns -1 when the constraint rejects every token ("nothing allowed"),
-/// which callers treat as end-of-sequence — emitting token 0 (pad) here
-/// would loop until max_len producing pad garbage.
-int BestToken(const float* row, int vocab,
-              const std::function<bool(int)>& allowed) {
+// Returning -1 on "nothing allowed" (rather than emitting token 0) matters:
+// pad would loop until max_len producing pad garbage.
+int BestAllowedToken(const float* row, int vocab,
+                     const std::function<bool(int)>& allowed) {
   int best = -1;
   float best_score = -1e30f;
   for (int v = 0; v < vocab; ++v) {
@@ -29,6 +26,8 @@ int BestToken(const float* row, int vocab,
   }
   return best;
 }
+
+namespace {
 
 /// Temperature + top-k sampling over a logits row. Returns -1 when no
 /// token is allowed (treated as end-of-sequence by callers).
@@ -220,14 +219,21 @@ std::vector<int> TransformerSeq2Seq::GreedyDecode(
       transformer_->BeginDecode(memory, 1, src_len, src_lengths);
   std::vector<int> out;
   int prev = pad_id_;
+  const bool has_deadline = options.deadline_ms > 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(has_deadline ? options.deadline_ms : 0);
   for (int step = 0; step < options.max_len; ++step) {
+    // Deadline expiry returns the best-so-far prefix instead of throwing
+    // work away (serving's per-request latency bound).
+    if (has_deadline && std::chrono::steady_clock::now() >= deadline) break;
     Tensor hidden = transformer_->DecodeStep({prev}, &state);  // [1, d]
     Tensor logits = transformer_->Logits(hidden);              // [1, V]
     const int vocab = logits.dim(1);
     const float* row = logits.data().data();
     const bool sample = options.temperature > 0 && options.rng != nullptr;
     const int next = sample ? SampleToken(row, vocab, options)
-                            : BestToken(row, vocab, options.allowed);
+                            : BestAllowedToken(row, vocab, options.allowed);
     if (next < 0 || next == eos_id_) break;
     out.push_back(next);
     prev = next;
@@ -258,7 +264,7 @@ std::vector<int> TransformerSeq2Seq::GreedyDecodeFull(
     const float* row = logits.data().data();
     const bool sample = options.temperature > 0 && options.rng != nullptr;
     const int next = sample ? SampleToken(row, vocab, options)
-                            : BestToken(row, vocab, options.allowed);
+                            : BestAllowedToken(row, vocab, options.allowed);
     if (next < 0 || next == eos_id_) break;
     out.push_back(next);
     dec.push_back(next);
@@ -280,7 +286,14 @@ std::vector<int> TransformerSeq2Seq::BeamDecode(
   std::vector<BeamHypothesis> beams = {{{pad_id_}, 0.0}};
   std::vector<std::pair<std::vector<int>, double>> finished;
 
+  const bool has_deadline = options.deadline_ms > 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(has_deadline ? options.deadline_ms : 0);
   for (int step = 0; step < options.max_len && !beams.empty(); ++step) {
+    // On deadline expiry, select among what exists so far — the same
+    // choice rule as when the step budget runs out.
+    if (has_deadline && std::chrono::steady_clock::now() >= deadline) break;
     const int nb = static_cast<int>(beams.size());
     // Feed only each hypothesis' newest token; the cache carries the rest.
     std::vector<int> next_ids(static_cast<size_t>(nb));

@@ -17,6 +17,14 @@ struct BeamHypothesis {
   double log_prob = 0;
 };
 
+/// Argmax over one logits row subject to the optional vocabulary
+/// constraint. Returns -1 when the constraint rejects every token
+/// ("nothing allowed"), which callers treat as end-of-sequence. Shared by
+/// the greedy decoders and the continuous-batching serve path so every
+/// path picks tokens identically.
+int BestAllowedToken(const float* row, int vocab,
+                     const std::function<bool(int)>& allowed);
+
 /// Final beam selection. `finished` holds (output tokens, length-normalized
 /// score) pairs for hypotheses that emitted EOS; `alive` holds hypotheses
 /// still running when the step budget ended. Alive hypotheses are
@@ -47,6 +55,15 @@ class TransformerSeq2Seq : public Seq2SeqModel {
   /// search. Honors `options.allowed` as a hard vocabulary constraint.
   std::vector<int> Generate(const std::vector<int>& src,
                             const GenerationOptions& options) const override;
+
+  /// Decodes all sources as one continuously batched greedy decode over a
+  /// shared KV cache (ContinuousDecoder). Token-for-token identical to
+  /// calling Generate on each source — rows are batch-pure, see
+  /// docs/SERVING.md. Beam, sampling, and full-prefix options fall back to
+  /// per-request Generate. Defined in batch_decoder.cc.
+  std::vector<std::vector<int>> GenerateBatch(
+      const std::vector<std::vector<int>>& srcs,
+      const GenerationOptions& options) const;
 
   nn::Transformer& transformer() { return *transformer_; }
   const nn::Transformer& transformer() const { return *transformer_; }

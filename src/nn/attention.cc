@@ -1,5 +1,6 @@
 #include "nn/attention.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "obs/trace.h"
@@ -64,6 +65,43 @@ Tensor RelativePositionBias::Forward(int tq, int tk, int query_offset) const {
   return ops::Reshape(transposed, {heads_, tq, tk});
 }
 
+Tensor RelativePositionBias::ForwardBatched(
+    const std::vector<int>& query_positions, int tk) const {
+  VIST5_CHECK(!GradEnabled()) << "ForwardBatched is inference-only";
+  const int b = static_cast<int>(query_positions.size());
+  const float* table = table_.data().data();
+  // Bias values are copied straight out of the learned table — the same
+  // floats Forward() would gather — so the ragged path stays bit-identical
+  // to the uniform one. Keys beyond a row's query position are zero-filled;
+  // they are masked out by per-row key lengths before the softmax.
+  std::vector<float> out(static_cast<size_t>(b) * heads_ * tk, 0.0f);
+  const size_t row_elems = static_cast<size_t>(heads_) * tk;
+  int prev_q = -1;
+  for (int bi = 0; bi < b; ++bi) {
+    const int q = query_positions[bi];
+    VIST5_CHECK_LT(q, tk);
+    float* row = out.data() + static_cast<size_t>(bi) * row_elems;
+    if (q == prev_q) {
+      // Rows at the same decode step share the whole [H, tk] slab — copy
+      // the floats just computed instead of re-deriving every bucket.
+      // GenerateBatch admits all rows at step zero, so this turns the
+      // O(B * tk) Bucket() walk into a single walk plus B - 1 memcpys.
+      std::copy_n(row - row_elems, row_elems, row);
+      continue;
+    }
+    prev_q = q;
+    for (int k = 0; k <= q; ++k) {
+      const int bucket =
+          Bucket(k - q, bidirectional_, num_buckets_, max_distance_);
+      for (int h = 0; h < heads_; ++h) {
+        row[static_cast<size_t>(h) * tk + k] =
+            table[static_cast<size_t>(bucket) * heads_ + h];
+      }
+    }
+  }
+  return Tensor({b, heads_, 1, tk}, std::move(out));
+}
+
 MultiHeadAttention::MultiHeadAttention(int dim, int heads, bool bias,
                                        bool scale_scores, Rng* rng)
     : dim_(dim),
@@ -104,19 +142,41 @@ Tensor MultiHeadAttention::ForwardCached(const Tensor& query, const Tensor& k,
 
   Tensor q = ops::SplitHeads(wq_.Forward(query), args.batch, args.tq, heads_);
 
-  Tensor scores = ops::MatMulTransposeB(q, k);  // [B, H, Tq, Tk]
+  // Single-query inference steps bound the score and context products by
+  // each row's visible-key count — the same prefix MaskedSoftmax keeps.
+  // The bounded ops run the identical row kernels on the identical
+  // elements, so results match the unbounded products bit-for-bit while
+  // skipping the masked tail: with preallocated KV capacity (continuous
+  // batching) that halves the K/V stream per step on average.
+  const bool bounded = !GradEnabled() && args.tq == 1;
+  std::vector<int> valid;
+  if (bounded) {
+    valid.resize(static_cast<size_t>(args.batch));
+    for (int b = 0; b < args.batch; ++b) {
+      int n = std::min((*args.key_lengths)[static_cast<size_t>(b)], args.tk);
+      if (args.causal) n = std::min(n, args.query_offset + 1);
+      valid[static_cast<size_t>(b)] = std::max(n, 0);
+    }
+  }
+  Tensor scores = bounded ? ops::BoundedAttnScores(q, k, valid)
+                          : ops::MatMulTransposeB(q, k);  // [B, H, Tq, Tk]
   if (scale_scores_) {
     scores = ops::Scale(scores, 1.0f / std::sqrt(static_cast<float>(dh)));
   }
   if (args.position_bias != nullptr) {
     scores = ops::AddBroadcast(scores, *args.position_bias);
   }
+  if (args.batch_position_bias != nullptr) {
+    VIST5_CHECK(args.position_bias == nullptr);
+    scores = ops::Add(scores, *args.batch_position_bias);
+  }
   Tensor attn = ops::MaskedSoftmax(scores, *args.key_lengths, args.causal,
                                    args.query_offset);
   if (args.dropout_p > 0.0f && args.rng != nullptr) {
     attn = ops::Dropout(attn, args.dropout_p, args.rng);
   }
-  Tensor context = ops::MatMul(attn, v);      // [B, H, Tq, dh]
+  Tensor context = bounded ? ops::BoundedAttnContext(attn, v, valid)
+                           : ops::MatMul(attn, v);  // [B, H, Tq, dh]
   Tensor merged = ops::MergeHeads(context);   // [B*Tq, d]
   return wo_.Forward(merged);
 }

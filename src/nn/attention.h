@@ -21,6 +21,14 @@ class RelativePositionBias : public Module {
   /// absolute position of the first query (incremental decoding).
   Tensor Forward(int tq, int tk, int query_offset = 0) const;
 
+  /// Per-row bias for a ragged decode step: row b holds the bias of a
+  /// single query at absolute position `query_positions[b]` against keys
+  /// 0..tk-1, i.e. exactly Forward(1, q_b + 1, q_b) zero-padded to `tk`.
+  /// Returns [B, heads, 1, tk]. Inference-only (reads the table without
+  /// recording autograd history); must run under NoGradGuard.
+  Tensor ForwardBatched(const std::vector<int>& query_positions,
+                        int tk) const;
+
   /// Maps a relative position (key_pos - query_pos) to a bucket index,
   /// following the T5 reference bucketing scheme.
   static int Bucket(int relative_position, bool bidirectional,
@@ -51,8 +59,12 @@ class MultiHeadAttention : public Module {
     /// Valid key length per batch element (padding mask).
     const std::vector<int>* key_lengths = nullptr;
     bool causal = false;
-    /// Optional additive bias [H, Tq, Tk].
+    /// Optional additive bias [H, Tq, Tk], broadcast over the batch.
     const Tensor* position_bias = nullptr;
+    /// Optional additive per-row bias [B, H, Tq, Tk] (ragged decode steps,
+    /// where each batch row sits at a different absolute position).
+    /// Mutually exclusive with `position_bias`.
+    const Tensor* batch_position_bias = nullptr;
     /// Absolute position of the first query row (causal masking during
     /// incremental decoding).
     int query_offset = 0;

@@ -1,5 +1,6 @@
 #include "nn/transformer.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace vist5 {
@@ -76,7 +77,19 @@ void DecodeState::Reorder(const std::vector<int>& parents) {
     identity = parents[i] == static_cast<int>(i);
   }
   if (identity) return;
+  std::vector<int> new_steps(parents.size(), 0);
+  int max_step = 0;
+  for (size_t i = 0; i < parents.size(); ++i) {
+    if (!steps.empty()) {
+      new_steps[i] = steps[static_cast<size_t>(parents[i])];
+    }
+    max_step = std::max(max_step, new_steps[i]);
+  }
   for (LayerCache& layer : layers) {
+    // Time capacity is kept as-is: surviving rows may be shorter than the
+    // cache's extent, but the tail is zero-filled and masked, and trimming
+    // it would throw away the preallocated capacity the in-place scatter
+    // path relies on (docs/SERVING.md).
     layer.self_k = ops::GatherBatch(layer.self_k, parents);
     layer.self_v = ops::GatherBatch(layer.self_v, parents);
     layer.cross_k = ops::GatherBatch(layer.cross_k, parents);
@@ -87,7 +100,58 @@ void DecodeState::Reorder(const std::vector<int>& parents) {
     lengths[i] = memory_lengths[static_cast<size_t>(parents[i])];
   }
   memory_lengths = std::move(lengths);
+  if (!steps.empty()) {
+    steps = std::move(new_steps);
+    step = max_step;
+  }
   batch = static_cast<int>(parents.size());
+}
+
+void DecodeState::MergeFrom(DecodeState&& other) {
+  if (batch == 0) {
+    *this = std::move(other);
+    return;
+  }
+  VIST5_CHECK_EQ(layers.size(), other.layers.size());
+  VIST5_CHECK_EQ(static_cast<int>(steps.size()), batch);
+  VIST5_CHECK_EQ(static_cast<int>(other.steps.size()), other.batch);
+  // Builds a zero slab matching `like` for a side whose cache is still
+  // undefined (no decode step taken yet).
+  const auto zeros_like = [](const Tensor& like, int rows) {
+    return Tensor({rows, like.dim(1), like.dim(2), like.dim(3)});
+  };
+  for (size_t i = 0; i < layers.size(); ++i) {
+    LayerCache& a = layers[i];
+    LayerCache& b = other.layers[i];
+    const int t_self = std::max(a.self_k.defined() ? a.self_k.dim(2) : 0,
+                                b.self_k.defined() ? b.self_k.dim(2) : 0);
+    if (t_self > 0) {
+      Tensor ak = a.self_k.defined() ? ops::PadTime(a.self_k, t_self)
+                                     : Tensor();
+      Tensor av = a.self_v.defined() ? ops::PadTime(a.self_v, t_self)
+                                     : Tensor();
+      Tensor bk = b.self_k.defined() ? ops::PadTime(b.self_k, t_self)
+                                     : Tensor();
+      Tensor bv = b.self_v.defined() ? ops::PadTime(b.self_v, t_self)
+                                     : Tensor();
+      if (!ak.defined()) ak = zeros_like(bk, batch);
+      if (!av.defined()) av = zeros_like(bv, batch);
+      if (!bk.defined()) bk = zeros_like(ak, other.batch);
+      if (!bv.defined()) bv = zeros_like(av, other.batch);
+      a.self_k = ops::ConcatBatch(ak, bk);
+      a.self_v = ops::ConcatBatch(av, bv);
+    }
+    const int t_enc = std::max(a.cross_k.dim(2), b.cross_k.dim(2));
+    a.cross_k = ops::ConcatBatch(ops::PadTime(a.cross_k, t_enc),
+                                 ops::PadTime(b.cross_k, t_enc));
+    a.cross_v = ops::ConcatBatch(ops::PadTime(a.cross_v, t_enc),
+                                 ops::PadTime(b.cross_v, t_enc));
+  }
+  memory_lengths.insert(memory_lengths.end(), other.memory_lengths.begin(),
+                        other.memory_lengths.end());
+  steps.insert(steps.end(), other.steps.begin(), other.steps.end());
+  batch += other.batch;
+  step = std::max(step, other.step);
 }
 
 EncoderLayer::EncoderLayer(const TransformerConfig& config, Rng* rng)
@@ -271,6 +335,72 @@ Tensor DecoderLayer::ForwardStep(const Tensor& x, int batch,
   return ln3_->Forward(ops::Add(h2, ff_.Forward(h2, 0.0f, nullptr)));
 }
 
+Tensor DecoderLayer::ForwardStepRagged(const Tensor& x, int batch,
+                                       const std::vector<int>& memory_lengths,
+                                       const Tensor* self_bias,
+                                       const std::vector<int>& steps,
+                                       DecodeState::LayerCache* cache) const {
+  const Tensor self_input = IsPreRms(norm_style_) ? rms1_->Forward(x) : x;
+  Tensor k_new, v_new;
+  self_attn_.ProjectKv(self_input, batch, 1, &k_new, &v_new);
+  // Row b's keys/values land at its own time index steps[b]; shorter rows
+  // carry zero padding past their valid length. When the cache was
+  // preallocated with enough time capacity (ContinuousDecoder sizes it to
+  // max_len at admission) the write is in place; otherwise the time extent
+  // grows to max(steps)+1 by copy. Either way the visible-key region is
+  // identical, and the zero tail is masked out by self_lengths below.
+  int needed_t = 0;
+  for (int s : steps) needed_t = std::max(needed_t, s + 1);
+  if (cache->self_k.defined() && cache->self_k.dim(2) >= needed_t &&
+      cache->self_k.impl().use_count() == 1 &&
+      cache->self_v.impl().use_count() == 1) {
+    ops::ScatterTimeInPlace(&cache->self_k, k_new, steps);
+    ops::ScatterTimeInPlace(&cache->self_v, v_new, steps);
+  } else {
+    cache->self_k = ops::ScatterTime(cache->self_k, k_new, steps);
+    cache->self_v = ops::ScatterTime(cache->self_v, v_new, steps);
+  }
+
+  // For a single query at absolute position s, causal masking is exactly a
+  // key-length mask of s+1 — the same visible-key set ForwardStep's
+  // (causal, query_offset) pair produces — so ragged rows reuse the padding
+  // mask and stay bit-identical to their uniform-step counterparts.
+  MultiHeadAttention::ForwardArgs self_args;
+  self_args.batch = batch;
+  self_args.tq = 1;
+  self_args.tk = cache->self_k.dim(2);
+  std::vector<int> self_lengths(static_cast<size_t>(batch));
+  for (int b = 0; b < batch; ++b) {
+    self_lengths[static_cast<size_t>(b)] = steps[static_cast<size_t>(b)] + 1;
+  }
+  self_args.key_lengths = &self_lengths;
+  self_args.causal = false;
+  self_args.batch_position_bias = self_bias;
+
+  MultiHeadAttention::ForwardArgs cross_args;
+  cross_args.batch = batch;
+  cross_args.tq = 1;
+  cross_args.tk = cache->cross_k.dim(2);
+  cross_args.key_lengths = &memory_lengths;
+  cross_args.causal = false;
+
+  if (IsPreRms(norm_style_)) {
+    Tensor h = ops::Add(x, self_attn_.ForwardCached(self_input, cache->self_k,
+                                                    cache->self_v, self_args));
+    Tensor h2 = ops::Add(
+        h, cross_attn_.ForwardCached(rms2_->Forward(h), cache->cross_k,
+                                     cache->cross_v, cross_args));
+    return ops::Add(h2, ff_.Forward(rms3_->Forward(h2), 0.0f, nullptr));
+  }
+  Tensor h = ln1_->Forward(ops::Add(
+      x, self_attn_.ForwardCached(x, cache->self_k, cache->self_v,
+                                  self_args)));
+  Tensor h2 = ln2_->Forward(ops::Add(
+      h, cross_attn_.ForwardCached(h, cache->cross_k, cache->cross_v,
+                                   cross_args)));
+  return ln3_->Forward(ops::Add(h2, ff_.Forward(h2, 0.0f, nullptr)));
+}
+
 Transformer::Transformer(const TransformerConfig& config, Rng* rng)
     : config_(config), embedding_(config.vocab_size, config.d_model, rng) {
   RegisterModule("embedding", &embedding_);
@@ -375,6 +505,40 @@ Tensor Transformer::Embed(const std::vector<int>& ids, int batch, int seq,
   return emb;
 }
 
+Tensor Transformer::EmbedStep(const std::vector<int>& ids,
+                              const std::vector<int>& positions) const {
+  // Per-row variant of Embed with seq == 1: row b sits at absolute position
+  // positions[b]. Same clamping and same position-table floats, so a ragged
+  // step embeds each row exactly as Embed(ids, B, 1, offset) would at a
+  // uniform offset. Inference-only, so dropout never applies.
+  VIST5_CHECK_EQ(ids.size(), positions.size());
+  const int batch = static_cast<int>(ids.size());
+  Tensor emb = embedding_.Forward(ids);
+  if (config_.position_style == TransformerConfig::PositionStyle::kLearned) {
+    std::vector<int> pos_ids(positions.size());
+    for (int b = 0; b < batch; ++b) {
+      pos_ids[static_cast<size_t>(b)] =
+          std::min(positions[static_cast<size_t>(b)],
+                   config_.max_positions - 1);
+    }
+    emb = ops::Add(emb, ops::Embedding(learned_positions_, pos_ids));
+  } else if (config_.position_style ==
+             TransformerConfig::PositionStyle::kSinusoidal) {
+    std::vector<float> pos(ids.size() * static_cast<size_t>(config_.d_model));
+    for (int b = 0; b < batch; ++b) {
+      const int p = std::min(positions[static_cast<size_t>(b)],
+                             config_.max_positions - 1);
+      std::copy_n(
+          sinusoidal_.data() + static_cast<size_t>(p) * config_.d_model,
+          config_.d_model,
+          pos.data() + static_cast<size_t>(b) * config_.d_model);
+    }
+    Tensor pos_tensor({batch, config_.d_model}, std::move(pos));
+    emb = ops::Add(emb, pos_tensor);
+  }
+  return emb;
+}
+
 Tensor Transformer::Encode(const std::vector<int>& ids, int batch, int seq,
                            const std::vector<int>& lengths, bool train,
                            Rng* rng) const {
@@ -424,6 +588,7 @@ DecodeState Transformer::BeginDecode(
   DecodeState state;
   state.batch = batch;
   state.memory_lengths = memory_lengths;
+  state.steps.assign(static_cast<size_t>(batch), 0);
   state.layers.resize(decoder_layers_.size());
   for (size_t i = 0; i < decoder_layers_.size(); ++i) {
     decoder_layers_[i]->BeginDecode(memory, batch, enc_seq, &state.layers[i]);
@@ -454,6 +619,43 @@ Tensor Transformer::DecodeStep(const std::vector<int>& next_ids,
   }
   if (decoder_final_norm_) h = decoder_final_norm_->Forward(h);
   ++state->step;
+  // Keep the per-row view coherent with the uniform counter so the same
+  // state can later be merged into a ragged batch.
+  for (int& s : state->steps) ++s;
+  return h;
+}
+
+Tensor Transformer::DecodeStepRagged(const std::vector<int>& next_ids,
+                                     DecodeState* state) const {
+  VIST5_CHECK(!GradEnabled()) << "DecodeStepRagged is inference-only";
+  VIST5_CHECK(state != nullptr);
+  VIST5_CHECK_EQ(static_cast<int>(next_ids.size()), state->batch);
+  VIST5_CHECK_EQ(static_cast<int>(state->steps.size()), state->batch);
+  VIST5_CHECK_EQ(state->layers.size(), decoder_layers_.size());
+  Tensor h = EmbedStep(next_ids, state->steps);
+  int tmax = 0;
+  for (int s : state->steps) tmax = std::max(tmax, s + 1);
+  // The bias spans the cache's full time extent, which can exceed
+  // max(steps)+1 when caches carry preallocated capacity; the surplus
+  // columns are zero-filled and masked away inside attention.
+  int bias_tk = tmax;
+  if (!state->layers.empty() && state->layers[0].self_k.defined()) {
+    bias_tk = std::max(bias_tk, state->layers[0].self_k.dim(2));
+  }
+  Tensor bias;
+  const Tensor* bias_ptr = nullptr;
+  if (decoder_bias_) {
+    bias = decoder_bias_->ForwardBatched(state->steps, bias_tk);
+    bias_ptr = &bias;
+  }
+  for (size_t i = 0; i < decoder_layers_.size(); ++i) {
+    h = decoder_layers_[i]->ForwardStepRagged(h, state->batch,
+                                              state->memory_lengths, bias_ptr,
+                                              state->steps, &state->layers[i]);
+  }
+  if (decoder_final_norm_) h = decoder_final_norm_->Forward(h);
+  for (int& s : state->steps) ++s;
+  state->step = tmax;
   return h;
 }
 
@@ -462,6 +664,28 @@ Tensor Transformer::Logits(const Tensor& decoder_hidden) const {
     // T5 rescales before the tied projection.
     Tensor scaled = ops::Scale(
         decoder_hidden, 1.0f / std::sqrt(static_cast<float>(config_.d_model)));
+    if (!GradEnabled()) {
+      // Inference projects against a cached transpose of the tied table so
+      // the product runs as a plain MatMul, whose multi-row panel kernels
+      // amortize the O(V * d) weight stream across batched decode rows.
+      // Every inference path (full forward, cached greedy/beam, continuous
+      // batching) flows through this same branch, so batched-vs-sequential
+      // and cached-vs-full parity are preserved kernel-for-kernel. The
+      // cache is keyed on the table's mutation counter: an optimizer step
+      // or checkpoint load bumps data_version and forces a rebuild.
+      Tensor table_t;
+      {
+        std::lock_guard<std::mutex> lock(tied_lm_mutex_);
+        const Tensor& table = embedding_.table();
+        if (!tied_lm_table_t_.defined() ||
+            tied_lm_version_ != table.data_version()) {
+          tied_lm_table_t_ = ops::Transpose2D(table);
+          tied_lm_version_ = table.data_version();
+        }
+        table_t = tied_lm_table_t_;
+      }
+      return ops::MatMul(scaled, table_t);
+    }
     return ops::MatMulTransposeB(scaled, embedding_.table());
   }
   return lm_head_->Forward(decoder_hidden);

@@ -1,7 +1,9 @@
 #ifndef VIST5_NN_TRANSFORMER_H_
 #define VIST5_NN_TRANSFORMER_H_
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "nn/attention.h"
@@ -66,12 +68,28 @@ struct DecodeState {
   std::vector<LayerCache> layers;  ///< one per decoder layer
   std::vector<int> memory_lengths;
   int batch = 0;
-  int step = 0;  ///< decoder tokens consumed so far (= position of next)
+  int step = 0;  ///< max decoder tokens consumed by any row (= time extent)
 
-  /// Reorders/expands the batch dimension after beam pruning: entry i of
-  /// the new state is old entry `parents[i]`. `parents` may repeat (a
-  /// hypothesis forked) or drop indices (a hypothesis died).
+  /// Per-row decode progress: `steps[b]` tokens consumed by batch row b
+  /// (= absolute position of its next token). Rows advance together under
+  /// DecodeStep (all equal to `step`) but independently under
+  /// DecodeStepRagged — the continuous-batching serve path, where requests
+  /// admitted mid-flight start at 0 while older rows are many steps in.
+  std::vector<int> steps;
+
+  /// Reorders/expands the batch dimension after beam pruning or batch
+  /// eviction: entry i of the new state is old entry `parents[i]`.
+  /// `parents` may repeat (a hypothesis forked) or drop indices (a
+  /// hypothesis died / a request finished). Shrinks the self-attention
+  /// time dimension when the surviving rows no longer need its tail.
   void Reorder(const std::vector<int>& parents);
+
+  /// Joins `other`'s rows onto this state's batch (continuous batching:
+  /// freshly prefilled requests merge into the running decode batch at a
+  /// step boundary). Time dimensions are zero-padded to the pairwise max;
+  /// padded entries are masked by per-row lengths/steps. Both states must
+  /// come from the same Transformer.
+  void MergeFrom(DecodeState&& other);
 };
 
 /// One encoder block (self-attention + feed-forward with residuals).
@@ -119,6 +137,18 @@ class DecoderLayer : public Module {
                      const std::vector<int>& memory_lengths,
                      const Tensor* self_bias, int step,
                      DecodeState::LayerCache* cache) const;
+
+  /// Ragged counterpart of ForwardStep: row b consumes one token at its
+  /// own absolute position `steps[b]`, writing its K/V at that time index
+  /// of a cache padded to max(steps)+1. `self_bias` is the per-row
+  /// [B, H, 1, max(steps)+1] bias (relative-bias configs only). Causal
+  /// masking degenerates to per-row key lengths: a query at position s
+  /// may see exactly keys 0..s.
+  Tensor ForwardStepRagged(const Tensor& x, int batch,
+                           const std::vector<int>& memory_lengths,
+                           const Tensor* self_bias,
+                           const std::vector<int>& steps,
+                           DecodeState::LayerCache* cache) const;
 
   void EnableLora(int rank, float alpha, Rng* rng) {
     self_attn_.EnableLora(rank, alpha, rng);
@@ -173,6 +203,16 @@ class Transformer : public Module {
   Tensor DecodeStep(const std::vector<int>& next_ids,
                     DecodeState* state) const;
 
+  /// Ragged batched decode step: row b's token is consumed at that row's
+  /// own position `state->steps[b]` (rows need not agree — the continuous
+  /// batching invariant). Returns the new hidden row per batch element
+  /// [B, d] and advances each row's step. Bit-identical per row to
+  /// DecodeStep over a batch at uniform positions, and therefore to
+  /// single-request decoding — every kernel is batch-row-pure (see
+  /// docs/SERVING.md for the determinism contract).
+  Tensor DecodeStepRagged(const std::vector<int>& next_ids,
+                          DecodeState* state) const;
+
   /// Projects decoder hidden states to vocabulary logits [rows, V].
   Tensor Logits(const Tensor& decoder_hidden) const;
 
@@ -194,8 +234,21 @@ class Transformer : public Module {
   Tensor Embed(const std::vector<int>& ids, int batch, int seq, int offset,
                bool decoder_side, bool train, Rng* rng) const;
 
+  /// Embeds one token per batch row at per-row absolute positions
+  /// (ragged decode steps). Same arithmetic as Embed with seq == 1.
+  Tensor EmbedStep(const std::vector<int>& ids,
+                   const std::vector<int>& positions) const;
+
   TransformerConfig config_;
   EmbeddingLayer embedding_;
+  /// Inference-only cache of the transposed tied-embedding table, so the
+  /// logits projection can run as a plain [rows, d] x [d, V] MatMul — whose
+  /// row-panel kernels batch well — instead of a row-at-a-time dot against
+  /// [V, d]. Keyed on the table's data_version; rebuilt after any in-place
+  /// weight update. Guarded by tied_lm_mutex_ for concurrent inference.
+  mutable std::mutex tied_lm_mutex_;
+  mutable Tensor tied_lm_table_t_;
+  mutable uint64_t tied_lm_version_ = 0;
   std::unique_ptr<Linear> lm_head_;  // only when !tie_embeddings
   std::unique_ptr<RelativePositionBias> encoder_bias_;
   std::unique_ptr<RelativePositionBias> decoder_bias_;

@@ -1,0 +1,99 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace vist5 {
+namespace serve {
+
+Status Client::Connect(const std::string& host, int port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad host: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status s =
+        Status::Unavailable(std::string("connect: ") + std::strerror(errno));
+    Close();
+    return s;
+  }
+  return Status::OK();
+}
+
+StatusOr<JsonValue> Client::Call(const JsonValue& request) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  std::string line = request.ToString(/*pretty=*/false) + "\n";
+  size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n =
+        ::send(fd_, line.data() + off, line.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return Status::IoError(std::string("send: ") + std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  char chunk[4096];
+  size_t nl;
+  while ((nl = buf_.find('\n')) == std::string::npos) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      return Status::IoError("connection closed before the response line");
+    }
+    buf_.append(chunk, static_cast<size_t>(n));
+  }
+  const std::string response = buf_.substr(0, nl);
+  buf_.erase(0, nl + 1);
+  return JsonValue::Parse(response);
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buf_.clear();
+}
+
+Response InProcessClient::Call(const std::string& input_text,
+                               const model::GenerationOptions& options,
+                               int priority) {
+  if (tokenizer_ == nullptr) {
+    Response r;
+    r.status = ResponseStatus::kError;
+    r.error = "no tokenizer; pass tokens instead of text";
+    return r;
+  }
+  return Call(tokenizer_->Encode(input_text), options, priority);
+}
+
+Response InProcessClient::Call(std::vector<int> tokens,
+                               const model::GenerationOptions& options,
+                               int priority) {
+  Request req;
+  req.tokens = std::move(tokens);
+  req.options = options;
+  req.priority = priority;
+  return scheduler_->SubmitAndWait(std::move(req));
+}
+
+std::string InProcessClient::DecodeTokens(const Response& response) const {
+  return tokenizer_ != nullptr ? tokenizer_->Decode(response.tokens)
+                               : std::string();
+}
+
+}  // namespace serve
+}  // namespace vist5

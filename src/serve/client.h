@@ -1,0 +1,64 @@
+#ifndef VIST5_SERVE_CLIENT_H_
+#define VIST5_SERVE_CLIENT_H_
+
+#include <string>
+
+#include "serve/scheduler.h"
+#include "text/tokenizer.h"
+#include "util/json.h"
+
+namespace vist5 {
+namespace serve {
+
+/// Blocking TCP client for the line-delimited JSON protocol (one request,
+/// one response line per Call). Not thread-safe; open one per thread.
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  Status Connect(const std::string& host, int port);
+
+  /// Serializes `request` as one line, sends it, and parses the response
+  /// line. Transport failures come back as error statuses; protocol-level
+  /// failures ("status": "error"/"rejected") come back as parsed objects.
+  StatusOr<JsonValue> Call(const JsonValue& request);
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;  ///< bytes received past the last response line
+};
+
+/// Zero-copy alternative to the TCP round trip: submits straight into the
+/// scheduler from the calling process. Used by the load generator and by
+/// embedders that link the model in-process. Thread-safe (the scheduler
+/// is).
+class InProcessClient {
+ public:
+  /// `tokenizer` may be null if callers always pass pre-tokenized input.
+  InProcessClient(BatchScheduler* scheduler, const text::Tokenizer* tokenizer)
+      : scheduler_(scheduler), tokenizer_(tokenizer) {}
+
+  /// Tokenize + submit + wait.
+  Response Call(const std::string& input_text,
+                const model::GenerationOptions& options, int priority = 0);
+  Response Call(std::vector<int> tokens,
+                const model::GenerationOptions& options, int priority = 0);
+
+  /// Decoded text of a response's tokens ("" without a tokenizer).
+  std::string DecodeTokens(const Response& response) const;
+
+ private:
+  BatchScheduler* scheduler_;
+  const text::Tokenizer* tokenizer_;
+};
+
+}  // namespace serve
+}  // namespace vist5
+
+#endif  // VIST5_SERVE_CLIENT_H_

@@ -1,0 +1,114 @@
+#include "serve/loadgen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "obs/metrics.h"
+
+namespace vist5 {
+namespace serve {
+namespace {
+
+double ExactQuantile(std::vector<double> sorted_values, double q) {
+  if (sorted_values.empty()) return 0;
+  const size_t idx = static_cast<size_t>(
+      q * static_cast<double>(sorted_values.size() - 1) + 0.5);
+  return sorted_values[std::min(idx, sorted_values.size() - 1)];
+}
+
+}  // namespace
+
+LoadGenReport RunLoadGen(BatchScheduler* scheduler,
+                         const std::vector<std::vector<int>>& prompts,
+                         const LoadGenOptions& options) {
+  VIST5_CHECK(!prompts.empty());
+  using Clock = std::chrono::steady_clock;
+  obs::Histogram* batch_hist = obs::GetHistogram("serve/batch_size");
+  const uint64_t batch_count0 = batch_hist->count();
+  const double batch_sum0 = batch_hist->sum();
+
+  struct Shared {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<double> latencies_ms;
+    int issued = 0;
+    int done = 0;
+    int completed = 0;
+    int expired = 0;
+    int64_t tokens = 0;
+  };
+  Shared shared;
+  const int total = options.total_requests;
+
+  // Closed loop: each completion immediately refills the slot it frees, so
+  // the number in flight stays at `concurrency` until the tail.
+  std::function<void()> issue_one = [&]() {
+    int index;
+    Clock::time_point start;
+    {
+      std::lock_guard<std::mutex> lock(shared.mu);
+      if (shared.issued >= total) return;
+      index = shared.issued++;
+      start = Clock::now();
+    }
+    Request req;
+    req.tokens = prompts[static_cast<size_t>(index) % prompts.size()];
+    req.options = options.gen;
+    scheduler->Submit(std::move(req), [&shared, &issue_one, start,
+                                      total](Response r) {
+      const double ms = std::chrono::duration<double, std::milli>(
+                            Clock::now() - start)
+                            .count();
+      bool all_done = false;
+      {
+        std::lock_guard<std::mutex> lock(shared.mu);
+        shared.latencies_ms.push_back(ms);
+        if (r.status == ResponseStatus::kOk) {
+          ++shared.completed;
+          shared.tokens += static_cast<int64_t>(r.tokens.size());
+        } else if (r.status == ResponseStatus::kDeadlineExpired) {
+          ++shared.expired;
+        }
+        all_done = ++shared.done >= total;
+        // Notify while still holding the lock: `shared` lives on the
+        // waiter's stack, and the waiter may destroy it the moment it can
+        // observe done == total — which it cannot do before we unlock.
+        // Notifying after unlocking would race the cv's own destruction.
+        if (all_done) shared.cv.notify_all();
+      }
+      if (!all_done) issue_one();
+    });
+  };
+
+  const Clock::time_point t0 = Clock::now();
+  const int initial = std::min(options.concurrency, total);
+  for (int i = 0; i < initial; ++i) issue_one();
+  {
+    std::unique_lock<std::mutex> lock(shared.mu);
+    shared.cv.wait(lock, [&] { return shared.done >= total; });
+  }
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  LoadGenReport report;
+  report.completed = shared.completed;
+  report.expired = shared.expired;
+  report.tokens = shared.tokens;
+  report.wall_s = wall_s;
+  report.tok_per_sec =
+      wall_s > 0 ? static_cast<double>(shared.tokens) / wall_s : 0;
+  std::sort(shared.latencies_ms.begin(), shared.latencies_ms.end());
+  report.p50_ms = ExactQuantile(shared.latencies_ms, 0.50);
+  report.p99_ms = ExactQuantile(shared.latencies_ms, 0.99);
+  const uint64_t steps = batch_hist->count() - batch_count0;
+  if (steps > 0) {
+    report.mean_batch =
+        (batch_hist->sum() - batch_sum0) / static_cast<double>(steps);
+  }
+  return report;
+}
+
+}  // namespace serve
+}  // namespace vist5

@@ -1,0 +1,46 @@
+#ifndef VIST5_SERVE_LOADGEN_H_
+#define VIST5_SERVE_LOADGEN_H_
+
+#include <vector>
+
+#include "serve/scheduler.h"
+
+namespace vist5 {
+namespace serve {
+
+struct LoadGenOptions {
+  /// Target number of requests in flight at once. 1 reproduces sequential
+  /// serving; >= max_batch keeps the continuous batch full.
+  int concurrency = 8;
+  /// Total requests to issue (prompts are reused round-robin).
+  int total_requests = 64;
+  model::GenerationOptions gen;
+};
+
+struct LoadGenReport {
+  int completed = 0;          ///< responses with status ok
+  int expired = 0;            ///< responses cut by the deadline
+  int64_t tokens = 0;         ///< tokens generated across ok responses
+  double wall_s = 0;
+  double tok_per_sec = 0;
+  double p50_ms = 0;          ///< request latency, exact quantiles
+  double p99_ms = 0;
+  /// Mean decode-batch occupancy while the run was active, from the
+  /// serve/batch_size histogram delta (the registry accumulates across a
+  /// process, so the report diffs snapshots taken around the run).
+  double mean_batch = 0;
+};
+
+/// Closed-loop load generator: keeps `concurrency` requests outstanding
+/// against the scheduler until `total_requests` have completed, then
+/// reports throughput, exact latency quantiles, and mean batch occupancy.
+/// Drives the scheduler in-process (no TCP) so the numbers measure the
+/// batching engine, not socket overhead.
+LoadGenReport RunLoadGen(BatchScheduler* scheduler,
+                         const std::vector<std::vector<int>>& prompts,
+                         const LoadGenOptions& options);
+
+}  // namespace serve
+}  // namespace vist5
+
+#endif  // VIST5_SERVE_LOADGEN_H_

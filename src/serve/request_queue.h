@@ -1,0 +1,112 @@
+#ifndef VIST5_SERVE_REQUEST_QUEUE_H_
+#define VIST5_SERVE_REQUEST_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "model/seq2seq_model.h"
+#include "util/status.h"
+
+namespace vist5 {
+namespace serve {
+
+/// One tokenized generation request as it flows through the scheduler.
+struct Request {
+  /// Internal id, assigned by BatchScheduler::Submit. Client-side ids live
+  /// in the transport layer (the server echoes them from the JSON line).
+  uint64_t id = 0;
+  std::vector<int> tokens;  ///< tokenized source (non-empty)
+  model::GenerationOptions options;
+  /// Higher priorities are dequeued first; equal priorities run FIFO.
+  int priority = 0;
+  std::chrono::steady_clock::time_point enqueue_time;
+  /// Absolute per-request deadline (queue wait counts against it);
+  /// time_point::max() means none. Derived from options.deadline_ms.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+};
+
+enum class ResponseStatus {
+  kOk,
+  kDeadlineExpired,  ///< best-so-far tokens, cut off by the deadline
+  kRejected,         ///< backpressure: queue full, retry after a delay
+  kShutdown,         ///< scheduler stopped before the request ran
+  kError,
+};
+
+/// Maps a response status to its wire name ("ok", "deadline", ...).
+const char* ResponseStatusName(ResponseStatus status);
+
+struct Response {
+  uint64_t id = 0;
+  ResponseStatus status = ResponseStatus::kOk;
+  std::vector<int> tokens;
+  std::string error;
+  double queue_ms = 0;  ///< enqueue -> admission into a batch
+  double ttft_ms = 0;   ///< enqueue -> first decode step completed
+  double total_ms = 0;  ///< enqueue -> completion
+  int retry_after_ms = 0;  ///< backpressure hint when rejected
+};
+
+/// Completion callback. Invoked exactly once per submitted request, on the
+/// scheduler's decode thread (or inline on the submitting thread for
+/// rejections) — keep it cheap and non-blocking.
+using Completion = std::function<void(Response)>;
+
+/// Bounded, priority-ordered admission queue between transport threads and
+/// the scheduler's decode loop. Push returns Unavailable when full
+/// (backpressure — callers translate this into a "rejected, retry after"
+/// response instead of queueing unboundedly). Thread-safe.
+class RequestQueue {
+ public:
+  struct Entry {
+    Request request;
+    Completion done;
+  };
+
+  explicit RequestQueue(size_t capacity) : capacity_(capacity) {}
+
+  /// Enqueues; Unavailable when the queue is at capacity or closed.
+  Status Push(Entry entry);
+
+  /// Blocks until an entry is available or the queue is closed; false
+  /// means closed-and-empty (no entry written).
+  bool WaitAndPop(Entry* out);
+
+  /// Non-blocking pop; false when empty (or closed-and-empty).
+  bool TryPop(Entry* out);
+
+  /// Rejects future pushes and wakes blocked poppers. Entries already
+  /// queued remain poppable (graceful drain).
+  void Close();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Item {
+    Entry entry;
+    uint64_t seq = 0;  ///< FIFO tie-break within a priority level
+  };
+  /// Max-heap order: priority first, then earliest sequence number.
+  static bool HeapLess(const Item& a, const Item& b);
+
+  bool PopLocked(Entry* out);
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Item> heap_;
+  uint64_t next_seq_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace serve
+}  // namespace vist5
+
+#endif  // VIST5_SERVE_REQUEST_QUEUE_H_

@@ -1,0 +1,292 @@
+#include "serve/scheduler.h"
+
+#include <future>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace vist5 {
+namespace serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Ms(Clock::duration d) {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+/// Requests that cannot share the continuous batch: beam search reorders
+/// the whole decode state, sampling consumes per-request RNG draws, and
+/// use_kv_cache=false is the full-prefix reference path. They run alone
+/// between batches via Seq2SeqModel::Generate.
+bool IsExclusive(const model::GenerationOptions& options) {
+  return options.beam_size > 1 || options.temperature > 0.0f ||
+         !options.use_kv_cache;
+}
+
+}  // namespace
+
+/// Scheduler-side bookkeeping for one admitted request.
+struct BatchScheduler::Track {
+  uint64_t id = 0;
+  Completion done;
+  Clock::time_point enqueue;
+  Clock::time_point admit;
+  double ttft_ms = 0;
+  bool ttft_recorded = false;
+};
+
+BatchScheduler::BatchScheduler(const model::TransformerSeq2Seq* model,
+                               const SchedulerOptions& options)
+    : model_(model), options_(options), queue_(options.queue_capacity) {}
+
+BatchScheduler::~BatchScheduler() { Shutdown(/*drain=*/false); }
+
+void BatchScheduler::Start() {
+  VIST5_CHECK(!started_.exchange(true)) << "BatchScheduler started twice";
+  loop_ = std::thread(&BatchScheduler::Loop, this);
+}
+
+Status BatchScheduler::Submit(Request req, Completion done) {
+  static obs::Counter* requests = obs::GetCounter("serve/requests");
+  static obs::Counter* rejected = obs::GetCounter("serve/rejected");
+  requests->Add();
+  req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  req.enqueue_time = Clock::now();
+  req.deadline = req.options.deadline_ms > 0
+                     ? req.enqueue_time +
+                           std::chrono::milliseconds(req.options.deadline_ms)
+                     : Clock::time_point::max();
+  const uint64_t id = req.id;
+  if (req.tokens.empty()) {
+    Response r;
+    r.id = id;
+    r.status = ResponseStatus::kError;
+    r.error = "empty token sequence";
+    done(std::move(r));
+    return Status::InvalidArgument("empty token sequence");
+  }
+  // Keep a handle on the callback: Push consumes the entry even when it
+  // rejects, and a rejected request still owes its caller a response.
+  Completion on_reject = done;
+  Status status = queue_.Push({std::move(req), std::move(done)});
+  if (!status.ok()) {
+    rejected->Add();
+    Response r;
+    r.id = id;
+    r.status = ResponseStatus::kRejected;
+    r.retry_after_ms = options_.retry_after_ms;
+    r.error = std::string(status.message());
+    on_reject(std::move(r));
+  }
+  return status;
+}
+
+Response BatchScheduler::SubmitAndWait(Request req) {
+  auto promise = std::make_shared<std::promise<Response>>();
+  std::future<Response> fut = promise->get_future();
+  Submit(std::move(req),
+         [promise](Response r) { promise->set_value(std::move(r)); });
+  return fut.get();
+}
+
+void BatchScheduler::Shutdown(bool drain) {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  if (!drain) abort_.store(true);
+  queue_.Close();
+  if (loop_.joinable()) {
+    loop_.join();
+    return;
+  }
+  // Never started: there is no loop to run the cleanup path, but queued
+  // requests still owe their callers exactly one completion each.
+  RequestQueue::Entry entry;
+  while (queue_.TryPop(&entry)) {
+    Response r;
+    r.id = entry.request.id;
+    r.status = ResponseStatus::kShutdown;
+    entry.done(std::move(r));
+  }
+}
+
+void BatchScheduler::Finish(Track* track, ResponseStatus status,
+                            std::vector<int> tokens) {
+  static obs::Counter* completed = obs::GetCounter("serve/completed");
+  static obs::Counter* expired = obs::GetCounter("serve/deadline_expired");
+  static obs::Counter* tokens_out = obs::GetCounter("serve/tokens");
+  static obs::Histogram* latency = obs::GetHistogram("serve/latency_ms");
+  const Clock::time_point now = Clock::now();
+  Response r;
+  r.id = track->id;
+  r.status = status;
+  r.tokens = std::move(tokens);
+  r.queue_ms = Ms(track->admit - track->enqueue);
+  r.ttft_ms = track->ttft_ms;
+  r.total_ms = Ms(now - track->enqueue);
+  if (status == ResponseStatus::kOk ||
+      status == ResponseStatus::kDeadlineExpired) {
+    (status == ResponseStatus::kOk ? completed : expired)->Add();
+    tokens_out->Add(static_cast<int64_t>(r.tokens.size()));
+    latency->Observe(r.total_ms);
+  }
+  track->done(std::move(r));
+}
+
+void BatchScheduler::AdmitGreedy(RequestQueue::Entry entry,
+                                 model::ContinuousDecoder* decoder,
+                                 std::vector<Track>* tracks) {
+  static obs::Counter* joined = obs::GetCounter("serve/joined");
+  static obs::Histogram* queue_ms = obs::GetHistogram("serve/queue_ms");
+  const Clock::time_point now = Clock::now();
+  Request& req = entry.request;
+  Track track;
+  track.id = req.id;
+  track.done = std::move(entry.done);
+  track.enqueue = req.enqueue_time;
+  track.admit = now;
+  if (req.deadline <= now) {
+    // Expired while queued: answer without paying for a prefill.
+    Finish(&track, ResponseStatus::kDeadlineExpired, {});
+    return;
+  }
+  queue_ms->Observe(Ms(now - track.enqueue));
+  if (decoder->active() > 0) joined->Add();
+  decoder->Admit(req.id, req.tokens, req.options, req.deadline);
+  tracks->push_back(std::move(track));
+}
+
+void BatchScheduler::RunExclusive(RequestQueue::Entry entry) {
+  static obs::Counter* exclusive = obs::GetCounter("serve/exclusive");
+  static obs::Histogram* queue_ms = obs::GetHistogram("serve/queue_ms");
+  VIST5_TRACE_SPAN("serve/exclusive");
+  const Clock::time_point now = Clock::now();
+  Request& req = entry.request;
+  Track track;
+  track.id = req.id;
+  track.done = std::move(entry.done);
+  track.enqueue = req.enqueue_time;
+  track.admit = now;
+  if (req.deadline <= now) {
+    Finish(&track, ResponseStatus::kDeadlineExpired, {});
+    return;
+  }
+  queue_ms->Observe(Ms(now - track.enqueue));
+  exclusive->Add();
+  model::GenerationOptions options = req.options;
+  if (req.deadline != Clock::time_point::max()) {
+    // Re-base the decode budget on what is left after queueing. Generate
+    // returns its best-so-far result on expiry (status stays "ok" — the
+    // model layer does not distinguish a deadline cut from EOS here).
+    const double remaining = Ms(req.deadline - now);
+    options.deadline_ms = remaining < 1.0 ? 1 : static_cast<int>(remaining);
+  }
+  std::vector<int> tokens = model_->Generate(req.tokens, options);
+  Finish(&track, ResponseStatus::kOk, std::move(tokens));
+}
+
+bool BatchScheduler::FillBatch(model::ContinuousDecoder* decoder,
+                               std::vector<Track>* tracks,
+                               RequestQueue::Entry* exclusive,
+                               bool* have_exclusive) {
+  while (!*have_exclusive && decoder->active() < options_.max_batch) {
+    RequestQueue::Entry entry;
+    if (decoder->active() == 0) {
+      // Idle: block until work arrives or the queue closes for good.
+      if (!queue_.WaitAndPop(&entry)) return true;
+    } else {
+      // Mid-flight: join whatever is already queued at this step
+      // boundary, but never stall the running batch to wait for more.
+      if (!queue_.TryPop(&entry)) return false;
+    }
+    if (IsExclusive(entry.request.options)) {
+      *exclusive = std::move(entry);
+      *have_exclusive = true;
+    } else {
+      AdmitGreedy(std::move(entry), decoder, tracks);
+    }
+  }
+  return false;
+}
+
+void BatchScheduler::StepBatch(model::ContinuousDecoder* decoder,
+                               std::vector<Track>* tracks) {
+  static obs::Counter* steps = obs::GetCounter("serve/steps");
+  static obs::Histogram* batch_size = obs::GetHistogram("serve/batch_size");
+  static obs::Histogram* ttft = obs::GetHistogram("serve/ttft_ms");
+  steps->Add();
+  batch_size->Observe(static_cast<double>(decoder->active()));
+  std::vector<model::ContinuousDecoder::Finished> finished = decoder->Step();
+  const Clock::time_point now = Clock::now();
+  for (Track& track : *tracks) {
+    if (!track.ttft_recorded) {
+      track.ttft_recorded = true;
+      track.ttft_ms = Ms(now - track.enqueue);
+      ttft->Observe(track.ttft_ms);
+    }
+  }
+  for (model::ContinuousDecoder::Finished& f : finished) {
+    for (size_t i = 0; i < tracks->size(); ++i) {
+      if ((*tracks)[i].id != f.id) continue;
+      Finish(&(*tracks)[i],
+             f.deadline_expired ? ResponseStatus::kDeadlineExpired
+                                : ResponseStatus::kOk,
+             std::move(f.tokens));
+      tracks->erase(tracks->begin() + static_cast<long>(i));
+      break;
+    }
+  }
+}
+
+void BatchScheduler::Loop() {
+  VIST5_TRACE_SPAN("serve/loop");
+  model::ContinuousDecoder decoder(model_);
+  std::vector<Track> tracks;
+  RequestQueue::Entry exclusive;
+  bool have_exclusive = false;
+  while (!abort_.load()) {
+    const bool closed =
+        FillBatch(&decoder, &tracks, &exclusive, &have_exclusive);
+    if (abort_.load()) break;
+    if (have_exclusive && decoder.active() == 0) {
+      RunExclusive(std::move(exclusive));
+      exclusive = RequestQueue::Entry{};
+      have_exclusive = false;
+      continue;
+    }
+    if (decoder.active() == 0) {
+      if (closed) break;  // drain complete
+      continue;
+    }
+    StepBatch(&decoder, &tracks);
+  }
+  // Abort path: whatever is still queued or mid-decode answers "shutdown"
+  // so no caller is left hanging. (After a drain both loops are no-ops.)
+  for (Track& track : tracks) {
+    Finish(&track, ResponseStatus::kShutdown, {});
+  }
+  if (have_exclusive) {
+    Track track;
+    track.id = exclusive.request.id;
+    track.done = std::move(exclusive.done);
+    track.enqueue = exclusive.request.enqueue_time;
+    track.admit = Clock::now();
+    Finish(&track, ResponseStatus::kShutdown, {});
+  }
+  RequestQueue::Entry entry;
+  while (queue_.TryPop(&entry)) {
+    Track track;
+    track.id = entry.request.id;
+    track.done = std::move(entry.done);
+    track.enqueue = entry.request.enqueue_time;
+    track.admit = Clock::now();
+    Finish(&track, ResponseStatus::kShutdown, {});
+  }
+}
+
+}  // namespace serve
+}  // namespace vist5

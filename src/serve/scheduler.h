@@ -1,0 +1,99 @@
+#ifndef VIST5_SERVE_SCHEDULER_H_
+#define VIST5_SERVE_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "model/batch_decoder.h"
+#include "serve/request_queue.h"
+
+namespace vist5 {
+namespace serve {
+
+struct SchedulerOptions {
+  /// Maximum concurrent decode rows (continuous-batch width).
+  int max_batch = 8;
+  /// Admission queue bound; pushes beyond it are rejected with a
+  /// retry-after hint instead of growing the queue unboundedly.
+  size_t queue_capacity = 64;
+  /// Backpressure hint attached to rejected responses.
+  int retry_after_ms = 50;
+};
+
+/// Persistent decode loop implementing continuous (in-flight) batching.
+///
+/// One thread owns a ContinuousDecoder and repeatedly: (1) admits queued
+/// requests at the current step boundary until the batch is full, (2) runs
+/// one ragged decode step for every active row, (3) completes and evicts
+/// rows that finished or blew their deadline. New requests therefore join
+/// a running batch without waiting for it to drain, and finished rows free
+/// their slot immediately.
+///
+/// Greedy requests batch together; beam/sampling/full-prefix requests are
+/// "exclusive" — the loop lets the batch drain, runs them alone through
+/// Seq2SeqModel::Generate, then resumes batching. This trades their
+/// latency for a much simpler invariant (the KV cache is only ever shared
+/// between greedy rows); see docs/SERVING.md.
+///
+/// Per-request token streams are bit-identical to sequential Generate
+/// calls regardless of batch composition (the determinism contract tested
+/// by tests/serve_test.cc).
+class BatchScheduler {
+ public:
+  BatchScheduler(const model::TransformerSeq2Seq* model,
+                 const SchedulerOptions& options);
+  ~BatchScheduler();
+
+  /// Spawns the decode thread. Call once.
+  void Start();
+
+  /// Enqueues `req`; `done` fires exactly once. On backpressure (full
+  /// queue / stopped scheduler) `done` is invoked inline with a rejected
+  /// response carrying retry_after_ms, and the returned status is
+  /// Unavailable. `req.enqueue_time`/`deadline`/`id` are assigned here.
+  Status Submit(Request req, Completion done);
+
+  /// Submit + block until the response arrives.
+  Response SubmitAndWait(Request req);
+
+  /// Stops the scheduler. With `drain` the decode loop first finishes
+  /// every queued and in-flight request; without it, queued and active
+  /// requests complete immediately with status "shutdown". Idempotent.
+  void Shutdown(bool drain);
+
+  size_t queue_depth() const { return queue_.size(); }
+  int max_batch() const { return options_.max_batch; }
+
+ private:
+  struct Track;
+
+  void Loop();
+  bool FillBatch(model::ContinuousDecoder* decoder,
+                 std::vector<Track>* tracks,
+                 RequestQueue::Entry* exclusive, bool* have_exclusive);
+  void AdmitGreedy(RequestQueue::Entry entry,
+                   model::ContinuousDecoder* decoder,
+                   std::vector<Track>* tracks);
+  void StepBatch(model::ContinuousDecoder* decoder,
+                 std::vector<Track>* tracks);
+  void RunExclusive(RequestQueue::Entry entry);
+  void Finish(Track* track, ResponseStatus status, std::vector<int> tokens);
+
+  const model::TransformerSeq2Seq* model_;
+  const SchedulerOptions options_;
+  RequestQueue queue_;
+  std::thread loop_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> abort_{false};  ///< non-drain shutdown
+  std::atomic<uint64_t> next_id_{1};
+  std::mutex shutdown_mu_;
+  bool shut_down_ = false;
+};
+
+}  // namespace serve
+}  // namespace vist5
+
+#endif  // VIST5_SERVE_SCHEDULER_H_

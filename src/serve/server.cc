@@ -1,0 +1,226 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace vist5 {
+namespace serve {
+namespace {
+
+bool SendAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(BatchScheduler* scheduler, const text::Tokenizer* tokenizer,
+               const ServerOptions& options)
+    : scheduler_(scheduler), tokenizer_(tokenizer), options_(options) {}
+
+Server::~Server() { Stop(/*drain=*/false); }
+
+Status Server::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad listen host: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status s =
+        Status::Internal(std::string("bind: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    const Status s =
+        Status::Internal(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+  accept_thread_ = std::thread(&Server::AcceptLoop, this);
+  return Status::OK();
+}
+
+void Server::Stop(bool drain) {
+  if (stopping_.exchange(true)) return;
+  const int lfd = listen_fd_.exchange(-1);
+  if (lfd >= 0) {
+    // Closing the listen socket is what unblocks the accept thread.
+    ::shutdown(lfd, SHUT_RDWR);
+    ::close(lfd);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : conn_fds_) {
+      if (fd < 0) continue;
+      // SHUT_RD lets the request currently in flight write its response
+      // (graceful drain); SHUT_RDWR cuts the connection outright.
+      ::shutdown(fd, drain ? SHUT_RD : SHUT_RDWR);
+    }
+  }
+  // The accept thread is joined, so no new connection threads can appear.
+  for (std::thread& t : conn_threads_) {
+    if (t.joinable()) t.join();
+  }
+  conn_threads_.clear();
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    const int lfd = listen_fd_.load();
+    if (lfd < 0) return;
+    const int fd = ::accept(lfd, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load() || errno != EINTR) return;
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back(&Server::HandleConnection, this, fd);
+  }
+}
+
+void Server::HandleConnection(int fd) {
+  static obs::Counter* connections = obs::GetCounter("serve/connections");
+  connections->Add();
+  std::string buf;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    size_t nl;
+    while ((nl = buf.find('\n')) == std::string::npos) {
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        open = false;
+        break;
+      }
+      buf.append(chunk, static_cast<size_t>(n));
+    }
+    if (!open) break;
+    std::string line = buf.substr(0, nl);
+    buf.erase(0, nl + 1);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    if (!SendAll(fd, HandleLine(line) + "\n")) break;
+  }
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (int& tracked : conn_fds_) {
+    if (tracked == fd) tracked = -1;
+  }
+  ::close(fd);
+}
+
+JsonValue Server::ResponseToJson(const std::string& client_id,
+                                 const Response& r, bool want_text) const {
+  JsonValue out = JsonValue::Object();
+  if (!client_id.empty()) out.Set("id", JsonValue::String(client_id));
+  out.Set("status", JsonValue::String(ResponseStatusName(r.status)));
+  if (r.status == ResponseStatus::kOk ||
+      r.status == ResponseStatus::kDeadlineExpired) {
+    JsonValue tokens = JsonValue::Array();
+    for (int t : r.tokens) {
+      tokens.Append(JsonValue::Number(static_cast<double>(t)));
+    }
+    out.Set("tokens", std::move(tokens));
+    if (want_text && tokenizer_ != nullptr) {
+      out.Set("text", JsonValue::String(tokenizer_->Decode(r.tokens)));
+    }
+    out.Set("queue_ms", JsonValue::Number(r.queue_ms));
+    out.Set("ttft_ms", JsonValue::Number(r.ttft_ms));
+    out.Set("total_ms", JsonValue::Number(r.total_ms));
+  }
+  if (r.status == ResponseStatus::kRejected) {
+    out.Set("retry_after_ms", JsonValue::Number(r.retry_after_ms));
+  }
+  if (!r.error.empty()) out.Set("error", JsonValue::String(r.error));
+  return out;
+}
+
+std::string Server::HandleLine(const std::string& line) {
+  std::string client_id;
+  const auto error_line = [&](const std::string& msg) {
+    JsonValue out = JsonValue::Object();
+    if (!client_id.empty()) out.Set("id", JsonValue::String(client_id));
+    out.Set("status", JsonValue::String("error"));
+    out.Set("error", JsonValue::String(msg));
+    return out.ToString(/*pretty=*/false);
+  };
+
+  StatusOr<JsonValue> parsed = JsonValue::Parse(line);
+  if (!parsed.ok()) return error_line(parsed.status().message());
+  const JsonValue& doc = parsed.value();
+  if (!doc.is_object()) return error_line("request must be a JSON object");
+  if (const JsonValue* id = doc.Find("id")) {
+    client_id =
+        id->is_string() ? id->string_value() : id->ToString(/*pretty=*/false);
+  }
+
+  Request req;
+  if (const JsonValue* toks = doc.Find("tokens")) {
+    if (!toks->is_array()) return error_line("\"tokens\" must be an array");
+    for (size_t i = 0; i < toks->size(); ++i) {
+      if (!toks->at(i).is_number()) {
+        return error_line("\"tokens\" must hold numbers");
+      }
+      req.tokens.push_back(static_cast<int>(toks->at(i).number_value()));
+    }
+  } else if (const JsonValue* txt = doc.Find("text")) {
+    if (!txt->is_string()) return error_line("\"text\" must be a string");
+    if (tokenizer_ == nullptr) {
+      return error_line("server has no tokenizer; send \"tokens\"");
+    }
+    req.tokens = tokenizer_->Encode(txt->string_value());
+  } else {
+    return error_line("request needs \"text\" or \"tokens\"");
+  }
+  if (const JsonValue* v = doc.Find("max_len")) {
+    req.options.max_len = static_cast<int>(v->number_value(48));
+  }
+  if (const JsonValue* v = doc.Find("beam")) {
+    req.options.beam_size = static_cast<int>(v->number_value(1));
+  }
+  if (const JsonValue* v = doc.Find("deadline_ms")) {
+    req.options.deadline_ms = static_cast<int>(v->number_value(0));
+  }
+  if (const JsonValue* v = doc.Find("priority")) {
+    req.priority = static_cast<int>(v->number_value(0));
+  }
+
+  const Response response = scheduler_->SubmitAndWait(std::move(req));
+  return ResponseToJson(client_id, response, /*want_text=*/true)
+      .ToString(/*pretty=*/false);
+}
+
+}  // namespace serve
+}  // namespace vist5

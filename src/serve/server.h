@@ -1,0 +1,86 @@
+#ifndef VIST5_SERVE_SERVER_H_
+#define VIST5_SERVE_SERVER_H_
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/scheduler.h"
+#include "text/tokenizer.h"
+#include "util/json.h"
+
+namespace vist5 {
+namespace serve {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  ///< 0 binds an ephemeral port (read back via port())
+  int backlog = 16;
+};
+
+/// Line-delimited JSON front end over local TCP (docs/SERVING.md).
+///
+/// Each connection sends one JSON object per line:
+///   {"id": "r1", "text": "...", "max_len": 48, "beam": 1,
+///    "priority": 0, "deadline_ms": 500}
+/// or pre-tokenized: {"id": "r1", "tokens": [5, 17, ...]}. The server
+/// answers one JSON line per request:
+///   {"id": "r1", "status": "ok", "tokens": [...], "text": "...",
+///    "queue_ms": ..., "ttft_ms": ..., "total_ms": ...}
+/// with status one of ok | deadline | rejected | shutdown | error, and
+/// "retry_after_ms" attached to rejections (backpressure).
+///
+/// Requests on one connection are handled synchronously in arrival order;
+/// clients that want concurrency open multiple connections (this is what
+/// keeps the continuous batch full). The heavy lifting — admission,
+/// batching, deadlines — lives in BatchScheduler; the server only
+/// translates lines to requests. It does not own the scheduler.
+class Server {
+ public:
+  /// `tokenizer` may be null, in which case only "tokens" requests are
+  /// accepted and responses omit "text".
+  Server(BatchScheduler* scheduler, const text::Tokenizer* tokenizer,
+         const ServerOptions& options);
+  ~Server();
+
+  /// Binds, listens, and spawns the accept thread.
+  Status Start();
+
+  /// Port actually bound (resolves ephemeral port 0). 0 before Start.
+  int port() const { return port_; }
+
+  /// Stops accepting connections and joins connection threads. With
+  /// `drain`, in-flight requests finish first; without it, open
+  /// connections are torn down immediately. Does not stop the scheduler.
+  void Stop(bool drain);
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  /// Parses one request line and produces the response line (never
+  /// throws; malformed input maps to {"status": "error"}).
+  std::string HandleLine(const std::string& line);
+  JsonValue ResponseToJson(const std::string& client_id, const Response& r,
+                           bool want_text) const;
+
+  BatchScheduler* scheduler_;
+  const text::Tokenizer* tokenizer_;
+  ServerOptions options_;
+  /// Atomic: Stop() closes and resets the fd from the caller's thread
+  /// while AcceptLoop reads it for accept(); the close is what wakes the
+  /// blocked accept.
+  std::atomic<int> listen_fd_{-1};
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;
+};
+
+}  // namespace serve
+}  // namespace vist5
+
+#endif  // VIST5_SERVE_SERVER_H_

@@ -28,7 +28,181 @@ inline void GemmRowNN(const float* arow, const float* b, float* crow, int k,
   }
 }
 
+// One NB-wide column block of GemmRowNNZero: acc[j] accumulates over p
+// ascending in registers, then stores.
+//
+// Every accumulation in the zero-init NN kernels is an explicit std::fma.
+// Under `-ffast-math -funroll-loops` a plain `acc += a * b` leaves the
+// contraction choice (fused vs mul+add) and the unroll shape to the
+// compiler, which picks differently for the single-row and multi-row
+// bodies — measurably different bits exactly in the narrow-n /
+// remainder-column regime (vocab-sized logits, attention dh). A hard fma
+// chain pins every output element to one rounding sequence, so the 1-row
+// and multi-row kernels agree bit-for-bit and the incremental/batched/full
+// decode paths stay interchangeable (docs/SERVING.md).
+template <int NB>
+inline int GemmRowNNBlock(const float* arow, const float* b, float* crow,
+                          int k, int n, int j0) {
+  for (; j0 + NB <= n; j0 += NB) {
+    float acc[NB] = {};
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      const float* brow = b + static_cast<size_t>(p) * n + j0;
+      for (int j = 0; j < NB; ++j) acc[j] = std::fma(av, brow[j], acc[j]);
+    }
+    for (int j = 0; j < NB; ++j) crow[j0 + j] = acc[j];
+  }
+  return j0;
+}
+
+// crow[N] = arow[K] * B[K,N] for a crow known to start zeroed (the forward
+// MatMul output buffer). Register-blocked, which matters for the small
+// row-at-a-time GEMMs of the batched decode step (docs/SERVING.md).
+inline void GemmRowNNZero(const float* arow, const float* b, float* crow,
+                          int k, int n) {
+  int j0 = GemmRowNNBlock<32>(arow, b, crow, k, n, 0);
+  j0 = GemmRowNNBlock<16>(arow, b, crow, k, n, j0);
+  j0 = GemmRowNNBlock<8>(arow, b, crow, k, n, j0);
+  for (; j0 < n; ++j0) {
+    float acc = 0.0f;
+    for (int p = 0; p < k; ++p) {
+      acc = std::fma(arow[p], b[static_cast<size_t>(p) * n + j0], acc);
+    }
+    crow[j0] = acc;
+  }
+}
+
+// Four-row x NB-column register tile of the zero-init NN product; the B
+// block is loaded once per four output rows instead of once per row, which
+// quarters the weight-matrix traffic of the batched decode step's
+// row-panel GEMMs (FFN, logits, attention projections). Each acc element
+// is the same std::fma chain over p ascending as the single-row kernels
+// (see GemmRowNNBlock), so rows computed here match rows computed there
+// bit-for-bit regardless of how the batch gets grouped.
+//
+// The accumulators are distinct named scalar arrays, not one acc[R][NB]
+// 2D array: the named form is what GCC/Clang reliably keep in vector
+// registers; the 2D-array form spills to the stack and costs ~5x on the
+// decode-step panels.
+template <int NB>
+inline int Gemm4RowNNBlock(const float* a, const float* b, float* c, int k,
+                           int n, int j0) {
+  for (; j0 + NB <= n; j0 += NB) {
+    float acc0[NB] = {}, acc1[NB] = {}, acc2[NB] = {}, acc3[NB] = {};
+    for (int p = 0; p < k; ++p) {
+      const float* brow = b + static_cast<size_t>(p) * n + j0;
+      const float a0 = a[p];
+      const float a1 = a[k + p];
+      const float a2 = a[2 * k + p];
+      const float a3 = a[3 * k + p];
+      for (int j = 0; j < NB; ++j) {
+        acc0[j] = std::fma(a0, brow[j], acc0[j]);
+        acc1[j] = std::fma(a1, brow[j], acc1[j]);
+        acc2[j] = std::fma(a2, brow[j], acc2[j]);
+        acc3[j] = std::fma(a3, brow[j], acc3[j]);
+      }
+    }
+    for (int j = 0; j < NB; ++j) {
+      c[j0 + j] = acc0[j];
+      c[n + j0 + j] = acc1[j];
+      c[2 * n + j0 + j] = acc2[j];
+      c[3 * n + j0 + j] = acc3[j];
+    }
+  }
+  return j0;
+}
+
+// Four-row zero-init NN product (shared-B variant of GemmRowNNZero).
+inline void Gemm4RowNNZero(const float* a, const float* b, float* c, int k,
+                           int n) {
+  int j0 = Gemm4RowNNBlock<16>(a, b, c, k, n, 0);
+  j0 = Gemm4RowNNBlock<8>(a, b, c, k, n, j0);
+  for (int row = 0; row < 4 && j0 < n; ++row) {
+    const float* arow = a + static_cast<size_t>(row) * k;
+    float* crow = c + static_cast<size_t>(row) * n;
+    for (int j = j0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) {
+        acc = std::fma(arow[p], b[static_cast<size_t>(p) * n + j], acc);
+      }
+      crow[j] = acc;
+    }
+  }
+}
+
+// Eight-row x NB-column register tile: one pass of the B block now feeds
+// eight output rows, halving the weight traffic of the 4-row tile for
+// full-width serve batches. Same pinned fma chain per element as every
+// other NN kernel, so 1/4/8-row groupings all agree bit-for-bit. Eight
+// NB=16 accumulators plus broadcasts fit AVX-512's 32 zmm registers; the
+// NB=8 tail stays within 16 ymm under AVX2.
+template <int NB>
+inline int Gemm8RowNNBlock(const float* a, const float* b, float* c, int k,
+                           int n, int j0) {
+  for (; j0 + NB <= n; j0 += NB) {
+    float acc0[NB] = {}, acc1[NB] = {}, acc2[NB] = {}, acc3[NB] = {};
+    float acc4[NB] = {}, acc5[NB] = {}, acc6[NB] = {}, acc7[NB] = {};
+    for (int p = 0; p < k; ++p) {
+      const float* brow = b + static_cast<size_t>(p) * n + j0;
+      const float a0 = a[p];
+      const float a1 = a[k + p];
+      const float a2 = a[2 * k + p];
+      const float a3 = a[3 * k + p];
+      const float a4 = a[4 * k + p];
+      const float a5 = a[5 * k + p];
+      const float a6 = a[6 * k + p];
+      const float a7 = a[7 * k + p];
+      for (int j = 0; j < NB; ++j) {
+        acc0[j] = std::fma(a0, brow[j], acc0[j]);
+        acc1[j] = std::fma(a1, brow[j], acc1[j]);
+        acc2[j] = std::fma(a2, brow[j], acc2[j]);
+        acc3[j] = std::fma(a3, brow[j], acc3[j]);
+        acc4[j] = std::fma(a4, brow[j], acc4[j]);
+        acc5[j] = std::fma(a5, brow[j], acc5[j]);
+        acc6[j] = std::fma(a6, brow[j], acc6[j]);
+        acc7[j] = std::fma(a7, brow[j], acc7[j]);
+      }
+    }
+    for (int j = 0; j < NB; ++j) {
+      c[j0 + j] = acc0[j];
+      c[n + j0 + j] = acc1[j];
+      c[2 * n + j0 + j] = acc2[j];
+      c[3 * n + j0 + j] = acc3[j];
+      c[4 * n + j0 + j] = acc4[j];
+      c[5 * n + j0 + j] = acc5[j];
+      c[6 * n + j0 + j] = acc6[j];
+      c[7 * n + j0 + j] = acc7[j];
+    }
+  }
+  return j0;
+}
+
+// Eight-row zero-init NN product (shared-B variant of GemmRowNNZero).
+inline void Gemm8RowNNZero(const float* a, const float* b, float* c, int k,
+                           int n) {
+  int j0 = Gemm8RowNNBlock<16>(a, b, c, k, n, 0);
+  j0 = Gemm8RowNNBlock<8>(a, b, c, k, n, j0);
+  for (int row = 0; row < 8 && j0 < n; ++row) {
+    const float* arow = a + static_cast<size_t>(row) * k;
+    float* crow = c + static_cast<size_t>(row) * n;
+    for (int j = j0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) {
+        acc = std::fma(arow[p], b[static_cast<size_t>(p) * n + j], acc);
+      }
+      crow[j] = acc;
+    }
+  }
+}
+
 // crow[N] += arow[K] * B[N,K]^T  (rows of B are the columns of the product)
+//
+// Deliberately one uniform loop body: under -ffast-math the compiler picks
+// a reduction shape per loop, so giving the "same" dot product different
+// bodies for different (n, m) would let the KV-cached decode paths — which
+// call this with growing tk (sequential) vs preallocated tk (batched) —
+// produce different bits for identical logical dots, breaking the serving
+// parity contract (docs/SERVING.md). Keep every NT dot on this single body.
 inline void GemmRowNT(const float* arow, const float* b, float* crow, int k,
                       int n) {
   for (int j = 0; j < n; ++j) {
@@ -90,10 +264,14 @@ void ParallelElems(int64_t n, F&& f) {
 }  // namespace
 
 int GemmRowGrain(int k, int n) {
-  // ~8k multiply-adds per chunk: coarse enough to amortize dispatch, fine
-  // enough that attention-sized GEMMs still split across the pool.
+  // ~32k multiply-adds per chunk: coarse enough to amortize dispatch, fine
+  // enough that attention-sized GEMMs still split across the pool. Floor of
+  // 8 rows so the widest shared-B kernel (Gemm8RowNNZero) can engage on
+  // batched decode-step row panels — a smaller grain would cap every run
+  // below 8 rows and silently disable the weight-reuse path that carries
+  // the serve throughput contract (docs/SERVING.md).
   const int64_t row_flops = std::max<int64_t>(1, static_cast<int64_t>(k) * n);
-  return static_cast<int>(std::max<int64_t>(1, 4096 / row_flops));
+  return static_cast<int>(std::max<int64_t>(8, 32768 / row_flops));
 }
 
 int RowOpGrain(int width) {
@@ -279,22 +457,47 @@ Tensor MatMulImpl(const Tensor& a, const Tensor& b, bool transpose_b) {
   {
     // One flat row space across the whole batch, so small-M batched GEMMs
     // (per-head attention, single-token decode steps) still fan out.
+    // Within a chunk, runs of rows that share one B matrix go through the
+    // multi-row kernels, which load B once per 8 (or 4) output rows.
+    // Grouping never changes an output element's accumulation order
+    // (always p ascending), so results stay bit-identical at any thread
+    // count.
     const float* adata = a.data().data();
     const float* bdata = b.data().data();
     float* cdata = out.data();
     rt::ParallelFor(
         GemmRowGrain(k, n), 0, batch * m, [&](int64_t lo, int64_t hi) {
-          for (int64_t r = lo; r < hi; ++r) {
+          int64_t r = lo;
+          while (r < hi) {
             const int64_t bi = r / m;
             const int64_t i = r % m;
             const float* arow = adata + bi * a_stride + i * k;
             const float* bp = bdata + bi * b_stride;
             float* crow = cdata + bi * c_stride + i * n;
-            if (transpose_b) {
-              GemmRowNT(arow, bp, crow, k, n);
-            } else {
-              GemmRowNN(arow, bp, crow, k, n);
+            const int64_t run = std::min(hi - r, static_cast<int64_t>(m - i));
+            int64_t done = 0;
+            if (!transpose_b) {
+              // Walk the rows sharing this B matrix in groups of eight,
+              // then four, so the widest multi-row kernel reuses each B
+              // load. Grouping never changes an output element's
+              // accumulation order (always p ascending), so results stay
+              // bit-identical at any thread count and batch size. The NT
+              // path stays row-at-a-time on purpose — see GemmRowNT.
+              for (; done + 8 <= run; done += 8) {
+                Gemm8RowNNZero(arow + done * k, bp, crow + done * n, k, n);
+              }
+              for (; done + 4 <= run; done += 4) {
+                Gemm4RowNNZero(arow + done * k, bp, crow + done * n, k, n);
+              }
             }
+            for (; done < run; ++done) {
+              if (transpose_b) {
+                GemmRowNT(arow + done * k, bp, crow + done * n, k, n);
+              } else {
+                GemmRowNNZero(arow + done * k, bp, crow + done * n, k, n);
+              }
+            }
+            r += run;
           }
         });
   }
@@ -377,40 +580,102 @@ Tensor MatMulTransposeB(const Tensor& a, const Tensor& b) {
   return MatMulImpl(a, b, /*transpose_b=*/true);
 }
 
+Tensor BoundedAttnScores(const Tensor& q, const Tensor& k,
+                         const std::vector<int>& valid) {
+  VIST5_CHECK(!GradEnabled()) << "BoundedAttnScores is inference-only";
+  VIST5_CHECK_EQ(q.ndim(), 4);
+  VIST5_CHECK_EQ(k.ndim(), 4);
+  VIST5_CHECK_EQ(q.dim(2), 1);
+  VIST5_CHECK_EQ(q.dim(0), k.dim(0));
+  VIST5_CHECK_EQ(q.dim(1), k.dim(1));
+  VIST5_CHECK_EQ(q.dim(3), k.dim(3));
+  const int b = q.dim(0);
+  const int h = q.dim(1);
+  const int tk = k.dim(2);
+  const int dh = q.dim(3);
+  VIST5_CHECK_EQ(static_cast<int>(valid.size()), b);
+  std::vector<float> out(static_cast<size_t>(b) * h * tk, 0.0f);
+  const float* qd = q.data().data();
+  const float* kd = k.data().data();
+  float* od = out.data();
+  rt::ParallelFor(
+      GemmRowGrain(dh, tk), 0, static_cast<int64_t>(b) * h,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t plane = lo; plane < hi; ++plane) {
+          const int bi = static_cast<int>(plane / h);
+          const int n = std::min(std::max(valid[static_cast<size_t>(bi)], 0),
+                                 tk);
+          GemmRowNT(qd + plane * dh, kd + plane * tk * dh, od + plane * tk,
+                    dh, n);
+        }
+      });
+  return Tensor({b, h, 1, tk}, std::move(out));
+}
+
+Tensor BoundedAttnContext(const Tensor& probs, const Tensor& v,
+                          const std::vector<int>& valid) {
+  VIST5_CHECK(!GradEnabled()) << "BoundedAttnContext is inference-only";
+  VIST5_CHECK_EQ(probs.ndim(), 4);
+  VIST5_CHECK_EQ(v.ndim(), 4);
+  VIST5_CHECK_EQ(probs.dim(2), 1);
+  VIST5_CHECK_EQ(probs.dim(0), v.dim(0));
+  VIST5_CHECK_EQ(probs.dim(1), v.dim(1));
+  VIST5_CHECK_EQ(probs.dim(3), v.dim(2));
+  const int b = probs.dim(0);
+  const int h = probs.dim(1);
+  const int tk = v.dim(2);
+  const int dh = v.dim(3);
+  VIST5_CHECK_EQ(static_cast<int>(valid.size()), b);
+  std::vector<float> out(static_cast<size_t>(b) * h * dh, 0.0f);
+  const float* pd = probs.data().data();
+  const float* vd = v.data().data();
+  float* od = out.data();
+  rt::ParallelFor(
+      GemmRowGrain(tk, dh), 0, static_cast<int64_t>(b) * h,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t plane = lo; plane < hi; ++plane) {
+          const int bi = static_cast<int>(plane / h);
+          const int n = std::min(std::max(valid[static_cast<size_t>(bi)], 0),
+                                 tk);
+          GemmRowNNZero(pd + plane * tk, vd + plane * tk * dh,
+                        od + plane * dh, n, dh);
+        }
+      });
+  return Tensor({b, h, 1, dh}, std::move(out));
+}
+
 namespace {
 
 // Softmax along the last dim with an optional mask predicate; rows where
 // every entry is masked become all-zero distributions.
 Tensor SoftmaxImpl(const Tensor& x,
-                   const std::function<bool(int64_t row, int col)>& masked,
+                   const std::function<int(int64_t row)>& valid_cols,
                    int last) {
   const int64_t rows = last > 0 ? x.NumElements() / last : 0;
   std::vector<float> out(x.data().size());
   const float* xdata = x.data().data();
   float* odata = out.data();
   // Row-parallel: every row's max/exp/normalize runs start to finish inside
-  // one chunk, so no reduction ever crosses a thread boundary.
+  // one chunk, so no reduction ever crosses a thread boundary. Masking is a
+  // per-row valid prefix (`valid_cols`, null = whole row): every mask this
+  // kernel serves — key-length padding and causal visibility — excludes a
+  // contiguous suffix, so the hot loops carry no per-element predicate.
   rt::ParallelFor(RowOpGrain(last), 0, rows, [&](int64_t lo, int64_t hi) {
     for (int64_t r = lo; r < hi; ++r) {
       const float* xp = xdata + r * last;
       float* op = odata + r * last;
+      const int valid = valid_cols ? valid_cols(r) : last;
       float maxv = -1e30f;
-      for (int j = 0; j < last; ++j) {
-        if (masked && masked(r, j)) continue;
-        maxv = std::max(maxv, xp[j]);
-      }
+      for (int j = 0; j < valid; ++j) maxv = std::max(maxv, xp[j]);
       float sum = 0.0f;
-      for (int j = 0; j < last; ++j) {
-        if (masked && masked(r, j)) {
-          op[j] = 0.0f;
-        } else {
-          op[j] = std::exp(xp[j] - maxv);
-          sum += op[j];
-        }
+      for (int j = 0; j < valid; ++j) {
+        op[j] = std::exp(xp[j] - maxv);
+        sum += op[j];
       }
+      for (int j = valid; j < last; ++j) op[j] = 0.0f;
       if (sum > 0.0f) {
         const float inv = 1.0f / sum;
-        for (int j = 0; j < last; ++j) op[j] *= inv;
+        for (int j = 0; j < valid; ++j) op[j] *= inv;
       }
     }
   });
@@ -450,15 +715,18 @@ Tensor MaskedSoftmax(const Tensor& scores, const std::vector<int>& key_lengths,
   const int tq = scores.dim(2);
   const int tk = scores.dim(3);
   VIST5_CHECK_EQ(static_cast<int>(key_lengths.size()), b);
-  auto masked = [=, &key_lengths](int64_t row, int col) {
-    // row indexes [B, H, Tq] flattened.
-    const int q = static_cast<int>(row % tq);
+  auto valid_cols = [=, &key_lengths](int64_t row) {
+    // row indexes [B, H, Tq] flattened. Both masks cut a suffix: keys at or
+    // beyond the batch entry's length, and (causally) keys after the query.
     const int batch = static_cast<int>(row / (static_cast<int64_t>(h) * tq));
-    if (col >= key_lengths[batch]) return true;
-    if (causal && col > q + query_offset) return true;
-    return false;
+    int valid = std::min(key_lengths[batch], tk);
+    if (causal) {
+      const int q = static_cast<int>(row % tq);
+      valid = std::min(valid, q + query_offset + 1);
+    }
+    return std::max(valid, 0);
   };
-  return SoftmaxImpl(scores, masked, tk);
+  return SoftmaxImpl(scores, valid_cols, tk);
 }
 
 Tensor RmsNorm(const Tensor& x, const Tensor& weight, float eps) {
@@ -1085,6 +1353,129 @@ Tensor GatherBatch(const Tensor& x, const std::vector<int>& indices) {
                 out.data() + static_cast<int64_t>(i) * slab);
   }
   return Tensor(std::move(shape), std::move(out));
+}
+
+Tensor ScatterTime(const Tensor& cache, const Tensor& chunk,
+                   const std::vector<int>& positions) {
+  VIST5_CHECK(!GradEnabled()) << "ScatterTime is an inference-only helper";
+  VIST5_CHECK_EQ(chunk.ndim(), 4);
+  VIST5_CHECK_EQ(chunk.dim(2), 1);
+  const int b = chunk.dim(0);
+  const int h = chunk.dim(1);
+  const int dh = chunk.dim(3);
+  VIST5_CHECK_EQ(static_cast<int>(positions.size()), b);
+  int t_old = 0;
+  if (cache.defined()) {
+    VIST5_CHECK_EQ(cache.ndim(), 4);
+    VIST5_CHECK_EQ(cache.dim(0), b);
+    VIST5_CHECK_EQ(cache.dim(1), h);
+    VIST5_CHECK_EQ(cache.dim(3), dh);
+    t_old = cache.dim(2);
+  }
+  int t_new = t_old;
+  for (int pos : positions) {
+    VIST5_CHECK_GE(pos, 0);
+    t_new = std::max(t_new, pos + 1);
+  }
+  std::vector<float> out(static_cast<size_t>(b) * h * t_new * dh, 0.0f);
+  for (int bi = 0; bi < b; ++bi) {
+    for (int hi = 0; hi < h; ++hi) {
+      const size_t plane = static_cast<size_t>(bi) * h + hi;
+      float* dst = out.data() + plane * t_new * dh;
+      if (t_old > 0) {
+        std::copy_n(cache.data().data() + plane * t_old * dh,
+                    static_cast<size_t>(t_old) * dh, dst);
+      }
+      std::copy_n(chunk.data().data() + plane * dh, static_cast<size_t>(dh),
+                  dst + static_cast<size_t>(positions[bi]) * dh);
+    }
+  }
+  return Tensor({b, h, t_new, dh}, std::move(out));
+}
+
+void ScatterTimeInPlace(Tensor* cache, const Tensor& chunk,
+                        const std::vector<int>& positions) {
+  VIST5_CHECK(!GradEnabled()) << "ScatterTimeInPlace is an inference-only helper";
+  VIST5_CHECK(cache != nullptr);
+  VIST5_CHECK(cache->defined());
+  VIST5_CHECK(cache->impl().use_count() == 1)
+      << "in-place scatter requires a uniquely-owned cache";
+  VIST5_CHECK_EQ(cache->ndim(), 4);
+  VIST5_CHECK_EQ(chunk.ndim(), 4);
+  VIST5_CHECK_EQ(chunk.dim(2), 1);
+  const int b = cache->dim(0);
+  const int h = cache->dim(1);
+  const int t = cache->dim(2);
+  const int dh = cache->dim(3);
+  VIST5_CHECK_EQ(chunk.dim(0), b);
+  VIST5_CHECK_EQ(chunk.dim(1), h);
+  VIST5_CHECK_EQ(chunk.dim(3), dh);
+  VIST5_CHECK_EQ(static_cast<int>(positions.size()), b);
+  float* data = cache->mutable_data().data();
+  for (int bi = 0; bi < b; ++bi) {
+    VIST5_CHECK_GE(positions[bi], 0);
+    VIST5_CHECK_LT(positions[bi], t);
+    for (int hi = 0; hi < h; ++hi) {
+      const size_t plane = static_cast<size_t>(bi) * h + hi;
+      std::copy_n(chunk.data().data() + plane * dh, static_cast<size_t>(dh),
+                  data + (plane * t + positions[bi]) * dh);
+    }
+  }
+}
+
+Tensor PadTime(const Tensor& x, int t) {
+  VIST5_CHECK(!GradEnabled()) << "PadTime is an inference-only helper";
+  VIST5_CHECK_EQ(x.ndim(), 4);
+  const int b = x.dim(0);
+  const int h = x.dim(1);
+  const int t_old = x.dim(2);
+  const int dh = x.dim(3);
+  VIST5_CHECK_GE(t, t_old);
+  if (t == t_old) return x;
+  std::vector<float> out(static_cast<size_t>(b) * h * t * dh, 0.0f);
+  for (int bi = 0; bi < b; ++bi) {
+    for (int hi = 0; hi < h; ++hi) {
+      const size_t plane = static_cast<size_t>(bi) * h + hi;
+      std::copy_n(x.data().data() + plane * t_old * dh,
+                  static_cast<size_t>(t_old) * dh,
+                  out.data() + plane * t * dh);
+    }
+  }
+  return Tensor({b, h, t, dh}, std::move(out));
+}
+
+Tensor SliceTime(const Tensor& x, int t) {
+  VIST5_CHECK(!GradEnabled()) << "SliceTime is an inference-only helper";
+  VIST5_CHECK_EQ(x.ndim(), 4);
+  const int b = x.dim(0);
+  const int h = x.dim(1);
+  const int t_old = x.dim(2);
+  const int dh = x.dim(3);
+  VIST5_CHECK_GE(t, 0);
+  VIST5_CHECK_LE(t, t_old);
+  if (t == t_old) return x;
+  std::vector<float> out(static_cast<size_t>(b) * h * t * dh);
+  for (int bi = 0; bi < b; ++bi) {
+    for (int hi = 0; hi < h; ++hi) {
+      const size_t plane = static_cast<size_t>(bi) * h + hi;
+      std::copy_n(x.data().data() + plane * t_old * dh,
+                  static_cast<size_t>(t) * dh, out.data() + plane * t * dh);
+    }
+  }
+  return Tensor({b, h, t, dh}, std::move(out));
+}
+
+Tensor ConcatBatch(const Tensor& a, const Tensor& b) {
+  VIST5_CHECK(!GradEnabled()) << "ConcatBatch is an inference-only helper";
+  VIST5_CHECK_EQ(a.ndim(), 4);
+  VIST5_CHECK_EQ(b.ndim(), 4);
+  for (int d = 1; d < 4; ++d) VIST5_CHECK_EQ(a.dim(d), b.dim(d));
+  std::vector<float> out;
+  out.reserve(a.data().size() + b.data().size());
+  out.insert(out.end(), a.data().begin(), a.data().end());
+  out.insert(out.end(), b.data().begin(), b.data().end());
+  return Tensor({a.dim(0) + b.dim(0), a.dim(1), a.dim(2), a.dim(3)},
+                std::move(out));
 }
 
 Tensor GatherRows(const Tensor& x, const std::vector<int>& rows) {

@@ -49,6 +49,24 @@ Tensor MatMulTransposeB(const Tensor& a, const Tensor& b);
 /// Softmax over the last dimension.
 Tensor Softmax(const Tensor& x);
 
+/// Single-query attention scores bounded by per-row valid key counts:
+/// out[b, h, 0, j] = q[b, h, 0, :] · k[b, h, j, :] for j < valid[b], zero
+/// beyond. Each dot runs through the same row kernel MatMulTransposeB
+/// uses, so for j < valid[b] the bits match the unbounded product exactly —
+/// the bound only skips keys a later mask would zero anyway. With
+/// preallocated KV capacity (continuous batching) this cuts the per-step
+/// key stream from capacity to the live prefix. Inference-only.
+Tensor BoundedAttnScores(const Tensor& q, const Tensor& k,
+                         const std::vector<int>& valid);
+
+/// Single-query attention context bounded by per-row valid key counts:
+/// out[b, h, 0, :] = sum_{j < valid[b]} probs[b, h, 0, j] * v[b, h, j, :].
+/// Bit-compatible with MatMul against a cache whose time extent equals
+/// valid[b] (the sequential decode path); the skipped tail contributes only
+/// exact-zero terms. Inference-only.
+Tensor BoundedAttnContext(const Tensor& probs, const Tensor& v,
+                          const std::vector<int>& valid);
+
 /// Softmax over the last dim of attention scores [B, H, Tq, Tk] with
 /// padding and causal masking. Key positions >= key_lengths[b] receive zero
 /// probability; if `causal`, key position k > query position q is masked.
@@ -111,6 +129,36 @@ Tensor AppendTime(const Tensor& cache, const Tensor& chunk);
 /// reorder/expand per-beam KV caches after hypothesis pruning.
 /// Inference-only: must run under NoGradGuard.
 Tensor GatherBatch(const Tensor& x, const std::vector<int>& indices);
+
+/// Writes `chunk` [B, H, 1, Dh] into `cache` [B, H, T, Dh] at per-row time
+/// index `positions[b]`, growing the time dimension to
+/// max(T, max(positions) + 1) with zero padding. The ragged-batch
+/// counterpart of AppendTime: rows at different decode steps append into
+/// one shared cache tensor (continuous batching, docs/SERVING.md). An
+/// undefined `cache` acts as an empty one. Inference-only.
+Tensor ScatterTime(const Tensor& cache, const Tensor& chunk,
+                   const std::vector<int>& positions);
+
+/// ScatterTime without the copy: writes `chunk` [B, H, 1, Dh] into `*cache`
+/// at per-row time index `positions[b]`, mutating the tensor. Requires a
+/// defined, uniquely-owned cache whose time dimension already covers every
+/// position (the preallocated-capacity decode path; ContinuousDecoder sizes
+/// caches to max_len up front so the per-step O(B*H*T*Dh) reallocation of
+/// ScatterTime disappears). Inference-only.
+void ScatterTimeInPlace(Tensor* cache, const Tensor& chunk,
+                        const std::vector<int>& positions);
+
+/// Zero-pads a [B, H, T, Dh] tensor along the time dimension to `t` >= T.
+/// Inference-only (KV-cache merging).
+Tensor PadTime(const Tensor& x, int t);
+
+/// Keeps the first `t` <= T time entries of a [B, H, T, Dh] tensor.
+/// Inference-only (KV-cache trimming after batch eviction).
+Tensor SliceTime(const Tensor& x, int t);
+
+/// Concatenates two [B_i, H, T, Dh] tensors along the batch dimension.
+/// Inference-only (joining requests into a shared decode batch).
+Tensor ConcatBatch(const Tensor& a, const Tensor& b);
 
 /// Selects rows of a 2-D tensor: out[i, :] = x[rows[i], :]. Differentiable.
 Tensor GatherRows(const Tensor& x, const std::vector<int>& rows);

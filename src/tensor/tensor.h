@@ -1,6 +1,7 @@
 #ifndef VIST5_TENSOR_TENSOR_H_
 #define VIST5_TENSOR_TENSOR_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -17,6 +18,11 @@ struct TensorImpl {
   std::vector<float> data;
   /// Gradient buffer; allocated lazily on first accumulation.
   std::vector<float> grad;
+  /// Bumped on every mutable_data() access. Lets derived-value caches
+  /// (e.g. the tied-embedding transpose in Transformer::Logits) detect
+  /// in-place weight updates — optimizer steps, checkpoint loads — without
+  /// hashing the contents.
+  uint64_t data_version = 0;
   bool requires_grad = false;
   /// Propagates this node's grad into its parents' grads.
   std::function<void()> backward_fn;
@@ -68,7 +74,12 @@ class Tensor {
   int64_t NumElements() const { return impl_->NumElements(); }
 
   const std::vector<float>& data() const { return impl_->data; }
-  std::vector<float>& mutable_data() { return impl_->data; }
+  std::vector<float>& mutable_data() {
+    ++impl_->data_version;
+    return impl_->data;
+  }
+  /// Current mutation counter; see TensorImpl::data_version.
+  uint64_t data_version() const { return impl_->data_version; }
   const std::vector<float>& grad() const { return impl_->grad; }
   std::vector<float>& mutable_grad() {
     impl_->EnsureGrad();

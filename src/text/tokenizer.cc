@@ -86,6 +86,15 @@ void Tokenizer::RegisterSpecials() {
   for (int c = 33; c < 127; ++c) {
     vocab_.AddToken(std::string("c_") + static_cast<char>(c));
   }
+  RebuildCharFallback();
+}
+
+void Tokenizer::RebuildCharFallback() {
+  char_fallback_ids_.assign(256, unk_id_);
+  for (int c = 0; c < 256; ++c) {
+    const int id = vocab_.Id(std::string("c_") + static_cast<char>(c));
+    if (id >= 0) char_fallback_ids_[static_cast<size_t>(c)] = id;
+  }
 }
 
 Tokenizer Tokenizer::Build(const std::vector<std::string>& corpus,
@@ -115,11 +124,14 @@ std::vector<int> Tokenizer::Encode(std::string_view txt) const {
       out.push_back(id);
       continue;
     }
-    // Character fallback keeps every word representable.
+    // Character fallback keeps every word representable. The id table is
+    // precomputed, so this path costs one array index per character
+    // instead of a string allocation plus a hash lookup.
     out.push_back(char_open_id_);
     for (char c : w) {
-      const int cid = vocab_.Id(std::string("c_") + c);
-      out.push_back(cid >= 0 ? cid : unk_id_);
+      const auto idx = static_cast<unsigned char>(c);
+      out.push_back(idx < char_fallback_ids_.size() ? char_fallback_ids_[idx]
+                                                    : unk_id_);
     }
     out.push_back(char_close_id_);
   }
@@ -231,6 +243,9 @@ Status Tokenizer::Load(BinaryReader* reader) {
   VIST5_RETURN_IF_ERROR(reader->ReadI32(&first_sentinel_id_));
   VIST5_RETURN_IF_ERROR(reader->ReadI32(&char_open_id_));
   VIST5_RETURN_IF_ERROR(reader->ReadI32(&char_close_id_));
+  // A loaded vocabulary never ran RegisterSpecials; derive the fallback
+  // table from the deserialized tokens.
+  RebuildCharFallback();
   return Status::OK();
 }
 

@@ -30,6 +30,13 @@ inline constexpr int kNumSentinels = 32;
 /// </s> end-of-sequence, <unk>, the task prefix tokens of Sec. III-E
 /// (<nl>, <vql>, <schema>, <table>, <question>, <answer>, <description>),
 /// and kNumSentinels mask sentinels.
+///
+/// Thread-safety: a fully constructed Tokenizer is immutable — Encode,
+/// EncodeWithEos, and Decode are const, touch no mutable or global state,
+/// and may be called concurrently from any number of threads (the serving
+/// front end does exactly that, one connection thread per client). Build,
+/// Load, and assignment are the only mutating operations and must not
+/// race with readers.
 class Tokenizer {
  public:
   /// Builds a tokenizer over `corpus`: every word occurring at least
@@ -73,6 +80,8 @@ class Tokenizer {
 
  private:
   void RegisterSpecials();
+  /// Recomputes char_fallback_ids_ from the vocabulary (after Build/Load).
+  void RebuildCharFallback();
 
   Vocabulary vocab_;
   int pad_id_ = 0;
@@ -81,6 +90,10 @@ class Tokenizer {
   int first_sentinel_id_ = 3;
   int char_open_id_ = -1;
   int char_close_id_ = -1;
+  /// char -> id of its "c_<char>" fallback token (unk where absent),
+  /// indexed by unsigned char. Precomputed so the Encode fallback path
+  /// does no per-character string building or hash lookups.
+  std::vector<int> char_fallback_ids_;
 };
 
 }  // namespace text

@@ -4,14 +4,17 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "util/status.h"
 
 namespace vist5 {
 
 /// Minimal JSON document value used to emit Vega-Lite specifications and
-/// experiment reports. Write-only (no parser is needed by the library).
-/// Object keys preserve insertion order, matching the field order Vega-Lite
-/// specs conventionally use.
+/// experiment reports, and to parse the line-delimited request protocol of
+/// the serving front end (docs/SERVING.md). Object keys preserve insertion
+/// order, matching the field order Vega-Lite specs conventionally use.
 class JsonValue {
  public:
   enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
@@ -57,6 +60,38 @@ class JsonValue {
 
   /// Serializes with 2-space indentation when `pretty` is true.
   std::string ToString(bool pretty = true) const;
+
+  /// Parses one JSON document from `text` (the whole string must be
+  /// consumed apart from trailing whitespace). Strict on structure,
+  /// lenient on nothing: unquoted keys, trailing commas, and comments are
+  /// rejected. `\uXXXX` escapes outside ASCII are decoded to UTF-8.
+  static StatusOr<JsonValue> Parse(std::string_view text);
+
+  // --- read accessors (parser-side mirror of the builders) -------------
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+
+  /// Typed views with fallbacks (no aborts on type mismatch, so protocol
+  /// handlers can validate with plain control flow).
+  bool bool_value(bool fallback = false) const {
+    return kind_ == Kind::kBool ? bool_ : fallback;
+  }
+  double number_value(double fallback = 0) const {
+    return kind_ == Kind::kNumber ? number_ : fallback;
+  }
+  const std::string& string_value() const { return string_; }
+
+  /// Object field lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Array/object element count (0 for scalars).
+  size_t size() const;
+  /// Array element `i`; must be an array with i < size().
+  const JsonValue& at(size_t i) const;
 
  private:
   void WriteTo(std::string* out, bool pretty, int indent) const;

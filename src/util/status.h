@@ -20,6 +20,7 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kIoError,
+  kUnavailable,
 };
 
 /// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
@@ -59,6 +60,11 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  /// Transient overload (e.g. a full admission queue): retrying later is
+  /// expected to succeed.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

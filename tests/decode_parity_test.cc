@@ -113,6 +113,28 @@ TEST_P(DecodeParity, GreedyConstrainedTokensMatch) {
   EXPECT_EQ(m.Generate(src, cached), m.Generate(src, full)) << preset().name;
 }
 
+TEST_P(DecodeParity, BatchedGreedyTokensMatchSequential) {
+  // The continuous-batching decode path (GenerateBatch → DecodeStepRagged
+  // over a shared, capacity-preallocated KV cache) must emit the exact
+  // token sequence of one-at-a-time Generate for every row, mixed lengths
+  // included. See docs/SERVING.md for why this holds bit-for-bit.
+  nn::TransformerConfig cfg = preset().make(kVocab);
+  cfg.dropout = 0.0f;
+  model::TransformerSeq2Seq m(cfg, kPad, kEos, seed());
+  Rng data(seed() * 31 + 7);
+  std::vector<std::vector<int>> srcs;
+  for (int len : {4, 9, 6, 5, 8, 7}) srcs.push_back(RandomSrc(&data, len));
+
+  model::GenerationOptions options;
+  options.max_len = 16;
+  const std::vector<std::vector<int>> batched = m.GenerateBatch(srcs, options);
+  ASSERT_EQ(batched.size(), srcs.size());
+  for (size_t i = 0; i < srcs.size(); ++i) {
+    EXPECT_EQ(batched[i], m.Generate(srcs[i], options))
+        << preset().name << " row " << i;
+  }
+}
+
 TEST_P(DecodeParity, BeamTokensMatch) {
   nn::TransformerConfig cfg = preset().make(kVocab);
   cfg.dropout = 0.0f;

@@ -189,6 +189,27 @@ TEST_P(Determinism, GreedyAndBeamDecodeTokensIdentical) {
   EXPECT_EQ(m4.Generate(src, beam), beam1) << preset().name;
 }
 
+TEST_P(Determinism, BatchedDecodeTokensIdenticalAcrossThreads) {
+  // The continuous-batching path (GenerateBatch → DecodeStepRagged) adds
+  // batched kernels — ScatterTimeInPlace, bounded attention, ragged bias —
+  // on top of the single-request decode. All of them chunk by shape, never
+  // by thread count, so the emitted tokens must not move with SetThreads.
+  Rng data(seed() * 19 + 5);
+  std::vector<std::vector<int>> srcs;
+  for (int len : {5, 8, 4, 7}) srcs.push_back(RandomSeq(&data, len));
+
+  model::GenerationOptions options;
+  options.max_len = 14;
+
+  rt::SetThreads(1);
+  model::TransformerSeq2Seq m1(Config(), kPad, kEos, seed());
+  const std::vector<std::vector<int>> serial = m1.GenerateBatch(srcs, options);
+
+  rt::SetThreads(4);
+  model::TransformerSeq2Seq m4(Config(), kPad, kEos, seed());
+  EXPECT_EQ(m4.GenerateBatch(srcs, options), serial) << preset().name;
+}
+
 INSTANTIATE_TEST_SUITE_P(
     PresetsAndSeeds, Determinism,
     ::testing::Combine(::testing::Range(0, 2),

@@ -1,0 +1,517 @@
+// vist5::serve — continuous-batching determinism and scheduler behavior.
+//
+// The central contract (docs/SERVING.md): a request decoded inside a shared
+// continuous batch produces exactly the token sequence a sequential
+// Generate call produces, regardless of batch composition, arrival order,
+// or how often rows join and leave the batch. The tests here pin that
+// contract at three levels — GenerateBatch (model layer), BatchScheduler
+// with staggered arrivals (scheduler layer), and the TCP front end — plus
+// the scheduler's failure modes: backpressure rejection, deadline expiry,
+// and graceful drain.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "model/transformer_model.h"
+#include "obs/metrics.h"
+#include "serve/client.h"
+#include "serve/loadgen.h"
+#include "serve/request_queue.h"
+#include "serve/scheduler.h"
+#include "serve/server.h"
+#include "text/tokenizer.h"
+#include "util/json.h"
+
+namespace vist5 {
+namespace {
+
+constexpr int kVocab = 48;
+constexpr int kPad = 0;
+constexpr int kEos = 1;
+
+struct Preset {
+  const char* name;
+  nn::TransformerConfig (*make)(int vocab);
+};
+
+// Two presets exercise both norm styles and both position-bias flavors on
+// the ragged decode path.
+constexpr Preset kPresets[] = {
+    {"t5_small", nn::TransformerConfig::T5Small},   // pre-RMS, relative bias
+    {"vanilla", nn::TransformerConfig::Vanilla},    // post-LN, sinusoidal
+};
+
+std::vector<int> RandomSrc(Rng* rng, int len) {
+  std::vector<int> src(static_cast<size_t>(len));
+  for (int& t : src) t = rng->UniformRange(2, kVocab - 1);
+  return src;
+}
+
+// Mixed-length sources so rows finish at different steps and the batch
+// shrinks/evicts mid-flight.
+std::vector<std::vector<int>> MixedSources(uint64_t seed, int count) {
+  Rng rng(seed * 31 + 7);
+  std::vector<std::vector<int>> srcs;
+  srcs.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    srcs.push_back(RandomSrc(&rng, 3 + i % 6));
+  }
+  return srcs;
+}
+
+class ServeParity : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {
+ protected:
+  const Preset& preset() const { return kPresets[std::get<0>(GetParam())]; }
+  uint64_t seed() const { return std::get<1>(GetParam()); }
+
+  model::TransformerSeq2Seq MakeModel() const {
+    nn::TransformerConfig cfg = preset().make(kVocab);
+    cfg.dropout = 0.0f;
+    return model::TransformerSeq2Seq(cfg, kPad, kEos, seed());
+  }
+};
+
+TEST_P(ServeParity, GenerateBatchMatchesSequential) {
+  model::TransformerSeq2Seq m = MakeModel();
+  const auto srcs = MixedSources(seed(), 9);  // not a multiple of the batch
+  model::GenerationOptions options;
+  options.max_len = 20;
+
+  const auto batched = m.GenerateBatch(srcs, options);
+  ASSERT_EQ(batched.size(), srcs.size());
+  for (size_t i = 0; i < srcs.size(); ++i) {
+    EXPECT_EQ(batched[i], m.Generate(srcs[i], options))
+        << preset().name << " row " << i;
+  }
+}
+
+TEST_P(ServeParity, GenerateBatchConstrainedMatchesSequential) {
+  model::TransformerSeq2Seq m = MakeModel();
+  const auto srcs = MixedSources(seed() + 1, 5);
+  model::GenerationOptions options;
+  options.max_len = 12;
+  options.allowed = [](int token) { return token % 5 != 2; };
+
+  const auto batched = m.GenerateBatch(srcs, options);
+  for (size_t i = 0; i < srcs.size(); ++i) {
+    EXPECT_EQ(batched[i], m.Generate(srcs[i], options))
+        << preset().name << " row " << i;
+  }
+}
+
+// Staggered arrivals: requests join a batch that is already mid-decode, so
+// rows sit at different time steps inside one shared KV cache. Every
+// response must still match its sequential reference exactly.
+TEST_P(ServeParity, SchedulerStaggeredArrivalsMatchSequential) {
+  model::TransformerSeq2Seq m = MakeModel();
+  const int kRequests = 10;
+  const auto srcs = MixedSources(seed() + 2, kRequests);
+  model::GenerationOptions options;
+  options.max_len = 24;
+
+  serve::SchedulerOptions sched_options;
+  sched_options.max_batch = 4;
+  sched_options.queue_capacity = 64;
+  serve::BatchScheduler scheduler(&m, sched_options);
+  scheduler.Start();
+
+  std::mutex mu;
+  std::condition_variable cv;
+  int outstanding = kRequests;
+  std::vector<serve::Response> responses(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    serve::Request req;
+    req.tokens = srcs[static_cast<size_t>(i)];
+    req.options = options;
+    ASSERT_TRUE(scheduler
+                    .Submit(std::move(req),
+                            [&, i](serve::Response r) {
+                              std::lock_guard<std::mutex> lock(mu);
+                              responses[static_cast<size_t>(i)] = std::move(r);
+                              --outstanding;
+                              cv.notify_one();
+                            })
+                    .ok());
+    // Spread arrivals across decode steps so later requests join a live
+    // batch rather than all being admitted at one boundary.
+    std::this_thread::sleep_for(std::chrono::microseconds(300 * (i % 3)));
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return outstanding == 0; });
+  }
+  scheduler.Shutdown(/*drain=*/true);
+
+  for (int i = 0; i < kRequests; ++i) {
+    const serve::Response& r = responses[static_cast<size_t>(i)];
+    EXPECT_EQ(r.status, serve::ResponseStatus::kOk) << "request " << i;
+    EXPECT_EQ(r.tokens, m.Generate(srcs[static_cast<size_t>(i)], options))
+        << preset().name << " request " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Presets, ServeParity,
+    ::testing::Combine(::testing::Range(0, 2),
+                       ::testing::Values<uint64_t>(11, 1234)),
+    [](const ::testing::TestParamInfo<ServeParity::ParamType>& info) {
+      return std::string(kPresets[std::get<0>(info.param)].name) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+model::TransformerSeq2Seq MakeSmallModel(uint64_t seed = 11) {
+  nn::TransformerConfig cfg = nn::TransformerConfig::T5Small(kVocab);
+  cfg.dropout = 0.0f;
+  return model::TransformerSeq2Seq(cfg, kPad, kEos, seed);
+}
+
+// Queue at capacity rejects instead of growing: submissions beyond
+// queue_capacity before the scheduler starts must complete inline with
+// kRejected and carry the configured retry-after hint.
+TEST(BatchScheduler, BackpressureRejectsWithRetryAfter) {
+  model::TransformerSeq2Seq m = MakeSmallModel();
+  serve::SchedulerOptions options;
+  options.max_batch = 2;
+  options.queue_capacity = 2;
+  options.retry_after_ms = 77;
+  serve::BatchScheduler scheduler(&m, options);
+  // Not started: nothing drains the queue, so capacity is deterministic.
+
+  Rng rng(5);
+  model::GenerationOptions gen;
+  gen.max_len = 8;
+
+  std::mutex mu;
+  std::vector<serve::Response> accepted_responses;
+  int rejected = 0;
+  int retry_after = 0;
+  for (int i = 0; i < 4; ++i) {
+    serve::Request req;
+    req.tokens = RandomSrc(&rng, 5);
+    req.options = gen;
+    const Status status = scheduler.Submit(
+        std::move(req), [&](serve::Response r) {
+          std::lock_guard<std::mutex> lock(mu);
+          if (r.status == serve::ResponseStatus::kRejected) {
+            ++rejected;
+            retry_after = r.retry_after_ms;
+          } else {
+            accepted_responses.push_back(std::move(r));
+          }
+        });
+    if (i < 2) {
+      EXPECT_TRUE(status.ok()) << "submission " << i;
+    } else {
+      EXPECT_FALSE(status.ok()) << "submission " << i;
+    }
+  }
+  EXPECT_EQ(rejected, 2);
+  EXPECT_EQ(retry_after, 77);
+
+  // The accepted requests drain once the loop starts.
+  scheduler.Start();
+  scheduler.Shutdown(/*drain=*/true);
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(accepted_responses.size(), 2u);
+  for (const serve::Response& r : accepted_responses) {
+    EXPECT_EQ(r.status, serve::ResponseStatus::kOk);
+  }
+}
+
+// A request whose deadline expires mid-decode completes with
+// kDeadlineExpired and returns the tokens decoded so far — a prefix of the
+// sequence an unbounded request would produce.
+TEST(BatchScheduler, DeadlineExpiryReturnsPrefix) {
+  model::TransformerSeq2Seq m = MakeSmallModel();
+  model::GenerationOptions gen;
+  gen.max_len = 512;
+  // Forbid EOS so the decode cannot finish early; only the deadline (or
+  // the generous max_len) can end it.
+  gen.allowed = [](int token) { return token != kEos; };
+
+  serve::SchedulerOptions options;
+  options.max_batch = 2;
+  serve::BatchScheduler scheduler(&m, options);
+  scheduler.Start();
+
+  serve::Request req;
+  Rng rng(9);
+  const std::vector<int> src = RandomSrc(&rng, 6);
+  req.tokens = src;
+  req.options = gen;
+  req.options.deadline_ms = 1;
+  const serve::Response r = scheduler.SubmitAndWait(std::move(req));
+  scheduler.Shutdown(/*drain=*/true);
+
+  ASSERT_EQ(r.status, serve::ResponseStatus::kDeadlineExpired);
+  EXPECT_LT(r.tokens.size(), 512u);
+  model::GenerationOptions unbounded = gen;
+  const std::vector<int> full = m.Generate(src, unbounded);
+  ASSERT_LE(r.tokens.size(), full.size());
+  for (size_t i = 0; i < r.tokens.size(); ++i) {
+    EXPECT_EQ(r.tokens[i], full[i]) << "prefix position " << i;
+  }
+}
+
+// Shutdown(drain=true) completes every queued and in-flight request before
+// the loop exits; nothing is dropped or aborted.
+TEST(BatchScheduler, GracefulDrainCompletesAllRequests) {
+  model::TransformerSeq2Seq m = MakeSmallModel();
+  serve::SchedulerOptions options;
+  options.max_batch = 3;
+  serve::BatchScheduler scheduler(&m, options);
+  scheduler.Start();
+
+  Rng rng(21);
+  model::GenerationOptions gen;
+  gen.max_len = 16;
+  const int kRequests = 7;
+  std::vector<std::vector<int>> srcs;
+  std::mutex mu;
+  std::vector<serve::Response> responses;
+  for (int i = 0; i < kRequests; ++i) {
+    srcs.push_back(RandomSrc(&rng, 4 + i % 4));
+    serve::Request req;
+    req.tokens = srcs.back();
+    req.options = gen;
+    ASSERT_TRUE(scheduler
+                    .Submit(std::move(req),
+                            [&](serve::Response r) {
+                              std::lock_guard<std::mutex> lock(mu);
+                              responses.push_back(std::move(r));
+                            })
+                    .ok());
+  }
+  scheduler.Shutdown(/*drain=*/true);
+
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(responses.size(), static_cast<size_t>(kRequests));
+  for (const serve::Response& r : responses) {
+    EXPECT_EQ(r.status, serve::ResponseStatus::kOk);
+    EXPECT_FALSE(r.tokens.empty());
+  }
+}
+
+// Shutdown without drain still fires every completion exactly once (as
+// kShutdown for requests that never ran).
+TEST(BatchScheduler, AbortShutdownCompletesEverything) {
+  model::TransformerSeq2Seq m = MakeSmallModel();
+  serve::SchedulerOptions options;
+  options.max_batch = 1;
+  serve::BatchScheduler scheduler(&m, options);
+  // Never started: all queued requests must resolve as kShutdown.
+  Rng rng(33);
+  model::GenerationOptions gen;
+  gen.max_len = 8;
+  std::atomic<int> fired{0};
+  std::atomic<int> shut_down{0};
+  for (int i = 0; i < 3; ++i) {
+    serve::Request req;
+    req.tokens = RandomSrc(&rng, 5);
+    req.options = gen;
+    scheduler.Submit(std::move(req), [&](serve::Response r) {
+      fired.fetch_add(1);
+      if (r.status == serve::ResponseStatus::kShutdown) shut_down.fetch_add(1);
+    });
+  }
+  scheduler.Shutdown(/*drain=*/false);
+  EXPECT_EQ(fired.load(), 3);
+  EXPECT_EQ(shut_down.load(), 3);
+}
+
+// Exclusive (beam) requests run alone but still return the sequential
+// beam result while greedy traffic batches around them.
+TEST(BatchScheduler, BeamRequestsMatchSequentialBeam) {
+  model::TransformerSeq2Seq m = MakeSmallModel();
+  serve::SchedulerOptions options;
+  options.max_batch = 4;
+  serve::BatchScheduler scheduler(&m, options);
+  scheduler.Start();
+
+  Rng rng(17);
+  const std::vector<int> greedy_src = RandomSrc(&rng, 6);
+  const std::vector<int> beam_src = RandomSrc(&rng, 7);
+  model::GenerationOptions greedy;
+  greedy.max_len = 16;
+  model::GenerationOptions beam = greedy;
+  beam.beam_size = 3;
+
+  serve::Request g;
+  g.tokens = greedy_src;
+  g.options = greedy;
+  serve::Request b;
+  b.tokens = beam_src;
+  b.options = beam;
+  std::mutex mu;
+  std::vector<serve::Response> out(2);
+  std::condition_variable cv;
+  int outstanding = 2;
+  auto submit = [&](serve::Request req, int slot) {
+    ASSERT_TRUE(scheduler
+                    .Submit(std::move(req),
+                            [&, slot](serve::Response r) {
+                              std::lock_guard<std::mutex> lock(mu);
+                              out[static_cast<size_t>(slot)] = std::move(r);
+                              --outstanding;
+                              cv.notify_one();
+                            })
+                    .ok());
+  };
+  submit(std::move(g), 0);
+  submit(std::move(b), 1);
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return outstanding == 0; });
+  }
+  scheduler.Shutdown(/*drain=*/true);
+
+  EXPECT_EQ(out[0].tokens, m.Generate(greedy_src, greedy));
+  EXPECT_EQ(out[1].tokens, m.Generate(beam_src, beam));
+}
+
+// Serving populates the serve/* metrics in the global obs registry — the
+// snapshot surface operators scrape (VIST5_METRICS_OUT).
+TEST(BatchScheduler, MetricsVisibleInObsSnapshot) {
+  model::TransformerSeq2Seq m = MakeSmallModel();
+  serve::SchedulerOptions options;
+  options.max_batch = 2;
+  serve::BatchScheduler scheduler(&m, options);
+  scheduler.Start();
+  Rng rng(3);
+  model::GenerationOptions gen;
+  gen.max_len = 8;
+  serve::Request req;
+  req.tokens = RandomSrc(&rng, 5);
+  req.options = gen;
+  const serve::Response r = scheduler.SubmitAndWait(std::move(req));
+  scheduler.Shutdown(/*drain=*/true);
+  ASSERT_EQ(r.status, serve::ResponseStatus::kOk);
+
+  const JsonValue snapshot = obs::MetricsRegistry::Global().Snapshot();
+  const JsonValue* counters = snapshot.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  for (const char* name :
+       {"serve/requests", "serve/completed", "serve/steps", "serve/tokens"}) {
+    const JsonValue* counter = counters->Find(name);
+    ASSERT_NE(counter, nullptr) << name;
+    EXPECT_GE(counter->number_value(), 1.0) << name;
+  }
+  const JsonValue* histograms = snapshot.Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  for (const char* name : {"serve/latency_ms", "serve/batch_size"}) {
+    EXPECT_NE(histograms->Find(name), nullptr) << name;
+  }
+}
+
+// In-process load generator round trip (the bench-serve engine).
+TEST(LoadGen, ReportsCompletionsAndThroughput) {
+  model::TransformerSeq2Seq m = MakeSmallModel();
+  serve::SchedulerOptions options;
+  options.max_batch = 4;
+  serve::BatchScheduler scheduler(&m, options);
+  scheduler.Start();
+
+  const auto prompts = MixedSources(77, 4);
+  serve::LoadGenOptions lg;
+  lg.concurrency = 4;
+  lg.total_requests = 12;
+  lg.gen.max_len = 12;
+  const serve::LoadGenReport report =
+      serve::RunLoadGen(&scheduler, prompts, lg);
+  scheduler.Shutdown(/*drain=*/true);
+
+  EXPECT_EQ(report.completed, 12);
+  EXPECT_EQ(report.expired, 0);
+  EXPECT_GT(report.tokens, 0);
+  EXPECT_GT(report.tok_per_sec, 0.0);
+  EXPECT_GE(report.p99_ms, report.p50_ms);
+}
+
+// TCP front end: line-delimited JSON in, one response line per request,
+// token parity with a direct Generate call.
+TEST(Server, TcpEndToEndMatchesDirectGenerate) {
+  // Tokenizer built from a toy corpus so "text" requests round-trip.
+  const std::vector<std::string> corpus = {
+      "show the total sales by region", "bar chart of count per year",
+      "average price over time"};
+  const text::Tokenizer tokenizer = text::Tokenizer::Build(corpus);
+  nn::TransformerConfig cfg =
+      nn::TransformerConfig::T5Small(tokenizer.vocab_size());
+  cfg.dropout = 0.0f;
+  model::TransformerSeq2Seq m(cfg, tokenizer.pad_id(), tokenizer.eos_id(), 7);
+
+  serve::SchedulerOptions sched_options;
+  sched_options.max_batch = 4;
+  serve::BatchScheduler scheduler(&m, sched_options);
+  scheduler.Start();
+  serve::ServerOptions server_options;
+  server_options.port = 0;  // ephemeral
+  serve::Server server(&scheduler, &tokenizer, server_options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  serve::Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  // Text request.
+  JsonValue req = JsonValue::Object();
+  req.Set("id", JsonValue::String("r1"));
+  req.Set("text", JsonValue::String("show the total sales by region"));
+  req.Set("max_len", JsonValue::Number(12));
+  StatusOr<JsonValue> reply = client.Call(req);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  const JsonValue* status = reply.value().Find("status");
+  ASSERT_NE(status, nullptr);
+  EXPECT_EQ(status->string_value(), "ok");
+  const JsonValue* id = reply.value().Find("id");
+  ASSERT_NE(id, nullptr);
+  EXPECT_EQ(id->string_value(), "r1");
+
+  model::GenerationOptions gen;
+  gen.max_len = 12;
+  // The server tokenizes "text" requests with plain Encode (no EOS).
+  const std::vector<int> expected =
+      m.Generate(tokenizer.Encode("show the total sales by region"), gen);
+  const JsonValue* tokens = reply.value().Find("tokens");
+  ASSERT_NE(tokens, nullptr);
+  ASSERT_EQ(tokens->size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(tokens->at(i).number_value()), expected[i]);
+  }
+
+  // Pre-tokenized request.
+  JsonValue req2 = JsonValue::Object();
+  req2.Set("id", JsonValue::String("r2"));
+  JsonValue toks = JsonValue::Array();
+  for (int t : tokenizer.EncodeWithEos("average price over time")) {
+    toks.Append(JsonValue::Number(t));
+  }
+  req2.Set("tokens", std::move(toks));
+  req2.Set("max_len", JsonValue::Number(10));
+  StatusOr<JsonValue> reply2 = client.Call(req2);
+  ASSERT_TRUE(reply2.ok());
+  EXPECT_EQ(reply2.value().Find("status")->string_value(), "ok");
+
+  // Malformed line maps to a protocol error, not a dropped connection.
+  JsonValue bad = JsonValue::Object();
+  bad.Set("id", JsonValue::String("r3"));
+  StatusOr<JsonValue> reply3 = client.Call(bad);  // neither text nor tokens
+  ASSERT_TRUE(reply3.ok());
+  EXPECT_EQ(reply3.value().Find("status")->string_value(), "error");
+
+  client.Close();
+  server.Stop(/*drain=*/true);
+  scheduler.Shutdown(/*drain=*/true);
+}
+
+}  // namespace
+}  // namespace vist5

@@ -1,3 +1,7 @@
+#include <string>
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "text/bpe.h"
@@ -117,6 +121,43 @@ TEST(TokenizerTest, SaveLoadRoundTrip) {
   EXPECT_EQ(loaded.vocab_size(), tok.vocab_size());
   const std::string text = "select artist.country from artist";
   EXPECT_EQ(loaded.Encode(text), tok.Encode(text));
+}
+
+TEST(TokenizerTest, ConcurrentEncodeDecodeIsSafeAndIdentical) {
+  // The serve layer tokenizes on one thread per TCP connection against a
+  // single shared Tokenizer, so every const method must be safely callable
+  // concurrently (docs/SERVING.md). Run under scripts/run_tsan.sh to turn
+  // any hidden mutation (caches, lazy init) into a reported race; the
+  // result comparison below catches corruption even without TSan.
+  Tokenizer tok = MakeTokenizer();
+  const std::vector<std::string> inputs = {
+      "visualize bar select artist.country from artist",
+      "give me a pie chart",
+      "count ( artist.country )",
+      "zyzzyva qqfoo unseen words",
+  };
+  std::vector<std::vector<int>> expected;
+  for (const std::string& s : inputs) expected.push_back(tok.Encode(s));
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 50;
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w]() {
+      for (int it = 0; it < kIters; ++it) {
+        const size_t i = static_cast<size_t>(w + it) % inputs.size();
+        if (tok.Encode(inputs[i]) != expected[i]) ++mismatches[w];
+        if (tok.Decode(expected[i]) != tok.Decode(expected[i]))
+          ++mismatches[w];
+        std::vector<int> with_eos = tok.EncodeWithEos(inputs[i]);
+        if (with_eos.empty() || with_eos.back() != tok.eos_id())
+          ++mismatches[w];
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  for (int w = 0; w < kThreads; ++w) EXPECT_EQ(mismatches[w], 0) << w;
 }
 
 TEST(TokenizerTest, MinFreqFiltersRareWords) {
