@@ -1,14 +1,16 @@
 // Component micro-benchmarks (google-benchmark): tokenizer, DV-query
 // parser, standardizer, relational executor, schema filtration, GEMM,
 // attention forward, transformer training step, and greedy decoding
-// (KV-cached vs full-prefix). After the google-benchmark run, a
-// `decode_cached_vs_full` summary row (tokens/sec for both paths plus
-// speedup) is printed and, when VIST5_BENCH_JSON is set, appended as a
-// JSON line (scripts/run_all_benches.sh exports it into build/obs/).
+// (KV-cached vs full-prefix). After the google-benchmark run, summary
+// rows are printed and, when VIST5_BENCH_JSON is set, appended as JSON
+// lines (scripts/run_all_benches.sh exports them into build/obs/):
+// `decode_cached_vs_full` (tokens/sec for both paths plus speedup) and
+// `checkpoint_save_load` (training-state checkpoint latency and size).
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 
 #include <benchmark/benchmark.h>
 
@@ -20,6 +22,7 @@
 #include "dv/encoding.h"
 #include "dv/parser.h"
 #include "dv/standardize.h"
+#include "model/checkpoint.h"
 #include "model/trainer.h"
 #include "nn/attention.h"
 #include "nn/transformer.h"
@@ -289,6 +292,74 @@ void ReportDecodeCachedVsFull() {
                    full_secs / cached_secs});
 }
 
+/// Times one rotation-managed training-state checkpoint save (atomic
+/// write + LATEST update) and one resume-load for the T5-small fixture
+/// model carrying a full AdamW moment payload, and prints a
+/// `checkpoint_save_load` row (mirrored to VIST5_BENCH_JSON). Guards the
+/// checkpoint_every cadence cost quoted in docs/CHECKPOINTING.md.
+void ReportCheckpointSaveLoad() {
+  Fixture& f = Shared();
+  nn::TransformerConfig cfg =
+      nn::TransformerConfig::T5Small(f.tokenizer.vocab_size());
+  model::TransformerSeq2Seq m(cfg, f.tokenizer.pad_id(), f.tokenizer.eos_id(),
+                              7);
+  nn::Module* module = m.CheckpointModule();
+
+  model::TrainState state;
+  state.next_step = 100;
+  state.total_steps = 300;
+  state.opt_step = 100;
+  for (const Tensor& p : m.TrainableParameters()) {
+    state.opt_m.emplace_back(p.data().size(), 0.01f);
+    state.opt_v.emplace_back(p.data().size(), 0.001f);
+  }
+
+  const std::string dir = "/tmp/vist5_bench_checkpoint";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  constexpr int kReps = 3;
+  double save_secs = 1e30;
+  double load_secs = 1e30;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const Status saved =
+        model::SaveTrainCheckpoint(*module, state, dir, /*keep_last=*/2);
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    if (!saved.ok()) {
+      std::fprintf(stderr, "checkpoint_save_load: save failed: %s\n",
+                   saved.ToString().c_str());
+      std::exit(1);
+    }
+    save_secs = std::min(save_secs, secs);
+  }
+  std::error_code ec;
+  const auto bytes = std::filesystem::file_size(
+      model::TrainCheckpointPath(dir, state.next_step), ec);
+  for (int rep = 0; rep < kReps; ++rep) {
+    model::TrainState restored;
+    const auto t0 = std::chrono::steady_clock::now();
+    const Status loaded = model::ResumeTrainState(module, &restored, dir);
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "checkpoint_save_load: load failed: %s\n",
+                   loaded.ToString().c_str());
+      std::exit(1);
+    }
+    load_secs = std::min(load_secs, secs);
+  }
+  std::filesystem::remove_all(dir);
+
+  bench::PrintHeader("checkpoint_save_load",
+                     {"save_ms", "load_ms", "mbytes"});
+  bench::PrintRow("t5_small_train_state",
+                  {save_secs * 1e3, load_secs * 1e3,
+                   static_cast<double>(bytes) / 1e6});
+}
+
 }  // namespace vist5
 
 int main(int argc, char** argv) {
@@ -297,5 +368,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   vist5::ReportDecodeCachedVsFull();
+  vist5::ReportCheckpointSaveLoad();
   return 0;
 }

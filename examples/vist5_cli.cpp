@@ -7,6 +7,10 @@
 //   vist5_cli schema      --db DIR [--question "..."]
 //   vist5_cli serve       [--port N] [--max-batch N] [--seed N]
 //   vist5_cli bench-serve [--requests N] [--max-len N] [--seed N]
+//   vist5_cli train       [--steps N] [--batch N] [--seed N]
+//                         [--checkpoint-dir DIR] [--checkpoint-every N]
+//                         [--keep-last N] [--resume 0|1]
+//                         [--max-steps-per-run N]
 //
 // --db names a directory of CSV files; each file becomes a table (the file
 // stem is the table name, the first CSV record the header). The directory
@@ -16,7 +20,11 @@
 // the continuous-batching scheduler over a demo fixture: a synthetic
 // catalog, a tokenizer built from its NVBench pairs, and an untrained
 // T5-small model. `bench-serve` drives the same fixture with the in-process
-// load generator at batch widths 1/4/8.
+// load generator at batch widths 1/4/8. `train` fine-tunes the same fixture
+// on its question->query pairs with crash-safe checkpointing
+// (docs/CHECKPOINTING.md): point --checkpoint-dir at a directory, kill the
+// process at any moment, rerun the identical command, and the run resumes
+// bit-exactly from the newest checkpoint.
 
 #include <atomic>
 #include <chrono>
@@ -42,6 +50,7 @@
 #include "dv/parser.h"
 #include "dv/standardize.h"
 #include "dv/vega.h"
+#include "model/trainer.h"
 #include "model/transformer_model.h"
 #include "nn/transformer.h"
 #include "obs/metrics.h"
@@ -57,9 +66,12 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: vist5_cli <render|standardize|suitability|describe|"
-               "schema|serve|bench-serve> [--db DIR] [--query Q] "
+               "schema|serve|bench-serve|train> [--db DIR] [--query Q] "
                "[--question TEXT] [--dvl vega|ggplot|echarts] [--port N] "
-               "[--max-batch N] [--requests N] [--max-len N] [--seed N]\n");
+               "[--max-batch N] [--requests N] [--max-len N] [--seed N] "
+               "[--steps N] [--batch N] [--checkpoint-dir DIR] "
+               "[--checkpoint-every N] [--keep-last N] [--resume 0|1] "
+               "[--max-steps-per-run N]\n");
   return 2;
 }
 
@@ -79,6 +91,7 @@ struct ServeFixture {
   text::Tokenizer tokenizer;
   std::unique_ptr<model::TransformerSeq2Seq> model;
   std::vector<std::vector<int>> prompts;
+  std::vector<model::SeqPair> pairs;  ///< question -> query, for `train`
 };
 
 ServeFixture BuildServeFixture(uint64_t seed) {
@@ -105,8 +118,47 @@ ServeFixture BuildServeFixture(uint64_t seed) {
       fixture.tokenizer.pad_id(), fixture.tokenizer.eos_id(), seed);
   for (const auto& ex : examples) {
     fixture.prompts.push_back(fixture.tokenizer.Encode(ex.question));
+    model::SeqPair pair;
+    pair.src = fixture.tokenizer.Encode(ex.question);
+    pair.tgt = fixture.tokenizer.EncodeWithEos(ex.query);
+    fixture.pairs.push_back(std::move(pair));
   }
   return fixture;
+}
+
+int RunTrain(const std::map<std::string, std::string>& flags) {
+  const uint64_t seed = static_cast<uint64_t>(FlagInt(flags, "seed", 1234));
+  ServeFixture fixture = BuildServeFixture(seed);
+
+  model::TrainOptions options;
+  options.steps = FlagInt(flags, "steps", 60);
+  options.batch_size = FlagInt(flags, "batch", 4);
+  options.seed = seed;
+  options.log_every = FlagInt(flags, "log-every", 10);
+  auto dir = flags.find("checkpoint-dir");
+  if (dir != flags.end()) options.checkpoint_dir = dir->second;
+  options.checkpoint_every = FlagInt(flags, "checkpoint-every", 10);
+  options.keep_last = FlagInt(flags, "keep-last", 3);
+  options.resume = FlagInt(flags, "resume", 1) != 0;
+  options.max_steps_per_run = FlagInt(flags, "max-steps-per-run", 0);
+
+  const model::TrainStats stats = model::TrainSeq2Seq(
+      fixture.model.get(), fixture.pairs, fixture.tokenizer.pad_id(), options);
+  std::printf("trained steps [%d, %d) of %d (first_loss %.4f final_loss "
+              "%.4f)\n",
+              stats.start_step, stats.start_step + stats.steps_this_run,
+              stats.steps, stats.first_loss, stats.final_loss);
+  if (!options.checkpoint_dir.empty()) {
+    std::printf("checkpoints in %s; rerun the same command to continue\n",
+                options.checkpoint_dir.c_str());
+  }
+  if (!fixture.prompts.empty()) {
+    model::GenerationOptions gen;
+    gen.max_len = 32;
+    const auto out = fixture.model->Generate(fixture.prompts.front(), gen);
+    std::printf("sample decode: %s\n", fixture.tokenizer.Decode(out).c_str());
+  }
+  return 0;
 }
 
 int RunServe(const std::map<std::string, std::string>& flags) {
@@ -215,6 +267,7 @@ int Main(int argc, char** argv) {
 
   if (command == "serve") return RunServe(flags);
   if (command == "bench-serve") return RunBenchServe(flags);
+  if (command == "train") return RunTrain(flags);
 
   if (command == "describe") {
     if (query_text.empty()) return Usage();

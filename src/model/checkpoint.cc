@@ -1,16 +1,303 @@
 #include "model/checkpoint.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
+#include <utility>
 
+#include "obs/metrics.h"
 #include "util/serialize.h"
 
 namespace vist5 {
 namespace model {
 namespace {
 
+// Module-parameter checkpoint ("VT5C"). v1: header + records. v2: adds a
+// trailing CRC32 over everything before it, so torn/bit-flipped files are
+// rejected up front instead of half-loaded.
 constexpr uint32_t kMagic = 0x56543543;  // "VT5C"
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2;
+constexpr uint32_t kMinSupportedVersion = 1;
+
+// Training-state checkpoint ("VT5S"): sectioned container, each section
+// payload carrying its own CRC32 (docs/CHECKPOINTING.md).
+constexpr uint32_t kTrainMagic = 0x56543553;  // "VT5S"
+constexpr uint32_t kTrainVersion = 1;
+
+constexpr char kLatestFileName[] = "LATEST";
+constexpr char kCheckpointPrefix[] = "ckpt_";
+constexpr char kCheckpointSuffix[] = ".vt5s";
+
+std::string DimsToString(const std::vector<int>& dims) {
+  std::string out = "[";
+  for (size_t i = 0; i < dims.size(); ++i) {
+    if (i) out += ", ";
+    out += std::to_string(dims[i]);
+  }
+  return out + "]";
+}
+
+// One stored parameter, decoded but not yet applied.
+struct ParamRecord {
+  std::string name;
+  std::vector<int> dims;
+  std::vector<float> data;
+};
+
+void WriteParamRecords(const nn::Module& module, BinaryWriter* writer) {
+  const auto params = module.NamedParameters();
+  writer->WriteU32(static_cast<uint32_t>(params.size()));
+  for (const auto& [name, tensor] : params) {
+    writer->WriteString(name);
+    writer->WriteU32(static_cast<uint32_t>(tensor.shape().size()));
+    for (int d : tensor.shape()) writer->WriteI32(d);
+    writer->WriteFloats(tensor.data());
+  }
+}
+
+Status ReadParamRecords(BinaryReader* reader,
+                        std::vector<ParamRecord>* records) {
+  uint32_t count = 0;
+  VIST5_RETURN_IF_ERROR(reader->ReadU32(&count));
+  records->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    ParamRecord record;
+    VIST5_RETURN_IF_ERROR(reader->ReadString(&record.name));
+    uint32_t ndim = 0;
+    VIST5_RETURN_IF_ERROR(reader->ReadU32(&ndim));
+    if (ndim > 8) {
+      return Status::InvalidArgument("parameter '" + record.name +
+                                     "' declares implausible rank " +
+                                     std::to_string(ndim));
+    }
+    record.dims.resize(ndim);
+    for (uint32_t d = 0; d < ndim; ++d) {
+      int32_t dim = 0;
+      VIST5_RETURN_IF_ERROR(reader->ReadI32(&dim));
+      // A non-positive dim is corruption; a negative one would also poison
+      // the element-count product used for the size cross-check below.
+      if (dim <= 0) {
+        return Status::InvalidArgument(
+            "parameter '" + record.name + "' has non-positive dimension " +
+            std::to_string(dim));
+      }
+      record.dims[d] = dim;
+    }
+    VIST5_RETURN_IF_ERROR(reader->ReadFloats(&record.data));
+    int64_t numel = 1;
+    for (int d : record.dims) numel *= d;
+    if (static_cast<int64_t>(record.data.size()) != numel) {
+      return Status::InvalidArgument(
+          "parameter '" + record.name + "' carries " +
+          std::to_string(record.data.size()) + " values for shape " +
+          DimsToString(record.dims));
+    }
+    records->push_back(std::move(record));
+  }
+  return Status::OK();
+}
+
+// Validates every record against the module, then commits them all. The
+// two-pass structure keeps loading transactional: a bad record in the
+// middle of the file must not leave the module half-overwritten.
+Status ApplyParamRecords(nn::Module* module,
+                         std::vector<ParamRecord> records) {
+  std::map<std::string, Tensor> by_name;
+  for (auto& [name, tensor] : module->NamedParameters()) {
+    by_name.emplace(name, tensor);
+  }
+  for (const ParamRecord& record : records) {
+    auto it = by_name.find(record.name);
+    if (it == by_name.end()) {
+      return Status::NotFound("checkpoint parameter '" + record.name +
+                              "' not present in module");
+    }
+    // Exact shape equality, not just matching element counts: a [2, 6]
+    // blob must not silently load into a [3, 4] parameter.
+    if (record.dims != it->second.shape()) {
+      return Status::InvalidArgument(
+          "shape mismatch for parameter '" + record.name + "': checkpoint " +
+          DimsToString(record.dims) + " vs module " +
+          DimsToString(it->second.shape()));
+    }
+  }
+  for (ParamRecord& record : records) {
+    by_name.find(record.name)->second.mutable_data() = std::move(record.data);
+  }
+  return Status::OK();
+}
+
+void AppendSection(BinaryWriter* out, const std::string& name,
+                   const BinaryWriter& payload) {
+  out->WriteString(name);
+  out->WriteU64(payload.buffer().size());
+  out->WriteBytes(payload.buffer());
+  out->WriteU32(Crc32(payload.buffer()));
+}
+
+// Reads `count` sections, validating each payload's CRC before it is
+// exposed to any parsing code.
+Status ReadSections(BinaryReader* reader, uint32_t count,
+                    std::map<std::string, std::string>* sections) {
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    VIST5_RETURN_IF_ERROR(reader->ReadString(&name));
+    uint64_t length = 0;
+    VIST5_RETURN_IF_ERROR(reader->ReadU64(&length));
+    if (length > reader->remaining()) {
+      return Status::OutOfRange("checkpoint section '" + name + "' truncated");
+    }
+    std::string payload;
+    VIST5_RETURN_IF_ERROR(reader->ReadBytes(length, &payload));
+    uint32_t crc = 0;
+    VIST5_RETURN_IF_ERROR(reader->ReadU32(&crc));
+    if (Crc32(payload) != crc) {
+      return Status::InvalidArgument("checkpoint section '" + name +
+                                     "' failed CRC validation");
+    }
+    (*sections)[name] = std::move(payload);
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> RequireSection(
+    const std::map<std::string, std::string>& sections,
+    const std::string& name) {
+  auto it = sections.find(name);
+  if (it == sections.end()) {
+    return Status::InvalidArgument("checkpoint missing section '" + name +
+                                   "'");
+  }
+  return it->second;
+}
+
+void BuildTrainStateBuffer(const nn::Module& module, const TrainState& state,
+                           BinaryWriter* out) {
+  out->WriteU32(kTrainMagic);
+  out->WriteU32(kTrainVersion);
+  out->WriteU32(5);  // section count
+
+  BinaryWriter meta;
+  meta.WriteU64(state.seed);
+  meta.WriteI32(state.batch_size);
+  meta.WriteI32(state.grad_accum_shards);
+  meta.WriteI32(state.max_src_len);
+  meta.WriteI32(state.max_tgt_len);
+  meta.WriteI32(state.pad_id);
+  meta.WriteF32(state.peak_lr);
+  meta.WriteF32(state.warmup_fraction);
+  meta.WriteF32(state.weight_decay);
+  meta.WriteF32(state.clip_norm);
+  AppendSection(out, "meta", meta);
+
+  BinaryWriter progress;
+  progress.WriteU64(static_cast<uint64_t>(state.next_step));
+  progress.WriteU64(static_cast<uint64_t>(state.total_steps));
+  progress.WriteF32(state.first_loss);
+  progress.WriteF64(state.tail_loss);
+  progress.WriteU64(static_cast<uint64_t>(state.tail_count));
+  AppendSection(out, "progress", progress);
+
+  BinaryWriter rng;
+  for (uint64_t word : state.rng_state) rng.WriteU64(word);
+  AppendSection(out, "rng", rng);
+
+  BinaryWriter adamw;
+  adamw.WriteU64(static_cast<uint64_t>(state.opt_step));
+  adamw.WriteU32(static_cast<uint32_t>(state.opt_m.size()));
+  for (const auto& m : state.opt_m) adamw.WriteFloats(m);
+  for (const auto& v : state.opt_v) adamw.WriteFloats(v);
+  AppendSection(out, "adamw", adamw);
+
+  BinaryWriter params;
+  WriteParamRecords(module, &params);
+  AppendSection(out, "model", params);
+}
+
+Status ParseTrainState(const std::map<std::string, std::string>& sections,
+                       TrainState* state, std::vector<ParamRecord>* records) {
+  VIST5_ASSIGN_OR_RETURN(std::string meta_bytes,
+                         RequireSection(sections, "meta"));
+  BinaryReader meta(std::move(meta_bytes));
+  VIST5_RETURN_IF_ERROR(meta.ReadU64(&state->seed));
+  VIST5_RETURN_IF_ERROR(meta.ReadI32(&state->batch_size));
+  VIST5_RETURN_IF_ERROR(meta.ReadI32(&state->grad_accum_shards));
+  VIST5_RETURN_IF_ERROR(meta.ReadI32(&state->max_src_len));
+  VIST5_RETURN_IF_ERROR(meta.ReadI32(&state->max_tgt_len));
+  VIST5_RETURN_IF_ERROR(meta.ReadI32(&state->pad_id));
+  VIST5_RETURN_IF_ERROR(meta.ReadF32(&state->peak_lr));
+  VIST5_RETURN_IF_ERROR(meta.ReadF32(&state->warmup_fraction));
+  VIST5_RETURN_IF_ERROR(meta.ReadF32(&state->weight_decay));
+  VIST5_RETURN_IF_ERROR(meta.ReadF32(&state->clip_norm));
+
+  VIST5_ASSIGN_OR_RETURN(std::string progress_bytes,
+                         RequireSection(sections, "progress"));
+  BinaryReader progress(std::move(progress_bytes));
+  uint64_t next_step = 0, total_steps = 0, tail_count = 0;
+  VIST5_RETURN_IF_ERROR(progress.ReadU64(&next_step));
+  VIST5_RETURN_IF_ERROR(progress.ReadU64(&total_steps));
+  VIST5_RETURN_IF_ERROR(progress.ReadF32(&state->first_loss));
+  VIST5_RETURN_IF_ERROR(progress.ReadF64(&state->tail_loss));
+  VIST5_RETURN_IF_ERROR(progress.ReadU64(&tail_count));
+  state->next_step = static_cast<int64_t>(next_step);
+  state->total_steps = static_cast<int64_t>(total_steps);
+  state->tail_count = static_cast<int64_t>(tail_count);
+
+  VIST5_ASSIGN_OR_RETURN(std::string rng_bytes,
+                         RequireSection(sections, "rng"));
+  BinaryReader rng(std::move(rng_bytes));
+  for (uint64_t& word : state->rng_state) {
+    VIST5_RETURN_IF_ERROR(rng.ReadU64(&word));
+  }
+
+  VIST5_ASSIGN_OR_RETURN(std::string adamw_bytes,
+                         RequireSection(sections, "adamw"));
+  BinaryReader adamw(std::move(adamw_bytes));
+  uint64_t opt_step = 0;
+  uint32_t moment_count = 0;
+  VIST5_RETURN_IF_ERROR(adamw.ReadU64(&opt_step));
+  VIST5_RETURN_IF_ERROR(adamw.ReadU32(&moment_count));
+  state->opt_step = static_cast<int64_t>(opt_step);
+  state->opt_m.resize(moment_count);
+  state->opt_v.resize(moment_count);
+  for (auto& m : state->opt_m) VIST5_RETURN_IF_ERROR(adamw.ReadFloats(&m));
+  for (auto& v : state->opt_v) VIST5_RETURN_IF_ERROR(adamw.ReadFloats(&v));
+
+  VIST5_ASSIGN_OR_RETURN(std::string model_bytes,
+                         RequireSection(sections, "model"));
+  BinaryReader params(std::move(model_bytes));
+  VIST5_RETURN_IF_ERROR(ReadParamRecords(&params, records));
+  return Status::OK();
+}
+
+// Steps of every `ckpt_<step>.vt5s` file in `dir`, descending.
+std::vector<int64_t> ListCheckpointSteps(const std::string& dir) {
+  std::vector<int64_t> steps;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    const size_t prefix_len = sizeof(kCheckpointPrefix) - 1;
+    const size_t suffix_len = sizeof(kCheckpointSuffix) - 1;
+    if (name.size() <= prefix_len + suffix_len) continue;
+    if (name.compare(0, prefix_len, kCheckpointPrefix) != 0) continue;
+    if (name.compare(name.size() - suffix_len, suffix_len,
+                     kCheckpointSuffix) != 0) continue;
+    const std::string digits =
+        name.substr(prefix_len, name.size() - prefix_len - suffix_len);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    steps.push_back(std::strtoll(digits.c_str(), nullptr, 10));
+  }
+  std::sort(steps.rbegin(), steps.rend());
+  return steps;
+}
 
 }  // namespace
 
@@ -18,60 +305,41 @@ Status SaveCheckpoint(const nn::Module& module, const std::string& path) {
   BinaryWriter writer;
   writer.WriteU32(kMagic);
   writer.WriteU32(kVersion);
-  const auto params = module.NamedParameters();
-  writer.WriteU32(static_cast<uint32_t>(params.size()));
-  for (const auto& [name, tensor] : params) {
-    writer.WriteString(name);
-    writer.WriteU32(static_cast<uint32_t>(tensor.shape().size()));
-    for (int d : tensor.shape()) writer.WriteI32(d);
-    writer.WriteFloats(tensor.data());
-  }
+  WriteParamRecords(module, &writer);
+  writer.WriteU32(Crc32(writer.buffer()));
   return writer.Flush(path);
 }
 
 Status LoadCheckpoint(nn::Module* module, const std::string& path) {
   VIST5_ASSIGN_OR_RETURN(BinaryReader reader, BinaryReader::FromFile(path));
-  uint32_t magic = 0, version = 0, count = 0;
+  uint32_t magic = 0, version = 0;
   VIST5_RETURN_IF_ERROR(reader.ReadU32(&magic));
   if (magic != kMagic) {
     return Status::InvalidArgument("not a checkpoint file: " + path);
   }
   VIST5_RETURN_IF_ERROR(reader.ReadU32(&version));
-  if (version != kVersion) {
-    return Status::InvalidArgument("unsupported checkpoint version");
+  if (version < kMinSupportedVersion || version > kVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version " +
+                                   std::to_string(version));
   }
-  VIST5_RETURN_IF_ERROR(reader.ReadU32(&count));
-
-  std::map<std::string, Tensor> by_name;
-  for (auto& [name, tensor] : module->NamedParameters()) {
-    by_name.emplace(name, tensor);
+  if (version >= 2) {
+    // The last 4 bytes checksum everything before them; verify before
+    // parsing a single record.
+    const std::string& bytes = reader.data();
+    if (bytes.size() < sizeof(uint32_t)) {
+      return Status::OutOfRange("checkpoint too short for CRC: " + path);
+    }
+    uint32_t stored = 0;
+    std::memcpy(&stored, bytes.data() + bytes.size() - sizeof(uint32_t),
+                sizeof(uint32_t));
+    if (Crc32(bytes.data(), bytes.size() - sizeof(uint32_t)) != stored) {
+      return Status::InvalidArgument("checkpoint failed CRC validation: " +
+                                     path);
+    }
   }
-  for (uint32_t i = 0; i < count; ++i) {
-    std::string name;
-    VIST5_RETURN_IF_ERROR(reader.ReadString(&name));
-    uint32_t ndim = 0;
-    VIST5_RETURN_IF_ERROR(reader.ReadU32(&ndim));
-    int64_t numel = 1;
-    for (uint32_t d = 0; d < ndim; ++d) {
-      int32_t dim = 0;
-      VIST5_RETURN_IF_ERROR(reader.ReadI32(&dim));
-      numel *= dim;
-    }
-    std::vector<float> data;
-    VIST5_RETURN_IF_ERROR(reader.ReadFloats(&data));
-    auto it = by_name.find(name);
-    if (it == by_name.end()) {
-      return Status::NotFound("checkpoint parameter '" + name +
-                              "' not present in module");
-    }
-    if (static_cast<int64_t>(data.size()) != it->second.NumElements() ||
-        static_cast<int64_t>(data.size()) != numel) {
-      return Status::InvalidArgument("shape mismatch for parameter '" + name +
-                                     "'");
-    }
-    it->second.mutable_data() = std::move(data);
-  }
-  return Status::OK();
+  std::vector<ParamRecord> records;
+  VIST5_RETURN_IF_ERROR(ReadParamRecords(&reader, &records));
+  return ApplyParamRecords(module, std::move(records));
 }
 
 bool CheckpointExists(const std::string& path) {
@@ -80,6 +348,118 @@ bool CheckpointExists(const std::string& path) {
   uint32_t magic = 0;
   in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
   return in && magic == kMagic;
+}
+
+Status SaveTrainState(const nn::Module& module, const TrainState& state,
+                      const std::string& path) {
+  BinaryWriter writer;
+  BuildTrainStateBuffer(module, state, &writer);
+  return writer.Flush(path);
+}
+
+Status LoadTrainState(nn::Module* module, TrainState* state,
+                      const std::string& path) {
+  VIST5_ASSIGN_OR_RETURN(BinaryReader reader, BinaryReader::FromFile(path));
+  uint32_t magic = 0, version = 0, section_count = 0;
+  VIST5_RETURN_IF_ERROR(reader.ReadU32(&magic));
+  if (magic != kTrainMagic) {
+    return Status::InvalidArgument("not a training-state checkpoint: " + path);
+  }
+  VIST5_RETURN_IF_ERROR(reader.ReadU32(&version));
+  if (version != kTrainVersion) {
+    return Status::InvalidArgument(
+        "unsupported training-state checkpoint version " +
+        std::to_string(version));
+  }
+  VIST5_RETURN_IF_ERROR(reader.ReadU32(&section_count));
+  std::map<std::string, std::string> sections;
+  VIST5_RETURN_IF_ERROR(ReadSections(&reader, section_count, &sections));
+
+  // Parse into temporaries and validate parameter shapes before touching
+  // `module` or `state`: loading is all-or-nothing.
+  TrainState parsed;
+  std::vector<ParamRecord> records;
+  VIST5_RETURN_IF_ERROR(ParseTrainState(sections, &parsed, &records));
+  VIST5_RETURN_IF_ERROR(ApplyParamRecords(module, std::move(records)));
+  *state = std::move(parsed);
+  return Status::OK();
+}
+
+std::string TrainCheckpointPath(const std::string& dir, int64_t step) {
+  return dir + "/" + kCheckpointPrefix + std::to_string(step) +
+         kCheckpointSuffix;
+}
+
+Status SaveTrainCheckpoint(const nn::Module& module, const TrainState& state,
+                           const std::string& dir, int keep_last) {
+  const auto start = std::chrono::steady_clock::now();
+  BinaryWriter writer;
+  BuildTrainStateBuffer(module, state, &writer);
+  const std::string path = TrainCheckpointPath(dir, state.next_step);
+  VIST5_RETURN_IF_ERROR(writer.Flush(path));
+  // Repoint LATEST only after the checkpoint file itself is durable: a
+  // SIGKILL between the two writes leaves LATEST on the previous valid
+  // checkpoint, never on a torn file.
+  VIST5_RETURN_IF_ERROR(
+      AtomicWriteFile(dir + "/" + kLatestFileName,
+                      std::filesystem::path(path).filename().string() + "\n"));
+
+  if (keep_last > 0) {
+    const std::vector<int64_t> steps = ListCheckpointSteps(dir);
+    for (size_t i = static_cast<size_t>(keep_last); i < steps.size(); ++i) {
+      std::error_code ec;
+      std::filesystem::remove(TrainCheckpointPath(dir, steps[i]), ec);
+    }
+  }
+
+  const double save_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  obs::GetCounter("checkpoint/saves")->Add();
+  obs::GetCounter("checkpoint/bytes")->Add(
+      static_cast<int64_t>(writer.buffer().size()));
+  obs::GetHistogram("checkpoint/save_ms")->Observe(save_ms);
+  obs::GetGauge("checkpoint/last_step")
+      ->Set(static_cast<double>(state.next_step));
+  return Status::OK();
+}
+
+Status ResumeTrainState(nn::Module* module, TrainState* state,
+                        const std::string& dir) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) {
+    return Status::NotFound("no checkpoint directory: " + dir);
+  }
+
+  std::vector<std::string> candidates;
+  std::ifstream latest(dir + "/" + kLatestFileName);
+  std::string latest_name;
+  if (latest && std::getline(latest, latest_name) && !latest_name.empty()) {
+    candidates.push_back(dir + "/" + latest_name);
+  }
+  for (int64_t step : ListCheckpointSteps(dir)) {
+    const std::string path = TrainCheckpointPath(dir, step);
+    if (candidates.empty() || candidates.front() != path) {
+      candidates.push_back(path);
+    }
+  }
+  if (candidates.empty()) {
+    return Status::NotFound("no checkpoint in " + dir);
+  }
+
+  Status last_error = Status::NotFound("no checkpoint in " + dir);
+  for (const std::string& path : candidates) {
+    const Status loaded = LoadTrainState(module, state, path);
+    if (loaded.ok()) {
+      obs::GetCounter("checkpoint/resumes")->Add();
+      obs::GetGauge("checkpoint/resume_step")
+          ->Set(static_cast<double>(state->next_step));
+      return Status::OK();
+    }
+    last_error = loaded;
+  }
+  return last_error;
 }
 
 }  // namespace model

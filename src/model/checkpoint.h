@@ -1,7 +1,10 @@
 #ifndef VIST5_MODEL_CHECKPOINT_H_
 #define VIST5_MODEL_CHECKPOINT_H_
 
+#include <array>
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "nn/module.h"
 #include "util/status.h"
@@ -10,18 +13,97 @@ namespace vist5 {
 namespace model {
 
 /// Writes every named parameter of `module` (including frozen ones) to
-/// `path` in the repo's binary checkpoint format (magic + version header,
-/// then name/shape/data records).
+/// `path` in the repo's binary checkpoint format: magic + version header,
+/// name/shape/data records, and (since format v2) a trailing CRC32 over the
+/// whole record stream. The write is atomic (temp file + fsync + rename),
+/// so a crash mid-save never corrupts an existing checkpoint.
 Status SaveCheckpoint(const nn::Module& module, const std::string& path);
 
 /// Loads a checkpoint into `module`. Every stored parameter must exist in
-/// the module with a matching element count; parameters of the module that
-/// are absent from the file are left untouched (this is how LoRA adapters
-/// load a base checkpoint).
+/// the module with the SAME shape (not merely the same element count);
+/// parameters of the module that are absent from the file are left
+/// untouched (this is how LoRA adapters load a base checkpoint). v2 files
+/// are CRC-validated before any record is parsed; legacy v1 files (no CRC)
+/// still load. Validation is transactional: on any error the module is
+/// unchanged.
 Status LoadCheckpoint(nn::Module* module, const std::string& path);
 
 /// True if `path` exists and begins with the checkpoint magic.
 bool CheckpointExists(const std::string& path);
+
+/// Complete state of an interrupted training run — everything TrainSeq2Seq
+/// needs to continue bit-exactly as if it had never stopped: AdamW moments
+/// and step count (bias correction depends on it), the trainer RNG (which
+/// doubles as the batch-sampler and dropout stream), schedule position, and
+/// the running TrainStats accumulators. The module parameters are saved
+/// alongside by SaveTrainState. See docs/CHECKPOINTING.md for the on-disk
+/// layout (sectioned, one CRC32 per section).
+struct TrainState {
+  // Progress / schedule position. `next_step` is the first optimizer step
+  // that has NOT run yet; the LR schedule is stateless given this index.
+  int64_t next_step = 0;
+  int64_t total_steps = 0;
+  float first_loss = 0;
+  double tail_loss = 0;  ///< running sum over the final-10% loss window
+  int64_t tail_count = 0;
+
+  // AdamW state, index-aligned with the model's TrainableParameters().
+  int64_t opt_step = 0;
+  std::vector<std::vector<float>> opt_m;
+  std::vector<std::vector<float>> opt_v;
+
+  // Trainer RNG (sampler + dropout stream), xoshiro256** raw state.
+  std::array<uint64_t, 4> rng_state{};
+
+  // Config fingerprint. Resuming under a different configuration would
+  // silently change the trajectory, so TrainSeq2Seq validates these
+  // against its TrainOptions and refuses to resume on mismatch.
+  uint64_t seed = 0;
+  int32_t batch_size = 0;
+  int32_t grad_accum_shards = 1;
+  int32_t max_src_len = 0;
+  int32_t max_tgt_len = 0;
+  int32_t pad_id = 0;
+  float peak_lr = 0;
+  float warmup_fraction = 0;
+  float weight_decay = 0;
+  float clip_norm = 0;
+};
+
+/// Atomically writes `state` plus every named parameter of `module` to
+/// `path` (sectioned format, per-section CRC32).
+Status SaveTrainState(const nn::Module& module, const TrainState& state,
+                      const std::string& path);
+
+/// Loads a training-state checkpoint. Every section's CRC is validated and
+/// all parameter shapes are checked BEFORE anything is applied, so a
+/// corrupt file leaves `module`/`state` untouched.
+Status LoadTrainState(nn::Module* module, TrainState* state,
+                      const std::string& path);
+
+/// Checkpoint-directory layout helpers. A run directory holds
+/// `ckpt_<step>.vt5s` files plus a `LATEST` pointer file naming the newest
+/// fully-written checkpoint; both are only ever replaced atomically.
+std::string TrainCheckpointPath(const std::string& dir, int64_t step);
+
+/// Saves one rotation-managed checkpoint into `dir`: writes
+/// `ckpt_<state.next_step>.vt5s` (atomic), then updates `LATEST` (atomic),
+/// then prunes all but the `keep_last` newest checkpoint files
+/// (best-effort; keep_last <= 0 keeps everything). Because LATEST is
+/// repointed only after the checkpoint file is durably in place, a SIGKILL
+/// at any moment leaves LATEST naming a checkpoint that passes CRC
+/// validation. Mirrors `checkpoint/{saves,bytes,save_ms}` obs metrics.
+Status SaveTrainCheckpoint(const nn::Module& module, const TrainState& state,
+                           const std::string& dir, int keep_last);
+
+/// Finds and loads the newest valid checkpoint in `dir`: first the LATEST
+/// pointer, then (if that file is missing or fails validation) every other
+/// `ckpt_*.vt5s` in descending step order. Returns NotFound when the
+/// directory holds no checkpoint at all; any other error means checkpoints
+/// exist but none validated. Bumps the `checkpoint/resumes` obs counter on
+/// success.
+Status ResumeTrainState(nn::Module* module, TrainState* state,
+                        const std::string& dir);
 
 }  // namespace model
 }  // namespace vist5

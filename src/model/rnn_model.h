@@ -27,6 +27,8 @@ class RnnSeq2Seq : public Seq2SeqModel, public nn::Module {
     return Parameters();
   }
 
+  nn::Module* CheckpointModule() override { return this; }
+
   Tensor BatchLoss(const Batch& batch, bool train, Rng* rng) const override;
 
   std::vector<int> Generate(const std::vector<int>& src,

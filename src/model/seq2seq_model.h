@@ -7,6 +7,10 @@
 #include "tensor/tensor.h"
 
 namespace vist5 {
+namespace nn {
+class Module;
+}  // namespace nn
+
 namespace model {
 
 /// One tokenized training pair. `tgt` must already end with EOS. `weight`
@@ -76,6 +80,13 @@ class Seq2SeqModel {
 
   /// Parameters the optimizer should update.
   virtual std::vector<Tensor> TrainableParameters() const = 0;
+
+  /// The parameter-owning module whose full named-parameter set (including
+  /// frozen tensors, e.g. a LoRA base) checkpoints save and restore.
+  /// Returns nullptr for models that are not module-backed; training-state
+  /// checkpointing (TrainOptions::checkpoint_dir) requires a non-null
+  /// module.
+  virtual nn::Module* CheckpointModule() { return nullptr; }
 
   /// Mean token cross-entropy over the batch.
   virtual Tensor BatchLoss(const Batch& batch, bool train, Rng* rng) const = 0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "model/checkpoint.h"
+#include "nn/module.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rt/thread_pool.h"
@@ -28,6 +30,45 @@ int64_t CountTargetTokens(const Batch& batch) {
     if (t != kIgnoreIndex) ++tokens;
   }
   return tokens;
+}
+
+// The config fields a checkpoint fingerprints: resuming under different
+// values would silently change the trajectory (docs/CHECKPOINTING.md).
+TrainState FingerprintOptions(const TrainOptions& options, int pad_id) {
+  TrainState state;
+  state.total_steps = options.steps;
+  state.seed = options.seed;
+  state.batch_size = options.batch_size;
+  state.grad_accum_shards =
+      std::clamp(options.grad_accum_shards, 1, options.batch_size);
+  state.max_src_len = options.max_src_len;
+  state.max_tgt_len = options.max_tgt_len;
+  state.pad_id = pad_id;
+  state.peak_lr = options.peak_lr;
+  state.warmup_fraction = options.warmup_fraction;
+  state.weight_decay = options.weight_decay;
+  state.clip_norm = options.clip_norm;
+  return state;
+}
+
+void CheckFingerprintMatches(const TrainState& state,
+                             const TrainState& expected,
+                             const std::string& dir) {
+  VIST5_CHECK(state.total_steps == expected.total_steps &&
+              state.seed == expected.seed &&
+              state.batch_size == expected.batch_size &&
+              state.grad_accum_shards == expected.grad_accum_shards &&
+              state.max_src_len == expected.max_src_len &&
+              state.max_tgt_len == expected.max_tgt_len &&
+              state.pad_id == expected.pad_id &&
+              state.peak_lr == expected.peak_lr &&
+              state.warmup_fraction == expected.warmup_fraction &&
+              state.weight_decay == expected.weight_decay &&
+              state.clip_norm == expected.clip_norm)
+      << "checkpoint in " << dir
+      << " was written under a different training configuration; refusing "
+         "to resume (wipe the directory or set TrainOptions::resume=false "
+         "to restart)";
 }
 
 }  // namespace
@@ -67,12 +108,52 @@ TrainStats TrainSeq2Seq(Seq2SeqModel* model, const std::vector<SeqPair>& pairs,
       ->Set(std::clamp(options.grad_accum_shards, 1, options.batch_size));
   obs::GetGauge("trainer/threads")->Set(rt::MaxThreads());
 
+  // Crash-safe checkpointing: resume from the newest valid checkpoint in
+  // checkpoint_dir, restoring parameters, AdamW moments/step, the RNG
+  // (sampler + dropout) stream, and the running stats accumulators, so the
+  // continued run is bit-identical to one that was never interrupted.
+  const bool ckpt_enabled = !options.checkpoint_dir.empty();
+  nn::Module* module = nullptr;
+  if (ckpt_enabled) {
+    module = model->CheckpointModule();
+    VIST5_CHECK(module != nullptr)
+        << "TrainOptions::checkpoint_dir requires a module-backed model";
+  }
+
   TrainStats stats;
   stats.steps = options.steps;
   double tail_loss = 0;
   int tail_count = 0;
+  int start_step = 0;
+  if (ckpt_enabled && options.resume) {
+    TrainState restored;
+    const Status resumed =
+        ResumeTrainState(module, &restored, options.checkpoint_dir);
+    if (resumed.ok()) {
+      CheckFingerprintMatches(restored, FingerprintOptions(options, pad_id),
+                              options.checkpoint_dir);
+      VIST5_CHECK_OK(optimizer.ImportState(restored.opt_step,
+                                           std::move(restored.opt_m),
+                                           std::move(restored.opt_v)));
+      rng.SetState(restored.rng_state);
+      start_step = static_cast<int>(restored.next_step);
+      stats.first_loss = restored.first_loss;
+      tail_loss = restored.tail_loss;
+      tail_count = static_cast<int>(restored.tail_count);
+      VIST5_LOG(Info) << "resumed training from step " << start_step << "/"
+                      << options.steps << " (" << options.checkpoint_dir
+                      << ")";
+    } else if (resumed.code() != StatusCode::kNotFound) {
+      // Checkpoints exist but none validated: starting over would silently
+      // discard the run, so fail loudly instead.
+      VIST5_CHECK(false) << "cannot resume from " << options.checkpoint_dir
+                         << ": " << resumed.ToString();
+    }
+  }
+  stats.start_step = start_step;
+
   const int tail_start = options.steps - std::max(1, options.steps / 10);
-  for (int step = 0; step < options.steps; ++step) {
+  for (int step = start_step; step < options.steps; ++step) {
     VIST5_TRACE_SPAN("trainer/step");
     const auto step_start = std::chrono::steady_clock::now();
     std::vector<const SeqPair*> batch_items;
@@ -172,6 +253,34 @@ TrainStats TrainSeq2Seq(Seq2SeqModel* model, const std::vector<SeqPair>& pairs,
                       << info.loss << " grad_norm " << info.grad_norm
                       << " lr " << info.lr << " tok/s "
                       << static_cast<int64_t>(info.tokens_per_sec);
+    }
+
+    ++stats.steps_this_run;
+    if (ckpt_enabled) {
+      const bool budget_reached = options.max_steps_per_run > 0 &&
+                                  stats.steps_this_run >=
+                                      options.max_steps_per_run;
+      const bool last_step = step + 1 == options.steps;
+      // Cadence is anchored at absolute step indices so a resumed run
+      // checkpoints at the same steps an uninterrupted one would.
+      const bool on_cadence = options.checkpoint_every > 0 &&
+                              (step + 1) % options.checkpoint_every == 0;
+      if (budget_reached || last_step || on_cadence) {
+        TrainState state = FingerprintOptions(options, pad_id);
+        state.next_step = step + 1;
+        state.first_loss = stats.first_loss;
+        state.tail_loss = tail_loss;
+        state.tail_count = tail_count;
+        state.opt_step = optimizer.step_count();
+        state.opt_m = optimizer.moments_m();
+        state.opt_v = optimizer.moments_v();
+        state.rng_state = rng.State();
+        const Status saved = SaveTrainCheckpoint(
+            *module, state, options.checkpoint_dir, options.keep_last);
+        VIST5_CHECK(saved.ok())
+            << "checkpoint save failed: " << saved.ToString();
+      }
+      if (budget_reached) break;
     }
   }
   stats.final_loss =

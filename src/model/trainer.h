@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "model/seq2seq_model.h"
@@ -53,6 +54,31 @@ struct TrainOptions {
   /// Print a progress line (loss, grad-norm, lr, tokens/sec) every N
   /// steps; 0 silences progress.
   int log_every = 0;
+  /// --- Crash-safe checkpointing (docs/CHECKPOINTING.md) ---
+  /// Directory for training-state checkpoints (`ckpt_<step>.vt5s` plus a
+  /// `LATEST` pointer, all written atomically); empty disables
+  /// checkpointing. Requires a module-backed model
+  /// (Seq2SeqModel::CheckpointModule() != nullptr).
+  std::string checkpoint_dir;
+  /// Save a checkpoint every N optimizer steps (anchored at absolute step
+  /// indices, so a resumed run saves at the same steps an uninterrupted
+  /// one would). 0 saves only at the end of the run / at a
+  /// max_steps_per_run stop.
+  int checkpoint_every = 0;
+  /// Retain this many newest checkpoint files, pruning older ones after
+  /// each save; <= 0 keeps everything.
+  int keep_last = 2;
+  /// Resume from the newest valid checkpoint in checkpoint_dir when one
+  /// exists. The restored run continues bit-exactly — same weights, AdamW
+  /// moments, LR-schedule position, and RNG/sampler stream — as a run that
+  /// was never interrupted. The checkpoint's config fingerprint must match
+  /// these options.
+  bool resume = true;
+  /// Stop — after writing a checkpoint — once this many optimizer steps
+  /// have run in THIS invocation; 0 runs to completion. Graceful
+  /// preemption for time-sliced jobs (call again with the same options to
+  /// continue); only meaningful with a checkpoint_dir.
+  int max_steps_per_run = 0;
   /// Optional per-step telemetry hook (in addition to the always-on
   /// "trainer/*" metrics).
   StepObserver observer;
@@ -63,6 +89,12 @@ struct TrainStats {
   float first_loss = 0;
   float final_loss = 0;  ///< mean loss over the last 10% of steps
   int steps = 0;
+  /// First step executed by this invocation (> 0 when a checkpoint was
+  /// resumed; == steps when the run was already complete on disk).
+  int start_step = 0;
+  /// Steps actually executed in this invocation (differs from `steps`
+  /// after a resume or a max_steps_per_run stop).
+  int steps_this_run = 0;
 };
 
 /// Trains `model` on `pairs` by weighted sampling with replacement (the

@@ -49,6 +49,8 @@ class TransformerSeq2Seq : public Seq2SeqModel {
     return transformer_->Parameters();
   }
 
+  nn::Module* CheckpointModule() override { return transformer_.get(); }
+
   Tensor BatchLoss(const Batch& batch, bool train, Rng* rng) const override;
 
   /// Greedy decoding for beam_size == 1, otherwise length-normalized beam

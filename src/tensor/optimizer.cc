@@ -38,6 +38,33 @@ void AdamW::Step() {
   }
 }
 
+Status AdamW::ImportState(int64_t step_count, std::vector<std::vector<float>> m,
+                          std::vector<std::vector<float>> v) {
+  if (step_count < 0) {
+    return Status::InvalidArgument("negative optimizer step count");
+  }
+  if (m.size() != params_.size() || v.size() != params_.size()) {
+    return Status::InvalidArgument(
+        "optimizer state tensor count mismatch: checkpoint has " +
+        std::to_string(m.size()) + "/" + std::to_string(v.size()) +
+        " moment buffers, optimizer tracks " +
+        std::to_string(params_.size()) + " parameters");
+  }
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const size_t want = params_[i].data().size();
+    if (m[i].size() != want || v[i].size() != want) {
+      return Status::InvalidArgument(
+          "optimizer moment size mismatch at parameter " + std::to_string(i) +
+          ": checkpoint " + std::to_string(m[i].size()) + "/" +
+          std::to_string(v[i].size()) + " vs " + std::to_string(want));
+    }
+  }
+  step_ = step_count;
+  m_ = std::move(m);
+  v_ = std::move(v);
+  return Status::OK();
+}
+
 void AdamW::ZeroGrad() {
   for (Tensor& p : params_) {
     if (!p.grad().empty()) {

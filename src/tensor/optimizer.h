@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "tensor/tensor.h"
+#include "util/status.h"
 
 namespace vist5 {
 
@@ -36,6 +37,18 @@ class AdamW {
   float lr() const { return options_.lr; }
   int64_t step_count() const { return step_; }
 
+  /// Checkpointing accessors: first/second moment buffers, index-aligned
+  /// with the constructor's parameter list (docs/CHECKPOINTING.md).
+  const std::vector<std::vector<float>>& moments_m() const { return m_; }
+  const std::vector<std::vector<float>>& moments_v() const { return v_; }
+
+  /// Restores state captured via step_count()/moments_m()/moments_v() so a
+  /// resumed run continues bit-exactly (bias correction depends on the step
+  /// count). Every moment buffer must match the current parameter list in
+  /// count and per-tensor size; on mismatch the optimizer is unchanged.
+  Status ImportState(int64_t step_count, std::vector<std::vector<float>> m,
+                     std::vector<std::vector<float>> v);
+
  private:
   std::vector<Tensor> params_;
   Options options_;
@@ -61,6 +74,10 @@ class LinearWarmupSchedule {
              static_cast<float>(warmup_steps_);
     }
     if (step >= total_steps_) return 0.0f;
+    // warmup == total (warmup_fraction 1.0, or rounding pushing them
+    // together) leaves no decay region: without this guard the division
+    // below is by zero and every post-warmup step gets an inf/NaN LR.
+    if (warmup_steps_ >= total_steps_) return peak_lr_;
     const float remain = static_cast<float>(total_steps_ - step) /
                          static_cast<float>(total_steps_ - warmup_steps_);
     return peak_lr_ * remain;

@@ -1,6 +1,7 @@
 #ifndef VIST5_UTIL_RNG_H_
 #define VIST5_UTIL_RNG_H_
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <vector>
@@ -28,6 +29,18 @@ class Rng {
       z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
       state_[i] = z ^ (z >> 31);
     }
+  }
+
+  /// Raw 256-bit generator state, for checkpointing (docs/CHECKPOINTING.md).
+  std::array<uint64_t, 4> State() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+
+  /// Restores state captured by State(): the stream resumes exactly where
+  /// it left off, so a resumed training run draws the same values an
+  /// uninterrupted one would.
+  void SetState(const std::array<uint64_t, 4>& state) {
+    for (int i = 0; i < 4; ++i) state_[i] = state[i];
   }
 
   /// Uniform 64-bit value.

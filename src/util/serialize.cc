@@ -1,22 +1,105 @@
 #include "util/serialize.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
 namespace vist5 {
+namespace {
 
-Status BinaryWriter::Flush(const std::string& path) const {
+/// Lazily built table for the reflected IEEE polynomial 0xEDB88320 (the
+/// zlib/PNG CRC). Table-driven, one byte per step: plenty fast for
+/// checkpoint-sized buffers and trivially portable.
+const uint32_t* Crc32Table() {
+  static const uint32_t* table = [] {
+    auto* t = new uint32_t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+Status CloseUnlinkAndFail(int fd, const std::string& tmp,
+                          const std::string& what) {
+  const int saved_errno = errno;
+  if (fd >= 0) ::close(fd);
+  ::unlink(tmp.c_str());
+  return Status::IoError(what + ": " + tmp + " (" +
+                         std::strerror(saved_errno) + ")");
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n, uint32_t crc) {
+  const uint32_t* table = Crc32Table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+Status AtomicWriteFile(const std::string& path, const std::string& contents) {
   // Recreate missing parent directories: callers routinely point at cache
   // dirs that another process may have cleaned up in the meantime.
   std::error_code ec;
   const auto parent = std::filesystem::path(path).parent_path();
   if (!parent.empty()) std::filesystem::create_directories(parent, ec);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot open for write: " + path);
-  out.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
-  if (!out) return Status::IoError("write failed: " + path);
+
+  // Unique sibling temp name: same directory so the final rename() cannot
+  // cross a filesystem boundary; pid + process-wide counter so concurrent
+  // writers (threads or processes) never collide on it.
+  static std::atomic<uint64_t> sequence{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(sequence.fetch_add(1));
+
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open for write: " + tmp + " (" +
+                           std::strerror(errno) + ")");
+  }
+  size_t off = 0;
+  while (off < contents.size()) {
+    const ssize_t w = ::write(fd, contents.data() + off, contents.size() - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return CloseUnlinkAndFail(fd, tmp, "write failed");
+    }
+    off += static_cast<size_t>(w);
+  }
+  // Data must be durable BEFORE the rename publishes the file: rename is
+  // atomic in the namespace, but without this fsync a power loss could
+  // leave the new name pointing at zero-length/garbage blocks.
+  if (::fsync(fd) != 0) return CloseUnlinkAndFail(fd, tmp, "fsync failed");
+  if (::close(fd) != 0) return CloseUnlinkAndFail(-1, tmp, "close failed");
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return CloseUnlinkAndFail(-1, tmp, "rename failed");
+  }
+  // Best-effort: persist the directory entry for the rename itself.
+  const std::string dir = parent.empty() ? std::string(".") : parent.string();
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
   return Status::OK();
+}
+
+Status BinaryWriter::Flush(const std::string& path) const {
+  return AtomicWriteFile(path, buffer_);
 }
 
 StatusOr<BinaryReader> BinaryReader::FromFile(const std::string& path) {
@@ -30,7 +113,9 @@ StatusOr<BinaryReader> BinaryReader::FromFile(const std::string& path) {
 Status BinaryReader::ReadString(std::string* s) {
   uint32_t n = 0;
   VIST5_RETURN_IF_ERROR(ReadU32(&n));
-  if (pos_ + n > data_.size()) return Status::OutOfRange("truncated string");
+  // Validate the declared length against the remaining bytes before
+  // touching memory: a corrupt length must not drive an allocation.
+  if (n > remaining()) return Status::OutOfRange("truncated string");
   s->assign(data_.data() + pos_, n);
   pos_ += n;
   return Status::OK();
@@ -39,7 +124,9 @@ Status BinaryReader::ReadString(std::string* s) {
 Status BinaryReader::ReadFloats(std::vector<float>* v) {
   uint64_t n = 0;
   VIST5_RETURN_IF_ERROR(ReadU64(&n));
-  if (pos_ + n * sizeof(float) > data_.size()) {
+  // Divide instead of multiplying: `n * sizeof(float)` can wrap for a
+  // corrupt 64-bit length and sail past the bounds check into a bad_alloc.
+  if (n > remaining() / sizeof(float)) {
     return Status::OutOfRange("truncated float array");
   }
   v->resize(n);
@@ -51,12 +138,19 @@ Status BinaryReader::ReadFloats(std::vector<float>* v) {
 Status BinaryReader::ReadInts(std::vector<int32_t>* v) {
   uint64_t n = 0;
   VIST5_RETURN_IF_ERROR(ReadU64(&n));
-  if (pos_ + n * sizeof(int32_t) > data_.size()) {
+  if (n > remaining() / sizeof(int32_t)) {
     return Status::OutOfRange("truncated int array");
   }
   v->resize(n);
   std::memcpy(v->data(), data_.data() + pos_, n * sizeof(int32_t));
   pos_ += n * sizeof(int32_t);
+  return Status::OK();
+}
+
+Status BinaryReader::ReadBytes(size_t n, std::string* out) {
+  if (n > remaining()) return Status::OutOfRange("truncated byte span");
+  out->assign(data_.data() + pos_, n);
+  pos_ += n;
   return Status::OK();
 }
 

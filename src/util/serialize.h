@@ -10,6 +10,20 @@
 
 namespace vist5 {
 
+/// CRC-32 (IEEE 802.3, the zlib polynomial) over `n` bytes. Pass the result
+/// of a previous call as `crc` to checksum data incrementally. Checkpoint
+/// sections carry this so torn or bit-flipped files are rejected instead of
+/// silently loaded (docs/CHECKPOINTING.md).
+uint32_t Crc32(const void* data, size_t n, uint32_t crc = 0);
+inline uint32_t Crc32(const std::string& s) { return Crc32(s.data(), s.size()); }
+
+/// Atomically replaces `path` with `contents`: writes a unique sibling temp
+/// file, fsyncs it, renames it over `path`, then fsyncs the parent
+/// directory. A crash (even SIGKILL) at any point leaves either the old
+/// complete file or the new complete file — never a truncated mix. Missing
+/// parent directories are created.
+Status AtomicWriteFile(const std::string& path, const std::string& contents);
+
 /// Little-endian binary writer used for model checkpoints. The format is a
 /// flat byte stream; callers are responsible for writing a magic/version
 /// header (see model/checkpoint.h).
@@ -19,11 +33,20 @@ class BinaryWriter {
   void WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
   void WriteI32(int32_t v) { WriteRaw(&v, sizeof(v)); }
   void WriteF32(float v) { WriteRaw(&v, sizeof(v)); }
+  void WriteF64(double v) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    WriteU64(bits);
+  }
 
   void WriteString(const std::string& s) {
     WriteU32(static_cast<uint32_t>(s.size()));
     WriteRaw(s.data(), s.size());
   }
+
+  /// Appends raw bytes with no length prefix (the caller encodes the
+  /// length; used for nested section payloads).
+  void WriteBytes(const std::string& s) { WriteRaw(s.data(), s.size()); }
 
   void WriteFloats(const std::vector<float>& v) {
     WriteU64(v.size());
@@ -37,7 +60,9 @@ class BinaryWriter {
 
   const std::string& buffer() const { return buffer_; }
 
-  /// Writes the accumulated buffer to `path`, replacing any existing file.
+  /// Atomically replaces `path` with the accumulated buffer (temp file +
+  /// fsync + rename, see AtomicWriteFile): a crash mid-save never corrupts
+  /// an existing checkpoint.
   Status Flush(const std::string& path) const;
 
  private:
@@ -48,8 +73,11 @@ class BinaryWriter {
   std::string buffer_;
 };
 
-/// Counterpart reader. All reads are bounds-checked and return errors via
-/// Status rather than crashing on truncated files.
+/// Counterpart reader. All reads are bounds-checked against the remaining
+/// bytes — including declared array/string lengths, which are validated
+/// BEFORE any allocation so a corrupt file with a huge length field returns
+/// Status instead of throwing bad_alloc — and return errors via Status
+/// rather than crashing on truncated files.
 class BinaryReader {
  public:
   explicit BinaryReader(std::string data) : data_(std::move(data)) {}
@@ -61,16 +89,28 @@ class BinaryReader {
   Status ReadU64(uint64_t* v) { return ReadRaw(v, sizeof(*v)); }
   Status ReadI32(int32_t* v) { return ReadRaw(v, sizeof(*v)); }
   Status ReadF32(float* v) { return ReadRaw(v, sizeof(*v)); }
+  Status ReadF64(double* v) {
+    uint64_t bits = 0;
+    VIST5_RETURN_IF_ERROR(ReadU64(&bits));
+    std::memcpy(v, &bits, sizeof(bits));
+    return Status::OK();
+  }
 
   Status ReadString(std::string* s);
   Status ReadFloats(std::vector<float>* v);
   Status ReadInts(std::vector<int32_t>* v);
+  /// Copies the next `n` raw bytes (no length prefix) into `out`.
+  Status ReadBytes(size_t n, std::string* out);
 
   bool AtEnd() const { return pos_ == data_.size(); }
+  /// Bytes not yet consumed.
+  size_t remaining() const { return data_.size() - pos_; }
+  /// The full underlying byte buffer (e.g. for whole-file CRC checks).
+  const std::string& data() const { return data_; }
 
  private:
   Status ReadRaw(void* out, size_t n) {
-    if (pos_ + n > data_.size()) {
+    if (n > remaining()) {
       return Status::OutOfRange("truncated stream");
     }
     std::memcpy(out, data_.data() + pos_, n);

@@ -1,0 +1,600 @@
+// Crash-safe checkpointing pins (docs/CHECKPOINTING.md). Three layers:
+//
+//  1. Container properties on the sectioned VT5S format: bit-exact
+//     save/load round trip, rejection of truncation at every byte boundary
+//     and of every possible single-byte flip (each section carries its own
+//     CRC32), transactional loading (a rejected file leaves the module
+//     untouched), rotation, and LATEST fallback to an older checkpoint.
+//  2. In-process resume parity: a run interrupted via max_steps_per_run and
+//     resumed into a DIFFERENTLY-initialized model must end bit-identical
+//     (weights, stats accumulators, greedy tokens) to a run that was never
+//     interrupted — across both architecture presets and two seeds.
+//  3. Crash injection: a child trainer process is SIGKILLed mid-run (the
+//     every-step save cadence makes mid-save kills likely); after every
+//     kill the file LATEST names must still CRC-validate, and the
+//     eventually-finished run must match an uninterrupted one byte for
+//     byte. The child re-executes this binary with --train-child (see
+//     main() at the bottom), so the test is registered RUN_SERIAL with a
+//     RESOURCE_LOCK on the checkpoint scratch dir in tests/CMakeLists.txt.
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "model/checkpoint.h"
+#include "model/rnn_model.h"
+#include "model/trainer.h"
+#include "model/transformer_model.h"
+#include "nn/module.h"
+#include "nn/transformer.h"
+#include "tensor/tensor.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace vist5 {
+namespace model {
+namespace {
+
+constexpr int kVocab = 48;
+constexpr int kPad = 0;
+constexpr int kEos = 1;
+
+struct Preset {
+  const char* name;
+  nn::TransformerConfig (*make)(int vocab);
+};
+
+constexpr Preset kPresets[] = {
+    {"t5_small", nn::TransformerConfig::T5Small},  // pre-RMS, relative bias
+    {"vanilla", nn::TransformerConfig::Vanilla},   // post-LN, sinusoidal
+};
+
+// Preset-shaped but shrunk so a full training run takes milliseconds.
+// Dropout stays at the preset default on purpose: restoring the RNG stream
+// is only proven if dropout keeps drawing from it.
+nn::TransformerConfig SmallConfig(int preset_idx) {
+  nn::TransformerConfig cfg = kPresets[preset_idx].make(kVocab);
+  cfg.d_model = 32;
+  cfg.num_heads = 2;
+  cfg.d_ff = 64;
+  cfg.num_encoder_layers = 1;
+  cfg.num_decoder_layers = 1;
+  return cfg;
+}
+
+std::vector<int> RandomSeq(Rng* rng, int len) {
+  std::vector<int> seq(static_cast<size_t>(len));
+  for (int& t : seq) t = rng->UniformRange(2, kVocab - 1);
+  return seq;
+}
+
+std::vector<SeqPair> MakePairs(uint64_t seed) {
+  Rng data(seed * 31 + 7);
+  std::vector<SeqPair> pairs(6);
+  for (SeqPair& p : pairs) {
+    p.src = RandomSeq(&data, data.UniformRange(4, 8));
+    p.tgt = RandomSeq(&data, data.UniformRange(3, 6));
+    p.tgt.push_back(kEos);
+  }
+  return pairs;
+}
+
+TrainOptions BaseOptions(uint64_t seed, int steps) {
+  TrainOptions options;
+  options.steps = steps;
+  options.batch_size = 4;
+  options.max_src_len = 16;
+  options.max_tgt_len = 12;
+  options.seed = seed;
+  return options;
+}
+
+// Every parameter value of a module, concatenated in registry order.
+std::vector<float> FlattenParams(const nn::Module& module) {
+  std::vector<float> flat;
+  for (const auto& [name, tensor] : module.NamedParameters()) {
+    flat.insert(flat.end(), tensor.data().begin(), tensor.data().end());
+  }
+  return flat;
+}
+
+void ExpectBitIdentical(const std::vector<float>& a,
+                        const std::vector<float>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  ASSERT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(float)))
+      << what;
+}
+
+// Fresh scratch directory under /tmp; RESOURCE_LOCK in CMakeLists keeps the
+// per-case ctest processes from racing each other here.
+std::string ScratchDir(const std::string& leaf) {
+  const std::string dir = "/tmp/vist5_ckpt_resume_test/" + leaf;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+// Two-parameter module for container-level tests (shapes [3,4] and [4]).
+struct TinyModule : nn::Module {
+  Tensor w, b;
+  explicit TinyModule(uint64_t seed) {
+    Rng rng(seed);
+    w = RegisterParameter("w", Tensor::Randn({3, 4}, 0.5f, &rng));
+    b = RegisterParameter("b", Tensor::Randn({4}, 0.5f, &rng));
+  }
+};
+
+TrainState MakeFilledState() {
+  TrainState state;
+  state.next_step = 42;
+  state.total_steps = 100;
+  state.first_loss = 3.75f;
+  state.tail_loss = 1.23456789012345;
+  state.tail_count = 9;
+  state.opt_step = 41;
+  state.opt_m = {{0.1f, -0.2f, 0.3f}, {1e-9f}};
+  state.opt_v = {{0.01f, 0.02f, 0.03f}, {2e-12f}};
+  state.rng_state = {0x0123456789abcdefull, 0xfedcba9876543210ull,
+                     0xdeadbeefcafef00dull, 0x0ull};
+  state.seed = 1234;
+  state.batch_size = 4;
+  state.grad_accum_shards = 2;
+  state.max_src_len = 16;
+  state.max_tgt_len = 12;
+  state.pad_id = kPad;
+  state.peak_lr = 3e-3f;
+  state.warmup_fraction = 0.1f;
+  state.weight_decay = 0.01f;
+  state.clip_norm = 1.0f;
+  return state;
+}
+
+// ---------------------------------------------------------------------------
+// Container properties
+// ---------------------------------------------------------------------------
+
+TEST(TrainStateContainer, RoundTripIsBitExact) {
+  const std::string dir = ScratchDir("roundtrip");
+  const std::string path = dir + "/state.vt5s";
+  TinyModule saved(3);
+  const TrainState state = MakeFilledState();
+  ASSERT_TRUE(SaveTrainState(saved, state, path).ok());
+
+  TinyModule loaded(4);  // different init: every value must be overwritten
+  TrainState restored;
+  ASSERT_TRUE(LoadTrainState(&loaded, &restored, path).ok());
+
+  ExpectBitIdentical(FlattenParams(saved), FlattenParams(loaded), "params");
+  EXPECT_EQ(restored.next_step, state.next_step);
+  EXPECT_EQ(restored.total_steps, state.total_steps);
+  EXPECT_EQ(restored.first_loss, state.first_loss);
+  EXPECT_EQ(restored.tail_loss, state.tail_loss);  // f64 bit pattern
+  EXPECT_EQ(restored.tail_count, state.tail_count);
+  EXPECT_EQ(restored.opt_step, state.opt_step);
+  EXPECT_EQ(restored.opt_m, state.opt_m);
+  EXPECT_EQ(restored.opt_v, state.opt_v);
+  EXPECT_EQ(restored.rng_state, state.rng_state);
+  EXPECT_EQ(restored.seed, state.seed);
+  EXPECT_EQ(restored.grad_accum_shards, state.grad_accum_shards);
+  EXPECT_EQ(restored.peak_lr, state.peak_lr);
+}
+
+// Identical inputs must serialize to identical bytes (the crash-injection
+// test compares child outputs byte-for-byte, which needs this).
+TEST(TrainStateContainer, SerializationIsDeterministic) {
+  const std::string dir = ScratchDir("deterministic");
+  TinyModule a(3), b(3);
+  const TrainState state = MakeFilledState();
+  ASSERT_TRUE(SaveTrainState(a, state, dir + "/a.vt5s").ok());
+  ASSERT_TRUE(SaveTrainState(b, state, dir + "/b.vt5s").ok());
+  EXPECT_EQ(ReadFileBytes(dir + "/a.vt5s"), ReadFileBytes(dir + "/b.vt5s"));
+}
+
+TEST(TrainStateContainer, TruncationAtEveryByteIsRejected) {
+  const std::string dir = ScratchDir("truncate");
+  const std::string path = dir + "/state.vt5s";
+  TinyModule saved(3);
+  ASSERT_TRUE(SaveTrainState(saved, MakeFilledState(), path).ok());
+  const std::string bytes = ReadFileBytes(path);
+  ASSERT_GT(bytes.size(), 12u);
+
+  TinyModule probe(4);
+  const std::vector<float> pristine = FlattenParams(probe);
+  // Every proper prefix covers truncation inside the header, inside every
+  // section name/length/payload, and right before every section CRC.
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    const std::string cut_path = dir + "/cut.vt5s";
+    WriteFileBytes(cut_path, bytes.substr(0, cut));
+    TrainState state;
+    const Status loaded = LoadTrainState(&probe, &state, cut_path);
+    ASSERT_FALSE(loaded.ok()) << "accepted truncation at byte " << cut << "/"
+                              << bytes.size();
+  }
+  // Transactional: none of the rejected loads touched the module.
+  ExpectBitIdentical(pristine, FlattenParams(probe), "probe params");
+}
+
+TEST(TrainStateContainer, EverySingleByteFlipIsRejected) {
+  const std::string dir = ScratchDir("bitflip");
+  const std::string path = dir + "/state.vt5s";
+  TinyModule saved(3);
+  ASSERT_TRUE(SaveTrainState(saved, MakeFilledState(), path).ok());
+  const std::string bytes = ReadFileBytes(path);
+
+  TinyModule probe(4);
+  // Header flips break magic/version/count; name flips orphan the section;
+  // length flips truncate or shift framing; payload and CRC flips fail the
+  // per-section checksum. No byte in the file is allowed to be mutable.
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string corrupt = bytes;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x5a);
+    const std::string flip_path = dir + "/flip.vt5s";
+    WriteFileBytes(flip_path, corrupt);
+    TrainState state;
+    ASSERT_FALSE(LoadTrainState(&probe, &state, flip_path).ok())
+        << "accepted a flipped byte at offset " << i << "/" << bytes.size();
+  }
+}
+
+TEST(TrainStateContainer, RotationKeepsNewestCheckpoints) {
+  const std::string dir = ScratchDir("rotation");
+  TinyModule module(3);
+  TrainState state = MakeFilledState();
+  for (int step = 1; step <= 5; ++step) {
+    state.next_step = step;
+    ASSERT_TRUE(SaveTrainCheckpoint(module, state, dir, /*keep_last=*/2).ok());
+  }
+  EXPECT_FALSE(std::filesystem::exists(TrainCheckpointPath(dir, 3)));
+  EXPECT_TRUE(std::filesystem::exists(TrainCheckpointPath(dir, 4)));
+  EXPECT_TRUE(std::filesystem::exists(TrainCheckpointPath(dir, 5)));
+  std::ifstream latest(dir + "/LATEST");
+  std::string name;
+  ASSERT_TRUE(std::getline(latest, name));
+  EXPECT_EQ(name, "ckpt_5.vt5s");
+}
+
+TEST(TrainStateContainer, ResumeFallsBackWhenNewestIsCorrupt) {
+  const std::string dir = ScratchDir("fallback");
+  TinyModule module(3);
+  TrainState state = MakeFilledState();
+  state.next_step = 2;
+  ASSERT_TRUE(SaveTrainCheckpoint(module, state, dir, /*keep_last=*/0).ok());
+  state.next_step = 4;
+  ASSERT_TRUE(SaveTrainCheckpoint(module, state, dir, /*keep_last=*/0).ok());
+
+  // Corrupt the checkpoint LATEST points at; resume must fall back to
+  // ckpt_2 rather than fail or half-load.
+  const std::string newest = TrainCheckpointPath(dir, 4);
+  std::string bytes = ReadFileBytes(newest);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0xff);
+  WriteFileBytes(newest, bytes);
+
+  TinyModule probe(4);
+  TrainState restored;
+  ASSERT_TRUE(ResumeTrainState(&probe, &restored, dir).ok());
+  EXPECT_EQ(restored.next_step, 2);
+
+  // With the older checkpoint also gone, resume must surface the CRC error
+  // (not NotFound): checkpoints exist but none validates.
+  std::filesystem::remove(TrainCheckpointPath(dir, 2));
+  const Status none = ResumeTrainState(&probe, &restored, dir);
+  ASSERT_FALSE(none.ok());
+  EXPECT_NE(none.code(), StatusCode::kNotFound);
+}
+
+TEST(TrainStateContainer, EmptyDirectoryIsNotFound) {
+  const std::string dir = ScratchDir("empty");
+  TinyModule probe(4);
+  TrainState state;
+  const Status missing = ResumeTrainState(&probe, &state, dir);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.code(), StatusCode::kNotFound);
+  const Status no_dir = ResumeTrainState(&probe, &state, dir + "/absent");
+  EXPECT_EQ(no_dir.code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// In-process kill-and-resume parity
+// ---------------------------------------------------------------------------
+
+class ResumeParity
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {
+ protected:
+  int preset_idx() const { return std::get<0>(GetParam()); }
+  uint64_t seed() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(ResumeParity, InterruptedRunMatchesUninterrupted) {
+  const nn::TransformerConfig cfg = SmallConfig(preset_idx());
+  const std::vector<SeqPair> pairs = MakePairs(seed());
+  const std::string dir = ScratchDir(
+      std::string("parity_") + kPresets[preset_idx()].name + "_" +
+      std::to_string(seed()));
+  const int steps = 6;
+
+  // Reference: never interrupted, never checkpointed.
+  TransformerSeq2Seq ref(cfg, kPad, kEos, seed());
+  const TrainStats ref_stats =
+      TrainSeq2Seq(&ref, pairs, kPad, BaseOptions(seed(), steps));
+
+  // Interrupted: stop (with a checkpoint) after 3 of 6 steps.
+  TransformerSeq2Seq first(cfg, kPad, kEos, seed());
+  TrainOptions options = BaseOptions(seed(), steps);
+  options.checkpoint_dir = dir;
+  options.checkpoint_every = 2;
+  options.max_steps_per_run = 3;
+  const TrainStats part = TrainSeq2Seq(&first, pairs, kPad, options);
+  EXPECT_EQ(part.start_step, 0);
+  EXPECT_EQ(part.steps_this_run, 3);
+
+  // Resume into a model initialized from a DIFFERENT seed: if anything at
+  // all survives from initialization instead of the checkpoint, parity
+  // breaks.
+  TransformerSeq2Seq second(cfg, kPad, kEos, seed() + 999);
+  options.max_steps_per_run = 0;
+  const TrainStats rest = TrainSeq2Seq(&second, pairs, kPad, options);
+  EXPECT_EQ(rest.start_step, 3);
+  EXPECT_EQ(rest.steps_this_run, 3);
+
+  ExpectBitIdentical(FlattenParams(*ref.CheckpointModule()),
+                     FlattenParams(*second.CheckpointModule()),
+                     "final weights");
+  EXPECT_EQ(ref_stats.first_loss, rest.first_loss);
+  EXPECT_EQ(ref_stats.final_loss, rest.final_loss);
+
+  // Greedy decodes from both models must agree token for token.
+  Rng probe_rng(seed() * 7 + 1);
+  const std::vector<int> src = RandomSeq(&probe_rng, 7);
+  GenerationOptions gen;
+  gen.max_len = 16;
+  EXPECT_EQ(ref.Generate(src, gen), second.Generate(src, gen));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PresetsAndSeeds, ResumeParity,
+    ::testing::Combine(::testing::Values(0, 1),
+                       ::testing::Values(uint64_t{11}, uint64_t{29})),
+    [](const ::testing::TestParamInfo<ResumeParity::ParamType>& info) {
+      return std::string(kPresets[std::get<0>(info.param)].name) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// The RNN baseline routes checkpointing through its own Module identity.
+TEST(ResumeParityRnn, InterruptedRunMatchesUninterrupted) {
+  RnnSeq2Seq::Config cfg;
+  cfg.vocab_size = kVocab;
+  cfg.embed_dim = 16;
+  cfg.hidden_dim = 16;
+  const std::vector<SeqPair> pairs = MakePairs(5);
+  const std::string dir = ScratchDir("parity_rnn");
+
+  RnnSeq2Seq ref(cfg, kPad, kEos, 5);
+  TrainSeq2Seq(&ref, pairs, kPad, BaseOptions(5, 4));
+
+  RnnSeq2Seq first(cfg, kPad, kEos, 5);
+  TrainOptions options = BaseOptions(5, 4);
+  options.checkpoint_dir = dir;
+  options.max_steps_per_run = 2;
+  TrainSeq2Seq(&first, pairs, kPad, options);
+
+  RnnSeq2Seq second(cfg, kPad, kEos, 777);
+  options.max_steps_per_run = 0;
+  const TrainStats rest = TrainSeq2Seq(&second, pairs, kPad, options);
+  EXPECT_EQ(rest.start_step, 2);
+  ExpectBitIdentical(FlattenParams(ref), FlattenParams(second),
+                     "rnn final weights");
+}
+
+// A completed run resumed once more must be a no-op, not a retrain.
+TEST(ResumeParity, CompletedRunResumesAsNoOp) {
+  const nn::TransformerConfig cfg = SmallConfig(0);
+  const std::vector<SeqPair> pairs = MakePairs(3);
+  const std::string dir = ScratchDir("noop");
+  TrainOptions options = BaseOptions(3, 4);
+  options.checkpoint_dir = dir;
+
+  TransformerSeq2Seq model(cfg, kPad, kEos, 3);
+  TrainSeq2Seq(&model, pairs, kPad, options);
+  const std::vector<float> after_run = FlattenParams(*model.CheckpointModule());
+
+  TransformerSeq2Seq again(cfg, kPad, kEos, 555);
+  const TrainStats stats = TrainSeq2Seq(&again, pairs, kPad, options);
+  EXPECT_EQ(stats.start_step, 4);
+  EXPECT_EQ(stats.steps_this_run, 0);
+  ExpectBitIdentical(after_run, FlattenParams(*again.CheckpointModule()),
+                     "weights after no-op resume");
+}
+
+TEST(ResumeParity, FingerprintMismatchRefusesToResume) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const nn::TransformerConfig cfg = SmallConfig(0);
+  const std::vector<SeqPair> pairs = MakePairs(9);
+  const std::string dir = ScratchDir("fingerprint");
+  TrainOptions options = BaseOptions(9, 4);
+  options.checkpoint_dir = dir;
+  TransformerSeq2Seq model(cfg, kPad, kEos, 9);
+  TrainSeq2Seq(&model, pairs, kPad, options);
+
+  // Same directory, different batch size: resuming would silently change
+  // the trajectory, so the trainer must die loudly instead.
+  TrainOptions changed = options;
+  changed.batch_size = 2;
+  TransformerSeq2Seq other(cfg, kPad, kEos, 9);
+  EXPECT_DEATH(TrainSeq2Seq(&other, pairs, kPad, changed),
+               "different training configuration");
+}
+
+// ---------------------------------------------------------------------------
+// Crash injection: SIGKILL a child trainer mid-save
+// ---------------------------------------------------------------------------
+
+// Child protocol (see main() below):
+//   <exe> --train-child <dir> <preset> <seed> <steps> <every> <out>
+// The child trains with checkpointing enabled (resuming whatever the kill
+// loop left behind) and, only on reaching the final step, atomically writes
+// <out> = flattened weights + greedy-decode tokens.
+constexpr uint64_t kChildSeed = 11;
+constexpr int kChildSteps = 40;
+
+std::string ExePath() {
+  char buf[4096];
+  const ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  VIST5_CHECK(n > 0) << "readlink(/proc/self/exe) failed";
+  return std::string(buf, static_cast<size_t>(n));
+}
+
+pid_t SpawnTrainChild(const std::string& dir, const std::string& out) {
+  const std::string exe = ExePath();
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  // Child: re-exec ourselves in trainer mode. Quiet gtest is irrelevant
+  // here; the child never reaches InitGoogleTest.
+  execl(exe.c_str(), exe.c_str(), "--train-child", dir.c_str(), "0",
+        std::to_string(kChildSeed).c_str(), std::to_string(kChildSteps).c_str(),
+        "1", out.c_str(), static_cast<char*>(nullptr));
+  _exit(127);  // exec failed
+}
+
+int WaitChild(pid_t pid) {
+  int status = 0;
+  VIST5_CHECK(waitpid(pid, &status, 0) == pid);
+  return status;
+}
+
+TEST(CrashInjection, KilledSavesNeverCorruptLatestAndResumeBitExact) {
+  const std::string ref_dir = ScratchDir("crash_ref");
+  const std::string kill_dir = ScratchDir("crash_kill");
+  const std::string ref_out = ref_dir + "/result.bin";
+  const std::string kill_out = kill_dir + "/result.bin";
+
+  // Uninterrupted reference run in its own process (same environment as
+  // the killed runs: thread pool, allocator tuning, everything).
+  ASSERT_EQ(WaitChild(SpawnTrainChild(ref_dir, ref_out)), 0);
+  ASSERT_TRUE(std::filesystem::exists(ref_out));
+
+  // Kill loop: with checkpoint_every=1 the child spends a large fraction
+  // of each step inside SaveTrainCheckpoint, so SIGKILLs at staggered
+  // offsets repeatedly land mid-save (and mid-LATEST-update).
+  const nn::TransformerConfig cfg = SmallConfig(0);
+  int kills = 0;
+  for (int i = 0; i < 10 && !std::filesystem::exists(kill_out); ++i) {
+    const pid_t pid = SpawnTrainChild(kill_dir, kill_out);
+    usleep(30000 + 23000 * i);
+    kill(pid, SIGKILL);
+    const int status = WaitChild(pid);
+    if (WIFSIGNALED(status)) ++kills;
+
+    // Invariant under ANY kill point: if LATEST exists, the exact file it
+    // names must pass full CRC validation — never a torn checkpoint.
+    std::ifstream latest(kill_dir + "/LATEST");
+    std::string name;
+    if (latest && std::getline(latest, name) && !name.empty()) {
+      TransformerSeq2Seq probe(cfg, kPad, kEos, 123);
+      TrainState state;
+      const Status loaded = LoadTrainState(probe.CheckpointModule(), &state,
+                                           kill_dir + "/" + name);
+      ASSERT_TRUE(loaded.ok())
+          << "LATEST names invalid checkpoint after kill " << i << ": "
+          << loaded.ToString();
+    }
+  }
+  ASSERT_GT(kills, 0) << "every child finished before it could be killed";
+
+  // Let the survivor run to completion (possibly across several more
+  // resumes if earlier kills left little progress).
+  if (!std::filesystem::exists(kill_out)) {
+    ASSERT_EQ(WaitChild(SpawnTrainChild(kill_dir, kill_out)), 0);
+  }
+
+  // Byte-exact parity: same weights, same greedy tokens, despite the run
+  // having been SIGKILLed mid-save `kills` times.
+  EXPECT_EQ(ReadFileBytes(kill_out), ReadFileBytes(ref_out))
+      << "resumed-after-" << kills << "-kills run diverged from the "
+      << "uninterrupted reference";
+}
+
+}  // namespace
+
+// Entry point for the --train-child mode (outside the anonymous namespace
+// so main() can reach it).
+int TrainChildMain(int argc, char** argv) {
+  if (argc != 8) {
+    std::fprintf(stderr,
+                 "usage: %s --train-child <dir> <preset> <seed> <steps> "
+                 "<every> <out>\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string dir = argv[2];
+  const int preset_idx = std::atoi(argv[3]);
+  const uint64_t seed = static_cast<uint64_t>(std::atoll(argv[4]));
+  const int steps = std::atoi(argv[5]);
+  const int every = std::atoi(argv[6]);
+  const std::string out = argv[7];
+
+  const nn::TransformerConfig cfg = SmallConfig(preset_idx);
+  TransformerSeq2Seq model(cfg, kPad, kEos, seed);
+  const std::vector<SeqPair> pairs = MakePairs(seed);
+  TrainOptions options = BaseOptions(seed, steps);
+  options.checkpoint_dir = dir;
+  options.checkpoint_every = every;
+  options.keep_last = 3;
+  const TrainStats stats = TrainSeq2Seq(&model, pairs, kPad, options);
+  if (stats.start_step + stats.steps_this_run < steps) return 3;
+
+  Rng probe_rng(seed * 7 + 1);
+  const std::vector<int> src = RandomSeq(&probe_rng, 7);
+  GenerationOptions gen;
+  gen.max_len = 16;
+  BinaryWriter writer;
+  writer.WriteFloats(FlattenParams(*model.CheckpointModule()));
+  const std::vector<int> tokens = model.Generate(src, gen);
+  writer.WriteInts(std::vector<int32_t>(tokens.begin(), tokens.end()));
+  const Status flushed = writer.Flush(out);  // atomic: parent polls for it
+  if (!flushed.ok()) {
+    std::fprintf(stderr, "flush failed: %s\n", flushed.ToString().c_str());
+    return 4;
+  }
+  return 0;
+}
+
+}  // namespace model
+}  // namespace vist5
+
+// Custom main: `--train-child` turns this binary into the trainer child the
+// crash-injection test forks and SIGKILLs; anything else runs gtest.
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--train-child") == 0) {
+    return vist5::model::TrainChildMain(argc, argv);
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -8,7 +8,9 @@
 #include "model/rnn_model.h"
 #include "model/trainer.h"
 #include "model/transformer_model.h"
+#include "nn/module.h"
 #include "text/tokenizer.h"
+#include "util/serialize.h"
 
 namespace vist5 {
 namespace model {
@@ -199,6 +201,104 @@ TEST(CheckpointTest, RejectsForeignFiles) {
   nn::TransformerConfig cfg = nn::TransformerConfig::T5Small(tok.vocab_size());
   TransformerSeq2Seq m(cfg, tok.pad_id(), tok.eos_id(), 9);
   EXPECT_FALSE(LoadCheckpoint(&m.transformer(), path).ok());
+}
+
+// Minimal module for hand-built checkpoint files.
+struct TwoParamModule : nn::Module {
+  Tensor grid, bias;
+  TwoParamModule() {
+    grid = RegisterParameter("grid", Tensor::Full({3, 4}, 1.0f));
+    bias = RegisterParameter("bias", Tensor::Full({4}, 0.5f));
+  }
+};
+
+// Emits one v1-format (no trailing CRC) parameter record.
+void AppendRecord(BinaryWriter* w, const std::string& name,
+                  const std::vector<int32_t>& dims,
+                  const std::vector<float>& data) {
+  w->WriteString(name);
+  w->WriteU32(static_cast<uint32_t>(dims.size()));
+  for (int32_t d : dims) w->WriteI32(d);
+  w->WriteFloats(data);
+}
+
+// Regression for the historic LoadCheckpoint shape check, which compared
+// element counts only: a [2, 6] blob silently loaded into a [3, 4]
+// parameter. Exact shape equality is now required.
+TEST(CheckpointTest, RejectsSameNumelDifferentShape) {
+  BinaryWriter w;
+  w.WriteU32(0x56543543u);  // "VT5C"
+  w.WriteU32(1);            // v1: no trailing CRC to recompute
+  w.WriteU32(1);            // one record
+  AppendRecord(&w, "grid", {2, 6}, std::vector<float>(12, 9.0f));
+  const std::string path = "/tmp/vist5_ckpt_shape_mismatch.bin";
+  ASSERT_TRUE(w.Flush(path).ok());
+
+  TwoParamModule module;
+  const Status loaded = LoadCheckpoint(&module, path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.ToString().find("shape mismatch"), std::string::npos)
+      << loaded.ToString();
+  // Transactional: the rejected load left the parameter untouched.
+  EXPECT_EQ(module.grid.data()[0], 1.0f);
+}
+
+TEST(CheckpointTest, RejectsNonPositiveDims) {
+  // (-3) * (-4) = 12 matches the data length, so only an explicit
+  // per-dimension sign check catches this.
+  BinaryWriter w;
+  w.WriteU32(0x56543543u);
+  w.WriteU32(1);
+  w.WriteU32(1);
+  AppendRecord(&w, "grid", {-3, -4}, std::vector<float>(12, 9.0f));
+  const std::string path = "/tmp/vist5_ckpt_negative_dims.bin";
+  ASSERT_TRUE(w.Flush(path).ok());
+  TwoParamModule module;
+  const Status loaded = LoadCheckpoint(&module, path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.ToString().find("non-positive"), std::string::npos)
+      << loaded.ToString();
+}
+
+// Files written before the CRC trailer (format v1) must keep loading.
+TEST(CheckpointTest, LegacyV1FileStillLoads) {
+  BinaryWriter w;
+  w.WriteU32(0x56543543u);
+  w.WriteU32(1);
+  w.WriteU32(2);
+  AppendRecord(&w, "grid", {3, 4}, std::vector<float>(12, 7.0f));
+  AppendRecord(&w, "bias", {4}, std::vector<float>(4, -2.0f));
+  const std::string path = "/tmp/vist5_ckpt_v1_legacy.bin";
+  ASSERT_TRUE(w.Flush(path).ok());
+  TwoParamModule module;
+  ASSERT_TRUE(LoadCheckpoint(&module, path).ok());
+  EXPECT_EQ(module.grid.data()[5], 7.0f);
+  EXPECT_EQ(module.bias.data()[0], -2.0f);
+}
+
+// SaveCheckpoint now writes v2 (trailing CRC32); any bit flip anywhere in
+// the file must be rejected before a single record is applied.
+TEST(CheckpointTest, V2RejectsCorruptionAnywhere) {
+  TwoParamModule saved;
+  const std::string path = "/tmp/vist5_ckpt_v2_corrupt.bin";
+  ASSERT_TRUE(SaveCheckpoint(saved, path).ok());
+
+  auto reader = BinaryReader::FromFile(path);
+  ASSERT_TRUE(reader.ok());
+  const std::string bytes = reader->data();
+  // Flip one byte in the record area and one in the CRC trailer itself.
+  for (const size_t offset : {bytes.size() / 2, bytes.size() - 2}) {
+    std::string corrupt = bytes;
+    corrupt[offset] = static_cast<char>(corrupt[offset] ^ 0x40);
+    ASSERT_TRUE(AtomicWriteFile(path, corrupt).ok());
+    TwoParamModule module;
+    EXPECT_FALSE(LoadCheckpoint(&module, path).ok()) << offset;
+    EXPECT_EQ(module.grid.data()[0], 1.0f);
+  }
+  // Truncation (torn tail) is likewise rejected.
+  ASSERT_TRUE(AtomicWriteFile(path, bytes.substr(0, bytes.size() - 3)).ok());
+  TwoParamModule module;
+  EXPECT_FALSE(LoadCheckpoint(&module, path).ok());
 }
 
 TEST(RnnModelTest, OverfitsTinyTranslation) {

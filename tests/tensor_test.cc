@@ -500,5 +500,77 @@ TEST(OptimizerTest, LinearWarmupSchedule) {
   EXPECT_EQ(sched.LrAt(110), 0.0f);
 }
 
+// warmup == total (warmup_fraction = 1.0) used to divide by zero in the
+// decay branch, handing the optimizer an inf/NaN learning rate for every
+// post-warmup step.
+TEST(OptimizerTest, LinearWarmupScheduleFullWarmupStaysFinite) {
+  LinearWarmupSchedule all_warmup(0.5f, 100, 100);
+  for (int64_t step : {int64_t{0}, int64_t{50}, int64_t{99}}) {
+    const float lr = all_warmup.LrAt(step);
+    EXPECT_TRUE(std::isfinite(lr)) << "step " << step;
+    EXPECT_GT(lr, 0.0f) << "step " << step;
+  }
+  EXPECT_EQ(all_warmup.LrAt(99), 0.5f);   // final warmup step hits the peak
+  EXPECT_EQ(all_warmup.LrAt(100), 0.0f);  // past the end stays zero
+  // warmup > total (rounding artifacts upstream) must also stay finite.
+  LinearWarmupSchedule over(0.5f, 7, 5);
+  EXPECT_TRUE(std::isfinite(over.LrAt(4)));
+  EXPECT_GT(over.LrAt(4), 0.0f);
+}
+
+// Export/import of the AdamW moments and step count continues a run
+// bit-exactly: an optimizer rebuilt from exported state must take the same
+// next step as the original (bias correction depends on the step count).
+TEST(OptimizerTest, ImportStateContinuesBitExactly) {
+  AdamW::Options opts;
+  opts.lr = 0.05f;
+  Tensor wa = Tensor::Full({3}, 2.0f, /*requires_grad=*/true);
+  AdamW a({wa}, opts);
+  for (int step = 0; step < 3; ++step) {
+    a.ZeroGrad();
+    Tensor loss = ops::Sum(ops::Mul(wa, wa));
+    loss.Backward();
+    a.Step();
+  }
+
+  // Fresh parameter + optimizer, rebuilt purely from exported state.
+  Tensor wb = Tensor::Full({3}, 0.0f, /*requires_grad=*/true);
+  wb.mutable_data() = wa.data();
+  AdamW b({wb}, opts);
+  ASSERT_TRUE(b.ImportState(a.step_count(), a.moments_m(), a.moments_v()).ok());
+  EXPECT_EQ(b.step_count(), a.step_count());
+
+  auto advance = [](AdamW* opt, Tensor* w) {
+    opt->ZeroGrad();
+    Tensor loss = ops::Sum(ops::Mul(*w, *w));
+    loss.Backward();
+    opt->Step();
+  };
+  advance(&a, &wa);
+  advance(&b, &wb);
+  ASSERT_EQ(wa.data().size(), wb.data().size());
+  for (size_t i = 0; i < wa.data().size(); ++i) {
+    EXPECT_EQ(wa.data()[i], wb.data()[i]) << "element " << i;
+  }
+}
+
+TEST(OptimizerTest, ImportStateRejectsMismatchedState) {
+  Tensor w = Tensor::Full({3}, 1.0f, /*requires_grad=*/true);
+  AdamW opt({w}, {});
+  // Wrong tensor count.
+  EXPECT_FALSE(opt.ImportState(1, {}, {}).ok());
+  // Wrong per-tensor size.
+  EXPECT_FALSE(opt.ImportState(1, {{0.f, 0.f}}, {{0.f, 0.f}}).ok());
+  // Negative step count.
+  EXPECT_FALSE(
+      opt.ImportState(-1, {{0.f, 0.f, 0.f}}, {{0.f, 0.f, 0.f}}).ok());
+  // A rejected import leaves the optimizer untouched.
+  EXPECT_EQ(opt.step_count(), 0);
+  EXPECT_TRUE(
+      opt.ImportState(2, {{1.f, 2.f, 3.f}}, {{4.f, 5.f, 6.f}}).ok());
+  EXPECT_EQ(opt.step_count(), 2);
+  EXPECT_EQ(opt.moments_m()[0], (std::vector<float>{1.f, 2.f, 3.f}));
+}
+
 }  // namespace
 }  // namespace vist5

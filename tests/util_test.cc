@@ -1,3 +1,7 @@
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+
 #include <gtest/gtest.h>
 
 #include "util/json.h"
@@ -219,6 +223,111 @@ TEST(SerializeTest, FileRoundTrip) {
   std::string s;
   ASSERT_TRUE(reader->ReadString(&s).ok());
   EXPECT_EQ(s, "checkpoint");
+}
+
+TEST(SerializeTest, Crc32MatchesKnownAnswer) {
+  // The canonical IEEE/zlib check value.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  // Incremental computation over split input matches the one-shot value.
+  const uint32_t partial = Crc32("12345");
+  EXPECT_EQ(Crc32("6789", 4, partial), 0xCBF43926u);
+}
+
+TEST(SerializeTest, F64RoundTripIsBitExact) {
+  BinaryWriter w;
+  w.WriteF64(1.23456789012345);
+  w.WriteF64(-3.0e-308);  // denormal-adjacent: f32 would flush it to zero
+  BinaryReader r(w.buffer());
+  double d = 0;
+  ASSERT_TRUE(r.ReadF64(&d).ok());
+  EXPECT_EQ(d, 1.23456789012345);
+  ASSERT_TRUE(r.ReadF64(&d).ok());
+  EXPECT_EQ(d, -3.0e-308);
+}
+
+// A corrupt length prefix must come back as a Status, never as an attempt
+// to allocate the declared size (a flipped high bit in a u64 length would
+// otherwise be a multi-exabyte bad_alloc — or, with `n * sizeof(T)`
+// overflow, a silently wrong bounds check).
+TEST(SerializeTest, HugeDeclaredLengthsFailWithoutAllocating) {
+  for (const uint64_t declared :
+       {uint64_t{1} << 32, uint64_t{1} << 61, ~uint64_t{0},
+        // 2^62 floats * 4 bytes wraps a 64-bit byte count to 0.
+        uint64_t{1} << 62}) {
+    BinaryWriter w;
+    w.WriteU64(declared);
+    w.WriteF32(1.0f);  // far fewer bytes than declared
+    {
+      BinaryReader r(w.buffer());
+      std::vector<float> f;
+      EXPECT_FALSE(r.ReadFloats(&f).ok()) << declared;
+      EXPECT_TRUE(f.empty());
+    }
+    {
+      BinaryReader r(w.buffer());
+      std::vector<int32_t> iv;
+      EXPECT_FALSE(r.ReadInts(&iv).ok()) << declared;
+      EXPECT_TRUE(iv.empty());
+    }
+  }
+  // Strings use a u32 length; same property.
+  BinaryWriter w;
+  w.WriteU32(0x7fffffffu);
+  w.WriteU32(0);
+  BinaryReader r(w.buffer());
+  std::string s;
+  EXPECT_FALSE(r.ReadString(&s).ok());
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SerializeTest, FlushReplacesAtomicallyAndCleansUp) {
+  const std::string dir = "/tmp/vist5_atomic_flush_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/file.bin";
+
+  BinaryWriter first;
+  first.WriteString("old contents");
+  ASSERT_TRUE(first.Flush(path).ok());
+  BinaryWriter second;
+  second.WriteString("new contents");
+  ASSERT_TRUE(second.Flush(path).ok());
+
+  auto reader = BinaryReader::FromFile(path);
+  ASSERT_TRUE(reader.ok());
+  std::string s;
+  ASSERT_TRUE(reader->ReadString(&s).ok());
+  EXPECT_EQ(s, "new contents");
+
+  // The write staged through a sibling temp file that must be gone.
+  int entries = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    ++entries;
+    EXPECT_EQ(entry.path().filename().string(), "file.bin");
+  }
+  EXPECT_EQ(entries, 1);
+}
+
+TEST(SerializeTest, AtomicWriteFileRecreatesMissingDirectory) {
+  // Missing parent directories are recreated on purpose (cache dirs may be
+  // cleaned up underneath a writer).
+  const std::string dir = "/tmp/vist5_atomic_missing_dir";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(AtomicWriteFile(dir + "/file.bin", "data").ok());
+  auto reader = BinaryReader::FromFile(dir + "/file.bin");
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->data(), "data");
+}
+
+TEST(SerializeTest, AtomicWriteFileReportsUnwritableTarget) {
+  // A regular FILE standing where the parent directory should be cannot be
+  // recreated as a directory, so the write must fail with a Status.
+  const std::string blocker = "/tmp/vist5_atomic_blocker";
+  std::filesystem::remove_all(blocker);
+  ASSERT_TRUE(AtomicWriteFile(blocker, "i am a file").ok());
+  const Status s = AtomicWriteFile(blocker + "/file.bin", "data");
+  EXPECT_FALSE(s.ok());
 }
 
 }  // namespace
