@@ -3,8 +3,9 @@
 // to per-request Generate, since throughput measured on divergent outputs
 // would be meaningless — then drives the scheduler with the closed-loop
 // load generator at batch widths 1, 4, and 8 and prints one `serve_loadgen`
-// row per width: throughput (tokens/sec), p50/p99 request latency, and mean
-// decode-batch occupancy. Rows are mirrored to VIST5_BENCH_JSON
+// row per width: throughput (tokens/sec), p50/p99 request latency, p50/p99
+// time-to-first-token, the fraction of requests missing a 500 ms latency
+// SLO, and mean decode-batch occupancy. Rows are mirrored to VIST5_BENCH_JSON
 // (scripts/run_all_benches.sh exports it into build/obs/).
 
 #include <cstdio>
@@ -87,8 +88,13 @@ int Main() {
   CheckBatchedParity(f, gen);
 
   bench::PrintHeader("serve_loadgen",
-                     {"tok_s", "p50_ms", "p99_ms", "occupancy"});
+                     {"tok_s", "p50_ms", "p99_ms", "ttft_p50", "ttft_p99",
+                      "slo_viol", "occupancy"});
   constexpr int kRequests = 48;
+  // Latency target for the SLO-violation column. Generous for this CPU
+  // fixture at width 1; contention at higher widths shows up as a nonzero
+  // violation fraction rather than a bench failure.
+  constexpr double kSloMs = 500;
   for (int width : {1, 4, 8}) {
     serve::SchedulerOptions sched_options;
     sched_options.max_batch = width;
@@ -99,6 +105,7 @@ int Main() {
     serve::LoadGenOptions load;
     load.concurrency = width;
     load.total_requests = kRequests;
+    load.slo_ms = kSloMs;
     load.gen = gen;
     const serve::LoadGenReport report =
         serve::RunLoadGen(&scheduler, f.prompts, load);
@@ -106,7 +113,8 @@ int Main() {
 
     bench::PrintRow("t5_small_batch" + std::to_string(width),
                     {report.tok_per_sec, report.p50_ms, report.p99_ms,
-                     report.mean_batch});
+                     report.ttft_p50_ms, report.ttft_p99_ms,
+                     report.slo_violation_frac, report.mean_batch});
   }
   return 0;
 }

@@ -6,7 +6,12 @@
 //   vist5_cli describe    --query "visualize ..."
 //   vist5_cli schema      --db DIR [--question "..."]
 //   vist5_cli serve       [--port N] [--max-batch N] [--seed N]
-//   vist5_cli bench-serve [--requests N] [--max-len N] [--seed N]
+//                         [--max-conns N] [--idle-timeout-ms N]
+//                         [--health-queue-warn N] [--health-queue-crit N]
+//                         [--health-p99-warn MS] [--health-p99-crit MS]
+//                         [--health-reject-warn F] [--health-reject-crit F]
+//   vist5_cli bench-serve [--requests N] [--max-len N] [--slo-ms MS]
+//                         [--seed N]
 //   vist5_cli train       [--steps N] [--batch N] [--seed N]
 //                         [--checkpoint-dir DIR] [--checkpoint-every N]
 //                         [--keep-last N] [--resume 0|1]
@@ -82,6 +87,12 @@ int FlagInt(const std::map<std::string, std::string>& flags,
             const std::string& name, int fallback) {
   auto it = flags.find(name);
   return it == flags.end() ? fallback : std::atoi(it->second.c_str());
+}
+
+double FlagDouble(const std::map<std::string, std::string>& flags,
+                  const std::string& name, double fallback) {
+  auto it = flags.find(name);
+  return it == flags.end() ? fallback : std::atof(it->second.c_str());
 }
 
 /// Everything the serving subcommands need: a tokenizer over the synthetic
@@ -172,16 +183,30 @@ int RunServe(const std::map<std::string, std::string>& flags) {
 
   serve::ServerOptions server_options;
   server_options.port = FlagInt(flags, "port", 0);
+  server_options.max_connections = FlagInt(flags, "max-conns", 64);
+  server_options.idle_timeout_ms = FlagInt(flags, "idle-timeout-ms", 0);
+  server_options.health.queue_depth_warn =
+      FlagDouble(flags, "health-queue-warn", 0);
+  server_options.health.queue_depth_crit =
+      FlagDouble(flags, "health-queue-crit", 0);
+  server_options.health.p99_ms_warn = FlagDouble(flags, "health-p99-warn", 0);
+  server_options.health.p99_ms_crit = FlagDouble(flags, "health-p99-crit", 0);
+  server_options.health.reject_frac_warn =
+      FlagDouble(flags, "health-reject-warn", 0);
+  server_options.health.reject_frac_crit =
+      FlagDouble(flags, "health-reject-crit", 0);
   serve::Server server(&scheduler, &fixture.tokenizer, server_options);
   const Status started = server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "serve: %s\n", started.ToString().c_str());
     return 1;
   }
-  std::printf("vist5 serving on %s:%d (max_batch=%d, vocab=%d); Ctrl-C to "
-              "drain and exit\n",
+  std::printf("vist5 serving on %s:%d (max_batch=%d, max_conns=%d, "
+              "vocab=%d); GET /metrics for Prometheus exposition, POST "
+              "/admin/drain to drain; Ctrl-C to drain and exit\n",
               server_options.host.c_str(), server.port(),
-              sched_options.max_batch, fixture.tokenizer.vocab_size());
+              sched_options.max_batch, server_options.max_connections,
+              fixture.tokenizer.vocab_size());
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleInterrupt);
@@ -200,8 +225,10 @@ int RunBenchServe(const std::map<std::string, std::string>& flags) {
   const int requests = FlagInt(flags, "requests", 48);
   ServeFixture fixture = BuildServeFixture(seed);
 
-  std::printf("%-8s %12s %10s %10s %10s\n", "batch", "tok/s", "p50_ms",
-              "p99_ms", "occupancy");
+  const double slo_ms = FlagDouble(flags, "slo-ms", 0);
+  std::printf("%-8s %12s %10s %10s %10s %10s %9s %10s\n", "batch", "tok/s",
+              "p50_ms", "p99_ms", "ttft_p50", "ttft_p99", "slo_viol",
+              "occupancy");
   double base_tps = 0;
   for (int width : {1, 4, 8}) {
     serve::SchedulerOptions sched_options;
@@ -213,15 +240,17 @@ int RunBenchServe(const std::map<std::string, std::string>& flags) {
     serve::LoadGenOptions load;
     load.concurrency = width;
     load.total_requests = requests;
+    load.slo_ms = slo_ms;
     load.gen.max_len = FlagInt(flags, "max-len", 24);
     const serve::LoadGenReport report =
         serve::RunLoadGen(&scheduler, fixture.prompts, load);
     scheduler.Shutdown(/*drain=*/true);
 
     if (width == 1) base_tps = report.tok_per_sec;
-    std::printf("%-8d %12.1f %10.2f %10.2f %10.2f\n", width,
-                report.tok_per_sec, report.p50_ms, report.p99_ms,
-                report.mean_batch);
+    std::printf("%-8d %12.1f %10.2f %10.2f %10.2f %10.2f %9.3f %10.2f\n",
+                width, report.tok_per_sec, report.p50_ms, report.p99_ms,
+                report.ttft_p50_ms, report.ttft_p99_ms,
+                report.slo_violation_frac, report.mean_batch);
   }
   if (base_tps > 0) {
     std::printf("(batch widths share one untrained fixture; speedup is "

@@ -1,0 +1,148 @@
+#!/usr/bin/env bash
+# Smoke-checks the serve observability surface end to end with no
+# dependencies beyond bash + awk: starts `vist5_cli serve` on an ephemeral
+# port, pushes a few generation requests through the line protocol, scrapes
+# GET /metrics and GET /healthz over plain /dev/tcp, validates the
+# Prometheus exposition with a self-contained awk checker (cumulative
+# buckets monotone, +Inf bucket == _count, serve histograms populated),
+# exercises POST /admin/drain + /admin/resume, and shuts the server down.
+#
+# Usage: check_metrics.sh [path-to-vist5_cli]   (default: build/examples/vist5_cli)
+set -u
+
+CLI="${1:-build/examples/vist5_cli}"
+if [ ! -x "$CLI" ]; then
+  echo "check_metrics: $CLI not found or not executable" >&2
+  exit 1
+fi
+
+WORK="$(mktemp -d /tmp/vist5_check_metrics.XXXXXX)"
+SERVER_PID=""
+cleanup() {
+  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -TERM "$SERVER_PID" 2>/dev/null
+    wait "$SERVER_PID" 2>/dev/null
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "check_metrics: FAIL — $1" >&2
+  exit 1
+}
+
+# --- start the server and learn its port from stdout ------------------------
+"$CLI" serve --port 0 --max-batch 4 >"$WORK/serve.out" 2>"$WORK/serve.err" &
+SERVER_PID=$!
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/.*serving on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$WORK/serve.out" | head -1)"
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited early: $(cat "$WORK/serve.err")"
+  sleep 0.2
+done
+[ -n "$PORT" ] && [ "$PORT" -gt 0 ] || fail "could not determine server port"
+echo "check_metrics: server up on port $PORT (pid $SERVER_PID)"
+
+# --- tiny /dev/tcp clients --------------------------------------------------
+# One line-protocol request; prints the response line.
+line_request() {
+  local payload="$1"
+  exec 3<>"/dev/tcp/127.0.0.1/$PORT" || fail "connect failed"
+  printf '%s\n' "$payload" >&3
+  local reply
+  IFS= read -r reply <&3
+  exec 3<&- 3>&-
+  printf '%s\n' "$reply"
+}
+
+# One HTTP exchange; prints status code on line 1, then the body.
+http_request() {
+  local method="$1" target="$2" body="${3:-}"
+  exec 3<>"/dev/tcp/127.0.0.1/$PORT" || fail "connect failed"
+  if [ -n "$body" ]; then
+    printf '%s %s HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\nContent-Length: %d\r\n\r\n%s' \
+      "$method" "$target" "${#body}" "$body" >&3
+  else
+    printf '%s %s HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n' \
+      "$method" "$target" >&3
+  fi
+  awk 'NR==1 {print $2; next} blank {print} /^\r?$/ {blank=1}' <&3
+  exec 3<&- 3>&-
+}
+
+# --- drive traffic so the serve histograms have samples ---------------------
+for i in 1 2 3 4; do
+  reply="$(line_request "{\"id\":\"s$i\",\"tokens\":[2,3,$((3 + i))],\"max_len\":8}")"
+  case "$reply" in
+    *'"status":"ok"'*) ;;
+    *) fail "generation request $i did not return ok: $reply" ;;
+  esac
+done
+echo "check_metrics: 4 generation requests ok"
+
+# --- scrape /metrics and validate the exposition ----------------------------
+http_request GET /metrics >"$WORK/metrics.txt"
+CODE="$(head -1 "$WORK/metrics.txt")"
+[ "$CODE" = "200" ] || fail "GET /metrics returned $CODE"
+
+awk '
+  NR == 1 { next }                       # status-code line from http_request
+  /^# TYPE / { type[$3] = $4; next }
+  /_bucket\{le="/ {
+    name = $1; sub(/_bucket\{.*/, "", name)
+    if ($NF + 0 < last[name] + 0) {
+      printf "non-monotone buckets in %s (%s after %s)\n", name, $NF, last[name]
+      bad = 1
+    }
+    last[name] = $NF
+    if (index($0, "le=\"+Inf\"") > 0) inf[name] = $NF
+    next
+  }
+  /_count / { count[$1] = $2; next }
+  { value[$1] = $2 }
+  END {
+    if (!bad && length(inf) == 0) { print "no histograms found"; bad = 1 }
+    for (name in inf) {
+      if (count[name "_count"] != inf[name]) {
+        printf "%s: +Inf bucket %s != _count %s\n", name, inf[name], count[name "_count"]
+        bad = 1
+      }
+    }
+    exit bad
+  }
+' "$WORK/metrics.txt" || fail "exposition validation failed"
+
+for metric in vist5_serve_requests_total vist5_serve_ttft_ms_count \
+              vist5_serve_queue_wait_ms_count vist5_serve_latency_ms_count; do
+  val="$(awk -v m="$metric" '$1 == m {print $2}' "$WORK/metrics.txt" | head -1)"
+  [ -n "$val" ] || fail "$metric missing from /metrics"
+  [ "${val%.*}" -ge 4 ] 2>/dev/null || fail "$metric = $val, expected >= 4"
+done
+echo "check_metrics: /metrics exposition valid (serve histograms populated)"
+
+# --- /healthz ---------------------------------------------------------------
+http_request GET /healthz >"$WORK/health.txt"
+[ "$(head -1 "$WORK/health.txt")" = "200" ] || fail "GET /healthz returned $(head -1 "$WORK/health.txt")"
+grep -q '"status":"ok"' "$WORK/health.txt" || fail "healthz not ok: $(tail -1 "$WORK/health.txt")"
+echo "check_metrics: /healthz ok"
+
+# --- drain / resume ---------------------------------------------------------
+http_request POST /admin/drain >"$WORK/drain.txt"
+[ "$(head -1 "$WORK/drain.txt")" = "200" ] || fail "POST /admin/drain returned $(head -1 "$WORK/drain.txt")"
+reply="$(line_request '{"id":"after-drain","tokens":[2,3,4],"max_len":8}')"
+case "$reply" in
+  *'"status":"rejected"'*'"draining"'*) ;;
+  *) fail "request after drain was not rejected: $reply" ;;
+esac
+http_request POST /admin/resume >"$WORK/resume.txt"
+[ "$(head -1 "$WORK/resume.txt")" = "200" ] || fail "POST /admin/resume returned $(head -1 "$WORK/resume.txt")"
+reply="$(line_request '{"id":"after-resume","tokens":[2,3,4],"max_len":8}')"
+case "$reply" in
+  *'"status":"ok"'*) ;;
+  *) fail "request after resume did not return ok: $reply" ;;
+esac
+echo "check_metrics: drain rejects new requests, resume restores service"
+
+echo "check_metrics: PASS"

@@ -1,0 +1,116 @@
+#include "obs/exposition.h"
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+namespace vist5 {
+namespace obs {
+namespace {
+
+/// Internal bucket indexes whose upper boundaries form the exposition
+/// ladder: every kLadderStride-th boundary. The last stride of internal
+/// buckets (and the clamp bucket for out-of-range values) reports only
+/// through "+Inf", so no finite `le` ever claims an observation larger
+/// than its boundary.
+constexpr int kLadderStride = 8;
+constexpr int kLadderTop = Histogram::kBuckets - kLadderStride;  // exclusive
+
+bool ValidNameChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+void AppendCounter(const std::string& name, const Counter& c,
+                   std::string* out) {
+  const std::string pname = PrometheusCounterName(name);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, c.value());
+  out->append("# TYPE ").append(pname).append(" counter\n");
+  out->append(pname).append(" ").append(buf).append("\n");
+}
+
+void AppendGauge(const std::string& name, const Gauge& g, std::string* out) {
+  const std::string pname = PrometheusName(name);
+  out->append("# TYPE ").append(pname).append(" gauge\n");
+  out->append(pname).append(" ").append(FormatDouble(g.value())).append("\n");
+}
+
+void AppendHistogram(const std::string& name, const Histogram& h,
+                     std::string* out) {
+  const std::string pname = PrometheusName(name);
+  const std::vector<uint64_t> buckets = h.BucketCounts();
+  // One pass over the raw buckets yields both the ladder cumulatives and
+  // the total that _count / +Inf report — a single consistent view.
+  uint64_t total = 0;
+  for (uint64_t b : buckets) total += b;
+
+  out->append("# TYPE ").append(pname).append(" histogram\n");
+  uint64_t cumulative = 0;
+  char count_buf[32];
+  for (int i = 0; i < kLadderTop; ++i) {
+    cumulative += buckets[static_cast<size_t>(i)];
+    if ((i + 1) % kLadderStride != 0) continue;
+    std::snprintf(count_buf, sizeof(count_buf), "%" PRIu64, cumulative);
+    out->append(pname)
+        .append("_bucket{le=\"")
+        .append(FormatDouble(Histogram::BucketUpperBound(i)))
+        .append("\"} ")
+        .append(count_buf)
+        .append("\n");
+  }
+  std::snprintf(count_buf, sizeof(count_buf), "%" PRIu64, total);
+  out->append(pname).append("_bucket{le=\"+Inf\"} ").append(count_buf).append(
+      "\n");
+  out->append(pname).append("_sum ").append(FormatDouble(h.sum())).append(
+      "\n");
+  out->append(pname).append("_count ").append(count_buf).append("\n");
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "vist5_";
+  out.reserve(name.size() + out.size());
+  for (char c : name) out.push_back(ValidNameChar(c) ? c : '_');
+  return out;
+}
+
+std::string PrometheusCounterName(const std::string& name) {
+  std::string out = PrometheusName(name);
+  const std::string suffix = "_total";
+  if (out.size() < suffix.size() ||
+      out.compare(out.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    out += suffix;
+  }
+  return out;
+}
+
+std::string RenderPrometheusText(const MetricsRegistry& registry) {
+  std::string out;
+  registry.VisitCounters([&out](const std::string& name, const Counter& c) {
+    AppendCounter(name, c, &out);
+  });
+  registry.VisitGauges([&out](const std::string& name, const Gauge& g) {
+    AppendGauge(name, g, &out);
+  });
+  registry.VisitHistograms([&out](const std::string& name,
+                                  const Histogram& h) {
+    AppendHistogram(name, h, &out);
+  });
+  return out;
+}
+
+std::string RenderPrometheusText() {
+  return RenderPrometheusText(MetricsRegistry::Global());
+}
+
+}  // namespace obs
+}  // namespace vist5

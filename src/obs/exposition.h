@@ -1,0 +1,47 @@
+#ifndef VIST5_OBS_EXPOSITION_H_
+#define VIST5_OBS_EXPOSITION_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace vist5 {
+namespace obs {
+
+/// Prometheus text exposition (format 0.0.4) over the metrics registry.
+///
+/// Registry names ("serve/ttft_ms") map to valid Prometheus names
+/// ("vist5_serve_ttft_ms"): every character outside [a-zA-Z0-9_:] becomes
+/// '_' and the "vist5_" prefix both namespaces the export and guards
+/// against a leading digit. Counters additionally get the conventional
+/// "_total" suffix (unless the name already ends with it).
+std::string PrometheusName(const std::string& name);
+std::string PrometheusCounterName(const std::string& name);
+
+/// Renders every registered metric:
+///
+///   # TYPE vist5_serve_requests_total counter
+///   vist5_serve_requests_total 128
+///   # TYPE vist5_serve_ttft_ms histogram
+///   vist5_serve_ttft_ms_bucket{le="4.29982e-09"} 0
+///   ...
+///   vist5_serve_ttft_ms_bucket{le="+Inf"} 128
+///   vist5_serve_ttft_ms_sum 512.25
+///   vist5_serve_ttft_ms_count 128
+///
+/// Histogram `le` boundaries are a fixed geometric ladder: every 8th
+/// internal log-scale bucket boundary (growth 1.2^8 ~= 4.3x per step, 29
+/// finite buckets spanning ~4e-9..~5e9) plus "+Inf". Cumulative bucket
+/// counts, `_count`, and the "+Inf" bucket are all derived from one read of
+/// the internal bucket array, so every scrape is internally monotone and
+/// `_count` always equals the "+Inf" bucket even while writers are active
+/// (`_sum` may trail by in-flight observations; it converges when quiet).
+std::string RenderPrometheusText(const MetricsRegistry& registry);
+
+/// Same, over the process-global registry (the /metrics handler).
+std::string RenderPrometheusText();
+
+}  // namespace obs
+}  // namespace vist5
+
+#endif  // VIST5_OBS_EXPOSITION_H_

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <thread>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
@@ -31,12 +33,21 @@ void ExportAtExit();
 void EnsureExporterInstalled() {
   static bool installed = [] {
     std::atexit(ExportAtExit);
+    if (const char* flush = std::getenv("VIST5_METRICS_FLUSH_MS")) {
+      const char* path = std::getenv("VIST5_METRICS_OUT");
+      const int interval_ms = std::atoi(flush);
+      if (path != nullptr && path[0] != '\0' && interval_ms > 0) {
+        StartPeriodicMetricsFlush(path, interval_ms);
+      }
+    }
     return true;
   }();
   (void)installed;
 }
 
 void ExportAtExit() {
+  // The flusher thread must not race the final snapshot (or outlive main).
+  StopPeriodicMetricsFlush();
   if (const char* path = std::getenv("VIST5_METRICS_OUT")) {
     if (path[0] != '\0') {
       const Status st = MetricsRegistry::Global().WriteSnapshot(path);
@@ -78,6 +89,19 @@ int Histogram::BucketFor(double v) {
 double Histogram::BucketMid(int i) {
   // Geometric midpoint of [kMin * g^i, kMin * g^(i+1)).
   return kMin * std::pow(kGrowth, i + 0.5);
+}
+
+double Histogram::BucketUpperBound(int i) {
+  return kMin * std::pow(kGrowth, i + 1);
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> counts(static_cast<size_t>(kBuckets));
+  for (int i = 0; i < kBuckets; ++i) {
+    counts[static_cast<size_t>(i)] =
+        buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
 }
 
 void Histogram::Observe(double v) {
@@ -211,6 +235,25 @@ Status MetricsRegistry::WriteSnapshot(const std::string& path) const {
   return Status::OK();
 }
 
+void MetricsRegistry::VisitCounters(
+    const std::function<void(const std::string&, const Counter&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) fn(name, *c);
+}
+
+void MetricsRegistry::VisitGauges(
+    const std::function<void(const std::string&, const Gauge&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, g] : gauges_) fn(name, *g);
+}
+
+void MetricsRegistry::VisitHistograms(
+    const std::function<void(const std::string&, const Histogram&)>& fn)
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, h] : histograms_) fn(name, *h);
+}
+
 void MetricsRegistry::ResetAllForTest() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();
@@ -262,6 +305,70 @@ bool LatencySamplingEnabled() {
 
 void SetLatencySamplingEnabled(bool enabled) {
   LatencySamplingFlag().store(enabled, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// State of the single background snapshot-flusher thread. Leaked (like the
+/// registry) so the atexit exporter can stop it safely whenever static
+/// destruction happens to run.
+struct Flusher {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::thread thread;
+  std::string path;
+  int interval_ms = 0;
+  bool running = false;
+  bool stop = false;
+  std::atomic<int64_t> flushes{0};
+};
+
+Flusher& FlusherState() {
+  static Flusher* flusher = new Flusher();
+  return *flusher;
+}
+
+void FlushLoop() {
+  Flusher& f = FlusherState();
+  std::unique_lock<std::mutex> lock(f.mu);
+  while (!f.stop) {
+    const auto interval = std::chrono::milliseconds(f.interval_ms);
+    if (f.cv.wait_for(lock, interval, [&f] { return f.stop; })) break;
+    const std::string path = f.path;
+    lock.unlock();
+    const Status st = MetricsRegistry::Global().WriteSnapshot(path);
+    if (st.ok()) f.flushes.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+}
+
+}  // namespace
+
+void StartPeriodicMetricsFlush(const std::string& path, int interval_ms) {
+  StopPeriodicMetricsFlush();
+  Flusher& f = FlusherState();
+  std::lock_guard<std::mutex> lock(f.mu);
+  f.path = path;
+  f.interval_ms = std::max(interval_ms, 10);
+  f.stop = false;
+  f.running = true;
+  f.thread = std::thread(FlushLoop);
+}
+
+void StopPeriodicMetricsFlush() {
+  Flusher& f = FlusherState();
+  {
+    std::lock_guard<std::mutex> lock(f.mu);
+    if (!f.running) return;
+    f.running = false;
+    f.stop = true;
+  }
+  f.cv.notify_all();
+  if (f.thread.joinable()) f.thread.join();
+}
+
+int64_t PeriodicFlushCount() {
+  return FlusherState().flushes.load(std::memory_order_relaxed);
 }
 
 ScopedLatency::ScopedLatency(Histogram* h) : h_(h) {

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -81,6 +82,15 @@ class Histogram {
   /// Geometric midpoint of bucket `i` — the value a quantile landing in
   /// bucket `i` reports.
   static double BucketMid(int i);
+  /// Upper boundary of bucket `i`: kMin * kGrowth^(i+1). Values land in
+  /// bucket `i` when they are < this boundary (and >= the previous one).
+  static double BucketUpperBound(int i);
+
+  /// Relaxed snapshot of all kBuckets per-bucket counts, in bucket order.
+  /// The exposition renderer derives cumulative counts (and the total it
+  /// reports as `_count`) from this one read, so a scrape taken mid-update
+  /// is still internally monotone.
+  std::vector<uint64_t> BucketCounts() const;
 
  private:
   static void AtomicAddDouble(std::atomic<double>* target, double delta);
@@ -123,6 +133,17 @@ class MetricsRegistry {
 
   Status WriteSnapshot(const std::string& path) const;
 
+  /// Ordered, locked iteration over every registered metric of one kind.
+  /// Callbacks must not call back into the registry (the lock is held).
+  /// This is the access path for external renderers (obs/exposition.h).
+  void VisitCounters(
+      const std::function<void(const std::string&, const Counter&)>& fn) const;
+  void VisitGauges(
+      const std::function<void(const std::string&, const Gauge&)>& fn) const;
+  void VisitHistograms(
+      const std::function<void(const std::string&, const Histogram&)>& fn)
+      const;
+
   /// Zeroes every registered metric (pointers stay valid). Test-only.
   void ResetAllForTest();
 
@@ -142,6 +163,21 @@ Histogram* GetHistogram(const std::string& name);
 
 /// Peak resident set size of this process in bytes (0 if unavailable).
 int64_t PeakRssBytes();
+
+/// Starts (or retargets) a background thread that rewrites the JSON
+/// snapshot at `path` every `interval_ms` milliseconds, so
+/// VIST5_METRICS_OUT stays useful for a live long-running process instead
+/// of only appearing at exit. Driven automatically by the
+/// VIST5_METRICS_FLUSH_MS env var when VIST5_METRICS_OUT is also set;
+/// callable directly by embedders. interval_ms is clamped to >= 10.
+void StartPeriodicMetricsFlush(const std::string& path, int interval_ms);
+
+/// Stops the periodic flush thread (joins it). Idempotent; also invoked by
+/// the process-exit exporter before the final snapshot is written.
+void StopPeriodicMetricsFlush();
+
+/// Number of snapshots the periodic flusher has written (test hook).
+int64_t PeriodicFlushCount();
 
 /// Whether VIST5_SCOPED_LATENCY_US sites take clock readings. Initialized
 /// true iff VIST5_METRICS_OUT or VIST5_TRACE_OUT is set: per-call timing

@@ -121,6 +121,13 @@ TraceSpan::~TraceSpan() {
                        end_us - start_us_);
 }
 
+int64_t TraceNowMicros() { return NowMicros(); }
+
+void EmitSpan(const std::string& name, int64_t start_us, int64_t end_us) {
+  if (!TraceEnabled() || end_us < start_us) return;
+  LocalBuffer().Record(name, start_us - TraceOrigin(), end_us - start_us);
+}
+
 std::string TraceJson() {
   struct Row {
     uint32_t tid;

@@ -35,6 +35,17 @@ class TraceSpan {
   bool active_ = false;
 };
 
+/// Steady-clock microseconds "now" — the timebase EmitSpan expects. Useful
+/// for callers that record timestamps as events happen and emit the spans
+/// later (e.g. a request timeline reconstructed at completion).
+int64_t TraceNowMicros();
+
+/// Records an already-measured [start_us, end_us] interval (TraceNowMicros
+/// timebase) as a complete "X" span on the calling thread's buffer —
+/// exactly what a TraceSpan alive over that interval would have recorded.
+/// No-op when tracing is disabled or end_us < start_us.
+void EmitSpan(const std::string& name, int64_t start_us, int64_t end_us);
+
 /// Serializes every recorded span, across all threads, as a Chrome
 /// trace_event JSON document ({"traceEvents":[...]}, "X" phase events,
 /// microsecond timestamps relative to process start). Load the file via

@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 
@@ -60,12 +61,79 @@ StatusOr<JsonValue> Client::Call(const JsonValue& request) {
   return JsonValue::Parse(response);
 }
 
+Status Client::SendRaw(const std::string& data) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return Status::IoError(std::string("send: ") + std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Client::RecvToEof(std::string* out) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      return Status::IoError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) return Status::OK();
+    out->append(chunk, static_cast<size_t>(n));
+  }
+}
+
 void Client::Close() {
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;
   }
   buf_.clear();
+}
+
+StatusOr<HttpResponse> HttpCall(const std::string& host, int port,
+                                const std::string& method,
+                                const std::string& target,
+                                const std::string& body) {
+  Client conn;
+  Status status = conn.Connect(host, port);
+  if (!status.ok()) return status;
+  // Client exposes no raw-fd API on purpose; reuse only its socket setup.
+  // The request is a minimal HTTP/1.1 exchange with Connection: close, so
+  // "read to EOF" delimits the response without chunked-transfer support.
+  std::string request = method + " " + target +
+                        " HTTP/1.1\r\nHost: " + host +
+                        "\r\nConnection: close\r\n";
+  if (!body.empty()) {
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  request += "\r\n" + body;
+  Status sent = conn.SendRaw(request);
+  if (!sent.ok()) return sent;
+  std::string raw;
+  Status received = conn.RecvToEof(&raw);
+  if (!received.ok()) return received;
+
+  const size_t line_end = raw.find("\r\n");
+  if (raw.compare(0, 5, "HTTP/") != 0 || line_end == std::string::npos) {
+    return Status::IoError("malformed HTTP response");
+  }
+  const size_t sp = raw.find(' ');
+  if (sp == std::string::npos || sp > line_end) {
+    return Status::IoError("malformed HTTP status line");
+  }
+  HttpResponse response;
+  response.code = std::atoi(raw.c_str() + sp + 1);
+  const size_t header_end = raw.find("\r\n\r\n");
+  if (header_end != std::string::npos) {
+    response.body = raw.substr(header_end + 4);
+  }
+  return response;
 }
 
 Response InProcessClient::Call(const std::string& input_text,

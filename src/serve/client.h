@@ -26,6 +26,12 @@ class Client {
   /// failures ("status": "error"/"rejected") come back as parsed objects.
   StatusOr<JsonValue> Call(const JsonValue& request);
 
+  /// Sends raw bytes as-is (no line framing). Building block for the
+  /// HTTP helper below.
+  Status SendRaw(const std::string& data);
+  /// Reads until the peer closes the connection, appending to `*out`.
+  Status RecvToEof(std::string* out);
+
   void Close();
   bool connected() const { return fd_ >= 0; }
 
@@ -33,6 +39,22 @@ class Client {
   int fd_ = -1;
   std::string buf_;  ///< bytes received past the last response line
 };
+
+/// One HTTP exchange against the server's observability/ops routes.
+struct HttpResponse {
+  int code = 0;       ///< HTTP status (200, 404, 503, ...)
+  std::string body;   ///< response entity (exposition text or JSON)
+};
+
+/// One-shot HTTP/1.1 call to a Server's listener — connect, send
+/// `method target` (plus `body` when non-empty), read to EOF, parse the
+/// status line and strip the headers. Used by tests, the bench harness,
+/// and scripts to hit /metrics, /healthz, and /admin/*. Transport errors
+/// come back as statuses; HTTP-level errors come back in `code`.
+StatusOr<HttpResponse> HttpCall(const std::string& host, int port,
+                                const std::string& method,
+                                const std::string& target,
+                                const std::string& body = "");
 
 /// Zero-copy alternative to the TCP round trip: submits straight into the
 /// scheduler from the calling process. Used by the load generator and by

@@ -33,6 +33,8 @@ LoadGenReport RunLoadGen(BatchScheduler* scheduler,
     std::mutex mu;
     std::condition_variable cv;
     std::vector<double> latencies_ms;
+    std::vector<double> ttfts_ms;
+    int slo_violations = 0;
     int issued = 0;
     int done = 0;
     int completed = 0;
@@ -56,7 +58,7 @@ LoadGenReport RunLoadGen(BatchScheduler* scheduler,
     Request req;
     req.tokens = prompts[static_cast<size_t>(index) % prompts.size()];
     req.options = options.gen;
-    scheduler->Submit(std::move(req), [&shared, &issue_one, start,
+    scheduler->Submit(std::move(req), [&shared, &issue_one, &options, start,
                                       total](Response r) {
       const double ms = std::chrono::duration<double, std::milli>(
                             Clock::now() - start)
@@ -65,6 +67,10 @@ LoadGenReport RunLoadGen(BatchScheduler* scheduler,
       {
         std::lock_guard<std::mutex> lock(shared.mu);
         shared.latencies_ms.push_back(ms);
+        if (r.ttft_ms > 0) shared.ttfts_ms.push_back(r.ttft_ms);
+        if (options.slo_ms > 0 && ms > options.slo_ms) {
+          ++shared.slo_violations;
+        }
         if (r.status == ResponseStatus::kOk) {
           ++shared.completed;
           shared.tokens += static_cast<int64_t>(r.tokens.size());
@@ -102,6 +108,14 @@ LoadGenReport RunLoadGen(BatchScheduler* scheduler,
   std::sort(shared.latencies_ms.begin(), shared.latencies_ms.end());
   report.p50_ms = ExactQuantile(shared.latencies_ms, 0.50);
   report.p99_ms = ExactQuantile(shared.latencies_ms, 0.99);
+  std::sort(shared.ttfts_ms.begin(), shared.ttfts_ms.end());
+  report.ttft_p50_ms = ExactQuantile(shared.ttfts_ms, 0.50);
+  report.ttft_p99_ms = ExactQuantile(shared.ttfts_ms, 0.99);
+  if (options.slo_ms > 0 && !shared.latencies_ms.empty()) {
+    report.slo_violation_frac =
+        static_cast<double>(shared.slo_violations) /
+        static_cast<double>(shared.latencies_ms.size());
+  }
   const uint64_t steps = batch_hist->count() - batch_count0;
   if (steps > 0) {
     report.mean_batch =

@@ -14,6 +14,9 @@ struct LoadGenOptions {
   int concurrency = 8;
   /// Total requests to issue (prompts are reused round-robin).
   int total_requests = 64;
+  /// End-to-end latency target (ms). When > 0, the report's
+  /// slo_violation_frac counts responses slower than this. 0 disables it.
+  double slo_ms = 0;
   model::GenerationOptions gen;
 };
 
@@ -25,6 +28,11 @@ struct LoadGenReport {
   double tok_per_sec = 0;
   double p50_ms = 0;          ///< request latency, exact quantiles
   double p99_ms = 0;
+  double ttft_p50_ms = 0;     ///< time-to-first-token, exact quantiles
+  double ttft_p99_ms = 0;
+  /// Fraction of finished responses whose end-to-end latency exceeded
+  /// LoadGenOptions::slo_ms (0 when no target was set).
+  double slo_violation_frac = 0;
   /// Mean decode-batch occupancy while the run was active, from the
   /// serve/batch_size histogram delta (the registry accumulates across a
   /// process, so the report diffs snapshots taken around the run).

@@ -72,6 +72,14 @@ bool RequestQueue::WaitAndPop(Entry* out) {
   return PopLocked(out);
 }
 
+RequestQueue::PopStatus RequestQueue::WaitAndPopFor(
+    Entry* out, std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, timeout, [&] { return closed_ || !heap_.empty(); });
+  if (PopLocked(out)) return PopStatus::kItem;
+  return closed_ ? PopStatus::kClosed : PopStatus::kTimeout;
+}
+
 bool RequestQueue::TryPop(Entry* out) {
   std::lock_guard<std::mutex> lock(mu_);
   return PopLocked(out);

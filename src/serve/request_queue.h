@@ -31,6 +31,50 @@ struct Request {
       std::chrono::steady_clock::time_point::max();
 };
 
+/// Wall-clock milestones of one request as it crosses the serve stack:
+/// enqueue (Submit), admit (joined a decode batch / started exclusive
+/// decode), first token, finish. The scheduler fills one of these per
+/// request, derives the serve/queue_wait_ms, serve/ttft_ms and
+/// serve/tokens_per_sec histograms from it, attaches the breakdown to the
+/// response line, and emits serve/req<id>/* trace spans so one request is
+/// reconstructable end-to-end in the Chrome trace (docs/SERVING.md).
+struct RequestTimeline {
+  using Clock = std::chrono::steady_clock;
+
+  Clock::time_point enqueue{};
+  Clock::time_point admit{};
+  Clock::time_point first_token{};
+  Clock::time_point finish{};
+  int decode_steps = 0;  ///< ragged decode steps this request took part in
+  bool admitted = false;
+  bool has_first_token = false;
+
+  static double Ms(Clock::duration d) {
+    return std::chrono::duration<double, std::milli>(d).count();
+  }
+  /// enqueue -> admission into a batch (or exclusive run).
+  double queue_wait_ms() const {
+    return admitted ? Ms(admit - enqueue) : 0.0;
+  }
+  /// enqueue -> first decode step completed (time-to-first-token as the
+  /// client experiences it: queue wait + prefill + first step).
+  double ttft_ms() const {
+    return has_first_token ? Ms(first_token - enqueue) : 0.0;
+  }
+  /// admit -> first token: the prefill + first-step cost alone.
+  double prefill_ms() const {
+    return has_first_token ? Ms(first_token - admit) : 0.0;
+  }
+  /// admit -> finish: time spent decoding (excludes queue wait).
+  double decode_ms() const { return admitted ? Ms(finish - admit) : 0.0; }
+  double total_ms() const { return Ms(finish - enqueue); }
+  /// Decode rate over the post-admission interval; 0 when unmeasurable.
+  double tokens_per_sec(size_t tokens) const {
+    const double s = decode_ms() / 1e3;
+    return (tokens > 0 && s > 0) ? static_cast<double>(tokens) / s : 0.0;
+  }
+};
+
 enum class ResponseStatus {
   kOk,
   kDeadlineExpired,  ///< best-so-far tokens, cut off by the deadline
@@ -47,10 +91,13 @@ struct Response {
   ResponseStatus status = ResponseStatus::kOk;
   std::vector<int> tokens;
   std::string error;
-  double queue_ms = 0;  ///< enqueue -> admission into a batch
-  double ttft_ms = 0;   ///< enqueue -> first decode step completed
-  double total_ms = 0;  ///< enqueue -> completion
-  int retry_after_ms = 0;  ///< backpressure hint when rejected
+  double queue_ms = 0;   ///< enqueue -> admission into a batch
+  double ttft_ms = 0;    ///< enqueue -> first decode step completed
+  double decode_ms = 0;  ///< admission -> completion
+  double total_ms = 0;   ///< enqueue -> completion
+  double tokens_per_sec = 0;  ///< decode rate over the admitted interval
+  int retry_after_ms = 0;     ///< backpressure hint when rejected
+  RequestTimeline timeline;   ///< raw milestones behind the *_ms fields
 };
 
 /// Completion callback. Invoked exactly once per submitted request, on the
@@ -77,6 +124,17 @@ class RequestQueue {
   /// Blocks until an entry is available or the queue is closed; false
   /// means closed-and-empty (no entry written).
   bool WaitAndPop(Entry* out);
+
+  enum class PopStatus {
+    kItem,     ///< `*out` holds an entry
+    kTimeout,  ///< nothing arrived within the window; queue still open
+    kClosed,   ///< closed and empty — no entry will ever arrive
+  };
+
+  /// WaitAndPop with a bounded wait, so the scheduler loop can wake to
+  /// service control-plane work (pending checkpoint reloads, shutdown
+  /// checks) even when no requests arrive.
+  PopStatus WaitAndPopFor(Entry* out, std::chrono::milliseconds timeout);
 
   /// Non-blocking pop; false when empty (or closed-and-empty).
   bool TryPop(Entry* out);

@@ -3,6 +3,7 @@
 #include <future>
 #include <utility>
 
+#include "model/checkpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -16,6 +17,17 @@ double Ms(Clock::duration d) {
   return std::chrono::duration<double, std::milli>(d).count();
 }
 
+int64_t Us(Clock::time_point t) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             t.time_since_epoch())
+      .count();
+}
+
+/// How long the idle decode loop sleeps between control-plane checks
+/// (pending reloads, shutdown). Requests arriving mid-sleep wake the loop
+/// immediately through the queue's condition variable.
+constexpr std::chrono::milliseconds kIdleWait{50};
+
 /// Requests that cannot share the continuous batch: beam search reorders
 /// the whole decode state, sampling consumes per-request RNG draws, and
 /// use_kv_cache=false is the full-prefix reference path. They run alone
@@ -25,19 +37,41 @@ bool IsExclusive(const model::GenerationOptions& options) {
          !options.use_kv_cache;
 }
 
+/// Emits the serve/req<id>/* span family reconstructing one request in the
+/// Chrome trace: queue wait, prefill (admit -> first token), decode, and a
+/// parent span covering the whole request. All on the scheduler thread, so
+/// they nest by containment like ordinary scoped spans.
+void EmitTimelineSpans(uint64_t id, const RequestTimeline& tl) {
+  if (!obs::TraceEnabled()) return;
+  const std::string tag = "serve/req" + std::to_string(id);
+  obs::EmitSpan(tag, Us(tl.enqueue), Us(tl.finish));
+  if (!tl.admitted) return;
+  obs::EmitSpan(tag + "/queue_wait", Us(tl.enqueue), Us(tl.admit));
+  if (tl.has_first_token) {
+    obs::EmitSpan(tag + "/prefill", Us(tl.admit), Us(tl.first_token));
+    obs::EmitSpan(tag + "/decode", Us(tl.first_token), Us(tl.finish));
+  } else {
+    obs::EmitSpan(tag + "/decode", Us(tl.admit), Us(tl.finish));
+  }
+}
+
 }  // namespace
 
 /// Scheduler-side bookkeeping for one admitted request.
 struct BatchScheduler::Track {
   uint64_t id = 0;
   Completion done;
-  Clock::time_point enqueue;
-  Clock::time_point admit;
-  double ttft_ms = 0;
-  bool ttft_recorded = false;
+  RequestTimeline timeline;
 };
 
-BatchScheduler::BatchScheduler(const model::TransformerSeq2Seq* model,
+/// One parked Reload call: the path to load and the promise its caller
+/// blocks on.
+struct BatchScheduler::PendingReload {
+  std::string path;
+  std::promise<Status> done;
+};
+
+BatchScheduler::BatchScheduler(model::TransformerSeq2Seq* model,
                                const SchedulerOptions& options)
     : model_(model), options_(options), queue_(options.queue_capacity) {}
 
@@ -91,6 +125,55 @@ Response BatchScheduler::SubmitAndWait(Request req) {
   return fut.get();
 }
 
+Status BatchScheduler::Reload(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+    if (shut_down_ || !started_.load()) {
+      // No decode loop is (or will be) stepping, so the swap is safe to
+      // run inline on the caller's thread.
+      return model::LoadCheckpoint(model_->CheckpointModule(), path);
+    }
+  }
+  std::future<Status> done;
+  {
+    std::lock_guard<std::mutex> lock(reload_mu_);
+    if (pending_reload_ != nullptr) {
+      return Status::Unavailable("another reload is already in progress");
+    }
+    pending_reload_ = std::make_unique<PendingReload>();
+    pending_reload_->path = path;
+    done = pending_reload_->done.get_future();
+    reload_pending_.store(true, std::memory_order_release);
+  }
+  return done.get();
+}
+
+void BatchScheduler::ServiceReload(bool aborting) {
+  static obs::Counter* reloads = obs::GetCounter("serve/reloads");
+  static obs::Histogram* reload_ms = obs::GetHistogram("serve/reload_ms");
+  std::unique_ptr<PendingReload> pending;
+  {
+    std::lock_guard<std::mutex> lock(reload_mu_);
+    pending = std::move(pending_reload_);
+    reload_pending_.store(false, std::memory_order_release);
+  }
+  if (pending == nullptr) return;
+  if (aborting) {
+    pending->done.set_value(
+        Status::Unavailable("scheduler shut down before the reload ran"));
+    return;
+  }
+  VIST5_TRACE_SPAN("serve/reload");
+  const Clock::time_point t0 = Clock::now();
+  Status status = model::LoadCheckpoint(model_->CheckpointModule(),
+                                        pending->path);
+  if (status.ok()) {
+    reloads->Add();
+    reload_ms->Observe(Ms(Clock::now() - t0));
+  }
+  pending->done.set_value(std::move(status));
+}
+
 void BatchScheduler::Shutdown(bool drain) {
   {
     std::lock_guard<std::mutex> lock(shutdown_mu_);
@@ -105,6 +188,7 @@ void BatchScheduler::Shutdown(bool drain) {
   }
   // Never started: there is no loop to run the cleanup path, but queued
   // requests still owe their callers exactly one completion each.
+  ServiceReload(/*aborting=*/true);
   RequestQueue::Entry entry;
   while (queue_.TryPop(&entry)) {
     Response r;
@@ -120,19 +204,26 @@ void BatchScheduler::Finish(Track* track, ResponseStatus status,
   static obs::Counter* expired = obs::GetCounter("serve/deadline_expired");
   static obs::Counter* tokens_out = obs::GetCounter("serve/tokens");
   static obs::Histogram* latency = obs::GetHistogram("serve/latency_ms");
-  const Clock::time_point now = Clock::now();
+  static obs::Histogram* tok_rate = obs::GetHistogram("serve/tokens_per_sec");
+  RequestTimeline& tl = track->timeline;
+  tl.finish = Clock::now();
   Response r;
   r.id = track->id;
   r.status = status;
   r.tokens = std::move(tokens);
-  r.queue_ms = Ms(track->admit - track->enqueue);
-  r.ttft_ms = track->ttft_ms;
-  r.total_ms = Ms(now - track->enqueue);
+  r.queue_ms = tl.queue_wait_ms();
+  r.ttft_ms = tl.ttft_ms();
+  r.decode_ms = tl.decode_ms();
+  r.total_ms = tl.total_ms();
+  r.tokens_per_sec = tl.tokens_per_sec(r.tokens.size());
+  r.timeline = tl;
   if (status == ResponseStatus::kOk ||
       status == ResponseStatus::kDeadlineExpired) {
     (status == ResponseStatus::kOk ? completed : expired)->Add();
     tokens_out->Add(static_cast<int64_t>(r.tokens.size()));
     latency->Observe(r.total_ms);
+    if (r.tokens_per_sec > 0) tok_rate->Observe(r.tokens_per_sec);
+    EmitTimelineSpans(track->id, tl);
   }
   track->done(std::move(r));
 }
@@ -141,20 +232,22 @@ void BatchScheduler::AdmitGreedy(RequestQueue::Entry entry,
                                  model::ContinuousDecoder* decoder,
                                  std::vector<Track>* tracks) {
   static obs::Counter* joined = obs::GetCounter("serve/joined");
-  static obs::Histogram* queue_ms = obs::GetHistogram("serve/queue_ms");
+  static obs::Histogram* queue_wait =
+      obs::GetHistogram("serve/queue_wait_ms");
   const Clock::time_point now = Clock::now();
   Request& req = entry.request;
   Track track;
   track.id = req.id;
   track.done = std::move(entry.done);
-  track.enqueue = req.enqueue_time;
-  track.admit = now;
+  track.timeline.enqueue = req.enqueue_time;
+  track.timeline.admit = now;
   if (req.deadline <= now) {
     // Expired while queued: answer without paying for a prefill.
     Finish(&track, ResponseStatus::kDeadlineExpired, {});
     return;
   }
-  queue_ms->Observe(Ms(now - track.enqueue));
+  track.timeline.admitted = true;
+  queue_wait->Observe(track.timeline.queue_wait_ms());
   if (decoder->active() > 0) joined->Add();
   decoder->Admit(req.id, req.tokens, req.options, req.deadline);
   tracks->push_back(std::move(track));
@@ -162,20 +255,22 @@ void BatchScheduler::AdmitGreedy(RequestQueue::Entry entry,
 
 void BatchScheduler::RunExclusive(RequestQueue::Entry entry) {
   static obs::Counter* exclusive = obs::GetCounter("serve/exclusive");
-  static obs::Histogram* queue_ms = obs::GetHistogram("serve/queue_ms");
+  static obs::Histogram* queue_wait =
+      obs::GetHistogram("serve/queue_wait_ms");
   VIST5_TRACE_SPAN("serve/exclusive");
   const Clock::time_point now = Clock::now();
   Request& req = entry.request;
   Track track;
   track.id = req.id;
   track.done = std::move(entry.done);
-  track.enqueue = req.enqueue_time;
-  track.admit = now;
+  track.timeline.enqueue = req.enqueue_time;
+  track.timeline.admit = now;
   if (req.deadline <= now) {
     Finish(&track, ResponseStatus::kDeadlineExpired, {});
     return;
   }
-  queue_ms->Observe(Ms(now - track.enqueue));
+  track.timeline.admitted = true;
+  queue_wait->Observe(track.timeline.queue_wait_ms());
   exclusive->Add();
   model::GenerationOptions options = req.options;
   if (req.deadline != Clock::time_point::max()) {
@@ -194,10 +289,21 @@ bool BatchScheduler::FillBatch(model::ContinuousDecoder* decoder,
                                RequestQueue::Entry* exclusive,
                                bool* have_exclusive) {
   while (!*have_exclusive && decoder->active() < options_.max_batch) {
+    // A pending reload waits for a batch-empty boundary; admitting more
+    // work would starve it, so pause admissions until it has run.
+    if (reload_pending_.load(std::memory_order_acquire)) return false;
     RequestQueue::Entry entry;
     if (decoder->active() == 0) {
-      // Idle: block until work arrives or the queue closes for good.
-      if (!queue_.WaitAndPop(&entry)) return true;
+      // Idle: block until work arrives, the queue closes for good, or the
+      // control-plane check interval elapses.
+      switch (queue_.WaitAndPopFor(&entry, kIdleWait)) {
+        case RequestQueue::PopStatus::kClosed:
+          return true;
+        case RequestQueue::PopStatus::kTimeout:
+          return false;
+        case RequestQueue::PopStatus::kItem:
+          break;
+      }
     } else {
       // Mid-flight: join whatever is already queued at this step
       // boundary, but never stall the running batch to wait for more.
@@ -218,15 +324,19 @@ void BatchScheduler::StepBatch(model::ContinuousDecoder* decoder,
   static obs::Counter* steps = obs::GetCounter("serve/steps");
   static obs::Histogram* batch_size = obs::GetHistogram("serve/batch_size");
   static obs::Histogram* ttft = obs::GetHistogram("serve/ttft_ms");
+  static obs::Histogram* step_ms = obs::GetHistogram("serve/step_ms");
   steps->Add();
   batch_size->Observe(static_cast<double>(decoder->active()));
+  const Clock::time_point step_start = Clock::now();
   std::vector<model::ContinuousDecoder::Finished> finished = decoder->Step();
   const Clock::time_point now = Clock::now();
+  step_ms->Observe(Ms(now - step_start));
   for (Track& track : *tracks) {
-    if (!track.ttft_recorded) {
-      track.ttft_recorded = true;
-      track.ttft_ms = Ms(now - track.enqueue);
-      ttft->Observe(track.ttft_ms);
+    ++track.timeline.decode_steps;
+    if (!track.timeline.has_first_token) {
+      track.timeline.has_first_token = true;
+      track.timeline.first_token = now;
+      ttft->Observe(track.timeline.ttft_ms());
     }
   }
   for (model::ContinuousDecoder::Finished& f : finished) {
@@ -249,6 +359,10 @@ void BatchScheduler::Loop() {
   RequestQueue::Entry exclusive;
   bool have_exclusive = false;
   while (!abort_.load()) {
+    if (reload_pending_.load(std::memory_order_acquire) &&
+        decoder.active() == 0 && !have_exclusive) {
+      ServiceReload(/*aborting=*/false);
+    }
     const bool closed =
         FillBatch(&decoder, &tracks, &exclusive, &have_exclusive);
     if (abort_.load()) break;
@@ -273,8 +387,8 @@ void BatchScheduler::Loop() {
     Track track;
     track.id = exclusive.request.id;
     track.done = std::move(exclusive.done);
-    track.enqueue = exclusive.request.enqueue_time;
-    track.admit = Clock::now();
+    track.timeline.enqueue = exclusive.request.enqueue_time;
+    track.timeline.admit = Clock::now();
     Finish(&track, ResponseStatus::kShutdown, {});
   }
   RequestQueue::Entry entry;
@@ -282,10 +396,14 @@ void BatchScheduler::Loop() {
     Track track;
     track.id = entry.request.id;
     track.done = std::move(entry.done);
-    track.enqueue = entry.request.enqueue_time;
-    track.admit = Clock::now();
+    track.timeline.enqueue = entry.request.enqueue_time;
+    track.timeline.admit = Clock::now();
     Finish(&track, ResponseStatus::kShutdown, {});
   }
+  // A reload parked after the final FillBatch would otherwise strand its
+  // caller; fail it explicitly. (A drain shutdown may legitimately still
+  // hold one if Reload raced Close.)
+  ServiceReload(/*aborting=*/true);
 }
 
 }  // namespace serve

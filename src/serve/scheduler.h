@@ -4,7 +4,9 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 
 #include "model/batch_decoder.h"
@@ -43,7 +45,9 @@ struct SchedulerOptions {
 /// by tests/serve_test.cc).
 class BatchScheduler {
  public:
-  BatchScheduler(const model::TransformerSeq2Seq* model,
+  /// `model` is non-const because Reload swaps its weights in place; the
+  /// decode paths themselves never mutate it.
+  BatchScheduler(model::TransformerSeq2Seq* model,
                  const SchedulerOptions& options);
   ~BatchScheduler();
 
@@ -59,6 +63,15 @@ class BatchScheduler {
   /// Submit + block until the response arrives.
   Response SubmitAndWait(Request req);
 
+  /// Swaps a new checkpoint (VT5C module format, docs/CHECKPOINTING.md)
+  /// into the model *between* decode steps: the loop stops admitting,
+  /// lets in-flight rows finish (their tokens stay consistent — every step
+  /// of a given request runs against one set of weights), loads `path`,
+  /// and resumes admissions. Blocks until the swap happened (or failed —
+  /// on any load error the old weights remain and serving continues).
+  /// Queued requests are *not* dropped; they decode under the new weights.
+  Status Reload(const std::string& path);
+
   /// Stops the scheduler. With `drain` the decode loop first finishes
   /// every queued and in-flight request; without it, queued and active
   /// requests complete immediately with status "shutdown". Idempotent.
@@ -69,6 +82,7 @@ class BatchScheduler {
 
  private:
   struct Track;
+  struct PendingReload;
 
   void Loop();
   bool FillBatch(model::ContinuousDecoder* decoder,
@@ -81,8 +95,11 @@ class BatchScheduler {
                  std::vector<Track>* tracks);
   void RunExclusive(RequestQueue::Entry entry);
   void Finish(Track* track, ResponseStatus status, std::vector<int> tokens);
+  /// Performs the pending reload (loop thread, no batch active) or fails
+  /// it during shutdown so Reload callers never hang.
+  void ServiceReload(bool aborting);
 
-  const model::TransformerSeq2Seq* model_;
+  model::TransformerSeq2Seq* model_;
   const SchedulerOptions options_;
   RequestQueue queue_;
   std::thread loop_;
@@ -91,6 +108,12 @@ class BatchScheduler {
   std::atomic<uint64_t> next_id_{1};
   std::mutex shutdown_mu_;
   bool shut_down_ = false;
+  /// Reload handshake: Reload parks a request here and the decode loop
+  /// services it at a batch-empty boundary. `reload_pending_` is the
+  /// loop's cheap gate for pausing admissions.
+  std::mutex reload_mu_;
+  std::unique_ptr<PendingReload> pending_reload_;
+  std::atomic<bool> reload_pending_{false};
 };
 
 }  // namespace serve

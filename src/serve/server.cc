@@ -3,13 +3,18 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <cstring>
 #include <utility>
 
+#include "obs/exposition.h"
 #include "obs/metrics.h"
+#include "util/logging.h"
 
 namespace vist5 {
 namespace serve {
@@ -25,6 +30,67 @@ bool SendAll(int fd, const std::string& data) {
   }
   return true;
 }
+
+/// True once enough bytes arrived to tell HTTP from line-JSON apart.
+/// Generation requests are JSON objects, so they always start with '{'
+/// (or whitespace); HTTP requests start with a method token.
+bool LooksLikeHttp(const std::string& buf) {
+  static const char* kMethods[] = {"GET ",    "POST ", "PUT ",
+                                   "DELETE ", "HEAD ", "OPTIONS "};
+  for (const char* m : kMethods) {
+    if (buf.compare(0, std::strlen(m), m) == 0) return true;
+  }
+  return false;
+}
+
+/// Longest method prefix we may still be waiting on ("OPTIONS ").
+constexpr size_t kSniffBytes = 8;
+
+std::string LowerAscii(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+/// Content-Length from a raw header block; 0 when absent or malformed.
+size_t ParseContentLength(const std::string& headers) {
+  const std::string lower = LowerAscii(headers);
+  const size_t pos = lower.find("content-length:");
+  if (pos == std::string::npos) return 0;
+  const char* p = lower.c_str() + pos + std::strlen("content-length:");
+  while (*p == ' ' || *p == '\t') ++p;
+  size_t n = 0;
+  while (*p >= '0' && *p <= '9') n = n * 10 + static_cast<size_t>(*p++ - '0');
+  return n;
+}
+
+const char* HttpReason(int code) {
+  switch (code) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+  }
+  return "OK";
+}
+
+std::string JsonError(const std::string& msg) {
+  JsonValue out = JsonValue::Object();
+  out.Set("status", JsonValue::String("error"));
+  out.Set("error", JsonValue::String(msg));
+  return out.ToString(/*pretty=*/false);
+}
+
+const char* kJsonType = "application/json";
 
 }  // namespace
 
@@ -83,21 +149,35 @@ void Server::Stop(bool drain) {
   if (accept_thread_.joinable()) accept_thread_.join();
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
-    for (int fd : conn_fds_) {
-      if (fd < 0) continue;
+    for (const std::unique_ptr<Conn>& conn : conns_) {
+      if (conn->fd < 0) continue;
       // SHUT_RD lets the request currently in flight write its response
       // (graceful drain); SHUT_RDWR cuts the connection outright.
-      ::shutdown(fd, drain ? SHUT_RD : SHUT_RDWR);
+      ::shutdown(conn->fd, drain ? SHUT_RD : SHUT_RDWR);
     }
   }
-  // The accept thread is joined, so no new connection threads can appear.
-  for (std::thread& t : conn_threads_) {
-    if (t.joinable()) t.join();
+  // The accept thread is joined, so no new connections can appear.
+  for (const std::unique_ptr<Conn>& conn : conns_) {
+    if (conn->thread.joinable()) conn->thread.join();
   }
-  conn_threads_.clear();
+  conns_.clear();
+}
+
+void Server::ReapConnections() {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  auto it = conns_.begin();
+  while (it != conns_.end()) {
+    if ((*it)->finished.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void Server::AcceptLoop() {
+  static obs::Counter* conn_rejected = obs::GetCounter("serve/conn_rejected");
   for (;;) {
     const int lfd = listen_fd_.load();
     if (lfd < 0) return;
@@ -106,39 +186,316 @@ void Server::AcceptLoop() {
       if (stopping_.load() || errno != EINTR) return;
       continue;
     }
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    conn_fds_.push_back(fd);
-    conn_threads_.emplace_back(&Server::HandleConnection, this, fd);
+    ReapConnections();
+    if (options_.max_connections > 0 &&
+        active_conns_.load() >= options_.max_connections) {
+      conn_rejected->Add();
+      JsonValue out = JsonValue::Object();
+      out.Set("status", JsonValue::String("rejected"));
+      out.Set("error", JsonValue::String("too many connections"));
+      out.Set("retry_after_ms", JsonValue::Number(100));
+      SendAll(fd, out.ToString(/*pretty=*/false) + "\n");
+      ::close(fd);
+      continue;
+    }
+    if (options_.idle_timeout_ms > 0) {
+      timeval tv{};
+      tv.tv_sec = options_.idle_timeout_ms / 1000;
+      tv.tv_usec = (options_.idle_timeout_ms % 1000) * 1000;
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    }
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    Conn* raw = conn.get();
+    active_conns_.fetch_add(1);
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      conns_.push_back(std::move(conn));
+    }
+    raw->thread = std::thread(&Server::HandleConnection, this, raw);
   }
 }
 
-void Server::HandleConnection(int fd) {
+void Server::HandleConnection(Conn* conn) {
   static obs::Counter* connections = obs::GetCounter("serve/connections");
+  static obs::Counter* idle_closed =
+      obs::GetCounter("serve/conn_idle_closed");
+  static obs::Gauge* active = obs::GetGauge("serve/active_connections");
   connections->Add();
+  active->Set(static_cast<double>(active_conns_.load()));
+  const int fd = conn->fd;
   std::string buf;
   char chunk[4096];
   bool open = true;
+  bool timed_out = false;
+  bool sniffed = false;
   while (open) {
     size_t nl;
     while ((nl = buf.find('\n')) == std::string::npos) {
       const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
       if (n <= 0) {
+        // SO_RCVTIMEO surfaces as EAGAIN/EWOULDBLOCK: the idle window
+        // elapsed with no bytes, so drop the connection.
+        timed_out = n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK);
         open = false;
         break;
       }
       buf.append(chunk, static_cast<size_t>(n));
+      // Protocol sniff on the first bytes only: once a connection speaks
+      // HTTP it is handed off whole and closed after one exchange.
+      if (!sniffed && buf.size() >= kSniffBytes) {
+        sniffed = true;
+        if (LooksLikeHttp(buf)) {
+          HandleHttp(fd, std::move(buf));
+          open = false;
+          break;
+        }
+      }
     }
     if (!open) break;
+    if (!sniffed) {
+      sniffed = true;
+      if (LooksLikeHttp(buf)) {
+        HandleHttp(fd, std::move(buf));
+        break;
+      }
+    }
     std::string line = buf.substr(0, nl);
     buf.erase(0, nl + 1);
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
     if (!SendAll(fd, HandleLine(line) + "\n")) break;
   }
-  std::lock_guard<std::mutex> lock(conn_mu_);
-  for (int& tracked : conn_fds_) {
-    if (tracked == fd) tracked = -1;
+  if (timed_out) idle_closed->Add();
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    ::close(fd);
+    conn->fd = -1;
   }
-  ::close(fd);
+  active_conns_.fetch_sub(1);
+  active->Set(static_cast<double>(active_conns_.load()));
+  conn->finished.store(true, std::memory_order_release);
+}
+
+void Server::HandleHttp(int fd, std::string buf) {
+  static obs::Counter* scrapes = obs::GetCounter("serve/http_requests");
+  // Read until the header block is complete, then the declared body.
+  size_t header_end;
+  char chunk[4096];
+  while ((header_end = buf.find("\r\n\r\n")) == std::string::npos) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return;
+    buf.append(chunk, static_cast<size_t>(n));
+    if (buf.size() > 64 * 1024) return;  // oversized header block
+  }
+  const std::string headers = buf.substr(0, header_end);
+  const size_t body_start = header_end + 4;
+  const size_t content_length = ParseContentLength(headers);
+  while (buf.size() - body_start < content_length) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return;
+    buf.append(chunk, static_cast<size_t>(n));
+  }
+  const std::string body = buf.substr(body_start, content_length);
+
+  const size_t line_end = headers.find("\r\n");
+  const std::string request_line =
+      line_end == std::string::npos ? headers : headers.substr(0, line_end);
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : request_line.find(' ', sp1 + 1);
+  std::string method, target;
+  if (sp1 != std::string::npos) {
+    method = request_line.substr(0, sp1);
+    target = sp2 == std::string::npos
+                 ? request_line.substr(sp1 + 1)
+                 : request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  }
+  // Strip any query string: routes are matched on the path alone.
+  const size_t q = target.find('?');
+  if (q != std::string::npos) target.resize(q);
+
+  scrapes->Add();
+  int code = 200;
+  std::string content_type = kJsonType;
+  const std::string response_body =
+      RouteHttp(method, target, body, &code, &content_type);
+  std::string response = "HTTP/1.1 " + std::to_string(code) + " " +
+                         HttpReason(code) +
+                         "\r\nContent-Type: " + content_type +
+                         "\r\nContent-Length: " +
+                         std::to_string(response_body.size()) +
+                         "\r\nConnection: close\r\n\r\n" + response_body;
+  SendAll(fd, response);
+}
+
+std::string Server::RouteHttp(const std::string& method,
+                              const std::string& target,
+                              const std::string& body, int* code,
+                              std::string* content_type) {
+  const auto ok_json = [&](JsonValue out) {
+    *code = 200;
+    return out.ToString(/*pretty=*/false);
+  };
+
+  if (target == "/metrics") {
+    if (method != "GET") {
+      *code = 405;
+      return JsonError("use GET");
+    }
+    // version=0.0.4 is the Prometheus text exposition format identifier.
+    *content_type = "text/plain; version=0.0.4; charset=utf-8";
+    return obs::RenderPrometheusText();
+  }
+  if (target == "/healthz") {
+    if (method != "GET") {
+      *code = 405;
+      return JsonError("use GET");
+    }
+    std::string health_body;
+    *code = EvaluateHealth(&health_body);
+    return health_body;
+  }
+  if (target == "/admin/stats") {
+    JsonValue out = JsonValue::Object();
+    out.Set("metrics", obs::MetricsRegistry::Global().Snapshot());
+    out.Set("queue_depth", JsonValue::Number(
+                               static_cast<double>(scheduler_->queue_depth())));
+    out.Set("active_connections",
+            JsonValue::Number(static_cast<double>(active_conns_.load())));
+    out.Set("draining", JsonValue::Bool(draining_.load()));
+    return ok_json(std::move(out));
+  }
+  if (target == "/admin/drain" || target == "/admin/resume") {
+    if (method != "POST") {
+      *code = 405;
+      return JsonError("use POST");
+    }
+    draining_.store(target == "/admin/drain");
+    VIST5_LOG(Warning) << "serve: " << (draining_.load() ? "draining"
+                                                         : "resumed");
+    JsonValue out = JsonValue::Object();
+    out.Set("status", JsonValue::String("ok"));
+    out.Set("draining", JsonValue::Bool(draining_.load()));
+    return ok_json(std::move(out));
+  }
+  if (target == "/admin/reload") {
+    if (method != "POST") {
+      *code = 405;
+      return JsonError("use POST");
+    }
+    // Body is {"path": "..."} or, as a convenience, the raw path.
+    std::string path = body;
+    StatusOr<JsonValue> parsed = JsonValue::Parse(body);
+    if (parsed.ok() && parsed.value().is_object()) {
+      const JsonValue* p = parsed.value().Find("path");
+      if (p == nullptr || !p->is_string()) {
+        *code = 400;
+        return JsonError("body must carry a \"path\" string");
+      }
+      path = p->string_value();
+    }
+    if (path.empty()) {
+      *code = 400;
+      return JsonError("empty checkpoint path");
+    }
+    VIST5_LOG(Info) << "serve: reloading checkpoint " << path;
+    const Status status = scheduler_->Reload(path);
+    if (!status.ok()) {
+      *code = 500;
+      return JsonError(std::string(status.message()));
+    }
+    JsonValue out = JsonValue::Object();
+    out.Set("status", JsonValue::String("ok"));
+    out.Set("path", JsonValue::String(path));
+    return ok_json(std::move(out));
+  }
+  if (target == "/admin/loglevel") {
+    if (method != "POST") {
+      *code = 405;
+      return JsonError("use POST");
+    }
+    std::string level = body;
+    StatusOr<JsonValue> parsed = JsonValue::Parse(body);
+    if (parsed.ok() && parsed.value().is_object()) {
+      const JsonValue* l = parsed.value().Find("level");
+      if (l != nullptr && l->is_string()) level = l->string_value();
+    }
+    level = LowerAscii(level);
+    // Trim whitespace a raw body may carry.
+    const size_t b = level.find_first_not_of(" \t\r\n\"");
+    const size_t e = level.find_last_not_of(" \t\r\n\"");
+    level = b == std::string::npos ? "" : level.substr(b, e - b + 1);
+    LogSeverity severity;
+    if (level == "info") {
+      severity = LogSeverity::kInfo;
+    } else if (level == "warn" || level == "warning") {
+      severity = LogSeverity::kWarning;
+    } else if (level == "error") {
+      severity = LogSeverity::kError;
+    } else if (level == "fatal") {
+      severity = LogSeverity::kFatal;
+    } else {
+      *code = 400;
+      return JsonError("unknown level \"" + level +
+                       "\" (info|warn|error|fatal)");
+    }
+    SetMinLogSeverity(severity);
+    JsonValue out = JsonValue::Object();
+    out.Set("status", JsonValue::String("ok"));
+    out.Set("level", JsonValue::String(level));
+    return ok_json(std::move(out));
+  }
+  *code = 404;
+  return JsonError("no route for " + target);
+}
+
+int Server::EvaluateHealth(std::string* body) const {
+  // 0 = ok, 1 = degraded (warn crossed), 2 = unhealthy (crit crossed).
+  int worst = 0;
+  JsonValue checks = JsonValue::Object();
+  const auto check = [&](const char* name, double value, double warn,
+                         double crit) {
+    int level = 0;
+    if (crit > 0 && value >= crit) {
+      level = 2;
+    } else if (warn > 0 && value >= warn) {
+      level = 1;
+    }
+    worst = std::max(worst, level);
+    JsonValue c = JsonValue::Object();
+    c.Set("value", JsonValue::Number(value));
+    c.Set("status", JsonValue::String(level == 0   ? "ok"
+                                      : level == 1 ? "degraded"
+                                                   : "unhealthy"));
+    checks.Set(name, std::move(c));
+  };
+
+  const HealthThresholds& h = options_.health;
+  check("queue_depth", static_cast<double>(scheduler_->queue_depth()),
+        h.queue_depth_warn, h.queue_depth_crit);
+  static obs::Histogram* latency = obs::GetHistogram("serve/latency_ms");
+  check("latency_p99_ms", latency->Quantile(0.99), h.p99_ms_warn,
+        h.p99_ms_crit);
+  static obs::Counter* requests = obs::GetCounter("serve/requests");
+  static obs::Counter* rejected = obs::GetCounter("serve/rejected");
+  const int64_t total = requests->value();
+  const double frac =
+      total > 0 ? static_cast<double>(rejected->value()) /
+                      static_cast<double>(total)
+                : 0.0;
+  check("reject_frac", frac, h.reject_frac_warn, h.reject_frac_crit);
+
+  JsonValue out = JsonValue::Object();
+  out.Set("status", JsonValue::String(worst == 0   ? "ok"
+                                      : worst == 1 ? "degraded"
+                                                   : "unhealthy"));
+  out.Set("draining", JsonValue::Bool(draining_.load()));
+  out.Set("checks", std::move(checks));
+  *body = out.ToString(/*pretty=*/false);
+  // Degraded still answers 200: the instance serves, operators alert on
+  // the body. Unhealthy answers 503 so load balancers stop routing to it.
+  return worst < 2 ? 200 : 503;
 }
 
 JsonValue Server::ResponseToJson(const std::string& client_id,
@@ -158,7 +515,9 @@ JsonValue Server::ResponseToJson(const std::string& client_id,
     }
     out.Set("queue_ms", JsonValue::Number(r.queue_ms));
     out.Set("ttft_ms", JsonValue::Number(r.ttft_ms));
+    out.Set("decode_ms", JsonValue::Number(r.decode_ms));
     out.Set("total_ms", JsonValue::Number(r.total_ms));
+    out.Set("tokens_per_sec", JsonValue::Number(r.tokens_per_sec));
   }
   if (r.status == ResponseStatus::kRejected) {
     out.Set("retry_after_ms", JsonValue::Number(r.retry_after_ms));
@@ -184,6 +543,15 @@ std::string Server::HandleLine(const std::string& line) {
   if (const JsonValue* id = doc.Find("id")) {
     client_id =
         id->is_string() ? id->string_value() : id->ToString(/*pretty=*/false);
+  }
+
+  if (draining_.load()) {
+    JsonValue out = JsonValue::Object();
+    if (!client_id.empty()) out.Set("id", JsonValue::String(client_id));
+    out.Set("status", JsonValue::String("rejected"));
+    out.Set("error", JsonValue::String("draining"));
+    out.Set("retry_after_ms", JsonValue::Number(1000));
+    return out.ToString(/*pretty=*/false);
   }
 
   Request req;

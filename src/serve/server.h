@@ -2,6 +2,7 @@
 #define VIST5_SERVE_SERVER_H_
 
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -14,23 +15,65 @@
 namespace vist5 {
 namespace serve {
 
+/// Warn/crit cutoffs behind GET /healthz. A value of 0 disables that
+/// check. Crossing a warn level degrades the reported status (HTTP 200,
+/// "degraded"); crossing a crit level makes it "unhealthy" (HTTP 503) so a
+/// load balancer drops the instance from rotation.
+struct HealthThresholds {
+  /// Live admission-queue depth (BatchScheduler::queue_depth()).
+  double queue_depth_warn = 0;
+  double queue_depth_crit = 0;
+  /// p99 of serve/latency_ms (end-to-end request latency, cumulative).
+  double p99_ms_warn = 0;
+  double p99_ms_crit = 0;
+  /// Lifetime fraction serve/rejected / serve/requests.
+  double reject_frac_warn = 0;
+  double reject_frac_crit = 0;
+};
+
 struct ServerOptions {
   std::string host = "127.0.0.1";
   int port = 0;  ///< 0 binds an ephemeral port (read back via port())
   int backlog = 16;
+  /// Concurrent connection cap. Connections accepted beyond it receive a
+  /// one-line JSON rejection ("too many connections") and are closed
+  /// before a handler thread is spawned. 0 means unlimited.
+  int max_connections = 64;
+  /// Connections idle (no bytes received) longer than this are closed.
+  /// 0 disables the timeout. Applies between requests too, so clients
+  /// holding a connection open must send within the window.
+  int idle_timeout_ms = 0;
+  HealthThresholds health;
 };
 
-/// Line-delimited JSON front end over local TCP (docs/SERVING.md).
+/// Line-delimited JSON front end over local TCP (docs/SERVING.md), with an
+/// HTTP side-channel on the same listener for observability and ops.
 ///
-/// Each connection sends one JSON object per line:
+/// The first bytes of each connection pick the protocol: lines starting
+/// with an HTTP method ("GET ", "POST ", ...) get one HTTP/1.1 exchange
+/// (response, then close); anything else is the line-JSON protocol.
+///
+/// Line protocol — each connection sends one JSON object per line:
 ///   {"id": "r1", "text": "...", "max_len": 48, "beam": 1,
 ///    "priority": 0, "deadline_ms": 500}
 /// or pre-tokenized: {"id": "r1", "tokens": [5, 17, ...]}. The server
 /// answers one JSON line per request:
 ///   {"id": "r1", "status": "ok", "tokens": [...], "text": "...",
-///    "queue_ms": ..., "ttft_ms": ..., "total_ms": ...}
+///    "queue_ms": ..., "ttft_ms": ..., "decode_ms": ..., "total_ms": ...,
+///    "tokens_per_sec": ...}
 /// with status one of ok | deadline | rejected | shutdown | error, and
 /// "retry_after_ms" attached to rejections (backpressure).
+///
+/// HTTP routes (docs/OBSERVABILITY.md, docs/SERVING.md):
+///   GET  /metrics        Prometheus text exposition of the global registry
+///   GET  /healthz        threshold-evaluated health (200 ok/degraded, 503)
+///   GET  /admin/stats    JSON snapshot + live queue depth / connections
+///   POST /admin/drain    stop admitting generation requests (in-flight
+///                        finish; admin + metrics stay reachable)
+///   POST /admin/resume   undo a drain
+///   POST /admin/reload   body {"path": "..."} — swap a checkpoint into
+///                        the model between decode steps
+///   POST /admin/loglevel body {"level": "info|warn|error|fatal"}
 ///
 /// Requests on one connection are handled synchronously in arrival order;
 /// clients that want concurrency open multiple connections (this is what
@@ -56,9 +99,35 @@ class Server {
   /// connections are torn down immediately. Does not stop the scheduler.
   void Stop(bool drain);
 
+  /// True while a POST /admin/drain is in effect (generation requests are
+  /// rejected with error "draining"; see docs/SERVING.md).
+  bool draining() const { return draining_.load(); }
+  int active_connections() const { return active_conns_.load(); }
+
  private:
+  /// One accepted connection: its handler thread plus the fd, guarded by
+  /// conn_mu_ so Stop can shut the socket down while the handler owns it.
+  struct Conn {
+    std::thread thread;
+    int fd = -1;
+    std::atomic<bool> finished{false};
+  };
+
   void AcceptLoop();
-  void HandleConnection(int fd);
+  /// Joins and discards connections whose handler has returned (called
+  /// from the accept thread, so the conns_ list stays bounded by the
+  /// number of *live* connections rather than growing until Stop).
+  void ReapConnections();
+  void HandleConnection(Conn* conn);
+  /// One HTTP/1.1 exchange; `buf` holds bytes already read. Returns after
+  /// writing the response (connection closes).
+  void HandleHttp(int fd, std::string buf);
+  std::string RouteHttp(const std::string& method, const std::string& target,
+                        const std::string& body, int* code,
+                        std::string* content_type);
+  /// Evaluates options_.health against live stats; fills the /healthz
+  /// body and returns the HTTP status code (200 or 503).
+  int EvaluateHealth(std::string* body) const;
   /// Parses one request line and produces the response line (never
   /// throws; malformed input maps to {"status": "error"}).
   std::string HandleLine(const std::string& line);
@@ -75,9 +144,10 @@ class Server {
   int port_ = 0;
   std::thread accept_thread_;
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<int> active_conns_{0};
   std::mutex conn_mu_;
-  std::vector<std::thread> conn_threads_;
-  std::vector<int> conn_fds_;
+  std::vector<std::unique_ptr<Conn>> conns_;
 };
 
 }  // namespace serve

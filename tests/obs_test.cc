@@ -1,12 +1,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/exposition.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -172,6 +177,118 @@ TEST(MetricsRegistryTest, ScopedLatencyObservesMicros) {
   SetLatencySamplingEnabled(false);
   { VIST5_SCOPED_LATENCY_US("obs_test/latency_us"); }
   EXPECT_EQ(h->count(), 1u);
+}
+
+// --------------------------------------------------------------- exposition
+
+TEST(ExpositionTest, NameEscaping) {
+  EXPECT_EQ(PrometheusName("serve/ttft_ms"), "vist5_serve_ttft_ms");
+  EXPECT_EQ(PrometheusName("a.b-c d"), "vist5_a_b_c_d");
+  EXPECT_EQ(PrometheusName("9lives"), "vist5_9lives");
+  EXPECT_EQ(PrometheusName("already_ok:colon"), "vist5_already_ok:colon");
+  EXPECT_EQ(PrometheusCounterName("serve/requests"),
+            "vist5_serve_requests_total");
+  // An existing _total suffix is not doubled.
+  EXPECT_EQ(PrometheusCounterName("x_total"), "vist5_x_total");
+}
+
+TEST(ExpositionTest, CounterAndGaugeRendering) {
+  GetCounter("expo_test/hits")->Reset();
+  GetCounter("expo_test/hits")->Add(42);
+  GetGauge("expo_test/depth")->Set(3.5);
+  const std::string text = RenderPrometheusText();
+  EXPECT_NE(text.find("# TYPE vist5_expo_test_hits_total counter\n"
+                      "vist5_expo_test_hits_total 42\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE vist5_expo_test_depth gauge\n"
+                      "vist5_expo_test_depth 3.5\n"),
+            std::string::npos);
+}
+
+/// Bucket counts of `metric` in exposition order, +Inf last.
+std::vector<double> ExpoBuckets(const std::string& text,
+                                const std::string& metric) {
+  std::vector<double> counts;
+  const std::string needle = metric + "_bucket{le=\"";
+  size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    const size_t sp = text.find(' ', pos);
+    counts.push_back(std::atof(text.c_str() + sp + 1));
+    pos = sp;
+  }
+  return counts;
+}
+
+double ExpoScalar(const std::string& text, const std::string& line_prefix) {
+  const size_t pos = text.find("\n" + line_prefix + " ");
+  EXPECT_NE(pos, std::string::npos) << line_prefix;
+  if (pos == std::string::npos) return -1;
+  return std::atof(text.c_str() + pos + 1 + line_prefix.size() + 1);
+}
+
+TEST(ExpositionTest, HistogramBucketsMonotoneAndConsistentWithSnapshot) {
+  Histogram* h = GetHistogram("expo_test/hist_ms");
+  h->Reset();
+  // Values spanning many decades, plus edge cases that land in the
+  // underflow and overflow internal buckets.
+  for (double v : {0.0, 1e-12, 0.004, 0.4, 3.0, 42.0, 512.0, 1e7, 1e15}) {
+    h->Observe(v);
+  }
+  const std::string text = RenderPrometheusText();
+  const std::string name = "vist5_expo_test_hist_ms";
+  const std::vector<double> buckets = ExpoBuckets(text, name);
+  ASSERT_EQ(buckets.size(), 30u);  // 29 finite ladder steps + "+Inf"
+  for (size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_GE(buckets[i], buckets[i - 1]) << "bucket " << i;
+  }
+  EXPECT_NE(text.find(name + "_bucket{le=\"+Inf\"} 9\n"), std::string::npos);
+  EXPECT_DOUBLE_EQ(ExpoBuckets(text, name).back(), 9.0);
+  EXPECT_DOUBLE_EQ(ExpoScalar(text, name + "_count"), 9.0);
+  // _sum and _count agree with the JSON snapshot's view of the histogram.
+  EXPECT_DOUBLE_EQ(ExpoScalar(text, name + "_count"),
+                   static_cast<double>(h->count()));
+  // _sum is rendered with %.9g, so allow its rounding error.
+  EXPECT_NEAR(ExpoScalar(text, name + "_sum"), h->sum(),
+              1e-7 * std::abs(h->sum()));
+}
+
+TEST(ExpositionTest, LadderBoundariesAreIncreasing) {
+  double prev = 0;
+  for (int i = 0; i < Histogram::kBuckets - 1; ++i) {
+    const double ub = Histogram::BucketUpperBound(i);
+    EXPECT_GT(ub, prev) << "boundary " << i;
+    prev = ub;
+  }
+  // A value observed below a ladder boundary is counted at or before it:
+  // BucketFor respects the boundary geometry the exposition prints.
+  EXPECT_LE(Histogram::BucketFor(Histogram::BucketUpperBound(7) * 0.99), 7);
+}
+
+// ------------------------------------------------------------ metrics flush
+
+TEST(MetricsFlushTest, PeriodicFlushWritesSnapshots) {
+  const std::string path =
+      ::testing::TempDir() + "/vist5_flush_test.json";
+  std::remove(path.c_str());
+  GetCounter("flush_test/ticks")->Add(5);
+  const int64_t flushes0 = PeriodicFlushCount();
+  StartPeriodicMetricsFlush(path, 10);
+  // Wait until at least two flushes landed (bounded poll, ~2s worst case).
+  for (int i = 0; i < 200 && PeriodicFlushCount() < flushes0 + 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  StopPeriodicMetricsFlush();
+  EXPECT_GE(PeriodicFlushCount(), flushes0 + 2);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::stringstream contents;
+  contents << in.rdbuf();
+  EXPECT_NE(contents.str().find("flush_test/ticks"), std::string::npos);
+  // Stop is idempotent and a second start/stop cycle works.
+  StopPeriodicMetricsFlush();
+  StartPeriodicMetricsFlush(path, 10);
+  StopPeriodicMetricsFlush();
+  std::remove(path.c_str());
 }
 
 // -------------------------------------------------------------------- trace

@@ -13,6 +13,8 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdlib>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -21,8 +23,10 @@
 
 #include <gtest/gtest.h>
 
+#include "model/checkpoint.h"
 #include "model/transformer_model.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/client.h"
 #include "serve/loadgen.h"
 #include "serve/request_queue.h"
@@ -30,6 +34,7 @@
 #include "serve/server.h"
 #include "text/tokenizer.h"
 #include "util/json.h"
+#include "util/logging.h"
 
 namespace vist5 {
 namespace {
@@ -511,6 +516,368 @@ TEST(Server, TcpEndToEndMatchesDirectGenerate) {
   client.Close();
   server.Stop(/*drain=*/true);
   scheduler.Shutdown(/*drain=*/true);
+}
+
+// Shared fixture for the HTTP-side tests: model + scheduler + server over
+// an ephemeral port, with pre-tokenized prompts to drive traffic.
+struct HttpFixture {
+  model::TransformerSeq2Seq model = MakeSmallModel();
+  std::unique_ptr<serve::BatchScheduler> scheduler;
+  std::unique_ptr<serve::Server> server;
+
+  explicit HttpFixture(serve::ServerOptions server_options = {}) {
+    serve::SchedulerOptions sched_options;
+    sched_options.max_batch = 4;
+    scheduler = std::make_unique<serve::BatchScheduler>(&model, sched_options);
+    scheduler->Start();
+    server_options.port = 0;
+    server = std::make_unique<serve::Server>(scheduler.get(), nullptr,
+                                             server_options);
+    VIST5_CHECK(server->Start().ok());
+  }
+  ~HttpFixture() {
+    server->Stop(/*drain=*/true);
+    scheduler->Shutdown(/*drain=*/true);
+  }
+
+  int port() const { return server->port(); }
+
+  /// One generation request over the line protocol; returns its status.
+  std::string CallLine(const std::vector<int>& tokens, int max_len = 8) {
+    serve::Client client;
+    VIST5_CHECK(client.Connect("127.0.0.1", port()).ok());
+    JsonValue req = JsonValue::Object();
+    JsonValue toks = JsonValue::Array();
+    for (int t : tokens) toks.Append(JsonValue::Number(t));
+    req.Set("tokens", std::move(toks));
+    req.Set("max_len", JsonValue::Number(max_len));
+    StatusOr<JsonValue> reply = client.Call(req);
+    VIST5_CHECK(reply.ok()) << reply.status().ToString();
+    return reply.value().Find("status")->string_value();
+  }
+};
+
+/// Cumulative counts of `<metric>_bucket{le="..."}` lines, in exposition
+/// order, with the +Inf bucket last.
+std::vector<double> BucketCounts(const std::string& text,
+                                 const std::string& metric) {
+  std::vector<double> counts;
+  const std::string needle = metric + "_bucket{le=\"";
+  size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    const size_t sp = text.find(' ', pos);
+    counts.push_back(std::atof(text.c_str() + sp + 1));
+    pos = sp;
+  }
+  return counts;
+}
+
+double ScalarValue(const std::string& text, const std::string& line_prefix) {
+  const size_t pos = text.find("\n" + line_prefix + " ");
+  if (pos == std::string::npos) return -1;
+  return std::atof(text.c_str() + pos + 1 + line_prefix.size() + 1);
+}
+
+// GET /metrics after traffic: well-formed exposition with the serve
+// histograms populated, cumulative buckets monotone, +Inf == _count.
+TEST(ServerHttp, MetricsScrapeAfterTraffic) {
+  HttpFixture f;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(f.CallLine({4, 5, 6 + i}), "ok");
+  }
+  StatusOr<serve::HttpResponse> got =
+      serve::HttpCall("127.0.0.1", f.port(), "GET", "/metrics");
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got.value().code, 200);
+  const std::string& body = got.value().body;
+
+  EXPECT_NE(body.find("# TYPE vist5_serve_requests_total counter"),
+            std::string::npos);
+  EXPECT_GE(ScalarValue(body, "vist5_serve_requests_total"), 3.0);
+  EXPECT_NE(body.find("# TYPE vist5_serve_queue_depth gauge"),
+            std::string::npos);
+
+  for (const char* hist : {"vist5_serve_ttft_ms", "vist5_serve_queue_wait_ms",
+                           "vist5_serve_latency_ms"}) {
+    SCOPED_TRACE(hist);
+    const std::vector<double> buckets = BucketCounts(body, hist);
+    ASSERT_GT(buckets.size(), 2u);
+    for (size_t i = 1; i < buckets.size(); ++i) {
+      EXPECT_GE(buckets[i], buckets[i - 1]) << "bucket " << i;
+    }
+    // The registry is process-global, so at least this test's traffic
+    // must be visible; other tests may have added more.
+    EXPECT_GE(buckets.back(), 3.0);
+    EXPECT_EQ(buckets.back(),
+              ScalarValue(body, std::string(hist) + "_count"));
+  }
+}
+
+TEST(ServerHttp, UnknownRouteIs404AndHealthzOk) {
+  HttpFixture f;
+  StatusOr<serve::HttpResponse> missing =
+      serve::HttpCall("127.0.0.1", f.port(), "GET", "/nope");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing.value().code, 404);
+
+  StatusOr<serve::HttpResponse> health =
+      serve::HttpCall("127.0.0.1", f.port(), "GET", "/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health.value().code, 200);
+  StatusOr<JsonValue> doc = JsonValue::Parse(health.value().body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().Find("status")->string_value(), "ok");
+  ASSERT_NE(doc.value().Find("checks"), nullptr);
+}
+
+// A crit threshold below the already-observed p99 flips the instance to
+// unhealthy (503). The latency histogram is process-global and cumulative,
+// so one request guarantees p99 > 0.
+TEST(ServerHttp, HealthzUnhealthyOnCritThreshold) {
+  serve::ServerOptions options;
+  options.health.p99_ms_crit = 1e-6;
+  HttpFixture f(options);
+  EXPECT_EQ(f.CallLine({7, 8, 9}), "ok");
+  StatusOr<serve::HttpResponse> health =
+      serve::HttpCall("127.0.0.1", f.port(), "GET", "/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health.value().code, 503);
+  StatusOr<JsonValue> doc = JsonValue::Parse(health.value().body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().Find("status")->string_value(), "unhealthy");
+}
+
+// POST /admin/drain: new generation requests bounce with "draining" while
+// the ops plane stays reachable; /admin/resume restores service.
+TEST(ServerHttp, DrainRejectsNewRequestsResumeRestores) {
+  HttpFixture f;
+  EXPECT_EQ(f.CallLine({4, 5, 6}), "ok");
+
+  StatusOr<serve::HttpResponse> drain =
+      serve::HttpCall("127.0.0.1", f.port(), "POST", "/admin/drain");
+  ASSERT_TRUE(drain.ok());
+  EXPECT_EQ(drain.value().code, 200);
+  EXPECT_TRUE(f.server->draining());
+  EXPECT_EQ(f.CallLine({4, 5, 6}), "rejected");
+
+  // Metrics and health stay up while draining.
+  StatusOr<serve::HttpResponse> metrics =
+      serve::HttpCall("127.0.0.1", f.port(), "GET", "/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics.value().code, 200);
+
+  StatusOr<serve::HttpResponse> resume =
+      serve::HttpCall("127.0.0.1", f.port(), "POST", "/admin/resume");
+  ASSERT_TRUE(resume.ok());
+  EXPECT_EQ(resume.value().code, 200);
+  EXPECT_FALSE(f.server->draining());
+  EXPECT_EQ(f.CallLine({4, 5, 6}), "ok");
+}
+
+// GET on a POST-only admin route is refused.
+TEST(ServerHttp, AdminDrainRequiresPost) {
+  HttpFixture f;
+  StatusOr<serve::HttpResponse> got =
+      serve::HttpCall("127.0.0.1", f.port(), "GET", "/admin/drain");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().code, 405);
+  EXPECT_FALSE(f.server->draining());
+}
+
+TEST(ServerHttp, AdminStatsSnapshot) {
+  HttpFixture f;
+  EXPECT_EQ(f.CallLine({4, 5, 6}), "ok");
+  StatusOr<serve::HttpResponse> got =
+      serve::HttpCall("127.0.0.1", f.port(), "GET", "/admin/stats");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().code, 200);
+  StatusOr<JsonValue> doc = JsonValue::Parse(got.value().body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_NE(doc.value().Find("metrics"), nullptr);
+  EXPECT_NE(doc.value().Find("queue_depth"), nullptr);
+  EXPECT_EQ(doc.value().Find("draining")->bool_value(true), false);
+}
+
+// POST /admin/reload swaps a different checkpoint into the live model:
+// afterwards the served tokens match the *other* model bit-exactly.
+TEST(ServerHttp, AdminReloadSwapsWeights) {
+  const std::string path =
+      ::testing::TempDir() + "/vist5_reload_test.vt5c";
+  model::TransformerSeq2Seq other = MakeSmallModel(/*seed=*/99);
+  ASSERT_TRUE(
+      model::SaveCheckpoint(*other.CheckpointModule(), path).ok());
+
+  HttpFixture f;
+  const std::vector<int> src = {5, 9, 13, 2};
+  model::GenerationOptions gen;
+  gen.max_len = 10;
+  const std::vector<int> before = f.model.Generate(src, gen);
+  const std::vector<int> expected = other.Generate(src, gen);
+
+  JsonValue body = JsonValue::Object();
+  body.Set("path", JsonValue::String(path));
+  StatusOr<serve::HttpResponse> reload =
+      serve::HttpCall("127.0.0.1", f.port(), "POST", "/admin/reload",
+                      body.ToString(/*pretty=*/false));
+  ASSERT_TRUE(reload.ok()) << reload.status().ToString();
+  EXPECT_EQ(reload.value().code, 200) << reload.value().body;
+
+  serve::Request req;
+  req.tokens = src;
+  req.options = gen;
+  const serve::Response r = f.scheduler->SubmitAndWait(std::move(req));
+  EXPECT_EQ(r.status, serve::ResponseStatus::kOk);
+  EXPECT_EQ(r.tokens, expected);
+  EXPECT_NE(r.tokens, before) << "reload did not change the weights";
+}
+
+TEST(ServerHttp, AdminReloadBadPathKeepsServing) {
+  HttpFixture f;
+  JsonValue body = JsonValue::Object();
+  body.Set("path", JsonValue::String("/nonexistent/nowhere.vt5c"));
+  StatusOr<serve::HttpResponse> reload =
+      serve::HttpCall("127.0.0.1", f.port(), "POST", "/admin/reload",
+                      body.ToString(/*pretty=*/false));
+  ASSERT_TRUE(reload.ok());
+  EXPECT_EQ(reload.value().code, 500);
+  // The old weights are still in place and serving continues.
+  EXPECT_EQ(f.CallLine({4, 5, 6}), "ok");
+}
+
+TEST(ServerHttp, AdminLoglevelSetsSeverity) {
+  const LogSeverity saved = MinLogSeverity();
+  HttpFixture f;
+  JsonValue body = JsonValue::Object();
+  body.Set("level", JsonValue::String("error"));
+  StatusOr<serve::HttpResponse> got =
+      serve::HttpCall("127.0.0.1", f.port(), "POST", "/admin/loglevel",
+                      body.ToString(/*pretty=*/false));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().code, 200);
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kError);
+
+  StatusOr<serve::HttpResponse> bad =
+      serve::HttpCall("127.0.0.1", f.port(), "POST", "/admin/loglevel",
+                      "{\"level\":\"shout\"}");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(bad.value().code, 400);
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kError);  // unchanged
+  SetMinLogSeverity(saved);
+}
+
+// Connections beyond max_connections get a one-line JSON rejection and a
+// close instead of a handler thread.
+TEST(ServerHttp, ConnectionLimitRejectsOverflow) {
+  serve::ServerOptions options;
+  options.max_connections = 1;
+  HttpFixture f(options);
+
+  serve::Client first;
+  ASSERT_TRUE(first.Connect("127.0.0.1", f.port()).ok());
+  // Round-trip one request so the first connection is registered as
+  // active before the second one arrives.
+  JsonValue req = JsonValue::Object();
+  JsonValue toks = JsonValue::Array();
+  for (int t : {4, 5, 6}) toks.Append(JsonValue::Number(t));
+  req.Set("tokens", std::move(toks));
+  req.Set("max_len", JsonValue::Number(6));
+  ASSERT_TRUE(first.Call(req).ok());
+
+  serve::Client second;
+  ASSERT_TRUE(second.Connect("127.0.0.1", f.port()).ok());
+  std::string raw;
+  ASSERT_TRUE(second.RecvToEof(&raw).ok());
+  StatusOr<JsonValue> doc = JsonValue::Parse(raw);
+  ASSERT_TRUE(doc.ok()) << raw;
+  EXPECT_EQ(doc.value().Find("status")->string_value(), "rejected");
+  EXPECT_EQ(doc.value().Find("error")->string_value(),
+            "too many connections");
+
+  // Releasing the first connection frees the slot (after the server
+  // reaps it on the next accept).
+  first.Close();
+  for (int attempt = 0;; ++attempt) {
+    serve::Client retry;
+    ASSERT_TRUE(retry.Connect("127.0.0.1", f.port()).ok());
+    StatusOr<JsonValue> reply = retry.Call(req);
+    ASSERT_TRUE(reply.ok());
+    if (reply.value().Find("status")->string_value() == "ok") break;
+    ASSERT_LT(attempt, 50) << "slot never freed";
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+// An idle connection is closed once idle_timeout_ms passes with no bytes.
+TEST(ServerHttp, IdleTimeoutClosesConnection) {
+  serve::ServerOptions options;
+  options.idle_timeout_ms = 50;
+  HttpFixture f(options);
+  serve::Client idle;
+  ASSERT_TRUE(idle.Connect("127.0.0.1", f.port()).ok());
+  std::string raw;
+  const auto t0 = std::chrono::steady_clock::now();
+  // The server closes its end, so the read drains to EOF with no data.
+  ASSERT_TRUE(idle.RecvToEof(&raw).ok());
+  EXPECT_TRUE(raw.empty());
+  const double waited_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+  EXPECT_LT(waited_ms, 5000.0);
+}
+
+// With tracing on, a completed request leaves the serve/req<id>/* span
+// family in the trace buffer.
+TEST(ServerHttp, RequestTimelineSpansEmitted) {
+  HttpFixture f;
+  obs::SetTraceEnabled(true);
+  obs::ClearTrace();
+  EXPECT_EQ(f.CallLine({4, 5, 6}), "ok");
+  obs::SetTraceEnabled(false);
+  const std::string json = obs::TraceJson();
+  EXPECT_NE(json.find("/queue_wait"), std::string::npos) << json;
+  EXPECT_NE(json.find("/decode"), std::string::npos);
+  obs::ClearTrace();
+}
+
+// The per-request breakdown on the wire: durations are internally
+// consistent (ttft >= queue wait, total >= decode, positive token rate).
+TEST(ServerHttp, ResponseCarriesLatencyBreakdown) {
+  HttpFixture f;
+  serve::Request req;
+  req.tokens = {4, 5, 6, 7};
+  req.options.max_len = 8;
+  const serve::Response r = f.scheduler->SubmitAndWait(std::move(req));
+  ASSERT_EQ(r.status, serve::ResponseStatus::kOk);
+  EXPECT_GT(r.total_ms, 0.0);
+  EXPECT_GE(r.ttft_ms, r.queue_ms);
+  EXPECT_GE(r.total_ms, r.decode_ms);
+  EXPECT_GT(r.tokens_per_sec, 0.0);
+  EXPECT_TRUE(r.timeline.admitted);
+  EXPECT_TRUE(r.timeline.has_first_token);
+  EXPECT_GT(r.timeline.decode_steps, 0);
+}
+
+// LoadGen surfaces the new TTFT quantiles and SLO accounting.
+TEST(LoadGen, ReportsTtftAndSloViolations) {
+  model::TransformerSeq2Seq m = MakeSmallModel();
+  serve::SchedulerOptions options;
+  options.max_batch = 4;
+  serve::BatchScheduler scheduler(&m, options);
+  scheduler.Start();
+
+  serve::LoadGenOptions load;
+  load.concurrency = 4;
+  load.total_requests = 12;
+  load.slo_ms = 1e-3;  // impossibly tight: every request violates it
+  load.gen.max_len = 8;
+  const serve::LoadGenReport report =
+      serve::RunLoadGen(&scheduler, MixedSources(3, 4), load);
+  scheduler.Shutdown(/*drain=*/true);
+
+  EXPECT_EQ(report.completed, 12);
+  EXPECT_GT(report.ttft_p50_ms, 0.0);
+  EXPECT_GE(report.ttft_p99_ms, report.ttft_p50_ms);
+  EXPECT_DOUBLE_EQ(report.slo_violation_frac, 1.0);
 }
 
 }  // namespace
