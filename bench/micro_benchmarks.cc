@@ -1,11 +1,16 @@
 // Component micro-benchmarks (google-benchmark): tokenizer, DV-query
 // parser, standardizer, relational executor, schema filtration, GEMM,
 // attention forward, transformer training step, and greedy decoding
-// (KV-cached vs full-prefix). After the google-benchmark run, summary
-// rows are printed and, when VIST5_BENCH_JSON is set, appended as JSON
-// lines (scripts/run_all_benches.sh exports them into build/obs/):
-// `decode_cached_vs_full` (tokens/sec for both paths plus speedup) and
-// `checkpoint_save_load` (training-state checkpoint latency and size).
+// (KV-cached vs full-prefix). The GEMM and decode benchmarks sweep
+// threads x isa x dtype (docs/KERNELS.md) so the vectorization and
+// quantization wins are measured, not asserted. After the
+// google-benchmark run, summary rows are printed and, when
+// VIST5_BENCH_JSON is set, appended as JSON lines
+// (scripts/run_all_benches.sh exports them into build/obs/):
+// `decode_cached_vs_full` (tokens/sec for both paths plus speedup),
+// `gemm_isa_dtype` (single-thread GEMM throughput per backend/dtype),
+// `decode_weight_bytes` (weight traffic per generated token per dtype),
+// and `checkpoint_save_load` (checkpoint latency and size).
 
 #include <chrono>
 #include <cstdio>
@@ -26,12 +31,16 @@
 #include "model/trainer.h"
 #include "nn/attention.h"
 #include "nn/transformer.h"
+#include "obs/metrics.h"
 #include "rt/thread_pool.h"
 #include "tensor/ops.h"
+#include "tensor/simd.h"
 #include "util/runtime.h"
 
 namespace vist5 {
 namespace {
+
+namespace simd = tensor::simd;
 
 const char* kQuery =
     "visualize bar select artist.country , count ( artist.country ) from "
@@ -136,6 +145,59 @@ void BM_MatMul(benchmark::State& state) {
 }
 BENCHMARK(BM_MatMul)->ArgsProduct({{64, 128, 256}, {1, 2, 4}})
     ->ArgNames({"n", "threads"});
+
+/// Forces a kernel backend for one benchmark run and restores the previous
+/// one afterwards. ok() is false when the host cannot run the requested
+/// ISA (the row should SkipWithError, not silently measure the fallback).
+class IsaGuard {
+ public:
+  explicit IsaGuard(simd::Isa isa)
+      : prev_(simd::ActiveIsa()), ok_(simd::SetIsa(isa)) {}
+  ~IsaGuard() { simd::SetIsa(prev_); }
+  bool ok() const { return ok_; }
+
+ private:
+  simd::Isa prev_;
+  bool ok_;
+};
+
+/// threads x isa x dtype GEMM sweep (docs/KERNELS.md). The float rows run
+/// ops::MatMul under the forced backend; the int8 rows run ops::MatMulInt8
+/// against a pre-quantized weight so only the kernel (not the quantizer)
+/// is on the clock. items_processed counts MACs, so the per-row rate
+/// column is directly comparable across backends and dtypes.
+void BM_GemmIsaDtype(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ThreadsGuard threads(static_cast<int>(state.range(1)));
+  const auto isa = static_cast<simd::Isa>(state.range(2));
+  const bool int8 = state.range(3) != 0;
+  IsaGuard isa_guard(isa);
+  if (!isa_guard.ok()) {
+    state.SkipWithError("isa unsupported on this host");
+    return;
+  }
+  Rng rng(1);
+  Tensor a = Tensor::Randn({256, n}, 1.0f, &rng);
+  Tensor b = Tensor::Randn({n, n}, 1.0f, &rng);
+  const ops::QuantizedMatrix q =
+      int8 ? ops::QuantizeWeights(b) : ops::QuantizedMatrix{};
+  NoGradGuard guard;
+  if (int8) {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(ops::MatMulInt8(a, q));
+    }
+  } else {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(ops::MatMul(a, b));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * 256 * n * n);
+  state.SetLabel(std::string(simd::IsaName(isa)) + "/" +
+                 (int8 ? "int8" : "float32"));
+}
+BENCHMARK(BM_GemmIsaDtype)
+    ->ArgsProduct({{256}, {1, 2, 4}, {0, 1}, {0, 1}})
+    ->ArgNames({"n", "threads", "isa", "dtype"});
 
 void BM_AttentionForward(benchmark::State& state) {
   ThreadsGuard threads(static_cast<int>(state.range(0)));
@@ -244,6 +306,42 @@ BENCHMARK(BM_GreedyDecode)
     ->ArgNames({"cached", "threads"})
     ->Unit(benchmark::kMillisecond);
 
+/// threads x isa x dtype rows for the KV-cached greedy decode: the
+/// end-to-end view of the BM_GemmIsaDtype sweep, where the weight GEMMs
+/// dominate the per-token cost. One model per run keeps the int8 rows
+/// honest: the quantize-at-load cost is paid once in the first (untimed)
+/// warm-up iteration and the cached QuantizedLinear is reused after.
+void BM_GreedyDecodeIsaDtype(benchmark::State& state) {
+  Fixture& f = Shared();
+  ThreadsGuard threads(static_cast<int>(state.range(0)));
+  const auto isa = static_cast<simd::Isa>(state.range(1));
+  const bool int8 = state.range(2) != 0;
+  IsaGuard isa_guard(isa);
+  if (!isa_guard.ok()) {
+    state.SkipWithError("isa unsupported on this host");
+    return;
+  }
+  nn::TransformerConfig cfg =
+      nn::TransformerConfig::T5Small(f.tokenizer.vocab_size());
+  model::TransformerSeq2Seq m(cfg, f.tokenizer.pad_id(), f.tokenizer.eos_id(),
+                              7);
+  const std::vector<int> src = f.tokenizer.Encode(f.nvbench.front().question);
+  model::GenerationOptions gen =
+      FixedLengthDecode(64, f.tokenizer.eos_id(), /*use_kv_cache=*/true);
+  gen.weight_dtype = int8 ? WeightDtype::kInt8 : WeightDtype::kFloat32;
+  m.Generate(src, gen);  // warm-up: quantize-at-load lands here
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.Generate(src, gen));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);  // tokens
+  state.SetLabel(std::string(simd::IsaName(isa)) + "/" +
+                 WeightDtypeName(gen.weight_dtype));
+}
+BENCHMARK(BM_GreedyDecodeIsaDtype)
+    ->ArgsProduct({{1, 2, 4}, {0, 1}, {0, 1}})
+    ->ArgNames({"threads", "isa", "dtype"})
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 /// Times the cached vs full-prefix greedy decode of a 64-token output and
@@ -290,6 +388,102 @@ void ReportDecodeCachedVsFull() {
   bench::PrintRow("t5_small_greedy64",
                   {emitted / cached_secs, emitted / full_secs,
                    full_secs / cached_secs});
+}
+
+/// Times the single-thread 256x512x512 GEMM under every backend x weight
+/// dtype and prints `gemm_isa_dtype` rows: GFLOP/s plus the speedup over
+/// the strict-IEEE scalar float32 baseline (mirrored to VIST5_BENCH_JSON).
+/// This is the headline number behind the AVX2 kernels: on an AVX2+FMA
+/// host the avx2_float32 row is expected to run well over 2x the scalar
+/// reference. Hosts without AVX2 print the scalar rows only.
+void ReportGemmIsaDtype() {
+  constexpr int kM = 256;
+  constexpr int kK = 512;
+  constexpr int kN = 512;
+  constexpr int kReps = 3;
+  Rng rng(9);
+  Tensor a = Tensor::Randn({kM, kK}, 1.0f, &rng);
+  Tensor b = Tensor::Randn({kK, kN}, 1.0f, &rng);
+  const ops::QuantizedMatrix q = ops::QuantizeWeights(b);
+  NoGradGuard guard;
+  rt::SetThreads(1);
+  const double flops = 2.0 * kM * kK * kN;
+
+  auto best_of = [&](auto&& fn) {
+    fn();  // warm-up (untimed)
+    double best = 1e30;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      fn();
+      const double secs = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+      best = std::min(best, secs);
+    }
+    return best;
+  };
+
+  bench::PrintHeader("gemm_isa_dtype", {"gflops", "vs_scalar_f32"});
+  double scalar_f32_secs = -1.0;
+  for (const simd::Isa isa : {simd::Isa::kScalar, simd::Isa::kAvx2}) {
+    IsaGuard isa_guard(isa);
+    if (!isa_guard.ok()) {
+      std::fprintf(stderr,
+                   "gemm_isa_dtype: skipping %s rows (unsupported host)\n",
+                   simd::IsaName(isa));
+      continue;
+    }
+    const double f32_secs =
+        best_of([&] { benchmark::DoNotOptimize(ops::MatMul(a, b)); });
+    const double i8_secs =
+        best_of([&] { benchmark::DoNotOptimize(ops::MatMulInt8(a, q)); });
+    if (isa == simd::Isa::kScalar) scalar_f32_secs = f32_secs;
+    const std::string name = simd::IsaName(isa);
+    bench::PrintRow(name + "_float32",
+                    {flops / f32_secs / 1e9,
+                     scalar_f32_secs > 0 ? scalar_f32_secs / f32_secs : -1.0});
+    bench::PrintRow(name + "_int8",
+                    {flops / i8_secs / 1e9,
+                     scalar_f32_secs > 0 ? scalar_f32_secs / i8_secs : -1.0});
+  }
+}
+
+/// Decodes the same 64-token output under float32 and int8 weights and
+/// prints a `decode_weight_bytes` row: weight-matrix megabytes streamed
+/// per generated token for each dtype (from the gemm/weight_bytes_{f32,i8}
+/// counters, which the GEMM paths bump by the B-operand footprint on
+/// every call) and the float32/int8 traffic ratio. The int8 column is the
+/// "reduced weight-bytes per token" claim in docs/KERNELS.md, measured.
+void ReportDecodeWeightBytes() {
+  Fixture& f = Shared();
+  nn::TransformerConfig cfg =
+      nn::TransformerConfig::T5Small(f.tokenizer.vocab_size());
+  model::TransformerSeq2Seq m(cfg, f.tokenizer.pad_id(), f.tokenizer.eos_id(),
+                              7);
+  const std::vector<int> src = f.tokenizer.Encode(f.nvbench.front().question);
+  obs::Counter* f32_bytes = obs::GetCounter("gemm/weight_bytes_f32");
+  obs::Counter* i8_bytes = obs::GetCounter("gemm/weight_bytes_i8");
+  constexpr int kTokens = 64;
+
+  auto bytes_per_token = [&](WeightDtype dtype) {
+    model::GenerationOptions gen = FixedLengthDecode(
+        kTokens, f.tokenizer.eos_id(), /*use_kv_cache=*/true);
+    gen.weight_dtype = dtype;
+    m.Generate(src, gen);  // warm-up: quantize-at-load lands here
+    const int64_t f0 = f32_bytes->value();
+    const int64_t i0 = i8_bytes->value();
+    const std::vector<int> out = m.Generate(src, gen);
+    const int64_t total =
+        (f32_bytes->value() - f0) + (i8_bytes->value() - i0);
+    return static_cast<double>(total) / static_cast<double>(out.size());
+  };
+
+  const double f32_tok = bytes_per_token(WeightDtype::kFloat32);
+  const double i8_tok = bytes_per_token(WeightDtype::kInt8);
+  bench::PrintHeader("decode_weight_bytes",
+                     {"f32_mb_tok", "i8_mb_tok", "ratio"});
+  bench::PrintRow("t5_small_greedy64",
+                  {f32_tok / 1e6, i8_tok / 1e6, f32_tok / i8_tok});
 }
 
 /// Times one rotation-managed training-state checkpoint save (atomic
@@ -368,6 +562,8 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   vist5::ReportDecodeCachedVsFull();
+  vist5::ReportGemmIsaDtype();
+  vist5::ReportDecodeWeightBytes();
   vist5::ReportCheckpointSaveLoad();
   return 0;
 }

@@ -5,8 +5,10 @@
 // load generator at batch widths 1, 4, and 8 and prints one `serve_loadgen`
 // row per width: throughput (tokens/sec), p50/p99 request latency, p50/p99
 // time-to-first-token, the fraction of requests missing a 500 ms latency
-// SLO, and mean decode-batch occupancy. Rows are mirrored to VIST5_BENCH_JSON
-// (scripts/run_all_benches.sh exports it into build/obs/).
+// SLO, and mean decode-batch occupancy. Width 8 additionally runs an int8
+// weight-dtype row (parity-checked first, like the float path), measuring
+// the quantized decode under continuous batching. Rows are mirrored to
+// VIST5_BENCH_JSON (scripts/run_all_benches.sh exports it into build/obs/).
 
 #include <cstdio>
 #include <cstdlib>
@@ -66,8 +68,8 @@ model::GenerationOptions FixedLengthDecode(int tokens, int eos_id) {
   return gen;
 }
 
-void CheckBatchedParity(const Fixture& f,
-                        const model::GenerationOptions& gen) {
+void CheckBatchedParity(const Fixture& f, const model::GenerationOptions& gen,
+                        const char* what) {
   std::vector<std::vector<int>> sequential;
   for (const auto& src : f.prompts) {
     sequential.push_back(f.model->Generate(src, gen));
@@ -75,8 +77,9 @@ void CheckBatchedParity(const Fixture& f,
   const auto batched = f.model->GenerateBatch(f.prompts, gen);
   if (batched != sequential) {
     std::fprintf(stderr,
-                 "serve_bench: PARITY FAILURE — continuous-batched decode "
-                 "disagrees with sequential decode\n");
+                 "serve_bench: PARITY FAILURE — continuous-batched %s decode "
+                 "disagrees with sequential decode\n",
+                 what);
     std::exit(1);
   }
 }
@@ -85,7 +88,10 @@ int Main() {
   Fixture f;
   const model::GenerationOptions gen =
       FixedLengthDecode(64, f.tokenizer.eos_id());
-  CheckBatchedParity(f, gen);
+  model::GenerationOptions gen_int8 = gen;
+  gen_int8.weight_dtype = WeightDtype::kInt8;
+  CheckBatchedParity(f, gen, "float32");
+  CheckBatchedParity(f, gen_int8, "int8");
 
   bench::PrintHeader("serve_loadgen",
                      {"tok_s", "p50_ms", "p99_ms", "ttft_p50", "ttft_p99",
@@ -95,23 +101,32 @@ int Main() {
   // fixture at width 1; contention at higher widths shows up as a nonzero
   // violation fraction rather than a bench failure.
   constexpr double kSloMs = 500;
-  for (int width : {1, 4, 8}) {
+  struct Config {
+    int width;
+    const model::GenerationOptions* gen;
+  };
+  // One int8 row at the widest batch: that is where the shared-weight
+  // reads amortize best, so it brackets the quantization win end-to-end.
+  const Config configs[] = {
+      {1, &gen}, {4, &gen}, {8, &gen}, {8, &gen_int8}};
+  for (const Config& config : configs) {
     serve::SchedulerOptions sched_options;
-    sched_options.max_batch = width;
+    sched_options.max_batch = config.width;
     sched_options.queue_capacity = kRequests + 16;
     serve::BatchScheduler scheduler(f.model.get(), sched_options);
     scheduler.Start();
 
     serve::LoadGenOptions load;
-    load.concurrency = width;
+    load.concurrency = config.width;
     load.total_requests = kRequests;
     load.slo_ms = kSloMs;
-    load.gen = gen;
+    load.gen = *config.gen;
     const serve::LoadGenReport report =
         serve::RunLoadGen(&scheduler, f.prompts, load);
     scheduler.Shutdown(/*drain=*/true);
 
-    bench::PrintRow("t5_small_batch" + std::to_string(width),
+    bench::PrintRow("t5_small_batch" + std::to_string(config.width) + "_" +
+                        WeightDtypeName(config.gen->weight_dtype),
                     {report.tok_per_sec, report.p50_ms, report.p99_ms,
                      report.ttft_p50_ms, report.ttft_p99_ms,
                      report.slo_violation_frac, report.mean_batch});

@@ -5,6 +5,12 @@
 # thread-count determinism pins, the shared-tokenizer concurrent encode,
 # and the serve scheduler/server. Any data race fails the run.
 #
+# The determinism and serve binaries additionally run once per SIMD
+# backend (VIST5_ISA=scalar, then =avx2 on hosts that support it — see
+# docs/KERNELS.md), so races in the dispatch layer, the quantized-weight
+# caches, and each backend's kernels are all covered. Hosts without AVX2
+# skip that leg with a notice rather than failing.
+#
 # Usage: scripts/run_tsan.sh [extra ctest -R regex]
 set -eu
 cd "$(dirname "$0")/.."
@@ -16,9 +22,25 @@ cmake --build "$BUILD_DIR" -j"$(nproc)" \
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
 status=0
-for t in rt_test obs_test determinism_test text_test serve_test; do
+for t in rt_test obs_test text_test; do
   echo "===== tsan: $t ====="
   "$BUILD_DIR/tests/$t" || status=$?
+done
+
+# avx2 is in the matrix only when the host can run it; the probe mirrors
+# simd::CpuSupportsAvx2 (grep is portable across x86 kernels, and non-x86
+# hosts simply have no avx2 flag).
+ISAS="scalar"
+if grep -qw avx2 /proc/cpuinfo 2>/dev/null; then
+  ISAS="scalar avx2"
+else
+  echo "===== tsan: host lacks AVX2, skipping the avx2 ISA leg ====="
+fi
+for isa in $ISAS; do
+  for t in determinism_test serve_test; do
+    echo "===== tsan: $t (VIST5_ISA=$isa) ====="
+    VIST5_ISA=$isa "$BUILD_DIR/tests/$t" || status=$?
+  done
 done
 
 if [ -n "${1:-}" ]; then

@@ -16,7 +16,15 @@ void ContinuousDecoder::Admit(uint64_t id, const std::vector<int>& src,
   VIST5_CHECK(options.beam_size <= 1 && options.temperature <= 0.0f)
       << "ContinuousDecoder batches greedy requests only";
   VIST5_CHECK(!src.empty());
+  if (rows_.empty()) {
+    batch_dtype_ = options.weight_dtype;
+  } else {
+    VIST5_CHECK(options.weight_dtype == batch_dtype_)
+        << "weight_dtype " << WeightDtypeName(options.weight_dtype)
+        << " cannot join a " << WeightDtypeName(batch_dtype_) << " batch";
+  }
   NoGradGuard guard;
+  WeightDtypeGuard dtype_guard(batch_dtype_);
   const int src_len = static_cast<int>(src.size());
   const std::vector<int> lengths = {src_len};
   Tensor memory = model_->transformer().Encode(src, 1, src_len, lengths,
@@ -61,6 +69,7 @@ std::vector<ContinuousDecoder::Finished> ContinuousDecoder::Step() {
   // Covers the pre-step sweep too: its Evict reorders KV caches through
   // inference-only ops (GatherBatch), not just the decode step below.
   NoGradGuard guard;
+  WeightDtypeGuard dtype_guard(batch_dtype_);
 
   // Pre-step sweep: rows past their deadline (or with no step budget at
   // all) leave with their best-so-far tokens before paying for another

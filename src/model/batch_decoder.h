@@ -42,8 +42,12 @@ class ContinuousDecoder {
       : model_(model) {}
 
   /// Admits one request into the batch. `options` must be greedy
-  /// (beam_size <= 1, temperature <= 0); `deadline` of
-  /// Clock::time_point::max() disables the per-request deadline.
+  /// (beam_size <= 1, temperature <= 0), and its weight_dtype must match
+  /// batch_dtype() when rows are already active — the dtype is a per-batch
+  /// property because every row shares each step's weight reads; the serve
+  /// scheduler parks mismatched requests until the batch drains.
+  /// `deadline` of Clock::time_point::max() disables the per-request
+  /// deadline.
   void Admit(uint64_t id, const std::vector<int>& src,
              const GenerationOptions& options,
              Clock::time_point deadline = Clock::time_point::max());
@@ -54,6 +58,11 @@ class ContinuousDecoder {
 
   /// Number of requests currently decoding.
   int active() const { return static_cast<int>(rows_.size()); }
+
+  /// Weight dtype of the running batch. Meaningful only while
+  /// active() > 0 (set from the first admitted row, retained until the
+  /// batch drains).
+  WeightDtype batch_dtype() const { return batch_dtype_; }
 
  private:
   struct Row {
@@ -71,6 +80,7 @@ class ContinuousDecoder {
   const TransformerSeq2Seq* model_;
   nn::DecodeState state_;
   std::vector<Row> rows_;
+  WeightDtype batch_dtype_ = WeightDtype::kFloat32;
 };
 
 }  // namespace model

@@ -70,6 +70,12 @@ struct GenerationOptions {
   /// would when the step budget runs out. Serving uses this to bound
   /// per-request latency (docs/SERVING.md).
   int deadline_ms = 0;
+  /// Precision the weight matrices are read at during this decode.
+  /// kFloat32 is the exact path; kInt8 quantizes eligible projections at
+  /// load (cached per weight version) and reads ~4x less weight traffic
+  /// per token, at a bounded logit perturbation (docs/KERNELS.md).
+  /// Requests with different dtypes never share a continuous decode batch.
+  WeightDtype weight_dtype = WeightDtype::kFloat32;
 };
 
 /// Abstract trainable sequence-to-sequence model (the unit of comparison in

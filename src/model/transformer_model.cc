@@ -211,6 +211,7 @@ std::vector<int> TransformerSeq2Seq::Generate(
 std::vector<int> TransformerSeq2Seq::GreedyDecode(
     const std::vector<int>& src, const GenerationOptions& options) const {
   NoGradGuard guard;
+  WeightDtypeGuard dtype_guard(options.weight_dtype);
   const int src_len = static_cast<int>(src.size());
   const std::vector<int> src_lengths = {src_len};
   Tensor memory = transformer_->Encode(src, 1, src_len, src_lengths,
@@ -244,6 +245,7 @@ std::vector<int> TransformerSeq2Seq::GreedyDecode(
 std::vector<int> TransformerSeq2Seq::GreedyDecodeFull(
     const std::vector<int>& src, const GenerationOptions& options) const {
   NoGradGuard guard;
+  WeightDtypeGuard dtype_guard(options.weight_dtype);
   const int src_len = static_cast<int>(src.size());
   const std::vector<int> src_lengths = {src_len};
   Tensor memory = transformer_->Encode(src, 1, src_len, src_lengths,
@@ -275,6 +277,7 @@ std::vector<int> TransformerSeq2Seq::GreedyDecodeFull(
 std::vector<int> TransformerSeq2Seq::BeamDecode(
     const std::vector<int>& src, const GenerationOptions& options) const {
   NoGradGuard guard;
+  WeightDtypeGuard dtype_guard(options.weight_dtype);
   const int k = options.beam_size;
   const int src_len = static_cast<int>(src.size());
   const std::vector<int> one_length = {src_len};
@@ -315,6 +318,7 @@ std::vector<int> TransformerSeq2Seq::BeamDecode(
 std::vector<int> TransformerSeq2Seq::BeamDecodeFull(
     const std::vector<int>& src, const GenerationOptions& options) const {
   NoGradGuard guard;
+  WeightDtypeGuard dtype_guard(options.weight_dtype);
   const int k = options.beam_size;
   const int src_len = static_cast<int>(src.size());
   const std::vector<int> one_length = {src_len};

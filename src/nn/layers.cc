@@ -19,7 +19,33 @@ Linear::Linear(int in_features, int out_features, bool bias, Rng* rng)
   }
 }
 
+QuantizedLinear::QuantizedLinear(const Tensor& weight, const Tensor& bias)
+    : weight_(ops::QuantizeWeights(weight)), bias_(bias) {}
+
+Tensor QuantizedLinear::Forward(const Tensor& x) const {
+  Tensor y = ops::MatMulInt8(x, weight_);
+  if (bias_.defined()) y = ops::AddBroadcast(y, bias_);
+  return y;
+}
+
+std::shared_ptr<const QuantizedLinear> Linear::Quantized() const {
+  std::lock_guard<std::mutex> lock(quant_mutex_);
+  if (quantized_ == nullptr || quant_version_ != weight_.data_version()) {
+    quantized_ = std::make_shared<const QuantizedLinear>(
+        weight_, has_bias_ ? bias_ : Tensor());
+    quant_version_ = weight_.data_version();
+  }
+  return quantized_;
+}
+
 Tensor Linear::Forward(const Tensor& x) const {
+  // The int8 read path covers plain inference projections only: training
+  // needs the float weights for autograd, and LoRA layers keep the float
+  // path so the adapter delta composes with the exact base product.
+  if (ActiveWeightDtype() == WeightDtype::kInt8 && !GradEnabled() &&
+      lora_rank_ == 0) {
+    return Quantized()->Forward(x);
+  }
   Tensor y = ops::MatMul(x, weight_);
   if (has_bias_) y = ops::AddBroadcast(y, bias_);
   if (lora_rank_ > 0) {

@@ -1,7 +1,9 @@
 #ifndef VIST5_NN_LAYERS_H_
 #define VIST5_NN_LAYERS_H_
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "nn/module.h"
@@ -10,6 +12,29 @@
 namespace vist5 {
 namespace nn {
 
+/// Frozen int8 snapshot of one affine projection: per-output-channel
+/// symmetric int8 codes + float scales (ops::QuantizeWeights) plus the
+/// float bias, built once per weight version by Linear::Quantized(). Not
+/// a Module — it owns no trainable parameters and never participates in
+/// checkpoints; it is a derived inference view (docs/KERNELS.md).
+class QuantizedLinear {
+ public:
+  /// `bias` may be an undefined Tensor for bias-free projections. The
+  /// bias handle aliases the layer's parameter (no copy).
+  QuantizedLinear(const Tensor& weight, const Tensor& bias);
+
+  /// y = x Wq (+ b) via ops::MatMulInt8. Inference-only.
+  Tensor Forward(const Tensor& x) const;
+
+  const ops::QuantizedMatrix& matrix() const { return weight_; }
+  /// Bytes one full read of the quantized weight streams (codes+scales).
+  int64_t weight_bytes() const { return weight_.WeightBytes(); }
+
+ private:
+  ops::QuantizedMatrix weight_;
+  Tensor bias_;
+};
+
 /// Affine projection y = x W (+ b). Weight is stored [in, out] so the
 /// forward pass is a plain MatMul over the trailing dimension.
 ///
@@ -17,6 +42,12 @@ namespace nn {
 /// trainable A [in, r] and B [r, out] factors so that
 /// y = x W + b + (alpha/r) * (x A) B. The base weights are frozen by the
 /// caller; merged weights are never materialized.
+///
+/// When the calling thread holds a WeightDtypeGuard(kInt8), grads are off,
+/// and no LoRA adapter is attached, Forward reads the weight through a
+/// cached int8 snapshot instead (quantize-at-load; rebuilt whenever the
+/// weight's data_version moves, so optimizer steps and checkpoint reloads
+/// invalidate it automatically).
 class Linear : public Module {
  public:
   Linear(int in_features, int out_features, bool bias, Rng* rng);
@@ -26,6 +57,10 @@ class Linear : public Module {
   const Tensor& weight() const { return weight_; }
   Tensor& weight() { return weight_; }
   bool has_bias() const { return has_bias_; }
+
+  /// The int8 inference view of this layer, built lazily and cached per
+  /// weight data_version. Thread-safe.
+  std::shared_ptr<const QuantizedLinear> Quantized() const;
 
   /// Freezes/unfreezes the base weights (used for LoRA fine-tuning).
   void SetTrainable(bool trainable);
@@ -45,6 +80,10 @@ class Linear : public Module {
   float lora_scale_ = 0.0f;
   Tensor lora_a_;
   Tensor lora_b_;
+  /// Lazy int8 snapshot keyed on weight_.data_version() (see Quantized).
+  mutable std::mutex quant_mutex_;
+  mutable std::shared_ptr<const QuantizedLinear> quantized_;
+  mutable uint64_t quant_version_ = 0;
 };
 
 /// Token-embedding table with gather forward.

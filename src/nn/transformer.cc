@@ -674,6 +674,8 @@ Tensor Transformer::Logits(const Tensor& decoder_hidden) const {
       // cache is keyed on the table's mutation counter: an optimizer step
       // or checkpoint load bumps data_version and forces a rebuild.
       Tensor table_t;
+      std::shared_ptr<const ops::QuantizedMatrix> qtable;
+      const bool int8 = ActiveWeightDtype() == WeightDtype::kInt8;
       {
         std::lock_guard<std::mutex> lock(tied_lm_mutex_);
         const Tensor& table = embedding_.table();
@@ -682,8 +684,22 @@ Tensor Transformer::Logits(const Tensor& decoder_hidden) const {
           tied_lm_table_t_ = ops::Transpose2D(table);
           tied_lm_version_ = table.data_version();
         }
-        table_t = tied_lm_table_t_;
+        if (int8) {
+          // Quantize the transposed table (per-vocab-column scales) under
+          // the same version key, so int8 logits see exactly the weights a
+          // float decode of the same checkpoint would.
+          if (tied_lm_q_ == nullptr ||
+              tied_lm_q_version_ != table.data_version()) {
+            tied_lm_q_ = std::make_shared<const ops::QuantizedMatrix>(
+                ops::QuantizeWeights(tied_lm_table_t_));
+            tied_lm_q_version_ = table.data_version();
+          }
+          qtable = tied_lm_q_;
+        } else {
+          table_t = tied_lm_table_t_;
+        }
       }
+      if (int8) return ops::MatMulInt8(scaled, *qtable);
       return ops::MatMul(scaled, table_t);
     }
     return ops::MatMulTransposeB(scaled, embedding_.table());

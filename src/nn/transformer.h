@@ -249,6 +249,10 @@ class Transformer : public Module {
   mutable std::mutex tied_lm_mutex_;
   mutable Tensor tied_lm_table_t_;
   mutable uint64_t tied_lm_version_ = 0;
+  /// Int8 view of tied_lm_table_t_ for WeightDtype::kInt8 decodes, keyed
+  /// on the same data_version (same mutex).
+  mutable std::shared_ptr<const ops::QuantizedMatrix> tied_lm_q_;
+  mutable uint64_t tied_lm_q_version_ = 0;
   std::unique_ptr<Linear> lm_head_;  // only when !tie_embeddings
   std::unique_ptr<RelativePositionBias> encoder_bias_;
   std::unique_ptr<RelativePositionBias> decoder_bias_;

@@ -4,8 +4,10 @@
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <thread>
 
@@ -105,7 +107,14 @@ std::vector<uint64_t> Histogram::BucketCounts() const {
 }
 
 void Histogram::Observe(double v) {
-  if (std::isnan(v)) return;
+  // NaN check by bit pattern: this TU compiles with -ffast-math, which
+  // folds std::isnan to `false` and would let a NaN observation poison
+  // sum/min/max for the rest of the process.
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  const bool is_nan = (bits & 0x7ff0000000000000ULL) == 0x7ff0000000000000ULL &&
+                      (bits & 0x000fffffffffffffULL) != 0;
+  if (is_nan) return;
   buckets_[BucketFor(v)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   AtomicAddDouble(&sum_, v);

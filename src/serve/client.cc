@@ -127,8 +127,26 @@ StatusOr<HttpResponse> HttpCall(const std::string& host, int port,
   if (sp == std::string::npos || sp > line_end) {
     return Status::IoError("malformed HTTP status line");
   }
+  // RFC 7230: the status code is exactly three digits after the first
+  // space. Parse it by hand instead of atoi, which would silently turn a
+  // truncated or garbage field ("HTTP/1.1 \r\n", "HTTP/1.1 abc") into
+  // code 0 and let the caller treat a broken response as a real status.
+  if (sp + 3 >= line_end) {
+    return Status::IoError("HTTP status line has no status code");
+  }
+  int code = 0;
+  for (size_t i = sp + 1; i < sp + 4; ++i) {
+    const char c = raw[i];
+    if (c < '0' || c > '9') {
+      return Status::IoError("HTTP status code is not numeric");
+    }
+    code = code * 10 + (c - '0');
+  }
+  if (sp + 4 < line_end && raw[sp + 4] != ' ') {
+    return Status::IoError("HTTP status code is not three digits");
+  }
   HttpResponse response;
-  response.code = std::atoi(raw.c_str() + sp + 1);
+  response.code = code;
   const size_t header_end = raw.find("\r\n\r\n");
   if (header_end != std::string::npos) {
     response.body = raw.substr(header_end + 4);

@@ -286,9 +286,9 @@ void BatchScheduler::RunExclusive(RequestQueue::Entry entry) {
 
 bool BatchScheduler::FillBatch(model::ContinuousDecoder* decoder,
                                std::vector<Track>* tracks,
-                               RequestQueue::Entry* exclusive,
-                               bool* have_exclusive) {
-  while (!*have_exclusive && decoder->active() < options_.max_batch) {
+                               RequestQueue::Entry* parked,
+                               bool* have_parked) {
+  while (!*have_parked && decoder->active() < options_.max_batch) {
     // A pending reload waits for a batch-empty boundary; admitting more
     // work would starve it, so pause admissions until it has run.
     if (reload_pending_.load(std::memory_order_acquire)) return false;
@@ -309,9 +309,14 @@ bool BatchScheduler::FillBatch(model::ContinuousDecoder* decoder,
       // boundary, but never stall the running batch to wait for more.
       if (!queue_.TryPop(&entry)) return false;
     }
-    if (IsExclusive(entry.request.options)) {
-      *exclusive = std::move(entry);
-      *have_exclusive = true;
+    if (IsExclusive(entry.request.options) ||
+        (decoder->active() > 0 &&
+         entry.request.options.weight_dtype != decoder->batch_dtype())) {
+      // Cannot join the running batch: exclusive mode, or a greedy request
+      // at a different weight dtype. Park it — later arrivals wait behind
+      // it so admission order stays FIFO — and let the batch drain.
+      *parked = std::move(entry);
+      *have_parked = true;
     } else {
       AdmitGreedy(std::move(entry), decoder, tracks);
     }
@@ -356,20 +361,25 @@ void BatchScheduler::Loop() {
   VIST5_TRACE_SPAN("serve/loop");
   model::ContinuousDecoder decoder(model_);
   std::vector<Track> tracks;
-  RequestQueue::Entry exclusive;
-  bool have_exclusive = false;
+  RequestQueue::Entry parked;
+  bool have_parked = false;
   while (!abort_.load()) {
     if (reload_pending_.load(std::memory_order_acquire) &&
-        decoder.active() == 0 && !have_exclusive) {
+        decoder.active() == 0 && !have_parked) {
       ServiceReload(/*aborting=*/false);
     }
-    const bool closed =
-        FillBatch(&decoder, &tracks, &exclusive, &have_exclusive);
+    const bool closed = FillBatch(&decoder, &tracks, &parked, &have_parked);
     if (abort_.load()) break;
-    if (have_exclusive && decoder.active() == 0) {
-      RunExclusive(std::move(exclusive));
-      exclusive = RequestQueue::Entry{};
-      have_exclusive = false;
+    if (have_parked && decoder.active() == 0) {
+      if (IsExclusive(parked.request.options)) {
+        RunExclusive(std::move(parked));
+      } else {
+        // A dtype-mismatched greedy request: the old batch has drained, so
+        // it seeds a fresh batch at its own dtype.
+        AdmitGreedy(std::move(parked), &decoder, &tracks);
+      }
+      parked = RequestQueue::Entry{};
+      have_parked = false;
       continue;
     }
     if (decoder.active() == 0) {
@@ -383,11 +393,11 @@ void BatchScheduler::Loop() {
   for (Track& track : tracks) {
     Finish(&track, ResponseStatus::kShutdown, {});
   }
-  if (have_exclusive) {
+  if (have_parked) {
     Track track;
-    track.id = exclusive.request.id;
-    track.done = std::move(exclusive.done);
-    track.timeline.enqueue = exclusive.request.enqueue_time;
+    track.id = parked.request.id;
+    track.done = std::move(parked.done);
+    track.timeline.enqueue = parked.request.enqueue_time;
     track.timeline.admit = Clock::now();
     Finish(&track, ResponseStatus::kShutdown, {});
   }

@@ -38,7 +38,10 @@ struct SchedulerOptions {
 /// "exclusive" — the loop lets the batch drain, runs them alone through
 /// Seq2SeqModel::Generate, then resumes batching. This trades their
 /// latency for a much simpler invariant (the KV cache is only ever shared
-/// between greedy rows); see docs/SERVING.md.
+/// between greedy rows); see docs/SERVING.md. Greedy requests whose
+/// weight_dtype differs from the running batch's are handled the same
+/// way: they park until the batch drains, then start a batch at their
+/// dtype — a decode batch reads one weight representation per step.
 ///
 /// Per-request token streams are bit-identical to sequential Generate
 /// calls regardless of batch composition (the determinism contract tested
@@ -85,9 +88,13 @@ class BatchScheduler {
   struct PendingReload;
 
   void Loop();
+  /// Admits queued greedy requests until the batch is full. A request that
+  /// cannot join the running batch (exclusive, or a greedy dtype mismatch)
+  /// is parked in `*parked` and admissions stop — FIFO order is preserved
+  /// while the batch drains. Returns true when the queue closed.
   bool FillBatch(model::ContinuousDecoder* decoder,
                  std::vector<Track>* tracks,
-                 RequestQueue::Entry* exclusive, bool* have_exclusive);
+                 RequestQueue::Entry* parked, bool* have_parked);
   void AdmitGreedy(RequestQueue::Entry entry,
                    model::ContinuousDecoder* decoder,
                    std::vector<Track>* tracks);

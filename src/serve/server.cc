@@ -584,6 +584,15 @@ std::string Server::HandleLine(const std::string& line) {
   if (const JsonValue* v = doc.Find("priority")) {
     req.priority = static_cast<int>(v->number_value(0));
   }
+  if (const JsonValue* v = doc.Find("weight_dtype")) {
+    if (!v->is_string()) return error_line("\"weight_dtype\" must be a string");
+    const std::string& dtype = v->string_value();
+    if (dtype == "int8") {
+      req.options.weight_dtype = WeightDtype::kInt8;
+    } else if (dtype != "float32") {
+      return error_line("\"weight_dtype\" must be \"float32\" or \"int8\"");
+    }
+  }
 
   const Response response = scheduler_->SubmitAndWait(std::move(req));
   return ResponseToJson(client_id, response, /*want_text=*/true)

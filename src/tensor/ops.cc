@@ -3,14 +3,21 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "rt/thread_pool.h"
+#include "tensor/simd.h"
 
 namespace vist5 {
 namespace ops {
 namespace {
 
 // ---------------------------------------------------------------------------
-// GEMM row kernels. All accumulate into C (callers zero-initialize).
+// Backward-only GEMM row kernels. Both accumulate into C.
+//
+// The forward-path kernels (zero-init NN tiles, the NT dot) live in the
+// runtime-dispatched tensor::simd backends (docs/KERNELS.md); these two
+// stay here because they only run during training, where the gradient
+// accumulation order — not raw kernel speed — is the binding constraint.
 //
 // Every kernel computes ONE output row, so the parallel dispatch can block
 // across rows while each row's accumulation order stays exactly the serial
@@ -25,191 +32,6 @@ inline void GemmRowNN(const float* arow, const float* b, float* crow, int k,
     const float av = arow[p];
     const float* brow = b + static_cast<size_t>(p) * n;
     for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-  }
-}
-
-// One NB-wide column block of GemmRowNNZero: acc[j] accumulates over p
-// ascending in registers, then stores.
-//
-// Every accumulation in the zero-init NN kernels is an explicit std::fma.
-// Under `-ffast-math -funroll-loops` a plain `acc += a * b` leaves the
-// contraction choice (fused vs mul+add) and the unroll shape to the
-// compiler, which picks differently for the single-row and multi-row
-// bodies — measurably different bits exactly in the narrow-n /
-// remainder-column regime (vocab-sized logits, attention dh). A hard fma
-// chain pins every output element to one rounding sequence, so the 1-row
-// and multi-row kernels agree bit-for-bit and the incremental/batched/full
-// decode paths stay interchangeable (docs/SERVING.md).
-template <int NB>
-inline int GemmRowNNBlock(const float* arow, const float* b, float* crow,
-                          int k, int n, int j0) {
-  for (; j0 + NB <= n; j0 += NB) {
-    float acc[NB] = {};
-    for (int p = 0; p < k; ++p) {
-      const float av = arow[p];
-      const float* brow = b + static_cast<size_t>(p) * n + j0;
-      for (int j = 0; j < NB; ++j) acc[j] = std::fma(av, brow[j], acc[j]);
-    }
-    for (int j = 0; j < NB; ++j) crow[j0 + j] = acc[j];
-  }
-  return j0;
-}
-
-// crow[N] = arow[K] * B[K,N] for a crow known to start zeroed (the forward
-// MatMul output buffer). Register-blocked, which matters for the small
-// row-at-a-time GEMMs of the batched decode step (docs/SERVING.md).
-inline void GemmRowNNZero(const float* arow, const float* b, float* crow,
-                          int k, int n) {
-  int j0 = GemmRowNNBlock<32>(arow, b, crow, k, n, 0);
-  j0 = GemmRowNNBlock<16>(arow, b, crow, k, n, j0);
-  j0 = GemmRowNNBlock<8>(arow, b, crow, k, n, j0);
-  for (; j0 < n; ++j0) {
-    float acc = 0.0f;
-    for (int p = 0; p < k; ++p) {
-      acc = std::fma(arow[p], b[static_cast<size_t>(p) * n + j0], acc);
-    }
-    crow[j0] = acc;
-  }
-}
-
-// Four-row x NB-column register tile of the zero-init NN product; the B
-// block is loaded once per four output rows instead of once per row, which
-// quarters the weight-matrix traffic of the batched decode step's
-// row-panel GEMMs (FFN, logits, attention projections). Each acc element
-// is the same std::fma chain over p ascending as the single-row kernels
-// (see GemmRowNNBlock), so rows computed here match rows computed there
-// bit-for-bit regardless of how the batch gets grouped.
-//
-// The accumulators are distinct named scalar arrays, not one acc[R][NB]
-// 2D array: the named form is what GCC/Clang reliably keep in vector
-// registers; the 2D-array form spills to the stack and costs ~5x on the
-// decode-step panels.
-template <int NB>
-inline int Gemm4RowNNBlock(const float* a, const float* b, float* c, int k,
-                           int n, int j0) {
-  for (; j0 + NB <= n; j0 += NB) {
-    float acc0[NB] = {}, acc1[NB] = {}, acc2[NB] = {}, acc3[NB] = {};
-    for (int p = 0; p < k; ++p) {
-      const float* brow = b + static_cast<size_t>(p) * n + j0;
-      const float a0 = a[p];
-      const float a1 = a[k + p];
-      const float a2 = a[2 * k + p];
-      const float a3 = a[3 * k + p];
-      for (int j = 0; j < NB; ++j) {
-        acc0[j] = std::fma(a0, brow[j], acc0[j]);
-        acc1[j] = std::fma(a1, brow[j], acc1[j]);
-        acc2[j] = std::fma(a2, brow[j], acc2[j]);
-        acc3[j] = std::fma(a3, brow[j], acc3[j]);
-      }
-    }
-    for (int j = 0; j < NB; ++j) {
-      c[j0 + j] = acc0[j];
-      c[n + j0 + j] = acc1[j];
-      c[2 * n + j0 + j] = acc2[j];
-      c[3 * n + j0 + j] = acc3[j];
-    }
-  }
-  return j0;
-}
-
-// Four-row zero-init NN product (shared-B variant of GemmRowNNZero).
-inline void Gemm4RowNNZero(const float* a, const float* b, float* c, int k,
-                           int n) {
-  int j0 = Gemm4RowNNBlock<16>(a, b, c, k, n, 0);
-  j0 = Gemm4RowNNBlock<8>(a, b, c, k, n, j0);
-  for (int row = 0; row < 4 && j0 < n; ++row) {
-    const float* arow = a + static_cast<size_t>(row) * k;
-    float* crow = c + static_cast<size_t>(row) * n;
-    for (int j = j0; j < n; ++j) {
-      float acc = 0.0f;
-      for (int p = 0; p < k; ++p) {
-        acc = std::fma(arow[p], b[static_cast<size_t>(p) * n + j], acc);
-      }
-      crow[j] = acc;
-    }
-  }
-}
-
-// Eight-row x NB-column register tile: one pass of the B block now feeds
-// eight output rows, halving the weight traffic of the 4-row tile for
-// full-width serve batches. Same pinned fma chain per element as every
-// other NN kernel, so 1/4/8-row groupings all agree bit-for-bit. Eight
-// NB=16 accumulators plus broadcasts fit AVX-512's 32 zmm registers; the
-// NB=8 tail stays within 16 ymm under AVX2.
-template <int NB>
-inline int Gemm8RowNNBlock(const float* a, const float* b, float* c, int k,
-                           int n, int j0) {
-  for (; j0 + NB <= n; j0 += NB) {
-    float acc0[NB] = {}, acc1[NB] = {}, acc2[NB] = {}, acc3[NB] = {};
-    float acc4[NB] = {}, acc5[NB] = {}, acc6[NB] = {}, acc7[NB] = {};
-    for (int p = 0; p < k; ++p) {
-      const float* brow = b + static_cast<size_t>(p) * n + j0;
-      const float a0 = a[p];
-      const float a1 = a[k + p];
-      const float a2 = a[2 * k + p];
-      const float a3 = a[3 * k + p];
-      const float a4 = a[4 * k + p];
-      const float a5 = a[5 * k + p];
-      const float a6 = a[6 * k + p];
-      const float a7 = a[7 * k + p];
-      for (int j = 0; j < NB; ++j) {
-        acc0[j] = std::fma(a0, brow[j], acc0[j]);
-        acc1[j] = std::fma(a1, brow[j], acc1[j]);
-        acc2[j] = std::fma(a2, brow[j], acc2[j]);
-        acc3[j] = std::fma(a3, brow[j], acc3[j]);
-        acc4[j] = std::fma(a4, brow[j], acc4[j]);
-        acc5[j] = std::fma(a5, brow[j], acc5[j]);
-        acc6[j] = std::fma(a6, brow[j], acc6[j]);
-        acc7[j] = std::fma(a7, brow[j], acc7[j]);
-      }
-    }
-    for (int j = 0; j < NB; ++j) {
-      c[j0 + j] = acc0[j];
-      c[n + j0 + j] = acc1[j];
-      c[2 * n + j0 + j] = acc2[j];
-      c[3 * n + j0 + j] = acc3[j];
-      c[4 * n + j0 + j] = acc4[j];
-      c[5 * n + j0 + j] = acc5[j];
-      c[6 * n + j0 + j] = acc6[j];
-      c[7 * n + j0 + j] = acc7[j];
-    }
-  }
-  return j0;
-}
-
-// Eight-row zero-init NN product (shared-B variant of GemmRowNNZero).
-inline void Gemm8RowNNZero(const float* a, const float* b, float* c, int k,
-                           int n) {
-  int j0 = Gemm8RowNNBlock<16>(a, b, c, k, n, 0);
-  j0 = Gemm8RowNNBlock<8>(a, b, c, k, n, j0);
-  for (int row = 0; row < 8 && j0 < n; ++row) {
-    const float* arow = a + static_cast<size_t>(row) * k;
-    float* crow = c + static_cast<size_t>(row) * n;
-    for (int j = j0; j < n; ++j) {
-      float acc = 0.0f;
-      for (int p = 0; p < k; ++p) {
-        acc = std::fma(arow[p], b[static_cast<size_t>(p) * n + j], acc);
-      }
-      crow[j] = acc;
-    }
-  }
-}
-
-// crow[N] += arow[K] * B[N,K]^T  (rows of B are the columns of the product)
-//
-// Deliberately one uniform loop body: under -ffast-math the compiler picks
-// a reduction shape per loop, so giving the "same" dot product different
-// bodies for different (n, m) would let the KV-cached decode paths — which
-// call this with growing tk (sequential) vs preallocated tk (batched) —
-// produce different bits for identical logical dots, breaking the serving
-// parity contract (docs/SERVING.md). Keep every NT dot on this single body.
-inline void GemmRowNT(const float* arow, const float* b, float* crow, int k,
-                      int n) {
-  for (int j = 0; j < n; ++j) {
-    const float* brow = b + static_cast<size_t>(j) * k;
-    float acc = 0.0f;
-    for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
-    crow[j] += acc;
   }
 }
 
@@ -265,13 +87,18 @@ void ParallelElems(int64_t n, F&& f) {
 
 int GemmRowGrain(int k, int n) {
   // ~32k multiply-adds per chunk: coarse enough to amortize dispatch, fine
-  // enough that attention-sized GEMMs still split across the pool. Floor of
-  // 8 rows so the widest shared-B kernel (Gemm8RowNNZero) can engage on
-  // batched decode-step row panels — a smaller grain would cap every run
-  // below 8 rows and silently disable the weight-reuse path that carries
-  // the serve throughput contract (docs/SERVING.md).
+  // enough that attention-sized GEMMs still split across the pool. Floored
+  // at the dispatched backend's shared-B tile width so the widest
+  // multi-row kernel (Gemm8RowNNZero) can engage on batched decode-step
+  // row panels — a smaller grain would cap every run below the tile and
+  // silently disable the weight-reuse path that carries the serve
+  // throughput contract (docs/SERVING.md). Deriving the floor from the
+  // *dispatched* KernelSet (rather than a literal 8) keeps the row-space
+  // partition identical across backends that share a tile width, which
+  // the per-ISA any-thread-count contract depends on (docs/KERNELS.md).
+  const int tile = tensor::simd::ActiveKernels().tile_width;
   const int64_t row_flops = std::max<int64_t>(1, static_cast<int64_t>(k) * n);
-  return static_cast<int>(std::max<int64_t>(8, 32768 / row_flops));
+  return static_cast<int>(std::max<int64_t>(tile, 32768 / row_flops));
 }
 
 int RowOpGrain(int width) {
@@ -451,6 +278,16 @@ Tensor MatMulImpl(const Tensor& a, const Tensor& b, bool transpose_b) {
   out_shape.back() = n;
   std::vector<float> out(static_cast<size_t>(batch) * m * n, 0.0f);
 
+  if (!GradEnabled() && bs.size() == 2) {
+    // Weight-traffic accounting for inference GEMMs against a shared 2-D
+    // operand (the weight-matrix shape); the int8 path mirrors this with
+    // gemm/weight_bytes_i8 so benches can report bytes-per-token.
+    static obs::Counter* weight_bytes =
+        obs::GetCounter("gemm/weight_bytes_f32");
+    weight_bytes->Add(static_cast<int64_t>(k) * n *
+                      static_cast<int64_t>(sizeof(float)));
+  }
+
   const int64_t a_stride = static_cast<int64_t>(m) * k;
   const int64_t b_stride = batched ? static_cast<int64_t>(k) * n : 0;
   const int64_t c_stride = static_cast<int64_t>(m) * n;
@@ -465,6 +302,7 @@ Tensor MatMulImpl(const Tensor& a, const Tensor& b, bool transpose_b) {
     const float* adata = a.data().data();
     const float* bdata = b.data().data();
     float* cdata = out.data();
+    const tensor::simd::KernelSet& ks = tensor::simd::ActiveKernels();
     rt::ParallelFor(
         GemmRowGrain(k, n), 0, batch * m, [&](int64_t lo, int64_t hi) {
           int64_t r = lo;
@@ -484,17 +322,20 @@ Tensor MatMulImpl(const Tensor& a, const Tensor& b, bool transpose_b) {
               // bit-identical at any thread count and batch size. The NT
               // path stays row-at-a-time on purpose — see GemmRowNT.
               for (; done + 8 <= run; done += 8) {
-                Gemm8RowNNZero(arow + done * k, bp, crow + done * n, k, n);
+                ks.gemm8_row_nn_zero(arow + done * k, bp, crow + done * n, k,
+                                     n);
               }
               for (; done + 4 <= run; done += 4) {
-                Gemm4RowNNZero(arow + done * k, bp, crow + done * n, k, n);
+                ks.gemm4_row_nn_zero(arow + done * k, bp, crow + done * n, k,
+                                     n);
               }
             }
             for (; done < run; ++done) {
               if (transpose_b) {
-                GemmRowNT(arow + done * k, bp, crow + done * n, k, n);
+                ks.gemm_row_nt(arow + done * k, bp, crow + done * n, k, n);
               } else {
-                GemmRowNNZero(arow + done * k, bp, crow + done * n, k, n);
+                ks.gemm_row_nn_zero(arow + done * k, bp, crow + done * n, k,
+                                    n);
               }
             }
             r += run;
@@ -521,6 +362,7 @@ Tensor MatMulImpl(const Tensor& a, const Tensor& b, bool transpose_b) {
         // dA = dC * B^T (plain) or dC * B (transpose_b): one dA row per
         // dC row, disjoint across the flattened (batch, row) space.
         float* gadata = ai->grad.data();
+        const tensor::simd::KernelSet& ks = tensor::simd::ActiveKernels();
         rt::ParallelFor(
             GemmRowGrain(n, k), 0, batch * m, [&](int64_t lo, int64_t hi) {
               for (int64_t r = lo; r < hi; ++r) {
@@ -532,7 +374,7 @@ Tensor MatMulImpl(const Tensor& a, const Tensor& b, bool transpose_b) {
                 if (transpose_b) {
                   GemmRowNN(grow, bp, garow, n, k);
                 } else {
-                  GemmRowNT(grow, bp, garow, n, k);
+                  ks.gemm_row_nt(grow, bp, garow, n, k);
                 }
               }
             });
@@ -580,6 +422,97 @@ Tensor MatMulTransposeB(const Tensor& a, const Tensor& b) {
   return MatMulImpl(a, b, /*transpose_b=*/true);
 }
 
+QuantizedMatrix QuantizeWeights(const Tensor& w) {
+  VIST5_CHECK_EQ(w.ndim(), 2);
+  QuantizedMatrix q;
+  q.k = w.dim(0);
+  q.n = w.dim(1);
+  q.data.assign(static_cast<size_t>(q.k) * q.n, 0);
+  q.scales.assign(static_cast<size_t>(q.n), 0.0f);
+  const float* wd = w.data().data();
+  for (int j = 0; j < q.n; ++j) {
+    float amax = 0.0f;
+    for (int p = 0; p < q.k; ++p) {
+      amax = std::max(amax, std::fabs(wd[static_cast<size_t>(p) * q.n + j]));
+    }
+    if (amax == 0.0f) continue;  // all-zero channel: scale 0, codes 0
+    const float scale = amax / 127.0f;
+    q.scales[static_cast<size_t>(j)] = scale;
+    for (int p = 0; p < q.k; ++p) {
+      // Round-to-nearest, ties away from zero (std::lround), clamped to
+      // the symmetric code range. Pinned here and replicated verbatim by
+      // the reference quantizer in tests/tensor_test.cc.
+      const long code =
+          std::lround(wd[static_cast<size_t>(p) * q.n + j] / scale);
+      q.data[static_cast<size_t>(p) * q.n + j] = static_cast<int8_t>(
+          std::max<long>(-127, std::min<long>(127, code)));
+    }
+  }
+  return q;
+}
+
+Tensor DequantizeWeights(const QuantizedMatrix& q) {
+  VIST5_CHECK(q.defined());
+  std::vector<float> out(static_cast<size_t>(q.k) * q.n);
+  for (int p = 0; p < q.k; ++p) {
+    for (int j = 0; j < q.n; ++j) {
+      const size_t idx = static_cast<size_t>(p) * q.n + j;
+      out[idx] = static_cast<float>(q.data[idx]) *
+                 q.scales[static_cast<size_t>(j)];
+    }
+  }
+  return Tensor({q.k, q.n}, std::move(out));
+}
+
+Tensor MatMulInt8(const Tensor& a, const QuantizedMatrix& b) {
+  VIST5_CHECK(!GradEnabled()) << "MatMulInt8 is inference-only";
+  VIST5_CHECK(b.defined());
+  const auto& as = a.shape();
+  VIST5_CHECK_GE(as.size(), 2u);
+  const int k = as.back();
+  VIST5_CHECK_EQ(k, b.k);
+  const int n = b.n;
+  const int64_t m = Prod(as, 0, as.size() - 1);
+  std::vector<int> out_shape = as;
+  out_shape.back() = n;
+  std::vector<float> out(static_cast<size_t>(m) * n, 0.0f);
+  static obs::Counter* weight_bytes =
+      obs::GetCounter("gemm/weight_bytes_i8");
+  weight_bytes->Add(b.WeightBytes());
+  const float* adata = a.data().data();
+  const int8_t* bdata = b.data.data();
+  const float* sdata = b.scales.data();
+  float* cdata = out.data();
+  const tensor::simd::KernelSet& ks = tensor::simd::ActiveKernels();
+  // Same flat row space, grain, and 8/4/1 shared-B grouping as the float
+  // MatMul: grouping never changes an output element's accumulation order
+  // (always p ascending), so results stay bit-identical at any thread
+  // count and batch size.
+  rt::ParallelFor(GemmRowGrain(k, n), 0, m, [&](int64_t lo, int64_t hi) {
+    int64_t r = lo;
+    while (r < hi) {
+      const float* arow = adata + r * k;
+      float* crow = cdata + r * n;
+      const int64_t run = hi - r;
+      int64_t done = 0;
+      for (; done + 8 <= run; done += 8) {
+        ks.gemm8_row_nn_zero_i8(arow + done * k, bdata, sdata,
+                                crow + done * n, k, n);
+      }
+      for (; done + 4 <= run; done += 4) {
+        ks.gemm4_row_nn_zero_i8(arow + done * k, bdata, sdata,
+                                crow + done * n, k, n);
+      }
+      for (; done < run; ++done) {
+        ks.gemm_row_nn_zero_i8(arow + done * k, bdata, sdata,
+                               crow + done * n, k, n);
+      }
+      r += run;
+    }
+  });
+  return Tensor(std::move(out_shape), std::move(out));
+}
+
 Tensor BoundedAttnScores(const Tensor& q, const Tensor& k,
                          const std::vector<int>& valid) {
   VIST5_CHECK(!GradEnabled()) << "BoundedAttnScores is inference-only";
@@ -598,6 +531,7 @@ Tensor BoundedAttnScores(const Tensor& q, const Tensor& k,
   const float* qd = q.data().data();
   const float* kd = k.data().data();
   float* od = out.data();
+  const tensor::simd::KernelSet& ks = tensor::simd::ActiveKernels();
   rt::ParallelFor(
       GemmRowGrain(dh, tk), 0, static_cast<int64_t>(b) * h,
       [&](int64_t lo, int64_t hi) {
@@ -605,8 +539,8 @@ Tensor BoundedAttnScores(const Tensor& q, const Tensor& k,
           const int bi = static_cast<int>(plane / h);
           const int n = std::min(std::max(valid[static_cast<size_t>(bi)], 0),
                                  tk);
-          GemmRowNT(qd + plane * dh, kd + plane * tk * dh, od + plane * tk,
-                    dh, n);
+          ks.gemm_row_nt(qd + plane * dh, kd + plane * tk * dh,
+                         od + plane * tk, dh, n);
         }
       });
   return Tensor({b, h, 1, tk}, std::move(out));
@@ -630,6 +564,7 @@ Tensor BoundedAttnContext(const Tensor& probs, const Tensor& v,
   const float* pd = probs.data().data();
   const float* vd = v.data().data();
   float* od = out.data();
+  const tensor::simd::KernelSet& ks = tensor::simd::ActiveKernels();
   rt::ParallelFor(
       GemmRowGrain(tk, dh), 0, static_cast<int64_t>(b) * h,
       [&](int64_t lo, int64_t hi) {
@@ -637,8 +572,8 @@ Tensor BoundedAttnContext(const Tensor& probs, const Tensor& v,
           const int bi = static_cast<int>(plane / h);
           const int n = std::min(std::max(valid[static_cast<size_t>(bi)], 0),
                                  tk);
-          GemmRowNNZero(pd + plane * tk, vd + plane * tk * dh,
-                        od + plane * dh, n, dh);
+          ks.gemm_row_nn_zero(pd + plane * tk, vd + plane * tk * dh,
+                              od + plane * dh, n, dh);
         }
       });
   return Tensor({b, h, 1, dh}, std::move(out));

@@ -1,6 +1,7 @@
 #ifndef VIST5_TENSOR_OPS_H_
 #define VIST5_TENSOR_OPS_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "tensor/tensor.h"
@@ -162,6 +163,46 @@ Tensor ConcatBatch(const Tensor& a, const Tensor& b);
 
 /// Selects rows of a 2-D tensor: out[i, :] = x[rows[i], :]. Differentiable.
 Tensor GatherRows(const Tensor& x, const std::vector<int>& rows);
+
+/// Symmetric per-output-channel int8 quantization of a [K, N] weight
+/// matrix (stored in the Linear layout: K = in features, N = out
+/// features, so each scale covers one output channel — one row of the
+/// logical [out, in] weight). Column j dequantizes as
+/// float(data[p, j]) * scales[j]; zero-point is always 0.
+struct QuantizedMatrix {
+  int k = 0;                  ///< contraction (input) dimension
+  int n = 0;                  ///< output dimension
+  std::vector<int8_t> data;   ///< [k, n] row-major int8 codes
+  std::vector<float> scales;  ///< [n] per-output-channel scales
+
+  bool defined() const { return k > 0 && n > 0; }
+  /// Bytes of weight traffic one full read of this matrix costs.
+  int64_t WeightBytes() const {
+    return static_cast<int64_t>(data.size()) +
+           static_cast<int64_t>(scales.size() * sizeof(float));
+  }
+};
+
+/// Quantizes a 2-D [K, N] float weight to int8 with per-column scales:
+/// scale_j = max_p |w[p, j]| / 127, code = round-to-nearest(w / scale_j)
+/// clamped to [-127, 127] (an all-zero column gets scale 0 and all-zero
+/// codes). Round-to-nearest ties away from zero (std::lround semantics),
+/// pinned so tests can reproduce the quantizer exactly.
+QuantizedMatrix QuantizeWeights(const Tensor& w);
+
+/// Materializes the float matrix a QuantizedMatrix represents:
+/// out[p, j] = float(data[p, j]) * scales[j]. The quantize -> dequantize
+/// round trip error per element is bounded by scales[j] / 2.
+Tensor DequantizeWeights(const QuantizedMatrix& q);
+
+/// `a` [.., K] times an int8-quantized weight [K, N] with per-column
+/// scales: out[r, j] = scales[j] * sum_p a[r, p] * float(b[p, j]).
+/// Leading dims of `a` fold into rows exactly like the unbatched MatMul.
+/// Runs the same 8/4/1 shared-B row grouping and grain as MatMul, and the
+/// accumulation is an fma chain over p ascending in every backend, so
+/// results are bit-identical across scalar/AVX2 *and* across thread
+/// counts and batch groupings (docs/KERNELS.md). Inference-only.
+Tensor MatMulInt8(const Tensor& a, const QuantizedMatrix& b);
 
 /// Sum of all elements as a scalar.
 Tensor Sum(const Tensor& x);

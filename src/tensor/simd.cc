@@ -1,0 +1,86 @@
+#include "tensor/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace vist5 {
+namespace tensor {
+namespace simd {
+namespace {
+
+std::atomic<const KernelSet*> g_kernels{nullptr};
+
+/// Resolves the startup backend: VIST5_ISA wins when set and runnable,
+/// otherwise the best supported backend. Called once (racing first calls
+/// all compute the same answer, so the benign double-store is harmless).
+const KernelSet* ResolveDefault() {
+  const char* env = std::getenv("VIST5_ISA");
+  if (env != nullptr && *env != '\0') {
+    if (std::strcmp(env, "scalar") == 0) {
+      return detail::ScalarKernelSet();
+    }
+    if (std::strcmp(env, "avx2") == 0) {
+      if (CpuSupportsAvx2()) return detail::Avx2KernelSet();
+      VIST5_LOG(Warning) << "VIST5_ISA=avx2 requested but this CPU lacks "
+                            "AVX2+FMA; falling back to the scalar backend";
+      return detail::ScalarKernelSet();
+    }
+    VIST5_LOG(Warning) << "unknown VIST5_ISA value \"" << env
+                       << "\" (expected \"scalar\" or \"avx2\"); using the "
+                          "default backend";
+  }
+  return CpuSupportsAvx2() ? detail::Avx2KernelSet()
+                           : detail::ScalarKernelSet();
+}
+
+}  // namespace
+
+bool CpuSupportsAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return detail::Avx2KernelSet() != nullptr &&
+         __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+const KernelSet& ActiveKernels() {
+  const KernelSet* k = g_kernels.load(std::memory_order_acquire);
+  if (k == nullptr) {
+    k = ResolveDefault();
+    g_kernels.store(k, std::memory_order_release);
+  }
+  return *k;
+}
+
+Isa ActiveIsa() {
+  return &ActiveKernels() == detail::ScalarKernelSet() ? Isa::kScalar
+                                                       : Isa::kAvx2;
+}
+
+bool SetIsa(Isa isa) {
+  const KernelSet* k = nullptr;
+  switch (isa) {
+    case Isa::kScalar:
+      k = detail::ScalarKernelSet();
+      break;
+    case Isa::kAvx2:
+      if (!CpuSupportsAvx2()) return false;
+      k = detail::Avx2KernelSet();
+      break;
+  }
+  if (k == nullptr) return false;
+  g_kernels.store(k, std::memory_order_release);
+  return true;
+}
+
+const char* IsaName(Isa isa) {
+  return isa == Isa::kScalar ? "scalar" : "avx2";
+}
+
+}  // namespace simd
+}  // namespace tensor
+}  // namespace vist5

@@ -1,0 +1,97 @@
+#ifndef VIST5_TENSOR_SIMD_H_
+#define VIST5_TENSOR_SIMD_H_
+
+#include <cstdint>
+
+namespace vist5 {
+namespace tensor {
+namespace simd {
+
+/// Instruction-set backends for the GEMM row kernels (docs/KERNELS.md).
+///
+/// kScalar is the determinism reference: its translation unit is compiled
+/// with strict IEEE flags (no fast-math, no contraction, no
+/// auto-vectorization), so every accumulation is the literal source-order
+/// sequence. kAvx2 is the AVX2+FMA backend. Both honor the same per-row
+/// contracts — one output row per call, accumulation over p ascending —
+/// so the rt-level determinism guarantees (bit-identical at any thread
+/// count, batched ≡ sequential) hold within each backend; cross-backend
+/// float parity is a bounded-tolerance contract, not bit-exactness (the
+/// NT dot product uses a different reduction tree under AVX2).
+enum class Isa {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+/// One resolved set of row-kernel entry points. All float kernels share
+/// the calling conventions of the historical ops.cc kernels:
+///
+///   gemm_row_nt:       crow[N] += arow[K] · B[N,K]^T      (accumulating)
+///   gemm_row_nn_zero:  crow[N]  = arow[K] · B[K,N]        (zero-init dest)
+///   gemm4_row_nn_zero: c[4,N]   = a[4,K] · B[K,N]         (shared-B tile)
+///   gemm8_row_nn_zero: c[8,N]   = a[8,K] · B[K,N]         (shared-B tile)
+///
+/// The *_i8 variants read an int8 weight matrix B[K,N] with per-column
+/// scales[N] (symmetric, zero-point 0) and compute
+///   c[r, j] = scales[j] * sum_p fma(a[r, p], float(B[p, j]))
+/// i.e. the accumulation runs in float over the raw int8 values and the
+/// scale multiplies once at store. Because that per-element chain is the
+/// same fma sequence in both backends, int8 results are bit-identical
+/// across scalar and AVX2 (docs/KERNELS.md).
+struct KernelSet {
+  const char* name;
+  /// Widest shared-B row group this backend ships (8 for both backends).
+  /// GemmRowGrain derives its row floor from the *dispatched* value so
+  /// every backend partitions the row space identically — a prerequisite
+  /// for the any-thread-count contract holding per ISA.
+  int tile_width;
+
+  void (*gemm_row_nt)(const float* arow, const float* b, float* crow, int k,
+                      int n);
+  void (*gemm_row_nn_zero)(const float* arow, const float* b, float* crow,
+                           int k, int n);
+  void (*gemm4_row_nn_zero)(const float* a, const float* b, float* c, int k,
+                            int n);
+  void (*gemm8_row_nn_zero)(const float* a, const float* b, float* c, int k,
+                            int n);
+
+  void (*gemm_row_nn_zero_i8)(const float* arow, const int8_t* b,
+                              const float* scales, float* crow, int k, int n);
+  void (*gemm4_row_nn_zero_i8)(const float* a, const int8_t* b,
+                               const float* scales, float* c, int k, int n);
+  void (*gemm8_row_nn_zero_i8)(const float* a, const int8_t* b,
+                               const float* scales, float* c, int k, int n);
+};
+
+/// True when the running CPU can execute the AVX2+FMA backend.
+bool CpuSupportsAvx2();
+
+/// The backend currently in effect. Resolved once on first use: the
+/// VIST5_ISA environment variable ("scalar" or "avx2") wins when set and
+/// supported; otherwise the best supported backend (AVX2 where available).
+/// An unsupported or unrecognized request logs a warning and falls back.
+Isa ActiveIsa();
+
+/// Kernel table for ActiveIsa(). Cheap (one atomic load after init).
+const KernelSet& ActiveKernels();
+
+/// Forces a backend, for tests and benchmarks. Returns false (and changes
+/// nothing) when the host cannot run `isa`. Not meant to be called
+/// concurrently with in-flight kernels — switch at a quiescent point.
+bool SetIsa(Isa isa);
+
+/// "scalar" / "avx2".
+const char* IsaName(Isa isa);
+
+namespace detail {
+/// Backend factories. Scalar always exists; Avx2KernelSet() returns
+/// nullptr on hosts (or builds) without x86 AVX2 support.
+const KernelSet* ScalarKernelSet();
+const KernelSet* Avx2KernelSet();
+}  // namespace detail
+
+}  // namespace simd
+}  // namespace tensor
+}  // namespace vist5
+
+#endif  // VIST5_TENSOR_SIMD_H_

@@ -1,0 +1,328 @@
+// AVX2+FMA backend for the GEMM row kernels (docs/KERNELS.md).
+//
+// Compiled into every build via per-function target attributes — no
+// -mavx2 global flag — and selected at runtime by CPUID dispatch
+// (simd.cc), so one binary runs everywhere and picks the wide kernels
+// only where they can execute.
+//
+// Parity model (pinned by tests/determinism_test.cc):
+//  - NN kernels vectorize across *columns* while each output element keeps
+//    the scalar backend's exact fma chain over p ascending, so their
+//    results are BIT-IDENTICAL to the scalar reference.
+//  - The NT dot product vectorizes across *k* (an 8-lane reduction plus a
+//    fixed-shape horizontal sum), which reorders the additions; its
+//    results carry a bounded rounding difference vs the scalar
+//    left-to-right sum — the tolerance contract of docs/KERNELS.md.
+//  - int8 kernels widen the int8 lanes to float (exact) and run the same
+//    fma chain as the scalar int8 kernels: bit-identical.
+
+#include "tensor/simd.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#define VIST5_AVX2 __attribute__((target("avx2,fma")))
+
+namespace vist5 {
+namespace tensor {
+namespace simd {
+namespace {
+
+// Deterministic horizontal sum of one __m256: lane i adds to lane i+4,
+// then the classic movehl/shuffle pairwise tree. Fixed shape, so the same
+// k always reduces in the same order.
+VIST5_AVX2 inline float HSum(__m256 v) {
+  __m128 s = _mm_add_ps(_mm256_castps256_ps128(v),
+                        _mm256_extractf128_ps(v, 1));
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x1));
+  return _mm_cvtss_f32(s);
+}
+
+// crow[N] += arow[K] · B[N,K]^T. Eight k-lanes accumulate in parallel per
+// output column, then reduce; the scalar remainder accumulates separately
+// and joins at the end. Single uniform body for every (k, n) — the same
+// "one reduction shape per dot" rule the scalar backend follows, so
+// growing-tk (sequential) and preallocated-tk (batched) decode paths see
+// identical bits *within* this backend (docs/SERVING.md).
+VIST5_AVX2 void GemmRowNT(const float* arow, const float* b, float* crow,
+                          int k, int n) {
+  for (int j = 0; j < n; ++j) {
+    const float* brow = b + static_cast<size_t>(j) * k;
+    __m256 acc = _mm256_setzero_ps();
+    int p = 0;
+    for (; p + 8 <= k; p += 8) {
+      acc = _mm256_fmadd_ps(_mm256_loadu_ps(arow + p),
+                            _mm256_loadu_ps(brow + p), acc);
+    }
+    float tail = 0.0f;
+    for (; p < k; ++p) tail += arow[p] * brow[p];
+    crow[j] += HSum(acc) + tail;
+  }
+}
+
+// crow[N] = arow[K] · B[K,N], vectorized across eight columns: each lane
+// is the scalar kernels' exact std::fma chain over p ascending, so the
+// result is bit-identical to the scalar backend.
+VIST5_AVX2 void GemmRowNNZero(const float* arow, const float* b, float* crow,
+                              int k, int n) {
+  int j0 = 0;
+  for (; j0 + 8 <= n; j0 += 8) {
+    __m256 acc = _mm256_setzero_ps();
+    for (int p = 0; p < k; ++p) {
+      acc = _mm256_fmadd_ps(
+          _mm256_set1_ps(arow[p]),
+          _mm256_loadu_ps(b + static_cast<size_t>(p) * n + j0), acc);
+    }
+    _mm256_storeu_ps(crow + j0, acc);
+  }
+  for (; j0 < n; ++j0) {
+    float acc = 0.0f;
+    for (int p = 0; p < k; ++p) {
+      acc = std::fma(arow[p], b[static_cast<size_t>(p) * n + j0], acc);
+    }
+    crow[j0] = acc;
+  }
+}
+
+// c[4,N] = a[4,K] · B[K,N] with one B load per four output rows.
+VIST5_AVX2 void Gemm4RowNNZero(const float* a, const float* b, float* c,
+                               int k, int n) {
+  int j0 = 0;
+  for (; j0 + 8 <= n; j0 += 8) {
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    __m256 acc2 = _mm256_setzero_ps();
+    __m256 acc3 = _mm256_setzero_ps();
+    for (int p = 0; p < k; ++p) {
+      const __m256 bv =
+          _mm256_loadu_ps(b + static_cast<size_t>(p) * n + j0);
+      acc0 = _mm256_fmadd_ps(_mm256_set1_ps(a[p]), bv, acc0);
+      acc1 = _mm256_fmadd_ps(_mm256_set1_ps(a[k + p]), bv, acc1);
+      acc2 = _mm256_fmadd_ps(_mm256_set1_ps(a[2 * k + p]), bv, acc2);
+      acc3 = _mm256_fmadd_ps(_mm256_set1_ps(a[3 * k + p]), bv, acc3);
+    }
+    _mm256_storeu_ps(c + j0, acc0);
+    _mm256_storeu_ps(c + n + j0, acc1);
+    _mm256_storeu_ps(c + 2 * n + j0, acc2);
+    _mm256_storeu_ps(c + 3 * n + j0, acc3);
+  }
+  for (int row = 0; row < 4 && j0 < n; ++row) {
+    const float* arow = a + static_cast<size_t>(row) * k;
+    float* crow = c + static_cast<size_t>(row) * n;
+    for (int j = j0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) {
+        acc = std::fma(arow[p], b[static_cast<size_t>(p) * n + j], acc);
+      }
+      crow[j] = acc;
+    }
+  }
+}
+
+// c[8,N] = a[8,K] · B[K,N] with one B load per eight output rows.
+VIST5_AVX2 void Gemm8RowNNZero(const float* a, const float* b, float* c,
+                               int k, int n) {
+  int j0 = 0;
+  for (; j0 + 8 <= n; j0 += 8) {
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    __m256 acc2 = _mm256_setzero_ps();
+    __m256 acc3 = _mm256_setzero_ps();
+    __m256 acc4 = _mm256_setzero_ps();
+    __m256 acc5 = _mm256_setzero_ps();
+    __m256 acc6 = _mm256_setzero_ps();
+    __m256 acc7 = _mm256_setzero_ps();
+    for (int p = 0; p < k; ++p) {
+      const __m256 bv =
+          _mm256_loadu_ps(b + static_cast<size_t>(p) * n + j0);
+      acc0 = _mm256_fmadd_ps(_mm256_set1_ps(a[p]), bv, acc0);
+      acc1 = _mm256_fmadd_ps(_mm256_set1_ps(a[k + p]), bv, acc1);
+      acc2 = _mm256_fmadd_ps(_mm256_set1_ps(a[2 * k + p]), bv, acc2);
+      acc3 = _mm256_fmadd_ps(_mm256_set1_ps(a[3 * k + p]), bv, acc3);
+      acc4 = _mm256_fmadd_ps(_mm256_set1_ps(a[4 * k + p]), bv, acc4);
+      acc5 = _mm256_fmadd_ps(_mm256_set1_ps(a[5 * k + p]), bv, acc5);
+      acc6 = _mm256_fmadd_ps(_mm256_set1_ps(a[6 * k + p]), bv, acc6);
+      acc7 = _mm256_fmadd_ps(_mm256_set1_ps(a[7 * k + p]), bv, acc7);
+    }
+    _mm256_storeu_ps(c + j0, acc0);
+    _mm256_storeu_ps(c + n + j0, acc1);
+    _mm256_storeu_ps(c + 2 * n + j0, acc2);
+    _mm256_storeu_ps(c + 3 * n + j0, acc3);
+    _mm256_storeu_ps(c + 4 * n + j0, acc4);
+    _mm256_storeu_ps(c + 5 * n + j0, acc5);
+    _mm256_storeu_ps(c + 6 * n + j0, acc6);
+    _mm256_storeu_ps(c + 7 * n + j0, acc7);
+  }
+  for (int row = 0; row < 8 && j0 < n; ++row) {
+    const float* arow = a + static_cast<size_t>(row) * k;
+    float* crow = c + static_cast<size_t>(row) * n;
+    for (int j = j0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) {
+        acc = std::fma(arow[p], b[static_cast<size_t>(p) * n + j], acc);
+      }
+      crow[j] = acc;
+    }
+  }
+}
+
+// Widens eight consecutive int8 weights to a float vector. The int8 range
+// [-127, 127] converts exactly, so lane values equal the scalar kernels'
+// static_cast<float>(int8).
+VIST5_AVX2 inline __m256 LoadI8AsFloat(const int8_t* p) {
+  const __m128i raw = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p));
+  return _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(raw));
+}
+
+VIST5_AVX2 void GemmRowNNZeroI8(const float* arow, const int8_t* b,
+                                const float* scales, float* crow, int k,
+                                int n) {
+  int j0 = 0;
+  for (; j0 + 8 <= n; j0 += 8) {
+    __m256 acc = _mm256_setzero_ps();
+    for (int p = 0; p < k; ++p) {
+      acc = _mm256_fmadd_ps(
+          _mm256_set1_ps(arow[p]),
+          LoadI8AsFloat(b + static_cast<size_t>(p) * n + j0), acc);
+    }
+    _mm256_storeu_ps(crow + j0,
+                     _mm256_mul_ps(acc, _mm256_loadu_ps(scales + j0)));
+  }
+  for (; j0 < n; ++j0) {
+    float acc = 0.0f;
+    for (int p = 0; p < k; ++p) {
+      acc = std::fma(arow[p],
+                     static_cast<float>(b[static_cast<size_t>(p) * n + j0]),
+                     acc);
+    }
+    crow[j0] = acc * scales[j0];
+  }
+}
+
+VIST5_AVX2 void Gemm4RowNNZeroI8(const float* a, const int8_t* b,
+                                 const float* scales, float* c, int k,
+                                 int n) {
+  int j0 = 0;
+  for (; j0 + 8 <= n; j0 += 8) {
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    __m256 acc2 = _mm256_setzero_ps();
+    __m256 acc3 = _mm256_setzero_ps();
+    for (int p = 0; p < k; ++p) {
+      const __m256 bv = LoadI8AsFloat(b + static_cast<size_t>(p) * n + j0);
+      acc0 = _mm256_fmadd_ps(_mm256_set1_ps(a[p]), bv, acc0);
+      acc1 = _mm256_fmadd_ps(_mm256_set1_ps(a[k + p]), bv, acc1);
+      acc2 = _mm256_fmadd_ps(_mm256_set1_ps(a[2 * k + p]), bv, acc2);
+      acc3 = _mm256_fmadd_ps(_mm256_set1_ps(a[3 * k + p]), bv, acc3);
+    }
+    const __m256 sv = _mm256_loadu_ps(scales + j0);
+    _mm256_storeu_ps(c + j0, _mm256_mul_ps(acc0, sv));
+    _mm256_storeu_ps(c + n + j0, _mm256_mul_ps(acc1, sv));
+    _mm256_storeu_ps(c + 2 * n + j0, _mm256_mul_ps(acc2, sv));
+    _mm256_storeu_ps(c + 3 * n + j0, _mm256_mul_ps(acc3, sv));
+  }
+  for (int row = 0; row < 4 && j0 < n; ++row) {
+    const float* arow = a + static_cast<size_t>(row) * k;
+    float* crow = c + static_cast<size_t>(row) * n;
+    for (int j = j0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) {
+        acc = std::fma(arow[p],
+                       static_cast<float>(b[static_cast<size_t>(p) * n + j]),
+                       acc);
+      }
+      crow[j] = acc * scales[j];
+    }
+  }
+}
+
+VIST5_AVX2 void Gemm8RowNNZeroI8(const float* a, const int8_t* b,
+                                 const float* scales, float* c, int k,
+                                 int n) {
+  int j0 = 0;
+  for (; j0 + 8 <= n; j0 += 8) {
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    __m256 acc2 = _mm256_setzero_ps();
+    __m256 acc3 = _mm256_setzero_ps();
+    __m256 acc4 = _mm256_setzero_ps();
+    __m256 acc5 = _mm256_setzero_ps();
+    __m256 acc6 = _mm256_setzero_ps();
+    __m256 acc7 = _mm256_setzero_ps();
+    for (int p = 0; p < k; ++p) {
+      const __m256 bv = LoadI8AsFloat(b + static_cast<size_t>(p) * n + j0);
+      acc0 = _mm256_fmadd_ps(_mm256_set1_ps(a[p]), bv, acc0);
+      acc1 = _mm256_fmadd_ps(_mm256_set1_ps(a[k + p]), bv, acc1);
+      acc2 = _mm256_fmadd_ps(_mm256_set1_ps(a[2 * k + p]), bv, acc2);
+      acc3 = _mm256_fmadd_ps(_mm256_set1_ps(a[3 * k + p]), bv, acc3);
+      acc4 = _mm256_fmadd_ps(_mm256_set1_ps(a[4 * k + p]), bv, acc4);
+      acc5 = _mm256_fmadd_ps(_mm256_set1_ps(a[5 * k + p]), bv, acc5);
+      acc6 = _mm256_fmadd_ps(_mm256_set1_ps(a[6 * k + p]), bv, acc6);
+      acc7 = _mm256_fmadd_ps(_mm256_set1_ps(a[7 * k + p]), bv, acc7);
+    }
+    const __m256 sv = _mm256_loadu_ps(scales + j0);
+    _mm256_storeu_ps(c + j0, _mm256_mul_ps(acc0, sv));
+    _mm256_storeu_ps(c + n + j0, _mm256_mul_ps(acc1, sv));
+    _mm256_storeu_ps(c + 2 * n + j0, _mm256_mul_ps(acc2, sv));
+    _mm256_storeu_ps(c + 3 * n + j0, _mm256_mul_ps(acc3, sv));
+    _mm256_storeu_ps(c + 4 * n + j0, _mm256_mul_ps(acc4, sv));
+    _mm256_storeu_ps(c + 5 * n + j0, _mm256_mul_ps(acc5, sv));
+    _mm256_storeu_ps(c + 6 * n + j0, _mm256_mul_ps(acc6, sv));
+    _mm256_storeu_ps(c + 7 * n + j0, _mm256_mul_ps(acc7, sv));
+  }
+  for (int row = 0; row < 8 && j0 < n; ++row) {
+    const float* arow = a + static_cast<size_t>(row) * k;
+    float* crow = c + static_cast<size_t>(row) * n;
+    for (int j = j0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) {
+        acc = std::fma(arow[p],
+                       static_cast<float>(b[static_cast<size_t>(p) * n + j]),
+                       acc);
+      }
+      crow[j] = acc * scales[j];
+    }
+  }
+}
+
+const KernelSet kAvx2Kernels = {
+    /*name=*/"avx2",
+    /*tile_width=*/8,
+    &GemmRowNT,
+    &GemmRowNNZero,
+    &Gemm4RowNNZero,
+    &Gemm8RowNNZero,
+    &GemmRowNNZeroI8,
+    &Gemm4RowNNZeroI8,
+    &Gemm8RowNNZeroI8,
+};
+
+}  // namespace
+
+namespace detail {
+const KernelSet* Avx2KernelSet() { return &kAvx2Kernels; }
+}  // namespace detail
+
+}  // namespace simd
+}  // namespace tensor
+}  // namespace vist5
+
+#else  // !x86
+
+namespace vist5 {
+namespace tensor {
+namespace simd {
+namespace detail {
+const KernelSet* Avx2KernelSet() { return nullptr; }
+}  // namespace detail
+}  // namespace simd
+}  // namespace tensor
+}  // namespace vist5
+
+#endif

@@ -7,6 +7,7 @@ namespace vist5 {
 
 namespace {
 thread_local bool g_grad_enabled = true;
+thread_local WeightDtype g_weight_dtype = WeightDtype::kFloat32;
 }  // namespace
 
 bool GradEnabled() { return g_grad_enabled; }
@@ -15,6 +16,18 @@ NoGradGuard::NoGradGuard() : previous_(g_grad_enabled) {
   g_grad_enabled = false;
 }
 NoGradGuard::~NoGradGuard() { g_grad_enabled = previous_; }
+
+WeightDtype ActiveWeightDtype() { return g_weight_dtype; }
+
+const char* WeightDtypeName(WeightDtype dtype) {
+  return dtype == WeightDtype::kInt8 ? "int8" : "float32";
+}
+
+WeightDtypeGuard::WeightDtypeGuard(WeightDtype dtype)
+    : previous_(g_weight_dtype) {
+  g_weight_dtype = dtype;
+}
+WeightDtypeGuard::~WeightDtypeGuard() { g_weight_dtype = previous_; }
 
 Tensor::Tensor(std::vector<int> shape, bool requires_grad) {
   impl_ = std::make_shared<TensorImpl>();

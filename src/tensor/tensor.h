@@ -128,6 +128,38 @@ class NoGradGuard {
 /// True when gradient recording is enabled (no NoGradGuard active).
 bool GradEnabled();
 
+/// Storage precision the inference weight matrices are read at.
+/// kFloat32 is the training/default representation; kInt8 selects the
+/// quantize-at-load path (per-output-channel symmetric int8,
+/// docs/KERNELS.md) on layers that support it. Requested per decode via
+/// GenerationOptions::weight_dtype.
+enum class WeightDtype {
+  kFloat32 = 0,
+  kInt8 = 1,
+};
+
+/// "float32" / "int8".
+const char* WeightDtypeName(WeightDtype dtype);
+
+/// RAII guard selecting the weight dtype for the current thread's
+/// inference ops (mirrors NoGradGuard). Layers consult
+/// ActiveWeightDtype() inside Forward; training paths ignore it — the
+/// int8 read path additionally requires grads to be disabled.
+class WeightDtypeGuard {
+ public:
+  explicit WeightDtypeGuard(WeightDtype dtype);
+  ~WeightDtypeGuard();
+  WeightDtypeGuard(const WeightDtypeGuard&) = delete;
+  WeightDtypeGuard& operator=(const WeightDtypeGuard&) = delete;
+
+ private:
+  WeightDtype previous_;
+};
+
+/// The weight dtype in effect on this thread (kFloat32 unless a
+/// WeightDtypeGuard says otherwise).
+WeightDtype ActiveWeightDtype();
+
 }  // namespace vist5
 
 #endif  // VIST5_TENSOR_TENSOR_H_

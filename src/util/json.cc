@@ -2,12 +2,29 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "util/logging.h"
 
 namespace vist5 {
+
+namespace {
+
+/// Finiteness by bit pattern. The release build compiles with -ffast-math,
+/// under which the compiler assumes no inf/nan exist and folds
+/// std::isfinite to `true` — so a std::isfinite guard here silently never
+/// fires (that is exactly how non-finite rates used to leak into response
+/// lines as invalid "inf"/"nan" literals).
+bool IsFiniteBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return (bits & 0x7ff0000000000000ULL) != 0x7ff0000000000000ULL;
+}
+
+}  // namespace
 
 void JsonValue::Append(JsonValue value) {
   VIST5_CHECK(kind_ == Kind::kArray);
@@ -75,8 +92,14 @@ void JsonValue::WriteTo(std::string* out, bool pretty, int indent) const {
       out->append(bool_ ? "true" : "false");
       break;
     case Kind::kNumber: {
-      if (std::isfinite(number_) && number_ == std::floor(number_) &&
-          std::fabs(number_) < 1e15) {
+      if (!IsFiniteBits(number_)) {
+        // JSON has no inf/nan literal; "%g" would print one and corrupt
+        // the whole document for strict readers. Serialize as null — the
+        // same convention Parse enforces on the way in.
+        out->append("null");
+        break;
+      }
+      if (number_ == std::floor(number_) && std::fabs(number_) < 1e15) {
         char buf[32];
         std::snprintf(buf, sizeof(buf), "%lld",
                       static_cast<long long>(number_));
@@ -250,7 +273,9 @@ class JsonParser {
     const std::string token(text_.substr(start, pos_ - start));
     char* end = nullptr;
     const double value = std::strtod(token.c_str(), &end);
-    if (end != token.c_str() + token.size() || !std::isfinite(value)) {
+    // IsFiniteBits, not std::isfinite: -ffast-math folds the latter to
+    // true, which would let strtod's "inf"/"nan" spellings through.
+    if (end != token.c_str() + token.size() || !IsFiniteBits(value)) {
       pos_ = start;
       return Error("malformed number");
     }

@@ -7,6 +7,7 @@
 // count only changes which thread runs a chunk, never the arithmetic or
 // accumulation order inside any output element.
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <tuple>
@@ -19,6 +20,8 @@
 #include "nn/transformer.h"
 #include "rt/thread_pool.h"
 #include "tensor/optimizer.h"
+#include "tensor/ops.h"
+#include "tensor/simd.h"
 
 namespace vist5 {
 namespace {
@@ -210,6 +213,35 @@ TEST_P(Determinism, BatchedDecodeTokensIdenticalAcrossThreads) {
   EXPECT_EQ(m4.GenerateBatch(srcs, options), serial) << preset().name;
 }
 
+TEST_P(Determinism, Int8LogitsTrackFloatLogits) {
+  // Quantize-at-load logit accuracy: the same prefill run with
+  // weight_dtype=int8 must stay inside a pinned envelope of the float
+  // logits. Per-output-channel symmetric quantization keeps each weight
+  // within scale/2 = amax/254 of its float value, which for these model
+  // scales compounds to well under 0.05 absolute-plus-relative logit
+  // error. A widening here means the quantizer (not roundoff) regressed.
+  Rng data(seed() * 13 + 5);
+  const std::vector<int> src = RandomSeq(&data, 7);
+  model::TransformerSeq2Seq m(Config(), kPad, kEos, seed());
+  auto logits = [&](WeightDtype dtype) {
+    NoGradGuard guard;
+    WeightDtypeGuard dtype_guard(dtype);
+    const int len = static_cast<int>(src.size());
+    Tensor memory = m.transformer().Encode(src, 1, len, {len},
+                                           /*train=*/false, nullptr);
+    Tensor hidden = m.transformer().Decode({kPad}, 1, 1, memory, len, {len},
+                                           {1}, /*train=*/false, nullptr);
+    return m.transformer().Logits(hidden).data();
+  };
+  const std::vector<float> f32 = logits(WeightDtype::kFloat32);
+  const std::vector<float> i8 = logits(WeightDtype::kInt8);
+  ASSERT_EQ(f32.size(), i8.size());
+  for (size_t i = 0; i < f32.size(); ++i) {
+    const float tol = 0.05f * (std::fabs(f32[i]) + 1.0f);
+    ASSERT_NEAR(f32[i], i8[i], tol) << preset().name << " logit " << i;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     PresetsAndSeeds, Determinism,
     ::testing::Combine(::testing::Range(0, 2),
@@ -218,6 +250,223 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(kPresets[std::get<0>(info.param)].name) + "_seed" +
              std::to_string(std::get<1>(info.param));
     });
+
+// ---------------------------------------------------------------------------
+// ISA / weight-dtype parity (docs/KERNELS.md). The contract has three tiers:
+//  1. NN-family kernels (plain MatMul, attention context, all int8 kernels)
+//    are BIT-IDENTICAL between the scalar reference and AVX2: both run the
+//    same per-element fma chain, AVX2 merely computes 8 columns at once.
+//  2. NT (reduction) kernels — MatMulTransposeB, attention scores — may
+//    differ by reassociation only; parity is pinned to the documented
+//    relative bound below.
+//  3. Within one (isa, dtype) configuration, every existing bit-exact
+//    contract (thread count, batched ≡ sequential) still holds.
+// ---------------------------------------------------------------------------
+
+namespace simd = tensor::simd;
+
+/// Restores the process-wide ISA selection on scope exit.
+class IsaGuard {
+ public:
+  IsaGuard() : previous_(simd::ActiveIsa()) {}
+  ~IsaGuard() { simd::SetIsa(previous_); }
+  IsaGuard(const IsaGuard&) = delete;
+  IsaGuard& operator=(const IsaGuard&) = delete;
+
+ private:
+  simd::Isa previous_;
+};
+
+/// Pinned cross-ISA tolerance for reduction (NT) kernels: AVX2 folds the
+/// k-long dot product into 8 partial sums, so the result may differ from
+/// the strict left-to-right scalar sum by reassociation error only. For
+/// the magnitudes these tests (and the model) produce, that is bounded by
+/// a 1e-5 relative-plus-absolute envelope; widening it would mean a kernel
+/// regression, not roundoff.
+void ExpectWithinNtBound(const std::vector<float>& ref,
+                         const std::vector<float>& alt, const char* what) {
+  ASSERT_EQ(ref.size(), alt.size()) << what;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    const float tol = 1e-5f * (std::fabs(ref[i]) + 1.0f);
+    ASSERT_NEAR(ref[i], alt[i], tol) << what << " element " << i;
+  }
+}
+
+Tensor RandomTensor(std::vector<int> shape, Rng* rng) {
+  return Tensor::Randn(std::move(shape), 1.0f, rng);
+}
+
+// Runs fn under the scalar ISA, then under AVX2, and returns both buffers.
+// Callers must GTEST_SKIP when AVX2 is unsupported.
+template <typename Fn>
+std::pair<std::vector<float>, std::vector<float>> RunAtBothIsas(Fn fn) {
+  IsaGuard restore;
+  VIST5_CHECK(simd::SetIsa(simd::Isa::kScalar));
+  std::vector<float> scalar = fn();
+  VIST5_CHECK(simd::SetIsa(simd::Isa::kAvx2));
+  std::vector<float> avx2 = fn();
+  return {std::move(scalar), std::move(avx2)};
+}
+
+class SimdParity : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!simd::CpuSupportsAvx2()) {
+      GTEST_SKIP() << "host has no AVX2+FMA; scalar is the only backend";
+    }
+  }
+  void TearDown() override { rt::SetThreads(1); }
+};
+
+TEST_F(SimdParity, NNMatMulBitIdenticalAcrossIsas) {
+  NoGradGuard inference;
+  Rng rng(99);
+  // Covers the 8-row panel, the 4-row panel, and the single-row kernel,
+  // plus non-multiple-of-8 column counts that exercise the scalar tail.
+  const int shapes[][3] = {{9, 33, 48}, {4, 17, 31}, {1, 7, 9}, {16, 64, 40}};
+  for (const auto& s : shapes) {
+    Tensor a = RandomTensor({s[0], s[1]}, &rng);
+    Tensor b = RandomTensor({s[1], s[2]}, &rng);
+    auto [scalar, avx2] =
+        RunAtBothIsas([&] { return ops::MatMul(a, b).data(); });
+    ExpectBitIdentical(scalar, avx2, "NN MatMul");
+  }
+}
+
+TEST_F(SimdParity, Int8MatMulBitIdenticalAcrossIsas) {
+  NoGradGuard inference;
+  Rng rng(100);
+  const int shapes[][3] = {{9, 33, 48}, {4, 17, 31}, {1, 7, 9}};
+  for (const auto& s : shapes) {
+    Tensor a = RandomTensor({s[0], s[1]}, &rng);
+    ops::QuantizedMatrix q = ops::QuantizeWeights(RandomTensor({s[1], s[2]},
+                                                               &rng));
+    auto [scalar, avx2] =
+        RunAtBothIsas([&] { return ops::MatMulInt8(a, q).data(); });
+    ExpectBitIdentical(scalar, avx2, "int8 MatMul");
+  }
+}
+
+TEST_F(SimdParity, NTMatMulWithinPinnedBound) {
+  NoGradGuard inference;
+  Rng rng(101);
+  const int shapes[][3] = {{9, 48, 33}, {3, 64, 16}, {1, 128, 5}};
+  for (const auto& s : shapes) {
+    Tensor a = RandomTensor({s[0], s[1]}, &rng);
+    Tensor b = RandomTensor({s[2], s[1]}, &rng);  // [n, k]: dot-product rows
+    auto [scalar, avx2] =
+        RunAtBothIsas([&] { return ops::MatMulTransposeB(a, b).data(); });
+    ExpectWithinNtBound(scalar, avx2, "NT MatMul");
+  }
+}
+
+TEST_F(SimdParity, BoundaryShapesAroundTileWidth) {
+  // Satellite regression: shapes straddling the dispatched tile width hit
+  // the vector-loop/scalar-tail seam on both k (NT reduction) and n (NN
+  // columns). tile-1 is all tail, tile is all vector, tile+1 is one lane
+  // of tail after a full vector pass.
+  NoGradGuard inference;
+  IsaGuard restore;
+  VIST5_CHECK(simd::SetIsa(simd::Isa::kAvx2));
+  const int tile = simd::ActiveKernels().tile_width;
+  ASSERT_GE(tile, 1);
+  Rng rng(102);
+  for (int delta : {-1, 0, 1}) {
+    const int edge = tile + delta;
+    Tensor a = RandomTensor({3, edge}, &rng);
+    Tensor b_nn = RandomTensor({edge, edge}, &rng);
+    Tensor b_nt = RandomTensor({edge, edge}, &rng);
+    auto [nn_s, nn_v] =
+        RunAtBothIsas([&] { return ops::MatMul(a, b_nn).data(); });
+    ExpectBitIdentical(nn_s, nn_v, "NN boundary");
+    auto [nt_s, nt_v] =
+        RunAtBothIsas([&] { return ops::MatMulTransposeB(a, b_nt).data(); });
+    ExpectWithinNtBound(nt_s, nt_v, "NT boundary");
+  }
+}
+
+TEST_F(SimdParity, GemmRowGrainCoversDispatchedTile) {
+  // The parallel-for grain must never split a chunk below the dispatched
+  // tile width, even for absurdly expensive rows where the flops-derived
+  // grain would round to 1.
+  IsaGuard restore;
+  for (simd::Isa isa : {simd::Isa::kScalar, simd::Isa::kAvx2}) {
+    ASSERT_TRUE(simd::SetIsa(isa));
+    const int tile = simd::ActiveKernels().tile_width;
+    EXPECT_GE(ops::GemmRowGrain(4096, 4096), tile) << simd::IsaName(isa);
+    EXPECT_GE(ops::GemmRowGrain(8, 8), tile) << simd::IsaName(isa);
+  }
+}
+
+TEST_F(SimdParity, ModelLogitsWithinPinnedBoundAcrossIsas) {
+  // End-to-end: one full greedy prefill + logits per ISA. Everything on
+  // this path is NN (bit-identical) except attention scores and the NT
+  // backward — so model logits inherit exactly the NT tolerance tier.
+  Rng data(103);
+  const std::vector<int> src = RandomSeq(&data, 7);
+  for (const Preset& preset : kPresets) {
+    nn::TransformerConfig cfg = preset.make(kVocab);
+    cfg.dropout = 0.0f;
+    model::TransformerSeq2Seq m(cfg, kPad, kEos, 42);
+    auto logits = [&] {
+      NoGradGuard guard;
+      const int len = static_cast<int>(src.size());
+      Tensor memory = m.transformer().Encode(src, 1, len, {len},
+                                             /*train=*/false, nullptr);
+      Tensor hidden = m.transformer().Decode({kPad}, 1, 1, memory, len, {len},
+                                             {1}, /*train=*/false, nullptr);
+      return m.transformer().Logits(hidden).data();
+    };
+    auto [scalar, avx2] = RunAtBothIsas(logits);
+    ExpectWithinNtBound(scalar, avx2, preset.name);
+  }
+}
+
+/// Decoded tokens for each (isa, dtype) configuration: thread-1, thread-4,
+/// and batched (GenerateBatch) runs must all be bit-identical within the
+/// configuration — the pre-existing determinism contracts do not weaken
+/// when a non-default backend or dtype is selected.
+TEST_F(SimdParity, PerConfigDecodeContractsHold) {
+  Rng data(104);
+  std::vector<std::vector<int>> srcs;
+  for (int len : {5, 8, 4, 7}) srcs.push_back(RandomSeq(&data, len));
+
+  IsaGuard restore;
+  for (const Preset& preset : kPresets) {
+    nn::TransformerConfig cfg = preset.make(kVocab);
+    cfg.dropout = 0.0f;
+    for (simd::Isa isa : {simd::Isa::kScalar, simd::Isa::kAvx2}) {
+      ASSERT_TRUE(simd::SetIsa(isa));
+      for (WeightDtype dtype : {WeightDtype::kFloat32, WeightDtype::kInt8}) {
+        model::GenerationOptions options;
+        options.max_len = 14;
+        options.weight_dtype = dtype;
+        const std::string tag = std::string(preset.name) + "/" +
+                                simd::IsaName(isa) + "/" +
+                                WeightDtypeName(dtype);
+
+        rt::SetThreads(1);
+        model::TransformerSeq2Seq m1(cfg, kPad, kEos, 42);
+        std::vector<std::vector<int>> sequential;
+        for (const auto& src : srcs) {
+          sequential.push_back(m1.Generate(src, options));
+        }
+        EXPECT_EQ(m1.GenerateBatch(srcs, options), sequential)
+            << tag << ": batched != sequential";
+
+        rt::SetThreads(4);
+        model::TransformerSeq2Seq m4(cfg, kPad, kEos, 42);
+        for (size_t i = 0; i < srcs.size(); ++i) {
+          EXPECT_EQ(m4.Generate(srcs[i], options), sequential[i])
+              << tag << ": thread-count drift on request " << i;
+        }
+        EXPECT_EQ(m4.GenerateBatch(srcs, options), sequential)
+            << tag << ": batched thread-count drift";
+        rt::SetThreads(1);
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace vist5

@@ -9,8 +9,13 @@
 // the scheduler's failure modes: backpressure rejection, deadline expiry,
 // and graceful drain.
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
@@ -23,6 +28,7 @@
 
 #include <gtest/gtest.h>
 
+#include "dv/parser.h"
 #include "model/checkpoint.h"
 #include "model/transformer_model.h"
 #include "obs/metrics.h"
@@ -878,6 +884,213 @@ TEST(LoadGen, ReportsTtftAndSloViolations) {
   EXPECT_GT(report.ttft_p50_ms, 0.0);
   EXPECT_GE(report.ttft_p99_ms, report.ttft_p50_ms);
   EXPECT_DOUBLE_EQ(report.slo_violation_frac, 1.0);
+}
+
+// ------------------------------------------------------- int8 weight dtype
+
+// Int8 end-to-end through the scheduler: a weight_dtype=int8 request with a
+// grammar constraint must come back as a valid, ParseDvQuery-parseable DV
+// query. The constraint is a step script (one legal token per decode step,
+// then EOS) built from a real query, so the test pins the whole pipeline —
+// admission, int8 prefill + ragged steps, constrained argmax, detokenize —
+// rather than hoping an untrained model emits grammar by luck.
+TEST(ServeInt8, ConstrainedDecodeYieldsParseableDvQuery) {
+  const std::string query = "visualize bar select region , sum ( sales ) "
+                            "from sales group by region";
+  const text::Tokenizer tokenizer = text::Tokenizer::Build({query});
+  nn::TransformerConfig cfg =
+      nn::TransformerConfig::T5Small(tokenizer.vocab_size());
+  cfg.dropout = 0.0f;
+  model::TransformerSeq2Seq m(cfg, tokenizer.pad_id(), tokenizer.eos_id(), 5);
+  serve::BatchScheduler scheduler(&m, {});
+  scheduler.Start();
+
+  const std::vector<int> script = tokenizer.Encode(query);
+  ASSERT_FALSE(script.empty());
+  serve::Request req;
+  req.tokens = tokenizer.Encode("show total sales per region");
+  req.options.max_len = static_cast<int>(script.size()) + 4;
+  req.options.weight_dtype = WeightDtype::kInt8;
+  // BestAllowedToken probes every vocab id exactly once per step, so a
+  // call counter recovers the step index inside the stateless-looking
+  // callback. Past the script, only EOS is legal.
+  auto calls = std::make_shared<int64_t>(0);
+  const int vocab = tokenizer.vocab_size();
+  const int eos = tokenizer.eos_id();
+  req.options.allowed = [script, calls, vocab, eos](int token) {
+    const auto step = static_cast<size_t>((*calls)++ / vocab);
+    return step < script.size() ? token == script[step] : token == eos;
+  };
+
+  const serve::Response r = scheduler.SubmitAndWait(std::move(req));
+  scheduler.Shutdown(/*drain=*/true);
+  ASSERT_EQ(r.status, serve::ResponseStatus::kOk);
+  EXPECT_EQ(r.tokens, script);
+  const std::string text = tokenizer.Decode(r.tokens);
+  const StatusOr<dv::DvQuery> parsed = dv::ParseDvQuery(text);
+  ASSERT_TRUE(parsed.ok()) << "not grammar-parseable: \"" << text << "\": "
+                           << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().from_table, "sales");
+}
+
+// Mixed float32/int8 traffic: requests at different weight dtypes never
+// share a batch (the mismatched one parks until the batch drains), and
+// every response still matches its own-dtype sequential reference.
+TEST(ServeInt8, MixedDtypeRequestsMatchSequentialPerDtype) {
+  model::TransformerSeq2Seq m = MakeSmallModel();
+  serve::SchedulerOptions options;
+  options.max_batch = 4;
+  serve::BatchScheduler scheduler(&m, options);
+  scheduler.Start();
+
+  const auto srcs = MixedSources(17, 8);
+  std::mutex mu;
+  std::condition_variable cv;
+  int outstanding = static_cast<int>(srcs.size());
+  std::vector<serve::Response> responses(srcs.size());
+  std::vector<model::GenerationOptions> gens(srcs.size());
+  for (size_t i = 0; i < srcs.size(); ++i) {
+    gens[i].max_len = 12;
+    gens[i].weight_dtype =
+        i % 2 == 0 ? WeightDtype::kFloat32 : WeightDtype::kInt8;
+    serve::Request req;
+    req.tokens = srcs[i];
+    req.options = gens[i];
+    ASSERT_TRUE(scheduler
+                    .Submit(std::move(req),
+                            [&, i](serve::Response r) {
+                              std::lock_guard<std::mutex> lock(mu);
+                              responses[i] = std::move(r);
+                              --outstanding;
+                              cv.notify_one();
+                            })
+                    .ok());
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return outstanding == 0; });
+  }
+  scheduler.Shutdown(/*drain=*/true);
+  for (size_t i = 0; i < srcs.size(); ++i) {
+    ASSERT_EQ(responses[i].status, serve::ResponseStatus::kOk)
+        << "request " << i;
+    EXPECT_EQ(responses[i].tokens, m.Generate(srcs[i], gens[i]))
+        << "request " << i << " ("
+        << WeightDtypeName(gens[i].weight_dtype) << ")";
+  }
+}
+
+// The line protocol accepts "weight_dtype" and rejects unknown values
+// without dropping the connection.
+TEST(Server, WeightDtypeFieldParsedAndValidated) {
+  HttpFixture f;
+  serve::Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", f.port()).ok());
+
+  JsonValue req = JsonValue::Object();
+  JsonValue toks = JsonValue::Array();
+  for (int t : {4, 5, 6}) toks.Append(JsonValue::Number(t));
+  req.Set("tokens", std::move(toks));
+  req.Set("max_len", JsonValue::Number(6));
+  req.Set("weight_dtype", JsonValue::String("int8"));
+  StatusOr<JsonValue> ok_reply = client.Call(req);
+  ASSERT_TRUE(ok_reply.ok());
+  EXPECT_EQ(ok_reply.value().Find("status")->string_value(), "ok");
+
+  req.Set("weight_dtype", JsonValue::String("fp4"));
+  StatusOr<JsonValue> bad_reply = client.Call(req);
+  ASSERT_TRUE(bad_reply.ok());
+  EXPECT_EQ(bad_reply.value().Find("status")->string_value(), "error");
+}
+
+// --------------------------------------------------- serve bug regressions
+
+// Regression (json.cc): a one-token generation can decode in under the
+// clock's resolution; every timing field in the response line must still
+// be finite and the line must parse as strict JSON.
+TEST(Server, OneTokenResponseIsFiniteParseableJson) {
+  HttpFixture f;
+  serve::Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", f.port()).ok());
+  JsonValue req = JsonValue::Object();
+  JsonValue toks = JsonValue::Array();
+  for (int t : {4, 5, 6}) toks.Append(JsonValue::Number(t));
+  req.Set("tokens", std::move(toks));
+  req.Set("max_len", JsonValue::Number(1));
+  // client.Call parses the reply line with the strict JsonValue parser, so
+  // an "inf"/"nan" token in the line would fail right here.
+  StatusOr<JsonValue> reply = client.Call(req);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply.value().Find("status")->string_value(), "ok");
+  for (const char* field : {"queue_ms", "ttft_ms", "decode_ms", "total_ms",
+                            "tokens_per_sec"}) {
+    const JsonValue* v = reply.value().Find(field);
+    ASSERT_NE(v, nullptr) << field;
+    EXPECT_TRUE(std::isfinite(v->number_value())) << field;
+    EXPECT_GE(v->number_value(), 0.0) << field;
+  }
+}
+
+// Serves one connection `raw` verbatim, then closes. Used to feed
+// HttpCall responses no real server would produce.
+int ServeRawOnce(const std::string& raw, std::thread* out_thread) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  VIST5_CHECK_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  VIST5_CHECK_EQ(
+      ::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  VIST5_CHECK_EQ(::listen(listener, 1), 0);
+  socklen_t len = sizeof(addr);
+  VIST5_CHECK_EQ(
+      ::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const int port = ntohs(addr.sin_port);
+  *out_thread = std::thread([listener, raw] {
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn >= 0) {
+      char buf[1024];
+      // Swallow the request so the client's send never blocks.
+      (void)::recv(conn, buf, sizeof(buf), 0);
+      (void)::send(conn, raw.data(), raw.size(), MSG_NOSIGNAL);
+      ::close(conn);
+    }
+    ::close(listener);
+  });
+  return port;
+}
+
+// Regression (client.cc): std::atoi on the status-line tail turned
+// malformed responses ("HTTP/1.1 \r\n", "HTTP/1.1 abc") into status code
+// 0 instead of a parse error. Each malformed shape must surface an
+// IoError; a valid line must still parse.
+TEST(HttpCall, MalformedStatusLineSurfacesParseError) {
+  const std::string cases[] = {
+      "HTTP/1.1 \r\n\r\n",            // nothing after the space
+      "HTTP/1.1 abc\r\n\r\n",         // non-numeric code
+      "HTTP/1.1 20\r\n\r\n",          // too short
+      "HTTP/1.1 2000 OK\r\n\r\n",     // too long
+      "HTTP/1.1 2x3 OK\r\n\r\n",      // digit-garbage-digit
+  };
+  for (const std::string& raw : cases) {
+    SCOPED_TRACE(raw);
+    std::thread server;
+    const int port = ServeRawOnce(raw, &server);
+    StatusOr<serve::HttpResponse> got =
+        serve::HttpCall("127.0.0.1", port, "GET", "/x");
+    server.join();
+    ASSERT_FALSE(got.ok());
+    EXPECT_EQ(got.status().code(), StatusCode::kIoError);
+  }
+  std::thread server;
+  const int port =
+      ServeRawOnce("HTTP/1.1 204 No Content\r\n\r\n", &server);
+  StatusOr<serve::HttpResponse> got =
+      serve::HttpCall("127.0.0.1", port, "GET", "/x");
+  server.join();
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got.value().code, 204);
 }
 
 }  // namespace

@@ -1,5 +1,8 @@
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -570,6 +573,113 @@ TEST(OptimizerTest, ImportStateRejectsMismatchedState) {
       opt.ImportState(2, {{1.f, 2.f, 3.f}}, {{4.f, 5.f, 6.f}}).ok());
   EXPECT_EQ(opt.step_count(), 2);
   EXPECT_EQ(opt.moments_m()[0], (std::vector<float>{1.f, 2.f, 3.f}));
+}
+
+// ------------------------------------------------------- int8 quantization
+
+// Reference replica of the documented quantizer semantics: per-output-column
+// symmetric amax/127 scale, round-to-nearest with ties away from zero.
+// QuantizeWeights must match it code-for-code — any drift silently changes
+// every int8 decode.
+std::pair<std::vector<int8_t>, std::vector<float>> ReferenceQuantize(
+    const Tensor& w) {
+  const int k = w.dim(0), n = w.dim(1);
+  std::vector<int8_t> codes(static_cast<size_t>(k) * n);
+  std::vector<float> scales(static_cast<size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    float amax = 0.0f;
+    for (int p = 0; p < k; ++p) {
+      amax = std::max(amax, std::fabs(w.data()[p * n + j]));
+    }
+    scales[static_cast<size_t>(j)] = amax > 0 ? amax / 127.0f : 0.0f;
+    for (int p = 0; p < k; ++p) {
+      const float s = scales[static_cast<size_t>(j)];
+      long code = s > 0 ? std::lround(w.data()[p * n + j] / s) : 0;
+      code = std::min<long>(127, std::max<long>(-127, code));
+      codes[static_cast<size_t>(p) * n + j] = static_cast<int8_t>(code);
+    }
+  }
+  return {std::move(codes), std::move(scales)};
+}
+
+TEST(QuantizeWeights, MatchesReferenceQuantizerExactly) {
+  Rng rng(7);
+  Tensor w = Tensor::Randn({13, 9}, 0.5f, &rng);
+  // Edge columns: all-zero (scale 0) and a single dominant entry.
+  for (int p = 0; p < 13; ++p) w.mutable_data()[p * 9 + 4] = 0.0f;
+  w.mutable_data()[3 * 9 + 7] = 100.0f;
+  const ops::QuantizedMatrix q = ops::QuantizeWeights(w);
+  auto [codes, scales] = ReferenceQuantize(w);
+  ASSERT_EQ(q.k, 13);
+  ASSERT_EQ(q.n, 9);
+  EXPECT_EQ(q.data, codes);
+  EXPECT_EQ(q.scales, scales);
+}
+
+TEST(QuantizeWeights, RoundTripErrorBoundedByHalfScale) {
+  Rng rng(8);
+  Tensor w = Tensor::Randn({24, 16}, 1.0f, &rng);
+  const ops::QuantizedMatrix q = ops::QuantizeWeights(w);
+  Tensor back = ops::DequantizeWeights(q);
+  ASSERT_EQ(back.shape(), w.shape());
+  for (int p = 0; p < 24; ++p) {
+    for (int j = 0; j < 16; ++j) {
+      const float err = std::fabs(back.data()[p * 16 + j] -
+                                  w.data()[p * 16 + j]);
+      // Round-to-nearest puts every entry within half a step of its code.
+      EXPECT_LE(err, q.scales[static_cast<size_t>(j)] * 0.5f + 1e-7f)
+          << "(" << p << ", " << j << ")";
+    }
+  }
+}
+
+TEST(QuantizeWeights, ZeroColumnQuantizesToExactZero) {
+  Tensor w = Tensor::Zeros({5, 3});
+  w.mutable_data()[0 * 3 + 1] = 2.0f;  // column 1 non-zero, 0 and 2 all-zero
+  const ops::QuantizedMatrix q = ops::QuantizeWeights(w);
+  EXPECT_EQ(q.scales[0], 0.0f);
+  EXPECT_EQ(q.scales[2], 0.0f);
+  Tensor back = ops::DequantizeWeights(q);
+  for (int p = 0; p < 5; ++p) {
+    EXPECT_EQ(back.data()[p * 3 + 0], 0.0f);
+    EXPECT_EQ(back.data()[p * 3 + 2], 0.0f);
+  }
+  EXPECT_EQ(back.data()[0 * 3 + 1], 2.0f);
+}
+
+TEST(MatMulInt8, MatchesFloatMatMulOverDequantizedWeights) {
+  // MatMulInt8 fuses the scale into the store; the unfused reference is a
+  // float MatMul against the dequantized matrix. They run the same fma
+  // chains over values that are exactly representable either way, so the
+  // outputs must agree to within one rounding of the final scale multiply.
+  NoGradGuard inference;
+  Rng rng(9);
+  Tensor a = Tensor::Randn({6, 24}, 1.0f, &rng);
+  Tensor w = Tensor::Randn({24, 16}, 0.3f, &rng);
+  const ops::QuantizedMatrix q = ops::QuantizeWeights(w);
+  Tensor fused = ops::MatMulInt8(a, q);
+  Tensor unfused = ops::MatMul(a, ops::DequantizeWeights(q));
+  ASSERT_EQ(fused.shape(), unfused.shape());
+  for (size_t i = 0; i < fused.data().size(); ++i) {
+    const float tol = 1e-5f * (std::fabs(unfused.data()[i]) + 1.0f);
+    EXPECT_NEAR(fused.data()[i], unfused.data()[i], tol) << "element " << i;
+  }
+}
+
+TEST(MatMulInt8, BitIdenticalAcrossThreadCountsAndGroupings) {
+  NoGradGuard inference;
+  Rng rng(10);
+  // 9 rows: one 8-row panel + a single-row tail at width 4; row-at-a-time
+  // when the grain splits differently at width 1.
+  Tensor a = Tensor::Randn({9, 32}, 1.0f, &rng);
+  const ops::QuantizedMatrix q =
+      ops::QuantizeWeights(Tensor::Randn({32, 24}, 0.5f, &rng));
+  rt::SetThreads(1);
+  const std::vector<float> serial = ops::MatMulInt8(a, q).data();
+  rt::SetThreads(4);
+  const std::vector<float> parallel = ops::MatMulInt8(a, q).data();
+  rt::SetThreads(1);
+  EXPECT_EQ(serial, parallel);
 }
 
 }  // namespace

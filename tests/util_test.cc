@@ -1,6 +1,7 @@
 #include <cmath>
 #include <cstdint>
 #include <filesystem>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -143,6 +144,21 @@ TEST(JsonTest, SerializesNested) {
   obj.Set("flags", std::move(arr));
   const std::string compact = obj.ToString(/*pretty=*/false);
   EXPECT_EQ(compact, R"({"mark":"bar","n":3,"flags":[true,null]})");
+}
+
+TEST(JsonTest, NonFiniteNumbersSerializeAsNull) {
+  // Regression: %g prints "inf"/"nan", which is not JSON — one non-finite
+  // rate field (e.g. tokens_per_sec from a zero-duration decode) would
+  // corrupt the whole serve response line for strict parsers.
+  JsonValue obj = JsonValue::Object();
+  obj.Set("ok", JsonValue::Number(1.5));
+  obj.Set("inf", JsonValue::Number(std::numeric_limits<double>::infinity()));
+  obj.Set("ninf", JsonValue::Number(-std::numeric_limits<double>::infinity()));
+  obj.Set("nan", JsonValue::Number(std::numeric_limits<double>::quiet_NaN()));
+  const std::string compact = obj.ToString(/*pretty=*/false);
+  EXPECT_EQ(compact, R"({"ok":1.5,"inf":null,"ninf":null,"nan":null})");
+  // The output must round-trip through our own (strict) parser.
+  EXPECT_TRUE(JsonValue::Parse(compact).ok());
 }
 
 TEST(JsonTest, EscapesStrings) {
