@@ -178,6 +178,9 @@ int RunServe(const std::map<std::string, std::string>& flags) {
 
   serve::SchedulerOptions sched_options;
   sched_options.max_batch = FlagInt(flags, "max-batch", 8);
+  // Parsed as a double so budgets beyond 2 GiB fit; 0 keeps the cache off.
+  sched_options.prefix_cache_bytes =
+      static_cast<size_t>(FlagDouble(flags, "prefix-cache-bytes", 0));
   serve::BatchScheduler scheduler(fixture.model.get(), sched_options);
   scheduler.Start();
 
@@ -202,11 +205,13 @@ int RunServe(const std::map<std::string, std::string>& flags) {
     return 1;
   }
   std::printf("vist5 serving on %s:%d (max_batch=%d, max_conns=%d, "
-              "vocab=%d); GET /metrics for Prometheus exposition, POST "
-              "/admin/drain to drain; Ctrl-C to drain and exit\n",
+              "vocab=%d, prefix_cache=%zu bytes); GET /metrics for "
+              "Prometheus exposition, POST /admin/drain to drain; Ctrl-C "
+              "to drain and exit\n",
               server_options.host.c_str(), server.port(),
               sched_options.max_batch, server_options.max_connections,
-              fixture.tokenizer.vocab_size());
+              fixture.tokenizer.vocab_size(),
+              sched_options.prefix_cache_bytes);
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleInterrupt);
@@ -230,10 +235,13 @@ int RunBenchServe(const std::map<std::string, std::string>& flags) {
               "p50_ms", "p99_ms", "ttft_p50", "ttft_p99", "slo_viol",
               "occupancy");
   double base_tps = 0;
+  const auto prefix_cache_bytes =
+      static_cast<size_t>(FlagDouble(flags, "prefix-cache-bytes", 0));
   for (int width : {1, 4, 8}) {
     serve::SchedulerOptions sched_options;
     sched_options.max_batch = width;
     sched_options.queue_capacity = static_cast<size_t>(requests) + 16;
+    sched_options.prefix_cache_bytes = prefix_cache_bytes;
     serve::BatchScheduler scheduler(fixture.model.get(), sched_options);
     scheduler.Start();
 
@@ -247,10 +255,16 @@ int RunBenchServe(const std::map<std::string, std::string>& flags) {
     scheduler.Shutdown(/*drain=*/true);
 
     if (width == 1) base_tps = report.tok_per_sec;
-    std::printf("%-8d %12.1f %10.2f %10.2f %10.2f %10.2f %9.3f %10.2f\n",
+    std::printf("%-8d %12.1f %10.2f %10.2f %10.2f %10.2f %9.3f %10.2f",
                 width, report.tok_per_sec, report.p50_ms, report.p99_ms,
                 report.ttft_p50_ms, report.ttft_p99_ms,
                 report.slo_violation_frac, report.mean_batch);
+    if (prefix_cache_bytes > 0) {
+      std::printf("  hit_rate=%.2f prefill_saved=%lld",
+                  report.prefix_hit_rate,
+                  static_cast<long long>(report.prefill_tokens_saved));
+    }
+    std::printf("\n");
   }
   if (base_tps > 0) {
     std::printf("(batch widths share one untrained fixture; speedup is "

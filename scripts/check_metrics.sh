@@ -33,7 +33,10 @@ fail() {
 }
 
 # --- start the server and learn its port from stdout ------------------------
-"$CLI" serve --port 0 --max-batch 4 >"$WORK/serve.out" 2>"$WORK/serve.err" &
+# Prefix cache on (64 MiB) so the warm-hit run below populates the
+# vist5_serve_prefix_cache_* series (docs/SERVING.md).
+"$CLI" serve --port 0 --max-batch 4 --prefix-cache-bytes 67108864 \
+  >"$WORK/serve.out" 2>"$WORK/serve.err" &
 SERVER_PID=$!
 PORT=""
 for _ in $(seq 1 100); do
@@ -82,6 +85,17 @@ for i in 1 2 3 4; do
 done
 echo "check_metrics: 4 generation requests ok"
 
+# Warm-hit pair: the same token sequence twice. The first request inserts
+# its encoder block into the prefix cache, the second must hit it.
+for i in 1 2; do
+  reply="$(line_request "{\"id\":\"warm$i\",\"tokens\":[2,3,4,5,6],\"max_len\":8}")"
+  case "$reply" in
+    *'"status":"ok"'*) ;;
+    *) fail "warm-hit request $i did not return ok: $reply" ;;
+  esac
+done
+echo "check_metrics: warm-hit request pair ok"
+
 # --- scrape /metrics and validate the exposition ----------------------------
 http_request GET /metrics >"$WORK/metrics.txt"
 CODE="$(head -1 "$WORK/metrics.txt")"
@@ -121,6 +135,27 @@ for metric in vist5_serve_requests_total vist5_serve_ttft_ms_count \
   [ "${val%.*}" -ge 4 ] 2>/dev/null || fail "$metric = $val, expected >= 4"
 done
 echo "check_metrics: /metrics exposition valid (serve histograms populated)"
+
+# --- prefix-cache series after the warm-hit run ------------------------------
+for metric in vist5_serve_prefix_cache_misses_total \
+              vist5_serve_prefix_cache_insertions_total \
+              vist5_serve_prefix_cache_reuse_tokens_total \
+              vist5_serve_prefix_cache_bytes \
+              vist5_serve_prefix_cache_entries; do
+  val="$(awk -v m="$metric" '$1 == m {print $2}' "$WORK/metrics.txt" | head -1)"
+  [ -n "$val" ] || fail "$metric missing from /metrics"
+done
+hits="$(awk '$1 == "vist5_serve_prefix_cache_hits_total" {print $2}' "$WORK/metrics.txt" | head -1)"
+[ -n "$hits" ] || fail "vist5_serve_prefix_cache_hits_total missing from /metrics"
+[ "${hits%.*}" -ge 1 ] 2>/dev/null || fail "vist5_serve_prefix_cache_hits_total = $hits, expected >= 1 after the warm-hit pair"
+echo "check_metrics: prefix-cache series present, warm hit recorded (hits=$hits)"
+
+# --- /admin/stats carries the prefix_cache section ---------------------------
+http_request GET /admin/stats >"$WORK/stats.txt"
+[ "$(head -1 "$WORK/stats.txt")" = "200" ] || fail "GET /admin/stats returned $(head -1 "$WORK/stats.txt")"
+grep -q '"prefix_cache"' "$WORK/stats.txt" || fail "/admin/stats lacks the prefix_cache section"
+grep -q '"hit_rate"' "$WORK/stats.txt" || fail "/admin/stats prefix_cache section lacks hit_rate"
+echo "check_metrics: /admin/stats prefix_cache section present"
 
 # --- /healthz ---------------------------------------------------------------
 http_request GET /healthz >"$WORK/health.txt"

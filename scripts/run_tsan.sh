@@ -3,7 +3,10 @@
 # top-level CMakeLists) into build-tsan/ and runs the concurrency-sensitive
 # test binaries: the rt thread pool, the obs metrics/trace registry, the
 # thread-count determinism pins, the shared-tokenizer concurrent encode,
-# and the serve scheduler/server. Any data race fails the run.
+# the serve scheduler/server, and the shared prefix cache (whose
+# admit/evict/scrape lock discipline is exercised by prefix_cache_test and
+# serve_test's PrefixCacheConcurrency suite — docs/SERVING.md). Any data
+# race fails the run.
 #
 # The determinism and serve binaries additionally run once per SIMD
 # backend (VIST5_ISA=scalar, then =avx2 on hosts that support it — see
@@ -18,7 +21,8 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=build-tsan
 cmake -B "$BUILD_DIR" -S . -DVIST5_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target rt_test obs_test determinism_test text_test serve_test
+  --target rt_test obs_test determinism_test text_test serve_test \
+           prefix_cache_test
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
 status=0
@@ -37,7 +41,7 @@ else
   echo "===== tsan: host lacks AVX2, skipping the avx2 ISA leg ====="
 fi
 for isa in $ISAS; do
-  for t in determinism_test serve_test; do
+  for t in determinism_test serve_test prefix_cache_test; do
     echo "===== tsan: $t (VIST5_ISA=$isa) ====="
     VIST5_ISA=$isa "$BUILD_DIR/tests/$t" || status=$?
   done

@@ -10,9 +10,41 @@
 namespace vist5 {
 namespace model {
 
+size_t EncodedPrefix::ByteSize() const {
+  const auto tensor_bytes = [](const Tensor& t) {
+    return t.defined()
+               ? static_cast<size_t>(t.NumElements()) * sizeof(float)
+               : size_t{0};
+  };
+  size_t bytes = tokens.size() * sizeof(int);
+  bytes += tensor_bytes(memory);
+  for (const nn::DecodeState::LayerCache& layer : state.layers) {
+    bytes += tensor_bytes(layer.cross_k) + tensor_bytes(layer.cross_v);
+  }
+  return bytes;
+}
+
+std::shared_ptr<const EncodedPrefix> TransformerSeq2Seq::EncodePrefix(
+    const std::vector<int>& src, WeightDtype dtype) const {
+  VIST5_CHECK(!src.empty());
+  NoGradGuard guard;
+  WeightDtypeGuard dtype_guard(dtype);
+  auto block = std::make_shared<EncodedPrefix>();
+  block->tokens = src;
+  block->dtype = dtype;
+  const int src_len = static_cast<int>(src.size());
+  const std::vector<int> lengths = {src_len};
+  block->memory = transformer_->Encode(src, 1, src_len, lengths,
+                                       /*train=*/false, nullptr);
+  block->state = transformer_->BeginDecode(block->memory, 1, src_len,
+                                           lengths);
+  return block;
+}
+
 void ContinuousDecoder::Admit(uint64_t id, const std::vector<int>& src,
                               const GenerationOptions& options,
-                              Clock::time_point deadline) {
+                              Clock::time_point deadline,
+                              const EncodedPrefix* prefill) {
   VIST5_CHECK(options.beam_size <= 1 && options.temperature <= 0.0f)
       << "ContinuousDecoder batches greedy requests only";
   VIST5_CHECK(!src.empty());
@@ -25,12 +57,27 @@ void ContinuousDecoder::Admit(uint64_t id, const std::vector<int>& src,
   }
   NoGradGuard guard;
   WeightDtypeGuard dtype_guard(batch_dtype_);
-  const int src_len = static_cast<int>(src.size());
-  const std::vector<int> lengths = {src_len};
-  Tensor memory = model_->transformer().Encode(src, 1, src_len, lengths,
-                                               /*train=*/false, nullptr);
-  nn::DecodeState fresh =
-      model_->transformer().BeginDecode(memory, 1, src_len, lengths);
+  nn::DecodeState fresh;
+  if (prefill != nullptr) {
+    VIST5_CHECK(prefill->tokens == src)
+        << "cached prefix block does not hold this request's tokens";
+    VIST5_CHECK(prefill->dtype == batch_dtype_)
+        << "cached prefix block computed at "
+        << WeightDtypeName(prefill->dtype) << " cannot join a "
+        << WeightDtypeName(batch_dtype_) << " batch";
+    // Splice: copy the state *structure*; its tensor handles alias the
+    // block's storage. The loop below installs fresh self caches in this
+    // copy only, and every later cross-cache mutation (Reorder's
+    // GatherBatch, MergeFrom's ConcatBatch) replaces handles with copies,
+    // so the shared block stays bit-exact for the next consumer.
+    fresh = prefill->state;
+  } else {
+    const int src_len = static_cast<int>(src.size());
+    const std::vector<int> lengths = {src_len};
+    Tensor memory = model_->transformer().Encode(src, 1, src_len, lengths,
+                                                 /*train=*/false, nullptr);
+    fresh = model_->transformer().BeginDecode(memory, 1, src_len, lengths);
+  }
   // Preallocate the self-attention caches to the row's full step budget.
   // The zero capacity beyond the valid length is masked inside attention,
   // and it lets every subsequent decode step write keys/values in place

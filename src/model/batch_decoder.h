@@ -48,9 +48,18 @@ class ContinuousDecoder {
   /// scheduler parks mismatched requests until the batch drains.
   /// `deadline` of Clock::time_point::max() disables the per-request
   /// deadline.
+  ///
+  /// When `prefill` is non-null it must hold exactly `src` at the batch's
+  /// weight dtype; the encoder forward and cross K/V projection are then
+  /// skipped and the cached block's tensors are spliced (aliased, not
+  /// copied) into the batch state. Because blocks are immutable and every
+  /// decode-path mutation of cross caches replaces the handle rather than
+  /// writing through it, a spliced admit is bit-identical to a recomputed
+  /// one (docs/SERVING.md).
   void Admit(uint64_t id, const std::vector<int>& src,
              const GenerationOptions& options,
-             Clock::time_point deadline = Clock::time_point::max());
+             Clock::time_point deadline = Clock::time_point::max(),
+             const EncodedPrefix* prefill = nullptr);
 
   /// Advances every active row by one token. Returns the rows that
   /// finished (or expired) during this step, in batch order.

@@ -35,6 +35,28 @@ std::vector<int> SelectBeamResult(
     std::vector<std::pair<std::vector<int>, double>> finished,
     const std::vector<BeamHypothesis>& alive);
 
+/// Immutable, shareable product of the encoder-side prefill for one source
+/// sequence: the encoder hidden states plus the per-layer cross-attention
+/// K/V projection a decode needs before its first step. Produced under
+/// NoGradGuard by TransformerSeq2Seq::EncodePrefix; nothing on the decode
+/// path ever writes through these tensors (Reorder/MergeFrom replace cache
+/// handles with copies, and only self_k/self_v see in-place scatter), so
+/// one block can back any number of concurrent decodes bit-exactly. The
+/// serve layer refcounts and LRU-evicts them (serve::PrefixCache,
+/// docs/SERVING.md).
+struct EncodedPrefix {
+  std::vector<int> tokens;  ///< the full encoder input this block encodes
+  /// Weight representation the block was computed under. int8 and float32
+  /// encoder outputs differ numerically, so a block only substitutes for
+  /// prefill in a batch running the same dtype.
+  WeightDtype dtype = WeightDtype::kFloat32;
+  Tensor memory;         ///< [src_len, d_model] encoder output (batch 1)
+  nn::DecodeState state;  ///< batch-1 cross K/V; self caches left empty
+  /// Heap bytes the block keeps resident (key + encoder output + cross
+  /// K/V), the unit of PrefixCache byte budgeting.
+  size_t ByteSize() const;
+};
+
 /// Seq2SeqModel adapter around nn::Transformer. This single class backs the
 /// T5 family (DataVisT5, CodeT5+, T5), BART, the vanilla Transformer
 /// baseline, the ncNet proxy (via constrained decoding), and the LLM
@@ -66,6 +88,14 @@ class TransformerSeq2Seq : public Seq2SeqModel {
   std::vector<std::vector<int>> GenerateBatch(
       const std::vector<std::vector<int>>& srcs,
       const GenerationOptions& options) const;
+
+  /// Runs the encoder-side prefill (encode + cross-attention K/V
+  /// projection) for one source as a standalone immutable block that
+  /// ContinuousDecoder::Admit can splice in place of recomputing it. The
+  /// block is computed at `dtype` and is only valid for decode batches
+  /// running that dtype. Defined in batch_decoder.cc.
+  std::shared_ptr<const EncodedPrefix> EncodePrefix(
+      const std::vector<int>& src, WeightDtype dtype) const;
 
   nn::Transformer& transformer() { return *transformer_; }
   const nn::Transformer& transformer() const { return *transformer_; }

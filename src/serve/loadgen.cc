@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <mutex>
 
 #include "obs/metrics.h"
+#include "util/rng.h"
 
 namespace vist5 {
 namespace serve {
@@ -20,6 +22,48 @@ double ExactQuantile(std::vector<double> sorted_values, double q) {
 
 }  // namespace
 
+std::vector<std::vector<int>> SchemaSkewedPrompts(
+    const SchemaSkewOptions& options) {
+  VIST5_CHECK(options.num_schemas > 0 && options.questions_per_schema > 0);
+  VIST5_CHECK(options.vocab > 2);
+  Rng rng(options.seed);
+  const auto random_run = [&](int len) {
+    std::vector<int> tokens(static_cast<size_t>(len));
+    // Keep clear of the pad/EOS ids (0 and 1 in every test/bench fixture).
+    for (int& t : tokens) t = rng.UniformRange(2, options.vocab - 1);
+    return tokens;
+  };
+  std::vector<std::vector<int>> schemas;
+  std::vector<std::vector<std::vector<int>>> questions;
+  for (int s = 0; s < options.num_schemas; ++s) {
+    schemas.push_back(random_run(options.schema_tokens));
+    questions.emplace_back();
+    for (int q = 0; q < options.questions_per_schema; ++q) {
+      questions.back().push_back(random_run(options.question_tokens));
+    }
+  }
+  std::vector<double> weights(static_cast<size_t>(options.num_schemas));
+  for (int s = 0; s < options.num_schemas; ++s) {
+    weights[static_cast<size_t>(s)] =
+        1.0 / std::pow(static_cast<double>(s + 1), options.zipf_s);
+  }
+  std::vector<std::vector<int>> prompts;
+  prompts.reserve(static_cast<size_t>(options.total));
+  for (int i = 0; i < options.total; ++i) {
+    const int s = rng.Categorical(weights);
+    const std::vector<int>& question =
+        questions[static_cast<size_t>(s)][static_cast<size_t>(
+            rng.UniformInt(options.questions_per_schema))];
+    // Schema first: the shared serialization is the prompt head, so
+    // same-schema prompts share a long radix prefix and same-question
+    // repeats are exact cache hits.
+    std::vector<int> prompt = schemas[static_cast<size_t>(s)];
+    prompt.insert(prompt.end(), question.begin(), question.end());
+    prompts.push_back(std::move(prompt));
+  }
+  return prompts;
+}
+
 LoadGenReport RunLoadGen(BatchScheduler* scheduler,
                          const std::vector<std::vector<int>>& prompts,
                          const LoadGenOptions& options) {
@@ -28,6 +72,9 @@ LoadGenReport RunLoadGen(BatchScheduler* scheduler,
   obs::Histogram* batch_hist = obs::GetHistogram("serve/batch_size");
   const uint64_t batch_count0 = batch_hist->count();
   const double batch_sum0 = batch_hist->sum();
+  const PrefixCache* cache = scheduler->prefix_cache();
+  const PrefixCacheStats cache0 =
+      cache != nullptr ? cache->stats() : PrefixCacheStats{};
 
   struct Shared {
     std::mutex mu;
@@ -40,6 +87,7 @@ LoadGenReport RunLoadGen(BatchScheduler* scheduler,
     int completed = 0;
     int expired = 0;
     int64_t tokens = 0;
+    int64_t prefill_tokens = 0;
   };
   Shared shared;
   const int total = options.total_requests;
@@ -58,6 +106,10 @@ LoadGenReport RunLoadGen(BatchScheduler* scheduler,
     Request req;
     req.tokens = prompts[static_cast<size_t>(index) % prompts.size()];
     req.options = options.gen;
+    {
+      std::lock_guard<std::mutex> lock(shared.mu);
+      shared.prefill_tokens += static_cast<int64_t>(req.tokens.size());
+    }
     scheduler->Submit(std::move(req), [&shared, &issue_one, &options, start,
                                       total](Response r) {
       const double ms = std::chrono::duration<double, std::milli>(
@@ -120,6 +172,21 @@ LoadGenReport RunLoadGen(BatchScheduler* scheduler,
   if (steps > 0) {
     report.mean_batch =
         (batch_hist->sum() - batch_sum0) / static_cast<double>(steps);
+  }
+  report.prefill_tokens = shared.prefill_tokens;
+  if (cache != nullptr) {
+    const PrefixCacheStats cache1 = cache->stats();
+    report.prefix_hits = static_cast<int64_t>(cache1.hits - cache0.hits);
+    report.prefix_misses =
+        static_cast<int64_t>(cache1.misses - cache0.misses);
+    const int64_t lookups = report.prefix_hits + report.prefix_misses;
+    if (lookups > 0) {
+      report.prefix_hit_rate =
+          static_cast<double>(report.prefix_hits) /
+          static_cast<double>(lookups);
+    }
+    report.prefill_tokens_saved =
+        static_cast<int64_t>(cache1.reuse_tokens - cache0.reuse_tokens);
   }
   return report;
 }

@@ -1,6 +1,7 @@
 #ifndef VIST5_SERVE_LOADGEN_H_
 #define VIST5_SERVE_LOADGEN_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "serve/scheduler.h"
@@ -37,7 +38,37 @@ struct LoadGenReport {
   /// serve/batch_size histogram delta (the registry accumulates across a
   /// process, so the report diffs snapshots taken around the run).
   double mean_batch = 0;
+  /// Prefix-cache activity over this run, from the scheduler's cache
+  /// stats delta. All zero when the scheduler runs without a cache.
+  int64_t prefix_hits = 0;
+  int64_t prefix_misses = 0;
+  double prefix_hit_rate = 0;      ///< hits / (hits + misses)
+  /// Encoder tokens across all issued requests (= prefill work with the
+  /// cache off) and the subset whose prefill a cache hit skipped.
+  int64_t prefill_tokens = 0;
+  int64_t prefill_tokens_saved = 0;
 };
+
+/// Schema-skewed prompt distribution for prefix-cache benchmarking: each
+/// prompt is a long per-schema token block (the serialized database
+/// schema every question against that database shares) followed by a
+/// short question drawn from a small per-schema pool. Schemas are chosen
+/// Zipf(s)-distributed, mirroring production traffic where a few popular
+/// databases dominate — under it, exact repeats (warm hits) and
+/// shared-schema partial matches are both common.
+struct SchemaSkewOptions {
+  int num_schemas = 8;
+  int questions_per_schema = 4;  ///< distinct questions per schema
+  int schema_tokens = 48;        ///< shared prefix length
+  int question_tokens = 8;       ///< per-question suffix length
+  double zipf_s = 1.1;           ///< Zipf exponent over schema ranks
+  int total = 64;                ///< prompts to generate
+  int vocab = 32;                ///< token ids drawn from [2, vocab)
+  uint64_t seed = 17;
+};
+
+std::vector<std::vector<int>> SchemaSkewedPrompts(
+    const SchemaSkewOptions& options);
 
 /// Closed-loop load generator: keeps `concurrency` requests outstanding
 /// against the scheduler until `total_requests` have completed, then

@@ -1,0 +1,143 @@
+#ifndef VIST5_SERVE_PREFIX_CACHE_H_
+#define VIST5_SERVE_PREFIX_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "model/transformer_model.h"
+
+namespace vist5 {
+namespace serve {
+
+struct PrefixCacheOptions {
+  /// Byte budget for resident blocks. 0 disables the cache entirely —
+  /// Acquire always misses, Insert retains nothing — so serving behaves
+  /// exactly as if the cache did not exist (the default).
+  size_t max_bytes = 0;
+};
+
+/// Point-in-time counters, all monotone except bytes/entries.
+struct PrefixCacheStats {
+  uint64_t hits = 0;          ///< Acquire found a complete block
+  uint64_t misses = 0;        ///< Acquire found nothing usable
+  /// Misses whose longest radix match still covered >= 1 input token (the
+  /// schema prefix matched but the question differed) — the signal behind
+  /// scheduler co-batching affinity.
+  uint64_t partial_hits = 0;
+  uint64_t insertions = 0;    ///< blocks newly retained by Insert
+  uint64_t evictions = 0;     ///< blocks dropped to stay under budget
+  /// Encoder tokens whose prefill was skipped thanks to hits.
+  uint64_t reuse_tokens = 0;
+  size_t bytes = 0;           ///< resident block bytes right now
+  size_t entries = 0;         ///< resident blocks right now
+};
+
+/// Radix-indexed, refcounted cache of encoder-side prefill blocks
+/// (model::EncodedPrefix), shared across requests by the serve scheduler.
+///
+/// Keying: the full encoder token sequence plus the weight dtype it was
+/// computed under (one radix tree per dtype — int8 and float32 encoder
+/// outputs differ numerically). A lookup only *reuses* a block on an exact
+/// full-sequence match: the T5 encoder is bidirectional, so the hidden
+/// state at every position depends on the whole input and a
+/// partial-prefix splice could not reproduce bit-exact tokens
+/// (docs/SERVING.md). Partial radix matches are still tracked — they feed
+/// the partial_hits metric and the scheduler's same-prefix co-batching
+/// affinity.
+///
+/// Lifetime: Acquire (on hit) and Insert pin the block — pinned entries
+/// are never evicted, so a batch mid-decode can never lose the storage it
+/// aliases. Release unpins and, together with Insert, trims unpinned
+/// entries in LRU order until the byte budget holds. Clear drops the whole
+/// index (checkpoint reload: new weights invalidate every block); handles
+/// still outstanding keep their block alive through the shared_ptr and
+/// their Release becomes a no-op.
+///
+/// Thread-safe: one mutex guards the index. The scheduler loop is the only
+/// mutator, but /admin/stats and /metrics scrape stats() from transport
+/// threads concurrently.
+class PrefixCache {
+ public:
+  /// One Acquire/Insert result. `block` is null on a miss from Acquire;
+  /// `hit` distinguishes an Acquire hit from an Insert pin. Pass the
+  /// handle back to Release exactly once when the request completes.
+  struct Handle {
+    std::shared_ptr<const model::EncodedPrefix> block;
+    int matched_tokens = 0;  ///< radix tokens matched (full or partial)
+    bool hit = false;
+  };
+
+  explicit PrefixCache(const PrefixCacheOptions& options);
+  ~PrefixCache();
+
+  PrefixCache(const PrefixCache&) = delete;
+  PrefixCache& operator=(const PrefixCache&) = delete;
+
+  /// Looks up the exact sequence. On a hit the entry is pinned and its
+  /// LRU clock touched; on a miss the handle carries only matched_tokens
+  /// (longest radix prefix found, for affinity/metrics).
+  Handle Acquire(const std::vector<int>& tokens, WeightDtype dtype);
+
+  /// Donates a freshly computed block. Retains and pins it (splitting
+  /// radix edges as needed), then trims unpinned LRU entries to budget;
+  /// if the sequence is already resident the existing block wins and the
+  /// returned handle carries it. No-op (unpinned passthrough handle) when
+  /// the cache is disabled.
+  Handle Insert(std::shared_ptr<const model::EncodedPrefix> block);
+
+  /// Unpins a handle from Acquire/Insert. Safe after Clear (the entry may
+  /// be gone — identity is checked, not just the key). Triggers an LRU
+  /// trim, since the newly unpinned entry may now be evictable.
+  void Release(const Handle& handle);
+
+  /// Longest cached prefix (in tokens) of `tokens`, without pinning or
+  /// touching LRU state. The scheduler's co-batching affinity signal.
+  int MatchLen(const std::vector<int>& tokens, WeightDtype dtype) const;
+
+  /// Drops every entry regardless of LRU state. Outstanding handles keep
+  /// their blocks alive; callers use this when the model weights change
+  /// (checkpoint reload) at a batch-empty boundary.
+  void Clear();
+
+  PrefixCacheStats stats() const;
+
+  bool enabled() const { return options_.max_bytes > 0; }
+  size_t max_bytes() const { return options_.max_bytes; }
+
+ private:
+  struct Node;
+
+  struct Walk {
+    Node* node = nullptr;  ///< deepest node whose edge was fully consumed
+    int matched = 0;       ///< tokens matched, including a partial edge
+    bool exact = false;    ///< all tokens consumed, exactly at `node`
+  };
+
+  Walk WalkLocked(const std::vector<int>& tokens, WeightDtype dtype) const;
+  /// Finds-or-creates the node for `tokens`, splitting edges as needed.
+  Node* DescendLocked(const std::vector<int>& tokens, WeightDtype dtype);
+  /// Drops `node`'s block and prunes / re-merges the trie around it.
+  void RemoveEntryLocked(Node* node);
+  /// Evicts unpinned entries, least recently used first, until
+  /// bytes_ <= max_bytes (or only pinned entries remain).
+  void TrimLocked();
+  void UpdateGaugesLocked();
+
+  const PrefixCacheOptions options_;
+  mutable std::mutex mu_;
+  /// One radix root per weight dtype; roots hold no entry themselves.
+  std::map<int, std::unique_ptr<Node>> roots_;
+  uint64_t tick_ = 0;   ///< LRU clock, bumped on every pin/unpin/touch
+  size_t bytes_ = 0;
+  size_t entries_ = 0;
+  PrefixCacheStats stats_;
+};
+
+}  // namespace serve
+}  // namespace vist5
+
+#endif  // VIST5_SERVE_PREFIX_CACHE_H_

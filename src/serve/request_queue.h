@@ -139,6 +139,15 @@ class RequestQueue {
   /// Non-blocking pop; false when empty (or closed-and-empty).
   bool TryPop(Entry* out);
 
+  /// TryPop that prefers, among entries at the current top priority
+  /// level, the one whose token sequence shares the longest common prefix
+  /// with `ref` (earliest arrival on ties — plain FIFO when nothing
+  /// matches). Lower priority levels are never jumped; only the order
+  /// *within* the top level bends toward prefix locality, which is what
+  /// the scheduler's same-schema co-batching affinity needs
+  /// (docs/SERVING.md).
+  bool TryPopPreferring(const std::vector<int>& ref, Entry* out);
+
   /// Rejects future pushes and wakes blocked poppers. Entries already
   /// queued remain poppable (graceful drain).
   void Close();

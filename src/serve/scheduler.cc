@@ -62,6 +62,9 @@ struct BatchScheduler::Track {
   uint64_t id = 0;
   Completion done;
   RequestTimeline timeline;
+  /// Pin on the request's encoder-prefix block (empty when the cache is
+  /// off or the request never reached the decoder). Released in Finish.
+  PrefixCache::Handle cache_handle;
 };
 
 /// One parked Reload call: the path to load and the promise its caller
@@ -73,7 +76,13 @@ struct BatchScheduler::PendingReload {
 
 BatchScheduler::BatchScheduler(model::TransformerSeq2Seq* model,
                                const SchedulerOptions& options)
-    : model_(model), options_(options), queue_(options.queue_capacity) {}
+    : model_(model), options_(options), queue_(options.queue_capacity) {
+  if (options.prefix_cache_bytes > 0) {
+    PrefixCacheOptions cache_options;
+    cache_options.max_bytes = options.prefix_cache_bytes;
+    prefix_cache_ = std::make_unique<PrefixCache>(cache_options);
+  }
+}
 
 BatchScheduler::~BatchScheduler() { Shutdown(/*drain=*/false); }
 
@@ -170,6 +179,13 @@ void BatchScheduler::ServiceReload(bool aborting) {
   if (status.ok()) {
     reloads->Add();
     reload_ms->Observe(Ms(Clock::now() - t0));
+    if (prefix_cache_ != nullptr) {
+      // Every cached block was computed under the old weights. Reloads
+      // only run at a batch-empty boundary, so no pins are outstanding
+      // and the whole index can drop.
+      prefix_cache_->Clear();
+      affinity_ref_.clear();
+    }
   }
   pending->done.set_value(std::move(status));
 }
@@ -205,6 +221,13 @@ void BatchScheduler::Finish(Track* track, ResponseStatus status,
   static obs::Counter* tokens_out = obs::GetCounter("serve/tokens");
   static obs::Histogram* latency = obs::GetHistogram("serve/latency_ms");
   static obs::Histogram* tok_rate = obs::GetHistogram("serve/tokens_per_sec");
+  if (prefix_cache_ != nullptr && track->cache_handle.block != nullptr) {
+    // The row's decode state is gone by the time Finish runs, so the pin
+    // can drop; the block stays resident (unpinned) for future hits
+    // unless the LRU trim reclaims it.
+    prefix_cache_->Release(track->cache_handle);
+    track->cache_handle = PrefixCache::Handle{};
+  }
   RequestTimeline& tl = track->timeline;
   tl.finish = Clock::now();
   Response r;
@@ -249,7 +272,21 @@ void BatchScheduler::AdmitGreedy(RequestQueue::Entry entry,
   track.timeline.admitted = true;
   queue_wait->Observe(track.timeline.queue_wait_ms());
   if (decoder->active() > 0) joined->Add();
-  decoder->Admit(req.id, req.tokens, req.options, req.deadline);
+  if (prefix_cache_ != nullptr) {
+    track.cache_handle =
+        prefix_cache_->Acquire(req.tokens, req.options.weight_dtype);
+    if (!track.cache_handle.hit) {
+      // Miss: compute the block once and donate it immediately, so
+      // same-prefix requests already queued behind this one admit warm.
+      track.cache_handle = prefix_cache_->Insert(
+          model_->EncodePrefix(req.tokens, req.options.weight_dtype));
+    }
+    decoder->Admit(req.id, req.tokens, req.options, req.deadline,
+                   track.cache_handle.block.get());
+    if (options_.prefix_affinity) affinity_ref_ = req.tokens;
+  } else {
+    decoder->Admit(req.id, req.tokens, req.options, req.deadline);
+  }
   tracks->push_back(std::move(track));
 }
 
@@ -307,7 +344,16 @@ bool BatchScheduler::FillBatch(model::ContinuousDecoder* decoder,
     } else {
       // Mid-flight: join whatever is already queued at this step
       // boundary, but never stall the running batch to wait for more.
-      if (!queue_.TryPop(&entry)) return false;
+      // With the prefix cache on, prefer the queued request sharing the
+      // longest prefix with the last admission — same-schema requests
+      // co-batch and land on warm blocks.
+      const bool affine = prefix_cache_ != nullptr &&
+                          options_.prefix_affinity &&
+                          !affinity_ref_.empty();
+      if (affine ? !queue_.TryPopPreferring(affinity_ref_, &entry)
+                 : !queue_.TryPop(&entry)) {
+        return false;
+      }
     }
     if (IsExclusive(entry.request.options) ||
         (decoder->active() > 0 &&

@@ -8,8 +8,10 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "model/batch_decoder.h"
+#include "serve/prefix_cache.h"
 #include "serve/request_queue.h"
 
 namespace vist5 {
@@ -23,6 +25,16 @@ struct SchedulerOptions {
   size_t queue_capacity = 64;
   /// Backpressure hint attached to rejected responses.
   int retry_after_ms = 50;
+  /// Byte budget for the shared encoder-prefix cache (docs/SERVING.md).
+  /// 0 (the default) disables prefix caching entirely — behavior is
+  /// identical to a scheduler without the cache.
+  size_t prefix_cache_bytes = 0;
+  /// With the prefix cache enabled, mid-flight admissions prefer queued
+  /// requests sharing the longest token prefix with the most recently
+  /// admitted one, so same-schema requests co-batch and hit warm blocks.
+  /// Priority order is still respected — reordering happens only within
+  /// the top priority level.
+  bool prefix_affinity = true;
 };
 
 /// Persistent decode loop implementing continuous (in-flight) batching.
@@ -83,6 +95,11 @@ class BatchScheduler {
   size_t queue_depth() const { return queue_.size(); }
   int max_batch() const { return options_.max_batch; }
 
+  /// The shared encoder-prefix cache, or null when prefix_cache_bytes is
+  /// 0. Thread-safe to scrape stats() from while the loop mutates it
+  /// (the /admin/stats handler and loadgen reports do).
+  const PrefixCache* prefix_cache() const { return prefix_cache_.get(); }
+
  private:
   struct Track;
   struct PendingReload;
@@ -108,6 +125,13 @@ class BatchScheduler {
 
   model::TransformerSeq2Seq* model_;
   const SchedulerOptions options_;
+  /// Null when prefix_cache_bytes == 0. Mutated only on the loop thread
+  /// (the cache itself is internally locked for stats scrapes).
+  std::unique_ptr<PrefixCache> prefix_cache_;
+  /// Tokens of the most recently admitted greedy request; steers
+  /// RequestQueue::TryPopPreferring when prefix_affinity is on. Loop
+  /// thread only.
+  std::vector<int> affinity_ref_;
   RequestQueue queue_;
   std::thread loop_;
   std::atomic<bool> started_{false};

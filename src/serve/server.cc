@@ -364,6 +364,30 @@ std::string Server::RouteHttp(const std::string& method,
     out.Set("active_connections",
             JsonValue::Number(static_cast<double>(active_conns_.load())));
     out.Set("draining", JsonValue::Bool(draining_.load()));
+    if (const PrefixCache* cache = scheduler_->prefix_cache()) {
+      const PrefixCacheStats s = cache->stats();
+      const uint64_t lookups = s.hits + s.misses;
+      JsonValue pc = JsonValue::Object();
+      pc.Set("hits", JsonValue::Number(static_cast<double>(s.hits)));
+      pc.Set("misses", JsonValue::Number(static_cast<double>(s.misses)));
+      pc.Set("partial_hits",
+             JsonValue::Number(static_cast<double>(s.partial_hits)));
+      pc.Set("insertions",
+             JsonValue::Number(static_cast<double>(s.insertions)));
+      pc.Set("evictions",
+             JsonValue::Number(static_cast<double>(s.evictions)));
+      pc.Set("reuse_tokens",
+             JsonValue::Number(static_cast<double>(s.reuse_tokens)));
+      pc.Set("bytes", JsonValue::Number(static_cast<double>(s.bytes)));
+      pc.Set("entries", JsonValue::Number(static_cast<double>(s.entries)));
+      pc.Set("max_bytes",
+             JsonValue::Number(static_cast<double>(cache->max_bytes())));
+      pc.Set("hit_rate",
+             JsonValue::Number(lookups > 0 ? static_cast<double>(s.hits) /
+                                                 static_cast<double>(lookups)
+                                           : 0.0));
+      out.Set("prefix_cache", std::move(pc));
+    }
     return ok_json(std::move(out));
   }
   if (target == "/admin/drain" || target == "/admin/resume") {

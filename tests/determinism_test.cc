@@ -15,10 +15,12 @@
 
 #include <gtest/gtest.h>
 
+#include "model/batch_decoder.h"
 #include "model/trainer.h"
 #include "model/transformer_model.h"
 #include "nn/transformer.h"
 #include "rt/thread_pool.h"
+#include "serve/prefix_cache.h"
 #include "tensor/optimizer.h"
 #include "tensor/ops.h"
 #include "tensor/simd.h"
@@ -211,6 +213,128 @@ TEST_P(Determinism, BatchedDecodeTokensIdenticalAcrossThreads) {
   rt::SetThreads(4);
   model::TransformerSeq2Seq m4(Config(), kPad, kEos, seed());
   EXPECT_EQ(m4.GenerateBatch(srcs, options), serial) << preset().name;
+}
+
+/// Batched decode where every row's prefill was spliced from a shared
+/// EncodedPrefix block (the serve prefix cache's reuse path) instead of
+/// recomputed. Duplicate sources share one block, so the warm-hit case —
+/// two live rows aliasing the same immutable tensors — is always present.
+std::vector<std::vector<int>> SplicedBatchDecode(
+    const model::TransformerSeq2Seq& m,
+    const std::vector<std::vector<int>>& srcs,
+    const model::GenerationOptions& options) {
+  model::ContinuousDecoder decoder(&m);
+  std::vector<std::shared_ptr<const model::EncodedPrefix>> blocks;
+  for (size_t i = 0; i < srcs.size(); ++i) {
+    const model::EncodedPrefix* block = nullptr;
+    for (size_t j = 0; j < i; ++j) {
+      if (srcs[j] == srcs[i]) {
+        block = blocks[j].get();  // warm hit: reuse the earlier block
+        blocks.push_back(blocks[j]);
+        break;
+      }
+    }
+    if (block == nullptr) {
+      blocks.push_back(m.EncodePrefix(srcs[i], options.weight_dtype));
+      block = blocks.back().get();
+    }
+    decoder.Admit(static_cast<uint64_t>(i), srcs[i], options,
+                  model::ContinuousDecoder::Clock::time_point::max(), block);
+  }
+  std::vector<std::vector<int>> out(srcs.size());
+  while (decoder.active() > 0) {
+    for (model::ContinuousDecoder::Finished& f : decoder.Step()) {
+      out[static_cast<size_t>(f.id)] = std::move(f.tokens);
+    }
+  }
+  return out;
+}
+
+/// Single-request spliced decode (the one-row case of the above).
+std::vector<int> SplicedBatchDecodeOne(const model::TransformerSeq2Seq& m,
+                                       const std::vector<int>& src,
+                                       const model::GenerationOptions& options,
+                                       const model::EncodedPrefix* block) {
+  model::ContinuousDecoder decoder(&m);
+  decoder.Admit(1, src, options,
+                model::ContinuousDecoder::Clock::time_point::max(), block);
+  std::vector<int> out;
+  while (decoder.active() > 0) {
+    for (model::ContinuousDecoder::Finished& f : decoder.Step()) {
+      out = std::move(f.tokens);
+    }
+  }
+  return out;
+}
+
+TEST_P(Determinism, CachedSplicedDecodeBitIdenticalAcrossThreads) {
+  // Prefix-cache rows inherit every determinism contract: a decode whose
+  // prefill came from a cached block must emit the same tokens as plain
+  // sequential Generate, at every thread width — EncodePrefix itself is a
+  // batch-of-one encode, so its output may not move with SetThreads either.
+  Rng data(seed() * 37 + 11);
+  std::vector<std::vector<int>> srcs;
+  for (int len : {6, 9, 4}) srcs.push_back(RandomSeq(&data, len));
+  srcs.push_back(srcs[0]);  // exact repeat -> two rows share one block
+
+  model::GenerationOptions options;
+  options.max_len = 14;
+
+  rt::SetThreads(1);
+  model::TransformerSeq2Seq m1(Config(), kPad, kEos, seed());
+  std::vector<std::vector<int>> reference;
+  for (const auto& src : srcs) reference.push_back(m1.Generate(src, options));
+  EXPECT_EQ(SplicedBatchDecode(m1, srcs, options), reference)
+      << preset().name << ": spliced != sequential at 1 thread";
+
+  rt::SetThreads(4);
+  model::TransformerSeq2Seq m4(Config(), kPad, kEos, seed());
+  EXPECT_EQ(SplicedBatchDecode(m4, srcs, options), reference)
+      << preset().name << ": spliced thread-count drift";
+}
+
+TEST_P(Determinism, CacheHitAfterEvictionReinsertBitIdenticalAcrossThreads) {
+  // A block that was evicted under LRU pressure and later recomputed and
+  // reinserted is a *different* object holding the same sequence. Decoding
+  // from the reinserted block must reproduce the original tokens at both
+  // thread widths — i.e. EncodePrefix is a pure function of (weights,
+  // tokens, dtype), not of cache history or thread count.
+  Rng data(seed() * 41 + 13);
+  const std::vector<int> src = RandomSeq(&data, 7);
+  const std::vector<int> filler = RandomSeq(&data, 9);
+  model::GenerationOptions options;
+  options.max_len = 14;
+
+  auto decode_spliced = [&](const model::TransformerSeq2Seq& m,
+                            const model::EncodedPrefix* block) {
+    return SplicedBatchDecodeOne(m, src, options, block);
+  };
+
+  rt::SetThreads(1);
+  model::TransformerSeq2Seq m1(Config(), kPad, kEos, seed());
+  const std::vector<int> reference = m1.Generate(src, options);
+
+  auto first = m1.EncodePrefix(src, options.weight_dtype);
+  serve::PrefixCache cache({first->ByteSize() + first->ByteSize() / 2});
+  cache.Release(cache.Insert(first));
+  EXPECT_EQ(decode_spliced(m1, first.get()), reference) << preset().name;
+
+  // Evict via budget pressure, then recompute + reinsert the same tokens.
+  cache.Release(cache.Insert(m1.EncodePrefix(filler, options.weight_dtype)));
+  ASSERT_GE(cache.stats().evictions, 1u) << preset().name;
+  ASSERT_FALSE(cache.Acquire(src, options.weight_dtype).hit);
+  cache.Release(cache.Insert(m1.EncodePrefix(src, options.weight_dtype)));
+
+  serve::PrefixCache::Handle hit = cache.Acquire(src, options.weight_dtype);
+  ASSERT_TRUE(hit.hit) << preset().name;
+  ASSERT_NE(hit.block.get(), first.get());
+  EXPECT_EQ(decode_spliced(m1, hit.block.get()), reference)
+      << preset().name << ": reinserted block drifted at 1 thread";
+
+  rt::SetThreads(4);
+  EXPECT_EQ(decode_spliced(m1, hit.block.get()), reference)
+      << preset().name << ": reinserted block drifted at 4 threads";
+  cache.Release(hit);
 }
 
 TEST_P(Determinism, Int8LogitsTrackFloatLogits) {
@@ -462,6 +586,51 @@ TEST_F(SimdParity, PerConfigDecodeContractsHold) {
         }
         EXPECT_EQ(m4.GenerateBatch(srcs, options), sequential)
             << tag << ": batched thread-count drift";
+        rt::SetThreads(1);
+      }
+    }
+  }
+}
+
+/// Prefix-cache decode contract per (isa, dtype) configuration: splicing a
+/// cached encoder block (including one shared between two rows) must stay
+/// bit-identical to sequential Generate under the scalar and AVX2 backends
+/// at both weight dtypes, at both thread widths. The cache key includes the
+/// dtype precisely because int8 and float32 blocks differ — this pins that
+/// a block decoded under the dtype it was encoded at never drifts.
+TEST_F(SimdParity, CachedSplicedDecodeContractsHoldPerConfig) {
+  Rng data(105);
+  std::vector<std::vector<int>> srcs;
+  for (int len : {5, 8, 4}) srcs.push_back(RandomSeq(&data, len));
+  srcs.push_back(srcs[0]);  // warm-hit row sharing the first block
+
+  IsaGuard restore;
+  for (const Preset& preset : kPresets) {
+    nn::TransformerConfig cfg = preset.make(kVocab);
+    cfg.dropout = 0.0f;
+    for (simd::Isa isa : {simd::Isa::kScalar, simd::Isa::kAvx2}) {
+      ASSERT_TRUE(simd::SetIsa(isa));
+      for (WeightDtype dtype : {WeightDtype::kFloat32, WeightDtype::kInt8}) {
+        model::GenerationOptions options;
+        options.max_len = 14;
+        options.weight_dtype = dtype;
+        const std::string tag = std::string(preset.name) + "/" +
+                                simd::IsaName(isa) + "/" +
+                                WeightDtypeName(dtype);
+
+        rt::SetThreads(1);
+        model::TransformerSeq2Seq m1(cfg, kPad, kEos, 42);
+        std::vector<std::vector<int>> sequential;
+        for (const auto& src : srcs) {
+          sequential.push_back(m1.Generate(src, options));
+        }
+        EXPECT_EQ(SplicedBatchDecode(m1, srcs, options), sequential)
+            << tag << ": spliced != sequential";
+
+        rt::SetThreads(4);
+        model::TransformerSeq2Seq m4(cfg, kPad, kEos, 42);
+        EXPECT_EQ(SplicedBatchDecode(m4, srcs, options), sequential)
+            << tag << ": spliced thread-count drift";
         rt::SetThreads(1);
       }
     }

@@ -1,0 +1,252 @@
+// DV-grammar fuzz round-trip (registered as the `dv_fuzz` ctest entry).
+//
+// Three properties, each over >= 10k seeded iterations by default:
+//  1. Fixpoint: a structurally valid random DvQuery AST, rendered with
+//     ToString, must parse back, and re-rendering the parse must reproduce
+//     the first rendering byte-for-byte (ToString is the canonical form,
+//     so render -> parse -> render is a fixpoint after one step).
+//  2. Mutation: randomly corrupted renderings (byte flips, insertions,
+//     deletions, quote injection, token shuffles) must come back as a
+//     Status — never a crash, hang, or uncaught exception. When a mutant
+//     happens to parse, its AST must still render and re-parse cleanly.
+//  3. Truncation: every prefix of a valid rendering must parse or fail
+//     gracefully — prefixes walk the parser into every mid-clause EOF path.
+//
+// Determinism: the base seed is fixed (override with VIST5_FUZZ_SEED) so a
+// failure reproduces exactly; the failing input is printed so it can be
+// folded into tests/dv_test.cc as a named regression. Iteration counts
+// scale with VIST5_FUZZ_ITERS.
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "db/executor.h"
+#include "dv/dv_query.h"
+#include "dv/parser.h"
+#include "util/rng.h"
+
+namespace vist5 {
+namespace {
+
+uint64_t EnvOr(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr && *value != '\0'
+             ? std::strtoull(value, nullptr, 10)
+             : fallback;
+}
+
+int Iterations() {
+  return static_cast<int>(EnvOr("VIST5_FUZZ_ITERS", 12000));
+}
+
+// ---------------------------------------------------------------------------
+// Valid-AST generator. Every choice below stays inside the subset whose
+// rendering is already canonical: lowercase identifiers (the lexer folds
+// words to lowercase), no quote characters inside string literals (the
+// renderer does not escape), plain integer/decimal numbers, aliases left
+// empty (ToString drops them), and order-by targets drawn from the select
+// list with an explicit direction (ToString always prints one).
+// ---------------------------------------------------------------------------
+
+std::string RandomIdentifier(Rng* rng) {
+  static const char kFirst[] = "abcdefghijklmnopqrstuvwxyz_";
+  static const char kRest[] = "abcdefghijklmnopqrstuvwxyz0123456789_";
+  const int len = rng->UniformRange(1, 8);
+  std::string id;
+  id.push_back(kFirst[static_cast<size_t>(
+      rng->UniformInt(static_cast<int>(sizeof(kFirst) - 1)))]);
+  for (int i = 1; i < len; ++i) {
+    id.push_back(kRest[static_cast<size_t>(
+        rng->UniformInt(static_cast<int>(sizeof(kRest) - 1)))]);
+  }
+  return id;
+}
+
+dv::ColumnRef RandomColumn(Rng* rng, bool allow_qualified = true) {
+  dv::ColumnRef col;
+  if (allow_qualified && rng->UniformInt(4) == 0) {
+    col.table = RandomIdentifier(rng);
+  }
+  col.column = RandomIdentifier(rng);
+  return col;
+}
+
+dv::SelectExpr RandomSelectExpr(Rng* rng) {
+  dv::SelectExpr expr;
+  const int agg = rng->UniformInt(6);  // kNone..kMax
+  expr.agg = static_cast<db::AggFn>(agg);
+  if (expr.agg != db::AggFn::kNone && rng->UniformInt(3) == 0) {
+    expr.star = true;  // agg(*): star requires an aggregate
+  } else {
+    expr.col = RandomColumn(rng);
+  }
+  return expr;
+}
+
+std::string RandomLiteralText(Rng* rng, bool* is_number) {
+  *is_number = rng->UniformInt(2) == 0;
+  if (*is_number) {
+    std::string text;
+    if (rng->UniformInt(4) == 0) text.push_back('-');
+    text += std::to_string(rng->UniformRange(0, 9999));
+    if (rng->UniformInt(3) == 0) {
+      text.push_back('.');
+      text += std::to_string(rng->UniformRange(0, 99));
+    }
+    return text;
+  }
+  // String literal: any run without quote characters round-trips verbatim
+  // (case and spaces included — quoted tokens skip the lowercasing).
+  static const char kChars[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_ %-";
+  const int len = rng->UniformRange(0, 10);  // 0: empty literal ''
+  std::string text;
+  for (int i = 0; i < len; ++i) {
+    text.push_back(kChars[static_cast<size_t>(
+        rng->UniformInt(static_cast<int>(sizeof(kChars) - 1)))]);
+  }
+  return text;
+}
+
+dv::DvQuery RandomQuery(Rng* rng) {
+  dv::DvQuery q;
+  q.chart = static_cast<dv::ChartType>(rng->UniformInt(4));
+  const int num_select = rng->UniformRange(1, 3);
+  for (int i = 0; i < num_select; ++i) {
+    q.select.push_back(RandomSelectExpr(rng));
+  }
+  q.from_table = RandomIdentifier(rng);
+  if (rng->UniformInt(3) == 0) {
+    dv::JoinSpec join;
+    join.table = RandomIdentifier(rng);
+    join.left = RandomColumn(rng);
+    join.right = RandomColumn(rng);
+    q.join = join;
+  }
+  const int num_where = rng->UniformInt(3);
+  for (int i = 0; i < num_where; ++i) {
+    dv::DvPredicate pred;
+    pred.col = RandomColumn(rng);
+    pred.op = static_cast<db::CmpOp>(rng->UniformInt(7));  // kEq..kLike
+    pred.literal = RandomLiteralText(rng, &pred.is_number);
+    if (pred.is_number) {
+      pred.number = std::strtod(pred.literal.c_str(), nullptr);
+    }
+    q.where.push_back(pred);
+  }
+  if (rng->UniformInt(4) == 0) {
+    dv::BinClause bin;
+    bin.col = RandomColumn(rng);
+    bin.unit = rng->UniformInt(2) == 0 ? dv::BinClause::Unit::kDecade
+                                       : dv::BinClause::Unit::kBucket;
+    q.bin = bin;
+  }
+  if (rng->UniformInt(3) == 0) q.group_by = RandomColumn(rng);
+  if (rng->UniformInt(3) == 0) {
+    dv::OrderBy order;
+    order.target =
+        q.select[static_cast<size_t>(rng->UniformInt(num_select))];
+    order.ascending = rng->UniformInt(2) == 0;
+    order.direction_explicit = true;
+    q.order_by = order;
+  }
+  return q;
+}
+
+TEST(DvFuzz, RenderParseRenderFixpoint) {
+  Rng rng(EnvOr("VIST5_FUZZ_SEED", 20260807));
+  const int iters = Iterations();
+  for (int i = 0; i < iters; ++i) {
+    const dv::DvQuery q = RandomQuery(&rng);
+    const std::string r1 = q.ToString();
+    StatusOr<dv::DvQuery> parsed = dv::ParseDvQuery(r1);
+    ASSERT_TRUE(parsed.ok())
+        << "iteration " << i << ": valid rendering failed to parse\n  input: "
+        << r1 << "\n  error: " << parsed.status().message();
+    const std::string r2 = parsed.value().ToString();
+    ASSERT_EQ(r1, r2) << "iteration " << i << ": render not a fixpoint";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mutation fuzz. The mutants are built from valid renderings so they sit
+// right on the edge of the grammar — the inputs most likely to walk the
+// parser into an unconsidered state.
+// ---------------------------------------------------------------------------
+
+std::string Mutate(const std::string& base, Rng* rng) {
+  std::string s = base;
+  const int edits = rng->UniformRange(1, 4);
+  for (int e = 0; e < edits && !s.empty(); ++e) {
+    const size_t pos = static_cast<size_t>(
+        rng->UniformInt(static_cast<int>(s.size())));
+    switch (rng->UniformInt(6)) {
+      case 0:  // substitute an arbitrary byte (incl. high-bit / control)
+        s[pos] = static_cast<char>(rng->UniformRange(1, 255));
+        break;
+      case 1:  // delete
+        s.erase(pos, 1);
+        break;
+      case 2:  // insert an arbitrary byte
+        s.insert(pos, 1, static_cast<char>(rng->UniformRange(1, 255)));
+        break;
+      case 3:  // inject a quote — unterminated-string paths
+        s.insert(pos, 1, rng->UniformInt(2) == 0 ? '\'' : '"');
+        break;
+      case 4:  // duplicate a span — repeated-clause / trailing-token paths
+        s.insert(pos, s.substr(pos, static_cast<size_t>(
+                                        rng->UniformRange(1, 12))));
+        break;
+      case 5:  // truncate
+        s.resize(pos);
+        break;
+    }
+  }
+  return s;
+}
+
+TEST(DvFuzz, MutatedInputsReturnStatusNotCrash) {
+  Rng rng(EnvOr("VIST5_FUZZ_SEED", 20260807) ^ 0x9e3779b97f4a7c15ull);
+  const int iters = Iterations();
+  for (int i = 0; i < iters; ++i) {
+    const std::string base = RandomQuery(&rng).ToString();
+    for (int m = 0; m < 4; ++m) {
+      const std::string mutant = Mutate(base, &rng);
+      StatusOr<dv::DvQuery> parsed = dv::ParseDvQuery(mutant);
+      if (!parsed.ok()) {
+        EXPECT_FALSE(parsed.status().message().empty())
+            << "iteration " << i << ": error status without a message";
+        continue;
+      }
+      // A mutant that still parses must have a well-formed AST: its
+      // rendering parses again (not necessarily a fixpoint — a mutated
+      // quoted literal can contain the other quote character, which the
+      // unescaping renderer may re-quote differently — but never a crash).
+      const std::string rendered = parsed.value().ToString();
+      (void)dv::ParseDvQuery(rendered);
+    }
+  }
+}
+
+TEST(DvFuzz, EveryPrefixOfValidQueriesParsesOrFailsGracefully) {
+  Rng rng(EnvOr("VIST5_FUZZ_SEED", 20260807) ^ 0x5851f42d4c957f2dull);
+  // Prefix count ~ O(len) per query, so fewer bases still exceed 10k
+  // parser invocations comfortably.
+  const int iters = std::max(200, Iterations() / 40);
+  for (int i = 0; i < iters; ++i) {
+    const std::string full = RandomQuery(&rng).ToString();
+    for (size_t len = 0; len <= full.size(); ++len) {
+      StatusOr<dv::DvQuery> parsed = dv::ParseDvQuery(full.substr(0, len));
+      if (!parsed.ok()) {
+        EXPECT_FALSE(parsed.status().message().empty())
+            << "prefix length " << len << " of: " << full;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vist5

@@ -1,0 +1,108 @@
+// AddressSanitizer pass over the serve::PrefixCache radix index
+// (docs/SERVING.md), the cache-side companion to simd_asan_test's kernel
+// matrix. The release tree compiles the cache with -O3 and no sanitizer;
+// this binary recompiles src/serve/prefix_cache.cc under ASan (see
+// tests/CMakeLists.txt) and churns it with hundreds of thousands of
+// insert / acquire / release / clear operations over a deliberately tiny
+// token alphabet and byte budget — so edge splitting, interior-node
+// entries, LRU eviction, leaf pruning, and single-child re-merges all run
+// constantly with redzones on every node and edge allocation. An
+// off-by-one in any child-map fixup surfaces as a hard
+// heap-use-after-free / buffer-overflow report instead of a latent
+// corruption.
+//
+// Plain main (no gtest), like simd_asan_test: the hot path stays inside
+// the instrumented TU. Deterministic seed so any report reproduces.
+
+#include <cstdio>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "model/transformer_model.h"
+#include "serve/prefix_cache.h"
+#include "util/rng.h"
+
+namespace vist5 {
+namespace {
+
+int Run() {
+  Rng rng(20260807);
+  const auto make_block = [&rng](std::vector<int> tokens) {
+    auto block = std::make_shared<model::EncodedPrefix>();
+    block->tokens = std::move(tokens);
+    // Variable payload sizes keep the byte accounting honest under churn.
+    block->memory = Tensor({rng.UniformRange(1, 64), 1});
+    return block;
+  };
+  const auto random_seq = [&rng] {
+    // Alphabet of 6 over lengths 1..12: collisions, splits, and merges are
+    // the common case, not the rare one.
+    std::vector<int> seq(static_cast<size_t>(rng.UniformRange(1, 12)));
+    for (int& t : seq) t = rng.UniformInt(6);
+    return seq;
+  };
+
+  const size_t one_block = make_block({1, 2, 3})->ByteSize();
+  serve::PrefixCache cache({one_block * 4});
+  std::vector<serve::PrefixCache::Handle> held;
+
+  constexpr int kOps = 200000;
+  for (int i = 0; i < kOps; ++i) {
+    switch (rng.UniformInt(8)) {
+      case 0:
+      case 1:
+      case 2:
+        held.push_back(cache.Insert(make_block(random_seq())));
+        break;
+      case 3:
+      case 4: {
+        serve::PrefixCache::Handle h =
+            cache.Acquire(random_seq(), WeightDtype::kFloat32);
+        if (h.hit) held.push_back(std::move(h));
+        break;
+      }
+      case 5:
+      case 6:
+        if (!held.empty()) {
+          const size_t idx = static_cast<size_t>(
+              rng.UniformInt(static_cast<int>(held.size())));
+          cache.Release(held[idx]);
+          held.erase(held.begin() + static_cast<long>(idx));
+        }
+        break;
+      case 7:
+        if (rng.UniformInt(500) == 0) {
+          // Clear with handles still outstanding: their later Releases
+          // must hit the identity check, not a freed node.
+          cache.Clear();
+        } else {
+          (void)cache.MatchLen(random_seq(), WeightDtype::kFloat32);
+        }
+        break;
+    }
+  }
+  for (serve::PrefixCache::Handle& h : held) cache.Release(h);
+
+  const serve::PrefixCacheStats stats = cache.stats();
+  if (stats.bytes > cache.max_bytes()) {
+    std::fprintf(stderr,
+                 "prefix_cache_asan: FAIL — resident bytes %zu exceed the "
+                 "%zu budget with no pins left\n",
+                 static_cast<size_t>(stats.bytes), cache.max_bytes());
+    return 1;
+  }
+  std::printf(
+      "prefix_cache_asan: %d ops ok (%llu insertions, %llu hits, %llu "
+      "evictions, %llu resident)\n",
+      kOps, static_cast<unsigned long long>(stats.insertions),
+      static_cast<unsigned long long>(stats.hits),
+      static_cast<unsigned long long>(stats.evictions),
+      static_cast<unsigned long long>(stats.entries));
+  return 0;
+}
+
+}  // namespace
+}  // namespace vist5
+
+int main() { return vist5::Run(); }

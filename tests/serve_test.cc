@@ -980,6 +980,110 @@ TEST(ServeInt8, MixedDtypeRequestsMatchSequentialPerDtype) {
   }
 }
 
+// ------------------------------------------------ prefix cache concurrency
+
+// TSan-targeted (scripts/run_tsan.sh runs this suite explicitly):
+// same-prefix clients race admissions, warm hits, and LRU evictions — the
+// byte budget is deliberately about one encoded block, so every insert
+// churns the radix tree — while scrape threads hammer /admin/stats and
+// /metrics and direct stats()/MatchLen calls, and the run ends in a
+// graceful drain. Token correctness is still asserted (a race that
+// corrupts a spliced block would surface as drift even without TSan), but
+// the primary payload is the lock discipline of PrefixCache under
+// admit/evict/scrape contention.
+TEST(PrefixCacheConcurrency, SamePrefixClientsRaceEvictionsAndStatsScrapes) {
+  model::TransformerSeq2Seq m = MakeSmallModel();
+  model::GenerationOptions gen;
+  gen.max_len = 10;
+
+  // Prompt pool: two shared schema prefixes with two questions each, plus
+  // unique cold prompts — warm hits, partial matches, and misses all occur.
+  Rng rng(23);
+  std::vector<std::vector<int>> prompts;
+  for (int schema = 0; schema < 2; ++schema) {
+    const std::vector<int> head = RandomSrc(&rng, 6);
+    for (int question = 0; question < 2; ++question) {
+      std::vector<int> prompt = head;
+      const std::vector<int> tail = RandomSrc(&rng, 3);
+      prompt.insert(prompt.end(), tail.begin(), tail.end());
+      prompts.push_back(std::move(prompt));
+    }
+  }
+  for (int i = 0; i < 2; ++i) prompts.push_back(RandomSrc(&rng, 5 + i));
+  std::vector<std::vector<int>> reference;
+  for (const auto& prompt : prompts) reference.push_back(m.Generate(prompt, gen));
+
+  const auto probe = m.EncodePrefix(prompts[0], gen.weight_dtype);
+  serve::SchedulerOptions sched_options;
+  sched_options.max_batch = 4;
+  sched_options.queue_capacity = 256;
+  sched_options.prefix_cache_bytes = probe->ByteSize() * 3 / 2;
+  serve::BatchScheduler scheduler(&m, sched_options);
+  scheduler.Start();
+
+  serve::ServerOptions server_options;
+  server_options.port = 0;
+  serve::Server server(&scheduler, nullptr, server_options);
+  ASSERT_TRUE(server.Start().ok());
+  const int port = server.port();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> mismatches{0};
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 12;
+  std::vector<std::thread> workers;
+  for (int c = 0; c < kClients; ++c) {
+    workers.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        // Skew toward the shared prompts so concurrent same-prefix
+        // admissions are the common case, not a lucky interleaving.
+        const size_t pick = static_cast<size_t>(
+            (c + i) % 3 == 0 ? 4 + (c + i) % 2 : (c + i) % 4);
+        serve::Request req;
+        req.tokens = prompts[pick];
+        req.options = gen;
+        const serve::Response r = scheduler.SubmitAndWait(std::move(req));
+        if (r.status != serve::ResponseStatus::kOk ||
+            r.tokens != reference[pick]) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  std::vector<std::thread> scrapers;
+  for (int s = 0; s < 2; ++s) {
+    scrapers.emplace_back([&, s] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto reply = serve::HttpCall(
+            "127.0.0.1", port, "GET", s == 0 ? "/admin/stats" : "/metrics");
+        if (reply.ok() && s == 0) {
+          EXPECT_NE(reply.value().body.find("prefix_cache"),
+                    std::string::npos);
+        }
+        // Direct reads race the decode loop's inserts/evictions too.
+        (void)scheduler.prefix_cache()->stats();
+        (void)scheduler.prefix_cache()->MatchLen(prompts[0],
+                                                 gen.weight_dtype);
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : scrapers) t.join();
+  server.Stop(/*drain=*/true);
+  scheduler.Shutdown(/*drain=*/true);
+
+  EXPECT_EQ(mismatches.load(), 0);
+  ASSERT_NE(scheduler.prefix_cache(), nullptr);
+  const serve::PrefixCacheStats stats = scheduler.prefix_cache()->stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kClients * kPerClient));
+  // Six distinct prompts through a ~1.5-block budget: eviction pressure is
+  // structural, not incidental.
+  EXPECT_GE(stats.evictions, 1u);
+  EXPECT_LE(stats.bytes, sched_options.prefix_cache_bytes);
+}
+
 // The line protocol accepts "weight_dtype" and rejects unknown values
 // without dropping the connection.
 TEST(Server, WeightDtypeFieldParsedAndValidated) {
