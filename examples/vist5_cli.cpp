@@ -7,11 +7,14 @@
 //   vist5_cli schema      --db DIR [--question "..."]
 //   vist5_cli serve       [--port N] [--max-batch N] [--seed N]
 //                         [--max-conns N] [--idle-timeout-ms N]
+//                         [--draft-checkpoint PATH] [--spec-demo-draft 0|1]
+//                         [--spec-k N]
 //                         [--health-queue-warn N] [--health-queue-crit N]
 //                         [--health-p99-warn MS] [--health-p99-crit MS]
 //                         [--health-reject-warn F] [--health-reject-crit F]
 //   vist5_cli bench-serve [--requests N] [--max-len N] [--slo-ms MS]
-//                         [--seed N]
+//                         [--seed N] [--arrival-rate RPS] [--trace FILE]
+//                         [--spec-demo-draft 0|1] [--spec-k N]
 //   vist5_cli train       [--steps N] [--batch N] [--seed N]
 //                         [--checkpoint-dir DIR] [--checkpoint-every N]
 //                         [--keep-last N] [--resume 0|1]
@@ -24,8 +27,15 @@
 // `serve` starts a line-delimited JSON server (docs/SERVING.md) backed by
 // the continuous-batching scheduler over a demo fixture: a synthetic
 // catalog, a tokenizer built from its NVBench pairs, and an untrained
-// T5-small model. `bench-serve` drives the same fixture with the in-process
-// load generator at batch widths 1/4/8. `train` fine-tunes the same fixture
+// T5-small model. Speculative decoding (docs/SPECULATIVE.md) needs a draft:
+// --draft-checkpoint loads a module checkpoint into a fixture-shaped draft
+// model, while --spec-demo-draft builds a same-seed copy of the base
+// (identical weights, so acceptance is exactly 1.0 — the no-checkpoint demo
+// scripts/check_metrics.sh uses). --spec-k makes every request speculative
+// by default; requests opt out with "draft": 0. `bench-serve` drives the
+// same fixture with the in-process load generator at batch widths 1/4/8,
+// closed-loop by default, open-loop with --arrival-rate (Poisson) or
+// --trace (JSONL replay, docs/SERVING.md). `train` fine-tunes the fixture
 // on its question->query pairs with crash-safe checkpointing
 // (docs/CHECKPOINTING.md): point --checkpoint-dir at a directory, kill the
 // process at any moment, rerun the identical command, and the run resumes
@@ -55,6 +65,7 @@
 #include "dv/parser.h"
 #include "dv/standardize.h"
 #include "dv/vega.h"
+#include "model/checkpoint.h"
 #include "model/trainer.h"
 #include "model/transformer_model.h"
 #include "nn/transformer.h"
@@ -74,6 +85,8 @@ int Usage() {
                "schema|serve|bench-serve|train> [--db DIR] [--query Q] "
                "[--question TEXT] [--dvl vega|ggplot|echarts] [--port N] "
                "[--max-batch N] [--requests N] [--max-len N] [--seed N] "
+               "[--draft-checkpoint PATH] [--spec-demo-draft 0|1] "
+               "[--spec-k N] [--arrival-rate RPS] [--trace FILE] "
                "[--steps N] [--batch N] [--checkpoint-dir DIR] "
                "[--checkpoint-every N] [--keep-last N] [--resume 0|1] "
                "[--max-steps-per-run N]\n");
@@ -181,6 +194,28 @@ int RunServe(const std::map<std::string, std::string>& flags) {
   // Parsed as a double so budgets beyond 2 GiB fit; 0 keeps the cache off.
   sched_options.prefix_cache_bytes =
       static_cast<size_t>(FlagDouble(flags, "prefix-cache-bytes", 0));
+  // Speculative decoding (docs/SPECULATIVE.md): --draft-checkpoint loads a
+  // module checkpoint (VT5C, docs/CHECKPOINTING.md) into a fixture-shaped
+  // draft; --spec-demo-draft builds a same-seed copy of the base instead —
+  // identical weights, so every proposal is accepted. Declared before the
+  // scheduler so it outlives the decode loop.
+  std::unique_ptr<model::TransformerSeq2Seq> draft;
+  const auto draft_ckpt = flags.find("draft-checkpoint");
+  if (draft_ckpt != flags.end() || FlagInt(flags, "spec-demo-draft", 0) != 0) {
+    draft = std::make_unique<model::TransformerSeq2Seq>(
+        nn::TransformerConfig::T5Small(fixture.tokenizer.vocab_size()),
+        fixture.tokenizer.pad_id(), fixture.tokenizer.eos_id(), seed);
+    if (draft_ckpt != flags.end()) {
+      const Status loaded = model::LoadCheckpoint(draft->CheckpointModule(),
+                                                  draft_ckpt->second);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "serve: --draft-checkpoint: %s\n",
+                     loaded.ToString().c_str());
+        return 1;
+      }
+    }
+    sched_options.draft_model = draft.get();
+  }
   serve::BatchScheduler scheduler(fixture.model.get(), sched_options);
   scheduler.Start();
 
@@ -188,6 +223,7 @@ int RunServe(const std::map<std::string, std::string>& flags) {
   server_options.port = FlagInt(flags, "port", 0);
   server_options.max_connections = FlagInt(flags, "max-conns", 64);
   server_options.idle_timeout_ms = FlagInt(flags, "idle-timeout-ms", 0);
+  server_options.default_draft_k = FlagInt(flags, "spec-k", 0);
   server_options.health.queue_depth_warn =
       FlagDouble(flags, "health-queue-warn", 0);
   server_options.health.queue_depth_crit =
@@ -205,13 +241,15 @@ int RunServe(const std::map<std::string, std::string>& flags) {
     return 1;
   }
   std::printf("vist5 serving on %s:%d (max_batch=%d, max_conns=%d, "
-              "vocab=%d, prefix_cache=%zu bytes); GET /metrics for "
-              "Prometheus exposition, POST /admin/drain to drain; Ctrl-C "
-              "to drain and exit\n",
+              "vocab=%d, prefix_cache=%zu bytes, draft=%s, spec_k=%d); "
+              "GET /metrics for Prometheus exposition, POST /admin/drain "
+              "to drain; Ctrl-C to drain and exit\n",
               server_options.host.c_str(), server.port(),
               sched_options.max_batch, server_options.max_connections,
               fixture.tokenizer.vocab_size(),
-              sched_options.prefix_cache_bytes);
+              sched_options.prefix_cache_bytes,
+              sched_options.draft_model != nullptr ? "loaded" : "none",
+              server_options.default_draft_k);
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleInterrupt);
@@ -231,6 +269,29 @@ int RunBenchServe(const std::map<std::string, std::string>& flags) {
   ServeFixture fixture = BuildServeFixture(seed);
 
   const double slo_ms = FlagDouble(flags, "slo-ms", 0);
+  // Open-loop options (docs/SERVING.md): --arrival-rate switches to
+  // Poisson arrivals at that rate; --trace replays a JSONL trace's exact
+  // timestamps (and wins over --arrival-rate's request count).
+  const double arrival_rate = FlagDouble(flags, "arrival-rate", 0);
+  std::vector<serve::TraceEntry> trace;
+  const auto trace_path = flags.find("trace");
+  if (trace_path != flags.end()) {
+    auto loaded = serve::LoadTraceJsonl(trace_path->second);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "bench-serve: --trace: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    trace = std::move(loaded.value());
+  }
+  // Same-seed demo draft for speculative rows (--spec-demo-draft 1
+  // --spec-k N); identical weights, so acceptance is exactly 1.0.
+  std::unique_ptr<model::TransformerSeq2Seq> draft;
+  if (FlagInt(flags, "spec-demo-draft", 0) != 0) {
+    draft = std::make_unique<model::TransformerSeq2Seq>(
+        nn::TransformerConfig::T5Small(fixture.tokenizer.vocab_size()),
+        fixture.tokenizer.pad_id(), fixture.tokenizer.eos_id(), seed);
+  }
   std::printf("%-8s %12s %10s %10s %10s %10s %9s %10s\n", "batch", "tok/s",
               "p50_ms", "p99_ms", "ttft_p50", "ttft_p99", "slo_viol",
               "occupancy");
@@ -242,6 +303,7 @@ int RunBenchServe(const std::map<std::string, std::string>& flags) {
     sched_options.max_batch = width;
     sched_options.queue_capacity = static_cast<size_t>(requests) + 16;
     sched_options.prefix_cache_bytes = prefix_cache_bytes;
+    sched_options.draft_model = draft.get();
     serve::BatchScheduler scheduler(fixture.model.get(), sched_options);
     scheduler.Start();
 
@@ -249,7 +311,10 @@ int RunBenchServe(const std::map<std::string, std::string>& flags) {
     load.concurrency = width;
     load.total_requests = requests;
     load.slo_ms = slo_ms;
+    load.arrival_rate = arrival_rate;
+    load.trace = trace;
     load.gen.max_len = FlagInt(flags, "max-len", 24);
+    if (draft != nullptr) load.gen.draft_k = FlagInt(flags, "spec-k", 4);
     const serve::LoadGenReport report =
         serve::RunLoadGen(&scheduler, fixture.prompts, load);
     scheduler.Shutdown(/*drain=*/true);

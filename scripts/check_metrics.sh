@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Smoke-checks the serve observability surface end to end with no
 # dependencies beyond bash + awk: starts `vist5_cli serve` on an ephemeral
-# port, pushes a few generation requests through the line protocol, scrapes
+# port, pushes a few generation requests through the line protocol
+# (including a warm speculative request against the same-seed demo draft
+# and a spec+beam mode conflict that must be rejected at admission), scrapes
 # GET /metrics and GET /healthz over plain /dev/tcp, validates the
 # Prometheus exposition with a self-contained awk checker (cumulative
 # buckets monotone, +Inf bucket == _count, serve histograms populated),
@@ -34,8 +36,11 @@ fail() {
 
 # --- start the server and learn its port from stdout ------------------------
 # Prefix cache on (64 MiB) so the warm-hit run below populates the
-# vist5_serve_prefix_cache_* series (docs/SERVING.md).
+# vist5_serve_prefix_cache_* series (docs/SERVING.md), and the same-seed
+# demo draft loaded so a "draft": k request exercises the speculative path
+# and populates the vist5_spec_* series (docs/SPECULATIVE.md).
 "$CLI" serve --port 0 --max-batch 4 --prefix-cache-bytes 67108864 \
+  --spec-demo-draft 1 \
   >"$WORK/serve.out" 2>"$WORK/serve.err" &
 SERVER_PID=$!
 PORT=""
@@ -96,6 +101,22 @@ for i in 1 2; do
 done
 echo "check_metrics: warm-hit request pair ok"
 
+# Speculative request against the demo draft (same weights as the base, so
+# every proposal is accepted) — populates the spec/* counters scraped below.
+reply="$(line_request '{"id":"spec1","tokens":[2,3,4,5,6],"max_len":8,"draft":4}')"
+case "$reply" in
+  *'"status":"ok"'*) ;;
+  *) fail "speculative request did not return ok: $reply" ;;
+esac
+# Mode conflict: speculative + beam must be rejected at admission with a
+# clear error, not silently decoded plain (docs/SPECULATIVE.md).
+reply="$(line_request '{"id":"spec2","tokens":[2,3,4],"max_len":8,"draft":4,"beam":2}')"
+case "$reply" in
+  *'"status":"error"'*'greedy-only'*) ;;
+  *) fail "speculative+beam request was not rejected with a greedy-only error: $reply" ;;
+esac
+echo "check_metrics: speculative request ok, spec+beam rejected at admission"
+
 # --- scrape /metrics and validate the exposition ----------------------------
 http_request GET /metrics >"$WORK/metrics.txt"
 CODE="$(head -1 "$WORK/metrics.txt")"
@@ -150,12 +171,26 @@ hits="$(awk '$1 == "vist5_serve_prefix_cache_hits_total" {print $2}' "$WORK/metr
 [ "${hits%.*}" -ge 1 ] 2>/dev/null || fail "vist5_serve_prefix_cache_hits_total = $hits, expected >= 1 after the warm-hit pair"
 echo "check_metrics: prefix-cache series present, warm hit recorded (hits=$hits)"
 
+# --- speculative series after the warm spec request --------------------------
+for metric in vist5_spec_proposed_total vist5_spec_steps_total \
+              vist5_spec_requests_total vist5_spec_acceptance_rate_count \
+              vist5_spec_tokens_per_step_count; do
+  val="$(awk -v m="$metric" '$1 == m {print $2}' "$WORK/metrics.txt" | head -1)"
+  [ -n "$val" ] || fail "$metric missing from /metrics"
+done
+accepted="$(awk '$1 == "vist5_spec_accepted_total" {print $2}' "$WORK/metrics.txt" | head -1)"
+[ -n "$accepted" ] || fail "vist5_spec_accepted_total missing from /metrics"
+[ "${accepted%.*}" -ge 1 ] 2>/dev/null || fail "vist5_spec_accepted_total = $accepted, expected >= 1 with the same-weights demo draft"
+echo "check_metrics: spec series present, acceptance recorded (accepted=$accepted)"
+
 # --- /admin/stats carries the prefix_cache section ---------------------------
 http_request GET /admin/stats >"$WORK/stats.txt"
 [ "$(head -1 "$WORK/stats.txt")" = "200" ] || fail "GET /admin/stats returned $(head -1 "$WORK/stats.txt")"
 grep -q '"prefix_cache"' "$WORK/stats.txt" || fail "/admin/stats lacks the prefix_cache section"
 grep -q '"hit_rate"' "$WORK/stats.txt" || fail "/admin/stats prefix_cache section lacks hit_rate"
-echo "check_metrics: /admin/stats prefix_cache section present"
+grep -q '"spec"' "$WORK/stats.txt" || fail "/admin/stats lacks the spec section"
+grep -q '"acceptance_rate"' "$WORK/stats.txt" || fail "/admin/stats spec section lacks acceptance_rate"
+echo "check_metrics: /admin/stats prefix_cache and spec sections present"
 
 # --- /healthz ---------------------------------------------------------------
 http_request GET /healthz >"$WORK/health.txt"

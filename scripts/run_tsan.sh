@@ -8,8 +8,10 @@
 # serve_test's PrefixCacheConcurrency suite — docs/SERVING.md). Any data
 # race fails the run.
 #
-# The determinism and serve binaries additionally run once per SIMD
-# backend (VIST5_ISA=scalar, then =avx2 on hosts that support it — see
+# The determinism, serve, prefix-cache, and decode-parity binaries (the
+# last carries the speculative draft-verify parity suite —
+# docs/SPECULATIVE.md) additionally run once per SIMD backend
+# (VIST5_ISA=scalar, then =avx2 on hosts that support it — see
 # docs/KERNELS.md), so races in the dispatch layer, the quantized-weight
 # caches, and each backend's kernels are all covered. Hosts without AVX2
 # skip that leg with a notice rather than failing.
@@ -22,7 +24,7 @@ BUILD_DIR=build-tsan
 cmake -B "$BUILD_DIR" -S . -DVIST5_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target rt_test obs_test determinism_test text_test serve_test \
-           prefix_cache_test
+           prefix_cache_test decode_parity_test
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
 status=0
@@ -41,7 +43,7 @@ else
   echo "===== tsan: host lacks AVX2, skipping the avx2 ISA leg ====="
 fi
 for isa in $ISAS; do
-  for t in determinism_test serve_test prefix_cache_test; do
+  for t in determinism_test serve_test prefix_cache_test decode_parity_test; do
     echo "===== tsan: $t (VIST5_ISA=$isa) ====="
     VIST5_ISA=$isa "$BUILD_DIR/tests/$t" || status=$?
   done

@@ -76,6 +76,17 @@ struct GenerationOptions {
   /// per token, at a bounded logit perturbation (docs/KERNELS.md).
   /// Requests with different dtypes never share a continuous decode batch.
   WeightDtype weight_dtype = WeightDtype::kFloat32;
+  /// Speculative decoding: maximum tokens the draft model proposes per
+  /// verify round (0 = off). Only meaningful for greedy decoding
+  /// (beam_size == 1, temperature <= 0) through spec::DraftVerifyEngine —
+  /// the committed tokens are bit-identical to plain greedy regardless of
+  /// draft quality (docs/SPECULATIVE.md).
+  int draft_k = 0;
+  /// Adapt the proposal length to the trailing acceptance rate: shrink
+  /// toward 1 after rejections, regrow toward draft_k after full accepts.
+  /// The policy is a deterministic function of committed token counts, so
+  /// it never perturbs parity or thread-count determinism.
+  bool draft_adaptive = true;
 };
 
 /// Abstract trainable sequence-to-sequence model (the unit of comparison in

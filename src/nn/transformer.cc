@@ -154,6 +154,33 @@ void DecodeState::MergeFrom(DecodeState&& other) {
   step = std::max(step, other.step);
 }
 
+void DecodeState::TruncateTo(int len) {
+  VIST5_CHECK_GE(len, 0);
+  VIST5_CHECK_LE(len, step);
+  if (len == step) return;
+  for (LayerCache& layer : layers) {
+    if (!layer.self_k.defined()) continue;
+    if (len == 0) {
+      // Back to the pre-first-step state: AppendTime treats an undefined
+      // cache as empty, so the next step starts a fresh slab.
+      layer.self_k = Tensor();
+      layer.self_v = Tensor();
+    } else if (layer.self_k.dim(2) > len) {
+      // Physical truncation (not just a mask): the append-grown spec path
+      // relies on dim(2) == step so AppendTime lands the next chunk at the
+      // right time index. Preallocated-capacity caches (the continuous
+      // decoder's scatter path) never reach here — speculative requests
+      // run on the exclusive path with append-grown caches.
+      layer.self_k = ops::SliceTime(layer.self_k, len);
+      layer.self_v = ops::SliceTime(layer.self_v, len);
+    }
+    // cross_k / cross_v are deliberately untouched: encoder-derived, and
+    // possibly aliased from a shared immutable prefix-cache block.
+  }
+  step = len;
+  for (int& s : steps) s = std::min(s, len);
+}
+
 EncoderLayer::EncoderLayer(const TransformerConfig& config, Rng* rng)
     : norm_style_(config.norm_style),
       self_attn_(config.d_model, config.num_heads, config.linear_bias,
@@ -290,22 +317,27 @@ void DecoderLayer::BeginDecode(const Tensor& memory, int batch, int enc_seq,
 Tensor DecoderLayer::ForwardStep(const Tensor& x, int batch,
                                  const std::vector<int>& memory_lengths,
                                  const Tensor* self_bias, int step,
-                                 DecodeState::LayerCache* cache) const {
+                                 DecodeState::LayerCache* cache,
+                                 int span) const {
   // Self-attention keys/values are projected from the same per-row input
   // the full path uses (the pre-norm output for kPreRms, the raw residual
   // stream for kPostLayerNorm); both norms are row-local, so each token's
-  // cache entry never changes once written.
+  // cache entry never changes once written. A span > 1 appends all its
+  // positions in one chunk; causal masking below keeps query q from
+  // seeing keys past step + q, so the result matches `span` sequential
+  // one-token calls bit-for-bit.
   const Tensor self_input = IsPreRms(norm_style_) ? rms1_->Forward(x) : x;
   Tensor k_new, v_new;
-  self_attn_.ProjectKv(self_input, batch, 1, &k_new, &v_new);
+  self_attn_.ProjectKv(self_input, batch, span, &k_new, &v_new);
   cache->self_k = ops::AppendTime(cache->self_k, k_new);
   cache->self_v = ops::AppendTime(cache->self_v, v_new);
 
   MultiHeadAttention::ForwardArgs self_args;
   self_args.batch = batch;
-  self_args.tq = 1;
-  self_args.tk = step + 1;
-  const std::vector<int> self_lengths(static_cast<size_t>(batch), step + 1);
+  self_args.tq = span;
+  self_args.tk = step + span;
+  const std::vector<int> self_lengths(static_cast<size_t>(batch),
+                                      step + span);
   self_args.key_lengths = &self_lengths;
   self_args.causal = true;
   self_args.query_offset = step;
@@ -313,7 +345,7 @@ Tensor DecoderLayer::ForwardStep(const Tensor& x, int batch,
 
   MultiHeadAttention::ForwardArgs cross_args;
   cross_args.batch = batch;
-  cross_args.tq = 1;
+  cross_args.tq = span;
   cross_args.tk = cache->cross_k.dim(2);
   cross_args.key_lengths = &memory_lengths;
   cross_args.causal = false;
@@ -597,31 +629,34 @@ DecodeState Transformer::BeginDecode(
 }
 
 Tensor Transformer::DecodeStep(const std::vector<int>& next_ids,
-                               DecodeState* state) const {
+                               DecodeState* state, int span) const {
   VIST5_CHECK(!GradEnabled()) << "DecodeStep is inference-only";
   VIST5_CHECK(state != nullptr);
-  VIST5_CHECK_EQ(static_cast<int>(next_ids.size()), state->batch);
+  VIST5_CHECK_GE(span, 1);
+  VIST5_CHECK_EQ(static_cast<int>(next_ids.size()), state->batch * span);
   VIST5_CHECK_EQ(state->layers.size(), decoder_layers_.size());
-  Tensor h = Embed(next_ids, state->batch, /*seq=*/1, /*offset=*/state->step,
-                   /*decoder_side=*/true, /*train=*/false, nullptr);
+  Tensor h = Embed(next_ids, state->batch, /*seq=*/span,
+                   /*offset=*/state->step, /*decoder_side=*/true,
+                   /*train=*/false, nullptr);
   Tensor bias;
   const Tensor* bias_ptr = nullptr;
   if (decoder_bias_) {
-    // One bias row for the query at absolute position `step` against keys
-    // 0..step — the last row of the full [T, T] bias table.
-    bias = decoder_bias_->Forward(1, state->step + 1, state->step);
+    // Bias rows for queries at absolute positions step..step+span-1
+    // against keys 0..step+span-1 — the last `span` rows of the full
+    // [T, T] bias table.
+    bias = decoder_bias_->Forward(span, state->step + span, state->step);
     bias_ptr = &bias;
   }
   for (size_t i = 0; i < decoder_layers_.size(); ++i) {
     h = decoder_layers_[i]->ForwardStep(h, state->batch,
                                         state->memory_lengths, bias_ptr,
-                                        state->step, &state->layers[i]);
+                                        state->step, &state->layers[i], span);
   }
   if (decoder_final_norm_) h = decoder_final_norm_->Forward(h);
-  ++state->step;
+  state->step += span;
   // Keep the per-row view coherent with the uniform counter so the same
   // state can later be merged into a ragged batch.
-  for (int& s : state->steps) ++s;
+  for (int& s : state->steps) s += span;
   return h;
 }
 

@@ -90,6 +90,14 @@ struct DecodeState {
   /// padded entries are masked by per-row lengths/steps. Both states must
   /// come from the same Transformer.
   void MergeFrom(DecodeState&& other);
+
+  /// Rolls the decode position back to `len` tokens (0 <= len <= step):
+  /// self-attention K/V past `len` are discarded so the next DecodeStep
+  /// writes at position `len`, exactly as if the rejected tokens were
+  /// never fed. Cross-attention K/V are untouched — they depend only on
+  /// the encoder memory, and spliced prefix-cache states alias shared
+  /// immutable blocks that must never be mutated (docs/SPECULATIVE.md).
+  void TruncateTo(int len);
 };
 
 /// One encoder block (self-attention + feed-forward with residuals).
@@ -128,15 +136,18 @@ class DecoderLayer : public Module {
   void BeginDecode(const Tensor& memory, int batch, int enc_seq,
                    DecodeState::LayerCache* cache) const;
 
-  /// Incremental counterpart of Forward: consumes one already-embedded
-  /// token per batch row (`x` is [B, d]), appends its self-attention K/V
-  /// to `cache`, and returns the block output [B, d]. `step` is the
-  /// absolute position of the token; `self_bias` is the [H, 1, step+1]
-  /// bias row for that position (relative-bias configs only).
+  /// Incremental counterpart of Forward: consumes `span` already-embedded
+  /// tokens per batch row (`x` is [B*span, d], row-major), appends their
+  /// self-attention K/V to `cache`, and returns the block output
+  /// [B*span, d]. `step` is the absolute position of the first token;
+  /// `self_bias` is the [H, span, step+span] bias slab for those positions
+  /// (relative-bias configs only). span == 1 is the classic one-token
+  /// decode step; span > 1 is the speculative verify path, bit-identical
+  /// per row to `span` sequential calls (docs/SPECULATIVE.md).
   Tensor ForwardStep(const Tensor& x, int batch,
                      const std::vector<int>& memory_lengths,
                      const Tensor* self_bias, int step,
-                     DecodeState::LayerCache* cache) const;
+                     DecodeState::LayerCache* cache, int span = 1) const;
 
   /// Ragged counterpart of ForwardStep: row b consumes one token at its
   /// own absolute position `steps[b]`, writing its K/V at that time index
@@ -194,14 +205,16 @@ class Transformer : public Module {
   DecodeState BeginDecode(const Tensor& memory, int batch, int enc_seq,
                           const std::vector<int>& memory_lengths) const;
 
-  /// Feeds one token per batch row (`next_ids.size() == state->batch`) at
-  /// position `state->step`, appends its keys/values to the cache, and
-  /// returns only the new hidden row per batch element: [B, d]. Position
+  /// Feeds `span` tokens per batch row (`next_ids` is [B*span] row-major)
+  /// starting at position `state->step`, appends their keys/values to the
+  /// cache, and returns the new hidden rows [B*span, d]. Position
   /// machinery (relative bias / learned / sinusoidal) is applied with
   /// query_offset = step, so a DecodeStep loop is bit-exact against
-  /// Decode over the same prefix. Advances `state->step`.
-  Tensor DecodeStep(const std::vector<int>& next_ids,
-                    DecodeState* state) const;
+  /// Decode over the same prefix — and a span call is bit-exact against
+  /// `span` sequential one-token calls (the speculative verify contract,
+  /// docs/SPECULATIVE.md). Advances `state->step` by `span`.
+  Tensor DecodeStep(const std::vector<int>& next_ids, DecodeState* state,
+                    int span = 1) const;
 
   /// Ragged batched decode step: row b's token is consumed at that row's
   /// own position `state->steps[b]` (rows need not agree — the continuous

@@ -4,9 +4,12 @@
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
+#include <fstream>
 #include <mutex>
+#include <thread>
 
 #include "obs/metrics.h"
+#include "util/json.h"
 #include "util/rng.h"
 
 namespace vist5 {
@@ -21,6 +24,57 @@ double ExactQuantile(std::vector<double> sorted_values, double q) {
 }
 
 }  // namespace
+
+StatusOr<std::vector<TraceEntry>> LoadTraceJsonl(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open trace file: " + path);
+  }
+  std::vector<TraceEntry> trace;
+  std::string line;
+  int lineno = 0;
+  double prev_at_ms = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    const auto bad = [&](const std::string& msg) {
+      return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                     ": " + msg);
+    };
+    StatusOr<JsonValue> parsed = JsonValue::Parse(line);
+    if (!parsed.ok()) return bad(std::string(parsed.status().message()));
+    const JsonValue& doc = parsed.value();
+    if (!doc.is_object()) return bad("trace entry must be a JSON object");
+    TraceEntry entry;
+    const JsonValue* toks = doc.Find("tokens");
+    if (toks == nullptr || !toks->is_array() || toks->size() == 0) {
+      return bad("trace entry needs a non-empty \"tokens\" array");
+    }
+    for (size_t i = 0; i < toks->size(); ++i) {
+      if (!toks->at(i).is_number()) return bad("\"tokens\" must hold numbers");
+      entry.tokens.push_back(static_cast<int>(toks->at(i).number_value()));
+    }
+    entry.at_ms = prev_at_ms;
+    if (const JsonValue* v = doc.Find("at_ms")) {
+      if (!v->is_number() || v->number_value() < prev_at_ms) {
+        return bad("\"at_ms\" must be a number, non-decreasing across lines");
+      }
+      entry.at_ms = v->number_value();
+    }
+    prev_at_ms = entry.at_ms;
+    if (const JsonValue* v = doc.Find("max_len")) {
+      entry.max_len = static_cast<int>(v->number_value(-1));
+    }
+    if (const JsonValue* v = doc.Find("draft")) {
+      entry.draft_k = static_cast<int>(v->number_value(-1));
+    }
+    trace.push_back(std::move(entry));
+  }
+  if (trace.empty()) {
+    return Status::InvalidArgument("trace file holds no entries: " + path);
+  }
+  return trace;
+}
 
 std::vector<std::vector<int>> SchemaSkewedPrompts(
     const SchemaSkewOptions& options) {
@@ -67,7 +121,9 @@ std::vector<std::vector<int>> SchemaSkewedPrompts(
 LoadGenReport RunLoadGen(BatchScheduler* scheduler,
                          const std::vector<std::vector<int>>& prompts,
                          const LoadGenOptions& options) {
-  VIST5_CHECK(!prompts.empty());
+  const bool replay = !options.trace.empty();
+  const bool open_loop = replay || options.arrival_rate > 0;
+  VIST5_CHECK(replay || !prompts.empty());
   using Clock = std::chrono::steady_clock;
   obs::Histogram* batch_hist = obs::GetHistogram("serve/batch_size");
   const uint64_t batch_count0 = batch_hist->count();
@@ -90,7 +146,39 @@ LoadGenReport RunLoadGen(BatchScheduler* scheduler,
     int64_t prefill_tokens = 0;
   };
   Shared shared;
-  const int total = options.total_requests;
+  const int total =
+      replay ? static_cast<int>(options.trace.size()) : options.total_requests;
+
+  // Records one completion; returns true when it was the last. Shared by
+  // the closed and open loops so both report identically.
+  const auto record = [&shared, &options, total](const Response& r,
+                                                 Clock::time_point start) {
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    bool all_done = false;
+    {
+      std::lock_guard<std::mutex> lock(shared.mu);
+      shared.latencies_ms.push_back(ms);
+      if (r.ttft_ms > 0) shared.ttfts_ms.push_back(r.ttft_ms);
+      if (options.slo_ms > 0 && ms > options.slo_ms) {
+        ++shared.slo_violations;
+      }
+      if (r.status == ResponseStatus::kOk) {
+        ++shared.completed;
+        shared.tokens += static_cast<int64_t>(r.tokens.size());
+      } else if (r.status == ResponseStatus::kDeadlineExpired) {
+        ++shared.expired;
+      }
+      all_done = ++shared.done >= total;
+      // Notify while still holding the lock: `shared` lives on the
+      // waiter's stack, and the waiter may destroy it the moment it can
+      // observe done == total — which it cannot do before we unlock.
+      // Notifying after unlocking would race the cv's own destruction.
+      if (all_done) shared.cv.notify_all();
+    }
+    return all_done;
+  };
 
   // Closed loop: each completion immediately refills the slot it frees, so
   // the number in flight stays at `concurrency` until the tail.
@@ -110,39 +198,56 @@ LoadGenReport RunLoadGen(BatchScheduler* scheduler,
       std::lock_guard<std::mutex> lock(shared.mu);
       shared.prefill_tokens += static_cast<int64_t>(req.tokens.size());
     }
-    scheduler->Submit(std::move(req), [&shared, &issue_one, &options, start,
-                                      total](Response r) {
-      const double ms = std::chrono::duration<double, std::milli>(
-                            Clock::now() - start)
-                            .count();
-      bool all_done = false;
-      {
-        std::lock_guard<std::mutex> lock(shared.mu);
-        shared.latencies_ms.push_back(ms);
-        if (r.ttft_ms > 0) shared.ttfts_ms.push_back(r.ttft_ms);
-        if (options.slo_ms > 0 && ms > options.slo_ms) {
-          ++shared.slo_violations;
-        }
-        if (r.status == ResponseStatus::kOk) {
-          ++shared.completed;
-          shared.tokens += static_cast<int64_t>(r.tokens.size());
-        } else if (r.status == ResponseStatus::kDeadlineExpired) {
-          ++shared.expired;
-        }
-        all_done = ++shared.done >= total;
-        // Notify while still holding the lock: `shared` lives on the
-        // waiter's stack, and the waiter may destroy it the moment it can
-        // observe done == total — which it cannot do before we unlock.
-        // Notifying after unlocking would race the cv's own destruction.
-        if (all_done) shared.cv.notify_all();
-      }
-      if (!all_done) issue_one();
-    });
+    scheduler->Submit(std::move(req),
+                      [&record, &issue_one, start](Response r) {
+                        if (!record(r, start)) issue_one();
+                      });
   };
 
   const Clock::time_point t0 = Clock::now();
-  const int initial = std::min(options.concurrency, total);
-  for (int i = 0; i < initial; ++i) issue_one();
+  if (open_loop) {
+    // Open loop: arrivals follow the schedule — the trace's timestamps, or
+    // exponential inter-arrival gaps (a Poisson process) at arrival_rate —
+    // and never wait for completions. Overload therefore surfaces as
+    // queueing latency and SLO violations, not as a throttled client.
+    Rng arrivals(options.arrival_seed);
+    double next_ms = 0;
+    for (int i = 0; i < total; ++i) {
+      double at_ms;
+      if (replay) {
+        at_ms = options.trace[static_cast<size_t>(i)].at_ms;
+      } else {
+        next_ms += -std::log(1.0 - arrivals.UniformDouble()) * 1000.0 /
+                   options.arrival_rate;
+        at_ms = next_ms;
+      }
+      std::this_thread::sleep_until(
+          t0 + std::chrono::duration_cast<Clock::duration>(
+                   std::chrono::duration<double, std::milli>(at_ms)));
+      Request req;
+      req.options = options.gen;
+      if (replay) {
+        const TraceEntry& entry = options.trace[static_cast<size_t>(i)];
+        req.tokens = entry.tokens;
+        if (entry.max_len >= 0) req.options.max_len = entry.max_len;
+        if (entry.draft_k >= 0) req.options.draft_k = entry.draft_k;
+      } else {
+        req.tokens = prompts[static_cast<size_t>(i) % prompts.size()];
+      }
+      const Clock::time_point start = Clock::now();
+      {
+        std::lock_guard<std::mutex> lock(shared.mu);
+        ++shared.issued;
+        shared.prefill_tokens += static_cast<int64_t>(req.tokens.size());
+      }
+      scheduler->Submit(std::move(req), [&record, start](Response r) {
+        record(r, start);
+      });
+    }
+  } else {
+    const int initial = std::min(options.concurrency, total);
+    for (int i = 0; i < initial; ++i) issue_one();
+  }
   {
     std::unique_lock<std::mutex> lock(shared.mu);
     shared.cv.wait(lock, [&] { return shared.done >= total; });

@@ -2,22 +2,55 @@
 #define VIST5_SERVE_LOADGEN_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "serve/scheduler.h"
+#include "util/status.h"
 
 namespace vist5 {
 namespace serve {
 
+/// One request of a replayable trace: issue `tokens` at `at_ms`
+/// milliseconds after the replay starts. Optional per-request overrides
+/// fall back to LoadGenOptions::gen when negative.
+struct TraceEntry {
+  double at_ms = 0;
+  std::vector<int> tokens;
+  int max_len = -1;   ///< overrides gen.max_len when >= 0
+  int draft_k = -1;   ///< overrides gen.draft_k when >= 0
+};
+
+/// Parses a trace from a JSONL file: one object per line with required
+/// "tokens" (number array) and optional "at_ms" (default: previous
+/// entry's, i.e. issue immediately after), "max_len", and "draft" fields.
+/// Blank lines are skipped; any malformed line fails the whole load with
+/// its line number.
+StatusOr<std::vector<TraceEntry>> LoadTraceJsonl(const std::string& path);
+
 struct LoadGenOptions {
   /// Target number of requests in flight at once. 1 reproduces sequential
-  /// serving; >= max_batch keeps the continuous batch full.
+  /// serving; >= max_batch keeps the continuous batch full. Closed-loop
+  /// mode only (ignored under arrival_rate / trace replay).
   int concurrency = 8;
-  /// Total requests to issue (prompts are reused round-robin).
+  /// Total requests to issue (prompts are reused round-robin). Ignored
+  /// when `trace` is set — the trace length wins.
   int total_requests = 64;
   /// End-to-end latency target (ms). When > 0, the report's
   /// slo_violation_frac counts responses slower than this. 0 disables it.
   double slo_ms = 0;
+  /// Open-loop Poisson arrivals at this rate (requests/second). 0 keeps
+  /// the closed loop. Under open loop, arrivals do not wait for
+  /// completions — queueing delay shows up in the latency quantiles
+  /// instead of throttling the offered load, which is what an SLO
+  /// violation fraction must be measured against.
+  double arrival_rate = 0;
+  /// Seed for the exponential inter-arrival draws (open loop only).
+  uint64_t arrival_seed = 1;
+  /// When non-empty, replay this trace instead of generating arrivals:
+  /// entry i's tokens are issued at its at_ms offset (a fixed-timestamp
+  /// open loop). Build one with LoadTraceJsonl or in code.
+  std::vector<TraceEntry> trace;
   model::GenerationOptions gen;
 };
 
@@ -70,11 +103,15 @@ struct SchemaSkewOptions {
 std::vector<std::vector<int>> SchemaSkewedPrompts(
     const SchemaSkewOptions& options);
 
-/// Closed-loop load generator: keeps `concurrency` requests outstanding
-/// against the scheduler until `total_requests` have completed, then
-/// reports throughput, exact latency quantiles, and mean batch occupancy.
-/// Drives the scheduler in-process (no TCP) so the numbers measure the
-/// batching engine, not socket overhead.
+/// Load generator. Closed loop by default: keeps `concurrency` requests
+/// outstanding against the scheduler until `total_requests` have
+/// completed. With arrival_rate > 0 it switches to an open loop (Poisson
+/// arrivals at that rate), and with a trace set it replays the trace's
+/// timestamps — both issue regardless of completions, so overload turns
+/// into latency rather than reduced offered load. Reports throughput,
+/// exact p50/p99 latency and TTFT quantiles, the SLO-violation fraction,
+/// and mean batch occupancy. Drives the scheduler in-process (no TCP) so
+/// the numbers measure the batching engine, not socket overhead.
 LoadGenReport RunLoadGen(BatchScheduler* scheduler,
                          const std::vector<std::vector<int>>& prompts,
                          const LoadGenOptions& options);

@@ -29,12 +29,39 @@ int64_t Us(Clock::time_point t) {
 constexpr std::chrono::milliseconds kIdleWait{50};
 
 /// Requests that cannot share the continuous batch: beam search reorders
-/// the whole decode state, sampling consumes per-request RNG draws, and
-/// use_kv_cache=false is the full-prefix reference path. They run alone
-/// between batches via Seq2SeqModel::Generate.
+/// the whole decode state, sampling consumes per-request RNG draws,
+/// use_kv_cache=false is the full-prefix reference path, and speculative
+/// requests (draft_k > 0) drive two models' caches through the
+/// DraftVerifyEngine. They run alone between batches.
 bool IsExclusive(const model::GenerationOptions& options) {
   return options.beam_size > 1 || options.temperature > 0.0f ||
-         !options.use_kv_cache;
+         !options.use_kv_cache || options.draft_k > 0;
+}
+
+/// Admission-time validation for speculative requests (docs/SPECULATIVE.md):
+/// a request that cannot run speculatively must be rejected loudly, never
+/// silently decoded plain. Returns an empty string when admissible.
+std::string SpecAdmissionError(const model::GenerationOptions& options,
+                               const SchedulerOptions& sched) {
+  if (options.draft_k <= 0) return "";
+  if (sched.draft_model == nullptr) {
+    return "speculative decoding unavailable: no draft model loaded";
+  }
+  if (options.beam_size > 1) {
+    return "speculative decoding is greedy-only: beam_size must be 1";
+  }
+  if (options.temperature > 0.0f) {
+    return "speculative decoding is greedy-only: temperature must be 0";
+  }
+  if (!options.use_kv_cache) {
+    return "speculative decoding requires the KV-cached decode path";
+  }
+  if (options.weight_dtype != sched.draft_dtype) {
+    return std::string("draft checkpoint is served at weight_dtype ") +
+           WeightDtypeName(sched.draft_dtype) + "; request asked for " +
+           WeightDtypeName(options.weight_dtype);
+  }
+  return "";
 }
 
 /// Emits the serve/req<id>/* span family reconstructing one request in the
@@ -82,6 +109,10 @@ BatchScheduler::BatchScheduler(model::TransformerSeq2Seq* model,
     cache_options.max_bytes = options.prefix_cache_bytes;
     prefix_cache_ = std::make_unique<PrefixCache>(cache_options);
   }
+  if (options.draft_model != nullptr) {
+    spec_engine_ =
+        std::make_unique<spec::DraftVerifyEngine>(model, options.draft_model);
+  }
 }
 
 BatchScheduler::~BatchScheduler() { Shutdown(/*drain=*/false); }
@@ -109,6 +140,19 @@ Status BatchScheduler::Submit(Request req, Completion done) {
     r.error = "empty token sequence";
     done(std::move(r));
     return Status::InvalidArgument("empty token sequence");
+  }
+  if (const std::string spec_error =
+          SpecAdmissionError(req.options, options_);
+      !spec_error.empty()) {
+    static obs::Counter* spec_rejected =
+        obs::GetCounter("spec/admission_rejected");
+    spec_rejected->Add();
+    Response r;
+    r.id = id;
+    r.status = ResponseStatus::kError;
+    r.error = spec_error;
+    done(std::move(r));
+    return Status::InvalidArgument(spec_error);
   }
   // Keep a handle on the callback: Push consumes the entry even when it
   // rejects, and a rejected request still owes its caller a response.
@@ -317,7 +361,40 @@ void BatchScheduler::RunExclusive(RequestQueue::Entry entry) {
     const double remaining = Ms(req.deadline - now);
     options.deadline_ms = remaining < 1.0 ? 1 : static_cast<int>(remaining);
   }
-  std::vector<int> tokens = model_->Generate(req.tokens, options);
+  std::vector<int> tokens;
+  if (options.draft_k > 0) {
+    // Speculative route (admission already validated the mode). The base
+    // side shares the encoder-prefix cache with the batched path: a hit
+    // splices the block's immutable cross K/V, a miss donates the freshly
+    // computed block for requests queued behind this one.
+    static obs::Counter* spec_requests = obs::GetCounter("spec/requests");
+    spec_requests->Add();
+    const model::EncodedPrefix* prefill = nullptr;
+    if (prefix_cache_ != nullptr) {
+      track.cache_handle =
+          prefix_cache_->Acquire(req.tokens, options.weight_dtype);
+      if (!track.cache_handle.hit) {
+        track.cache_handle = prefix_cache_->Insert(
+            model_->EncodePrefix(req.tokens, options.weight_dtype));
+      }
+      prefill = track.cache_handle.block.get();
+      if (options_.prefix_affinity) affinity_ref_ = req.tokens;
+    }
+    spec::SpecStats stats;
+    const Clock::time_point gen_start = Clock::now();
+    tokens = spec_engine_->Generate(req.tokens, options, prefill, &stats);
+    if (stats.ttft_ms > 0) {
+      // Generate has no per-step hook, so the timeline's first-token stamp
+      // is reconstructed from the engine's measured time-to-first-commit.
+      track.timeline.has_first_token = true;
+      track.timeline.first_token =
+          gen_start + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double, std::milli>(
+                              stats.ttft_ms));
+    }
+  } else {
+    tokens = model_->Generate(req.tokens, options);
+  }
   Finish(&track, ResponseStatus::kOk, std::move(tokens));
 }
 

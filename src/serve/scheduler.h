@@ -13,6 +13,7 @@
 #include "model/batch_decoder.h"
 #include "serve/prefix_cache.h"
 #include "serve/request_queue.h"
+#include "spec/engine.h"
 
 namespace vist5 {
 namespace serve {
@@ -35,6 +36,16 @@ struct SchedulerOptions {
   /// Priority order is still respected — reordering happens only within
   /// the top priority level.
   bool prefix_affinity = true;
+  /// Draft model for speculative decoding (docs/SPECULATIVE.md). Null
+  /// (the default) disables it: requests carrying draft_k > 0 are rejected
+  /// at admission. Not owned; must share the base model's tokenizer and
+  /// outlive the scheduler. Speculative requests run on the exclusive
+  /// path (they own both models' KV caches for the request's duration).
+  model::TransformerSeq2Seq* draft_model = nullptr;
+  /// Weight dtype the draft checkpoint is served at. A speculative request
+  /// whose weight_dtype differs is rejected at admission — mixing dtypes
+  /// across draft and verify would silently break the parity contract.
+  WeightDtype draft_dtype = WeightDtype::kFloat32;
 };
 
 /// Persistent decode loop implementing continuous (in-flight) batching.
@@ -125,6 +136,9 @@ class BatchScheduler {
 
   model::TransformerSeq2Seq* model_;
   const SchedulerOptions options_;
+  /// Draft-verify engine over (model_, options_.draft_model); null when no
+  /// draft model is configured. Used only on the loop thread.
+  std::unique_ptr<spec::DraftVerifyEngine> spec_engine_;
   /// Null when prefix_cache_bytes == 0. Mutated only on the loop thread
   /// (the cache itself is internally locked for stats scrapes).
   std::unique_ptr<PrefixCache> prefix_cache_;

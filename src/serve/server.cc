@@ -388,6 +388,32 @@ std::string Server::RouteHttp(const std::string& method,
                                            : 0.0));
       out.Set("prefix_cache", std::move(pc));
     }
+    {
+      // Speculative decoding rollup (docs/SPECULATIVE.md): cumulative
+      // counters plus the derived acceptance rate and effective
+      // tokens/step, so operators read the headline numbers without
+      // digging through the raw metrics snapshot.
+      const int64_t proposed = obs::GetCounter("spec/proposed")->value();
+      const int64_t accepted = obs::GetCounter("spec/accepted")->value();
+      const int64_t rejected = obs::GetCounter("spec/rejected")->value();
+      const int64_t steps = obs::GetCounter("spec/steps")->value();
+      JsonValue sp = JsonValue::Object();
+      sp.Set("proposed", JsonValue::Number(static_cast<double>(proposed)));
+      sp.Set("accepted", JsonValue::Number(static_cast<double>(accepted)));
+      sp.Set("rejected", JsonValue::Number(static_cast<double>(rejected)));
+      sp.Set("steps", JsonValue::Number(static_cast<double>(steps)));
+      sp.Set("acceptance_rate",
+             JsonValue::Number(proposed > 0
+                                   ? static_cast<double>(accepted) /
+                                         static_cast<double>(proposed)
+                                   : 0.0));
+      sp.Set("tokens_per_step",
+             JsonValue::Number(
+                 steps > 0 ? static_cast<double>(accepted + steps) /
+                                 static_cast<double>(steps)
+                           : 0.0));
+      out.Set("spec", std::move(sp));
+    }
     return ok_json(std::move(out));
   }
   if (target == "/admin/drain" || target == "/admin/resume") {
@@ -616,6 +642,24 @@ std::string Server::HandleLine(const std::string& line) {
     } else if (dtype != "float32") {
       return error_line("\"weight_dtype\" must be \"float32\" or \"int8\"");
     }
+  }
+  // Speculative decoding: "draft": k asks for up to k draft tokens per
+  // verify round (the server-wide default applies when the field is
+  // absent, and "draft": 0 opts out of it); "draft_adaptive": false pins
+  // the proposal length at k.
+  // Mode conflicts (beam > 1, temperature, no draft model loaded, dtype
+  // mismatch) are rejected by the scheduler's admission guard with a clear
+  // error rather than silently decoded plain (docs/SPECULATIVE.md).
+  req.options.draft_k = options_.default_draft_k;
+  if (const JsonValue* v = doc.Find("draft")) {
+    if (!v->is_number()) return error_line("\"draft\" must be a number");
+    const int k = static_cast<int>(v->number_value(0));
+    if (k < 0) return error_line("\"draft\" must be >= 0");
+    req.options.draft_k = k;
+  }
+  if (const JsonValue* v = doc.Find("draft_adaptive")) {
+    if (!v->is_bool()) return error_line("\"draft_adaptive\" must be a bool");
+    req.options.draft_adaptive = v->bool_value();
   }
 
   const Response response = scheduler_->SubmitAndWait(std::move(req));

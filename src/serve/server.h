@@ -43,6 +43,10 @@ struct ServerOptions {
   /// 0 disables the timeout. Applies between requests too, so clients
   /// holding a connection open must send within the window.
   int idle_timeout_ms = 0;
+  /// Default draft_k for requests that do not carry a "draft" field
+  /// (vist5_cli serve --spec-k). Only meaningful when the scheduler was
+  /// given a draft model; an explicit "draft": 0 opts a request out.
+  int default_draft_k = 0;
   HealthThresholds health;
 };
 

@@ -3,8 +3,13 @@
 // sinusoidal, and learned positions in both norm styles), greedy and beam
 // decoding must produce bit-identical token sequences, and DecodeStep must
 // reproduce Decode's newest hidden row bit-for-bit. See docs/INFERENCE.md
-// for the contract.
+// for the contract. The span-decode and TruncateTo suites pin the two
+// DecodeState primitives speculative decoding is built on, and the
+// Speculative suite pins its end-to-end contract: draft-verify output is
+// bit-identical to plain greedy regardless of the draft
+// (docs/SPECULATIVE.md).
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <tuple>
@@ -14,6 +19,7 @@
 
 #include "model/transformer_model.h"
 #include "nn/transformer.h"
+#include "spec/engine.h"
 #include "tensor/ops.h"
 
 namespace vist5 {
@@ -148,6 +154,243 @@ TEST_P(DecodeParity, BeamTokensMatch) {
   model::GenerationOptions full = cached;
   full.use_kv_cache = false;
   EXPECT_EQ(m.Generate(src, cached), m.Generate(src, full)) << preset().name;
+}
+
+TEST_P(DecodeParity, SpanDecodeStepMatchesSequential) {
+  // Multi-token span decode (the speculative verify path) must reproduce
+  // the hidden rows of one-at-a-time stepping bit-for-bit, and leave the
+  // KV cache in a state that continues identically.
+  nn::TransformerConfig cfg = preset().make(kVocab);
+  cfg.dropout = 0.0f;
+  Rng init(seed());
+  nn::Transformer t(cfg, &init);
+
+  Rng data(seed() * 37 + 9);
+  const int src_len = data.UniformRange(5, 8);
+  const std::vector<int> src = RandomSrc(&data, src_len);
+  const std::vector<int> src_lengths = {src_len};
+  const std::vector<int> feed = {kPad, 3, 7, 5};
+
+  NoGradGuard guard;
+  Tensor memory =
+      t.Encode(src, 1, src_len, src_lengths, /*train=*/false, nullptr);
+  nn::DecodeState sequential = t.BeginDecode(memory, 1, src_len, src_lengths);
+  nn::DecodeState spanned = t.BeginDecode(memory, 1, src_len, src_lengths);
+
+  std::vector<Tensor> rows;
+  for (int id : feed) rows.push_back(t.DecodeStep({id}, &sequential));
+  Tensor span = t.DecodeStep(feed, &spanned,
+                             static_cast<int>(feed.size()));  // [4, d]
+  ASSERT_EQ(span.dim(0), static_cast<int>(feed.size()));
+  for (size_t i = 0; i < feed.size(); ++i) {
+    Tensor row = ops::GatherRows(span, {static_cast<int>(i)});
+    for (size_t d = 0; d < row.data().size(); ++d) {
+      ASSERT_EQ(rows[i].data()[d], row.data()[d])
+          << preset().name << " span row " << i << " dim " << d;
+    }
+  }
+  // The caches must now be interchangeable: one more single step agrees.
+  Tensor next_seq = t.DecodeStep({9}, &sequential);
+  Tensor next_span = t.DecodeStep({9}, &spanned);
+  for (size_t d = 0; d < next_seq.data().size(); ++d) {
+    ASSERT_EQ(next_seq.data()[d], next_span.data()[d]) << preset().name;
+  }
+}
+
+TEST_P(DecodeParity, TruncateToRestoresDecodePath) {
+  // Rolling the cache back to a shorter prefix (speculative rejection)
+  // must reproduce the untruncated decode bit-for-bit from that point on.
+  nn::TransformerConfig cfg = preset().make(kVocab);
+  cfg.dropout = 0.0f;
+  Rng init(seed());
+  nn::Transformer t(cfg, &init);
+
+  Rng data(seed() * 41 + 13);
+  const int src_len = data.UniformRange(5, 8);
+  const std::vector<int> src = RandomSrc(&data, src_len);
+  const std::vector<int> src_lengths = {src_len};
+
+  NoGradGuard guard;
+  Tensor memory =
+      t.Encode(src, 1, src_len, src_lengths, /*train=*/false, nullptr);
+
+  // Reference: feed [pad, 4, 6], then step on 8.
+  nn::DecodeState reference = t.BeginDecode(memory, 1, src_len, src_lengths);
+  for (int id : {kPad, 4, 6}) t.DecodeStep({id}, &reference);
+  Tensor want = t.DecodeStep({8}, &reference);
+
+  // Speculative-shaped history: same prefix plus two rejected tokens,
+  // rolled back with TruncateTo before the corrective step.
+  nn::DecodeState rolled = t.BeginDecode(memory, 1, src_len, src_lengths);
+  for (int id : {kPad, 4, 6, 11, 13}) t.DecodeStep({id}, &rolled);
+  rolled.TruncateTo(3);
+  EXPECT_EQ(rolled.step, 3);
+  Tensor got = t.DecodeStep({8}, &rolled);
+  for (size_t d = 0; d < want.data().size(); ++d) {
+    ASSERT_EQ(want.data()[d], got.data()[d]) << preset().name << " dim " << d;
+  }
+
+  // Truncate-to-zero resets the decode entirely: re-feeding the original
+  // tokens reproduces the reference from scratch.
+  rolled.TruncateTo(0);
+  EXPECT_EQ(rolled.step, 0);
+  for (int id : {kPad, 4, 6}) t.DecodeStep({id}, &rolled);
+  Tensor again = t.DecodeStep({8}, &rolled);
+  for (size_t d = 0; d < want.data().size(); ++d) {
+    ASSERT_EQ(want.data()[d], again.data()[d]) << preset().name;
+  }
+
+  // Truncating to the current step is a no-op.
+  const int step_before = rolled.step;
+  rolled.TruncateTo(step_before);
+  EXPECT_EQ(rolled.step, step_before);
+}
+
+TEST_P(DecodeParity, TruncateToAfterReorderCompaction) {
+  // Reorder (beam pruning / batch eviction) compacts rows and may shrink
+  // the self-attention time axis; TruncateTo after it must still land the
+  // surviving row exactly where a fresh single-row decode would be.
+  nn::TransformerConfig cfg = preset().make(kVocab);
+  cfg.dropout = 0.0f;
+  Rng init(seed());
+  nn::Transformer t(cfg, &init);
+
+  Rng data(seed() * 43 + 17);
+  const int src_len = 6;
+  const std::vector<int> s0 = RandomSrc(&data, src_len);
+  const std::vector<int> s1 = RandomSrc(&data, src_len);
+  std::vector<int> both = s0;
+  both.insert(both.end(), s1.begin(), s1.end());
+
+  NoGradGuard guard;
+  // Reference: s1 alone, fed [pad, 5, 9], rolled back one, corrective 12.
+  const std::vector<int> one_len = {src_len};
+  Tensor memory1 = t.Encode(s1, 1, src_len, one_len, false, nullptr);
+  nn::DecodeState reference = t.BeginDecode(memory1, 1, src_len, one_len);
+  for (int id : {kPad, 5}) t.DecodeStep({id}, &reference);
+  Tensor want = t.DecodeStep({12}, &reference);
+
+  // Batched: both rows decode together, row 0 is evicted via Reorder, the
+  // survivor speculates one token past the reference and rolls back.
+  const std::vector<int> two_len = {src_len, src_len};
+  Tensor memory2 = t.Encode(both, 2, src_len, two_len, false, nullptr);
+  nn::DecodeState batched = t.BeginDecode(memory2, 2, src_len, two_len);
+  t.DecodeStep({kPad, kPad}, &batched);
+  t.DecodeStep({5, 5}, &batched);
+  batched.Reorder({1});  // row 0 finished; survivor compacts to batch 1
+  t.DecodeStep({9}, &batched);  // speculative token, then rejected:
+  batched.TruncateTo(2);
+  Tensor got = t.DecodeStep({12}, &batched);
+  for (size_t d = 0; d < want.data().size(); ++d) {
+    ASSERT_EQ(want.data()[d], got.data()[d]) << preset().name << " dim " << d;
+  }
+}
+
+// --- Speculative draft-verify parity (docs/SPECULATIVE.md) -----------------
+
+TEST_P(DecodeParity, SpeculativeMatchesPlainGreedy) {
+  // The parity contract: every committed token is the base's greedy choice,
+  // so the output never depends on the draft — here an unrelated model
+  // that happens to share the vocabulary.
+  nn::TransformerConfig cfg = preset().make(kVocab);
+  cfg.dropout = 0.0f;
+  model::TransformerSeq2Seq base(cfg, kPad, kEos, seed());
+  nn::TransformerConfig draft_cfg = nn::TransformerConfig::T5Small(kVocab);
+  draft_cfg.dropout = 0.0f;
+  model::TransformerSeq2Seq draft(draft_cfg, kPad, kEos, seed() + 99);
+  const spec::DraftVerifyEngine engine(&base, &draft);
+
+  Rng data(seed() * 47 + 19);
+  model::GenerationOptions plain;
+  plain.max_len = 16;
+  for (int k : {1, 3}) {
+    for (const bool adaptive : {true, false}) {
+      const std::vector<int> src = RandomSrc(&data, 7);
+      model::GenerationOptions spec_gen = plain;
+      spec_gen.draft_k = k;
+      spec_gen.draft_adaptive = adaptive;
+      EXPECT_EQ(engine.Generate(src, spec_gen), base.Generate(src, plain))
+          << preset().name << " k=" << k << " adaptive=" << adaptive;
+    }
+  }
+}
+
+TEST_P(DecodeParity, SpeculativeConstrainedMatchesPlainGreedy) {
+  // Grammar-constrained decoding: both proposal and verify honor
+  // options.allowed, and parity must survive it.
+  nn::TransformerConfig cfg = preset().make(kVocab);
+  cfg.dropout = 0.0f;
+  model::TransformerSeq2Seq base(cfg, kPad, kEos, seed());
+  nn::TransformerConfig draft_cfg = nn::TransformerConfig::T5Small(kVocab);
+  draft_cfg.dropout = 0.0f;
+  model::TransformerSeq2Seq draft(draft_cfg, kPad, kEos, seed() + 99);
+  const spec::DraftVerifyEngine engine(&base, &draft);
+
+  Rng data(seed() * 53 + 23);
+  const std::vector<int> src = RandomSrc(&data, 6);
+  model::GenerationOptions plain;
+  plain.max_len = 12;
+  plain.allowed = [](int token) { return token % 3 != 0; };
+  model::GenerationOptions spec_gen = plain;
+  spec_gen.draft_k = 3;
+  EXPECT_EQ(engine.Generate(src, spec_gen), base.Generate(src, plain))
+      << preset().name;
+}
+
+TEST_P(DecodeParity, SpeculativeSelfDraftAcceptsEverything) {
+  // Draft == base pins the acceptance ceiling: identical weights mean the
+  // draft argmax always matches the verify argmax, so nothing is rejected
+  // and every round commits a full run.
+  nn::TransformerConfig cfg = preset().make(kVocab);
+  cfg.dropout = 0.0f;
+  model::TransformerSeq2Seq base(cfg, kPad, kEos, seed());
+  const spec::DraftVerifyEngine engine(&base, &base);
+
+  Rng data(seed() * 59 + 29);
+  const std::vector<int> src = RandomSrc(&data, 7);
+  model::GenerationOptions plain;
+  plain.max_len = 16;
+  // Pin decode length so a short natural decode cannot mask acceptance.
+  plain.allowed = [](int token) { return token != kEos; };
+  model::GenerationOptions spec_gen = plain;
+  spec_gen.draft_k = 4;
+  spec::SpecStats stats;
+  EXPECT_EQ(engine.Generate(src, spec_gen, nullptr, &stats),
+            base.Generate(src, plain))
+      << preset().name;
+  EXPECT_EQ(stats.rejected, 0) << preset().name;
+  EXPECT_GT(stats.proposed, 0) << preset().name;
+  EXPECT_DOUBLE_EQ(stats.acceptance_rate(), 1.0) << preset().name;
+  EXPECT_GT(stats.tokens_per_step(), 1.5) << preset().name;
+}
+
+TEST_P(DecodeParity, SpeculativeDeadlineYieldsGreedyPrefix) {
+  // Deadline expiry mid-decode must return a PREFIX of the unbounded
+  // greedy stream — committed tokens are never revised. deadline_ms = 1 on
+  // these presets usually cuts the decode after the first verify rounds;
+  // whatever survives must match token-for-token.
+  nn::TransformerConfig cfg = preset().make(kVocab);
+  cfg.dropout = 0.0f;
+  model::TransformerSeq2Seq base(cfg, kPad, kEos, seed());
+  nn::TransformerConfig draft_cfg = nn::TransformerConfig::T5Small(kVocab);
+  draft_cfg.dropout = 0.0f;
+  model::TransformerSeq2Seq draft(draft_cfg, kPad, kEos, seed() + 99);
+  const spec::DraftVerifyEngine engine(&base, &draft);
+
+  Rng data(seed() * 61 + 31);
+  const std::vector<int> src = RandomSrc(&data, 7);
+  model::GenerationOptions plain;
+  plain.max_len = 24;
+  plain.allowed = [](int token) { return token != kEos; };
+  const std::vector<int> full = base.Generate(src, plain);
+
+  model::GenerationOptions spec_gen = plain;
+  spec_gen.draft_k = 2;
+  spec_gen.deadline_ms = 1;
+  const std::vector<int> cut = engine.Generate(src, spec_gen);
+  ASSERT_LE(cut.size(), full.size()) << preset().name;
+  EXPECT_TRUE(std::equal(cut.begin(), cut.end(), full.begin()))
+      << preset().name;
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -21,6 +21,7 @@
 #include "nn/transformer.h"
 #include "rt/thread_pool.h"
 #include "serve/prefix_cache.h"
+#include "spec/engine.h"
 #include "tensor/optimizer.h"
 #include "tensor/ops.h"
 #include "tensor/simd.h"
@@ -337,6 +338,46 @@ TEST_P(Determinism, CacheHitAfterEvictionReinsertBitIdenticalAcrossThreads) {
   cache.Release(hit);
 }
 
+TEST_P(Determinism, SpeculativeDecodeTokensIdenticalAcrossThreads) {
+  // Speculative draft-verify decoding commits only tokens that are the base
+  // model's greedy argmax, so its output is the plain greedy sequence no
+  // matter what the draft proposes — and that equality must survive thread
+  // widths exactly like every other decode path. The draft here is a
+  // differently-seeded model (arbitrary proposals, realistic reject/rollback
+  // traffic), and one leg splices the base prefill from an EncodePrefix
+  // block to cover the cache-assisted speculative path too.
+  Rng data(seed() * 43 + 9);
+  const std::vector<int> src = RandomSeq(&data, 7);
+
+  model::GenerationOptions greedy;
+  greedy.max_len = 16;
+  model::GenerationOptions spec = greedy;
+  spec.draft_k = 3;
+
+  rt::SetThreads(1);
+  model::TransformerSeq2Seq base1(Config(), kPad, kEos, seed());
+  model::TransformerSeq2Seq draft1(nn::TransformerConfig::T5Small(kVocab),
+                                   kPad, kEos, seed() + 99);
+  const std::vector<int> reference = base1.Generate(src, greedy);
+  spec::DraftVerifyEngine engine1(&base1, &draft1);
+  EXPECT_EQ(engine1.Generate(src, spec), reference)
+      << preset().name << ": spec != greedy at 1 thread";
+  auto block1 = base1.EncodePrefix(src, spec.weight_dtype);
+  EXPECT_EQ(engine1.Generate(src, spec, block1.get()), reference)
+      << preset().name << ": spliced spec != greedy at 1 thread";
+
+  rt::SetThreads(4);
+  model::TransformerSeq2Seq base4(Config(), kPad, kEos, seed());
+  model::TransformerSeq2Seq draft4(nn::TransformerConfig::T5Small(kVocab),
+                                   kPad, kEos, seed() + 99);
+  spec::DraftVerifyEngine engine4(&base4, &draft4);
+  EXPECT_EQ(engine4.Generate(src, spec), reference)
+      << preset().name << ": spec thread-count drift";
+  auto block4 = base4.EncodePrefix(src, spec.weight_dtype);
+  EXPECT_EQ(engine4.Generate(src, spec, block4.get()), reference)
+      << preset().name << ": spliced spec thread-count drift";
+}
+
 TEST_P(Determinism, Int8LogitsTrackFloatLogits) {
   // Quantize-at-load logit accuracy: the same prefill run with
   // weight_dtype=int8 must stay inside a pinned envelope of the float
@@ -631,6 +672,58 @@ TEST_F(SimdParity, CachedSplicedDecodeContractsHoldPerConfig) {
         model::TransformerSeq2Seq m4(cfg, kPad, kEos, 42);
         EXPECT_EQ(SplicedBatchDecode(m4, srcs, options), sequential)
             << tag << ": spliced thread-count drift";
+        rt::SetThreads(1);
+      }
+    }
+  }
+}
+
+/// Speculative parity per (isa, dtype) configuration: draft-verify decode
+/// must emit exactly the plain greedy sequence under the scalar and AVX2
+/// backends at both weight dtypes and both thread widths — the verify span
+/// runs through the same dispatched kernels as everything else, and the
+/// accept test is an argmax comparison on those kernels' logits, so any
+/// backend drift would break parity here first. One leg per configuration
+/// splices the base prefill from an EncodePrefix block (the serve prefix
+/// cache + speculation composition), with adaptive k on for k churn.
+TEST_F(SimdParity, SpeculativeDecodeContractsHoldPerConfig) {
+  Rng data(106);
+  const std::vector<int> src = RandomSeq(&data, 7);
+
+  IsaGuard restore;
+  for (const Preset& preset : kPresets) {
+    nn::TransformerConfig cfg = preset.make(kVocab);
+    cfg.dropout = 0.0f;
+    for (simd::Isa isa : {simd::Isa::kScalar, simd::Isa::kAvx2}) {
+      ASSERT_TRUE(simd::SetIsa(isa));
+      for (WeightDtype dtype : {WeightDtype::kFloat32, WeightDtype::kInt8}) {
+        model::GenerationOptions greedy;
+        greedy.max_len = 14;
+        greedy.weight_dtype = dtype;
+        model::GenerationOptions spec = greedy;
+        spec.draft_k = 3;
+        spec.draft_adaptive = true;
+        const std::string tag = std::string(preset.name) + "/" +
+                                simd::IsaName(isa) + "/" +
+                                WeightDtypeName(dtype);
+
+        rt::SetThreads(1);
+        model::TransformerSeq2Seq base(cfg, kPad, kEos, 42);
+        model::TransformerSeq2Seq draft(
+            nn::TransformerConfig::T5Small(kVocab), kPad, kEos, 141);
+        const std::vector<int> reference = base.Generate(src, greedy);
+        spec::DraftVerifyEngine engine(&base, &draft);
+        EXPECT_EQ(engine.Generate(src, spec), reference)
+            << tag << ": spec != greedy";
+        auto block = base.EncodePrefix(src, dtype);
+        EXPECT_EQ(engine.Generate(src, spec, block.get()), reference)
+            << tag << ": spliced spec != greedy";
+
+        rt::SetThreads(4);
+        EXPECT_EQ(engine.Generate(src, spec), reference)
+            << tag << ": spec thread-count drift";
+        EXPECT_EQ(engine.Generate(src, spec, block.get()), reference)
+            << tag << ": spliced spec thread-count drift";
         rt::SetThreads(1);
       }
     }

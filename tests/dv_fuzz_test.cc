@@ -1,6 +1,7 @@
 // DV-grammar fuzz round-trip (registered as the `dv_fuzz` ctest entry).
 //
-// Three properties, each over >= 10k seeded iterations by default:
+// Four properties, each over >= 10k seeded parser/executor invocations by
+// default:
 //  1. Fixpoint: a structurally valid random DvQuery AST, rendered with
 //     ToString, must parse back, and re-rendering the parse must reproduce
 //     the first rendering byte-for-byte (ToString is the canonical form,
@@ -11,12 +12,17 @@
 //     happens to parse, its AST must still render and re-parse cleanly.
 //  3. Truncation: every prefix of a valid rendering must parse or fail
 //     gracefully — prefixes walk the parser into every mid-clause EOF path.
+//  4. Executor round-trip: random queries against random databases run the
+//     full render -> parse -> compile -> execute pipeline; execution never
+//     crashes and is a pure function of the AST (the parsed rendering
+//     yields exactly the original query's rows).
 //
 // Determinism: the base seed is fixed (override with VIST5_FUZZ_SEED) so a
 // failure reproduces exactly; the failing input is printed so it can be
 // folded into tests/dv_test.cc as a named regression. Iteration counts
 // scale with VIST5_FUZZ_ITERS.
 
+#include <algorithm>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -24,8 +30,11 @@
 #include <gtest/gtest.h>
 
 #include "db/executor.h"
+#include "db/table.h"
+#include "dv/chart.h"
 #include "dv/dv_query.h"
 #include "dv/parser.h"
+#include "util/logging.h"
 #include "util/rng.h"
 
 namespace vist5 {
@@ -246,6 +255,159 @@ TEST(DvFuzz, EveryPrefixOfValidQueriesParsesOrFailsGracefully) {
       }
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Executor round-trip fuzz: random queries driven through the full
+// text-to-vis back end — render -> parse -> compile -> execute — against a
+// randomly generated database. Schema-aware queries exercise the execute
+// paths (joins, aggregates over nulls, binning, grouping, ordering);
+// schema-oblivious ones exercise every compile error path. The properties:
+// no crash anywhere, errors always carry a message, and execution is a pure
+// function of the AST — the parsed rendering yields the same rows as the
+// original query.
+// ---------------------------------------------------------------------------
+
+db::Database RandomDatabase(Rng* rng) {
+  db::Database database("fuzzdb");
+  const int num_tables = rng->UniformRange(1, 3);
+  std::vector<std::string> table_names;
+  for (int t = 0; t < num_tables; ++t) {
+    std::string name;
+    do {
+      name = RandomIdentifier(rng);
+    } while (std::find(table_names.begin(), table_names.end(), name) !=
+             table_names.end());
+    table_names.push_back(name);
+    std::vector<db::Column> columns;
+    std::vector<std::string> column_names;
+    const int num_columns = rng->UniformRange(2, 5);
+    for (int c = 0; c < num_columns; ++c) {
+      std::string col;
+      do {
+        col = RandomIdentifier(rng);
+      } while (std::find(column_names.begin(), column_names.end(), col) !=
+               column_names.end());
+      column_names.push_back(col);
+      // 1..3 skips kNull: declared types are int/real/text, nulls appear
+      // only as cell values.
+      columns.push_back({col, static_cast<db::ValueType>(
+                                  rng->UniformRange(1, 3))});
+    }
+    db::Table table(name, columns);
+    const int num_rows = rng->UniformInt(9);  // 0-row tables stay in the mix
+    for (int r = 0; r < num_rows; ++r) {
+      std::vector<db::Value> row;
+      for (const db::Column& column : table.columns()) {
+        if (rng->UniformInt(8) == 0) {
+          row.push_back(db::Value::Null());
+        } else if (column.type == db::ValueType::kInt) {
+          row.push_back(db::Value::Int(rng->UniformRange(-20, 120)));
+        } else if (column.type == db::ValueType::kReal) {
+          row.push_back(db::Value::Real(rng->UniformRange(-200, 200) / 4.0));
+        } else {
+          row.push_back(db::Value::Text(RandomIdentifier(rng)));
+        }
+      }
+      VIST5_CHECK(table.AppendRow(std::move(row)).ok());
+    }
+    database.AddTable(std::move(table));
+  }
+  if (num_tables >= 2 && rng->UniformInt(2) == 0) {
+    const db::Table& a = database.tables()[0];
+    const db::Table& b = database.tables()[1];
+    database.AddForeignKey(
+        {a.name(), a.columns()[0].name, b.name(), b.columns()[0].name});
+  }
+  return database;
+}
+
+/// A query biased toward compiling: tables/columns usually drawn from the
+/// schema, with a tail of random names so NotFound paths stay covered.
+dv::DvQuery SchemaAwareQuery(const db::Database& database, Rng* rng) {
+  dv::DvQuery q = RandomQuery(rng);
+  const db::Table& table = database.tables()[static_cast<size_t>(
+      rng->UniformInt(static_cast<int>(database.tables().size())))];
+  q.from_table = table.name();
+  const auto pick_column = [&]() -> std::string {
+    if (rng->UniformInt(8) == 0) return RandomIdentifier(rng);  // miss path
+    return table
+        .columns()[static_cast<size_t>(
+            rng->UniformInt(table.num_columns()))]
+        .name;
+  };
+  for (dv::SelectExpr& expr : q.select) {
+    if (!expr.star) expr.col = {"", pick_column()};
+  }
+  for (dv::DvPredicate& pred : q.where) pred.col = {"", pick_column()};
+  if (q.bin.has_value()) q.bin->col = {"", pick_column()};
+  if (q.group_by.has_value()) q.group_by = dv::ColumnRef{"", pick_column()};
+  if (q.order_by.has_value()) {
+    q.order_by->target =
+        q.select[static_cast<size_t>(
+            rng->UniformInt(static_cast<int>(q.select.size())))];
+  }
+  if (q.join.has_value()) {
+    if (database.tables().size() >= 2 && rng->UniformInt(4) != 0) {
+      const db::Table& other = database.tables()[1];
+      q.join->table = other.name();
+      q.join->left = {"", pick_column()};
+      q.join->right = {
+          "", other
+                  .columns()[static_cast<size_t>(
+                      rng->UniformInt(other.num_columns()))]
+                  .name};
+    } else {
+      q.join.reset();  // single-table database: keep most queries compiling
+    }
+  }
+  return q;
+}
+
+TEST(DvFuzz, ExecutorRoundTripNeverCrashes) {
+  Rng rng(EnvOr("VIST5_FUZZ_SEED", 20260807) ^ 0xda942042e4dd58b5ull);
+  // Each iteration runs parse + compile + two executions; a quarter of the
+  // grammar-fuzz budget still clears 10k executor invocations.
+  const int iters = std::max(500, Iterations() / 4);
+  int executed = 0;
+  for (int i = 0; i < iters; ++i) {
+    const db::Database database = RandomDatabase(&rng);
+    const dv::DvQuery q = SchemaAwareQuery(database, &rng);
+
+    // The wire form is what the model emits: round-trip through text first.
+    const std::string rendered = q.ToString();
+    StatusOr<dv::DvQuery> parsed = dv::ParseDvQuery(rendered);
+    ASSERT_TRUE(parsed.ok())
+        << "iteration " << i << ": schema-aware rendering failed to parse\n"
+        << "  input: " << rendered;
+
+    const StatusOr<dv::ChartData> direct = dv::RenderChart(q, database);
+    const StatusOr<dv::ChartData> via_text =
+        dv::RenderChart(parsed.value(), database);
+    ASSERT_EQ(direct.ok(), via_text.ok())
+        << "iteration " << i << ": execution outcome changed across the "
+        << "text round-trip\n  query: " << rendered;
+    if (!direct.ok()) {
+      EXPECT_FALSE(direct.status().message().empty())
+          << "iteration " << i << ": error without a message: " << rendered;
+      continue;
+    }
+    ++executed;
+    // Execution is a pure function of (AST, database): same names, same
+    // rows, in the same order.
+    EXPECT_EQ(direct->result.column_names, via_text->result.column_names)
+        << "iteration " << i << ": " << rendered;
+    ASSERT_EQ(direct->result.rows, via_text->result.rows)
+        << "iteration " << i << ": rows drifted across the text round-trip\n"
+        << "  query: " << rendered;
+    // CheckSuitability agrees with a successful render iff it has points.
+    const Status suitable = dv::CheckSuitability(q, database);
+    EXPECT_EQ(suitable.ok(), direct->num_points() > 0)
+        << "iteration " << i << ": " << rendered;
+  }
+  // The generator must actually reach the executor, not just compile
+  // errors — regress loudly if the schema-aware bias stops working.
+  EXPECT_GE(executed, iters / 8) << "too few queries executed successfully";
 }
 
 }  // namespace

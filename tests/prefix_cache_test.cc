@@ -23,6 +23,8 @@
 #include "nn/transformer.h"
 #include "serve/prefix_cache.h"
 #include "serve/scheduler.h"
+#include "spec/engine.h"
+#include "tensor/ops.h"
 #include "util/rng.h"
 
 namespace vist5 {
@@ -363,6 +365,71 @@ TEST_P(PrefixCacheParity, HitAfterEvictionAndReinsertReproducesTokens) {
   EXPECT_NE(hit.block.get(), first.get());
   EXPECT_EQ(decode_with(hit.block.get()), reference) << preset().name;
   cache.Release(hit);
+}
+
+// TruncateTo on a state spliced from a cached block — the speculative
+// rollback path (docs/SPECULATIVE.md): a DecodeState copied out of an
+// EncodedPrefix aliases the block's immutable cross K/V while its self
+// K/V grow fresh. Rolling rejected speculative positions back must leave
+// the shared block byte-for-byte intact (it may be backing other live
+// decodes) and leave the rolled-back state on the exact greedy path.
+TEST_P(PrefixCacheParity, TruncateToOnSplicedStateLeavesBlockIntact) {
+  model::TransformerSeq2Seq m(Config(), kPad, kEos, seed());
+  Rng data(seed() * 31 + 17);
+  const std::vector<int> src = RandomSeq(&data, 7);
+  model::GenerationOptions options;
+  options.max_len = 12;
+  const std::vector<int> reference = m.Generate(src, options);
+
+  auto block = m.EncodePrefix(src, options.weight_dtype);
+  std::vector<std::vector<float>> cross_before;
+  for (const nn::DecodeState::LayerCache& layer : block->state.layers) {
+    cross_before.push_back(layer.cross_k.data());
+    cross_before.push_back(layer.cross_v.data());
+  }
+
+  // Manual splice: feed [pad] plus three junk speculative tokens as one
+  // span, reject all three, then walk greedily from the rolled-back state.
+  NoGradGuard guard;
+  const nn::Transformer& tf = m.transformer();
+  nn::DecodeState state = block->state;
+  Tensor hidden = tf.DecodeStep({kPad, 9, 11, 13}, &state, 4);
+  ASSERT_EQ(state.step, 4);
+  state.TruncateTo(1);  // keep only the [pad] position
+
+  const auto argmax = [&](const Tensor& row_hidden) {
+    Tensor logits = tf.Logits(row_hidden);
+    return model::BestAllowedToken(logits.data().data(), logits.dim(1),
+                                   nullptr);
+  };
+  std::vector<int> walked;
+  // Row 0 of the span is the [pad] position — still valid after rollback.
+  walked.push_back(argmax(ops::GatherRows(hidden, {0})));
+  while (walked.size() < reference.size()) {
+    walked.push_back(argmax(tf.DecodeStep({walked.back()}, &state, 1)));
+  }
+  EXPECT_EQ(walked, reference)
+      << preset().name << ": rolled-back spliced state left the greedy path";
+
+  // Engine-level splice: a differently-seeded draft forces real reject +
+  // rollback traffic over the same block, and parity must still hold.
+  model::TransformerSeq2Seq draft(Config(), kPad, kEos, seed() + 99);
+  spec::DraftVerifyEngine engine(&m, &draft);
+  model::GenerationOptions spec = options;
+  spec.draft_k = 3;
+  spec::SpecStats stats;
+  EXPECT_EQ(engine.Generate(src, spec, block.get(), &stats), reference)
+      << preset().name;
+  EXPECT_GT(stats.steps, 0) << preset().name;
+
+  // The shared block never moved a byte under either consumer.
+  size_t slot = 0;
+  for (const nn::DecodeState::LayerCache& layer : block->state.layers) {
+    EXPECT_EQ(layer.cross_k.data(), cross_before[slot++])
+        << preset().name << ": block cross_k mutated";
+    EXPECT_EQ(layer.cross_v.data(), cross_before[slot++])
+        << preset().name << ": block cross_v mutated";
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

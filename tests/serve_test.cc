@@ -18,7 +18,9 @@
 #include <cmath>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -445,6 +447,215 @@ TEST(LoadGen, ReportsCompletionsAndThroughput) {
   EXPECT_GT(report.tokens, 0);
   EXPECT_GT(report.tok_per_sec, 0.0);
   EXPECT_GE(report.p99_ms, report.p50_ms);
+}
+
+// Speculative admission guard (docs/SPECULATIVE.md): a request that cannot
+// run speculatively must come back kError with a message naming the
+// conflict — never silently decoded plain, never crashed on a missing
+// draft. Submit answers these inline, so SubmitAndWait stays cheap.
+TEST(Speculative, AdmissionGuardRejectsIncompatibleModes) {
+  model::TransformerSeq2Seq base = MakeSmallModel();
+  model::TransformerSeq2Seq draft = MakeSmallModel(23);
+  serve::SchedulerOptions options;
+  options.max_batch = 2;
+  options.draft_model = &draft;  // draft_dtype stays float32
+  serve::BatchScheduler scheduler(&base, options);
+  scheduler.Start();
+
+  Rng rng(13);
+  const std::vector<int> src = RandomSrc(&rng, 5);
+  auto spec_request = [&](void (*tweak)(model::GenerationOptions*)) {
+    serve::Request req;
+    req.tokens = src;
+    req.options.max_len = 8;
+    req.options.draft_k = 3;
+    tweak(&req.options);
+    return scheduler.SubmitAndWait(std::move(req));
+  };
+
+  serve::Response r =
+      spec_request([](model::GenerationOptions* g) { g->beam_size = 2; });
+  EXPECT_EQ(r.status, serve::ResponseStatus::kError);
+  EXPECT_NE(r.error.find("greedy-only: beam_size"), std::string::npos)
+      << r.error;
+
+  r = spec_request([](model::GenerationOptions* g) { g->temperature = 0.7f; });
+  EXPECT_EQ(r.status, serve::ResponseStatus::kError);
+  EXPECT_NE(r.error.find("greedy-only: temperature"), std::string::npos)
+      << r.error;
+
+  r = spec_request([](model::GenerationOptions* g) { g->use_kv_cache = false; });
+  EXPECT_EQ(r.status, serve::ResponseStatus::kError);
+  EXPECT_NE(r.error.find("KV-cached"), std::string::npos) << r.error;
+
+  // Dtype mismatch: the draft is served at float32, the request asks to
+  // verify at int8 — mixing dtypes would silently break parity.
+  r = spec_request([](model::GenerationOptions* g) {
+    g->weight_dtype = WeightDtype::kInt8;
+  });
+  EXPECT_EQ(r.status, serve::ResponseStatus::kError);
+  EXPECT_NE(r.error.find("weight_dtype"), std::string::npos) << r.error;
+
+  // A plain greedy request through the same scheduler still works.
+  serve::Request plain;
+  plain.tokens = src;
+  plain.options.max_len = 8;
+  r = scheduler.SubmitAndWait(std::move(plain));
+  EXPECT_EQ(r.status, serve::ResponseStatus::kOk);
+  scheduler.Shutdown(/*drain=*/true);
+
+  // Without a draft model configured, any draft_k request is unavailable.
+  serve::SchedulerOptions no_draft;
+  no_draft.max_batch = 2;
+  serve::BatchScheduler bare(&base, no_draft);
+  bare.Start();
+  serve::Request req;
+  req.tokens = src;
+  req.options.max_len = 8;
+  req.options.draft_k = 2;
+  r = bare.SubmitAndWait(std::move(req));
+  EXPECT_EQ(r.status, serve::ResponseStatus::kError);
+  EXPECT_NE(r.error.find("no draft model loaded"), std::string::npos)
+      << r.error;
+  bare.Shutdown(/*drain=*/true);
+}
+
+// End-to-end speculative parity through the scheduler: spec requests run on
+// the exclusive path, interleaved here with plain batched requests, and
+// every response must equal the sequential plain-greedy reference — the
+// draft (different weights, arbitrary proposals) must be unobservable in
+// the tokens.
+TEST(Speculative, SchedulerSpecRequestsMatchPlainGreedy) {
+  model::TransformerSeq2Seq base = MakeSmallModel();
+  model::TransformerSeq2Seq draft = MakeSmallModel(23);
+  serve::SchedulerOptions options;
+  options.max_batch = 4;
+  options.draft_model = &draft;
+  serve::BatchScheduler scheduler(&base, options);
+  scheduler.Start();
+
+  const auto srcs = MixedSources(91, 6);
+  model::GenerationOptions plain;
+  plain.max_len = 16;
+
+  for (size_t i = 0; i < srcs.size(); ++i) {
+    serve::Request req;
+    req.tokens = srcs[i];
+    req.options = plain;
+    if (i % 2 == 0) {
+      req.options.draft_k = 3;
+      req.options.draft_adaptive = (i % 4 == 0);
+    }
+    const serve::Response r = scheduler.SubmitAndWait(std::move(req));
+    ASSERT_EQ(r.status, serve::ResponseStatus::kOk) << "request " << i;
+    EXPECT_EQ(r.tokens, base.Generate(srcs[i], plain))
+        << (i % 2 == 0 ? "spec" : "plain") << " request " << i;
+  }
+  scheduler.Shutdown(/*drain=*/true);
+}
+
+// Open-loop Poisson arrivals: every issued request completes and the
+// latency quantiles are populated — offered load is not throttled by
+// completions, so overload shows up as latency, not fewer requests.
+TEST(LoadGen, OpenLoopPoissonCompletesAllRequests) {
+  model::TransformerSeq2Seq m = MakeSmallModel();
+  serve::SchedulerOptions options;
+  options.max_batch = 4;
+  options.queue_capacity = 64;
+  serve::BatchScheduler scheduler(&m, options);
+  scheduler.Start();
+
+  const auto prompts = MixedSources(78, 4);
+  serve::LoadGenOptions lg;
+  lg.total_requests = 10;
+  lg.arrival_rate = 200.0;  // fast arrivals so the test stays quick
+  lg.arrival_seed = 5;
+  lg.slo_ms = 10000.0;
+  lg.gen.max_len = 10;
+  const serve::LoadGenReport report =
+      serve::RunLoadGen(&scheduler, prompts, lg);
+  scheduler.Shutdown(/*drain=*/true);
+
+  EXPECT_EQ(report.completed, 10);
+  EXPECT_EQ(report.expired, 0);
+  EXPECT_GT(report.tokens, 0);
+  EXPECT_GE(report.p99_ms, report.p50_ms);
+  EXPECT_EQ(report.slo_violation_frac, 0.0);
+}
+
+// Trace replay: entry timestamps drive the arrivals and per-entry draft
+// overrides select the speculative path per request; the trace length (not
+// total_requests) decides how many requests run.
+TEST(LoadGen, TraceReplayHonorsTimestampsAndDraftOverrides) {
+  model::TransformerSeq2Seq base = MakeSmallModel();
+  model::TransformerSeq2Seq draft = MakeSmallModel(23);
+  serve::SchedulerOptions options;
+  options.max_batch = 4;
+  options.draft_model = &draft;
+  serve::BatchScheduler scheduler(&base, options);
+  scheduler.Start();
+
+  Rng rng(61);
+  std::vector<serve::TraceEntry> trace;
+  for (int i = 0; i < 6; ++i) {
+    serve::TraceEntry entry;
+    entry.at_ms = 5.0 * i;
+    entry.tokens = RandomSrc(&rng, 4 + i % 3);
+    if (i % 2 == 1) entry.draft_k = 2;  // odd entries decode speculatively
+    trace.push_back(std::move(entry));
+  }
+
+  obs::Counter* spec_requests = obs::GetCounter("spec/requests");
+  const int64_t spec_before = spec_requests->value();
+  serve::LoadGenOptions lg;
+  lg.total_requests = 999;  // must be ignored: the trace length wins
+  lg.trace = trace;
+  lg.gen.max_len = 10;
+  const serve::LoadGenReport report =
+      serve::RunLoadGen(&scheduler, /*prompts=*/{}, lg);
+  scheduler.Shutdown(/*drain=*/true);
+
+  EXPECT_EQ(report.completed, 6);
+  EXPECT_EQ(spec_requests->value() - spec_before, 3)
+      << "odd trace entries carry draft_k=2 and must run speculatively";
+}
+
+// LoadTraceJsonl: well-formed lines parse with defaults and overrides;
+// a malformed line fails the whole load and names its line number.
+TEST(LoadGen, LoadTraceJsonlParsesAndRejects) {
+  const std::string path = ::testing::TempDir() + "vist5_trace_test.jsonl";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\"at_ms\": 0, \"tokens\": [2, 3, 4]}\n";
+    out << "\n";  // blank lines are skipped
+    out << "{\"at_ms\": 12.5, \"tokens\": [5, 6], \"max_len\": 7, "
+           "\"draft\": 3}\n";
+    out << "{\"tokens\": [8, 9]}\n";  // no at_ms: inherits the previous
+  }
+  auto loaded = serve::LoadTraceJsonl(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  const std::vector<serve::TraceEntry>& trace = *loaded;
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[0].at_ms, 0.0);
+  EXPECT_EQ(trace[0].tokens, (std::vector<int>{2, 3, 4}));
+  EXPECT_EQ(trace[0].max_len, -1);
+  EXPECT_EQ(trace[0].draft_k, -1);
+  EXPECT_EQ(trace[1].at_ms, 12.5);
+  EXPECT_EQ(trace[1].max_len, 7);
+  EXPECT_EQ(trace[1].draft_k, 3);
+  EXPECT_EQ(trace[2].at_ms, 12.5) << "missing at_ms inherits the previous";
+
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\"at_ms\": 0, \"tokens\": [2, 3]}\n";
+    out << "{\"at_ms\": 1}\n";  // missing tokens
+  }
+  auto bad = serve::LoadTraceJsonl(path);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(std::string(bad.status().message()).find(":2:"),
+            std::string::npos)
+      << bad.status().message();
+  std::remove(path.c_str());
 }
 
 // TCP front end: line-delimited JSON in, one response line per request,
