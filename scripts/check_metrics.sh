@@ -2,8 +2,9 @@
 # Smoke-checks the serve observability surface end to end with no
 # dependencies beyond bash + awk: starts `vist5_cli serve` on an ephemeral
 # port, pushes a few generation requests through the line protocol
-# (including a warm speculative request against the same-seed demo draft
-# and a spec+beam mode conflict that must be rejected at admission), scrapes
+# (including a warm speculative request against the same-seed demo draft,
+# a spec+beam mode conflict that must be rejected at admission, and a
+# "stream": true request whose token lines precede the final response), scrapes
 # GET /metrics and GET /healthz over plain /dev/tcp, validates the
 # Prometheus exposition with a self-contained awk checker (cumulative
 # buckets monotone, +Inf bucket == _count, serve histograms populated),
@@ -117,6 +118,27 @@ case "$reply" in
 esac
 echo "check_metrics: speculative request ok, spec+beam rejected at admission"
 
+# Streaming request: token lines {"id","token","seq"} precede the final
+# response line (docs/SERVING.md). Read until the "status" line, counting
+# token lines along the way — at least one must arrive before the final.
+exec 3<>"/dev/tcp/127.0.0.1/$PORT" || fail "connect failed"
+printf '%s\n' '{"id":"st1","tokens":[2,3,4,5,6],"max_len":8,"stream":true}' >&3
+STREAM_TOKENS=0
+STREAM_FINAL=""
+while IFS= read -r reply <&3; do
+  case "$reply" in
+    *'"status"'*) STREAM_FINAL="$reply"; break ;;
+    *'"token"'*) STREAM_TOKENS=$((STREAM_TOKENS + 1)) ;;
+  esac
+done
+exec 3<&- 3>&-
+[ "$STREAM_TOKENS" -ge 1 ] || fail "streaming request produced no token lines"
+case "$STREAM_FINAL" in
+  *'"status":"ok"'*) ;;
+  *) fail "streaming request did not end with an ok response: $STREAM_FINAL" ;;
+esac
+echo "check_metrics: streaming request ok ($STREAM_TOKENS token lines before the final response)"
+
 # --- scrape /metrics and validate the exposition ----------------------------
 http_request GET /metrics >"$WORK/metrics.txt"
 CODE="$(head -1 "$WORK/metrics.txt")"
@@ -182,6 +204,20 @@ accepted="$(awk '$1 == "vist5_spec_accepted_total" {print $2}' "$WORK/metrics.tx
 [ -n "$accepted" ] || fail "vist5_spec_accepted_total missing from /metrics"
 [ "${accepted%.*}" -ge 1 ] 2>/dev/null || fail "vist5_spec_accepted_total = $accepted, expected >= 1 with the same-weights demo draft"
 echo "check_metrics: spec series present, acceptance recorded (accepted=$accepted)"
+
+# --- streaming / event-loop series after the streamed request -----------------
+for metric in vist5_serve_stream_tokens_total \
+              vist5_serve_conn_slow_closed_total; do
+  val="$(awk -v m="$metric" '$1 == m {print $2}' "$WORK/metrics.txt" | head -1)"
+  [ -n "$val" ] || fail "$metric missing from /metrics"
+done
+streamed="$(awk '$1 == "vist5_serve_stream_requests_total" {print $2}' "$WORK/metrics.txt" | head -1)"
+[ -n "$streamed" ] || fail "vist5_serve_stream_requests_total missing from /metrics"
+[ "${streamed%.*}" -ge 1 ] 2>/dev/null || fail "vist5_serve_stream_requests_total = $streamed, expected >= 1 after the streamed request"
+stream_toks="$(awk '$1 == "vist5_serve_stream_tokens_total" {print $2}' "$WORK/metrics.txt" | head -1)"
+[ "${stream_toks%.*}" -ge "$STREAM_TOKENS" ] 2>/dev/null || \
+  fail "vist5_serve_stream_tokens_total = $stream_toks, expected >= $STREAM_TOKENS"
+echo "check_metrics: stream series present (requests=$streamed, tokens=$stream_toks)"
 
 # --- /admin/stats carries the prefix_cache section ---------------------------
 http_request GET /admin/stats >"$WORK/stats.txt"

@@ -8,8 +8,9 @@
 # serve_test's PrefixCacheConcurrency suite — docs/SERVING.md). Any data
 # race fails the run.
 #
-# The determinism, serve, prefix-cache, and decode-parity binaries (the
-# last carries the speculative draft-verify parity suite —
+# The determinism, serve, serve-stream (event-loop streaming parity and
+# slow-reader drop — docs/SERVING.md), prefix-cache, and decode-parity
+# binaries (the last carries the speculative draft-verify parity suite —
 # docs/SPECULATIVE.md) additionally run once per SIMD backend
 # (VIST5_ISA=scalar, then =avx2 on hosts that support it — see
 # docs/KERNELS.md), so races in the dispatch layer, the quantized-weight
@@ -24,7 +25,7 @@ BUILD_DIR=build-tsan
 cmake -B "$BUILD_DIR" -S . -DVIST5_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target rt_test obs_test determinism_test text_test serve_test \
-           prefix_cache_test decode_parity_test
+           serve_stream_test prefix_cache_test decode_parity_test
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
 status=0
@@ -43,7 +44,8 @@ else
   echo "===== tsan: host lacks AVX2, skipping the avx2 ISA leg ====="
 fi
 for isa in $ISAS; do
-  for t in determinism_test serve_test prefix_cache_test decode_parity_test; do
+  for t in determinism_test serve_test serve_stream_test prefix_cache_test \
+           decode_parity_test; do
     echo "===== tsan: $t (VIST5_ISA=$isa) ====="
     VIST5_ISA=$isa "$BUILD_DIR/tests/$t" || status=$?
   done

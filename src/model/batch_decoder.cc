@@ -109,7 +109,8 @@ void ContinuousDecoder::Evict(const std::vector<int>& survivors) {
   rows_ = std::move(kept);
 }
 
-std::vector<ContinuousDecoder::Finished> ContinuousDecoder::Step() {
+std::vector<ContinuousDecoder::Finished> ContinuousDecoder::Step(
+    std::vector<Emitted>* emitted) {
   std::vector<Finished> done;
   if (rows_.empty()) return done;
   VIST5_TRACE_SPAN("model/batch_decode_step");
@@ -156,6 +157,7 @@ std::vector<ContinuousDecoder::Finished> ContinuousDecoder::Step() {
     if (!finished) {
       row.out.push_back(next);
       row.prev = next;
+      if (emitted != nullptr) emitted->push_back({row.id, next});
       finished = static_cast<int>(row.out.size()) >= row.options.max_len;
     }
     if (finished) {

@@ -38,6 +38,15 @@ class ContinuousDecoder {
     bool deadline_expired = false;
   };
 
+  /// One token committed by a row during a Step, in batch order. A row
+  /// that finishes on the same step (max_len reached) still reports its
+  /// final token here, so the emitted stream concatenates to exactly the
+  /// Finished::tokens sequence.
+  struct Emitted {
+    uint64_t id = 0;
+    int token = 0;
+  };
+
   explicit ContinuousDecoder(const TransformerSeq2Seq* model)
       : model_(model) {}
 
@@ -62,8 +71,12 @@ class ContinuousDecoder {
              const EncodedPrefix* prefill = nullptr);
 
   /// Advances every active row by one token. Returns the rows that
-  /// finished (or expired) during this step, in batch order.
-  std::vector<Finished> Step();
+  /// finished (or expired) during this step, in batch order. When
+  /// `emitted` is non-null, the tokens committed this step are appended
+  /// to it (rows that stop on EOS or expire in the pre-step sweep commit
+  /// nothing) — the serve scheduler uses this to publish stream tokens at
+  /// step boundaries (docs/SERVING.md).
+  std::vector<Finished> Step(std::vector<Emitted>* emitted = nullptr);
 
   /// Number of requests currently decoding.
   int active() const { return static_cast<int>(rows_.size()); }

@@ -61,6 +61,46 @@ StatusOr<JsonValue> Client::Call(const JsonValue& request) {
   return JsonValue::Parse(response);
 }
 
+StatusOr<JsonValue> Client::CallStreaming(
+    const JsonValue& request,
+    const std::function<void(int token, int seq)>& on_token) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  JsonValue streaming = request;
+  streaming.Set("stream", JsonValue::Bool(true));
+  Status sent = SendRaw(streaming.ToString(/*pretty=*/false) + "\n");
+  if (!sent.ok()) return sent;
+  char chunk[4096];
+  for (;;) {
+    size_t nl;
+    while ((nl = buf_.find('\n')) == std::string::npos) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        return Status::IoError("connection closed before the response line");
+      }
+      buf_.append(chunk, static_cast<size_t>(n));
+    }
+    const std::string line = buf_.substr(0, nl);
+    buf_.erase(0, nl + 1);
+    StatusOr<JsonValue> parsed = JsonValue::Parse(line);
+    if (!parsed.ok()) return parsed;
+    const JsonValue& doc = parsed.value();
+    // Stream lines carry "token"; anything with "status" is the final
+    // response (ok, error, rejected, ...) that ends the exchange.
+    if (doc.is_object() && doc.Find("status") == nullptr) {
+      if (const JsonValue* token = doc.Find("token")) {
+        const JsonValue* seq = doc.Find("seq");
+        if (on_token) {
+          on_token(static_cast<int>(token->number_value()),
+                   seq != nullptr ? static_cast<int>(seq->number_value())
+                                  : -1);
+        }
+        continue;
+      }
+    }
+    return parsed;
+  }
+}
+
 Status Client::SendRaw(const std::string& data) {
   if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
   size_t off = 0;

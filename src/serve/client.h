@@ -1,6 +1,7 @@
 #ifndef VIST5_SERVE_CLIENT_H_
 #define VIST5_SERVE_CLIENT_H_
 
+#include <functional>
 #include <string>
 
 #include "serve/scheduler.h"
@@ -25,6 +26,16 @@ class Client {
   /// line. Transport failures come back as error statuses; protocol-level
   /// failures ("status": "error"/"rejected") come back as parsed objects.
   StatusOr<JsonValue> Call(const JsonValue& request);
+
+  /// Streaming variant: sends `request` with "stream": true forced on,
+  /// invokes `on_token(token, seq)` for each {"token": ..., "seq": ...}
+  /// line as it arrives, and returns the final response line. The
+  /// concatenated callback tokens match the final line's "tokens" array
+  /// bit-for-bit (the server's parity contract). Error and rejection
+  /// responses simply arrive as the final line with no token lines first.
+  StatusOr<JsonValue> CallStreaming(
+      const JsonValue& request,
+      const std::function<void(int token, int seq)>& on_token);
 
   /// Sends raw bytes as-is (no line framing). Building block for the
   /// HTTP helper below.

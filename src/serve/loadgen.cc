@@ -137,6 +137,7 @@ LoadGenReport RunLoadGen(BatchScheduler* scheduler,
     std::condition_variable cv;
     std::vector<double> latencies_ms;
     std::vector<double> ttfts_ms;
+    std::vector<double> observed_ttfts_ms;
     int slo_violations = 0;
     int issued = 0;
     int done = 0;
@@ -180,6 +181,23 @@ LoadGenReport RunLoadGen(BatchScheduler* scheduler,
     return all_done;
   };
 
+  // Observed TTFT: stamp the first streamed token's arrival against the
+  // request's issue time. Runs on the scheduler's decode thread, strictly
+  // before that request's completion fires, so `shared` (on this stack
+  // until every completion is recorded) is safe to touch.
+  const auto attach_stream = [&shared, &options](Request* req,
+                                                 Clock::time_point start) {
+    if (!options.stream) return;
+    req->on_token = [&shared, start](int /*token*/, size_t seq) {
+      if (seq != 0) return;
+      const double ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - start)
+              .count();
+      std::lock_guard<std::mutex> lock(shared.mu);
+      shared.observed_ttfts_ms.push_back(ms);
+    };
+  };
+
   // Closed loop: each completion immediately refills the slot it frees, so
   // the number in flight stays at `concurrency` until the tail.
   std::function<void()> issue_one = [&]() {
@@ -198,6 +216,7 @@ LoadGenReport RunLoadGen(BatchScheduler* scheduler,
       std::lock_guard<std::mutex> lock(shared.mu);
       shared.prefill_tokens += static_cast<int64_t>(req.tokens.size());
     }
+    attach_stream(&req, start);
     scheduler->Submit(std::move(req),
                       [&record, &issue_one, start](Response r) {
                         if (!record(r, start)) issue_one();
@@ -240,6 +259,7 @@ LoadGenReport RunLoadGen(BatchScheduler* scheduler,
         ++shared.issued;
         shared.prefill_tokens += static_cast<int64_t>(req.tokens.size());
       }
+      attach_stream(&req, start);
       scheduler->Submit(std::move(req), [&record, start](Response r) {
         record(r, start);
       });
@@ -268,6 +288,9 @@ LoadGenReport RunLoadGen(BatchScheduler* scheduler,
   std::sort(shared.ttfts_ms.begin(), shared.ttfts_ms.end());
   report.ttft_p50_ms = ExactQuantile(shared.ttfts_ms, 0.50);
   report.ttft_p99_ms = ExactQuantile(shared.ttfts_ms, 0.99);
+  std::sort(shared.observed_ttfts_ms.begin(), shared.observed_ttfts_ms.end());
+  report.observed_ttft_p50_ms = ExactQuantile(shared.observed_ttfts_ms, 0.50);
+  report.observed_ttft_p99_ms = ExactQuantile(shared.observed_ttfts_ms, 0.99);
   if (options.slo_ms > 0 && !shared.latencies_ms.empty()) {
     report.slo_violation_frac =
         static_cast<double>(shared.slo_violations) /

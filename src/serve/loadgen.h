@@ -51,6 +51,13 @@ struct LoadGenOptions {
   /// entry i's tokens are issued at its at_ms offset (a fixed-timestamp
   /// open loop). Build one with LoadTraceJsonl or in code.
   std::vector<TraceEntry> trace;
+  /// Attach a per-token stream subscriber (Request::on_token) to every
+  /// request and measure *observed* TTFT — wall time from issue to the
+  /// first published token — the way a streaming client experiences it.
+  /// Reported as observed_ttft_p50/p99_ms next to the timeline-derived
+  /// ttft quantiles (which stamp first-token time inside the decode loop
+  /// and therefore exclude callback/delivery overhead).
+  bool stream = false;
   model::GenerationOptions gen;
 };
 
@@ -64,6 +71,10 @@ struct LoadGenReport {
   double p99_ms = 0;
   double ttft_p50_ms = 0;     ///< time-to-first-token, exact quantiles
   double ttft_p99_ms = 0;
+  /// Issue-to-first-streamed-token quantiles, measured at the stream
+  /// subscriber (LoadGenOptions::stream). Zero when streaming is off.
+  double observed_ttft_p50_ms = 0;
+  double observed_ttft_p99_ms = 0;
   /// Fraction of finished responses whose end-to-end latency exceeded
   /// LoadGenOptions::slo_ms (0 when no target was set).
   double slo_violation_frac = 0;

@@ -15,6 +15,14 @@
 namespace vist5 {
 namespace serve {
 
+/// Per-token stream hook. `token` is the committed token id and `seq` its
+/// 0-based position in the request's output. Invoked on the scheduler's
+/// decode thread at step boundaries (speculative commits arrive as
+/// accepted runs, one call per token) — keep it cheap and non-blocking;
+/// a slow subscriber must buffer, never stall the decode loop
+/// (docs/SERVING.md).
+using TokenCallback = std::function<void(int token, size_t seq)>;
+
 /// One tokenized generation request as it flows through the scheduler.
 struct Request {
   /// Internal id, assigned by BatchScheduler::Submit. Client-side ids live
@@ -29,6 +37,10 @@ struct Request {
   /// time_point::max() means none. Derived from options.deadline_ms.
   std::chrono::steady_clock::time_point deadline =
       std::chrono::steady_clock::time_point::max();
+  /// When set, every committed token is published through it before the
+  /// final response; the concatenated stream is bit-identical to the
+  /// response's `tokens`. Unset (the default) skips all streaming work.
+  TokenCallback on_token;
 };
 
 /// Wall-clock milestones of one request as it crosses the serve stack:

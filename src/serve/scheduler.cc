@@ -92,6 +92,10 @@ struct BatchScheduler::Track {
   /// Pin on the request's encoder-prefix block (empty when the cache is
   /// off or the request never reached the decoder). Released in Finish.
   PrefixCache::Handle cache_handle;
+  /// Stream subscriber (Request::on_token); empty for buffered requests.
+  TokenCallback on_token;
+  /// Tokens already published through on_token (the next seq number).
+  size_t streamed = 0;
 };
 
 /// One parked Reload call: the path to load and the promise its caller
@@ -306,6 +310,7 @@ void BatchScheduler::AdmitGreedy(RequestQueue::Entry entry,
   Track track;
   track.id = req.id;
   track.done = std::move(entry.done);
+  track.on_token = std::move(req.on_token);
   track.timeline.enqueue = req.enqueue_time;
   track.timeline.admit = now;
   if (req.deadline <= now) {
@@ -344,6 +349,7 @@ void BatchScheduler::RunExclusive(RequestQueue::Entry entry) {
   Track track;
   track.id = req.id;
   track.done = std::move(entry.done);
+  track.on_token = std::move(req.on_token);
   track.timeline.enqueue = req.enqueue_time;
   track.timeline.admit = now;
   if (req.deadline <= now) {
@@ -382,7 +388,11 @@ void BatchScheduler::RunExclusive(RequestQueue::Entry entry) {
     }
     spec::SpecStats stats;
     const Clock::time_point gen_start = Clock::now();
-    tokens = spec_engine_->Generate(req.tokens, options, prefill, &stats);
+    // Stream subscribers receive speculative commits as accepted runs:
+    // the engine fires on_commit per committed token right after each
+    // verify round, and committed tokens are final (docs/SPECULATIVE.md).
+    tokens = spec_engine_->Generate(req.tokens, options, prefill, &stats,
+                                    track.on_token);
     if (stats.ttft_ms > 0) {
       // Generate has no per-step hook, so the timeline's first-token stamp
       // is reconstructed from the engine's measured time-to-first-commit.
@@ -394,6 +404,15 @@ void BatchScheduler::RunExclusive(RequestQueue::Entry entry) {
     }
   } else {
     tokens = model_->Generate(req.tokens, options);
+    if (track.on_token) {
+      // Generate has no per-step hook (beam search in particular has no
+      // committed prefix until the search ends), so the whole sequence
+      // streams at completion — parity with the buffered response is
+      // trivial, and the wire shape matches the batched path.
+      for (size_t i = 0; i < tokens.size(); ++i) {
+        track.on_token(tokens[i], i);
+      }
+    }
   }
   Finish(&track, ResponseStatus::kOk, std::move(tokens));
 }
@@ -456,7 +475,18 @@ void BatchScheduler::StepBatch(model::ContinuousDecoder* decoder,
   steps->Add();
   batch_size->Observe(static_cast<double>(decoder->active()));
   const Clock::time_point step_start = Clock::now();
-  std::vector<model::ContinuousDecoder::Finished> finished = decoder->Step();
+  // Collect per-step emissions only when someone in the batch subscribed;
+  // an all-buffered batch skips the extra bookkeeping entirely.
+  bool any_stream = false;
+  for (const Track& track : *tracks) {
+    if (track.on_token) {
+      any_stream = true;
+      break;
+    }
+  }
+  std::vector<model::ContinuousDecoder::Emitted> emitted;
+  std::vector<model::ContinuousDecoder::Finished> finished =
+      decoder->Step(any_stream ? &emitted : nullptr);
   const Clock::time_point now = Clock::now();
   step_ms->Observe(Ms(now - step_start));
   for (Track& track : *tracks) {
@@ -465,6 +495,15 @@ void BatchScheduler::StepBatch(model::ContinuousDecoder* decoder,
       track.timeline.has_first_token = true;
       track.timeline.first_token = now;
       ttft->Observe(track.timeline.ttft_ms());
+    }
+  }
+  // Publish this step's committed tokens before any of the rows finish:
+  // a subscriber always sees every stream token, then the final response.
+  for (const model::ContinuousDecoder::Emitted& e : emitted) {
+    for (Track& track : *tracks) {
+      if (track.id != e.id) continue;
+      if (track.on_token) track.on_token(e.token, track.streamed++);
+      break;
     }
   }
   for (model::ContinuousDecoder::Finished& f : finished) {

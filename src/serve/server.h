@@ -2,10 +2,12 @@
 #define VIST5_SERVE_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "serve/scheduler.h"
@@ -37,21 +39,45 @@ struct ServerOptions {
   int backlog = 16;
   /// Concurrent connection cap. Connections accepted beyond it receive a
   /// one-line JSON rejection ("too many connections") and are closed
-  /// before a handler thread is spawned. 0 means unlimited.
+  /// before entering the event loop. 0 means unlimited.
   int max_connections = 64;
-  /// Connections idle (no bytes received) longer than this are closed.
-  /// 0 disables the timeout. Applies between requests too, so clients
-  /// holding a connection open must send within the window.
+  /// Connections idle (no bytes received, nothing in flight or pending to
+  /// write) longer than this are closed. 0 disables the timeout. Applies
+  /// between requests too, so clients holding a connection open must send
+  /// within the window.
   int idle_timeout_ms = 0;
   /// Default draft_k for requests that do not carry a "draft" field
   /// (vist5_cli serve --spec-k). Only meaningful when the scheduler was
   /// given a draft model; an explicit "draft": 0 opts a request out.
   int default_draft_k = 0;
+  /// Largest HTTP request body accepted. A Content-Length beyond it (or
+  /// one that overflows size_t) answers 413 without reading the body.
+  /// Also bounds a single line-protocol request line.
+  size_t max_http_body_bytes = 1 << 20;
+  /// Per-connection cap on outgoing bytes buffered but not yet accepted
+  /// by the kernel. A peer that stops reading fills its socket buffer,
+  /// then this queue; crossing the cap drops the connection
+  /// (serve/conn_slow_closed) so a slow reader never blocks the decode
+  /// loop or grows server memory unboundedly (docs/SERVING.md).
+  size_t max_write_queue_bytes = 1 << 20;
+  /// Test hook: when > 0, sets SO_SNDBUF on accepted sockets so the
+  /// write-queue bound above can be exercised without megabytes of
+  /// kernel-buffered slack. 0 keeps the kernel default.
+  int sndbuf_bytes = 0;
   HealthThresholds health;
 };
 
 /// Line-delimited JSON front end over local TCP (docs/SERVING.md), with an
 /// HTTP side-channel on the same listener for observability and ops.
+///
+/// One event-loop thread owns every socket: an epoll instance watches the
+/// listener, an eventfd wakeup, and each connection's readiness; sockets
+/// are nonblocking and each connection is a small state machine (sniff ->
+/// line-JSON or HTTP, bounded outgoing write queue drained on EPOLLOUT).
+/// Generation work is handed to the BatchScheduler and never runs on the
+/// loop thread; the scheduler's completion/stream callbacks append bytes
+/// to the connection's write queue and wake the loop through the eventfd.
+/// A stalled reader therefore stalls only its own (bounded) queue.
 ///
 /// The first bytes of each connection pick the protocol: lines starting
 /// with an HTTP method ("GET ", "POST ", ...) get one HTTP/1.1 exchange
@@ -68,6 +94,13 @@ struct ServerOptions {
 /// with status one of ok | deadline | rejected | shutdown | error, and
 /// "retry_after_ms" attached to rejections (backpressure).
 ///
+/// Streaming: a request carrying "stream": true additionally receives one
+/// line per committed token, in order, before the final response line:
+///   {"id": "r1", "token": 17, "seq": 0}
+/// The concatenated "token" values are bit-identical to the final line's
+/// "tokens" array (speculative commits arrive as accepted runs). Requests
+/// without the field keep the exact pre-streaming wire behavior.
+///
 /// HTTP routes (docs/OBSERVABILITY.md, docs/SERVING.md):
 ///   GET  /metrics        Prometheus text exposition of the global registry
 ///   GET  /healthz        threshold-evaluated health (200 ok/degraded, 503)
@@ -79,7 +112,7 @@ struct ServerOptions {
 ///                        the model between decode steps
 ///   POST /admin/loglevel body {"level": "info|warn|error|fatal"}
 ///
-/// Requests on one connection are handled synchronously in arrival order;
+/// Requests on one connection are handled in arrival order, one at a time;
 /// clients that want concurrency open multiple connections (this is what
 /// keeps the continuous batch full). The heavy lifting — admission,
 /// batching, deadlines — lives in BatchScheduler; the server only
@@ -92,15 +125,16 @@ class Server {
          const ServerOptions& options);
   ~Server();
 
-  /// Binds, listens, and spawns the accept thread.
+  /// Binds, listens, and spawns the event-loop thread.
   Status Start();
 
   /// Port actually bound (resolves ephemeral port 0). 0 before Start.
   int port() const { return port_; }
 
-  /// Stops accepting connections and joins connection threads. With
-  /// `drain`, in-flight requests finish first; without it, open
-  /// connections are torn down immediately. Does not stop the scheduler.
+  /// Stops accepting connections and joins the event loop. With `drain`,
+  /// in-flight requests finish and flush their responses first; without
+  /// it, open connections are torn down immediately. Does not stop the
+  /// scheduler.
   void Stop(bool drain);
 
   /// True while a POST /admin/drain is in effect (generation requests are
@@ -109,49 +143,74 @@ class Server {
   int active_connections() const { return active_conns_.load(); }
 
  private:
-  /// One accepted connection: its handler thread plus the fd, guarded by
-  /// conn_mu_ so Stop can shut the socket down while the handler owns it.
-  struct Conn {
-    std::thread thread;
-    int fd = -1;
-    std::atomic<bool> finished{false};
-  };
+  /// Per-connection state machine; defined in server.cc. Parse state is
+  /// loop-thread-only; the outgoing write queue is shared with scheduler
+  /// callback threads under the connection's own mutex.
+  struct Conn;
+  /// State that must outlive the Server because scheduler callbacks hold
+  /// it: the eventfd wakeup, the dirty-connection queue, and the write
+  /// bound. Defined in server.cc.
+  struct LoopShared;
 
-  void AcceptLoop();
-  /// Joins and discards connections whose handler has returned (called
-  /// from the accept thread, so the conns_ list stays bounded by the
-  /// number of *live* connections rather than growing until Stop).
-  void ReapConnections();
-  void HandleConnection(Conn* conn);
-  /// One HTTP/1.1 exchange; `buf` holds bytes already read. Returns after
-  /// writing the response (connection closes).
-  void HandleHttp(int fd, std::string buf);
+  void Loop();
+  /// Drains the listener (level-triggered). Transient accept errors —
+  /// EMFILE, ENFILE, ECONNABORTED, ENOBUFS — log and back off instead of
+  /// killing the listener (the pre-event-loop AcceptLoop returned on any
+  /// errno but EINTR, silently ending accepts for the server's lifetime).
+  void HandleAccept();
+  /// Nonblocking read into the connection's buffer, then Service.
+  void HandleReadable(const std::shared_ptr<Conn>& conn);
+  /// Flushes pending output, advances the parse state machine, applies
+  /// close conditions (overflow -> slow-reader drop, finished HTTP
+  /// exchange, peer EOF with nothing in flight), updates epoll interest.
+  void Service(const std::shared_ptr<Conn>& conn);
+  /// Consumes buffered input: protocol sniff, then complete line-JSON
+  /// requests (one in flight at a time) or the HTTP header/body machine.
+  void ParseInput(const std::shared_ptr<Conn>& conn);
+  /// Parses one request line, validates it, and either enqueues an
+  /// immediate error/rejection line or submits to the scheduler with
+  /// completion (and, for "stream": true, per-token) callbacks.
+  void DispatchLine(const std::shared_ptr<Conn>& conn,
+                    const std::string& line);
+  /// Routes a complete HTTP request (inline for everything except
+  /// /admin/reload, which blocks on a batch boundary and therefore runs
+  /// on a short-lived helper thread).
+  void DispatchHttp(const std::shared_ptr<Conn>& conn,
+                    const std::string& method, const std::string& target,
+                    const std::string& body);
   std::string RouteHttp(const std::string& method, const std::string& target,
                         const std::string& body, int* code,
                         std::string* content_type);
   /// Evaluates options_.health against live stats; fills the /healthz
   /// body and returns the HTTP status code (200 or 503).
   int EvaluateHealth(std::string* body) const;
-  /// Parses one request line and produces the response line (never
-  /// throws; malformed input maps to {"status": "error"}).
-  std::string HandleLine(const std::string& line);
-  JsonValue ResponseToJson(const std::string& client_id, const Response& r,
-                           bool want_text) const;
+  void CloseConn(const std::shared_ptr<Conn>& conn);
+  void UpdateInterest(const std::shared_ptr<Conn>& conn, bool want_write);
+  /// Joins finished /admin/reload helper threads; `all` waits for every
+  /// one (Stop), otherwise only already-finished ones are reaped.
+  void ReapReloadThreads(bool all);
 
   BatchScheduler* scheduler_;
   const text::Tokenizer* tokenizer_;
   ServerOptions options_;
-  /// Atomic: Stop() closes and resets the fd from the caller's thread
-  /// while AcceptLoop reads it for accept(); the close is what wakes the
-  /// blocked accept.
-  std::atomic<int> listen_fd_{-1};
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
   int port_ = 0;
-  std::thread accept_thread_;
+  std::shared_ptr<LoopShared> shared_;
+  std::thread loop_thread_;
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> drain_on_stop_{false};
   std::atomic<bool> draining_{false};
   std::atomic<int> active_conns_{0};
-  std::mutex conn_mu_;
-  std::vector<std::unique_ptr<Conn>> conns_;
+
+  /// Loop-thread-only state.
+  std::unordered_map<int, std::shared_ptr<Conn>> conns_;
+  bool accept_registered_ = false;
+  std::chrono::steady_clock::time_point accept_backoff_until_{};
+
+  struct ReloadWorker;
+  std::mutex reload_mu_;
+  std::vector<std::unique_ptr<ReloadWorker>> reload_workers_;
 };
 
 }  // namespace serve

@@ -26,7 +26,8 @@ DraftVerifyEngine::DraftVerifyEngine(const model::TransformerSeq2Seq* base,
 
 std::vector<int> DraftVerifyEngine::Generate(
     const std::vector<int>& src, const model::GenerationOptions& options,
-    const model::EncodedPrefix* base_prefix, SpecStats* stats) const {
+    const model::EncodedPrefix* base_prefix, SpecStats* stats,
+    const std::function<void(int token, size_t seq)>& on_commit) const {
   VIST5_TRACE_SPAN("spec/generate");
   static obs::Counter* proposed_c = obs::GetCounter("spec/proposed");
   static obs::Counter* accepted_c = obs::GetCounter("spec/accepted");
@@ -142,6 +143,7 @@ std::vector<int> DraftVerifyEngine::Generate(
     const int vocab = logits.dim(1);
 
     // --- Accept the longest matching prefix + one corrective token. ---
+    const size_t committed_before = out.size();
     int accepted = 0;  // proposals[0..accepted) matched the base argmax
     for (int i = 0; i <= j; ++i) {
       const float* row =
@@ -158,6 +160,15 @@ std::vector<int> DraftVerifyEngine::Generate(
       }
       out.push_back(best);  // corrective (i < j) or bonus (i == j) token
       break;
+    }
+
+    if (on_commit) {
+      // Publish the round's accepted run only now that it is final: every
+      // token below is the base argmax for its prefix and will never be
+      // rolled back.
+      for (size_t i = committed_before; i < out.size(); ++i) {
+        on_commit(out[i], i);
+      }
     }
 
     local.proposed += j;

@@ -2,6 +2,7 @@
 #define VIST5_SPEC_ENGINE_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "model/transformer_model.h"
@@ -66,11 +67,18 @@ class DraftVerifyEngine {
   /// options.weight_dtype: the base-side encoder prefill is spliced from
   /// it instead of recomputed (aliased cross K/V are never written).
   /// `stats`, when non-null, receives this decode's counters on top of the
-  /// global obs spec/* metrics.
+  /// global obs spec/* metrics. `on_commit`, when set, is invoked once per
+  /// committed token (id, 0-based output position) after each verify
+  /// round's accept loop — stream subscribers therefore see accepted runs
+  /// land as bursts, never a proposal that later rolls back, because
+  /// committed tokens are final (the output only grows; TruncateTo rolls
+  /// back KV caches, not `out` — docs/SPECULATIVE.md).
   std::vector<int> Generate(
       const std::vector<int>& src, const model::GenerationOptions& options,
       const model::EncodedPrefix* base_prefix = nullptr,
-      SpecStats* stats = nullptr) const;
+      SpecStats* stats = nullptr,
+      const std::function<void(int token, size_t seq)>& on_commit =
+          nullptr) const;
 
   const model::TransformerSeq2Seq* base() const { return base_; }
   const model::TransformerSeq2Seq* draft() const { return draft_; }

@@ -1024,6 +1024,85 @@ TEST(ServerHttp, ConnectionLimitRejectsOverflow) {
   }
 }
 
+// Regression (server.cc): ParseContentLength accumulated digits into a
+// size_t with no overflow check, so "Content-Length: 18446744073709551616"
+// wrapped to a small number, and an honest huge declared length made the
+// body-read loop buffer without bound. Both shapes must now answer 413
+// without reading a body; an in-range request on the same rules still
+// works.
+TEST(ServerHttp, OversizedContentLengthAnswers413) {
+  serve::ServerOptions options;
+  options.max_http_body_bytes = 1024;
+  HttpFixture f(options);
+  const char* lengths[] = {
+      "18446744073709551615",  // SIZE_MAX: spins forever unchecked
+      "18446744073709551616",  // SIZE_MAX + 1: wraps to 0 unchecked
+      "1048576",               // honest but over the 1 KiB cap
+  };
+  for (const char* length : lengths) {
+    SCOPED_TRACE(length);
+    serve::Client client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", f.port()).ok());
+    ASSERT_TRUE(client
+                    .SendRaw("POST /admin/loglevel HTTP/1.1\r\nHost: "
+                             "x\r\nContent-Length: " +
+                             std::string(length) + "\r\n\r\n")
+                    .ok());
+    std::string raw;
+    ASSERT_TRUE(client.RecvToEof(&raw).ok());
+    EXPECT_EQ(raw.compare(0, 12, "HTTP/1.1 413"), 0) << raw;
+  }
+  // Within the cap the same route still round-trips.
+  StatusOr<serve::HttpResponse> ok = serve::HttpCall(
+      "127.0.0.1", f.port(), "GET", "/healthz");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().code, 200);
+}
+
+// Regression (server.cc): HandleLine coerced malformed numerics through
+// number_value(fallback) — {"max_len": "abc"} silently decoded with the
+// default 48, and out-of-range values (-5, beam 0, negative deadlines)
+// passed straight into GenerationOptions. Every shape must now answer the
+// one-line error form, and the connection must stay usable.
+TEST(ServerHttp, MalformedNumericFieldsAnswerErrors) {
+  HttpFixture f;
+  const struct {
+    const char* request;
+    const char* error_substr;
+  } cases[] = {
+      {R"({"tokens":[4,5,6],"max_len":"abc"})", "\"max_len\" must be"},
+      {R"({"tokens":[4,5,6],"max_len":-5})", "\"max_len\" must be"},
+      {R"({"tokens":[4,5,6],"max_len":2.5})", "\"max_len\" must be"},
+      {R"({"tokens":[4,5,6],"beam":0})", "\"beam\" must be"},
+      {R"({"tokens":[4,5,6],"deadline_ms":-1})", "\"deadline_ms\" must be"},
+      {R"({"tokens":[4,5,6],"priority":"high"})", "\"priority\" must be"},
+      {R"({"tokens":[4,5,6],"draft":-1})", "\"draft\" must be"},
+      {R"({"tokens":[4,5,6],"stream":"yes"})", "\"stream\" must be"},
+  };
+  serve::Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", f.port()).ok());
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.request);
+    StatusOr<JsonValue> reply =
+        client.Call(JsonValue::Parse(c.request).value());
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(reply.value().Find("status")->string_value(), "error");
+    EXPECT_NE(reply.value().Find("error")->string_value().find(
+                  c.error_substr),
+              std::string::npos)
+        << reply.value().ToString(false);
+  }
+  // The same connection still serves a valid request afterwards.
+  JsonValue req = JsonValue::Object();
+  JsonValue toks = JsonValue::Array();
+  for (int t : {4, 5, 6}) toks.Append(JsonValue::Number(t));
+  req.Set("tokens", std::move(toks));
+  req.Set("max_len", JsonValue::Number(6));
+  StatusOr<JsonValue> reply = client.Call(req);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().Find("status")->string_value(), "ok");
+}
+
 // An idle connection is closed once idle_timeout_ms passes with no bytes.
 TEST(ServerHttp, IdleTimeoutClosesConnection) {
   serve::ServerOptions options;
